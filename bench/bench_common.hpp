@@ -1,0 +1,51 @@
+#pragma once
+/// Shared plumbing for the paper-reproduction bench harnesses: builds the
+/// nine Table 1 designs with consistent parameters and prints uniform
+/// headers. Each bench binary regenerates one table or figure.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/tiling_engine.hpp"
+#include "designs/catalog.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace emutile::bench {
+
+/// Placer effort scaled to design size so the large designs (MIPS, DES)
+/// keep bench runtimes reasonable; quality differences wash out of the
+/// relative comparisons the paper reports.
+inline double effort_for(int clbs) {
+  if (clbs >= 800) return 0.15;
+  if (clbs >= 200) return 0.4;
+  return 1.0;
+}
+
+/// Route with a wider default channel so the big designs do not spend bench
+/// time on widening retries.
+inline int tracks_for(int clbs) { return clbs >= 200 ? 14 : 12; }
+
+inline TiledDesign build_tiled_paper_design(const std::string& name,
+                                            int num_tiles, double overhead,
+                                            std::uint64_t seed) {
+  const PaperDesign& spec = paper_design(name);
+  Netlist nl = build_paper_design(name, seed);
+  TilingParams tp;
+  tp.seed = seed;
+  tp.target_overhead = overhead;
+  tp.num_tiles = num_tiles;
+  tp.placer_effort = effort_for(spec.clbs);
+  tp.tracks_per_channel = tracks_for(spec.clbs);
+  return TilingEngine::build(std::move(nl), tp);
+}
+
+inline void banner(const char* title, const char* paper_ref) {
+  std::cout << "==============================================================\n"
+            << title << "\n(reproduces " << paper_ref
+            << " of Lach/Mangione-Smith/Potkonjak, DAC 2000)\n"
+            << "==============================================================\n";
+}
+
+}  // namespace emutile::bench

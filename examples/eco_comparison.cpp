@@ -1,0 +1,83 @@
+/// Side-by-side ECO strategy comparison on one design: apply the identical
+/// debugging change through tiling, Quick_ECO, incremental place-and-route,
+/// and full re-implementation, on clones of the same starting layout —
+/// a single-design slice of the paper's Figure 5 experiment.
+///
+///   $ ./eco_comparison
+
+#include <iostream>
+
+#include "core/tiling_engine.hpp"
+#include "designs/catalog.hpp"
+#include "eco/eco_strategies.hpp"
+#include "hier/hierarchy.hpp"
+#include "util/table.hpp"
+
+using namespace emutile;
+
+namespace {
+EcoChange make_change(TiledDesign& d) {
+  CellId victim;
+  for (CellId id : d.netlist.live_cells())
+    if (d.netlist.cell(id).kind == CellKind::kLut) victim = id;
+  d.netlist.set_lut_function(victim,
+                             d.netlist.cell(victim).function.complement());
+  EcoChange change;
+  change.modified_cells = {victim};
+  return change;
+}
+}  // namespace
+
+int main() {
+  std::cout << "== ECO strategy comparison (s9234-class design) ==\n\n";
+
+  TilingParams tp;
+  tp.seed = 9;
+  tp.target_overhead = 0.20;
+  tp.num_tiles = 10;
+  tp.placer_effort = 0.5;
+  tp.tracks_per_channel = 14;
+  TiledDesign base =
+      TilingEngine::build(build_paper_design("s9234", 1), tp);
+  std::cout << "implemented: " << base.packed.num_clbs() << " CLBs on "
+            << base.device->params().to_string() << ", "
+            << base.tiles->num_tiles() << " tiles\n\n";
+
+  DesignHierarchy hier("s9234");
+  hier.bind_remaining(base.netlist, hier.add_block("functional_block"));
+
+  TiledDesign for_quick = base.clone();
+  TiledDesign for_incr = base.clone();
+  TiledDesign for_full = base.clone();
+
+  std::cout << "applying the same one-LUT fix through four strategies...\n\n";
+  const EcoStrategyResult rt = tiled_eco(base, make_change(base), EcoOptions{});
+  const EcoStrategyResult rq =
+      quick_eco(for_quick, hier, make_change(for_quick), 5);
+  const EcoStrategyResult ri =
+      incremental_eco(for_incr, make_change(for_incr), IncrementalOptions{});
+  const EcoStrategyResult rf = full_eco(for_full, make_change(for_full), 5);
+
+  Table table({"strategy", "instances placed", "nets routed", "wall ms",
+               "speedup vs tiled"});
+  auto row = [&](const char* name, const EcoStrategyResult& r) {
+    table.add_row({name, std::to_string(r.effort.instances_placed),
+                   std::to_string(r.effort.nets_routed),
+                   Table::fmt(r.effort.total_ms(), 1),
+                   Table::fmt(r.effort.total_ms() / rt.effort.total_ms(), 2)});
+  };
+  row("tiled (this paper)", rt);
+  row("Quick_ECO [Fang97]", rq);
+  row("incremental P&R", ri);
+  row("full re-implement", rf);
+  table.print(std::cout);
+
+  std::cout << "\nAll four designs remain functionally identical; tiling "
+               "touched the\nsmallest slice of the physical design "
+               "(Section 6.1's argument).\n";
+  base.validate();
+  for_quick.validate();
+  for_incr.validate();
+  for_full.validate();
+  return 0;
+}

@@ -1,0 +1,87 @@
+/// Control and observation logic demo (paper Section 4): insert a
+/// controllability mux (LFSR-driven state injection) and observation
+/// signature compactors on internal nets, emulate, and read the signatures
+/// back — the hardware mechanics behind error detection and localization.
+///
+///   $ ./probe_insertion
+
+#include <iostream>
+
+#include "debug/test_logic.hpp"
+#include "designs/catalog.hpp"
+#include "sim/patterns.hpp"
+#include "sim/simulator.hpp"
+#include "util/table.hpp"
+
+using namespace emutile;
+
+int main() {
+  std::cout << "== control & observation logic insertion ==\n\n";
+
+  Netlist nl = build_paper_design("sand", 3);
+  std::cout << "design: sand-class FSM, " << nl.num_cells() << " cells, "
+            << nl.num_dffs() << " FFs\n\n";
+
+  // Pick three internal nets to observe.
+  std::vector<NetId> probes;
+  for (CellId id : nl.live_cells()) {
+    if (nl.cell(id).kind != CellKind::kLut) continue;
+    if (nl.net(nl.cell_output(id)).sinks.size() >= 2)
+      probes.push_back(nl.cell_output(id));
+    if (probes.size() == 3) break;
+  }
+
+  const std::size_t before = nl.num_cells();
+  const ObservationPlan plan = insert_observation(nl, probes, "demo");
+  std::cout << "observation: " << probes.size()
+            << " probes -> " << (nl.num_cells() - before)
+            << " new cells (" << kSignatureBits
+            << "-bit signature compactor each)\n";
+
+  // Control point on a separate net (controlling a probed net would rewire
+  // the observation tap onto the mux output — correct, but it would make
+  // the signature comparison below read as a mismatch).
+  NetId controlled;
+  for (CellId id : nl.live_cells()) {
+    if (nl.cell(id).kind != CellKind::kLut) continue;
+    const NetId out = nl.cell_output(id);
+    if (std::find(probes.begin(), probes.end(), out) == probes.end() &&
+        !nl.net(out).sinks.empty())
+      controlled = out;
+  }
+  const std::size_t before_ctl = nl.num_cells();
+  const ControlPoint control = insert_control(nl, controlled, "ctl");
+  std::cout << "control: mux + 4-bit LFSR + trigger counter = "
+            << (nl.num_cells() - before_ctl) << " new cells; "
+            << control.rewired.size() << " sink(s) rewired\n\n";
+
+  // Emulate and harvest signatures by readback.
+  Simulator sim(nl);
+  sim.reset();
+  std::vector<unsigned> soft(probes.size(), 0);
+  const auto patterns =
+      random_patterns(nl.primary_inputs().size(), 128, 17);
+  for (const Pattern& p : patterns) {
+    sim.step(p);
+    for (std::size_t i = 0; i < probes.size(); ++i)
+      soft[i] = signature_step(soft[i], sim.net_value(probes[i]));
+  }
+
+  Table table({"probe net", "hardware signature", "software model", "match"});
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const unsigned hard = read_signature(
+        plan.probes[i], [&](CellId ff) { return sim.ff_state(ff); });
+    table.add_row({nl.net(probes[i]).name, std::to_string(hard),
+                   std::to_string(soft[i]),
+                   hard == soft[i] ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nremoving test logic...\n";
+  remove_control(nl, control);
+  remove_added_cells(nl, plan.added_cells);
+  nl.validate();
+  std::cout << "netlist restored: " << nl.num_cells() << " cells (was "
+            << before << ")\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "arch/device.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace emutile {
+
+std::string DeviceParams::to_string() const {
+  std::ostringstream os;
+  os << width << 'x' << height << " CLBs, " << tracks_per_channel
+     << " tracks/channel";
+  return os.str();
+}
+
+Device::Device(const DeviceParams& params) : params_(params) {
+  EMUTILE_CHECK(params.width >= 1 && params.height >= 1,
+                "device must be at least 1x1");
+  EMUTILE_CHECK(params.tracks_per_channel >= 1, "need at least one track");
+}
+
+SiteIndex Device::iob_site(int perimeter_index) const {
+  EMUTILE_CHECK(perimeter_index >= 0 && perimeter_index < num_iob_sites(),
+                "IOB perimeter index out of range");
+  return static_cast<SiteIndex>(num_clb_sites() + perimeter_index);
+}
+
+std::pair<IobEdge, int> Device::iob_position(SiteIndex s) const {
+  EMUTILE_ASSERT(is_iob_site(s), "not an IOB site");
+  // Paired IOBs: consecutive site indices share one geometric position.
+  int p = (static_cast<int>(s) - num_clb_sites()) / kIobsPerPosition;
+  if (p < width()) return {IobEdge::kBottom, p};
+  p -= width();
+  if (p < width()) return {IobEdge::kTop, p};
+  p -= width();
+  if (p < height()) return {IobEdge::kLeft, p};
+  p -= height();
+  return {IobEdge::kRight, p};
+}
+
+std::pair<double, double> Device::site_center(SiteIndex s) const {
+  if (is_clb_site(s)) {
+    auto [x, y] = clb_xy(s);
+    return {x + 0.5, y + 0.5};
+  }
+  auto [edge, off] = iob_position(s);
+  switch (edge) {
+    case IobEdge::kBottom: return {off + 0.5, -0.5};
+    case IobEdge::kTop: return {off + 0.5, height() + 0.5};
+    case IobEdge::kLeft: return {-0.5, off + 0.5};
+    case IobEdge::kRight: return {width() + 0.5, off + 0.5};
+  }
+  return {0, 0};
+}
+
+DeviceParams Device::size_for(int clbs, int iobs, int tracks_per_channel) {
+  EMUTILE_CHECK(clbs >= 1, "need at least one CLB");
+  int w = std::max(1, static_cast<int>(std::ceil(std::sqrt(clbs))));
+  int h = (clbs + w - 1) / w;
+  // Grow until the perimeter also accommodates the IOBs.
+  while (kIobsPerPosition * (2 * w + 2 * h) < iobs) {
+    ++w;
+    h = std::max(h, (clbs + w - 1) / w);
+  }
+  DeviceParams p;
+  p.width = w;
+  p.height = h;
+  p.tracks_per_channel = tracks_per_channel;
+  return p;
+}
+
+}  // namespace emutile

@@ -1,0 +1,105 @@
+#pragma once
+/// \file device.hpp
+/// XC4000-style island FPGA device model.
+///
+/// The device is a width x height grid of CLB sites surrounded by a ring of
+/// IOB sites, with segmented routing channels between rows/columns. Each CLB
+/// follows the XC4000 structure the paper evaluates on: two 4-input LUTs
+/// (F and G), two D flip-flops, four outputs (F, G, FQ, GQ) and ten routable
+/// data input pins (F1-4, G1-4 plus two auxiliary direct-in pins).
+///
+/// Coordinates: CLB (x, y) with x in [0, width), y in [0, height).
+/// Horizontal channel y exists for y in [0, height] (channel y runs below CLB
+/// row y); vertical channel x exists for x in [0, width] (left of column x).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace emutile {
+
+/// Dense index over all placement sites (CLBs first, then IOBs).
+using SiteIndex = std::uint32_t;
+constexpr SiteIndex kInvalidSite = 0xFFFFFFFFu;
+
+/// Which ring edge an IOB sits on.
+enum class IobEdge : std::uint8_t { kBottom, kTop, kLeft, kRight };
+
+/// Number of CLB pins in the model.
+struct ClbPinModel {
+  static constexpr int kNumIpins = 10;  ///< F1-4, G1-4, DIN0, DIN1
+  static constexpr int kNumOpins = 4;   ///< F, G, FQ, GQ
+};
+
+/// IOBs per perimeter position (the XC4000 family pairs two IOBs per edge
+/// CLB position: e.g. the XC4010's 20x20 array carries 160 IOBs).
+inline constexpr int kIobsPerPosition = 2;
+
+/// Geometric and capacity parameters of a device instance.
+struct DeviceParams {
+  int width = 8;
+  int height = 8;
+  int tracks_per_channel = 10;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Immutable device geometry: site enumeration and coordinates.
+class Device {
+ public:
+  explicit Device(const DeviceParams& params);
+
+  [[nodiscard]] const DeviceParams& params() const { return params_; }
+  [[nodiscard]] int width() const { return params_.width; }
+  [[nodiscard]] int height() const { return params_.height; }
+
+  [[nodiscard]] int num_clb_sites() const { return width() * height(); }
+  [[nodiscard]] int num_iob_sites() const {
+    return kIobsPerPosition * (2 * width() + 2 * height());
+  }
+  [[nodiscard]] int num_sites() const { return num_clb_sites() + num_iob_sites(); }
+
+  [[nodiscard]] bool is_clb_site(SiteIndex s) const {
+    return s < static_cast<SiteIndex>(num_clb_sites());
+  }
+  [[nodiscard]] bool is_iob_site(SiteIndex s) const {
+    return s >= static_cast<SiteIndex>(num_clb_sites()) &&
+           s < static_cast<SiteIndex>(num_sites());
+  }
+
+  /// CLB site index from grid coordinates.
+  [[nodiscard]] SiteIndex clb_site(int x, int y) const {
+    EMUTILE_ASSERT(x >= 0 && x < width() && y >= 0 && y < height(),
+                   "clb coords out of range");
+    return static_cast<SiteIndex>(y * width() + x);
+  }
+
+  /// Grid coordinates of a CLB site.
+  [[nodiscard]] std::pair<int, int> clb_xy(SiteIndex s) const {
+    EMUTILE_ASSERT(is_clb_site(s), "not a CLB site");
+    return {static_cast<int>(s) % width(), static_cast<int>(s) / width()};
+  }
+
+  /// IOB site from a perimeter index in [0, num_iob_sites()).
+  [[nodiscard]] SiteIndex iob_site(int perimeter_index) const;
+
+  /// Edge and along-edge offset of an IOB site (paired IOBs share the same
+  /// geometric position and channel access).
+  [[nodiscard]] std::pair<IobEdge, int> iob_position(SiteIndex s) const;
+
+  /// Nominal coordinates of any site (IOBs sit just outside the grid); used
+  /// for wirelength costs and region tests.
+  [[nodiscard]] std::pair<double, double> site_center(SiteIndex s) const;
+
+  /// Smallest device (with ~square aspect) providing at least `clbs` CLB
+  /// sites and at least `iobs` IOB sites, with the given channel width.
+  [[nodiscard]] static DeviceParams size_for(int clbs, int iobs,
+                                             int tracks_per_channel);
+
+ private:
+  DeviceParams params_;
+};
+
+}  // namespace emutile

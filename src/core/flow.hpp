@@ -1,0 +1,41 @@
+#pragma once
+/// \file flow.hpp
+/// End-to-end implementation flows: synthesize -> pack -> place -> route.
+///
+/// build_flat produces the conventional (untiled) implementation used as the
+/// Table 1 baseline and as the substrate the full-re-P&R / Quick_ECO
+/// baselines run on. The device is sized to the design plus `slack`
+/// (slack = 0 for the minimal baseline device).
+
+#include <cstdint>
+
+#include "core/tiled_design.hpp"
+#include "netlist/netlist.hpp"
+
+namespace emutile {
+
+struct FlowParams {
+  std::uint64_t seed = 1;
+  double placer_effort = 1.0;
+  double slack = 0.0;              ///< extra CLB site fraction
+  int tracks_per_channel = 12;
+  int max_track_retries = 3;       ///< +4 tracks per routing retry
+  double iob_margin = 1.25;        ///< perimeter sizing headroom
+};
+
+/// Implement a netlist from scratch. The netlist must already be synthesized
+/// (4-LUT mapped); throws CheckError on unroutable designs after retries.
+[[nodiscard]] TiledDesign build_flat(Netlist netlist, const FlowParams& params);
+
+/// Re-place and re-route an existing design from scratch on its current
+/// device (keeps netlist/packing; used by the Quick_ECO and full-re-P&R
+/// baselines). Returns the effort spent.
+PnrEffort replace_and_reroute_all(TiledDesign& design, std::uint64_t seed,
+                                  double placer_effort = 1.0);
+
+/// Route (from scratch) every physical net of `design`; on congestion
+/// failure widens channels (rebuilding the RR graph) up to
+/// `max_track_retries` times. Returns effort.
+PnrEffort route_all_with_retry(TiledDesign& design, int max_track_retries = 3);
+
+}  // namespace emutile

@@ -1,0 +1,36 @@
+#pragma once
+/// \file pnr_effort.hpp
+/// Back-end CAD effort metering.
+///
+/// The paper's headline result (Figure 5) compares the place-and-route
+/// effort that different ECO strategies spend on the same debugging change.
+/// Every flow path in this library reports a PnrEffort so benches can make
+/// that comparison on identical work.
+
+#include <cstddef>
+#include <string>
+
+namespace emutile {
+
+struct PnrEffort {
+  std::size_t instances_placed = 0;  ///< CLB/IOB instances re-placed
+  std::size_t nets_routed = 0;       ///< nets (re)routed
+  std::size_t nodes_expanded = 0;    ///< router search expansions
+  double place_ms = 0.0;
+  double route_ms = 0.0;
+
+  [[nodiscard]] double total_ms() const { return place_ms + route_ms; }
+
+  PnrEffort& operator+=(const PnrEffort& other) {
+    instances_placed += other.instances_placed;
+    nets_routed += other.nets_routed;
+    nodes_expanded += other.nodes_expanded;
+    place_ms += other.place_ms;
+    route_ms += other.route_ms;
+    return *this;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace emutile

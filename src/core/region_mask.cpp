@@ -1,0 +1,73 @@
+#include "core/region_mask.hpp"
+
+#include "util/check.hpp"
+
+namespace emutile {
+
+RegionMasks build_region_masks(const RrGraph& rr, const TileGrid& grid,
+                               const std::vector<std::uint8_t>& tile_affected) {
+  EMUTILE_CHECK(tile_affected.size() ==
+                    static_cast<std::size_t>(grid.num_tiles()),
+                "affected-tile mask size mismatch");
+  const Device& d = rr.device();
+  const int w = d.width(), h = d.height();
+
+  auto cell_affected = [&](int x, int y) {
+    if (x < 0 || x >= w || y < 0 || y >= h) return false;
+    return tile_affected[grid.tile_at(x, y).value()] != 0;
+  };
+
+  RegionMasks masks;
+  masks.allowed.assign(rr.num_nodes(), 0);
+  masks.rip.assign(rr.num_nodes(), 0);
+
+  for (std::size_t i = 0; i < rr.num_nodes(); ++i) {
+    const RrNodeId id{static_cast<std::uint32_t>(i)};
+    const RrNodeInfo& n = rr.node(id);
+    switch (n.type) {
+      case RrType::kOpin:
+      case RrType::kIpin:
+      case RrType::kSink: {
+        if (d.is_clb_site(n.site)) {
+          auto [x, y] = d.clb_xy(n.site);
+          if (cell_affected(x, y)) {
+            masks.allowed[i] = 1;
+            masks.rip[i] = 1;
+          }
+        } else {
+          // IOB pins: usable (never ripped) when the IOB abuts an affected
+          // edge cell, so ECOs adjacent to the ring can reach the pads.
+          auto [edge, off] = d.iob_position(n.site);
+          bool adj = false;
+          switch (edge) {
+            case IobEdge::kBottom: adj = cell_affected(off, 0); break;
+            case IobEdge::kTop: adj = cell_affected(off, h - 1); break;
+            case IobEdge::kLeft: adj = cell_affected(0, off); break;
+            case IobEdge::kRight: adj = cell_affected(w - 1, off); break;
+          }
+          if (adj) masks.allowed[i] = 1;
+        }
+        break;
+      }
+      case RrType::kChanX: {
+        // CHANX(x, y) runs below CLB row y: adjacent cells (x, y-1), (x, y).
+        const bool below = cell_affected(n.x, n.y - 1);
+        const bool above = cell_affected(n.x, n.y);
+        if (below || above) masks.allowed[i] = 1;
+        if (below && above) masks.rip[i] = 1;
+        break;
+      }
+      case RrType::kChanY: {
+        // CHANY(x, y) runs left of CLB column x: cells (x-1, y), (x, y).
+        const bool left = cell_affected(n.x - 1, n.y);
+        const bool right = cell_affected(n.x, n.y);
+        if (left || right) masks.allowed[i] = 1;
+        if (left && right) masks.rip[i] = 1;
+        break;
+      }
+    }
+  }
+  return masks;
+}
+
+}  // namespace emutile

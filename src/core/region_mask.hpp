@@ -1,0 +1,36 @@
+#pragma once
+/// \file region_mask.hpp
+/// RR-graph masks realizing tile lock semantics (paper Sections 3.2, 5.2).
+///
+/// Given the set of unlocked ("affected") tiles:
+///  * `allowed` — nodes re-routing may use: pins/sinks of CLB sites inside
+///    affected tiles, channel segments with at least one adjacent affected
+///    cell (boundary channels included: free tracks in an interface channel
+///    are usable without disturbing the locked side), and the pins of IOB
+///    sites immediately adjacent to an affected edge tile.
+///  * `rip` — existing routing to remove when tiles are cleared: pins/sinks
+///    of affected sites plus channel segments BOTH of whose adjacent cells
+///    are affected. A channel between an affected and a locked tile is the
+///    locked interface: crossing nets keep their wire there (the fixed
+///    crossing point), which is exactly how "lock tile interfaces" works.
+///    When two adjacent tiles are both affected, the channel between them is
+///    ripped — the interface between two unlocked tiles dissolves (5.2).
+
+#include <vector>
+
+#include "arch/rr_graph.hpp"
+#include "core/tile_grid.hpp"
+
+namespace emutile {
+
+struct RegionMasks {
+  std::vector<std::uint8_t> allowed;
+  std::vector<std::uint8_t> rip;
+};
+
+/// Build the masks for the given affected-tile set (dense bool by TileId).
+[[nodiscard]] RegionMasks build_region_masks(
+    const RrGraph& rr, const TileGrid& grid,
+    const std::vector<std::uint8_t>& tile_affected);
+
+}  // namespace emutile

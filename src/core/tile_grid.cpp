@@ -1,0 +1,107 @@
+#include "core/tile_grid.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace emutile {
+
+namespace {
+std::vector<int> make_cuts(int extent, int pieces) {
+  std::vector<int> cuts(static_cast<std::size_t>(pieces) + 1);
+  for (int i = 0; i <= pieces; ++i)
+    cuts[static_cast<std::size_t>(i)] =
+        static_cast<int>(std::llround(static_cast<double>(extent) * i / pieces));
+  return cuts;
+}
+}  // namespace
+
+TileGrid::TileGrid(int grid_w, int grid_h, int tiles_x, int tiles_y)
+    : grid_w_(grid_w), grid_h_(grid_h), tiles_x_(tiles_x), tiles_y_(tiles_y) {
+  EMUTILE_CHECK(grid_w >= 1 && grid_h >= 1, "empty grid");
+  EMUTILE_CHECK(tiles_x >= 1 && tiles_y >= 1, "need at least one tile");
+  EMUTILE_CHECK(tiles_x <= grid_w && tiles_y <= grid_h,
+                "more tiles than grid rows/columns ("
+                    << tiles_x << 'x' << tiles_y << " tiles on " << grid_w
+                    << 'x' << grid_h << ')');
+  x_cuts_ = make_cuts(grid_w, tiles_x);
+  y_cuts_ = make_cuts(grid_h, tiles_y);
+
+  rects_.reserve(static_cast<std::size_t>(num_tiles()));
+  for (int ty = 0; ty < tiles_y; ++ty)
+    for (int tx = 0; tx < tiles_x; ++tx)
+      rects_.push_back(Rect{x_cuts_[static_cast<std::size_t>(tx)],
+                            y_cuts_[static_cast<std::size_t>(ty)],
+                            x_cuts_[static_cast<std::size_t>(tx) + 1],
+                            y_cuts_[static_cast<std::size_t>(ty) + 1]});
+
+  tile_of_x_.resize(static_cast<std::size_t>(grid_w));
+  for (int tx = 0; tx < tiles_x; ++tx)
+    for (int x = x_cuts_[static_cast<std::size_t>(tx)];
+         x < x_cuts_[static_cast<std::size_t>(tx) + 1]; ++x)
+      tile_of_x_[static_cast<std::size_t>(x)] = static_cast<std::int16_t>(tx);
+  tile_of_y_.resize(static_cast<std::size_t>(grid_h));
+  for (int ty = 0; ty < tiles_y; ++ty)
+    for (int y = y_cuts_[static_cast<std::size_t>(ty)];
+         y < y_cuts_[static_cast<std::size_t>(ty) + 1]; ++y)
+      tile_of_y_[static_cast<std::size_t>(y)] = static_cast<std::int16_t>(ty);
+}
+
+TileGrid TileGrid::make(int grid_w, int grid_h, int num_tiles) {
+  EMUTILE_CHECK(num_tiles >= 1, "need at least one tile");
+  num_tiles = std::min(num_tiles, grid_w * grid_h);
+  // Search factorizations near sqrt for the best aspect-ratio match while
+  // hitting at least the requested count.
+  int best_tx = 1, best_ty = num_tiles;
+  double best_score = 1e300;
+  for (int tx = 1; tx <= std::min(grid_w, num_tiles); ++tx) {
+    const int ty = std::min(
+        grid_h, (num_tiles + tx - 1) / tx);
+    if (tx * ty < num_tiles) continue;
+    // Prefer tile aspect close to 1 and count close to requested.
+    const double tile_w = static_cast<double>(grid_w) / tx;
+    const double tile_h = static_cast<double>(grid_h) / ty;
+    const double aspect =
+        tile_w > tile_h ? tile_w / tile_h : tile_h / tile_w;
+    const double count_excess = static_cast<double>(tx * ty - num_tiles);
+    const double score = aspect + 0.25 * count_excess;
+    if (score < best_score) {
+      best_score = score;
+      best_tx = tx;
+      best_ty = ty;
+    }
+  }
+  return TileGrid(grid_w, grid_h, best_tx, best_ty);
+}
+
+TileId TileGrid::tile_at(int x, int y) const {
+  EMUTILE_CHECK(x >= 0 && x < grid_w_ && y >= 0 && y < grid_h_,
+                "tile_at out of grid");
+  return tile_index(tile_of_x_[static_cast<std::size_t>(x)],
+                    tile_of_y_[static_cast<std::size_t>(y)]);
+}
+
+const Rect& TileGrid::rect(TileId tile) const {
+  EMUTILE_CHECK(tile.valid() && tile.value() < rects_.size(), "bad tile id");
+  return rects_[tile.value()];
+}
+
+std::vector<TileId> TileGrid::neighbors(TileId tile) const {
+  EMUTILE_CHECK(tile.valid() && tile.value() < rects_.size(), "bad tile id");
+  const int tx = static_cast<int>(tile.value()) % tiles_x_;
+  const int ty = static_cast<int>(tile.value()) / tiles_x_;
+  std::vector<TileId> out;
+  if (tx > 0) out.push_back(tile_index(tx - 1, ty));
+  if (tx + 1 < tiles_x_) out.push_back(tile_index(tx + 1, ty));
+  if (ty > 0) out.push_back(tile_index(tx, ty - 1));
+  if (ty + 1 < tiles_y_) out.push_back(tile_index(tx, ty + 1));
+  return out;
+}
+
+bool TileGrid::adjacent(TileId a, TileId b) const {
+  for (TileId n : neighbors(a))
+    if (n == b) return true;
+  return false;
+}
+
+}  // namespace emutile

@@ -1,0 +1,59 @@
+#pragma once
+/// \file tile_grid.hpp
+/// Rectangular partition of the CLB grid into tiles.
+///
+/// Tiles are the paper's independent physical blocks: "conceptual boundaries
+/// of constraints" (Section 3.2) over the placed design. The grid is chosen
+/// from a requested tile count; cut lines distribute remainder columns/rows
+/// evenly so tile areas differ by at most one row/column strip.
+
+#include <vector>
+
+#include "place/placement.hpp"
+#include "util/ids.hpp"
+
+namespace emutile {
+
+class TileGrid {
+ public:
+  /// Partition a grid_w x grid_h CLB grid into tiles_x x tiles_y tiles.
+  TileGrid(int grid_w, int grid_h, int tiles_x, int tiles_y);
+
+  /// Choose a near-square tiling with approximately `num_tiles` tiles.
+  static TileGrid make(int grid_w, int grid_h, int num_tiles);
+
+  [[nodiscard]] int num_tiles() const { return tiles_x_ * tiles_y_; }
+  [[nodiscard]] int tiles_x() const { return tiles_x_; }
+  [[nodiscard]] int tiles_y() const { return tiles_y_; }
+  [[nodiscard]] int grid_width() const { return grid_w_; }
+  [[nodiscard]] int grid_height() const { return grid_h_; }
+
+  /// Tile containing CLB (x, y).
+  [[nodiscard]] TileId tile_at(int x, int y) const;
+
+  /// CLB rectangle of a tile.
+  [[nodiscard]] const Rect& rect(TileId tile) const;
+
+  /// 4-neighborhood (tiles sharing an edge).
+  [[nodiscard]] std::vector<TileId> neighbors(TileId tile) const;
+
+  /// Number of CLB sites in a tile.
+  [[nodiscard]] int capacity(TileId tile) const { return rect(tile).area(); }
+
+  /// True if two tiles share an edge.
+  [[nodiscard]] bool adjacent(TileId a, TileId b) const;
+
+ private:
+  [[nodiscard]] TileId tile_index(int tx, int ty) const {
+    return TileId{static_cast<std::uint32_t>(ty * tiles_x_ + tx)};
+  }
+
+  int grid_w_, grid_h_, tiles_x_, tiles_y_;
+  std::vector<int> x_cuts_;  // tiles_x_+1 boundaries
+  std::vector<int> y_cuts_;
+  std::vector<Rect> rects_;
+  std::vector<std::int16_t> tile_of_x_;  // per CLB column -> tile column
+  std::vector<std::int16_t> tile_of_y_;
+};
+
+}  // namespace emutile

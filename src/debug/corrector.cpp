@@ -1,0 +1,89 @@
+#include "debug/corrector.hpp"
+
+#include "debug/detector.hpp"
+#include "util/check.hpp"
+
+namespace emutile {
+
+namespace {
+
+/// What a fix changed, so it can be reverted.
+struct AppliedFix {
+  CellId cell;
+  bool function_changed = false;
+  TruthTable old_function;
+  std::vector<std::pair<std::uint32_t, NetId>> rewired;  // (port, old net)
+};
+
+/// Make `cell` in `dut` match its golden counterpart. Returns nullopt if it
+/// already matches.
+std::optional<AppliedFix> apply_fix(Netlist& dut, const Netlist& golden,
+                                    CellId cell) {
+  const Cell& d = dut.cell(cell);
+  const Cell& g = golden.cell(cell);
+  EMUTILE_CHECK(d.kind == CellKind::kLut && g.kind == CellKind::kLut,
+                "corrector handles LUT suspects");
+  AppliedFix fix;
+  fix.cell = cell;
+  if (d.function != g.function) {
+    fix.function_changed = true;
+    fix.old_function = d.function;
+    dut.set_lut_function(cell, g.function);
+  }
+  for (std::uint32_t p = 0; p < d.inputs.size(); ++p) {
+    // Golden net ids are valid in the DUT: the DUT netlist only ever gained
+    // (and lost) test cells beyond the golden baseline.
+    if (d.inputs[p] != g.inputs[p]) {
+      fix.rewired.emplace_back(p, d.inputs[p]);
+      dut.reconnect_input(cell, p, g.inputs[p]);
+    }
+  }
+  if (!fix.function_changed && fix.rewired.empty()) return std::nullopt;
+  return fix;
+}
+
+void revert_fix(Netlist& dut, const AppliedFix& fix) {
+  if (fix.function_changed) dut.set_lut_function(fix.cell, fix.old_function);
+  for (const auto& [port, old_net] : fix.rewired)
+    dut.reconnect_input(fix.cell, port, old_net);
+}
+
+}  // namespace
+
+CorrectionResult correct_design(TiledDesign& dut, const Netlist& golden,
+                                std::span<const CellId> suspects,
+                                std::span<const Pattern> patterns,
+                                const EcoOptions& options) {
+  CorrectionResult result;
+  for (CellId suspect : suspects) {
+    auto fix = apply_fix(dut.netlist, golden, suspect);
+    if (!fix) continue;  // structurally identical to spec — not the bug
+    ++result.attempts;
+
+    // Physical update: the paper's flow clears and re-implements the tile
+    // holding the change (steps 17-20).
+    EcoChange change;
+    change.modified_cells = {suspect};
+    const EcoOutcome eco = TilingEngine::apply_change(dut, change, options);
+    EMUTILE_CHECK(eco.success, "correction ECO failed");
+    result.total_effort += eco.effort;
+
+    const DetectResult check = detect_errors(dut.netlist, golden, patterns);
+    if (!check.error_detected) {
+      result.corrected = true;
+      result.fixed_cell = suspect;
+      return result;
+    }
+
+    // Wrong suspect: revert (another debugging iteration's worth of effort).
+    revert_fix(dut.netlist, *fix);
+    EcoChange undo;
+    undo.modified_cells = {suspect};
+    const EcoOutcome back = TilingEngine::apply_change(dut, undo, options);
+    EMUTILE_CHECK(back.success, "correction revert ECO failed");
+    result.total_effort += back.effort;
+  }
+  return result;
+}
+
+}  // namespace emutile

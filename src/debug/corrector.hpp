@@ -1,0 +1,35 @@
+#pragma once
+/// \file corrector.hpp
+/// Error correction (paper Section 5): express a candidate fix as a netlist
+/// edit, apply it through the tiling engine (steps 17-20), and verify by
+/// re-emulation. Suspects are tried in order; a fix that does not make the
+/// design match golden behaviour is reverted (another tiled ECO).
+///
+/// The reference netlist stands in for designer knowledge of the intended
+/// behaviour: a suspect's fix is "make this cell match the specification".
+
+#include <span>
+
+#include "core/tiled_design.hpp"
+#include "core/tiling_engine.hpp"
+#include "sim/patterns.hpp"
+
+namespace emutile {
+
+struct CorrectionResult {
+  bool corrected = false;
+  CellId fixed_cell;
+  int attempts = 0;          ///< suspects tried
+  PnrEffort total_effort;    ///< all fix/revert ECOs
+};
+
+/// Try to repair `dut` so it matches `golden` on `patterns`. Returns after
+/// the first verified fix. Suspects whose netlist view already matches
+/// golden are skipped for free.
+[[nodiscard]] CorrectionResult correct_design(TiledDesign& dut,
+                                              const Netlist& golden,
+                                              std::span<const CellId> suspects,
+                                              std::span<const Pattern> patterns,
+                                              const EcoOptions& options);
+
+}  // namespace emutile

@@ -1,0 +1,61 @@
+#include "debug/debug_loop.hpp"
+
+#include "sim/patterns.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace emutile {
+
+DebugSessionReport run_debug_session(const Netlist& golden_netlist,
+                                     const DebugSessionOptions& options) {
+  DebugSessionReport report;
+
+  // The design under test: golden plus one injected design error (the bug
+  // "shipped" in the HDL, so it is part of the original implementation).
+  Netlist dut_netlist = golden_netlist;
+  report.injected =
+      inject_error(dut_netlist, options.error_kind, options.seed);
+
+  // Steps 1-8: implement with resource slack and locked tiles.
+  TilingParams tp = options.tiling;
+  tp.seed = options.seed;
+  TiledDesign dut = TilingEngine::build(std::move(dut_netlist), tp);
+  report.build_effort = dut.build_effort;
+  report.design_clbs = dut.packed.num_clbs();
+
+  // Step 10: test patterns (software).
+  const std::vector<Pattern> patterns = random_patterns(
+      golden_netlist.primary_inputs().size(), options.num_patterns,
+      options.seed ^ 0xA5A5ULL);
+
+  // Detection.
+  report.detection = detect_errors(dut.netlist, golden_netlist, patterns);
+  if (!report.detection.error_detected) {
+    EMUTILE_INFO("injected error not excited by " << patterns.size()
+                                                  << " patterns");
+    return report;
+  }
+
+  // Localization (steps 16-21, iterated).
+  LocalizerOptions lo = options.localizer;
+  lo.eco = options.eco;
+  report.localization = localize(dut, golden_netlist,
+                                 report.detection.failing_output, patterns, lo);
+  report.debug_effort += report.localization.total_effort;
+
+  // Correction (Section 5) and re-verification.
+  report.correction =
+      correct_design(dut, golden_netlist, report.localization.suspects,
+                     patterns, options.eco);
+  report.debug_effort += report.correction.total_effort;
+
+  if (report.correction.corrected) {
+    const DetectResult final_check =
+        detect_errors(dut.netlist, golden_netlist, patterns);
+    report.final_clean = !final_check.error_detected;
+    dut.validate();
+  }
+  return report;
+}
+
+}  // namespace emutile

@@ -1,0 +1,45 @@
+#pragma once
+/// \file debug_loop.hpp
+/// The complete emulation debugging cycle of paper Section 3.1: build with
+/// tiling, generate patterns, detect, localize, correct, re-verify — with
+/// the back-end CAD effort of every iteration metered.
+
+#include <cstdint>
+
+#include "core/tiled_design.hpp"
+#include "core/tiling_engine.hpp"
+#include "debug/corrector.hpp"
+#include "debug/detector.hpp"
+#include "debug/error_injector.hpp"
+#include "debug/localizer.hpp"
+#include "netlist/netlist.hpp"
+
+namespace emutile {
+
+struct DebugSessionOptions {
+  ErrorKind error_kind = ErrorKind::kWrongPolarity;
+  std::uint64_t seed = 1;
+  std::size_t num_patterns = 512;
+  TilingParams tiling;
+  LocalizerOptions localizer;
+  EcoOptions eco;
+};
+
+struct DebugSessionReport {
+  InjectedError injected;
+  DetectResult detection;
+  LocalizeResult localization;
+  CorrectionResult correction;
+  bool final_clean = false;     ///< re-verification after correction
+  PnrEffort build_effort;       ///< initial tiled implementation
+  PnrEffort debug_effort;       ///< all debugging-iteration ECOs
+  std::size_t design_clbs = 0;
+};
+
+/// Run one full debugging session on (a copy of) `golden_netlist`:
+/// inject an error, implement with tiling, then detect/localize/correct.
+/// Deterministic in options.seed.
+[[nodiscard]] DebugSessionReport run_debug_session(
+    const Netlist& golden_netlist, const DebugSessionOptions& options);
+
+}  // namespace emutile

@@ -1,0 +1,38 @@
+#include "debug/detector.hpp"
+
+#include "sim/simulator.hpp"
+#include "util/check.hpp"
+
+namespace emutile {
+
+DetectResult detect_errors(const Netlist& dut, const Netlist& golden,
+                           std::span<const Pattern> patterns) {
+  EMUTILE_CHECK(dut.primary_inputs().size() == golden.primary_inputs().size(),
+                "DUT and golden input counts differ");
+  const std::size_t num_pos = std::min(dut.primary_outputs().size(),
+                                       golden.primary_outputs().size());
+
+  Simulator sim_dut(dut);
+  Simulator sim_gold(golden);
+  sim_dut.reset();
+  sim_gold.reset();
+
+  DetectResult result;
+  for (const Pattern& p : patterns) {
+    const auto out_dut = sim_dut.step(p);
+    const auto out_gold = sim_gold.step(p);
+    for (std::size_t i = 0; i < num_pos; ++i) {
+      if ((out_dut[i] != 0) != (out_gold[i] != 0)) {
+        result.error_detected = true;
+        result.first_fail_cycle = result.cycles_run;
+        result.failing_output = i;
+        ++result.cycles_run;
+        return result;
+      }
+    }
+    ++result.cycles_run;
+  }
+  return result;
+}
+
+}  // namespace emutile

@@ -1,0 +1,28 @@
+#pragma once
+/// \file detector.hpp
+/// Error detection: run the emulated design against golden simulation over a
+/// pattern set and find the first output mismatch (paper Section 4.1).
+
+#include <cstddef>
+#include <span>
+
+#include "netlist/netlist.hpp"
+#include "sim/patterns.hpp"
+
+namespace emutile {
+
+struct DetectResult {
+  bool error_detected = false;
+  std::size_t first_fail_cycle = 0;
+  std::size_t failing_output = 0;  ///< index into primary_outputs()
+  std::size_t cycles_run = 0;
+};
+
+/// Compare `dut` against `golden` cycle by cycle. Both netlists must have
+/// the same primary inputs; the comparison covers the outputs they share by
+/// position (the DUT may carry extra test logic, which never adds outputs).
+[[nodiscard]] DetectResult detect_errors(const Netlist& dut,
+                                         const Netlist& golden,
+                                         std::span<const Pattern> patterns);
+
+}  // namespace emutile

@@ -1,0 +1,111 @@
+#include "debug/error_injector.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "netlist/netlist_ops.hpp"
+#include "util/check.hpp"
+
+namespace emutile {
+
+const char* to_string(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kLutFunction: return "lut-function";
+    case ErrorKind::kWrongPolarity: return "wrong-polarity";
+    case ErrorKind::kWrongConnection: return "wrong-connection";
+  }
+  return "?";
+}
+
+InjectedError inject_error(Netlist& nl, ErrorKind kind, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CellId> luts;
+  for (CellId id : nl.live_cells())
+    if (nl.cell(id).kind == CellKind::kLut &&
+        nl.cell(id).function.num_inputs() >= 1)
+      luts.push_back(id);
+  EMUTILE_CHECK(!luts.empty(), "no LUTs to inject an error into");
+
+  InjectedError err;
+  err.kind = kind;
+
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    const CellId victim = luts[rng.next_below(luts.size())];
+    const Cell& c = nl.cell(victim);
+    err.cell = victim;
+    err.original = c.function;
+
+    switch (kind) {
+      case ErrorKind::kLutFunction: {
+        TruthTable tt = c.function;
+        const unsigned flips = 1 + static_cast<unsigned>(rng.next_below(2));
+        for (unsigned f = 0; f < flips; ++f) {
+          const unsigned m =
+              static_cast<unsigned>(rng.next_below(tt.num_minterms()));
+          tt.set_bit(m, !tt.bit(m));
+        }
+        if (tt == c.function) continue;  // flipped the same bit twice
+        nl.set_lut_function(victim, tt);
+        err.description = "function bits flipped in '" + c.name + "'";
+        return err;
+      }
+      case ErrorKind::kWrongPolarity: {
+        nl.set_lut_function(victim, c.function.complement());
+        err.description = "output inverted in '" + c.name + "'";
+        return err;
+      }
+      case ErrorKind::kWrongConnection: {
+        const std::uint32_t port =
+            static_cast<std::uint32_t>(rng.next_below(c.inputs.size()));
+        const NetId old_net = c.inputs[port];
+        // The replacement must not be a current input and must not close a
+        // combinational cycle (its driver must be outside our fanout cone).
+        std::unordered_set<std::uint32_t> forbidden_cells;
+        forbidden_cells.insert(victim.value());
+        for (CellId f : fanout_cone(nl, c.output))
+          forbidden_cells.insert(f.value());
+
+        const std::vector<NetId> nets = nl.live_nets();
+        for (int pick = 0; pick < 64; ++pick) {
+          const NetId cand = nets[rng.next_below(nets.size())];
+          if (cand == old_net) continue;
+          if (std::find(c.inputs.begin(), c.inputs.end(), cand) !=
+              c.inputs.end())
+            continue;
+          const Cell& drv = nl.cell(nl.net(cand).driver);
+          if (drv.kind == CellKind::kOutput) continue;
+          if (drv.kind == CellKind::kConst0 || drv.kind == CellKind::kConst1)
+            continue;
+          if (drv.kind == CellKind::kLut &&
+              forbidden_cells.count(nl.net(cand).driver.value()))
+            continue;
+          nl.reconnect_input(victim, port, cand);
+          err.port = port;
+          err.original_net = old_net;
+          err.wrong_net = cand;
+          err.description = "input " + std::to_string(port) + " of '" +
+                            c.name + "' mis-wired to '" + nl.net(cand).name +
+                            "'";
+          return err;
+        }
+        continue;  // try another victim
+      }
+    }
+  }
+  EMUTILE_CHECK(false, "could not inject a " << to_string(kind) << " error");
+  return err;
+}
+
+void revert_error(Netlist& nl, const InjectedError& error) {
+  switch (error.kind) {
+    case ErrorKind::kLutFunction:
+    case ErrorKind::kWrongPolarity:
+      nl.set_lut_function(error.cell, error.original);
+      break;
+    case ErrorKind::kWrongConnection:
+      nl.reconnect_input(error.cell, error.port, error.original_net);
+      break;
+  }
+}
+
+}  // namespace emutile

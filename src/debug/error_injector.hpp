@@ -1,0 +1,46 @@
+#pragma once
+/// \file error_injector.hpp
+/// Design-error models for debug experiments.
+///
+/// Emulation debugging hunts *design* errors (bugs that shipped in the HDL),
+/// not manufacturing faults, so the injector mutates the netlist before the
+/// physical build: a wrong LUT function (coding bug), an inverted function
+/// (polarity bug), or a mis-wired input (connection bug). The record carries
+/// enough ground truth to express the correction as an ECO later.
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace emutile {
+
+enum class ErrorKind : std::uint8_t {
+  kLutFunction,     ///< one or two truth-table minterms flipped
+  kWrongPolarity,   ///< whole function complemented
+  kWrongConnection  ///< one input pin moved to a different net
+};
+
+[[nodiscard]] const char* to_string(ErrorKind kind);
+
+struct InjectedError {
+  ErrorKind kind = ErrorKind::kLutFunction;
+  CellId cell;             ///< the buggy LUT
+  TruthTable original;     ///< pre-error function (kLutFunction/kWrongPolarity)
+  std::uint32_t port = 0;  ///< for kWrongConnection
+  NetId original_net;      ///< correct net of that port
+  NetId wrong_net;         ///< net it was mis-wired to
+  std::string description;
+};
+
+/// Mutate one randomly chosen LUT of `nl`. Guarantees no combinational cycle
+/// is created and that the mutated function actually differs. Deterministic
+/// in `seed`.
+[[nodiscard]] InjectedError inject_error(Netlist& nl, ErrorKind kind,
+                                         std::uint64_t seed);
+
+/// Undo an injected error on the netlist (the "correct fix"). The physical
+/// design must be updated separately (ECO).
+void revert_error(Netlist& nl, const InjectedError& error);
+
+}  // namespace emutile

@@ -1,0 +1,220 @@
+#include "debug/localizer.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "debug/test_logic.hpp"
+#include "netlist/netlist_ops.hpp"
+#include "sim/simulator.hpp"
+#include "util/check.hpp"
+
+namespace emutile {
+
+namespace {
+
+/// Backward sequential cone: all LUTs that can influence `net`, crossing
+/// flip-flops.
+std::vector<CellId> sequential_fanin_luts(const Netlist& nl, NetId net) {
+  std::vector<CellId> luts;
+  std::unordered_set<std::uint32_t> seen_cells;
+  std::vector<NetId> stack{net};
+  while (!stack.empty()) {
+    const NetId n = stack.back();
+    stack.pop_back();
+    const CellId drv = nl.net(n).driver;
+    if (!seen_cells.insert(drv.value()).second) continue;
+    const Cell& c = nl.cell(drv);
+    if (c.kind == CellKind::kLut) {
+      luts.push_back(drv);
+      for (NetId in : c.inputs) stack.push_back(in);
+    } else if (c.kind == CellKind::kDff) {
+      stack.push_back(c.inputs[0]);
+    }
+  }
+  return luts;
+}
+
+/// Physically remove an observation plan: unbind instances, prune route
+/// trees of the probed nets down to their remaining sinks, delete cells.
+PnrEffort remove_test_logic(TiledDesign& design, const ObservationPlan& plan) {
+  PnrEffort effort;
+
+  // Nets driven by test cells lose their routing entirely.
+  for (CellId c : plan.added_cells) {
+    const NetId out = design.netlist.cell(c).output;
+    if (out.valid()) design.routing->rip_up(out);
+  }
+
+  // Release instances: flip-flops first — a LUT may not be unbound while a
+  // local FF still registers it.
+  std::unordered_set<std::uint32_t> insts;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (CellId c : plan.added_cells) {
+      const bool is_ff = design.netlist.cell(c).kind == CellKind::kDff;
+      if ((pass == 0) != is_ff) continue;
+      const InstId inst = design.packed.inst_of_cell(c);
+      if (inst.valid()) insts.insert(inst.value());
+      design.packed.unbind_cell(c);
+    }
+  }
+  for (std::uint32_t iv : insts) {
+    const InstId inst{iv};
+    if (design.placement->is_placed(inst)) design.placement->clear(inst);
+    design.packed.remove_if_empty(inst);
+  }
+
+  // Netlist removal (breaks the signature rings internally).
+  remove_added_cells(design.netlist, plan.added_cells);
+  design.refresh_nets();
+
+  // Probed nets lost their XOR sink: prune the dangling branch in place
+  // (no re-routing; locked tiles stay untouched).
+  for (const ProbePoint& probe : plan.probes) {
+    if (!design.routing->has_tree(probe.probed)) continue;
+    std::vector<RrNodeId> wanted;
+    for (const PhysNet& pn : design.nets) {
+      if (pn.net != probe.probed) continue;
+      for (InstId s : pn.sink_insts)
+        wanted.push_back(design.rr->sink(design.placement->site_of(s)));
+    }
+    design.routing->prune_to_sinks(probe.probed, wanted);
+  }
+  return effort;
+}
+
+}  // namespace
+
+std::vector<CellId> output_cone(const Netlist& nl, std::size_t output_index) {
+  EMUTILE_CHECK(output_index < nl.primary_outputs().size(),
+                "output index out of range");
+  const CellId po = nl.primary_outputs()[output_index];
+  return sequential_fanin_luts(nl, nl.cell(po).inputs[0]);
+}
+
+LocalizeResult localize(TiledDesign& dut, const Netlist& golden,
+                        std::size_t failing_output,
+                        std::span<const Pattern> patterns,
+                        const LocalizerOptions& options) {
+  LocalizeResult result;
+
+  std::vector<CellId> candidates = output_cone(dut.netlist, failing_output);
+  const std::size_t initial_candidates = candidates.size();
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    if (candidates.size() <= options.stop_at) break;
+
+    LocalizeIteration it;
+    it.candidates_before = candidates.size();
+
+    // ---- choose probes: candidate outputs at level quantiles ----
+    const std::vector<int> level = levelize(dut.netlist);
+    std::vector<CellId> by_level = candidates;
+    std::sort(by_level.begin(), by_level.end(), [&](CellId a, CellId b) {
+      return level[a.value()] < level[b.value()];
+    });
+    const int k = std::min<int>(options.probes_per_iteration,
+                                static_cast<int>(by_level.size()));
+    std::unordered_set<std::uint32_t> probe_nets;
+    for (int p = 0; p < k; ++p) {
+      const std::size_t pos =
+          (static_cast<std::size_t>(p) + 1) * by_level.size() /
+          (static_cast<std::size_t>(k) + 1);
+      const CellId cell = by_level[std::min(pos, by_level.size() - 1)];
+      probe_nets.insert(dut.netlist.cell_output(cell).value());
+    }
+    std::vector<NetId> probes;
+    for (std::uint32_t nv : probe_nets) probes.push_back(NetId{nv});
+    it.probes = probes;
+
+    // ---- insert observation logic as a tiled ECO ----
+    const ObservationPlan plan = insert_observation(
+        dut.netlist, probes, "obs_i" + std::to_string(iter));
+    EcoChange change;
+    change.added_cells = plan.added_cells;
+    for (NetId p : probes)
+      change.anchor_cells.push_back(dut.netlist.net(p).driver);
+    const EcoOutcome eco =
+        TilingEngine::apply_change(dut, change, options.eco);
+    EMUTILE_CHECK(eco.success, "observation-logic ECO failed");
+    it.insert_effort = eco.effort;
+    it.tiles_affected = eco.affected.size();
+    result.total_effort += eco.effort;
+
+    // ---- emulate and compare signatures ----
+    Simulator sim(dut.netlist);
+    Simulator gold(golden);
+    sim.reset();
+    gold.reset();
+    std::vector<unsigned> soft_sig(probes.size(), 0);
+    for (const Pattern& p : patterns) {
+      sim.step(p);
+      gold.step(p);
+      for (std::size_t i = 0; i < probes.size(); ++i)
+        soft_sig[i] = signature_step(soft_sig[i], gold.net_value(probes[i]));
+    }
+    it.probe_bad.resize(probes.size());
+    std::vector<NetId> bad_probes, good_probes;
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+      const unsigned hard = read_signature(
+          plan.probes[i], [&](CellId ff) { return sim.ff_state(ff); });
+      const bool bad = hard != soft_sig[i];
+      it.probe_bad[i] = bad ? 1 : 0;
+      (bad ? bad_probes : good_probes).push_back(probes[i]);
+    }
+
+    // ---- remove the test logic (tiled clean-up) ----
+    it.remove_effort = remove_test_logic(dut, plan);
+    result.total_effort += it.remove_effort;
+
+    // ---- narrow candidates ----
+    std::unordered_set<std::uint32_t> cset;
+    for (CellId c : candidates) cset.insert(c.value());
+    const std::size_t before = cset.size();
+
+    // Every bad probe must be explainable: intersect with each bad cone.
+    for (NetId bp : bad_probes) {
+      std::unordered_set<std::uint32_t> cone;
+      for (CellId c : sequential_fanin_luts(dut.netlist, bp))
+        cone.insert(c.value());
+      for (auto sit = cset.begin(); sit != cset.end();)
+        sit = cone.count(*sit) ? std::next(sit) : cset.erase(sit);
+    }
+    // Clean probes exonerate their cones (statistical, see header).
+    if (!good_probes.empty()) {
+      std::unordered_set<std::uint32_t> bad_union;
+      for (NetId bp : bad_probes)
+        for (CellId c : sequential_fanin_luts(dut.netlist, bp))
+          bad_union.insert(c.value());
+      std::unordered_set<std::uint32_t> exonerated;
+      for (NetId gp : good_probes)
+        for (CellId c : sequential_fanin_luts(dut.netlist, gp))
+          if (bad_probes.empty() || !bad_union.count(c.value()))
+            exonerated.insert(c.value());
+      // Never exonerate the drivers of bad probes' cones entirely away.
+      std::unordered_set<std::uint32_t> next;
+      for (std::uint32_t c : cset)
+        if (!exonerated.count(c)) next.insert(c);
+      if (!next.empty()) cset = std::move(next);
+    }
+
+    if (cset.empty()) {
+      // Overshoot — keep the previous set and stop.
+      it.candidates_after = candidates.size();
+      result.iterations.push_back(std::move(it));
+      break;
+    }
+    candidates.clear();
+    for (std::uint32_t c : cset) candidates.push_back(CellId{c});
+    std::sort(candidates.begin(), candidates.end());
+    it.candidates_after = candidates.size();
+    const bool progress = candidates.size() < before;
+    result.iterations.push_back(std::move(it));
+    if (!progress) break;
+  }
+
+  result.suspects = candidates;
+  result.narrowed = candidates.size() < initial_candidates;
+  return result;
+}
+
+}  // namespace emutile

@@ -1,0 +1,62 @@
+#pragma once
+/// \file localizer.hpp
+/// Iterative error localization (paper Sections 4 and 6, steps 16-20).
+///
+/// Each iteration: pick probe nets that bisect the candidate set, insert
+/// signature compactors as a *tiled ECO* (this is where the paper's CAD-
+/// effort savings appear), emulate, harvest signatures by readback, compare
+/// against software-golden signatures, and narrow the candidates — bad
+/// probes implicate their fan-in, clean probes exonerate theirs. The
+/// exoneration is statistical (an error might not perturb a clean probe
+/// under the given patterns), which mirrors real effect-cause debugging;
+/// localize() falls back to the previous candidate set if narrowing
+/// overshoots to the empty set.
+
+#include <span>
+#include <vector>
+
+#include "core/tiled_design.hpp"
+#include "core/tiling_engine.hpp"
+#include "sim/patterns.hpp"
+
+namespace emutile {
+
+struct LocalizerOptions {
+  int probes_per_iteration = 6;
+  int max_iterations = 10;
+  std::size_t stop_at = 2;     ///< stop when this few candidates remain
+  std::uint64_t seed = 17;
+  EcoOptions eco;              ///< engine knobs for the test-logic ECOs
+};
+
+struct LocalizeIteration {
+  std::vector<NetId> probes;
+  std::vector<std::uint8_t> probe_bad;  ///< per probe: signature mismatch
+  std::size_t candidates_before = 0;
+  std::size_t candidates_after = 0;
+  std::size_t tiles_affected = 0;
+  PnrEffort insert_effort;   ///< tiled ECO to add the probes
+  PnrEffort remove_effort;   ///< tiled clean-up afterwards
+};
+
+struct LocalizeResult {
+  bool narrowed = false;                ///< candidate set actually shrank
+  std::vector<CellId> suspects;         ///< final candidates (LUT cells)
+  std::vector<LocalizeIteration> iterations;
+  PnrEffort total_effort;
+};
+
+/// Run the localization loop on a tiled design whose netlist misbehaves on
+/// `patterns` at primary output `failing_output` (from detect_errors).
+/// `golden` is the reference netlist (same cell/net ids, pre-error).
+[[nodiscard]] LocalizeResult localize(TiledDesign& dut, const Netlist& golden,
+                                      std::size_t failing_output,
+                                      std::span<const Pattern> patterns,
+                                      const LocalizerOptions& options);
+
+/// Sequential cone of influence of a primary output: every LUT that can
+/// reach it combinationally or through flip-flops.
+[[nodiscard]] std::vector<CellId> output_cone(const Netlist& nl,
+                                              std::size_t output_index);
+
+}  // namespace emutile

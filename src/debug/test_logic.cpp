@@ -1,0 +1,171 @@
+#include "debug/test_logic.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace emutile {
+
+ObservationPlan insert_observation(Netlist& nl,
+                                   const std::vector<NetId>& probes,
+                                   const std::string& tag) {
+  ObservationPlan plan;
+  int idx = 0;
+  for (NetId probe : probes) {
+    const std::string base = tag + "_p" + std::to_string(idx++);
+    ProbePoint pp;
+    pp.probed = probe;
+
+    // Ring: ff0 <- xor(ff3, probe); ff1 <- ff0; ff2 <- ff1; ff3 <- ff2.
+    // Create the XOR first with a placeholder second input (the probe twice),
+    // then rewire once ff3 exists — keeps construction single-pass safe.
+    const CellId xor_lut = nl.add_lut(base + "_x", TruthTable::xor_all(2),
+                                      {probe, probe});
+    const CellId ff0 = nl.add_dff(base + "_s0", nl.cell_output(xor_lut));
+    const CellId ff1 = nl.add_dff(base + "_s1", nl.cell_output(ff0));
+    const CellId ff2 = nl.add_dff(base + "_s2", nl.cell_output(ff1));
+    const CellId ff3 = nl.add_dff(base + "_s3", nl.cell_output(ff2));
+    nl.reconnect_input(xor_lut, 1, nl.cell_output(ff3));
+
+    pp.xor_lut = xor_lut;
+    pp.sig_ffs = {ff0, ff1, ff2, ff3};
+    plan.added_cells.insert(plan.added_cells.end(),
+                            {xor_lut, ff0, ff1, ff2, ff3});
+    plan.probes.push_back(std::move(pp));
+  }
+  nl.validate();
+  return plan;
+}
+
+ControlPoint insert_control(Netlist& nl, NetId net, const std::string& tag) {
+  ControlPoint cp;
+  cp.controlled = net;
+
+  // Snapshot the sinks to be rewired before adding any test logic.
+  std::vector<PinRef> old_sinks = nl.net(net).sinks;
+
+  // 4-bit LFSR (x^4 + x^3 + 1): fb = q3 ^ q2; q0 <- fb; qi <- q(i-1).
+  const CellId fb = nl.add_lut(tag + "_fb", TruthTable::xor_all(2),
+                               {net, net});  // placeholder inputs
+  const CellId q0 = nl.add_dff(tag + "_q0", nl.cell_output(fb));
+  const CellId q1 = nl.add_dff(tag + "_q1", nl.cell_output(q0));
+  const CellId q2 = nl.add_dff(tag + "_q2", nl.cell_output(q1));
+  const CellId q3 = nl.add_dff(tag + "_q3", nl.cell_output(q2));
+  nl.reconnect_input(fb, 0, nl.cell_output(q3));
+  nl.reconnect_input(fb, 1, nl.cell_output(q2));
+  // An all-zero LFSR stays zero; inject a constant-escape: q0's D is
+  // fb XOR NOT(q0 | q1 | q2 | q3) would cost another LUT — instead make the
+  // feedback LUT 3-input: fb = q3 ^ q2 ^ NOR(q3, q2). Truth: for (a=q3,b=q2):
+  // f = a^b^!(a|b) -> 00:1, 01:1, 10:1, 11:0 -> NAND. That self-starts.
+  {
+    TruthTable nand2 = TruthTable::nand_all(2);
+    nl.set_lut_function(fb, nand2);
+  }
+
+  // 3-bit trigger counter; sel = AND(c0, c1, c2) (1 cycle in 8).
+  const CellId c0_lut = nl.add_lut(tag + "_c0n", TruthTable::inverter(),
+                                   {nl.cell_output(q0)});  // placeholder input
+  const CellId c0 = nl.add_dff(tag + "_c0", nl.cell_output(c0_lut));
+  nl.reconnect_input(c0_lut, 0, nl.cell_output(c0));
+  // c1 toggles when c0 is 1: c1' = c1 ^ c0.
+  const CellId c1_lut = nl.add_lut(tag + "_c1x", TruthTable::xor_all(2),
+                                   {nl.cell_output(c0), nl.cell_output(c0)});
+  const CellId c1 = nl.add_dff(tag + "_c1", nl.cell_output(c1_lut));
+  nl.reconnect_input(c1_lut, 1, nl.cell_output(c1));
+  // c2' = c2 ^ (c0 & c1).
+  TruthTable c2_tt(3);  // inputs (c0, c1, c2): f = c2 ^ (c0 & c1)
+  for (unsigned m = 0; m < 8; ++m) {
+    const bool a = m & 1u, b = (m >> 1) & 1u, c = (m >> 2) & 1u;
+    c2_tt.set_bit(m, c ^ (a && b));
+  }
+  const CellId c2_lut =
+      nl.add_lut(tag + "_c2x", c2_tt,
+                 {nl.cell_output(c0), nl.cell_output(c1), nl.cell_output(c1)});
+  const CellId c2 = nl.add_dff(tag + "_c2", nl.cell_output(c2_lut));
+  nl.reconnect_input(c2_lut, 2, nl.cell_output(c2));
+
+  const CellId sel = nl.add_lut(
+      tag + "_sel", TruthTable::and_all(3),
+      {nl.cell_output(c0), nl.cell_output(c1), nl.cell_output(c2)});
+
+  // Mux: inputs (sel, original, injected) -> sel ? injected : original.
+  const CellId mux =
+      nl.add_lut(tag + "_mux", TruthTable::mux21(),
+                 {nl.cell_output(sel), net, nl.cell_output(q0)});
+  cp.mux_lut = mux;
+
+  // Rewire the original sinks onto the mux output.
+  std::unordered_set<std::uint32_t> rewired;
+  for (const PinRef& pin : old_sinks) {
+    nl.reconnect_input(pin.cell, pin.port, nl.cell_output(mux));
+    if (rewired.insert(pin.cell.value()).second)
+      cp.rewired.push_back(pin.cell);
+  }
+
+  cp.added_cells = {fb, q0, q1, q2, q3, c0_lut, c0,  c1_lut,
+                    c1, c2_lut, c2, sel, mux};
+  nl.validate();
+  return cp;
+}
+
+void remove_added_cells(Netlist& nl, const std::vector<CellId>& added) {
+  std::unordered_set<std::uint32_t> pending;
+  for (CellId c : added) pending.insert(c.value());
+  EMUTILE_CHECK(!nl.primary_inputs().empty(),
+                "removal needs a parking net (no primary inputs)");
+  const NetId park = nl.cell_output(nl.primary_inputs().front());
+
+  while (!pending.empty()) {
+    // Peel cells whose outputs have no remaining sinks.
+    bool progress = false;
+    for (auto it = pending.begin(); it != pending.end();) {
+      const CellId id{*it};
+      const Cell& c = nl.cell(id);
+      if (!c.output.valid() || nl.net(c.output).sinks.empty()) {
+        nl.remove_cell(id);
+        it = pending.erase(it);
+        progress = true;
+      } else {
+        ++it;
+      }
+    }
+    if (progress) continue;
+
+    // Stuck: the test logic contains feedback (e.g. the signature ring).
+    // Break one internal edge by parking a pending-to-pending input on a
+    // neutral net; the cells are about to be deleted, so the temporary
+    // rewiring never becomes observable.
+    bool broke = false;
+    for (std::uint32_t cv : pending) {
+      const CellId id{cv};
+      const Cell& c = nl.cell(id);
+      for (std::uint32_t port = 0; port < c.inputs.size() && !broke; ++port) {
+        const NetId in = c.inputs[port];
+        if (in == park) continue;
+        if (pending.count(nl.net(in).driver.value())) {
+          nl.reconnect_input(id, port, park);
+          broke = true;
+        }
+      }
+      if (broke) break;
+    }
+    EMUTILE_CHECK(broke,
+                  "test-logic removal stuck: a listed cell still has "
+                  "external fanout");
+  }
+  nl.validate();
+}
+
+void remove_control(Netlist& nl, const ControlPoint& cp) {
+  // Restore the original connectivity before deleting the test hardware.
+  for (CellId sink : cp.rewired) {
+    const Cell& c = nl.cell(sink);
+    for (std::uint32_t port = 0; port < c.inputs.size(); ++port)
+      if (c.inputs[port] == nl.cell_output(cp.mux_lut))
+        nl.reconnect_input(sink, port, cp.controlled);
+  }
+  remove_added_cells(nl, cp.added_cells);
+}
+
+}  // namespace emutile

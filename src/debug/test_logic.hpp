@@ -1,0 +1,84 @@
+#pragma once
+/// \file test_logic.hpp
+/// Control and observation logic (paper Section 4).
+///
+/// Observation: each probed net gets a 4-bit signature compactor (a small
+/// MISR): one XOR LUT folding the probe into a 4-stage flip-flop ring. After
+/// an emulation run the signature is harvested by readback and compared with
+/// a software-computed golden signature — the paper's "logic which
+/// automatically detects an error upon its occurrence".
+///
+/// Control: a probed net can be overridden through an inserted 2:1 mux fed
+/// by an on-chip pattern source (4-bit LFSR) and gated by a trigger counter,
+/// the paper's "logic inputs specific state to suspected design error
+/// areas". Inserting the mux rewires every sink of the controlled net, so
+/// control points affect every tile those sinks occupy — exactly the
+/// distributed-test-point cost the paper discusses for Figure 4.
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace emutile {
+
+/// One probe's observation hardware.
+struct ProbePoint {
+  NetId probed;
+  CellId xor_lut;               ///< folds probe into the ring
+  std::vector<CellId> sig_ffs;  ///< 4 flip-flops; [0] is the XOR'd stage
+};
+
+/// Result of inserting observation logic.
+struct ObservationPlan {
+  std::vector<ProbePoint> probes;
+  std::vector<CellId> added_cells;  ///< everything, for EcoChange/removal
+};
+
+/// Bits per signature compactor.
+inline constexpr int kSignatureBits = 4;
+
+/// Insert a signature compactor on every net in `probes`.
+/// `tag` disambiguates cell names across iterations.
+[[nodiscard]] ObservationPlan insert_observation(Netlist& nl,
+                                                 const std::vector<NetId>& probes,
+                                                 const std::string& tag);
+
+/// Software model of the compactor (must mirror the hardware exactly):
+/// state' = shift left, stage0 = old stage3 XOR probe.
+[[nodiscard]] inline unsigned signature_step(unsigned state, bool probe) {
+  return ((state << 1) & 0xEu) | (((state >> 3) & 1u) ^ (probe ? 1u : 0u));
+}
+
+/// Read the hardware signature from flip-flop states (bit i = sig_ffs[i]).
+template <typename FfReader>
+[[nodiscard]] unsigned read_signature(const ProbePoint& probe,
+                                      FfReader&& ff_state) {
+  unsigned sig = 0;
+  for (int i = 0; i < kSignatureBits; ++i)
+    if (ff_state(probe.sig_ffs[static_cast<std::size_t>(i)])) sig |= 1u << i;
+  return sig;
+}
+
+/// One control point's hardware.
+struct ControlPoint {
+  NetId controlled;              ///< original net
+  CellId mux_lut;                ///< sel ? injected : original
+  std::vector<CellId> rewired;   ///< sink cells moved onto the mux output
+  std::vector<CellId> added_cells;
+};
+
+/// Insert a controllability mux on `net`, driven by a fresh 4-bit LFSR and a
+/// 3-bit trigger counter (asserts injection 1 cycle in 8).
+[[nodiscard]] ControlPoint insert_control(Netlist& nl, NetId net,
+                                          const std::string& tag);
+
+/// Remove previously added test cells from the netlist (reverse dependency
+/// order; the physical clean-up is the caller's ECO). For control points use
+/// remove_control, which first restores the original connectivity.
+void remove_added_cells(Netlist& nl, const std::vector<CellId>& added);
+
+/// Undo a control point: rewire its sinks back to the controlled net, then
+/// delete the mux/LFSR/counter cells.
+void remove_control(Netlist& nl, const ControlPoint& cp);
+
+}  // namespace emutile

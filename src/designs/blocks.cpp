@@ -1,0 +1,243 @@
+#include "designs/blocks.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace emutile {
+
+namespace {
+NetId lut2(Netlist& nl, const TruthTable& tt, NetId a, NetId b,
+           const std::string& name) {
+  return nl.cell_output(nl.add_lut(name, tt, {a, b}));
+}
+}  // namespace
+
+NetId b_not(Netlist& nl, NetId a, const std::string& name) {
+  return nl.cell_output(nl.add_lut(name, TruthTable::inverter(), {a}));
+}
+
+NetId b_and2(Netlist& nl, NetId a, NetId b, const std::string& name) {
+  return lut2(nl, TruthTable::and_all(2), a, b, name);
+}
+
+NetId b_or2(Netlist& nl, NetId a, NetId b, const std::string& name) {
+  return lut2(nl, TruthTable::or_all(2), a, b, name);
+}
+
+NetId b_xor2(Netlist& nl, NetId a, NetId b, const std::string& name) {
+  return lut2(nl, TruthTable::xor_all(2), a, b, name);
+}
+
+NetId b_mux2(Netlist& nl, NetId sel, NetId a, NetId b, const std::string& name) {
+  return nl.cell_output(nl.add_lut(name, TruthTable::mux21(), {sel, a, b}));
+}
+
+Bus b_inputs(Netlist& nl, const std::string& base, int width) {
+  Bus bus;
+  bus.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i)
+    bus.push_back(nl.cell_output(nl.add_input(base + std::to_string(i))));
+  return bus;
+}
+
+void b_outputs(Netlist& nl, const std::string& base, const Bus& bus) {
+  for (std::size_t i = 0; i < bus.size(); ++i)
+    nl.add_output(base + std::to_string(i), bus[i]);
+}
+
+Bus b_register(Netlist& nl, const Bus& d, const std::string& base) {
+  Bus q;
+  q.reserve(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i)
+    q.push_back(nl.cell_output(nl.add_dff(base + std::to_string(i), d[i])));
+  return q;
+}
+
+namespace {
+Bus bitwise(Netlist& nl, const Bus& a, const Bus& b, const std::string& base,
+            const TruthTable& tt) {
+  EMUTILE_CHECK(a.size() == b.size(), "bus width mismatch");
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    out.push_back(lut2(nl, tt, a[i], b[i], base + std::to_string(i)));
+  return out;
+}
+}  // namespace
+
+Bus b_xor_bus(Netlist& nl, const Bus& a, const Bus& b, const std::string& base) {
+  return bitwise(nl, a, b, base, TruthTable::xor_all(2));
+}
+
+Bus b_and_bus(Netlist& nl, const Bus& a, const Bus& b, const std::string& base) {
+  return bitwise(nl, a, b, base, TruthTable::and_all(2));
+}
+
+Bus b_or_bus(Netlist& nl, const Bus& a, const Bus& b, const std::string& base) {
+  return bitwise(nl, a, b, base, TruthTable::or_all(2));
+}
+
+Bus b_mux_bus(Netlist& nl, NetId sel, const Bus& a, const Bus& b,
+              const std::string& base) {
+  EMUTILE_CHECK(a.size() == b.size(), "bus width mismatch");
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    out.push_back(b_mux2(nl, sel, a[i], b[i], base + std::to_string(i)));
+  return out;
+}
+
+AddResult b_adder(Netlist& nl, const Bus& a, const Bus& b, NetId carry_in,
+                  const std::string& base) {
+  EMUTILE_CHECK(a.size() == b.size(), "bus width mismatch");
+  // Full adder truth tables over (a, b, cin).
+  TruthTable sum_tt(3), carry_tt(3);
+  for (unsigned m = 0; m < 8; ++m) {
+    const int ones = __builtin_popcount(m);
+    sum_tt.set_bit(m, ones & 1);
+    carry_tt.set_bit(m, ones >= 2);
+  }
+  AddResult r;
+  NetId carry = carry_in;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::string tag = base + std::to_string(i);
+    r.sum.push_back(nl.cell_output(
+        nl.add_lut(tag + "_s", sum_tt, {a[i], b[i], carry})));
+    carry = nl.cell_output(
+        nl.add_lut(tag + "_c", carry_tt, {a[i], b[i], carry}));
+  }
+  r.carry_out = carry;
+  return r;
+}
+
+namespace {
+NetId reduce_tree(Netlist& nl, std::vector<NetId> nets, const std::string& base,
+                  const TruthTable& tt2, const TruthTable& tt3,
+                  const TruthTable& tt4) {
+  EMUTILE_CHECK(!nets.empty(), "reduction of empty set");
+  int stage = 0;
+  while (nets.size() > 1) {
+    std::vector<NetId> next;
+    for (std::size_t i = 0; i < nets.size(); i += 4) {
+      const std::size_t take = std::min<std::size_t>(4, nets.size() - i);
+      const std::string name =
+          base + "_t" + std::to_string(stage) + "_" + std::to_string(i / 4);
+      if (take == 1) {
+        next.push_back(nets[i]);
+      } else {
+        const TruthTable& tt = take == 2 ? tt2 : take == 3 ? tt3 : tt4;
+        std::vector<NetId> ins(nets.begin() + static_cast<std::ptrdiff_t>(i),
+                               nets.begin() + static_cast<std::ptrdiff_t>(i + take));
+        next.push_back(nl.cell_output(nl.add_lut(name, tt, ins)));
+      }
+    }
+    nets = std::move(next);
+    ++stage;
+  }
+  return nets[0];
+}
+}  // namespace
+
+NetId b_xor_tree(Netlist& nl, std::vector<NetId> nets, const std::string& base) {
+  return reduce_tree(nl, std::move(nets), base, TruthTable::xor_all(2),
+                     TruthTable::xor_all(3), TruthTable::xor_all(4));
+}
+
+NetId b_and_tree(Netlist& nl, std::vector<NetId> nets, const std::string& base) {
+  return reduce_tree(nl, std::move(nets), base, TruthTable::and_all(2),
+                     TruthTable::and_all(3), TruthTable::and_all(4));
+}
+
+NetId b_or_tree(Netlist& nl, std::vector<NetId> nets, const std::string& base) {
+  return reduce_tree(nl, std::move(nets), base, TruthTable::or_all(2),
+                     TruthTable::or_all(3), TruthTable::or_all(4));
+}
+
+NetId b_eq_const(Netlist& nl, const Bus& a, unsigned value,
+                 const std::string& base) {
+  std::vector<NetId> lanes;
+  lanes.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if ((value >> i) & 1u)
+      lanes.push_back(a[i]);
+    else
+      lanes.push_back(b_not(nl, a[i], base + "_n" + std::to_string(i)));
+  }
+  return b_and_tree(nl, std::move(lanes), base);
+}
+
+NetId b_eq_bus(Netlist& nl, const Bus& a, const Bus& b, const std::string& base) {
+  EMUTILE_CHECK(a.size() == b.size(), "bus width mismatch");
+  std::vector<NetId> same;
+  TruthTable xnor2 = TruthTable::xor_all(2).complement();
+  for (std::size_t i = 0; i < a.size(); ++i)
+    same.push_back(lut2(nl, xnor2, a[i], b[i], base + "_e" + std::to_string(i)));
+  return b_and_tree(nl, std::move(same), base);
+}
+
+Bus b_popcount(Netlist& nl, const Bus& a, const std::string& base) {
+  // Reduce buses of partial counts with ripple adders.
+  std::vector<Bus> counts;
+  for (std::size_t i = 0; i < a.size(); ++i) counts.push_back(Bus{a[i]});
+  const CellId zero_cell = nl.add_const(base + "_zero", false);
+  const NetId zero = nl.cell_output(zero_cell);
+  int stage = 0;
+  while (counts.size() > 1) {
+    std::vector<Bus> next;
+    for (std::size_t i = 0; i + 1 < counts.size(); i += 2) {
+      Bus lhs = counts[i], rhs = counts[i + 1];
+      const std::size_t w = std::max(lhs.size(), rhs.size());
+      while (lhs.size() < w) lhs.push_back(zero);
+      while (rhs.size() < w) rhs.push_back(zero);
+      AddResult r = b_adder(nl, lhs, rhs, zero,
+                            base + "_a" + std::to_string(stage) + "_" +
+                                std::to_string(i / 2));
+      Bus sum = r.sum;
+      sum.push_back(r.carry_out);
+      next.push_back(std::move(sum));
+    }
+    if (counts.size() % 2) next.push_back(counts.back());
+    counts = std::move(next);
+    ++stage;
+  }
+  return counts[0];
+}
+
+Bus b_mux_tree(Netlist& nl, const std::vector<Bus>& options, const Bus& sel,
+               const std::string& base) {
+  EMUTILE_CHECK(!options.empty(), "mux tree with no options");
+  EMUTILE_CHECK((options.size() & (options.size() - 1)) == 0,
+                "mux tree needs a power-of-two option count");
+  EMUTILE_CHECK((std::size_t{1} << sel.size()) >= options.size(),
+                "select bus too narrow");
+  std::vector<Bus> layer = options;
+  int stage = 0;
+  while (layer.size() > 1) {
+    std::vector<Bus> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2)
+      next.push_back(b_mux_bus(nl, sel[static_cast<std::size_t>(stage)],
+                               layer[i], layer[i + 1],
+                               base + "_m" + std::to_string(stage) + "_" +
+                                   std::to_string(i / 2) + "_"));
+    layer = std::move(next);
+    ++stage;
+  }
+  return layer[0];
+}
+
+Bus b_sbox(Netlist& nl, const Bus& in6, const std::array<std::uint8_t, 64>& table,
+           const std::string& base) {
+  EMUTILE_CHECK(in6.size() == 6, "S-box takes 6 inputs");
+  Bus out;
+  for (int bit = 0; bit < 4; ++bit) {
+    TruthTable tt(6);
+    for (unsigned m = 0; m < 64; ++m)
+      tt.set_bit(m, (table[m] >> bit) & 1u);
+    out.push_back(nl.cell_output(
+        nl.add_lut(base + "_b" + std::to_string(bit), tt, in6)));
+  }
+  return out;
+}
+
+}  // namespace emutile

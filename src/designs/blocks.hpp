@@ -1,0 +1,82 @@
+#pragma once
+/// \file blocks.hpp
+/// Reusable structural circuit builders. The benchmark generators compose
+/// these into real, simulatable datapaths (adders, comparators, S-boxes,
+/// register files) rather than purely random graphs.
+
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace emutile {
+
+using Bus = std::vector<NetId>;
+
+// ---- gates ----------------------------------------------------------------
+
+NetId b_not(Netlist& nl, NetId a, const std::string& name);
+NetId b_and2(Netlist& nl, NetId a, NetId b, const std::string& name);
+NetId b_or2(Netlist& nl, NetId a, NetId b, const std::string& name);
+NetId b_xor2(Netlist& nl, NetId a, NetId b, const std::string& name);
+/// sel ? b : a
+NetId b_mux2(Netlist& nl, NetId sel, NetId a, NetId b, const std::string& name);
+
+// ---- word-level -----------------------------------------------------------
+
+/// Input bus of `width` fresh primary inputs named base[0..width).
+Bus b_inputs(Netlist& nl, const std::string& base, int width);
+
+/// Expose a bus as primary outputs named base[0..width).
+void b_outputs(Netlist& nl, const std::string& base, const Bus& bus);
+
+/// Register every bit (one DFF per lane).
+Bus b_register(Netlist& nl, const Bus& d, const std::string& base);
+
+/// Bitwise ops over equal-width buses.
+Bus b_xor_bus(Netlist& nl, const Bus& a, const Bus& b, const std::string& base);
+Bus b_and_bus(Netlist& nl, const Bus& a, const Bus& b, const std::string& base);
+Bus b_or_bus(Netlist& nl, const Bus& a, const Bus& b, const std::string& base);
+/// Per-lane 2:1 mux (sel scalar).
+Bus b_mux_bus(Netlist& nl, NetId sel, const Bus& a, const Bus& b,
+              const std::string& base);
+
+/// Ripple-carry adder; returns width sum bits plus carry-out.
+struct AddResult {
+  Bus sum;
+  NetId carry_out;
+};
+AddResult b_adder(Netlist& nl, const Bus& a, const Bus& b, NetId carry_in,
+                  const std::string& base);
+
+/// Balanced XOR reduction of arbitrarily many nets.
+NetId b_xor_tree(Netlist& nl, std::vector<NetId> nets, const std::string& base);
+
+/// Balanced AND/OR reductions.
+NetId b_and_tree(Netlist& nl, std::vector<NetId> nets, const std::string& base);
+NetId b_or_tree(Netlist& nl, std::vector<NetId> nets, const std::string& base);
+
+/// a == constant (bit i of `value` against lane i).
+NetId b_eq_const(Netlist& nl, const Bus& a, unsigned value,
+                 const std::string& base);
+
+/// a == b (equal widths).
+NetId b_eq_bus(Netlist& nl, const Bus& a, const Bus& b, const std::string& base);
+
+/// Population count: returns ceil(log2(width+1)) bits.
+Bus b_popcount(Netlist& nl, const Bus& a, const std::string& base);
+
+/// N-way one-hot-free mux tree: options.size() must be a power of two and
+/// sel wide enough to address them.
+Bus b_mux_tree(Netlist& nl, const std::vector<Bus>& options, const Bus& sel,
+               const std::string& base);
+
+/// A 6-input, 4-output S-box from a 64-entry table of 4-bit values. Emitted
+/// as four 6-input LUT cells (synthesize() later Shannon-decomposes them
+/// into 4-LUT trees, exactly how wide functions map onto the XC4000).
+Bus b_sbox(Netlist& nl, const Bus& in6, const std::array<std::uint8_t, 64>& table,
+           const std::string& base);
+
+}  // namespace emutile

@@ -1,0 +1,416 @@
+#include "designs/catalog.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "designs/blocks.hpp"
+#include "netlist/netlist_ops.hpp"
+#include "synth/lut_mapper.hpp"
+#include "synth/packer.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace emutile {
+
+namespace {
+
+constexpr std::array<PaperDesign, 9> kPaperDesigns = {{
+    {"9sym", 56, 0.217, -0.045, false},
+    {"styr", 98, 0.210, 0.074, true},
+    {"sand", 100, 0.220, 0.129, true},
+    {"c499", 115, 0.223, 0.000, false},
+    {"planet1", 115, 0.211, 0.137, true},
+    {"c880", 135, 0.227, -0.055, false},
+    {"s9234", 235, 0.205, -0.014, true},
+    {"MIPS R2000", 900, 0.190, 0.047, true},
+    {"DES", 1050, 0.200, 0.036, true},
+}};
+
+/// Random 3-4 input function over randomly selected nets from `pool` with a
+/// strong locality bias toward recently created nets. Real circuits average
+/// about three used LUT inputs with Rent exponents well below 1; without the
+/// bias the filler logic dominates routing demand and distorts the channel
+/// width the experiments need.
+NetId random_cone(Netlist& nl, std::vector<NetId>& pool, Rng& rng,
+                  const std::string& name) {
+  const int k = rng.next_bool(0.3) ? 4 : 3;
+  std::vector<NetId> ins;
+  for (int i = 0; i < k; ++i) {
+    std::size_t idx;
+    if (rng.next_bool(0.85) && pool.size() > 32) {
+      // Local: among the most recent 32 nets.
+      idx = pool.size() - 1 - rng.next_below(32);
+    } else {
+      idx = rng.next_below(pool.size());
+    }
+    ins.push_back(pool[idx]);
+  }
+  TruthTable tt(k);
+  do {
+    for (unsigned m = 0; m < tt.num_minterms(); ++m)
+      tt.set_bit(m, rng.next_bool(0.5));
+  } while (tt.is_constant(false) || tt.is_constant(true));
+  const CellId lut = nl.add_lut(name, tt, ins);
+  const NetId out = nl.cell_output(lut);
+  pool.push_back(out);
+  return out;
+}
+
+// ---- the nine generators --------------------------------------------------
+
+Netlist gen_9sym(std::uint64_t) {
+  Netlist nl("9sym");
+  const Bus in = b_inputs(nl, "i", 9);
+  const Bus count = b_popcount(nl, in, "pc");
+  // Output high when the number of ones is in [3, 6] (the symmetric
+  // threshold family 9sym belongs to).
+  std::vector<NetId> hits;
+  for (unsigned v = 3; v <= 6; ++v)
+    hits.push_back(b_eq_const(nl, count, v, "eq" + std::to_string(v)));
+  nl.add_output("sym", b_or_tree(nl, std::move(hits), "any"));
+  return nl;
+}
+
+Netlist gen_c499(std::uint64_t seed) {
+  // Single-error-correcting code circuit in the spirit of c499: data lines
+  // plus check lines; syndrome decode selects the lane to flip. Sized below
+  // the Table 1 target; pad_to_clbs closes the gap.
+  Netlist nl("c499");
+  Rng rng(seed);
+  constexpr int kData = 20, kCheck = 6;
+  const Bus data = b_inputs(nl, "d", kData);
+  const Bus check = b_inputs(nl, "c", kCheck);
+  // Parity subsets: lane i participates in check j if bit j of code(i).
+  std::vector<unsigned> code(kData);
+  for (int i = 0; i < kData; ++i)
+    code[static_cast<std::size_t>(i)] = static_cast<unsigned>(i) + 1;
+  (void)rng;
+  Bus syndrome;
+  for (int j = 0; j < kCheck; ++j) {
+    std::vector<NetId> taps{check[static_cast<std::size_t>(j)]};
+    for (int i = 0; i < kData; ++i)
+      if ((code[static_cast<std::size_t>(i)] >> j) & 1u)
+        taps.push_back(data[static_cast<std::size_t>(i)]);
+    syndrome.push_back(b_xor_tree(nl, std::move(taps), "syn" + std::to_string(j)));
+  }
+  Bus corrected;
+  for (int i = 0; i < kData; ++i) {
+    const NetId flip = b_eq_const(nl, syndrome, code[static_cast<std::size_t>(i)],
+                                  "hit" + std::to_string(i));
+    corrected.push_back(b_xor2(nl, data[static_cast<std::size_t>(i)], flip,
+                               "fix" + std::to_string(i)));
+  }
+  b_outputs(nl, "o", corrected);
+  return nl;
+}
+
+Netlist gen_c880(std::uint64_t) {
+  // 8-bit ALU slice in the spirit of c880.
+  Netlist nl("c880");
+  const Bus a = b_inputs(nl, "a", 8);
+  const Bus b = b_inputs(nl, "b", 8);
+  const Bus op = b_inputs(nl, "op", 2);
+  const NetId cin = nl.cell_output(nl.add_input("cin"));
+
+  const AddResult sum = b_adder(nl, a, b, cin, "add");
+  const Bus land = b_and_bus(nl, a, b, "and");
+  const Bus lor = b_or_bus(nl, a, b, "or");
+  const Bus lxor = b_xor_bus(nl, a, b, "xor");
+  const Bus r01 = b_mux_bus(nl, op[0], sum.sum, land, "m01");
+  const Bus r23 = b_mux_bus(nl, op[0], lor, lxor, "m23");
+  const Bus result = b_mux_bus(nl, op[1], r01, r23, "res");
+  b_outputs(nl, "y", result);
+  nl.add_output("cout", sum.carry_out);
+  // Zero flag.
+  std::vector<NetId> lanes(result.begin(), result.end());
+  nl.add_output("zero", b_not(nl, b_or_tree(nl, std::move(lanes), "nz"), "z"));
+  return nl;
+}
+
+/// Moore FSM skeleton with seeded random next-state/output logic — the
+/// structural class styr/sand/planet1 belong to (MCNC FSM benchmarks).
+Netlist gen_fsm(const char* name, std::uint64_t seed, int state_bits,
+                int in_bits, int out_bits) {
+  Netlist nl(name);
+  Rng rng(seed);
+  const Bus in = b_inputs(nl, "x", in_bits);
+
+  // State registers with feedback built after the logic exists: start the
+  // registers from per-bit placeholder nets (inputs), then rewire.
+  std::vector<NetId> pool(in.begin(), in.end());
+  // Temporary state seeds: use inputs as placeholders for state in cones.
+  std::vector<CellId> state_ffs;
+  Bus state;
+  for (int s = 0; s < state_bits; ++s) {
+    const CellId ff =
+        nl.add_dff(std::string("st") + std::to_string(s),
+                   in[static_cast<std::size_t>(s % in_bits)]);
+    state_ffs.push_back(ff);
+    state.push_back(nl.cell_output(ff));
+    pool.push_back(nl.cell_output(ff));
+  }
+  // Next-state cones (depth 2-3 of random 4-LUTs over inputs+state).
+  for (int s = 0; s < state_bits; ++s) {
+    NetId d = random_cone(nl, pool, rng, "ns" + std::to_string(s) + "_a");
+    d = random_cone(nl, pool, rng, "ns" + std::to_string(s) + "_b");
+    nl.reconnect_input(state_ffs[static_cast<std::size_t>(s)], 0, d);
+  }
+  // Output cones.
+  for (int o = 0; o < out_bits; ++o)
+    nl.add_output("y" + std::to_string(o),
+                  random_cone(nl, pool, rng, "of" + std::to_string(o)));
+  return nl;
+}
+
+Netlist gen_s9234(std::uint64_t seed) {
+  // Large scan-sequential circuit: several interacting registered pipelines
+  // plus random cones, in the structural class of s9234.
+  Netlist nl("s9234");
+  Rng rng(seed);
+  const Bus in = b_inputs(nl, "x", 19);  // s9234 has 19 usable PIs
+  std::vector<NetId> pool(in.begin(), in.end());
+
+  Bus stage = in;
+  for (int p = 0; p < 4; ++p) {
+    // Random combinational layer then a register bank.
+    Bus comb;
+    for (int i = 0; i < 24; ++i)
+      comb.push_back(random_cone(nl, pool, rng,
+                                 "p" + std::to_string(p) + "_c" +
+                                     std::to_string(i)));
+    stage = b_register(nl, comb, "p" + std::to_string(p) + "_r");
+    for (NetId q : stage) pool.push_back(q);
+  }
+  for (int o = 0; o < 22; ++o)
+    nl.add_output("y" + std::to_string(o),
+                  random_cone(nl, pool, rng, "out" + std::to_string(o)));
+  return nl;
+}
+
+Netlist gen_mips(std::uint64_t seed) {
+  // MIPS R2000-style datapath slice: 8x32 register file (mux-read,
+  // decoded write), 32-bit ALU, PC chain, branch compare.
+  Netlist nl("mips_r2000");
+  Rng rng(seed);
+  (void)rng;
+  const Bus instr = b_inputs(nl, "ins", 16);  // opcode+rs+rt+rd fields
+  const Bus imm = b_inputs(nl, "imm", 32);
+  const CellId zero_c = nl.add_const("k0", false);
+  const NetId zero = nl.cell_output(zero_c);
+
+  const Bus rs(instr.begin() + 0, instr.begin() + 3);
+  const Bus rt(instr.begin() + 3, instr.begin() + 6);
+  const Bus rd(instr.begin() + 6, instr.begin() + 9);
+  const Bus op(instr.begin() + 9, instr.begin() + 12);
+
+  // Register file storage: 8 registers x 32 bits, write-enable decode.
+  std::vector<Bus> regs;
+  std::vector<std::vector<CellId>> reg_ffs(8);
+  for (int r = 0; r < 8; ++r) {
+    Bus q;
+    for (int bit = 0; bit < 32; ++bit) {
+      const CellId ff = nl.add_dff(
+          "r" + std::to_string(r) + "_b" + std::to_string(bit), zero);
+      reg_ffs[static_cast<std::size_t>(r)].push_back(ff);
+      q.push_back(nl.cell_output(ff));
+    }
+    regs.push_back(std::move(q));
+  }
+
+  const Bus a = b_mux_tree(nl, regs, rs, "rda");
+  const Bus bq = b_mux_tree(nl, regs, rt, "rdb");
+  const Bus b = b_mux_bus(nl, op[2], bq, imm, "bsel");
+
+  // ALU: add, and, or, xor selected by op[0..1].
+  const AddResult sum = b_adder(nl, a, b, zero, "alu_add");
+  const Bus land = b_and_bus(nl, a, b, "alu_and");
+  const Bus lor = b_or_bus(nl, a, b, "alu_or");
+  const Bus lxor = b_xor_bus(nl, a, b, "alu_xor");
+  const Bus r01 = b_mux_bus(nl, op[0], sum.sum, land, "alu_m0");
+  const Bus r23 = b_mux_bus(nl, op[0], lor, lxor, "alu_m1");
+  const Bus alu = b_mux_bus(nl, op[1], r01, r23, "alu_out");
+
+  // Write-back: reg[rd] <- alu when the decode hits.
+  for (int r = 0; r < 8; ++r) {
+    const NetId we =
+        b_eq_const(nl, rd, static_cast<unsigned>(r), "wdec" + std::to_string(r));
+    for (int bit = 0; bit < 32; ++bit) {
+      const CellId ff = reg_ffs[static_cast<std::size_t>(r)]
+                               [static_cast<std::size_t>(bit)];
+      const NetId d = b_mux2(nl, we, nl.cell_output(ff),
+                             alu[static_cast<std::size_t>(bit)],
+                             "wb" + std::to_string(r) + "_" +
+                                 std::to_string(bit));
+      nl.reconnect_input(ff, 0, d);
+    }
+  }
+
+  // PC chain: pc' = branch && (a == b) ? pc + imm : pc + 4.
+  Bus pc;
+  std::vector<CellId> pc_ffs;
+  for (int bit = 0; bit < 32; ++bit) {
+    const CellId ff = nl.add_dff("pc" + std::to_string(bit), zero);
+    pc_ffs.push_back(ff);
+    pc.push_back(nl.cell_output(ff));
+  }
+  Bus four(32, zero);
+  // +4: constant wired through the adder carry structure (bit 2 = 1).
+  const CellId one_c = nl.add_const("k1", true);
+  four[2] = nl.cell_output(one_c);
+  const AddResult pc4 = b_adder(nl, pc, four, zero, "pc4");
+  const AddResult pct = b_adder(nl, pc, imm, zero, "pct");
+  const NetId taken =
+      b_and2(nl, op[2], b_eq_bus(nl, a, bq, "cmp"), "taken");
+  const Bus pc_next = b_mux_bus(nl, taken, pc4.sum, pct.sum, "pcm");
+  for (int bit = 0; bit < 32; ++bit)
+    nl.reconnect_input(pc_ffs[static_cast<std::size_t>(bit)], 0,
+                       pc_next[static_cast<std::size_t>(bit)]);
+
+  b_outputs(nl, "alu", alu);
+  b_outputs(nl, "pco", Bus(pc.begin(), pc.begin() + 16));
+  return nl;
+}
+
+Netlist gen_des(std::uint64_t seed) {
+  // Key-specific DES in the spirit of [8]: the round keys are constants
+  // folded into the datapath. Five pipelined Feistel rounds land below the
+  // Table 1 size (pad_to_clbs calibrates the rest); S-box contents are
+  // seeded stand-ins with the real 6->4 structure (see DESIGN.md).
+  Netlist nl("des");
+  Rng rng(seed);
+  const Bus block = b_inputs(nl, "pt", 64);
+  Bus left(block.begin(), block.begin() + 32);
+  Bus right(block.begin() + 32, block.end());
+
+  for (int round = 0; round < 5; ++round) {
+    const std::string rt = "r" + std::to_string(round);
+    // Expansion E: 32 -> 48 by indexing (with wraparound pairs duplicated).
+    Bus expanded;
+    for (int i = 0; i < 48; ++i)
+      expanded.push_back(right[static_cast<std::size_t>((i * 2 + i / 6) % 32)]);
+    // Key XOR: key-specific — a 1 bit becomes an inverter, a 0 a wire.
+    for (int i = 0; i < 48; ++i)
+      if (rng.next_bool(0.5))
+        expanded[static_cast<std::size_t>(i)] =
+            b_not(nl, expanded[static_cast<std::size_t>(i)],
+                  rt + "_k" + std::to_string(i));
+    // S-boxes.
+    Bus f_out;
+    for (int s = 0; s < 8; ++s) {
+      std::array<std::uint8_t, 64> table{};
+      for (auto& e : table) e = static_cast<std::uint8_t>(rng.next_below(16));
+      const Bus in6(expanded.begin() + s * 6, expanded.begin() + s * 6 + 6);
+      const Bus out4 = b_sbox(nl, in6, table, rt + "_s" + std::to_string(s));
+      f_out.insert(f_out.end(), out4.begin(), out4.end());
+    }
+    // P permutation: fixed pseudorandom shuffle (seeded, same every round).
+    Bus permuted(32);
+    for (int i = 0; i < 32; ++i)
+      permuted[static_cast<std::size_t>(i)] =
+          f_out[static_cast<std::size_t>((i * 7 + 11) % 32)];
+    // Feistel swap with pipeline registers.
+    const Bus new_right =
+        b_register(nl, b_xor_bus(nl, left, permuted, rt + "_x"), rt + "_R");
+    const Bus new_left = b_register(nl, right, rt + "_L");
+    left = new_left;
+    right = new_right;
+  }
+  b_outputs(nl, "ct_l", left);
+  b_outputs(nl, "ct_r", right);
+  return nl;
+}
+
+}  // namespace
+
+std::span<const PaperDesign> paper_designs() { return kPaperDesigns; }
+
+const PaperDesign& paper_design(const std::string& name) {
+  for (const PaperDesign& d : kPaperDesigns)
+    if (name == d.name) return d;
+  EMUTILE_CHECK(false, "unknown paper design '" << name << "'");
+  return kPaperDesigns[0];
+}
+
+void pad_to_clbs(Netlist& nl, int target_clbs, std::uint64_t seed,
+                 double ff_fraction) {
+  Rng rng(seed);
+  std::vector<NetId> pool = nl.live_nets();
+  EMUTILE_CHECK(!pool.empty(), "cannot pad an empty netlist");
+
+  NetId checksum;
+  int batch_no = 0;
+  for (;;) {
+    const int current = static_cast<int>(pack(nl).num_clbs());
+    if (current >= target_clbs) break;
+    // Roughly 2 LUTs pack per CLB and each batch grows a checksum fold tree
+    // (~batch/3 extra LUTs), so aim below the deficit and converge from
+    // underneath; the final rounds add only a couple of cones.
+    const int deficit = target_clbs - current;
+    const int batch = std::max(2, static_cast<int>(deficit * 1.4));
+    std::vector<NetId> outs;
+    for (int i = 0; i < batch; ++i) {
+      NetId cone = random_cone(nl, pool, rng,
+                               "pad" + std::to_string(batch_no) + "_" +
+                                   std::to_string(i));
+      if (rng.next_bool(ff_fraction)) {
+        const CellId ff = nl.add_dff("padff" + std::to_string(batch_no) + "_" +
+                                         std::to_string(i),
+                                     cone);
+        cone = nl.cell_output(ff);
+        pool.push_back(cone);
+      }
+      outs.push_back(cone);
+    }
+    // Fold the batch into the running checksum so nothing is dead logic.
+    NetId folded = b_xor_tree(nl, std::move(outs),
+                              "padsum" + std::to_string(batch_no));
+    checksum = checksum.valid()
+                   ? b_xor2(nl, checksum, folded,
+                            "padacc" + std::to_string(batch_no))
+                   : folded;
+    pool.push_back(checksum);
+    ++batch_no;
+  }
+  if (checksum.valid()) nl.add_output("checksum", checksum);
+  nl.validate();
+}
+
+Netlist build_paper_design(const std::string& name, std::uint64_t seed) {
+  Netlist nl;
+  bool sequential = false;
+  if (name == "9sym") {
+    nl = gen_9sym(seed);
+  } else if (name == "styr") {
+    nl = gen_fsm("styr", seed, 5, 9, 10);
+    sequential = true;
+  } else if (name == "sand") {
+    nl = gen_fsm("sand", seed, 5, 11, 9);
+    sequential = true;
+  } else if (name == "c499") {
+    nl = gen_c499(seed);
+  } else if (name == "planet1") {
+    nl = gen_fsm("planet1", seed, 6, 7, 19);
+    sequential = true;
+  } else if (name == "c880") {
+    nl = gen_c880(seed);
+  } else if (name == "s9234") {
+    nl = gen_s9234(seed);
+    sequential = true;
+  } else if (name == "MIPS R2000" || name == "mips") {
+    nl = gen_mips(seed);
+    sequential = true;
+  } else if (name == "DES" || name == "des") {
+    nl = gen_des(seed);
+    sequential = true;
+  } else {
+    EMUTILE_CHECK(false, "unknown paper design '" << name << "'");
+  }
+
+  synthesize(nl);
+  const PaperDesign& spec =
+      paper_design(name == "mips" ? "MIPS R2000" : name == "des" ? "DES" : name);
+  pad_to_clbs(nl, spec.clbs, seed ^ 0xBEEF, sequential ? 0.18 : 0.0);
+  return nl;
+}
+
+}  // namespace emutile

@@ -1,0 +1,42 @@
+#pragma once
+/// \file catalog.hpp
+/// The nine evaluation designs of the paper's Table 1, with generators that
+/// rebuild functionally real stand-ins calibrated to the published CLB
+/// counts (see DESIGN.md for the substitution rationale — the original MCNC
+/// netlists and the BYU MIPS/DES cores are not redistributable here, but
+/// real MCNC BLIF files can be fed through parse_blif_file instead).
+
+#include <span>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace emutile {
+
+struct PaperDesign {
+  const char* name;
+  int clbs;                  ///< Table 1 "# CLBs"
+  double area_overhead;      ///< Table 1 "area overhead"
+  double timing_overhead;    ///< Table 1 "timing overhead"
+  bool sequential;
+};
+
+/// Table 1 rows, in paper order.
+[[nodiscard]] std::span<const PaperDesign> paper_designs();
+
+/// Lookup by name (throws on unknown names).
+[[nodiscard]] const PaperDesign& paper_design(const std::string& name);
+
+/// Build a synthesized (4-LUT mapped) netlist for the named design,
+/// calibrated so its packed CLB count lands within ~2% of Table 1.
+/// Deterministic in `seed`.
+[[nodiscard]] Netlist build_paper_design(const std::string& name,
+                                         std::uint64_t seed = 1);
+
+/// Calibration helper: append filler logic cones (locality-biased inputs,
+/// optionally registered) folded into a checksum output until the packed
+/// design reaches `target_clbs`. Exposed for tests and custom designs.
+void pad_to_clbs(Netlist& nl, int target_clbs, std::uint64_t seed,
+                 double ff_fraction);
+
+}  // namespace emutile

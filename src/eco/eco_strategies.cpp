@@ -1,0 +1,167 @@
+#include "eco/eco_strategies.hpp"
+
+#include <unordered_set>
+
+#include "core/flow.hpp"
+#include "place/placer.hpp"
+#include "route/router.hpp"
+#include "util/check.hpp"
+
+namespace emutile {
+
+namespace {
+
+/// Absorb a change's new cells into the packing and refresh caches.
+std::vector<InstId> ingest_change(TiledDesign& design, const EcoChange& change) {
+  const std::vector<InstId> new_insts =
+      pack_increment(design.packed, design.netlist, change.added_cells);
+  design.placement->resize_for(design.packed);
+  design.refresh_nets();
+  return new_insts;
+}
+
+/// Rip and re-route (unconfined) every net with a terminal in `insts`,
+/// plus every net without a route tree. Returns router effort.
+PnrEffort reroute_touching(TiledDesign& design,
+                           const std::unordered_set<std::uint32_t>& insts) {
+  PnrEffort effort;
+  std::vector<NetTask> tasks;
+  for (const PhysNet& pn : design.nets) {
+    bool need = !design.routing->has_tree(pn.net);
+    if (!need && insts.count(pn.src_inst.value())) need = true;
+    if (!need)
+      for (InstId s : pn.sink_insts)
+        if (insts.count(s.value())) {
+          need = true;
+          break;
+        }
+    if (!need) continue;
+    design.routing->rip_up(pn.net);
+    NetTask t;
+    t.net = pn.net;
+    t.source = design.rr->opin(design.placement->site_of(pn.src_inst),
+                               pn.src_opin);
+    for (InstId s : pn.sink_insts)
+      t.sinks.push_back(design.rr->sink(design.placement->site_of(s)));
+    tasks.push_back(std::move(t));
+  }
+
+  Router router(*design.rr);
+  RouterParams rp;
+  const RouteResult rres = router.route(std::move(tasks), *design.routing, rp);
+  effort.nets_routed = rres.nets_routed;
+  effort.nodes_expanded = rres.nodes_expanded;
+  effort.route_ms = rres.wall_ms;
+  if (!rres.success) {
+    // Selective re-route boxed in by the untouched nets: rip everything and
+    // re-route from scratch (what a real incremental tool escalates to).
+    effort += route_all_with_retry(design);
+  }
+  return effort;
+}
+
+}  // namespace
+
+EcoStrategyResult tiled_eco(TiledDesign& design, const EcoChange& change,
+                            const EcoOptions& options) {
+  const EcoOutcome outcome = TilingEngine::apply_change(design, change, options);
+  EcoStrategyResult r;
+  r.success = outcome.success;
+  r.effort = outcome.effort;
+  return r;
+}
+
+EcoStrategyResult quick_eco(TiledDesign& design, const DesignHierarchy& hier,
+                            const EcoChange& change, std::uint64_t seed) {
+  EcoStrategyResult r;
+  const std::vector<InstId> new_insts = ingest_change(design, change);
+
+  // Trace the change to functional blocks (the Quick_ECO linkage).
+  std::vector<CellId> changed = change.modified_cells;
+  changed.insert(changed.end(), change.anchor_cells.begin(),
+                 change.anchor_cells.end());
+  // New cells belong to the blocks they connect into.
+  for (CellId c : change.added_cells) {
+    const Cell& cell = design.netlist.cell(c);
+    for (NetId in : cell.inputs)
+      changed.push_back(design.netlist.net(in).driver);
+  }
+  const std::vector<HierId> blocks = hier.trace_to_blocks(changed);
+  EMUTILE_CHECK(!blocks.empty(), "Quick_ECO: change traces to no block");
+
+  // Movable set: all instances of the affected blocks plus the new logic.
+  std::unordered_set<std::uint32_t> movable;
+  for (HierId b : blocks)
+    for (CellId cell : hier.cells_of(b)) {
+      const InstId inst = design.packed.inst_of_cell(cell);
+      if (inst.valid()) movable.insert(inst.value());
+    }
+  for (InstId id : new_insts) movable.insert(id.value());
+
+  PlaceConstraints constraints(design.packed.inst_bound());
+  for (InstId id : design.packed.live_insts())
+    constraints.set_movable(id, movable.count(id.value()) > 0);
+
+  Placer placer(*design.device, design.packed, design.nets);
+  PlacerParams pp;
+  pp.seed = seed;
+  const PlaceResult pres = placer.place(*design.placement, pp, constraints);
+  r.effort.instances_placed = movable.size();
+  r.effort.place_ms = pres.wall_ms;
+
+  r.effort += reroute_touching(design, movable);
+  r.success = true;
+  return r;
+}
+
+EcoStrategyResult incremental_eco(TiledDesign& design, const EcoChange& change,
+                                  const IncrementalOptions& options) {
+  EcoStrategyResult r;
+  const std::vector<InstId> new_insts = ingest_change(design, change);
+
+  // Snapshot for the moved-instance delta.
+  std::vector<SiteIndex> before(design.packed.inst_bound(), kInvalidSite);
+  for (InstId id : design.packed.live_insts())
+    if (design.placement->is_placed(id))
+      before[id.value()] = design.placement->site_of(id);
+
+  // Low-temperature refinement across the whole design; the new logic is
+  // seeded next to its net neighbors first.
+  PlaceConstraints constraints(design.packed.inst_bound());
+  Placer placer(*design.device, design.packed, design.nets);
+  PlacerParams pp;
+  pp.seed = options.seed;
+  pp.incremental = true;
+  pp.effort = options.refine_effort;
+  const PlaceResult pres = placer.place(*design.placement, pp, constraints);
+  r.effort.place_ms = pres.wall_ms;
+
+  // Every instance that moved drags its nets through re-route.
+  std::unordered_set<std::uint32_t> touched;
+  for (InstId id : design.packed.live_insts()) {
+    const SiteIndex now = design.placement->site_of(id);
+    if (id.value() >= before.size() || before[id.value()] != now)
+      touched.insert(id.value());
+  }
+  for (CellId c : change.modified_cells) {
+    const InstId inst = design.packed.inst_of_cell(c);
+    if (inst.valid()) touched.insert(inst.value());
+  }
+  r.instances_moved = touched.size();
+  r.effort.instances_placed = touched.size();
+
+  r.effort += reroute_touching(design, touched);
+  r.success = true;
+  return r;
+}
+
+EcoStrategyResult full_eco(TiledDesign& design, const EcoChange& change,
+                           std::uint64_t seed) {
+  EcoStrategyResult r;
+  ingest_change(design, change);
+  r.effort = replace_and_reroute_all(design, seed);
+  r.success = true;
+  return r;
+}
+
+}  // namespace emutile

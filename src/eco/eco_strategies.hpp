@@ -1,0 +1,53 @@
+#pragma once
+/// \file eco_strategies.hpp
+/// The ECO strategies the paper compares in Section 6 (Figure 5):
+///
+///  * tiled_eco        — the paper's contribution (delegates to TilingEngine):
+///                       re-place-and-route only the affected tiles.
+///  * quick_eco        — Fang/Wu/Yen DAC'97: trace the change through the
+///                       hierarchy to the affected *functional blocks* and
+///                       re-place-and-route those blocks entirely. With one
+///                       block per design (the paper's experimental setup)
+///                       this re-implements the whole design.
+///  * incremental_eco  — incremental place-and-route: keep the placement,
+///                       legalize new logic nearby, low-temperature
+///                       refinement over the whole design, then rip-up and
+///                       re-route every net touching a moved instance.
+///  * full_eco         — re-place-and-route everything from scratch.
+///
+/// All strategies consume the same EcoChange against the same design state
+/// and report PnrEffort, so benches can compare like for like.
+
+#include "core/tiled_design.hpp"
+#include "core/tiling_engine.hpp"
+#include "hier/hierarchy.hpp"
+
+namespace emutile {
+
+struct EcoStrategyResult {
+  bool success = false;
+  PnrEffort effort;
+  std::size_t instances_moved = 0;  ///< placement deltas (incremental only)
+};
+
+/// The paper's approach. Thin wrapper over TilingEngine::apply_change.
+EcoStrategyResult tiled_eco(TiledDesign& design, const EcoChange& change,
+                            const EcoOptions& options);
+
+/// Functional-block granularity re-implementation (Quick_ECO).
+EcoStrategyResult quick_eco(TiledDesign& design, const DesignHierarchy& hier,
+                            const EcoChange& change, std::uint64_t seed);
+
+/// Incremental place-and-route baseline.
+struct IncrementalOptions {
+  std::uint64_t seed = 11;
+  double refine_effort = 0.35;  ///< fraction of a full anneal's move budget
+};
+EcoStrategyResult incremental_eco(TiledDesign& design, const EcoChange& change,
+                                  const IncrementalOptions& options);
+
+/// Complete re-implementation from scratch.
+EcoStrategyResult full_eco(TiledDesign& design, const EcoChange& change,
+                           std::uint64_t seed);
+
+}  // namespace emutile

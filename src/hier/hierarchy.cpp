@@ -1,0 +1,90 @@
+#include "hier/hierarchy.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace emutile {
+
+DesignHierarchy::DesignHierarchy(std::string design_name) {
+  nodes_.push_back(Node{std::move(design_name), HierId::invalid(), {}});
+}
+
+HierId DesignHierarchy::add_block(const std::string& name) {
+  const HierId id{static_cast<std::uint32_t>(nodes_.size())};
+  nodes_.push_back(Node{name, root(), {}});
+  blocks_.push_back(id);
+  return id;
+}
+
+void DesignHierarchy::bind_cell(CellId cell, HierId block) {
+  EMUTILE_CHECK(block.valid() && block.value() < nodes_.size() &&
+                    block.value() != 0,
+                "bad block id");
+  EMUTILE_CHECK(block_of_cell_.emplace(cell.value(), block).second,
+                "cell bound to two blocks");
+  nodes_[block.value()].cells.push_back(cell);
+}
+
+void DesignHierarchy::bind_remaining(const Netlist& nl, HierId block) {
+  for (CellId id : nl.live_cells())
+    if (block_of_cell_.find(id.value()) == block_of_cell_.end())
+      bind_cell(id, block);
+}
+
+const std::string& DesignHierarchy::name(HierId node) const {
+  EMUTILE_CHECK(node.valid() && node.value() < nodes_.size(), "bad hier id");
+  return nodes_[node.value()].name;
+}
+
+HierId DesignHierarchy::block_of(CellId cell) const {
+  auto it = block_of_cell_.find(cell.value());
+  return it == block_of_cell_.end() ? HierId::invalid() : it->second;
+}
+
+const std::vector<CellId>& DesignHierarchy::cells_of(HierId block) const {
+  EMUTILE_CHECK(block.valid() && block.value() < nodes_.size(), "bad hier id");
+  return nodes_[block.value()].cells;
+}
+
+std::vector<HierId> DesignHierarchy::trace_to_blocks(
+    const std::vector<CellId>& changed) const {
+  std::unordered_set<std::uint32_t> seen;
+  std::vector<HierId> out;
+  for (CellId c : changed) {
+    const HierId b = block_of(c);
+    if (b.valid() && seen.insert(b.value()).second) out.push_back(b);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<TileId> annotate_blocks_to_tiles(const DesignHierarchy& hier,
+                                             const TiledDesign& design,
+                                             const std::vector<HierId>& blocks) {
+  EMUTILE_CHECK(design.tiles.has_value(), "design is not tiled");
+  std::unordered_set<std::uint32_t> tiles;
+  for (HierId b : blocks) {
+    for (CellId cell : hier.cells_of(b)) {
+      const InstId inst = design.packed.inst_of_cell(cell);
+      if (!inst.valid() || !design.packed.inst(inst).is_clb()) continue;
+      if (!design.placement->is_placed(inst)) continue;
+      auto [x, y] = design.device->clb_xy(design.placement->site_of(inst));
+      tiles.insert(design.tiles->tile_at(x, y).value());
+    }
+  }
+  std::vector<TileId> out;
+  out.reserve(tiles.size());
+  for (std::uint32_t t : tiles) out.push_back(TileId{t});
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<TileId> trace_change_to_tiles(const DesignHierarchy& hier,
+                                          const TiledDesign& design,
+                                          const std::vector<CellId>& changed) {
+  return annotate_blocks_to_tiles(hier, design, hier.trace_to_blocks(changed));
+}
+
+}  // namespace emutile

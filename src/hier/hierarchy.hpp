@@ -1,0 +1,75 @@
+#pragma once
+/// \file hierarchy.hpp
+/// Design hierarchy and back annotation (paper Section 5.1).
+///
+/// Partitioning through the design process forms a tree: design -> functional
+/// blocks -> cells. Quick_ECO traces changes through this tree down to the
+/// netlist (functional-block granularity); tiling continues the trace to the
+/// physical level. DesignHierarchy stores the tree and the cell binding;
+/// BackAnnotation maps blocks onward to tiles through the placement.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/tiled_design.hpp"
+#include "netlist/netlist.hpp"
+#include "util/ids.hpp"
+
+namespace emutile {
+
+/// The hierarchy tree. Node 0 is the design root; its children are
+/// functional blocks; cells bind to blocks.
+class DesignHierarchy {
+ public:
+  explicit DesignHierarchy(std::string design_name);
+
+  /// Add a functional block under the root; returns its node.
+  HierId add_block(const std::string& name);
+
+  /// Bind a cell to a block. A cell may be bound once.
+  void bind_cell(CellId cell, HierId block);
+
+  /// Convenience: bind every currently unbound live cell to `block`.
+  void bind_remaining(const Netlist& nl, HierId block);
+
+  [[nodiscard]] HierId root() const { return HierId{0}; }
+  [[nodiscard]] std::size_t num_blocks() const { return blocks_.size(); }
+  [[nodiscard]] const std::vector<HierId>& blocks() const { return blocks_; }
+  [[nodiscard]] const std::string& name(HierId node) const;
+
+  /// Block owning a cell (invalid if unbound).
+  [[nodiscard]] HierId block_of(CellId cell) const;
+
+  /// Cells of a block.
+  [[nodiscard]] const std::vector<CellId>& cells_of(HierId block) const;
+
+  /// Trace a set of changed cells up to the set of affected blocks
+  /// (Quick_ECO's granularity).
+  [[nodiscard]] std::vector<HierId> trace_to_blocks(
+      const std::vector<CellId>& changed) const;
+
+ private:
+  struct Node {
+    std::string name;
+    HierId parent;
+    std::vector<CellId> cells;
+  };
+  std::vector<Node> nodes_;
+  std::vector<HierId> blocks_;
+  std::unordered_map<std::uint32_t, HierId> block_of_cell_;
+};
+
+/// Back annotation: continue a block-level trace down to the physical level
+/// (the tiles currently holding the block's instances). This is the linkage
+/// tiling adds beyond Quick_ECO.
+[[nodiscard]] std::vector<TileId> annotate_blocks_to_tiles(
+    const DesignHierarchy& hier, const TiledDesign& design,
+    const std::vector<HierId>& blocks);
+
+/// Full change trace: changed cells -> blocks -> tiles.
+[[nodiscard]] std::vector<TileId> trace_change_to_tiles(
+    const DesignHierarchy& hier, const TiledDesign& design,
+    const std::vector<CellId>& changed);
+
+}  // namespace emutile

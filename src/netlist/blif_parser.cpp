@@ -1,0 +1,263 @@
+#include "netlist/blif_parser.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace emutile {
+
+namespace {
+
+struct Token {
+  std::vector<std::string> words;
+  int line = 0;
+};
+
+/// Splits the stream into logical lines: strips comments (#), joins
+/// continuations (trailing backslash), and tokenizes on whitespace.
+std::vector<Token> lex(std::istream& in) {
+  std::vector<Token> tokens;
+  std::string line;
+  std::string pending;
+  int line_no = 0, start_line = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (auto hash = line.find('#'); hash != std::string::npos)
+      line.erase(hash);
+    bool continued = false;
+    if (auto bs = line.find_last_not_of(" \t\r");
+        bs != std::string::npos && line[bs] == '\\') {
+      line.erase(bs);
+      continued = true;
+    }
+    if (pending.empty()) start_line = line_no;
+    pending += line + ' ';
+    if (continued) continue;
+    std::istringstream ss(pending);
+    Token tok;
+    tok.line = start_line;
+    std::string w;
+    while (ss >> w) tok.words.push_back(w);
+    if (!tok.words.empty()) tokens.push_back(std::move(tok));
+    pending.clear();
+  }
+  return tokens;
+}
+
+/// Builder that resolves BLIF signal names to nets, creating forward
+/// references lazily (BLIF allows use-before-definition).
+class BlifBuilder {
+ public:
+  explicit BlifBuilder(Netlist& nl) : nl_(nl) {}
+
+  /// Net that the named signal will be read from. If the signal is not yet
+  /// defined, a placeholder is recorded and patched at finish().
+  NetId use(const std::string& name) {
+    if (auto it = defined_.find(name); it != defined_.end()) return it->second;
+    if (auto it = placeholders_.find(name); it != placeholders_.end())
+      return it->second.first;
+    // Placeholder: a const-0 driver whose sinks get transferred on define.
+    const CellId ph = nl_.add_const("__blif_fwd_" + name, false);
+    const NetId net = nl_.cell_output(ph);
+    placeholders_.emplace(name, std::make_pair(net, ph));
+    return net;
+  }
+
+  /// Declare that `net` now carries the named signal.
+  void define(const std::string& name, NetId net) {
+    EMUTILE_CHECK(defined_.emplace(name, net).second,
+                  "BLIF: signal '" << name << "' defined twice");
+    if (auto it = placeholders_.find(name); it != placeholders_.end()) {
+      nl_.transfer_sinks(it->second.first, net);
+      nl_.remove_cell(it->second.second);
+      placeholders_.erase(it);
+    }
+  }
+
+  [[nodiscard]] bool is_defined(const std::string& name) const {
+    return defined_.find(name) != defined_.end();
+  }
+
+  [[nodiscard]] NetId defined_net(const std::string& name) const {
+    auto it = defined_.find(name);
+    EMUTILE_CHECK(it != defined_.end(), "BLIF: undefined signal '" << name << "'");
+    return it->second;
+  }
+
+  void finish() {
+    EMUTILE_CHECK(placeholders_.empty(),
+                  "BLIF: " << placeholders_.size()
+                           << " signal(s) used but never defined (first: '"
+                           << placeholders_.begin()->first << "')");
+  }
+
+ private:
+  Netlist& nl_;
+  std::unordered_map<std::string, NetId> defined_;
+  std::unordered_map<std::string, std::pair<NetId, CellId>> placeholders_;
+};
+
+/// Converts a SOP cover (input plane rows + output value) to a TruthTable.
+TruthTable cover_to_tt(int num_inputs, const std::vector<std::string>& rows,
+                       bool on_set, int line) {
+  TruthTable tt = TruthTable::constant(num_inputs, !on_set);
+  for (const std::string& row : rows) {
+    EMUTILE_CHECK(static_cast<int>(row.size()) == num_inputs,
+                  "BLIF line " << line << ": cover row width mismatch");
+    // Expand don't-cares.
+    std::vector<unsigned> minterms{0};
+    for (int i = 0; i < num_inputs; ++i) {
+      const char c = row[static_cast<std::size_t>(i)];
+      EMUTILE_CHECK(c == '0' || c == '1' || c == '-',
+                    "BLIF line " << line << ": bad cover char '" << c << "'");
+      if (c == '-') {
+        const std::size_t n = minterms.size();
+        for (std::size_t k = 0; k < n; ++k)
+          minterms.push_back(minterms[k] | (1u << i));
+      } else if (c == '1') {
+        for (auto& m : minterms) m |= 1u << i;
+      }
+    }
+    for (unsigned m : minterms) tt.set_bit(m, on_set);
+  }
+  return tt;
+}
+
+}  // namespace
+
+Netlist parse_blif(std::istream& in) {
+  const std::vector<Token> tokens = lex(in);
+  Netlist nl;
+  BlifBuilder builder(nl);
+
+  std::vector<std::string> declared_outputs;
+  bool saw_model = false, saw_end = false;
+
+  std::size_t i = 0;
+  while (i < tokens.size()) {
+    const Token& tok = tokens[i];
+    const std::string& cmd = tok.words[0];
+
+    if (cmd == ".model") {
+      EMUTILE_CHECK(!saw_model, "BLIF line " << tok.line
+                                             << ": multiple .model (hierarchical "
+                                                "BLIF is not supported)");
+      saw_model = true;
+      if (tok.words.size() > 1) nl.set_name(tok.words[1]);
+      ++i;
+    } else if (cmd == ".inputs") {
+      for (std::size_t w = 1; w < tok.words.size(); ++w) {
+        const CellId pi = nl.add_input(tok.words[w]);
+        builder.define(tok.words[w], nl.cell_output(pi));
+      }
+      ++i;
+    } else if (cmd == ".outputs") {
+      for (std::size_t w = 1; w < tok.words.size(); ++w)
+        declared_outputs.push_back(tok.words[w]);
+      ++i;
+    } else if (cmd == ".names") {
+      EMUTILE_CHECK(tok.words.size() >= 2,
+                    "BLIF line " << tok.line << ": .names needs an output");
+      const int num_inputs = static_cast<int>(tok.words.size()) - 2;
+      EMUTILE_CHECK(num_inputs <= TruthTable::kMaxInputs,
+                    "BLIF line " << tok.line << ": .names with " << num_inputs
+                                 << " inputs exceeds supported "
+                                 << TruthTable::kMaxInputs);
+      const std::string& out_name = tok.words.back();
+
+      // Collect cover rows until the next dot-command.
+      std::vector<std::string> in_rows;
+      bool on_set = true;
+      bool polarity_known = false;
+      ++i;
+      while (i < tokens.size() && tokens[i].words[0][0] != '.') {
+        const Token& row = tokens[i];
+        std::string in_plane, out_plane;
+        if (num_inputs == 0) {
+          EMUTILE_CHECK(row.words.size() == 1,
+                        "BLIF line " << row.line << ": constant cover row");
+          out_plane = row.words[0];
+        } else {
+          EMUTILE_CHECK(row.words.size() == 2,
+                        "BLIF line " << row.line << ": cover row needs "
+                                        "input and output planes");
+          in_plane = row.words[0];
+          out_plane = row.words[1];
+        }
+        EMUTILE_CHECK(out_plane == "0" || out_plane == "1",
+                      "BLIF line " << row.line << ": output plane must be 0/1");
+        const bool row_on = out_plane == "1";
+        if (!polarity_known) {
+          on_set = row_on;
+          polarity_known = true;
+        } else {
+          EMUTILE_CHECK(row_on == on_set,
+                        "BLIF line " << row.line
+                                     << ": mixed on-set/off-set cover");
+        }
+        if (num_inputs > 0) in_rows.push_back(in_plane);
+        else in_rows.push_back("");
+        ++i;
+      }
+
+      if (num_inputs == 0) {
+        // Constant: value is the output plane of the (single) row, or 0 if
+        // the cover is empty.
+        const bool value = polarity_known && on_set;
+        const CellId c = nl.add_const(out_name, value);
+        builder.define(out_name, nl.cell_output(c));
+      } else {
+        std::vector<NetId> ins;
+        ins.reserve(static_cast<std::size_t>(num_inputs));
+        for (int k = 0; k < num_inputs; ++k)
+          ins.push_back(builder.use(tok.words[1 + static_cast<std::size_t>(k)]));
+        TruthTable tt =
+            in_rows.empty()
+                ? TruthTable::constant(num_inputs, false)
+                : cover_to_tt(num_inputs, in_rows, on_set, tok.line);
+        const CellId lut = nl.add_lut(out_name, tt, ins);
+        builder.define(out_name, nl.cell_output(lut));
+      }
+    } else if (cmd == ".latch") {
+      // .latch <input> <output> [<type> <control>] [<init-val>]
+      EMUTILE_CHECK(tok.words.size() >= 3,
+                    "BLIF line " << tok.line << ": .latch needs input/output");
+      const NetId d = builder.use(tok.words[1]);
+      const CellId ff = nl.add_dff(tok.words[2], d);
+      builder.define(tok.words[2], nl.cell_output(ff));
+      ++i;
+    } else if (cmd == ".end") {
+      saw_end = true;
+      ++i;
+    } else if (cmd == ".exdc" || cmd == ".wire_load_slope" || cmd == ".wire" ||
+               cmd == ".clock" || cmd == ".area" || cmd == ".delay") {
+      ++i;  // benign directives we ignore
+    } else {
+      EMUTILE_CHECK(false, "BLIF line " << tok.line << ": unsupported construct '"
+                                        << cmd << "'");
+    }
+    if (saw_end) break;
+  }
+
+  for (const std::string& out : declared_outputs)
+    nl.add_output(out + "_po", builder.defined_net(out));
+
+  builder.finish();
+  nl.validate();
+  return nl;
+}
+
+Netlist parse_blif_string(const std::string& text) {
+  std::istringstream ss(text);
+  return parse_blif(ss);
+}
+
+Netlist parse_blif_file(const std::string& path) {
+  std::ifstream f(path);
+  EMUTILE_CHECK(f.good(), "cannot open BLIF file '" << path << "'");
+  return parse_blif(f);
+}
+
+}  // namespace emutile

@@ -1,0 +1,27 @@
+#pragma once
+/// \file blif_parser.hpp
+/// Reader for the Berkeley Logic Interchange Format (BLIF), the format the
+/// MCNC benchmark suite ships in. Supported constructs: .model/.inputs/
+/// .outputs/.names (SOP covers, up to TruthTable::kMaxInputs literals)/
+/// .latch (re/fe/ah/al/as types accepted, treated as a single-clock DFF)/
+/// .end, plus comments and line continuations. This lets the real MCNC
+/// designs be dropped into the flow unmodified when available.
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace emutile {
+
+/// Parse a BLIF model from a stream. Throws CheckError with a line-numbered
+/// message on malformed input.
+[[nodiscard]] Netlist parse_blif(std::istream& in);
+
+/// Parse from a string (convenience for tests).
+[[nodiscard]] Netlist parse_blif_string(const std::string& text);
+
+/// Parse from a file path.
+[[nodiscard]] Netlist parse_blif_file(const std::string& path);
+
+}  // namespace emutile

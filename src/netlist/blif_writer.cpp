@@ -1,0 +1,66 @@
+#include "netlist/blif_writer.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace emutile {
+
+void write_blif(const Netlist& nl, std::ostream& out) {
+  out << ".model " << nl.name() << "\n.inputs";
+  for (CellId pi : nl.primary_inputs())
+    out << ' ' << nl.net(nl.cell_output(pi)).name;
+  out << "\n.outputs";
+  for (CellId po : nl.primary_outputs())
+    out << ' ' << nl.net(nl.cell(po).inputs.at(0)).name;
+  out << '\n';
+
+  for (CellId id : nl.live_cells()) {
+    const Cell& c = nl.cell(id);
+    switch (c.kind) {
+      case CellKind::kInput:
+      case CellKind::kOutput:
+        break;
+      case CellKind::kConst0:
+        out << ".names " << nl.net(c.output).name << '\n';
+        break;
+      case CellKind::kConst1:
+        out << ".names " << nl.net(c.output).name << "\n1\n";
+        break;
+      case CellKind::kDff:
+        out << ".latch " << nl.net(c.inputs.at(0)).name << ' '
+            << nl.net(c.output).name << " re clk 0\n";
+        break;
+      case CellKind::kLut: {
+        out << ".names";
+        for (NetId in : c.inputs) out << ' ' << nl.net(in).name;
+        out << ' ' << nl.net(c.output).name << '\n';
+        const TruthTable& tt = c.function;
+        for (unsigned m = 0; m < tt.num_minterms(); ++m) {
+          if (!tt.bit(m)) continue;
+          for (int i = 0; i < tt.num_inputs(); ++i)
+            out << (((m >> i) & 1u) ? '1' : '0');
+          out << " 1\n";
+        }
+        break;
+      }
+    }
+  }
+  out << ".end\n";
+}
+
+std::string to_blif_string(const Netlist& nl) {
+  std::ostringstream os;
+  write_blif(nl, os);
+  return os.str();
+}
+
+void write_blif_file(const Netlist& nl, const std::string& path) {
+  std::ofstream f(path);
+  EMUTILE_CHECK(f.good(), "cannot open '" << path << "' for writing");
+  write_blif(nl, f);
+  EMUTILE_CHECK(f.good(), "write to '" << path << "' failed");
+}
+
+}  // namespace emutile

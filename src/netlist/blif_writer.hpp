@@ -1,0 +1,21 @@
+#pragma once
+/// \file blif_writer.hpp
+/// Emits a Netlist as a flat BLIF model (round-trips with blif_parser).
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace emutile {
+
+/// Write `nl` as BLIF. LUT covers are emitted as on-set minterm rows.
+void write_blif(const Netlist& nl, std::ostream& out);
+
+/// Convenience: render to a string.
+[[nodiscard]] std::string to_blif_string(const Netlist& nl);
+
+/// Convenience: write to a file path (throws on IO failure).
+void write_blif_file(const Netlist& nl, const std::string& path);
+
+}  // namespace emutile

@@ -1,0 +1,171 @@
+#include "netlist/cell_library.hpp"
+
+#include <sstream>
+
+namespace emutile {
+
+const char* to_string(CellKind kind) {
+  switch (kind) {
+    case CellKind::kInput: return "input";
+    case CellKind::kOutput: return "output";
+    case CellKind::kLut: return "lut";
+    case CellKind::kDff: return "dff";
+    case CellKind::kConst0: return "const0";
+    case CellKind::kConst1: return "const1";
+  }
+  return "?";
+}
+
+TruthTable::TruthTable(int num_inputs) : num_inputs_(num_inputs) {
+  EMUTILE_CHECK(num_inputs >= 0 && num_inputs <= kMaxInputs,
+                "truth table supports 0.." << kMaxInputs << " inputs, got "
+                                           << num_inputs);
+}
+
+TruthTable TruthTable::from_bits(int num_inputs, const std::vector<bool>& bits) {
+  TruthTable tt(num_inputs);
+  EMUTILE_CHECK(bits.size() == tt.num_minterms(),
+                "expected " << tt.num_minterms() << " bits, got " << bits.size());
+  for (unsigned m = 0; m < bits.size(); ++m) tt.set_bit(m, bits[m]);
+  return tt;
+}
+
+TruthTable TruthTable::variable(int num_inputs, int var) {
+  TruthTable tt(num_inputs);
+  EMUTILE_CHECK(var >= 0 && var < num_inputs, "variable index out of range");
+  for (unsigned m = 0; m < tt.num_minterms(); ++m)
+    tt.set_bit(m, (m >> var) & 1u);
+  return tt;
+}
+
+TruthTable TruthTable::constant(int num_inputs, bool value) {
+  TruthTable tt(num_inputs);
+  for (unsigned m = 0; m < tt.num_minterms(); ++m) tt.set_bit(m, value);
+  return tt;
+}
+
+TruthTable TruthTable::and_all(int num_inputs) {
+  TruthTable tt(num_inputs);
+  tt.set_bit(tt.num_minterms() - 1, true);
+  return tt;
+}
+
+TruthTable TruthTable::or_all(int num_inputs) {
+  TruthTable tt = constant(num_inputs, true);
+  tt.set_bit(0, false);
+  return tt;
+}
+
+TruthTable TruthTable::xor_all(int num_inputs) {
+  TruthTable tt(num_inputs);
+  for (unsigned m = 0; m < tt.num_minterms(); ++m)
+    tt.set_bit(m, __builtin_popcount(m) & 1);
+  return tt;
+}
+
+TruthTable TruthTable::nand_all(int num_inputs) {
+  return and_all(num_inputs).complement();
+}
+
+TruthTable TruthTable::nor_all(int num_inputs) {
+  return or_all(num_inputs).complement();
+}
+
+TruthTable TruthTable::inverter() {
+  TruthTable tt(1);
+  tt.set_bit(0, true);
+  return tt;
+}
+
+TruthTable TruthTable::buffer() {
+  TruthTable tt(1);
+  tt.set_bit(1, true);
+  return tt;
+}
+
+TruthTable TruthTable::mux21() {
+  // inputs (0=sel, 1=a, 2=b): f = sel ? b : a
+  TruthTable tt(3);
+  for (unsigned m = 0; m < 8; ++m) {
+    const bool sel = m & 1u, a = (m >> 1) & 1u, b = (m >> 2) & 1u;
+    tt.set_bit(m, sel ? b : a);
+  }
+  return tt;
+}
+
+bool TruthTable::bit(unsigned minterm) const {
+  EMUTILE_ASSERT(minterm < num_minterms(), "minterm out of range");
+  return (bits_[minterm >> 6] >> (minterm & 63u)) & 1u;
+}
+
+void TruthTable::set_bit(unsigned minterm, bool value) {
+  EMUTILE_ASSERT(minterm < num_minterms(), "minterm out of range");
+  const std::uint64_t mask = std::uint64_t{1} << (minterm & 63u);
+  if (value)
+    bits_[minterm >> 6] |= mask;
+  else
+    bits_[minterm >> 6] &= ~mask;
+}
+
+bool TruthTable::depends_on(int var) const {
+  EMUTILE_CHECK(var >= 0 && var < num_inputs_, "variable index out of range");
+  for (unsigned m = 0; m < num_minterms(); ++m) {
+    if ((m >> var) & 1u) continue;
+    if (bit(m) != bit(m | (1u << var))) return true;
+  }
+  return false;
+}
+
+TruthTable TruthTable::cofactor(int var, bool value) const {
+  EMUTILE_CHECK(var >= 0 && var < num_inputs_, "variable index out of range");
+  TruthTable out(num_inputs_ - 1);
+  for (unsigned m = 0; m < out.num_minterms(); ++m) {
+    // Re-expand m to the original index with `var` fixed at `value`.
+    const unsigned low = m & ((1u << var) - 1u);
+    const unsigned high = (m >> var) << (var + 1);
+    const unsigned orig = high | (static_cast<unsigned>(value) << var) | low;
+    out.set_bit(m, bit(orig));
+  }
+  return out;
+}
+
+TruthTable TruthTable::complement() const {
+  TruthTable out(num_inputs_);
+  for (unsigned m = 0; m < num_minterms(); ++m) out.set_bit(m, !bit(m));
+  return out;
+}
+
+TruthTable TruthTable::permute(const std::vector<int>& perm) const {
+  EMUTILE_CHECK(static_cast<int>(perm.size()) == num_inputs_,
+                "permutation arity mismatch");
+  TruthTable out(num_inputs_);
+  for (unsigned m = 0; m < num_minterms(); ++m) {
+    unsigned orig = 0;
+    for (int i = 0; i < num_inputs_; ++i)
+      if ((m >> i) & 1u) orig |= 1u << perm[static_cast<std::size_t>(i)];
+    out.set_bit(m, bit(orig));
+  }
+  return out;
+}
+
+bool TruthTable::is_constant(bool value) const {
+  for (unsigned m = 0; m < num_minterms(); ++m)
+    if (bit(m) != value) return false;
+  return true;
+}
+
+std::string TruthTable::to_hex() const {
+  std::ostringstream os;
+  const unsigned nibbles = std::max(1u, num_minterms() / 4);
+  for (unsigned n = nibbles; n-- > 0;) {
+    unsigned v = 0;
+    for (unsigned b = 0; b < 4; ++b) {
+      const unsigned m = n * 4 + b;
+      if (m < num_minterms() && bit(m)) v |= 1u << b;
+    }
+    os << "0123456789abcdef"[v];
+  }
+  return os.str();
+}
+
+}  // namespace emutile

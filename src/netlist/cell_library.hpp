@@ -1,0 +1,100 @@
+#pragma once
+/// \file cell_library.hpp
+/// Cell kinds and LUT truth tables.
+///
+/// The target architecture is an XC4000-style FPGA whose logic element is a
+/// 4-input LUT, so the library is deliberately small: primary inputs/outputs,
+/// LUTs (up to 8 inputs pre-mapping; exactly <=4 post-mapping), D flip-flops
+/// on a single implicit global clock, and constants.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace emutile {
+
+/// Kinds of cells in the logic netlist.
+enum class CellKind : std::uint8_t {
+  kInput,   ///< primary input; drives one net
+  kOutput,  ///< primary output marker; consumes one net
+  kLut,     ///< lookup table with a TruthTable
+  kDff,     ///< D flip-flop (port 0 = D, output = Q), implicit global clock
+  kConst0,  ///< constant 0 driver
+  kConst1,  ///< constant 1 driver
+};
+
+[[nodiscard]] const char* to_string(CellKind kind);
+
+/// Complete single-output Boolean function of up to kMaxInputs variables,
+/// stored as a bit-per-minterm table. Bit index m holds f(m) where bit i of
+/// m is the value of input i.
+class TruthTable {
+ public:
+  static constexpr int kMaxInputs = 8;
+
+  /// Constant-0 function of `num_inputs` variables (0 allowed).
+  explicit TruthTable(int num_inputs = 0);
+
+  /// Builds from explicit minterm bits; bits.size() must be 2^num_inputs.
+  static TruthTable from_bits(int num_inputs, const std::vector<bool>& bits);
+
+  /// f = input `var` (projection).
+  static TruthTable variable(int num_inputs, int var);
+  static TruthTable constant(int num_inputs, bool value);
+
+  /// Common two-or-more-input functions over all `num_inputs` variables.
+  static TruthTable and_all(int num_inputs);
+  static TruthTable or_all(int num_inputs);
+  static TruthTable xor_all(int num_inputs);
+  static TruthTable nand_all(int num_inputs);
+  static TruthTable nor_all(int num_inputs);
+  /// Inverter / buffer (num_inputs == 1).
+  static TruthTable inverter();
+  static TruthTable buffer();
+  /// 2:1 mux: inputs (sel, a, b) -> sel ? b : a.
+  static TruthTable mux21();
+
+  [[nodiscard]] int num_inputs() const { return num_inputs_; }
+  [[nodiscard]] unsigned num_minterms() const { return 1u << num_inputs_; }
+
+  [[nodiscard]] bool bit(unsigned minterm) const;
+  void set_bit(unsigned minterm, bool value);
+
+  /// Evaluate with input assignment packed as bits of `assignment`.
+  [[nodiscard]] bool eval(unsigned assignment) const { return bit(assignment); }
+
+  /// True if the function value can depend on input `var`.
+  [[nodiscard]] bool depends_on(int var) const;
+
+  /// Shannon cofactor: fix input `var` to `value`; result has one less input
+  /// (remaining variables keep their relative order).
+  [[nodiscard]] TruthTable cofactor(int var, bool value) const;
+
+  /// Negate the function.
+  [[nodiscard]] TruthTable complement() const;
+
+  /// Reorder inputs: new input i is old input perm[i].
+  [[nodiscard]] TruthTable permute(const std::vector<int>& perm) const;
+
+  [[nodiscard]] bool is_constant(bool value) const;
+
+  friend bool operator==(const TruthTable& a, const TruthTable& b) {
+    return a.num_inputs_ == b.num_inputs_ && a.bits_ == b.bits_;
+  }
+  friend bool operator!=(const TruthTable& a, const TruthTable& b) {
+    return !(a == b);
+  }
+
+  /// Hex string of the table, most significant minterm first (for BLIF-side
+  /// diagnostics and hashing).
+  [[nodiscard]] std::string to_hex() const;
+
+ private:
+  int num_inputs_ = 0;
+  std::array<std::uint64_t, 4> bits_{};  // 256 minterm bits
+};
+
+}  // namespace emutile

@@ -1,0 +1,279 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+
+namespace emutile {
+
+namespace {
+// Unique-name helper: appends _u<N> on collision.
+std::string disambiguate(const std::string& base,
+                         const auto& map) {
+  if (map.find(base) == map.end()) return base;
+  for (int i = 1;; ++i) {
+    std::string candidate = base + "_u" + std::to_string(i);
+    if (map.find(candidate) == map.end()) return candidate;
+  }
+}
+}  // namespace
+
+CellId Netlist::add_input(const std::string& name) {
+  Cell c;
+  c.kind = CellKind::kInput;
+  c.name = disambiguate(name, cell_by_name_);
+  const CellId id{static_cast<std::uint32_t>(cells_.size())};
+  cells_.push_back(std::move(c));
+  ++live_cells_;
+  cell_by_name_.emplace(cells_.back().name, id);
+  cells_[id.value()].output = new_net(cells_[id.value()].name, id);
+  inputs_.push_back(id);
+  return id;
+}
+
+CellId Netlist::add_output(const std::string& name, NetId net) {
+  EMUTILE_CHECK(net.valid() && net.value() < nets_.size() && nets_[net.value()].alive,
+                "add_output: bad net");
+  Cell c;
+  c.kind = CellKind::kOutput;
+  c.name = disambiguate(name, cell_by_name_);
+  c.inputs = {net};
+  const CellId id{static_cast<std::uint32_t>(cells_.size())};
+  cells_.push_back(std::move(c));
+  ++live_cells_;
+  cell_by_name_.emplace(cells_.back().name, id);
+  attach_sink(net, PinRef{id, 0});
+  outputs_.push_back(id);
+  return id;
+}
+
+CellId Netlist::add_lut(const std::string& name, const TruthTable& function,
+                        const std::vector<NetId>& inputs) {
+  EMUTILE_CHECK(static_cast<int>(inputs.size()) == function.num_inputs(),
+                "lut '" << name << "': " << inputs.size()
+                        << " input nets for a " << function.num_inputs()
+                        << "-input function");
+  for (NetId in : inputs)
+    EMUTILE_CHECK(in.valid() && in.value() < nets_.size() && nets_[in.value()].alive,
+                  "lut '" << name << "': dead or invalid input net");
+  Cell c;
+  c.kind = CellKind::kLut;
+  c.name = disambiguate(name, cell_by_name_);
+  c.function = function;
+  c.inputs = inputs;
+  const CellId id{static_cast<std::uint32_t>(cells_.size())};
+  cells_.push_back(std::move(c));
+  ++live_cells_;
+  cell_by_name_.emplace(cells_.back().name, id);
+  for (std::uint32_t p = 0; p < inputs.size(); ++p)
+    attach_sink(inputs[p], PinRef{id, p});
+  cells_[id.value()].output = new_net(cells_[id.value()].name, id);
+  return id;
+}
+
+CellId Netlist::add_dff(const std::string& name, NetId d) {
+  EMUTILE_CHECK(d.valid() && d.value() < nets_.size() && nets_[d.value()].alive,
+                "dff '" << name << "': bad D net");
+  Cell c;
+  c.kind = CellKind::kDff;
+  c.name = disambiguate(name, cell_by_name_);
+  c.inputs = {d};
+  const CellId id{static_cast<std::uint32_t>(cells_.size())};
+  cells_.push_back(std::move(c));
+  ++live_cells_;
+  cell_by_name_.emplace(cells_.back().name, id);
+  attach_sink(d, PinRef{id, 0});
+  cells_[id.value()].output = new_net(cells_[id.value()].name, id);
+  return id;
+}
+
+CellId Netlist::add_const(const std::string& name, bool value) {
+  Cell c;
+  c.kind = value ? CellKind::kConst1 : CellKind::kConst0;
+  c.name = disambiguate(name, cell_by_name_);
+  const CellId id{static_cast<std::uint32_t>(cells_.size())};
+  cells_.push_back(std::move(c));
+  ++live_cells_;
+  cell_by_name_.emplace(cells_.back().name, id);
+  cells_[id.value()].output = new_net(cells_[id.value()].name, id);
+  return id;
+}
+
+void Netlist::set_lut_function(CellId cell, const TruthTable& function) {
+  Cell& c = mutable_cell(cell);
+  EMUTILE_CHECK(c.kind == CellKind::kLut, "set_lut_function on non-LUT");
+  EMUTILE_CHECK(function.num_inputs() == c.function.num_inputs(),
+                "set_lut_function must preserve arity");
+  c.function = function;
+}
+
+void Netlist::reconnect_input(CellId cell, std::uint32_t port, NetId new_net_id) {
+  Cell& c = mutable_cell(cell);
+  EMUTILE_CHECK(port < c.inputs.size(), "reconnect_input: port out of range");
+  EMUTILE_CHECK(new_net_id.valid() && new_net_id.value() < nets_.size() &&
+                    nets_[new_net_id.value()].alive,
+                "reconnect_input: bad net");
+  const NetId old = c.inputs[port];
+  if (old == new_net_id) return;
+  detach_sink(old, PinRef{cell, port});
+  c.inputs[port] = new_net_id;
+  attach_sink(new_net_id, PinRef{cell, port});
+}
+
+void Netlist::remove_cell(CellId id) {
+  Cell& c = mutable_cell(id);
+  if (c.output.valid()) {
+    const Net& out = net(c.output);
+    EMUTILE_CHECK(out.sinks.empty(),
+                  "remove_cell '" << c.name << "': output net still has "
+                                  << out.sinks.size() << " sinks");
+    Net& out_mut = mutable_net(c.output);
+    out_mut.alive = false;
+    --live_nets_;
+    net_by_name_.erase(out_mut.name);
+  }
+  for (std::uint32_t p = 0; p < c.inputs.size(); ++p)
+    detach_sink(c.inputs[p], PinRef{id, p});
+  c.inputs.clear();
+  c.alive = false;
+  --live_cells_;
+  cell_by_name_.erase(c.name);
+  if (c.kind == CellKind::kInput)
+    std::erase(inputs_, id);
+  if (c.kind == CellKind::kOutput)
+    std::erase(outputs_, id);
+}
+
+void Netlist::transfer_sinks(NetId from, NetId to) {
+  EMUTILE_CHECK(from != to, "transfer_sinks: from == to");
+  // Copy the pin list first: reconnect_input mutates sinks of `from`.
+  const std::vector<PinRef> pins = net(from).sinks;
+  for (const PinRef& pin : pins) reconnect_input(pin.cell, pin.port, to);
+}
+
+const Cell& Netlist::cell(CellId id) const {
+  EMUTILE_CHECK(id.valid() && id.value() < cells_.size(), "bad cell id");
+  return cells_[id.value()];
+}
+
+const Net& Netlist::net(NetId id) const {
+  EMUTILE_CHECK(id.valid() && id.value() < nets_.size(), "bad net id");
+  return nets_[id.value()];
+}
+
+std::size_t Netlist::num_luts() const {
+  std::size_t n = 0;
+  for (const Cell& c : cells_)
+    if (c.alive && c.kind == CellKind::kLut) ++n;
+  return n;
+}
+
+std::size_t Netlist::num_dffs() const {
+  std::size_t n = 0;
+  for (const Cell& c : cells_)
+    if (c.alive && c.kind == CellKind::kDff) ++n;
+  return n;
+}
+
+std::vector<CellId> Netlist::live_cells() const {
+  std::vector<CellId> out;
+  out.reserve(live_cells_);
+  for (std::size_t i = 0; i < cells_.size(); ++i)
+    if (cells_[i].alive) out.push_back(CellId{static_cast<std::uint32_t>(i)});
+  return out;
+}
+
+std::vector<NetId> Netlist::live_nets() const {
+  std::vector<NetId> out;
+  out.reserve(live_nets_);
+  for (std::size_t i = 0; i < nets_.size(); ++i)
+    if (nets_[i].alive) out.push_back(NetId{static_cast<std::uint32_t>(i)});
+  return out;
+}
+
+std::optional<NetId> Netlist::find_net(const std::string& name) const {
+  auto it = net_by_name_.find(name);
+  if (it == net_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<CellId> Netlist::find_cell(const std::string& name) const {
+  auto it = cell_by_name_.find(name);
+  if (it == cell_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Netlist::validate() const {
+  std::size_t live_c = 0, live_n = 0;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const Cell& c = cells_[i];
+    if (!c.alive) continue;
+    ++live_c;
+    const CellId id{static_cast<std::uint32_t>(i)};
+    if (c.kind == CellKind::kLut)
+      EMUTILE_ASSERT(static_cast<int>(c.inputs.size()) == c.function.num_inputs(),
+                     "cell '" << c.name << "' arity mismatch");
+    if (c.kind == CellKind::kOutput)
+      EMUTILE_ASSERT(!c.output.valid(), "output cell drives a net");
+    else
+      EMUTILE_ASSERT(c.output.valid() && nets_[c.output.value()].alive &&
+                         nets_[c.output.value()].driver == id,
+                     "cell '" << c.name << "' output net inconsistent");
+    for (std::uint32_t p = 0; p < c.inputs.size(); ++p) {
+      const NetId in = c.inputs[p];
+      EMUTILE_ASSERT(in.valid() && in.value() < nets_.size() && nets_[in.value()].alive,
+                     "cell '" << c.name << "' input " << p << " dead");
+      const auto& sinks = nets_[in.value()].sinks;
+      EMUTILE_ASSERT(std::find(sinks.begin(), sinks.end(), PinRef{id, p}) != sinks.end(),
+                     "cell '" << c.name << "' missing from sink list of its input net");
+    }
+  }
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    const Net& n = nets_[i];
+    if (!n.alive) continue;
+    ++live_n;
+    EMUTILE_ASSERT(n.driver.valid() && cells_[n.driver.value()].alive,
+                   "net '" << n.name << "' has dead driver");
+    for (const PinRef& pin : n.sinks) {
+      const Cell& c = cells_[pin.cell.value()];
+      EMUTILE_ASSERT(c.alive && pin.port < c.inputs.size() &&
+                         c.inputs[pin.port] == NetId{static_cast<std::uint32_t>(i)},
+                     "net '" << n.name << "' sink list inconsistent");
+    }
+  }
+  EMUTILE_ASSERT(live_c == live_cells_, "live cell count drifted");
+  EMUTILE_ASSERT(live_n == live_nets_, "live net count drifted");
+}
+
+Cell& Netlist::mutable_cell(CellId id) {
+  EMUTILE_CHECK(id.valid() && id.value() < cells_.size() && cells_[id.value()].alive,
+                "bad or dead cell id");
+  return cells_[id.value()];
+}
+
+Net& Netlist::mutable_net(NetId id) {
+  EMUTILE_CHECK(id.valid() && id.value() < nets_.size(), "bad net id");
+  return nets_[id.value()];
+}
+
+NetId Netlist::new_net(const std::string& name, CellId driver) {
+  Net n;
+  n.name = disambiguate(name, net_by_name_);
+  n.driver = driver;
+  const NetId id{static_cast<std::uint32_t>(nets_.size())};
+  nets_.push_back(std::move(n));
+  ++live_nets_;
+  net_by_name_.emplace(nets_.back().name, id);
+  return id;
+}
+
+void Netlist::attach_sink(NetId net, PinRef pin) {
+  mutable_net(net).sinks.push_back(pin);
+}
+
+void Netlist::detach_sink(NetId net, PinRef pin) {
+  auto& sinks = mutable_net(net).sinks;
+  auto it = std::find(sinks.begin(), sinks.end(), pin);
+  EMUTILE_ASSERT(it != sinks.end(), "detach_sink: pin not found");
+  sinks.erase(it);
+}
+
+}  // namespace emutile

@@ -1,0 +1,140 @@
+#pragma once
+/// \file netlist.hpp
+/// The logic netlist: cells connected by nets.
+///
+/// Invariants maintained by the class:
+///  * every net has exactly one driver (an Input, Lut, Dff, or Const cell);
+///  * net sink lists and cell input pins are kept bidirectionally consistent;
+///  * ids are stable across removals (removed cells/nets become tombstones,
+///    which matters because ECOs must not invalidate placement bindings).
+///
+/// The netlist is single-clock: DFFs share an implicit global clock, which is
+/// how the XC4000 emulation designs in the paper are driven.
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/cell_library.hpp"
+#include "util/ids.hpp"
+
+namespace emutile {
+
+/// A cell input pin reference (net sink).
+struct PinRef {
+  CellId cell;
+  std::uint32_t port = 0;
+
+  friend bool operator==(const PinRef& a, const PinRef& b) {
+    return a.cell == b.cell && a.port == b.port;
+  }
+};
+
+/// One cell instance. Access through Netlist; fields are read-only outside.
+struct Cell {
+  CellKind kind = CellKind::kLut;
+  std::string name;
+  TruthTable function;          ///< meaningful only for kLut
+  std::vector<NetId> inputs;    ///< input nets by port index
+  NetId output;                 ///< invalid for kOutput
+  bool alive = true;
+};
+
+/// One net. A net is identified with its driver's output.
+struct Net {
+  std::string name;
+  CellId driver;
+  std::vector<PinRef> sinks;
+  bool alive = true;
+};
+
+/// Mutable logic netlist with ECO-grade editing support.
+class Netlist {
+ public:
+  explicit Netlist(std::string name = "top") : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  // ---- construction -------------------------------------------------------
+
+  /// Add a primary input; returns the cell. Its output net has `name`.
+  CellId add_input(const std::string& name);
+
+  /// Mark `net` as a primary output named `name`.
+  CellId add_output(const std::string& name, NetId net);
+
+  /// Add a LUT computing `function` over `inputs` (arity must match).
+  CellId add_lut(const std::string& name, const TruthTable& function,
+                 const std::vector<NetId>& inputs);
+
+  /// Add a D flip-flop with data input `d`.
+  CellId add_dff(const std::string& name, NetId d);
+
+  /// Add a constant driver.
+  CellId add_const(const std::string& name, bool value);
+
+  // ---- ECO editing --------------------------------------------------------
+
+  /// Swap the function of a LUT (arity must be preserved).
+  void set_lut_function(CellId cell, const TruthTable& function);
+
+  /// Reconnect one input pin to a different net.
+  void reconnect_input(CellId cell, std::uint32_t port, NetId new_net);
+
+  /// Remove a cell. Its output net (if any) must have no sinks.
+  void remove_cell(CellId cell);
+
+  /// Move all sinks of `from` onto `to` (used when replacing a driver).
+  void transfer_sinks(NetId from, NetId to);
+
+  // ---- access -------------------------------------------------------------
+
+  [[nodiscard]] const Cell& cell(CellId id) const;
+  [[nodiscard]] const Net& net(NetId id) const;
+  [[nodiscard]] NetId cell_output(CellId id) const { return cell(id).output; }
+
+  /// Dense bound for iteration (includes tombstones; check alive).
+  [[nodiscard]] std::size_t cell_bound() const { return cells_.size(); }
+  [[nodiscard]] std::size_t net_bound() const { return nets_.size(); }
+
+  /// Live-entity counts.
+  [[nodiscard]] std::size_t num_cells() const { return live_cells_; }
+  [[nodiscard]] std::size_t num_nets() const { return live_nets_; }
+  [[nodiscard]] std::size_t num_luts() const;
+  [[nodiscard]] std::size_t num_dffs() const;
+
+  [[nodiscard]] const std::vector<CellId>& primary_inputs() const { return inputs_; }
+  [[nodiscard]] const std::vector<CellId>& primary_outputs() const { return outputs_; }
+
+  /// Live cells, in id order.
+  [[nodiscard]] std::vector<CellId> live_cells() const;
+  [[nodiscard]] std::vector<NetId> live_nets() const;
+
+  /// Name lookup (nullopt if absent or dead).
+  [[nodiscard]] std::optional<NetId> find_net(const std::string& name) const;
+  [[nodiscard]] std::optional<CellId> find_cell(const std::string& name) const;
+
+  /// Full structural consistency check; throws AssertError on violation.
+  void validate() const;
+
+ private:
+  Cell& mutable_cell(CellId id);
+  Net& mutable_net(NetId id);
+  NetId new_net(const std::string& name, CellId driver);
+  void attach_sink(NetId net, PinRef pin);
+  void detach_sink(NetId net, PinRef pin);
+
+  std::string name_;
+  std::vector<Cell> cells_;
+  std::vector<Net> nets_;
+  std::vector<CellId> inputs_;
+  std::vector<CellId> outputs_;
+  std::unordered_map<std::string, NetId> net_by_name_;
+  std::unordered_map<std::string, CellId> cell_by_name_;
+  std::size_t live_cells_ = 0;
+  std::size_t live_nets_ = 0;
+};
+
+}  // namespace emutile

@@ -1,0 +1,168 @@
+#include "netlist/netlist_ops.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace emutile {
+
+std::vector<CellId> topo_order_luts(const Netlist& nl) {
+  // Kahn's algorithm over LUT-to-LUT combinational edges.
+  const std::size_t bound = nl.cell_bound();
+  std::vector<int> pending(bound, 0);
+  std::vector<CellId> order;
+  order.reserve(nl.num_luts());
+  std::queue<CellId> ready;
+
+  for (std::size_t i = 0; i < bound; ++i) {
+    const CellId id{static_cast<std::uint32_t>(i)};
+    const Cell& c = nl.cell(id);
+    if (!c.alive || c.kind != CellKind::kLut) continue;
+    int deps = 0;
+    for (NetId in : c.inputs) {
+      const Cell& drv = nl.cell(nl.net(in).driver);
+      if (drv.kind == CellKind::kLut) ++deps;
+    }
+    pending[i] = deps;
+    if (deps == 0) ready.push(id);
+  }
+
+  while (!ready.empty()) {
+    const CellId id = ready.front();
+    ready.pop();
+    order.push_back(id);
+    const Cell& c = nl.cell(id);
+    for (const PinRef& pin : nl.net(c.output).sinks) {
+      const Cell& sink = nl.cell(pin.cell);
+      if (sink.kind != CellKind::kLut) continue;
+      if (--pending[pin.cell.value()] == 0) ready.push(pin.cell);
+    }
+  }
+
+  EMUTILE_CHECK(order.size() == nl.num_luts(),
+                "combinational cycle: only " << order.size() << " of "
+                                             << nl.num_luts()
+                                             << " LUTs orderable");
+  return order;
+}
+
+std::vector<int> levelize(const Netlist& nl) {
+  std::vector<int> level(nl.cell_bound(), 0);
+  for (CellId id : topo_order_luts(nl)) {
+    const Cell& c = nl.cell(id);
+    int max_in = -1;
+    for (NetId in : c.inputs) {
+      const CellId drv = nl.net(in).driver;
+      const Cell& d = nl.cell(drv);
+      max_in = std::max(max_in, d.kind == CellKind::kLut
+                                    ? level[drv.value()]
+                                    : 0);
+    }
+    level[id.value()] = max_in + 1;
+  }
+  return level;
+}
+
+int logic_depth(const Netlist& nl) {
+  const std::vector<int> level = levelize(nl);
+  int depth = 0;
+  for (int l : level) depth = std::max(depth, l);
+  return depth;
+}
+
+std::vector<CellId> fanin_cone(const Netlist& nl, NetId net) {
+  std::vector<CellId> cone;
+  std::unordered_set<std::uint32_t> seen;
+  std::vector<NetId> stack{net};
+  while (!stack.empty()) {
+    const NetId n = stack.back();
+    stack.pop_back();
+    const CellId drv = nl.net(n).driver;
+    if (!seen.insert(drv.value()).second) continue;
+    const Cell& c = nl.cell(drv);
+    if (c.kind != CellKind::kLut) continue;  // stop at PIs/DFFs/consts
+    cone.push_back(drv);
+    for (NetId in : c.inputs) stack.push_back(in);
+  }
+  return cone;
+}
+
+std::vector<CellId> fanout_cone(const Netlist& nl, NetId net) {
+  std::vector<CellId> cone;
+  std::unordered_set<std::uint32_t> seen;
+  std::vector<NetId> stack{net};
+  while (!stack.empty()) {
+    const NetId n = stack.back();
+    stack.pop_back();
+    for (const PinRef& pin : nl.net(n).sinks) {
+      if (!seen.insert(pin.cell.value()).second) continue;
+      const Cell& c = nl.cell(pin.cell);
+      if (c.kind == CellKind::kOutput) continue;
+      cone.push_back(pin.cell);
+      if (c.kind == CellKind::kLut)  // do not cross sequential boundary
+        stack.push_back(c.output);
+    }
+  }
+  return cone;
+}
+
+bool outputs_reachable(const Netlist& nl) {
+  // BFS forward from all PIs across LUTs and DFFs; then check each PO's net
+  // was reached (constants alone do not count as reachable logic).
+  std::unordered_set<std::uint32_t> reached_nets;
+  std::queue<NetId> frontier;
+  for (CellId pi : nl.primary_inputs()) {
+    frontier.push(nl.cell_output(pi));
+    reached_nets.insert(nl.cell_output(pi).value());
+  }
+  while (!frontier.empty()) {
+    const NetId n = frontier.front();
+    frontier.pop();
+    for (const PinRef& pin : nl.net(n).sinks) {
+      const Cell& c = nl.cell(pin.cell);
+      if (c.kind == CellKind::kOutput) continue;
+      const NetId out = c.output;
+      if (out.valid() && reached_nets.insert(out.value()).second)
+        frontier.push(out);
+    }
+  }
+  for (CellId po : nl.primary_outputs()) {
+    const NetId n = nl.cell(po).inputs.at(0);
+    if (reached_nets.find(n.value()) == reached_nets.end()) return false;
+  }
+  return true;
+}
+
+NetlistStats compute_stats(const Netlist& nl) {
+  NetlistStats s;
+  s.cells = nl.num_cells();
+  s.luts = nl.num_luts();
+  s.dffs = nl.num_dffs();
+  s.nets = nl.num_nets();
+  s.primary_inputs = nl.primary_inputs().size();
+  s.primary_outputs = nl.primary_outputs().size();
+  s.depth = logic_depth(nl);
+  std::size_t fanout_sum = 0, fanout_nets = 0;
+  for (NetId n : nl.live_nets()) {
+    const std::size_t f = nl.net(n).sinks.size();
+    fanout_sum += f;
+    s.max_fanout = std::max(s.max_fanout, f);
+    ++fanout_nets;
+  }
+  s.avg_fanout = fanout_nets ? static_cast<double>(fanout_sum) /
+                                   static_cast<double>(fanout_nets)
+                             : 0.0;
+  return s;
+}
+
+std::string to_string(const NetlistStats& s) {
+  std::ostringstream os;
+  os << s.cells << " cells (" << s.luts << " LUT, " << s.dffs << " DFF), "
+     << s.nets << " nets, " << s.primary_inputs << " PI, " << s.primary_outputs
+     << " PO, depth " << s.depth << ", avg fanout " << s.avg_fanout;
+  return os.str();
+}
+
+}  // namespace emutile

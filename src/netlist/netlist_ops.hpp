@@ -1,0 +1,58 @@
+#pragma once
+/// \file netlist_ops.hpp
+/// Structural analyses over a Netlist: topological ordering, levelization,
+/// cone extraction, and summary statistics. These are the primitives the
+/// mapper, simulator, and debug localizer are built on.
+
+#include <cstddef>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace emutile {
+
+/// Combinational topological order of live LUT cells (sources = primary
+/// inputs, constants, and DFF outputs; DFF D-pins and primary outputs are
+/// sinks). Throws CheckError if a combinational cycle exists.
+[[nodiscard]] std::vector<CellId> topo_order_luts(const Netlist& nl);
+
+/// Logic depth (level) per cell id (dense by cell id; dead cells get 0).
+/// Sources are level 0; a LUT's level is 1 + max(input levels).
+[[nodiscard]] std::vector<int> levelize(const Netlist& nl);
+
+/// Maximum combinational depth over the whole netlist.
+[[nodiscard]] int logic_depth(const Netlist& nl);
+
+/// Transitive fan-in cone of `net`, stopping at sequential/source boundaries.
+/// Returns LUT cells only, in reverse-topological discovery order.
+[[nodiscard]] std::vector<CellId> fanin_cone(const Netlist& nl, NetId net);
+
+/// Transitive fan-out cone of `net` (LUT and DFF cells reached before any
+/// sequential boundary is crossed; DFFs themselves are included).
+[[nodiscard]] std::vector<CellId> fanout_cone(const Netlist& nl, NetId net);
+
+/// True if every primary output depends (combinationally or through DFFs)
+/// on at least one primary input.
+[[nodiscard]] bool outputs_reachable(const Netlist& nl);
+
+/// Summary statistics used by benches and generators.
+struct NetlistStats {
+  std::size_t cells = 0;
+  std::size_t luts = 0;
+  std::size_t dffs = 0;
+  std::size_t nets = 0;
+  std::size_t primary_inputs = 0;
+  std::size_t primary_outputs = 0;
+  int depth = 0;
+  double avg_fanout = 0.0;
+  std::size_t max_fanout = 0;
+};
+
+[[nodiscard]] NetlistStats compute_stats(const Netlist& nl);
+
+/// Human-readable one-line summary.
+[[nodiscard]] std::string to_string(const NetlistStats& stats);
+
+}  // namespace emutile

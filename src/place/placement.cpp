@@ -1,0 +1,92 @@
+#include "place/placement.hpp"
+
+namespace emutile {
+
+Placement::Placement(const Device& device, const PackedDesign& packed)
+    : device_(&device), packed_(&packed) {
+  site_of_.assign(packed.inst_bound(), kInvalidSite);
+  inst_at_.assign(static_cast<std::size_t>(device.num_sites()),
+                  InstId::invalid());
+}
+
+Placement::Placement(const Device& device, const PackedDesign& packed,
+                     const Placement& other)
+    : device_(&device),
+      packed_(&packed),
+      site_of_(other.site_of_),
+      inst_at_(other.inst_at_) {
+  EMUTILE_CHECK(device.num_sites() == other.device_->num_sites(),
+                "rebinding copy requires an identical device");
+}
+
+void Placement::set(InstId inst, SiteIndex site) {
+  check_compatible(inst, site);
+  EMUTILE_CHECK(!inst_at_[site].valid(),
+                "site " << site << " already occupied");
+  EMUTILE_CHECK(site_of_[inst.value()] == kInvalidSite,
+                "instance already placed; use move()");
+  site_of_[inst.value()] = site;
+  inst_at_[site] = inst;
+}
+
+void Placement::clear(InstId inst) {
+  const SiteIndex s = site_of(inst);
+  EMUTILE_CHECK(s != kInvalidSite, "instance not placed");
+  inst_at_[s] = InstId::invalid();
+  site_of_[inst.value()] = kInvalidSite;
+}
+
+void Placement::swap(InstId a, InstId b) {
+  const SiteIndex sa = site_of(a), sb = site_of(b);
+  EMUTILE_CHECK(sa != kInvalidSite && sb != kInvalidSite,
+                "swap of unplaced instance");
+  site_of_[a.value()] = sb;
+  site_of_[b.value()] = sa;
+  inst_at_[sa] = b;
+  inst_at_[sb] = a;
+}
+
+void Placement::move(InstId inst, SiteIndex site) {
+  check_compatible(inst, site);
+  EMUTILE_CHECK(!inst_at_[site].valid(), "target site occupied; use swap()");
+  const SiteIndex old = site_of(inst);
+  EMUTILE_CHECK(old != kInvalidSite, "instance not placed");
+  inst_at_[old] = InstId::invalid();
+  site_of_[inst.value()] = site;
+  inst_at_[site] = inst;
+}
+
+void Placement::validate(const PackedDesign& packed) const {
+  for (InstId id : packed.live_insts()) {
+    const SiteIndex s = site_of(id);
+    EMUTILE_ASSERT(s != kInvalidSite,
+                   "instance '" << packed.inst(id).name << "' unplaced");
+    EMUTILE_ASSERT(inst_at_[s] == id, "placement tables out of sync");
+    const bool want_clb = packed.inst(id).is_clb();
+    EMUTILE_ASSERT(want_clb == device_->is_clb_site(s),
+                   "instance '" << packed.inst(id).name
+                                << "' on wrong site class");
+  }
+  std::size_t placed = 0;
+  for (InstId occupant : inst_at_)
+    if (occupant.valid()) ++placed;
+  EMUTILE_ASSERT(placed == packed.live_insts().size(),
+                 "orphan site occupancy entries");
+}
+
+void Placement::resize_for(const PackedDesign& packed) {
+  if (packed.inst_bound() > site_of_.size())
+    site_of_.resize(packed.inst_bound(), kInvalidSite);
+  packed_ = &packed;
+}
+
+void Placement::check_compatible(InstId inst, SiteIndex site) const {
+  EMUTILE_CHECK(site < inst_at_.size(), "site out of range");
+  EMUTILE_CHECK(inst.value() < site_of_.size(), "instance out of range");
+  const bool want_clb = packed_->inst(inst).is_clb();
+  EMUTILE_CHECK(want_clb == device_->is_clb_site(site),
+                "instance/site class mismatch for '"
+                    << packed_->inst(inst).name << "'");
+}
+
+}  // namespace emutile

@@ -1,0 +1,90 @@
+#pragma once
+/// \file placement.hpp
+/// Placement state: a bijection between live packed instances and device
+/// sites (CLB instances on CLB sites, IOB instances on IOB sites).
+
+#include <vector>
+
+#include "arch/device.hpp"
+#include "synth/packer.hpp"
+
+namespace emutile {
+
+/// Half-open rectangle of CLB coordinates: x in [x0, x1), y in [y0, y1).
+struct Rect {
+  int x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+
+  [[nodiscard]] bool contains(int x, int y) const {
+    return x >= x0 && x < x1 && y >= y0 && y < y1;
+  }
+  [[nodiscard]] int width() const { return x1 - x0; }
+  [[nodiscard]] int height() const { return y1 - y0; }
+  [[nodiscard]] int area() const { return width() * height(); }
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.x0 == b.x0 && a.y0 == b.y0 && a.x1 == b.x1 && a.y1 == b.y1;
+  }
+};
+
+/// Mutable instance-to-site assignment.
+class Placement {
+ public:
+  Placement(const Device& device, const PackedDesign& packed);
+
+  /// Rebinding copy: same assignment as `other`, but referencing the given
+  /// device/packing (which must be structurally identical). Used to clone
+  /// designs so ECO strategies can be compared on identical starting points.
+  Placement(const Device& device, const PackedDesign& packed,
+            const Placement& other);
+
+  [[nodiscard]] const Device& device() const { return *device_; }
+
+  [[nodiscard]] SiteIndex site_of(InstId inst) const {
+    EMUTILE_ASSERT(inst.value() < site_of_.size(), "inst id out of range");
+    return site_of_[inst.value()];
+  }
+  [[nodiscard]] InstId inst_at(SiteIndex site) const {
+    EMUTILE_ASSERT(site < inst_at_.size(), "site out of range");
+    return inst_at_[site];
+  }
+  [[nodiscard]] bool is_placed(InstId inst) const {
+    return inst.value() < site_of_.size() && site_of_[inst.value()] != kInvalidSite;
+  }
+
+  /// Bind an instance to a free site (kind-compatible).
+  void set(InstId inst, SiteIndex site);
+  /// Unbind an instance (its site becomes free).
+  void clear(InstId inst);
+  /// Exchange the sites of two placed instances of the same kind class.
+  void swap(InstId a, InstId b);
+  /// Move a placed instance to a free site.
+  void move(InstId inst, SiteIndex site);
+
+  /// Position of an instance for wirelength purposes.
+  [[nodiscard]] std::pair<double, double> position(InstId inst) const {
+    return device_->site_center(site_of(inst));
+  }
+
+  /// All placed instances are on kind-compatible, mutually distinct sites.
+  void validate(const PackedDesign& packed) const;
+
+  /// Grow the instance table after pack_increment added instances.
+  void resize_for(const PackedDesign& packed);
+
+  /// Re-point the internal references after the owning aggregate moved
+  /// (TiledDesign stores PackedDesign by value; its move rebinds us).
+  void rebind(const Device& device, const PackedDesign& packed) {
+    device_ = &device;
+    packed_ = &packed;
+  }
+
+ private:
+  void check_compatible(InstId inst, SiteIndex site) const;
+
+  const Device* device_;
+  const PackedDesign* packed_;
+  std::vector<SiteIndex> site_of_;
+  std::vector<InstId> inst_at_;
+};
+
+}  // namespace emutile

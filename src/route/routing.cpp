@@ -1,0 +1,199 @@
+#include "route/routing.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace emutile {
+
+Routing::Routing(const RrGraph& rr)
+    : rr_(&rr), occupancy_(rr.num_nodes(), 0) {}
+
+Routing::Routing(const RrGraph& rr, const Routing& other)
+    : rr_(&rr), trees_(other.trees_), occupancy_(other.occupancy_) {
+  EMUTILE_CHECK(rr.num_nodes() == other.rr_->num_nodes(),
+                "rebinding copy requires an identical RR graph");
+}
+
+bool Routing::has_tree(NetId net) const {
+  return net.value() < trees_.size() && !trees_[net.value()].empty();
+}
+
+const RouteTree& Routing::tree(NetId net) const {
+  EMUTILE_CHECK(net.value() < trees_.size() && !trees_[net.value()].empty(),
+                "net has no route tree");
+  return trees_[net.value()];
+}
+
+void Routing::set_tree(NetId net, RouteTree tree) {
+  if (net.value() >= trees_.size()) trees_.resize(net.value() + 1);
+  rip_up(net);
+  for (RrNodeId n : tree.nodes) ++occupancy_[n.value()];
+  trees_[net.value()] = std::move(tree);
+}
+
+void Routing::rip_up(NetId net) {
+  if (net.value() >= trees_.size()) return;
+  RouteTree& t = trees_[net.value()];
+  for (RrNodeId n : t.nodes) --occupancy_[n.value()];
+  t.clear();
+}
+
+RouteForest Routing::rip_up_partial(NetId net,
+                                    const std::vector<std::uint8_t>& rip_mask,
+                                    RrNodeId source) {
+  RouteForest forest;
+  if (net.value() >= trees_.size() || trees_[net.value()].empty())
+    return forest;
+  RouteTree& t = trees_[net.value()];
+  EMUTILE_CHECK(rip_mask.size() == rr_->num_nodes(), "rip mask size mismatch");
+
+  // The whole tree is released from the occupancy tables; the caller hands
+  // the surviving forest to the router, which re-installs it (so kept nodes
+  // are counted exactly once when routing resumes).
+  std::vector<std::int32_t> remap(t.nodes.size(), -1);
+  for (std::size_t i = 0; i < t.nodes.size(); ++i) {
+    --occupancy_[t.nodes[i].value()];
+    if (rip_mask[t.nodes[i].value()]) continue;
+    remap[i] = static_cast<std::int32_t>(forest.nodes.size());
+    forest.nodes.push_back(t.nodes[i]);
+    forest.parent.push_back(-2);  // fill below
+    forest.group.push_back(-1);
+  }
+
+  // Parents: a kept node keeps its parent if the parent was kept, otherwise
+  // it becomes the root of a new component (parents always precede children
+  // in the tree arrays, so remap of the parent is final here). The component
+  // rooted at the true source is group 0; all others are orphan groups —
+  // including roots of a previously restored forest whose tree had multiple
+  // roots to begin with.
+  for (std::size_t i = 0; i < t.nodes.size(); ++i) {
+    if (remap[i] < 0) continue;
+    const std::int32_t old_parent = t.parent[i];
+    const std::size_t ni = static_cast<std::size_t>(remap[i]);
+    const bool root_here =
+        old_parent < 0 || remap[static_cast<std::size_t>(old_parent)] < 0;
+    if (root_here) {
+      forest.parent[ni] = -1;
+      forest.group[ni] =
+          forest.nodes[ni] == source ? 0 : ++forest.num_orphan_groups;
+    } else {
+      forest.parent[ni] = remap[static_cast<std::size_t>(old_parent)];
+      forest.group[ni] = forest.group[static_cast<std::size_t>(
+          remap[static_cast<std::size_t>(old_parent)])];
+    }
+  }
+  t.clear();
+  return forest;
+}
+
+std::size_t Routing::count_overused() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < occupancy_.size(); ++i)
+    if (occupancy_[i] >
+        static_cast<std::int32_t>(rr_->node(RrNodeId{
+            static_cast<std::uint32_t>(i)}).capacity))
+      ++n;
+  return n;
+}
+
+std::size_t Routing::audit_occupancy() const {
+  std::vector<std::int32_t> recount(occupancy_.size(), 0);
+  for (const RouteTree& t : trees_)
+    for (RrNodeId n : t.nodes) ++recount[n.value()];
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < occupancy_.size(); ++i)
+    if (recount[i] != occupancy_[i]) ++mismatches;
+  return mismatches;
+}
+
+std::size_t Routing::total_wire_nodes() const {
+  std::size_t n = 0;
+  for (const RouteTree& t : trees_)
+    for (RrNodeId node : t.nodes) {
+      const RrType ty = rr_->node(node).type;
+      if (ty == RrType::kChanX || ty == RrType::kChanY) ++n;
+    }
+  return n;
+}
+
+std::vector<RrNodeId> Routing::path_to(NetId net, RrNodeId node) const {
+  const RouteTree& t = tree(net);
+  std::int32_t idx = -1;
+  for (std::size_t i = 0; i < t.nodes.size(); ++i)
+    if (t.nodes[i] == node) {
+      idx = static_cast<std::int32_t>(i);
+      break;
+    }
+  EMUTILE_CHECK(idx >= 0, "node not in route tree");
+  std::vector<RrNodeId> path;
+  while (idx >= 0) {
+    path.push_back(t.nodes[static_cast<std::size_t>(idx)]);
+    idx = t.parent[static_cast<std::size_t>(idx)];
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+void Routing::prune_to_sinks(NetId net,
+                             const std::vector<RrNodeId>& wanted_sinks) {
+  RouteTree& t = trees_[net.value()];
+  EMUTILE_CHECK(!t.empty(), "prune on unrouted net");
+  std::unordered_map<std::uint32_t, std::int32_t> index_of;
+  for (std::size_t i = 0; i < t.nodes.size(); ++i)
+    index_of[t.nodes[i].value()] = static_cast<std::int32_t>(i);
+
+  std::vector<std::uint8_t> keep(t.nodes.size(), 0);
+  keep[0] = 1;  // root
+  for (RrNodeId sink : wanted_sinks) {
+    auto it = index_of.find(sink.value());
+    EMUTILE_CHECK(it != index_of.end(), "wanted sink not in route tree");
+    for (std::int32_t i = it->second; i >= 0 && !keep[static_cast<std::size_t>(i)];
+         i = t.parent[static_cast<std::size_t>(i)])
+      keep[static_cast<std::size_t>(i)] = 1;
+  }
+
+  RouteTree pruned;
+  std::vector<std::int32_t> remap(t.nodes.size(), -1);
+  for (std::size_t i = 0; i < t.nodes.size(); ++i) {
+    if (!keep[i]) {
+      --occupancy_[t.nodes[i].value()];
+      continue;
+    }
+    remap[i] = static_cast<std::int32_t>(pruned.nodes.size());
+    pruned.nodes.push_back(t.nodes[i]);
+    pruned.parent.push_back(
+        t.parent[i] < 0 ? -1 : remap[static_cast<std::size_t>(t.parent[i])]);
+  }
+  t = std::move(pruned);
+}
+
+void Routing::validate_tree(NetId net) const {
+  const RouteTree& t = tree(net);
+  EMUTILE_ASSERT(t.nodes.size() == t.parent.size(), "tree arrays mismatched");
+  std::unordered_set<std::uint32_t> seen;
+  for (std::size_t i = 0; i < t.nodes.size(); ++i) {
+    EMUTILE_ASSERT(seen.insert(t.nodes[i].value()).second,
+                   "duplicate node in route tree");
+    const std::int32_t p = t.parent[i];
+    if (p < 0) {
+      EMUTILE_ASSERT(i == 0, "non-first root in route tree");
+      continue;
+    }
+    EMUTILE_ASSERT(static_cast<std::size_t>(p) < i,
+                   "tree parent does not precede child");
+    // The RR edge parent -> child must exist.
+    const RrNodeId from = t.nodes[static_cast<std::size_t>(p)];
+    bool found = false;
+    for (RrNodeId nb : rr_->fanout(from))
+      if (nb == t.nodes[i]) {
+        found = true;
+        break;
+      }
+    EMUTILE_ASSERT(found, "route tree uses a non-existent RR edge");
+  }
+}
+
+}  // namespace emutile

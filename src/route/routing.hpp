@@ -1,0 +1,111 @@
+#pragma once
+/// \file routing.hpp
+/// Routing state: one route tree per netlist net plus RR-node occupancy.
+///
+/// A route tree is stored as a node array with parent indices; the root is
+/// the net's source OPIN. Partial rip-up (the key primitive behind the
+/// paper's locked tile interfaces) removes only the nodes inside an unlocked
+/// region and returns the surviving forest: the source-connected component
+/// plus "orphan" subtrees that still carry routing to locked sinks and must
+/// be re-attached by the router at their (fixed) boundary crossing points.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arch/rr_graph.hpp"
+#include "util/ids.hpp"
+
+namespace emutile {
+
+/// A routed net: nodes[0..n) with parent[i] indexing into nodes (-1 = root).
+struct RouteTree {
+  std::vector<RrNodeId> nodes;
+  std::vector<std::int32_t> parent;
+
+  [[nodiscard]] bool empty() const { return nodes.empty(); }
+  [[nodiscard]] std::size_t size() const { return nodes.size(); }
+  void clear() {
+    nodes.clear();
+    parent.clear();
+  }
+};
+
+/// Forest left over after a partial rip-up.
+/// group[i] == 0 means node i is in the source-connected component;
+/// group[i] == g > 0 assigns it to orphan subtree g (1-based).
+struct RouteForest {
+  std::vector<RrNodeId> nodes;
+  std::vector<std::int32_t> parent;
+  std::vector<std::int32_t> group;
+  int num_orphan_groups = 0;
+
+  [[nodiscard]] bool empty() const { return nodes.empty(); }
+};
+
+/// Occupancy-tracked routing database, keyed by netlist NetId.
+class Routing {
+ public:
+  explicit Routing(const RrGraph& rr);
+
+  /// Rebinding copy: same trees/occupancy as `other`, referencing `rr`
+  /// (which must be structurally identical). Used for design cloning.
+  Routing(const RrGraph& rr, const Routing& other);
+
+  [[nodiscard]] const RrGraph& rr() const { return *rr_; }
+
+  [[nodiscard]] bool has_tree(NetId net) const;
+  [[nodiscard]] const RouteTree& tree(NetId net) const;
+
+  /// Install a tree (occupancy updated; any previous tree is ripped first).
+  void set_tree(NetId net, RouteTree tree);
+
+  /// Remove a net's routing entirely.
+  void rip_up(NetId net);
+
+  /// Remove only the nodes for which `rip_mask[node] != 0`; returns the
+  /// surviving forest (empty if the whole tree was ripped). `source` is the
+  /// net's true source OPIN: the surviving component rooted there becomes
+  /// group 0; every other surviving component becomes an orphan group.
+  RouteForest rip_up_partial(NetId net, const std::vector<std::uint8_t>& rip_mask,
+                             RrNodeId source);
+
+  [[nodiscard]] int occupancy(RrNodeId node) const {
+    return occupancy_[node.value()];
+  }
+  [[nodiscard]] int overuse(RrNodeId node) const {
+    return std::max(0, occupancy_[node.value()] -
+                           static_cast<int>(rr_->node(node).capacity));
+  }
+
+  /// Total number of overused RR nodes (0 = legal routing).
+  [[nodiscard]] std::size_t count_overused() const;
+
+  /// Invariant check: occupancy table equals the recount over all trees.
+  /// Returns the number of mismatching nodes (0 = consistent).
+  [[nodiscard]] std::size_t audit_occupancy() const;
+
+  /// Sum of wire nodes over all trees (wirelength proxy).
+  [[nodiscard]] std::size_t total_wire_nodes() const;
+
+  /// Path from the tree root to the given node (inclusive); used by STA.
+  /// Throws if the node is not in the net's tree.
+  [[nodiscard]] std::vector<RrNodeId> path_to(NetId net, RrNodeId node) const;
+
+  /// Prune a tree down to the union of root->sink paths for the given SINK
+  /// nodes (all must be present in the tree). Freed nodes release occupancy.
+  /// Used when a sink is detached (e.g. test-logic removal): the dangling
+  /// branch disappears without touching any other routing.
+  void prune_to_sinks(NetId net, const std::vector<RrNodeId>& wanted_sinks);
+
+  /// Structural validation of one tree: parents precede children, every
+  /// non-root edge exists in the RR graph, no duplicate nodes.
+  void validate_tree(NetId net) const;
+
+ private:
+  const RrGraph* rr_;
+  std::vector<RouteTree> trees_;  // dense by NetId value
+  std::vector<std::int32_t> occupancy_;
+};
+
+}  // namespace emutile

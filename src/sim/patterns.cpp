@@ -1,0 +1,45 @@
+#include "sim/patterns.hpp"
+
+#include "util/check.hpp"
+
+namespace emutile {
+
+std::vector<Pattern> random_patterns(std::size_t width, std::size_t count,
+                                     std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Pattern> out(count, Pattern(width));
+  for (Pattern& p : out)
+    for (std::size_t i = 0; i < width; ++i)
+      p[i] = rng.next_bool(0.5) ? 1 : 0;
+  return out;
+}
+
+std::vector<Pattern> exhaustive_patterns(std::size_t width) {
+  EMUTILE_CHECK(width <= 20, "exhaustive patterns capped at 2^20 vectors");
+  const std::size_t n = std::size_t{1} << width;
+  std::vector<Pattern> out(n, Pattern(width));
+  for (std::size_t v = 0; v < n; ++v)
+    for (std::size_t i = 0; i < width; ++i)
+      out[v][i] = (v >> i) & 1u;
+  return out;
+}
+
+std::vector<Pattern> marching_patterns(std::size_t width) {
+  std::vector<Pattern> out;
+  out.reserve(2 * width + 2);
+  out.emplace_back(width, std::uint8_t{0});
+  for (std::size_t i = 0; i < width; ++i) {
+    Pattern p(width, 0);
+    p[i] = 1;
+    out.push_back(std::move(p));
+  }
+  out.emplace_back(width, std::uint8_t{1});
+  for (std::size_t i = 0; i < width; ++i) {
+    Pattern p(width, 1);
+    p[i] = 0;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace emutile

@@ -1,0 +1,26 @@
+#pragma once
+/// \file patterns.hpp
+/// Test pattern generation (pseudocode step 10: "generate test patterns").
+/// Patterns are produced in software, exactly as in the paper's flow.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace emutile {
+
+using Pattern = std::vector<std::uint8_t>;
+
+/// `count` uniformly random input vectors of the given width.
+[[nodiscard]] std::vector<Pattern> random_patterns(std::size_t width,
+                                                   std::size_t count,
+                                                   std::uint64_t seed);
+
+/// All 2^width vectors (width must be <= 20).
+[[nodiscard]] std::vector<Pattern> exhaustive_patterns(std::size_t width);
+
+/// Walking-ones then walking-zeros (classic connectivity checks).
+[[nodiscard]] std::vector<Pattern> marching_patterns(std::size_t width);
+
+}  // namespace emutile

@@ -1,0 +1,76 @@
+#include "sim/simulator.hpp"
+
+#include "netlist/netlist_ops.hpp"
+#include "util/check.hpp"
+
+namespace emutile {
+
+Simulator::Simulator(const Netlist& nl) : nl_(&nl) {
+  order_ = topo_order_luts(nl);
+  values_.assign(nl.net_bound(), 0);
+  ff_state_.assign(nl.cell_bound(), 0);
+  for (CellId id : nl.live_cells())
+    if (nl.cell(id).kind == CellKind::kDff) dffs_.push_back(id);
+  // Constants are fixed for the whole run.
+  for (CellId id : nl.live_cells()) {
+    const Cell& c = nl.cell(id);
+    if (c.kind == CellKind::kConst1) values_[c.output.value()] = 1;
+  }
+}
+
+void Simulator::reset() {
+  for (CellId ff : dffs_) {
+    ff_state_[ff.value()] = 0;
+    values_[nl_->cell(ff).output.value()] = 0;
+  }
+  cycle_ = 0;
+}
+
+void Simulator::eval_comb() {
+  for (CellId id : order_) {
+    const Cell& c = nl_->cell(id);
+    unsigned assignment = 0;
+    for (std::size_t i = 0; i < c.inputs.size(); ++i)
+      if (values_[c.inputs[i].value()]) assignment |= 1u << i;
+    values_[c.output.value()] = c.function.eval(assignment) ? 1 : 0;
+  }
+}
+
+std::vector<std::uint8_t> Simulator::evaluate(
+    const std::vector<std::uint8_t>& pi_values) {
+  const auto& pis = nl_->primary_inputs();
+  EMUTILE_CHECK(pi_values.size() == pis.size(),
+                "expected " << pis.size() << " input values, got "
+                            << pi_values.size());
+  for (std::size_t i = 0; i < pis.size(); ++i)
+    values_[nl_->cell_output(pis[i]).value()] = pi_values[i] ? 1 : 0;
+  // FF outputs hold their current state.
+  for (CellId ff : dffs_)
+    values_[nl_->cell(ff).output.value()] = ff_state_[ff.value()];
+  eval_comb();
+
+  const auto& pos = nl_->primary_outputs();
+  std::vector<std::uint8_t> out(pos.size());
+  for (std::size_t i = 0; i < pos.size(); ++i)
+    out[i] = values_[nl_->cell(pos[i]).inputs[0].value()];
+  return out;
+}
+
+std::vector<std::uint8_t> Simulator::step(
+    const std::vector<std::uint8_t>& pi_values) {
+  std::vector<std::uint8_t> out = evaluate(pi_values);
+  // Rising clock edge: capture D into every flip-flop.
+  for (CellId ff : dffs_)
+    ff_state_[ff.value()] = values_[nl_->cell(ff).inputs[0].value()];
+  ++cycle_;
+  return out;
+}
+
+bool Simulator::ff_state(CellId dff) const {
+  EMUTILE_CHECK(dff.valid() && dff.value() < ff_state_.size() &&
+                    nl_->cell(dff).kind == CellKind::kDff,
+                "not a flip-flop");
+  return ff_state_[dff.value()] != 0;
+}
+
+}  // namespace emutile

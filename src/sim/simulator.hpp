@@ -1,0 +1,73 @@
+#pragma once
+/// \file simulator.hpp
+/// Two-valued cycle-accurate functional simulator.
+///
+/// This is the "emulation" substrate: the paper executes designs on real
+/// XC4000 parts; here a levelized compiled-code simulator plays that role.
+/// It exposes full visibility (any net, any flip-flop) which doubles as the
+/// FPGA readback path the debug flow uses to harvest MISR signatures.
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace emutile {
+
+/// Levelized simulator over a Netlist. The netlist must stay structurally
+/// unchanged while a Simulator is alive (rebuild one after an ECO).
+class Simulator {
+ public:
+  explicit Simulator(const Netlist& nl);
+
+  /// Set all flip-flops to 0 (the XC4000 global reset state).
+  void reset();
+
+  /// Drive primary inputs, evaluate combinational logic, sample primary
+  /// outputs, then clock every flip-flop once. `pi_values` is ordered like
+  /// Netlist::primary_inputs(). Returns POs ordered like primary_outputs().
+  std::vector<std::uint8_t> step(const std::vector<std::uint8_t>& pi_values);
+
+  /// Evaluate combinational logic for the given inputs without clocking
+  /// (useful for purely combinational designs and for probing).
+  std::vector<std::uint8_t> evaluate(const std::vector<std::uint8_t>& pi_values);
+
+  /// Value of a net after the most recent evaluate()/step().
+  [[nodiscard]] bool net_value(NetId net) const {
+    return values_[net.value()] != 0;
+  }
+
+  /// Current state of a flip-flop (readback).
+  [[nodiscard]] bool ff_state(CellId dff) const;
+
+  /// Number of cycles stepped since the last reset.
+  [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
+
+ private:
+  void eval_comb();
+
+  const Netlist* nl_;
+  std::vector<CellId> order_;           // topological LUT order
+  std::vector<std::uint8_t> values_;    // by NetId
+  std::vector<std::uint8_t> ff_state_;  // by CellId (DFFs only)
+  std::vector<CellId> dffs_;
+  std::uint64_t cycle_ = 0;
+};
+
+/// 64-bit signature of a value stream (the software-side model of a MISR):
+/// fold each sampled bit into a multiply-xor compressor. Used to compare
+/// hardware-collected signatures against golden simulation.
+class SignatureAccumulator {
+ public:
+  void add(bool bit) {
+    sig_ = (sig_ ^ (bit ? 0x9E3779B97F4A7C15ull : 0x2545F4914F6CDD1Dull));
+    sig_ *= 0xBF58476D1CE4E5B9ull;
+    sig_ ^= sig_ >> 31;
+  }
+  [[nodiscard]] std::uint64_t value() const { return sig_; }
+
+ private:
+  std::uint64_t sig_ = 0x853C49E6748FEA9Bull;
+};
+
+}  // namespace emutile

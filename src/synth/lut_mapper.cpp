@@ -1,0 +1,167 @@
+#include "synth/lut_mapper.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "netlist/netlist_ops.hpp"
+#include "util/check.hpp"
+
+namespace emutile {
+
+namespace {
+
+/// Recursively build a LUT tree computing `tt` over `ins`; returns its
+/// output net. Width <= lut_size maps directly.
+NetId build_lut_tree(Netlist& nl, const TruthTable& tt,
+                     const std::vector<NetId>& ins, int lut_size,
+                     const std::string& base_name, MapReport& report) {
+  if (tt.num_inputs() <= lut_size) {
+    const CellId lut = nl.add_lut(base_name, tt, ins);
+    ++report.luts_created;
+    return nl.cell_output(lut);
+  }
+  // Shannon expansion on the last (highest-index) variable.
+  const int var = tt.num_inputs() - 1;
+  std::vector<NetId> sub_ins(ins.begin(), ins.end() - 1);
+  const NetId lo =
+      build_lut_tree(nl, tt.cofactor(var, false), sub_ins, lut_size,
+                     base_name + "_c0", report);
+  const NetId hi =
+      build_lut_tree(nl, tt.cofactor(var, true), sub_ins, lut_size,
+                     base_name + "_c1", report);
+  const CellId mux =
+      nl.add_lut(base_name + "_mx", TruthTable::mux21(), {ins.back(), lo, hi});
+  ++report.luts_created;
+  return nl.cell_output(mux);
+}
+
+}  // namespace
+
+MapReport map_to_luts(Netlist& nl, const MapParams& params) {
+  EMUTILE_CHECK(params.lut_size >= 2 && params.lut_size <= TruthTable::kMaxInputs,
+                "unsupported LUT size " << params.lut_size);
+  MapReport report;
+  // Snapshot: decomposition adds cells; we only visit the original ones.
+  const std::vector<CellId> cells = nl.live_cells();
+  for (CellId id : cells) {
+    // Copy the payload: build_lut_tree adds cells, which can reallocate the
+    // cell table and invalidate references into it.
+    const CellKind kind = nl.cell(id).kind;
+    if (kind != CellKind::kLut) continue;
+    const TruthTable function = nl.cell(id).function;
+    if (function.num_inputs() <= params.lut_size) continue;
+    const std::vector<NetId> inputs = nl.cell(id).inputs;
+    const std::string name = nl.cell(id).name;
+    const NetId tree_out = build_lut_tree(nl, function, inputs,
+                                          params.lut_size, name + "_d",
+                                          report);
+    nl.transfer_sinks(nl.cell_output(id), tree_out);
+    nl.remove_cell(id);
+    ++report.luts_decomposed;
+  }
+  nl.validate();
+  return report;
+}
+
+MapReport fold_constants(Netlist& nl) {
+  MapReport report;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (CellId id : nl.live_cells()) {
+      const Cell& c = nl.cell(id);
+
+      if (c.kind == CellKind::kDff) {
+        const Cell& drv = nl.cell(nl.net(c.inputs[0]).driver);
+        if (drv.kind == CellKind::kConst0 || drv.kind == CellKind::kConst1) {
+          // Steady state after the first clock edge equals the constant.
+          const CellId cst =
+              nl.add_const(c.name + "_k", drv.kind == CellKind::kConst1);
+          nl.transfer_sinks(nl.cell_output(id), nl.cell_output(cst));
+          nl.remove_cell(id);
+          ++report.constants_folded;
+          changed = true;
+        }
+        continue;
+      }
+
+      if (c.kind != CellKind::kLut) continue;
+
+      // Fold constant inputs via cofactoring.
+      TruthTable tt = c.function;
+      std::vector<NetId> ins = c.inputs;
+      bool folded = false;
+      for (int i = static_cast<int>(ins.size()) - 1; i >= 0; --i) {
+        const Cell& drv = nl.cell(nl.net(ins[static_cast<std::size_t>(i)]).driver);
+        if (drv.kind == CellKind::kConst0 || drv.kind == CellKind::kConst1) {
+          tt = tt.cofactor(i, drv.kind == CellKind::kConst1);
+          ins.erase(ins.begin() + i);
+          folded = true;
+          ++report.constants_folded;
+        }
+      }
+      // Drop inputs the function is vacuous in.
+      for (int i = tt.num_inputs() - 1; i >= 0; --i) {
+        if (static_cast<int>(ins.size()) != tt.num_inputs()) break;
+        if (!tt.depends_on(i) && tt.num_inputs() > 0) {
+          tt = tt.cofactor(i, false);
+          ins.erase(ins.begin() + i);
+          folded = true;
+          ++report.inputs_dropped;
+        }
+      }
+      if (!folded) continue;
+
+      NetId repl;
+      if (tt.num_inputs() == 0) {
+        const CellId cst = nl.add_const(c.name + "_k", tt.bit(0));
+        repl = nl.cell_output(cst);
+      } else {
+        const CellId lut = nl.add_lut(c.name + "_f", tt, ins);
+        repl = nl.cell_output(lut);
+      }
+      nl.transfer_sinks(nl.cell_output(id), repl);
+      nl.remove_cell(id);
+      changed = true;
+    }
+  }
+  nl.validate();
+  return report;
+}
+
+MapReport prune_dead(Netlist& nl) {
+  MapReport report;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (CellId id : nl.live_cells()) {
+      const Cell& c = nl.cell(id);
+      if (c.kind == CellKind::kOutput || c.kind == CellKind::kInput) continue;
+      if (nl.net(c.output).sinks.empty()) {
+        nl.remove_cell(id);
+        ++report.cells_pruned;
+        changed = true;
+      }
+    }
+  }
+  nl.validate();
+  return report;
+}
+
+MapReport synthesize(Netlist& nl, const MapParams& params) {
+  MapReport total;
+  auto merge = [&total](const MapReport& r) {
+    total.luts_decomposed += r.luts_decomposed;
+    total.luts_created += r.luts_created;
+    total.constants_folded += r.constants_folded;
+    total.inputs_dropped += r.inputs_dropped;
+    total.cells_pruned += r.cells_pruned;
+  };
+  merge(fold_constants(nl));
+  merge(map_to_luts(nl, params));
+  merge(fold_constants(nl));
+  merge(prune_dead(nl));
+  return total;
+}
+
+}  // namespace emutile

@@ -1,0 +1,49 @@
+#pragma once
+/// \file lut_mapper.hpp
+/// Technology mapping to 4-input LUTs plus netlist clean-up passes.
+///
+/// Input netlists (from BLIF or the design generators) may contain LUT cells
+/// of up to TruthTable::kMaxInputs inputs; the target CLB holds 4-input LUTs,
+/// so wider functions are decomposed by recursive Shannon expansion with the
+/// two cofactors recombined through a 2:1 mux LUT. The clean-up passes fold
+/// constants into downstream functions, drop unused LUT inputs, and prune
+/// logic that cannot reach a primary output — leaving a netlist the packer
+/// can take straight to CLBs.
+
+#include <cstddef>
+
+#include "netlist/netlist.hpp"
+
+namespace emutile {
+
+/// Technology-mapping options.
+struct MapParams {
+  int lut_size = 4;  ///< target LUT arity (the XC4000 CLB has 4-input LUTs)
+};
+
+/// Statistics returned by the passes.
+struct MapReport {
+  std::size_t luts_decomposed = 0;  ///< wide LUTs split into trees
+  std::size_t luts_created = 0;     ///< new LUTs added by decomposition
+  std::size_t constants_folded = 0; ///< const-fed LUTs simplified
+  std::size_t inputs_dropped = 0;   ///< vacuous LUT inputs removed
+  std::size_t cells_pruned = 0;     ///< dead cells removed
+};
+
+/// Decompose every LUT wider than params.lut_size into a tree of LUTs of at
+/// most that arity. Function-preserving; updates `nl` in place.
+MapReport map_to_luts(Netlist& nl, const MapParams& params = {});
+
+/// Fold constant drivers into consuming LUT functions and drop inputs the
+/// function does not depend on. Repeats to fixpoint. DFFs fed by constants
+/// are replaced by the constant (after-reset steady state).
+MapReport fold_constants(Netlist& nl);
+
+/// Remove cells whose output cannot reach any primary output.
+MapReport prune_dead(Netlist& nl);
+
+/// Convenience: fold, decompose, fold again, prune. The standard pipeline
+/// run on every design before packing.
+MapReport synthesize(Netlist& nl, const MapParams& params = {});
+
+}  // namespace emutile

@@ -1,0 +1,465 @@
+#include "synth/packer.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "netlist/netlist_ops.hpp"
+#include "util/check.hpp"
+
+namespace emutile {
+
+const Instance& PackedDesign::inst(InstId id) const {
+  EMUTILE_CHECK(id.valid() && id.value() < instances_.size(), "bad instance id");
+  return instances_[id.value()];
+}
+
+std::vector<InstId> PackedDesign::live_insts() const {
+  std::vector<InstId> out;
+  for (std::size_t i = 0; i < instances_.size(); ++i)
+    if (instances_[i].alive) out.push_back(InstId{static_cast<std::uint32_t>(i)});
+  return out;
+}
+
+std::size_t PackedDesign::num_clbs() const {
+  std::size_t n = 0;
+  for (const Instance& inst : instances_)
+    if (inst.alive && inst.kind == InstKind::kClb) ++n;
+  return n;
+}
+
+std::size_t PackedDesign::num_iobs() const {
+  std::size_t n = 0;
+  for (const Instance& inst : instances_)
+    if (inst.alive && inst.kind != InstKind::kClb) ++n;
+  return n;
+}
+
+InstId PackedDesign::inst_of_cell(CellId cell) const {
+  if (!cell.valid() || cell.value() >= inst_of_cell_.size())
+    return InstId::invalid();
+  return inst_of_cell_[cell.value()];
+}
+
+std::pair<InstId, int> PackedDesign::source_pin(const Netlist& nl,
+                                                NetId net) const {
+  const CellId drv = nl.net(net).driver;
+  const Cell& c = nl.cell(drv);
+  const InstId id = inst_of_cell(drv);
+  EMUTILE_CHECK(id.valid(), "net '" << nl.net(net).name
+                                    << "' driver is not packed");
+  const Instance& in = inst(id);
+  switch (c.kind) {
+    case CellKind::kInput: return {id, 0};
+    case CellKind::kLut:
+      EMUTILE_ASSERT(in.lut_f == drv || in.lut_g == drv,
+                     "LUT '" << c.name << "' not in its instance's slots");
+      return {id, in.lut_f == drv ? 0 : 1};
+    case CellKind::kDff:
+      EMUTILE_ASSERT(in.ff_f == drv || in.ff_g == drv,
+                     "DFF '" << c.name << "' not in its instance's slots");
+      return {id, in.ff_f == drv ? 2 : 3};
+    default:
+      EMUTILE_CHECK(false, "net '" << nl.net(net).name
+                                   << "' driven by unroutable cell kind "
+                                   << to_string(c.kind));
+  }
+  return {InstId::invalid(), 0};
+}
+
+std::vector<PhysNet> PackedDesign::physical_nets(const Netlist& nl) const {
+  std::vector<PhysNet> nets;
+  for (NetId nid : nl.live_nets()) {
+    const Net& n = nl.net(nid);
+    const Cell& drv = nl.cell(n.driver);
+    if (drv.kind == CellKind::kConst0 || drv.kind == CellKind::kConst1)
+      EMUTILE_CHECK(n.sinks.empty(),
+                    "constant net '" << n.name
+                                     << "' must be folded before packing");
+    if (n.sinks.empty()) continue;
+
+    PhysNet pn;
+    pn.net = nid;
+    std::tie(pn.src_inst, pn.src_opin) = source_pin(nl, nid);
+
+    std::unordered_set<std::uint32_t> seen;
+    for (const PinRef& pin : n.sinks) {
+      const Cell& sc = nl.cell(pin.cell);
+      const InstId sink_inst = inst_of_cell(pin.cell);
+      EMUTILE_CHECK(sink_inst.valid(),
+                    "sink cell '" << sc.name << "' is not packed");
+      if (sc.kind == CellKind::kDff) {
+        const Instance& si = inst(sink_inst);
+        const FfSource src =
+            si.ff_f == pin.cell ? si.ff_f_src : si.ff_g_src;
+        if (src != FfSource::kDirect) continue;  // internal CLB feed
+      }
+      if (seen.insert(sink_inst.value()).second)
+        pn.sink_insts.push_back(sink_inst);
+    }
+    if (!pn.sink_insts.empty()) nets.push_back(std::move(pn));
+  }
+  return nets;
+}
+
+int PackedDesign::input_net_demand(const Netlist& nl, InstId id) const {
+  const Instance& in = inst(id);
+  if (!in.is_clb()) return in.kind == InstKind::kIobOut ? 1 : 0;
+  std::unordered_set<std::uint32_t> nets;
+  auto add_lut_inputs = [&](CellId lut) {
+    if (!lut.valid()) return;
+    for (NetId n : nl.cell(lut).inputs) nets.insert(n.value());
+  };
+  add_lut_inputs(in.lut_f);
+  add_lut_inputs(in.lut_g);
+  auto add_direct_ff = [&](CellId ff, FfSource src) {
+    if (ff.valid() && src == FfSource::kDirect)
+      nets.insert(nl.cell(ff).inputs[0].value());
+  };
+  add_direct_ff(in.ff_f, in.ff_f_src);
+  add_direct_ff(in.ff_g, in.ff_g_src);
+  return static_cast<int>(nets.size());
+}
+
+InstId PackedDesign::new_clb(const std::string& name) {
+  Instance in;
+  in.kind = InstKind::kClb;
+  in.name = name;
+  const InstId id{static_cast<std::uint32_t>(instances_.size())};
+  instances_.push_back(std::move(in));
+  return id;
+}
+
+InstId PackedDesign::new_iob(const std::string& name, InstKind kind,
+                             CellId io_cell) {
+  EMUTILE_CHECK(kind != InstKind::kClb, "new_iob with CLB kind");
+  Instance in;
+  in.kind = kind;
+  in.name = name;
+  in.io_cell = io_cell;
+  const InstId id{static_cast<std::uint32_t>(instances_.size())};
+  instances_.push_back(std::move(in));
+  bind(io_cell, id);
+  return id;
+}
+
+void PackedDesign::assign_lut(InstId id, bool slot_g, CellId lut) {
+  Instance& in = mutable_inst(id);
+  EMUTILE_CHECK(in.is_clb(), "assign_lut to non-CLB");
+  CellId& slot = slot_g ? in.lut_g : in.lut_f;
+  EMUTILE_CHECK(!slot.valid(), "LUT slot already occupied in " << in.name);
+  slot = lut;
+  bind(lut, id);
+}
+
+void PackedDesign::assign_ff(InstId id, bool slot_g, CellId ff, FfSource src) {
+  Instance& in = mutable_inst(id);
+  EMUTILE_CHECK(in.is_clb(), "assign_ff to non-CLB");
+  EMUTILE_CHECK(src != FfSource::kNone, "assign_ff needs a source");
+  CellId& slot = slot_g ? in.ff_g : in.ff_f;
+  FfSource& slot_src = slot_g ? in.ff_g_src : in.ff_f_src;
+  EMUTILE_CHECK(!slot.valid(), "FF slot already occupied in " << in.name);
+  if (src == FfSource::kLutF)
+    EMUTILE_CHECK(in.lut_f.valid(), "FF source LutF but slot F empty");
+  if (src == FfSource::kLutG)
+    EMUTILE_CHECK(in.lut_g.valid(), "FF source LutG but slot G empty");
+  slot = ff;
+  slot_src = src;
+  bind(ff, id);
+}
+
+void PackedDesign::unbind_cell(CellId cell) {
+  const InstId id = inst_of_cell(cell);
+  if (!id.valid()) return;
+  Instance& in = mutable_inst(id);
+  if (in.lut_f == cell) {
+    in.lut_f = CellId::invalid();
+    // A FF sourced from this LUT loses its feed; it must be rebound by the
+    // caller (ECO paths delete/replace the FF alongside).
+    EMUTILE_CHECK(in.ff_f_src != FfSource::kLutF,
+                  "unbind LUT F while FF still registers it");
+    EMUTILE_CHECK(in.ff_g_src != FfSource::kLutF,
+                  "unbind LUT F while FF still registers it");
+  } else if (in.lut_g == cell) {
+    in.lut_g = CellId::invalid();
+    EMUTILE_CHECK(in.ff_f_src != FfSource::kLutG,
+                  "unbind LUT G while FF still registers it");
+    EMUTILE_CHECK(in.ff_g_src != FfSource::kLutG,
+                  "unbind LUT G while FF still registers it");
+  } else if (in.ff_f == cell) {
+    in.ff_f = CellId::invalid();
+    in.ff_f_src = FfSource::kNone;
+  } else if (in.ff_g == cell) {
+    in.ff_g = CellId::invalid();
+    in.ff_g_src = FfSource::kNone;
+  } else if (in.io_cell == cell) {
+    in.io_cell = CellId::invalid();
+  }
+  inst_of_cell_[cell.value()] = InstId::invalid();
+}
+
+void PackedDesign::remove_if_empty(InstId id) {
+  Instance& in = mutable_inst(id);
+  if (in.empty_clb() || (!in.is_clb() && !in.io_cell.valid())) in.alive = false;
+}
+
+void PackedDesign::validate(const Netlist& nl) const {
+  std::unordered_map<std::uint32_t, std::uint32_t> owner;
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    const Instance& in = instances_[i];
+    if (!in.alive) continue;
+    auto check_slot = [&](CellId cell, CellKind want) {
+      if (!cell.valid()) return;
+      const Cell& c = nl.cell(cell);
+      EMUTILE_ASSERT(c.alive && c.kind == want,
+                     "instance '" << in.name << "' slot holds wrong cell");
+      EMUTILE_ASSERT(owner.emplace(cell.value(), i).second,
+                     "cell '" << c.name << "' packed twice");
+      EMUTILE_ASSERT(inst_of_cell(cell).value() == i,
+                     "cell '" << c.name << "' binding out of sync");
+    };
+    if (in.is_clb()) {
+      check_slot(in.lut_f, CellKind::kLut);
+      check_slot(in.lut_g, CellKind::kLut);
+      check_slot(in.ff_f, CellKind::kDff);
+      check_slot(in.ff_g, CellKind::kDff);
+      // Internal FF feeds must match the netlist connectivity.
+      auto check_feed = [&](CellId ff, FfSource src) {
+        if (!ff.valid() || src == FfSource::kDirect) return;
+        const CellId feeder = src == FfSource::kLutF ? in.lut_f : in.lut_g;
+        EMUTILE_ASSERT(feeder.valid(), "FF internal source slot empty");
+        EMUTILE_ASSERT(nl.net(nl.cell(ff).inputs[0]).driver == feeder,
+                       "FF '" << nl.cell(ff).name
+                              << "' internal feed does not match netlist");
+      };
+      check_feed(in.ff_f, in.ff_f_src);
+      check_feed(in.ff_g, in.ff_g_src);
+      EMUTILE_ASSERT(input_net_demand(nl, InstId{static_cast<std::uint32_t>(i)}) <=
+                         ClbPinModel::kNumIpins,
+                     "instance '" << in.name << "' exceeds input pins");
+    } else {
+      check_slot(in.io_cell, in.kind == InstKind::kIobIn ? CellKind::kInput
+                                                         : CellKind::kOutput);
+    }
+  }
+  // Every live LUT/DFF/PI/PO must be packed.
+  for (CellId id : nl.live_cells()) {
+    const Cell& c = nl.cell(id);
+    if (c.kind == CellKind::kConst0 || c.kind == CellKind::kConst1) continue;
+    EMUTILE_ASSERT(owner.find(id.value()) != owner.end(),
+                   "cell '" << c.name << "' (" << to_string(c.kind)
+                            << ") is not packed");
+  }
+}
+
+Instance& PackedDesign::mutable_inst(InstId id) {
+  EMUTILE_CHECK(id.valid() && id.value() < instances_.size() &&
+                    instances_[id.value()].alive,
+                "bad or dead instance id");
+  return instances_[id.value()];
+}
+
+void PackedDesign::bind(CellId cell, InstId inst) {
+  if (cell.value() >= inst_of_cell_.size())
+    inst_of_cell_.resize(cell.value() + 1, InstId::invalid());
+  EMUTILE_CHECK(!inst_of_cell_[cell.value()].valid(),
+                "cell already bound to an instance");
+  inst_of_cell_[cell.value()] = inst;
+}
+
+namespace {
+
+/// Shared-input affinity between two LUTs (higher is better).
+int affinity(const Netlist& nl, CellId a, CellId b) {
+  int shared = 0;
+  for (NetId na : nl.cell(a).inputs)
+    for (NetId nb : nl.cell(b).inputs)
+      if (na == nb) ++shared;
+  // Direct connection is also worth pairing for wirelength.
+  int adjacent = 0;
+  if (nl.cell_output(a).valid())
+    for (const PinRef& pin : nl.net(nl.cell_output(a)).sinks)
+      if (pin.cell == b) adjacent = 1;
+  if (nl.cell_output(b).valid())
+    for (const PinRef& pin : nl.net(nl.cell_output(b)).sinks)
+      if (pin.cell == a) adjacent = 1;
+  return shared * 2 + adjacent;
+}
+
+/// Candidate partners of a LUT: co-sinks of its input nets, its driver LUTs,
+/// and its fanout LUTs.
+std::vector<CellId> pairing_candidates(const Netlist& nl, CellId lut) {
+  std::vector<CellId> out;
+  std::unordered_set<std::uint32_t> seen{lut.value()};
+  auto add = [&](CellId c) {
+    if (nl.cell(c).kind == CellKind::kLut && seen.insert(c.value()).second)
+      out.push_back(c);
+  };
+  const Cell& c = nl.cell(lut);
+  for (NetId in : c.inputs) {
+    add(nl.net(in).driver);
+    for (const PinRef& pin : nl.net(in).sinks) add(pin.cell);
+  }
+  for (const PinRef& pin : nl.net(c.output).sinks) add(pin.cell);
+  return out;
+}
+
+}  // namespace
+
+PackedDesign pack(const Netlist& nl) {
+  PackedDesign packed;
+
+  // --- pair LUTs by affinity, walking in topological order ---
+  const std::vector<CellId> order = topo_order_luts(nl);
+  std::unordered_set<std::uint32_t> placed;
+  std::vector<CellId> singles;
+  int clb_counter = 0;
+
+  for (CellId lut : order) {
+    if (placed.count(lut.value())) continue;
+    placed.insert(lut.value());
+    CellId best;
+    int best_aff = 0;
+    for (CellId cand : pairing_candidates(nl, lut)) {
+      if (placed.count(cand.value())) continue;
+      const int a = affinity(nl, lut, cand);
+      if (a > best_aff) {
+        best_aff = a;
+        best = cand;
+      }
+    }
+    if (best.valid()) {
+      placed.insert(best.value());
+      const InstId clb = packed.new_clb("clb" + std::to_string(clb_counter++));
+      packed.assign_lut(clb, false, lut);
+      packed.assign_lut(clb, true, best);
+    } else {
+      singles.push_back(lut);
+    }
+  }
+  // Pair leftovers consecutively (topo-adjacent LUTs are usually related).
+  for (std::size_t i = 0; i < singles.size(); i += 2) {
+    const InstId clb = packed.new_clb("clb" + std::to_string(clb_counter++));
+    packed.assign_lut(clb, false, singles[i]);
+    if (i + 1 < singles.size()) packed.assign_lut(clb, true, singles[i + 1]);
+  }
+
+  // --- flip-flops ---
+  std::vector<CellId> route_through;
+  for (CellId id : nl.live_cells()) {
+    const Cell& c = nl.cell(id);
+    if (c.kind != CellKind::kDff) continue;
+    const CellId drv = nl.net(c.inputs[0]).driver;
+    const InstId drv_inst = packed.inst_of_cell(drv);
+    bool done = false;
+    if (nl.cell(drv).kind == CellKind::kLut && drv_inst.valid()) {
+      const Instance& in = packed.inst(drv_inst);
+      const FfSource src = in.lut_f == drv ? FfSource::kLutF : FfSource::kLutG;
+      if (!in.ff_f.valid()) {
+        packed.assign_ff(drv_inst, false, id, src);
+        done = true;
+      } else if (!in.ff_g.valid()) {
+        packed.assign_ff(drv_inst, true, id, src);
+        done = true;
+      }
+    }
+    if (!done) route_through.push_back(id);
+  }
+  for (CellId ff : route_through) {
+    // Prefer a CLB that consumes this FF's output (locality), else a new CLB.
+    InstId target;
+    for (const PinRef& pin : nl.net(nl.cell_output(ff)).sinks) {
+      const InstId cand = packed.inst_of_cell(pin.cell);
+      if (!cand.valid() || !packed.inst(cand).is_clb()) continue;
+      const Instance& in = packed.inst(cand);
+      if (!in.ff_f.valid() || !in.ff_g.valid()) {
+        target = cand;
+        break;
+      }
+    }
+    if (!target.valid())
+      target = packed.new_clb("clb" + std::to_string(clb_counter++));
+    const Instance& in = packed.inst(target);
+    packed.assign_ff(target, in.ff_f.valid(), ff, FfSource::kDirect);
+  }
+
+  // --- IOBs ---
+  for (CellId pi : nl.primary_inputs())
+    packed.new_iob("iob_" + nl.cell(pi).name, InstKind::kIobIn, pi);
+  for (CellId po : nl.primary_outputs())
+    packed.new_iob("iob_" + nl.cell(po).name, InstKind::kIobOut, po);
+
+  packed.validate(nl);
+  return packed;
+}
+
+std::vector<InstId> pack_increment(PackedDesign& packed, const Netlist& nl,
+                                   const std::vector<CellId>& new_cells) {
+  std::vector<InstId> created;
+  std::vector<CellId> luts, ffs;
+  for (CellId id : new_cells) {
+    if (packed.inst_of_cell(id).valid()) continue;
+    const Cell& c = nl.cell(id);
+    if (c.kind == CellKind::kLut)
+      luts.push_back(id);
+    else if (c.kind == CellKind::kDff)
+      ffs.push_back(id);
+    else
+      EMUTILE_CHECK(false,
+                    "pack_increment supports LUT/DFF cells, got "
+                        << to_string(c.kind));
+  }
+
+  int counter = 0;
+  auto fresh = [&]() {
+    const InstId id = packed.new_clb(
+        "eco_clb" + std::to_string(packed.inst_bound()) + "_" +
+        std::to_string(counter++));
+    created.push_back(id);
+    return id;
+  };
+
+  // Pair new LUTs consecutively (they arrive in generation order, which is
+  // already local), then attach new FFs.
+  for (std::size_t i = 0; i < luts.size(); i += 2) {
+    const InstId clb = fresh();
+    packed.assign_lut(clb, false, luts[i]);
+    if (i + 1 < luts.size()) packed.assign_lut(clb, true, luts[i + 1]);
+  }
+  for (CellId ff : ffs) {
+    const CellId drv = nl.net(nl.cell(ff).inputs[0]).driver;
+    const InstId drv_inst = packed.inst_of_cell(drv);
+    bool done = false;
+    if (nl.cell(drv).kind == CellKind::kLut && drv_inst.valid() &&
+        std::find(created.begin(), created.end(), drv_inst) != created.end()) {
+      const Instance& in = packed.inst(drv_inst);
+      const FfSource src =
+          in.lut_f == drv ? FfSource::kLutF : FfSource::kLutG;
+      if (!in.ff_f.valid()) {
+        packed.assign_ff(drv_inst, false, ff, src);
+        done = true;
+      } else if (!in.ff_g.valid()) {
+        packed.assign_ff(drv_inst, true, ff, src);
+        done = true;
+      }
+    }
+    if (!done) {
+      // Reuse the most recent new CLB with a free FF slot, else a fresh one.
+      InstId target;
+      for (auto it = created.rbegin(); it != created.rend(); ++it) {
+        const Instance& in = packed.inst(*it);
+        if (!in.ff_f.valid() || !in.ff_g.valid()) {
+          target = *it;
+          break;
+        }
+      }
+      if (!target.valid()) target = fresh();
+      const Instance& in = packed.inst(target);
+      packed.assign_ff(target, in.ff_f.valid(), ff, FfSource::kDirect);
+    }
+  }
+  packed.validate(nl);
+  return created;
+}
+
+}  // namespace emutile

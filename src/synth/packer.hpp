@@ -1,0 +1,127 @@
+#pragma once
+/// \file packer.hpp
+/// Packing of mapped netlists into XC4000-style CLB and IOB instances.
+///
+/// A CLB instance holds up to two 4-input LUTs (slots F and G) and up to two
+/// D flip-flops (slots FQ and GQ). A flip-flop either registers a local LUT
+/// (internal feed, no routing needed for that arc) or is a "route-through"
+/// fed from one of the CLB's auxiliary direct-in pins. Output pins:
+/// 0 = F (comb), 1 = G (comb), 2 = FQ, 3 = GQ.
+///
+/// The packer also supports incremental packing for ECO flows: newly added
+/// netlist cells are packed into fresh instances without disturbing the
+/// existing assignment (the paper's test-logic insertion path).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/device.hpp"
+#include "netlist/netlist.hpp"
+#include "util/ids.hpp"
+
+namespace emutile {
+
+using InstId = ClbId;  ///< packed-instance id (CLBs and IOBs share the space)
+
+enum class InstKind : std::uint8_t { kClb, kIobIn, kIobOut };
+
+/// Source selection for a CLB flip-flop slot.
+enum class FfSource : std::uint8_t { kNone, kLutF, kLutG, kDirect };
+
+/// One packed instance.
+struct Instance {
+  InstKind kind = InstKind::kClb;
+  std::string name;
+  bool alive = true;
+
+  // CLB payload (invalid CellIds when unused).
+  CellId lut_f;
+  CellId lut_g;
+  CellId ff_f;
+  CellId ff_g;
+  FfSource ff_f_src = FfSource::kNone;
+  FfSource ff_g_src = FfSource::kNone;
+
+  // IOB payload.
+  CellId io_cell;
+
+  [[nodiscard]] bool is_clb() const { return kind == InstKind::kClb; }
+  [[nodiscard]] bool empty_clb() const {
+    return is_clb() && !lut_f.valid() && !lut_g.valid() && !ff_f.valid() &&
+           !ff_g.valid();
+  }
+};
+
+/// A net in physical form: one source pin, N sink instances.
+struct PhysNet {
+  NetId net;
+  InstId src_inst;
+  int src_opin = 0;
+  std::vector<InstId> sink_insts;  ///< deduplicated, internal feeds excluded
+};
+
+/// The packed design: instance list plus cell->instance binding.
+class PackedDesign {
+ public:
+  PackedDesign() = default;
+
+  [[nodiscard]] std::size_t inst_bound() const { return instances_.size(); }
+  [[nodiscard]] const Instance& inst(InstId id) const;
+  [[nodiscard]] std::vector<InstId> live_insts() const;
+  [[nodiscard]] std::size_t num_clbs() const;
+  [[nodiscard]] std::size_t num_iobs() const;
+
+  /// Instance containing a given netlist cell (invalid if none).
+  [[nodiscard]] InstId inst_of_cell(CellId cell) const;
+
+  /// Output pin (OPIN index) on which `net` leaves its source instance.
+  /// Throws if the net's driver is not packed.
+  [[nodiscard]] std::pair<InstId, int> source_pin(const Netlist& nl,
+                                                  NetId net) const;
+
+  /// Derive the physical net list for routing. Nets fully absorbed inside a
+  /// CLB (LUT feeding only its local FF) are skipped.
+  [[nodiscard]] std::vector<PhysNet> physical_nets(const Netlist& nl) const;
+
+  /// Distinct external input nets a CLB needs (IPIN demand; must be <= 10).
+  [[nodiscard]] int input_net_demand(const Netlist& nl, InstId id) const;
+
+  // ---- mutation (packer + ECO paths) --------------------------------------
+
+  InstId new_clb(const std::string& name);
+  InstId new_iob(const std::string& name, InstKind kind, CellId io_cell);
+
+  /// Install a LUT in slot F or G (slot must be free).
+  void assign_lut(InstId id, bool slot_g, CellId lut);
+  /// Install a flip-flop in slot FQ or GQ with the given source.
+  void assign_ff(InstId id, bool slot_g, CellId ff, FfSource src);
+
+  /// Remove a cell's binding (e.g. before deleting the cell). Leaves the
+  /// instance in place; use remove_if_empty to reclaim it.
+  void unbind_cell(CellId cell);
+  void remove_if_empty(InstId id);
+
+  /// Consistency check against the netlist; throws on violation.
+  void validate(const Netlist& nl) const;
+
+ private:
+  friend PackedDesign pack(const Netlist& nl);
+  Instance& mutable_inst(InstId id);
+  void bind(CellId cell, InstId inst);
+
+  std::vector<Instance> instances_;
+  std::vector<InstId> inst_of_cell_;  // dense by cell id
+};
+
+/// Pack a mapped netlist (every LUT <= 4 inputs, no constants feeding logic).
+/// Pairs LUTs by shared-input affinity, registers FFs with their driving LUT
+/// when possible, and creates IOBs for every PI/PO.
+[[nodiscard]] PackedDesign pack(const Netlist& nl);
+
+/// Incrementally pack newly added cells into fresh CLBs. Returns the new
+/// instances. Cells already bound are ignored.
+std::vector<InstId> pack_increment(PackedDesign& packed, const Netlist& nl,
+                                   const std::vector<CellId>& new_cells);
+
+}  // namespace emutile

@@ -1,0 +1,105 @@
+#include "timing/sta.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "netlist/netlist_ops.hpp"
+#include "util/check.hpp"
+
+namespace emutile {
+
+double routed_sink_delay_ns(const Routing& routing, const RrGraph& rr,
+                            NetId net, SiteIndex sink_site) {
+  const RrNodeId sink_node = rr.sink(sink_site);
+  double delay = 0.0;
+  for (RrNodeId n : routing.path_to(net, sink_node))
+    delay += RrGraph::intrinsic_delay_ns(rr.node(n).type);
+  return delay;
+}
+
+TimingReport analyze_timing(const Netlist& nl, const PackedDesign& packed,
+                            const Placement& placement, const Routing& routing,
+                            std::span<const PhysNet> nets,
+                            const TimingParams& params) {
+  const RrGraph& rr = routing.rr();
+
+  // Wire delay per (net, sink instance).
+  std::unordered_map<std::uint64_t, double> wire_delay;
+  auto key = [](NetId n, InstId i) {
+    return (static_cast<std::uint64_t>(n.value()) << 32) | i.value();
+  };
+  for (const PhysNet& pn : nets) {
+    for (InstId sink : pn.sink_insts) {
+      const SiteIndex site = placement.site_of(sink);
+      double d;
+      if (routing.has_tree(pn.net)) {
+        d = routed_sink_delay_ns(routing, rr, pn.net, site);
+      } else {
+        // Fallback: placement-based estimate.
+        auto [sx, sy] = placement.position(pn.src_inst);
+        auto [tx, ty] = placement.position(sink);
+        d = params.unrouted_per_unit *
+            (std::abs(sx - tx) + std::abs(sy - ty));
+      }
+      wire_delay[key(pn.net, sink)] = d;
+    }
+  }
+
+  // Arrival time of each net at its driver output pin.
+  std::vector<double> arrival(nl.net_bound(), 0.0);
+  for (CellId pi : nl.primary_inputs())
+    arrival[nl.cell_output(pi).value()] = params.iob_delay;
+  for (CellId id : nl.live_cells()) {
+    const Cell& c = nl.cell(id);
+    if (c.kind == CellKind::kDff)
+      arrival[c.output.value()] = params.clk_to_q;
+  }
+
+  // Arrival of a net at a specific consuming instance.
+  auto arrival_at = [&](NetId net, CellId consumer) -> double {
+    const InstId inst = packed.inst_of_cell(consumer);
+    auto it = wire_delay.find(key(net, inst));
+    const double wire = it != wire_delay.end() ? it->second : 0.0;
+    return arrival[net.value()] + wire;
+  };
+
+  for (CellId id : topo_order_luts(nl)) {
+    const Cell& c = nl.cell(id);
+    double worst = 0.0;
+    for (NetId in : c.inputs) worst = std::max(worst, arrival_at(in, id));
+    arrival[c.output.value()] = worst + params.lut_delay;
+  }
+
+  // Endpoints: DFF D pins and primary outputs.
+  TimingReport report;
+  auto consider = [&](double t, const std::string& name) {
+    ++report.endpoints;
+    if (t > report.critical_path_ns) {
+      report.critical_path_ns = t;
+      report.critical_endpoint = name;
+    }
+  };
+
+  for (CellId id : nl.live_cells()) {
+    const Cell& c = nl.cell(id);
+    if (c.kind == CellKind::kDff) {
+      const NetId d_net = c.inputs[0];
+      const InstId inst = packed.inst_of_cell(id);
+      const Instance& in = packed.inst(inst);
+      const FfSource src = in.ff_f == id ? in.ff_f_src : in.ff_g_src;
+      double t;
+      if (src == FfSource::kDirect) {
+        t = arrival_at(d_net, id);
+      } else {
+        t = arrival[d_net.value()] + params.internal_feed;
+      }
+      consider(t + params.setup, c.name);
+    } else if (c.kind == CellKind::kOutput) {
+      consider(arrival_at(c.inputs[0], id) + params.iob_delay, c.name);
+    }
+  }
+  return report;
+}
+
+}  // namespace emutile

@@ -1,0 +1,54 @@
+#pragma once
+/// \file sta.hpp
+/// Static timing analysis over a packed, placed, and routed design.
+///
+/// Emulation is functionality-first (the paper explicitly treats circuit
+/// performance as secondary), but Table 1 reports the *timing overhead* of
+/// tiling, so the reproduction needs a consistent delay estimate: logic
+/// delays per cell class plus wire delays accumulated along the routed path
+/// of every source->sink connection. The design is single-clock; the
+/// critical path is the longest register-to-register / input-to-output path
+/// including setup time.
+
+#include <span>
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "place/placement.hpp"
+#include "route/routing.hpp"
+#include "synth/packer.hpp"
+
+namespace emutile {
+
+/// Delay model parameters (nanoseconds), XC4000-flavored magnitudes.
+struct TimingParams {
+  float lut_delay = 2.0f;       ///< LUT input -> output
+  float clk_to_q = 1.5f;        ///< DFF clock -> Q
+  float setup = 0.5f;           ///< DFF setup
+  float iob_delay = 1.0f;       ///< pad <-> internal
+  float internal_feed = 0.2f;   ///< LUT -> same-CLB FF direct feed
+  float unrouted_per_unit = 0.8f;  ///< fallback estimate per manhattan unit
+};
+
+struct TimingReport {
+  double critical_path_ns = 0.0;
+  std::string critical_endpoint;  ///< name of the worst endpoint cell
+  std::size_t endpoints = 0;
+};
+
+/// Compute the critical path. Every externally routed net must have a route
+/// tree in `routing`; internal CLB feeds use the internal_feed delay.
+[[nodiscard]] TimingReport analyze_timing(const Netlist& nl,
+                                          const PackedDesign& packed,
+                                          const Placement& placement,
+                                          const Routing& routing,
+                                          std::span<const PhysNet> nets,
+                                          const TimingParams& params = {});
+
+/// Wire delay of one routed source->sink connection (sum of intrinsic node
+/// delays along the route-tree path to the sink instance's SINK node).
+[[nodiscard]] double routed_sink_delay_ns(const Routing& routing,
+                                          const RrGraph& rr, NetId net,
+                                          SiteIndex sink_site);
+
+}  // namespace emutile

@@ -1,0 +1,65 @@
+#pragma once
+/// \file check.hpp
+/// Error-checking macros used across the library.
+///
+/// EMUTILE_CHECK   — recoverable precondition/state violation: throws
+///                   emutile::CheckError (derived from std::runtime_error).
+/// EMUTILE_ASSERT  — internal invariant; also throws so tests can observe it,
+///                   but signals a library bug rather than bad user input.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace emutile {
+
+/// Thrown when a EMUTILE_CHECK precondition fails (bad input / bad request).
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an internal invariant is violated (library bug).
+class AssertError : public std::logic_error {
+ public:
+  explicit AssertError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check(const char* cond, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+[[noreturn]] inline void throw_assert(const char* cond, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": internal assertion failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw AssertError(os.str());
+}
+}  // namespace detail
+
+}  // namespace emutile
+
+#define EMUTILE_CHECK(cond, msg)                                              \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::ostringstream emutile_os_;                                         \
+      emutile_os_ << msg; /* NOLINT */                                        \
+      ::emutile::detail::throw_check(#cond, __FILE__, __LINE__,               \
+                                     emutile_os_.str());                      \
+    }                                                                         \
+  } while (false)
+
+#define EMUTILE_ASSERT(cond, msg)                                             \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::ostringstream emutile_os_;                                         \
+      emutile_os_ << msg; /* NOLINT */                                        \
+      ::emutile::detail::throw_assert(#cond, __FILE__, __LINE__,              \
+                                      emutile_os_.str());                     \
+    }                                                                         \
+  } while (false)

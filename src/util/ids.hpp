@@ -1,0 +1,69 @@
+#pragma once
+/// \file ids.hpp
+/// Strongly typed integer identifiers.
+///
+/// CAD data structures index into dense vectors; raw `int` indices invite
+/// cross-domain mix-ups (a net id used as a cell id compiles silently).
+/// `StrongId<Tag>` keeps the zero-overhead density while making such bugs
+/// type errors.
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace emutile {
+
+/// A type-safe wrapper around a 32-bit index. `Tag` is a phantom type.
+template <typename Tag>
+class StrongId {
+ public:
+  using value_type = std::uint32_t;
+  static constexpr value_type kInvalid = 0xFFFFFFFFu;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(value_type v) : value_(v) {}
+
+  /// Dense index value; valid() must hold.
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  /// The canonical "no id" value.
+  [[nodiscard]] static constexpr StrongId invalid() { return StrongId{}; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(StrongId a, StrongId b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(StrongId a, StrongId b) { return a.value_ < b.value_; }
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    if (id.valid()) return os << id.value_;
+    return os << "<invalid>";
+  }
+
+ private:
+  value_type value_ = kInvalid;
+};
+
+struct CellTag {};
+struct NetTag {};
+struct ClbTag {};
+struct TileTag {};
+struct RrNodeTag {};
+struct HierTag {};
+
+using CellId = StrongId<CellTag>;      ///< logic-netlist cell
+using NetId = StrongId<NetTag>;        ///< logic-netlist net
+using ClbId = StrongId<ClbTag>;        ///< packed CLB / IOB instance
+using TileId = StrongId<TileTag>;      ///< physical tile
+using RrNodeId = StrongId<RrNodeTag>;  ///< routing-resource graph node
+using HierId = StrongId<HierTag>;      ///< hierarchy tree node
+
+}  // namespace emutile
+
+namespace std {
+template <typename Tag>
+struct hash<emutile::StrongId<Tag>> {
+  size_t operator()(emutile::StrongId<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,32 @@
+#include "util/log.hpp"
+
+namespace emutile {
+
+namespace {
+LogLevel g_threshold = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_threshold() { return g_threshold; }
+void set_log_threshold(LogLevel level) { g_threshold = level; }
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message) {
+  std::ostream& os =
+      static_cast<int>(level) >= static_cast<int>(LogLevel::kWarn) ? std::cerr
+                                                                   : std::cout;
+  os << '[' << level_name(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace emutile

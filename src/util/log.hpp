@@ -1,0 +1,38 @@
+#pragma once
+/// \file log.hpp
+/// Minimal leveled logging. Benches and examples print their own tables;
+/// the library itself logs only through this sink so tests can silence it.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace emutile {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global verbosity threshold (default: warnings and errors only, so test
+/// output stays clean; benches raise it to kInfo when narrating).
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+}  // namespace emutile
+
+#define EMUTILE_LOG(level, expr)                                   \
+  do {                                                             \
+    if (static_cast<int>(level) >=                                 \
+        static_cast<int>(::emutile::log_threshold())) {            \
+      std::ostringstream emutile_log_os_;                          \
+      emutile_log_os_ << expr; /* NOLINT */                        \
+      ::emutile::detail::log_emit(level, emutile_log_os_.str());   \
+    }                                                              \
+  } while (false)
+
+#define EMUTILE_DEBUG(expr) EMUTILE_LOG(::emutile::LogLevel::kDebug, expr)
+#define EMUTILE_INFO(expr) EMUTILE_LOG(::emutile::LogLevel::kInfo, expr)
+#define EMUTILE_WARN(expr) EMUTILE_LOG(::emutile::LogLevel::kWarn, expr)
+#define EMUTILE_ERROR(expr) EMUTILE_LOG(::emutile::LogLevel::kError, expr)

@@ -1,0 +1,71 @@
+#pragma once
+/// \file stats.hpp
+/// Small statistics helpers used by the benchmark harnesses.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace emutile {
+
+/// Streaming accumulator: count / mean / min / max / stddev (Welford).
+class Accumulator {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Median of a sample (copies; fine for bench-sized data).
+[[nodiscard]] inline double median(std::vector<double> xs) {
+  EMUTILE_CHECK(!xs.empty(), "median of empty sample");
+  std::sort(xs.begin(), xs.end());
+  const std::size_t mid = xs.size() / 2;
+  if (xs.size() % 2 == 1) return xs[mid];
+  return 0.5 * (xs[mid - 1] + xs[mid]);
+}
+
+/// Arithmetic mean of a sample.
+[[nodiscard]] inline double mean(const std::vector<double>& xs) {
+  EMUTILE_CHECK(!xs.empty(), "mean of empty sample");
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+/// Geometric mean (all samples must be > 0).
+[[nodiscard]] inline double geomean(const std::vector<double>& xs) {
+  EMUTILE_CHECK(!xs.empty(), "geomean of empty sample");
+  double s = 0.0;
+  for (double x : xs) {
+    EMUTILE_CHECK(x > 0.0, "geomean requires positive samples");
+    s += std::log(x);
+  }
+  return std::exp(s / static_cast<double>(xs.size()));
+}
+
+}  // namespace emutile

@@ -1,0 +1,42 @@
+#pragma once
+/// \file table.hpp
+/// ASCII table printer. The benchmark harnesses reproduce the paper's tables
+/// and figure series as text; this keeps their formatting uniform.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace emutile {
+
+/// Column-aligned text table with a header row.
+///
+/// Usage:
+///   Table t({"design", "# CLBs", "area overhead"});
+///   t.add_row({"9sym", "56", "0.217"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with column alignment and a rule under the header.
+  void print(std::ostream& os) const;
+
+  /// Render as comma-separated values (for plotting scripts).
+  void print_csv(std::ostream& os) const;
+
+  /// Format a double with fixed precision (helper for callers).
+  static std::string fmt(double value, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace emutile

@@ -1,0 +1,211 @@
+// Device geometry and RR-graph structural tests.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "arch/device.hpp"
+#include "arch/rr_graph.hpp"
+
+namespace emutile {
+namespace {
+
+TEST(Device, SizeForCoversRequest) {
+  for (int clbs : {1, 7, 56, 235, 1050}) {
+    const DeviceParams p = Device::size_for(clbs, 40, 8);
+    EXPECT_GE(p.width * p.height, clbs);
+    const Device d(p);
+    EXPECT_GE(d.num_iob_sites(), 40);
+  }
+}
+
+TEST(Device, SiteClassification) {
+  const Device d(DeviceParams{4, 3, 8});
+  EXPECT_EQ(d.num_clb_sites(), 12);
+  EXPECT_EQ(d.num_iob_sites(), kIobsPerPosition * 14);
+  for (SiteIndex s = 0; s < static_cast<SiteIndex>(d.num_sites()); ++s)
+    EXPECT_NE(d.is_clb_site(s), d.is_iob_site(s));
+}
+
+TEST(Device, ClbXyRoundTrip) {
+  const Device d(DeviceParams{5, 4, 8});
+  for (int y = 0; y < 4; ++y)
+    for (int x = 0; x < 5; ++x) {
+      auto [rx, ry] = d.clb_xy(d.clb_site(x, y));
+      EXPECT_EQ(rx, x);
+      EXPECT_EQ(ry, y);
+    }
+}
+
+TEST(Device, IobPositionsCoverPerimeter) {
+  const Device d(DeviceParams{4, 3, 8});
+  int counts[4] = {0, 0, 0, 0};
+  for (int p = 0; p < d.num_iob_sites(); ++p) {
+    auto [edge, off] = d.iob_position(d.iob_site(p));
+    ++counts[static_cast<int>(edge)];
+    EXPECT_GE(off, 0);
+  }
+  EXPECT_EQ(counts[0], kIobsPerPosition * 4);  // bottom
+  EXPECT_EQ(counts[1], kIobsPerPosition * 4);  // top
+  EXPECT_EQ(counts[2], kIobsPerPosition * 3);  // left
+  EXPECT_EQ(counts[3], kIobsPerPosition * 3);  // right
+}
+
+class RrGraphTest : public ::testing::Test {
+ protected:
+  Device device_{DeviceParams{4, 4, 6}};
+  RrGraph rr_{device_};
+};
+
+TEST_F(RrGraphTest, NodeCountsMatchFormula) {
+  const int w = 4, h = 4, t = 6;
+  const std::size_t expected =
+      static_cast<std::size_t>(device_.num_clb_sites()) * 15 +
+      static_cast<std::size_t>(device_.num_iob_sites()) * 3 +
+      static_cast<std::size_t>(w * (h + 1) * t) +
+      static_cast<std::size_t>((w + 1) * h * t);
+  EXPECT_EQ(rr_.num_nodes(), expected);
+}
+
+TEST_F(RrGraphTest, LookupsAreConsistent) {
+  const SiteIndex s = device_.clb_site(2, 1);
+  for (int p = 0; p < ClbPinModel::kNumIpins; ++p) {
+    const RrNodeInfo& n = rr_.node(rr_.ipin(s, p));
+    EXPECT_EQ(n.type, RrType::kIpin);
+    EXPECT_EQ(n.site, s);
+    EXPECT_EQ(n.pin_or_track, p);
+  }
+  for (int p = 0; p < ClbPinModel::kNumOpins; ++p)
+    EXPECT_EQ(rr_.node(rr_.opin(s, p)).type, RrType::kOpin);
+  EXPECT_EQ(rr_.node(rr_.sink(s)).type, RrType::kSink);
+  EXPECT_EQ(rr_.node(rr_.sink(s)).capacity, ClbPinModel::kNumIpins);
+  EXPECT_EQ(rr_.node(rr_.chanx(1, 2, 3)).type, RrType::kChanX);
+  EXPECT_EQ(rr_.node(rr_.chany(1, 2, 3)).type, RrType::kChanY);
+}
+
+TEST_F(RrGraphTest, OpinsFeedWiresOnly) {
+  const SiteIndex s = device_.clb_site(0, 0);
+  for (int p = 0; p < ClbPinModel::kNumOpins; ++p) {
+    const auto fo = rr_.fanout(rr_.opin(s, p));
+    EXPECT_EQ(fo.size(), 6u);  // all tracks of one adjacent channel
+    for (RrNodeId n : fo) {
+      const RrType ty = rr_.node(n).type;
+      EXPECT_TRUE(ty == RrType::kChanX || ty == RrType::kChanY);
+    }
+  }
+}
+
+TEST_F(RrGraphTest, IpinsFeedTheirSink) {
+  const SiteIndex s = device_.clb_site(1, 1);
+  for (int p = 0; p < ClbPinModel::kNumIpins; ++p) {
+    const auto fo = rr_.fanout(rr_.ipin(s, p));
+    ASSERT_EQ(fo.size(), 1u);
+    EXPECT_EQ(fo[0], rr_.sink(s));
+  }
+}
+
+TEST_F(RrGraphTest, SinksAreLeaves) {
+  for (std::size_t i = 0; i < rr_.num_nodes(); ++i) {
+    const RrNodeId id{static_cast<std::uint32_t>(i)};
+    if (rr_.node(id).type == RrType::kSink)
+      EXPECT_TRUE(rr_.fanout(id).empty());
+  }
+}
+
+TEST_F(RrGraphTest, WireWireEdgesAreBidirectional) {
+  std::unordered_set<std::uint64_t> edges;
+  for (std::size_t i = 0; i < rr_.num_nodes(); ++i) {
+    const RrNodeId id{static_cast<std::uint32_t>(i)};
+    for (RrNodeId nb : rr_.fanout(id))
+      edges.insert((static_cast<std::uint64_t>(i) << 32) | nb.value());
+  }
+  for (std::size_t i = 0; i < rr_.num_nodes(); ++i) {
+    const RrNodeId id{static_cast<std::uint32_t>(i)};
+    const RrType ti = rr_.node(id).type;
+    if (ti != RrType::kChanX && ti != RrType::kChanY) continue;
+    for (RrNodeId nb : rr_.fanout(id)) {
+      const RrType tn = rr_.node(nb).type;
+      if (tn != RrType::kChanX && tn != RrType::kChanY) continue;
+      EXPECT_TRUE(edges.count((static_cast<std::uint64_t>(nb.value()) << 32) |
+                              id.value()))
+          << "missing reverse wire edge";
+    }
+  }
+}
+
+TEST_F(RrGraphTest, SwitchBoxTrackDiscipline) {
+  // Straight-through (same channel direction) keeps the track; turns may
+  // rotate by one position (mod W) so nets can migrate between tracks.
+  const int w = 6;  // tracks_per_channel of the fixture
+  for (std::size_t i = 0; i < rr_.num_nodes(); ++i) {
+    const RrNodeId id{static_cast<std::uint32_t>(i)};
+    const RrNodeInfo& a = rr_.node(id);
+    if (a.type != RrType::kChanX && a.type != RrType::kChanY) continue;
+    for (RrNodeId nb : rr_.fanout(id)) {
+      const RrNodeInfo& b = rr_.node(nb);
+      if (b.type != RrType::kChanX && b.type != RrType::kChanY) continue;
+      if (a.type == b.type) {
+        EXPECT_EQ(a.pin_or_track, b.pin_or_track) << "straight must not rotate";
+      } else {
+        const int diff =
+            ((b.pin_or_track - a.pin_or_track) % w + w) % w;
+        EXPECT_TRUE(diff == 0 || diff == 1 || diff == w - 1)
+            << "turn rotation limited to one position";
+      }
+    }
+  }
+}
+
+TEST_F(RrGraphTest, TracksAreNotPartitioned) {
+  // With track rotation at turns, a net entering on any track must be able
+  // to reach every other track: BFS over wire-wire edges from one wire
+  // should cover wires on all tracks.
+  std::vector<std::uint8_t> seen_track(6, 0);
+  std::vector<std::uint8_t> visited(rr_.num_nodes(), 0);
+  std::vector<RrNodeId> queue{rr_.chanx(0, 1, 0)};
+  visited[queue[0].value()] = 1;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const RrNodeInfo& info = rr_.node(queue[head]);
+    if (info.type == RrType::kChanX || info.type == RrType::kChanY)
+      seen_track[static_cast<std::size_t>(info.pin_or_track)] = 1;
+    for (RrNodeId nb : rr_.fanout(queue[head])) {
+      const RrType ty = rr_.node(nb).type;
+      if (ty != RrType::kChanX && ty != RrType::kChanY) continue;
+      if (visited[nb.value()]) continue;
+      visited[nb.value()] = 1;
+      queue.push_back(nb);
+    }
+  }
+  for (int k = 0; k < 6; ++k)
+    EXPECT_TRUE(seen_track[static_cast<std::size_t>(k)])
+        << "track " << k << " unreachable";
+}
+
+TEST_F(RrGraphTest, EveryClbPinReachableFromNeighborChannel) {
+  // Each IPIN must have at least one incoming wire edge.
+  std::vector<int> indeg(rr_.num_nodes(), 0);
+  for (std::size_t i = 0; i < rr_.num_nodes(); ++i)
+    for (RrNodeId nb : rr_.fanout(RrNodeId{static_cast<std::uint32_t>(i)}))
+      ++indeg[nb.value()];
+  for (std::size_t i = 0; i < rr_.num_nodes(); ++i) {
+    const RrNodeId id{static_cast<std::uint32_t>(i)};
+    if (rr_.node(id).type == RrType::kIpin)
+      EXPECT_GT(indeg[i], 0) << "unreachable IPIN";
+  }
+}
+
+TEST_F(RrGraphTest, HeuristicIsNonNegative) {
+  const SiteIndex target = device_.clb_site(3, 3);
+  for (std::size_t i = 0; i < rr_.num_nodes(); i += 7)
+    EXPECT_GE(rr_.heuristic_to(RrNodeId{static_cast<std::uint32_t>(i)}, target),
+              0.0f);
+}
+
+TEST(RrGraphCosts, BaseCostsAndDelays) {
+  EXPECT_GT(RrGraph::base_cost(RrType::kChanX), 0.0f);
+  EXPECT_EQ(RrGraph::base_cost(RrType::kSink), 0.0f);
+  EXPECT_GT(RrGraph::intrinsic_delay_ns(RrType::kChanY), 0.0f);
+}
+
+}  // namespace
+}  // namespace emutile

@@ -1,0 +1,151 @@
+// BLIF reader/writer tests: grammar coverage and semantic round-trips.
+
+#include <gtest/gtest.h>
+
+#include "netlist/blif_parser.hpp"
+#include "netlist/blif_writer.hpp"
+#include "sim/patterns.hpp"
+#include "test_helpers.hpp"
+
+namespace emutile {
+namespace {
+
+TEST(Blif, ParsesMinimalModel) {
+  const Netlist nl = parse_blif_string(R"(
+.model tiny
+.inputs a b
+.outputs y
+.names a b y
+11 1
+.end
+)");
+  EXPECT_EQ(nl.name(), "tiny");
+  EXPECT_EQ(nl.primary_inputs().size(), 2u);
+  EXPECT_EQ(nl.primary_outputs().size(), 1u);
+  EXPECT_EQ(nl.num_luts(), 1u);
+  const CellId lut = *nl.find_cell("y");
+  EXPECT_EQ(nl.cell(lut).function, TruthTable::and_all(2));
+}
+
+TEST(Blif, DontCaresExpand) {
+  const Netlist nl = parse_blif_string(R"(
+.model dc
+.inputs a b c
+.outputs y
+.names a b c y
+1-- 1
+-1- 1
+--1 1
+.end
+)");
+  const CellId lut = *nl.find_cell("y");
+  EXPECT_EQ(nl.cell(lut).function, TruthTable::or_all(3));
+}
+
+TEST(Blif, OffSetCover) {
+  const Netlist nl = parse_blif_string(R"(
+.model off
+.inputs a b
+.outputs y
+.names a b y
+11 0
+.end
+)");
+  const CellId lut = *nl.find_cell("y");
+  EXPECT_EQ(nl.cell(lut).function, TruthTable::nand_all(2));
+}
+
+TEST(Blif, ConstantsAndLatches) {
+  const Netlist nl = parse_blif_string(R"(
+.model seq
+.inputs d
+.outputs q k1
+.names k1
+1
+.latch d q re clk 0
+.end
+)");
+  EXPECT_EQ(nl.num_dffs(), 1u);
+  const CellId k = *nl.find_cell("k1");
+  EXPECT_EQ(nl.cell(k).kind, CellKind::kConst1);
+}
+
+TEST(Blif, UseBeforeDefinition) {
+  const Netlist nl = parse_blif_string(R"(
+.model fwd
+.inputs a
+.outputs y
+.names mid y
+1 1
+.names a mid
+0 1
+.end
+)");
+  EXPECT_EQ(nl.num_luts(), 2u);
+  nl.validate();
+}
+
+TEST(Blif, CommentsAndContinuations) {
+  const Netlist nl = parse_blif_string(
+      ".model c # trailing comment\n"
+      ".inputs a \\\n b\n"
+      ".outputs y\n"
+      ".names a b y\n"
+      "11 1\n"
+      ".end\n");
+  EXPECT_EQ(nl.primary_inputs().size(), 2u);
+}
+
+TEST(Blif, ErrorsHaveLineNumbers) {
+  try {
+    (void)parse_blif_string(".model m\n.inputs a\n.outputs y\n.bogus\n.end\n");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos);
+  }
+}
+
+TEST(Blif, UndefinedSignalRejected) {
+  EXPECT_THROW(
+      (void)parse_blif_string(
+          ".model m\n.inputs a\n.outputs y\n.names a ghost y\n11 1\n.end\n"),
+      CheckError);
+}
+
+TEST(Blif, MixedCoverPolarityRejected) {
+  EXPECT_THROW((void)parse_blif_string(".model m\n.inputs a b\n.outputs y\n"
+                                       ".names a b y\n11 1\n00 0\n.end\n"),
+               CheckError);
+}
+
+TEST(Blif, RoundTripPreservesBehaviour) {
+  const Netlist original = test::make_adder4();
+  const Netlist reparsed = parse_blif_string(to_blif_string(original));
+  ASSERT_EQ(original.primary_inputs().size(),
+            reparsed.primary_inputs().size());
+  ASSERT_EQ(original.primary_outputs().size(),
+            reparsed.primary_outputs().size());
+  const auto patterns = exhaustive_patterns(9);
+  EXPECT_EQ(test::run_patterns(original, patterns),
+            test::run_patterns(reparsed, patterns));
+}
+
+TEST(Blif, RoundTripSequential) {
+  const Netlist original = test::make_seq4();
+  const Netlist reparsed = parse_blif_string(to_blif_string(original));
+  const auto patterns = random_patterns(1, 64, 7);
+  EXPECT_EQ(test::run_patterns(original, patterns),
+            test::run_patterns(reparsed, patterns));
+}
+
+TEST(Blif, FileIo) {
+  const Netlist nl = test::make_adder4();
+  const std::string path = testing::TempDir() + "/emutile_roundtrip.blif";
+  write_blif_file(nl, path);
+  const Netlist back = parse_blif_file(path);
+  EXPECT_EQ(back.num_luts(), nl.num_luts());
+  EXPECT_THROW((void)parse_blif_file("/nonexistent/file.blif"), CheckError);
+}
+
+}  // namespace
+}  // namespace emutile

@@ -1,0 +1,209 @@
+// Debug-flow tests: error injection, test-logic insertion/removal,
+// detection, localization, correction, and the complete session.
+
+#include <gtest/gtest.h>
+
+#include "core/tiling_engine.hpp"
+#include "debug/corrector.hpp"
+#include "debug/debug_loop.hpp"
+#include "debug/detector.hpp"
+#include "debug/error_injector.hpp"
+#include "debug/localizer.hpp"
+#include "debug/test_logic.hpp"
+#include "test_helpers.hpp"
+
+namespace emutile {
+namespace {
+
+TEST(ErrorInjector, MutatesAndReverts) {
+  for (ErrorKind kind : {ErrorKind::kLutFunction, ErrorKind::kWrongPolarity,
+                         ErrorKind::kWrongConnection}) {
+    Netlist golden = test::make_random_netlist(40, 11);
+    Netlist dut = golden;
+    const InjectedError err = inject_error(dut, kind, 5);
+    dut.validate();
+    EXPECT_FALSE(err.description.empty());
+
+    // The mutation must change something observable or at least structural.
+    const Cell& mutated = dut.cell(err.cell);
+    const Cell& original = golden.cell(err.cell);
+    const bool structurally_different =
+        mutated.function != original.function ||
+        mutated.inputs != original.inputs;
+    EXPECT_TRUE(structurally_different) << to_string(kind);
+
+    revert_error(dut, err);
+    dut.validate();
+    const Cell& reverted = dut.cell(err.cell);
+    EXPECT_EQ(reverted.function, original.function);
+    EXPECT_EQ(reverted.inputs, original.inputs);
+  }
+}
+
+TEST(ErrorInjector, WrongConnectionNeverCreatesCycle) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Netlist nl = test::make_random_netlist(30, seed + 100);
+    inject_error(nl, ErrorKind::kWrongConnection, seed);
+    EXPECT_NO_THROW(topo_order_luts(nl)) << "seed " << seed;
+  }
+}
+
+TEST(TestLogic, ObservationSignatureMatchesSoftwareModel) {
+  Netlist nl = test::make_seq4();
+  const NetId probe = nl.cell(nl.primary_outputs()[0]).inputs[0];
+  const ObservationPlan plan = insert_observation(nl, {probe}, "t");
+  ASSERT_EQ(plan.probes.size(), 1u);
+
+  Simulator sim(nl);
+  sim.reset();
+  unsigned soft = 0;
+  const auto patterns = random_patterns(1, 48, 3);
+  for (const Pattern& p : patterns) {
+    sim.step(p);
+    soft = signature_step(soft, sim.net_value(probe));
+  }
+  const unsigned hard = read_signature(
+      plan.probes[0], [&](CellId ff) { return sim.ff_state(ff); });
+  EXPECT_EQ(hard, soft);
+}
+
+TEST(TestLogic, ObservationDoesNotPerturbFunction) {
+  Netlist nl = test::make_seq4();
+  const auto patterns = random_patterns(1, 32, 9);
+  const auto before = test::run_patterns(nl, patterns);
+  const NetId probe = nl.cell(nl.primary_outputs()[1]).inputs[0];
+  insert_observation(nl, {probe}, "t");
+  EXPECT_EQ(test::run_patterns(nl, patterns), before);
+}
+
+TEST(TestLogic, RemovalRestoresNetlist) {
+  Netlist nl = test::make_seq4();
+  const std::size_t cells_before = nl.num_cells();
+  const NetId probe = nl.cell(nl.primary_outputs()[0]).inputs[0];
+  const ObservationPlan plan = insert_observation(nl, {probe}, "t");
+  EXPECT_GT(nl.num_cells(), cells_before);
+  remove_added_cells(nl, plan.added_cells);
+  EXPECT_EQ(nl.num_cells(), cells_before);
+  nl.validate();
+}
+
+TEST(TestLogic, ControlPointOverridesNet) {
+  Netlist nl = test::make_seq4();
+  const auto patterns = random_patterns(1, 64, 5);
+  const auto before = test::run_patterns(nl, patterns);
+  // Control the counter enable path: outputs must eventually diverge
+  // (injection forces values 1 cycle in 8).
+  const NetId target = nl.cell(nl.primary_outputs()[0]).inputs[0];
+  const ControlPoint cp = insert_control(nl, target, "ctl");
+  EXPECT_FALSE(cp.added_cells.empty());
+  const auto after = test::run_patterns(nl, patterns);
+  EXPECT_NE(before, after);
+
+  remove_control(nl, cp);
+  nl.validate();
+  EXPECT_EQ(test::run_patterns(nl, patterns), before);
+}
+
+TEST(Detector, FindsInjectedError) {
+  Netlist golden = test::make_random_netlist(50, 17);
+  Netlist dut = golden;
+  inject_error(dut, ErrorKind::kWrongPolarity, 3);
+  const auto patterns =
+      random_patterns(golden.primary_inputs().size(), 256, 8);
+  const DetectResult r = detect_errors(dut, golden, patterns);
+  EXPECT_TRUE(r.error_detected);
+  EXPECT_LT(r.failing_output, golden.primary_outputs().size());
+}
+
+TEST(Detector, CleanDesignPasses) {
+  Netlist golden = test::make_random_netlist(50, 17);
+  const auto patterns =
+      random_patterns(golden.primary_inputs().size(), 128, 8);
+  const DetectResult r = detect_errors(golden, golden, patterns);
+  EXPECT_FALSE(r.error_detected);
+  EXPECT_EQ(r.cycles_run, 128u);
+}
+
+TEST(Localizer, OutputConeCoversInjectionSite) {
+  Netlist golden = test::make_random_netlist(60, 23);
+  Netlist dut = golden;
+  const InjectedError err = inject_error(dut, ErrorKind::kWrongPolarity, 7);
+  const auto patterns =
+      random_patterns(golden.primary_inputs().size(), 256, 5);
+  const DetectResult det = detect_errors(dut, golden, patterns);
+  ASSERT_TRUE(det.error_detected);
+  const auto cone = output_cone(dut, det.failing_output);
+  EXPECT_NE(std::find(cone.begin(), cone.end(), err.cell), cone.end())
+      << "failing output cone must contain the buggy cell";
+}
+
+TEST(Localizer, NarrowsCandidatesOnTiledDesign) {
+  Netlist golden = test::make_random_netlist(80, 31);
+  Netlist dut_nl = golden;
+  const InjectedError err = inject_error(dut_nl, ErrorKind::kWrongPolarity, 2);
+
+  TilingParams tp;
+  tp.seed = 4;
+  tp.target_overhead = 0.30;
+  tp.num_tiles = 6;
+  TiledDesign dut = TilingEngine::build(std::move(dut_nl), tp);
+
+  const auto patterns =
+      random_patterns(golden.primary_inputs().size(), 192, 12);
+  const DetectResult det = detect_errors(dut.netlist, golden, patterns);
+  ASSERT_TRUE(det.error_detected);
+
+  LocalizerOptions lo;
+  lo.seed = 3;
+  const LocalizeResult loc =
+      localize(dut, golden, det.failing_output, patterns, lo);
+  EXPECT_FALSE(loc.iterations.empty());
+  EXPECT_TRUE(loc.narrowed);
+  // The true error cell must survive the narrowing.
+  EXPECT_NE(std::find(loc.suspects.begin(), loc.suspects.end(), err.cell),
+            loc.suspects.end());
+  // Test logic was cleaned up.
+  dut.validate();
+  EXPECT_GT(loc.total_effort.place_ms + loc.total_effort.route_ms, 0.0);
+}
+
+TEST(Corrector, FixesLocalizedError) {
+  Netlist golden = test::make_random_netlist(60, 41);
+  Netlist dut_nl = golden;
+  const InjectedError err = inject_error(dut_nl, ErrorKind::kLutFunction, 6);
+
+  TilingParams tp;
+  tp.seed = 5;
+  tp.target_overhead = 0.30;
+  tp.num_tiles = 4;
+  TiledDesign dut = TilingEngine::build(std::move(dut_nl), tp);
+  const auto patterns =
+      random_patterns(golden.primary_inputs().size(), 192, 3);
+
+  const std::vector<CellId> suspects{err.cell};
+  const CorrectionResult r =
+      correct_design(dut, golden, suspects, patterns, EcoOptions{});
+  EXPECT_TRUE(r.corrected);
+  EXPECT_EQ(r.fixed_cell, err.cell);
+  EXPECT_FALSE(
+      detect_errors(dut.netlist, golden, patterns).error_detected);
+  dut.validate();
+}
+
+TEST(DebugLoop, FullSessionConvergesOnSmallDesign) {
+  const Netlist golden = test::make_random_netlist(70, 53);
+  DebugSessionOptions opts;
+  opts.error_kind = ErrorKind::kWrongPolarity;
+  opts.seed = 9;
+  opts.num_patterns = 192;
+  opts.tiling.target_overhead = 0.30;
+  opts.tiling.num_tiles = 6;
+  const DebugSessionReport report = run_debug_session(golden, opts);
+  ASSERT_TRUE(report.detection.error_detected);
+  EXPECT_TRUE(report.correction.corrected);
+  EXPECT_TRUE(report.final_clean);
+  EXPECT_GT(report.debug_effort.total_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace emutile

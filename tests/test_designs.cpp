@@ -1,0 +1,183 @@
+// Benchmark-design generator tests: structural building blocks compute what
+// they claim; the paper designs calibrate to Table 1 CLB counts.
+
+#include <gtest/gtest.h>
+
+#include "designs/blocks.hpp"
+#include "designs/catalog.hpp"
+#include "synth/packer.hpp"
+#include "test_helpers.hpp"
+
+namespace emutile {
+namespace {
+
+TEST(Blocks, PopcountCorrect) {
+  Netlist nl("pc");
+  const Bus in = b_inputs(nl, "i", 9);
+  const Bus count = b_popcount(nl, in, "pc");
+  b_outputs(nl, "c", count);
+  synthesize(nl);
+  Simulator sim(nl);
+  sim.reset();
+  for (const Pattern& p : random_patterns(9, 100, 4)) {
+    const auto out = sim.step(p);
+    unsigned expect = 0;
+    for (auto bit : p) expect += bit;
+    unsigned got = 0;
+    for (std::size_t i = 0; i < out.size(); ++i)
+      got |= static_cast<unsigned>(out[i]) << i;
+    EXPECT_EQ(got, expect);
+  }
+}
+
+TEST(Blocks, EqConstAndEqBus) {
+  Netlist nl("eq");
+  const Bus a = b_inputs(nl, "a", 4);
+  const Bus b = b_inputs(nl, "b", 4);
+  nl.add_output("is5", b_eq_const(nl, a, 5, "k5"));
+  nl.add_output("same", b_eq_bus(nl, a, b, "eq"));
+  Simulator sim(nl);
+  sim.reset();
+  for (const Pattern& p : exhaustive_patterns(8)) {
+    const auto out = sim.step(p);
+    unsigned av = 0, bv = 0;
+    for (int i = 0; i < 4; ++i) {
+      av |= static_cast<unsigned>(p[static_cast<std::size_t>(i)]) << i;
+      bv |= static_cast<unsigned>(p[static_cast<std::size_t>(4 + i)]) << i;
+    }
+    EXPECT_EQ(out[0] != 0, av == 5u);
+    EXPECT_EQ(out[1] != 0, av == bv);
+  }
+}
+
+TEST(Blocks, MuxTreeSelects) {
+  Netlist nl("mux");
+  std::vector<Bus> options;
+  for (int k = 0; k < 4; ++k)
+    options.push_back(b_inputs(nl, "o" + std::to_string(k) + "_", 2));
+  const Bus sel = b_inputs(nl, "s", 2);
+  b_outputs(nl, "y", b_mux_tree(nl, options, sel, "mt"));
+  Simulator sim(nl);
+  sim.reset();
+  for (const Pattern& p : exhaustive_patterns(10)) {
+    const auto out = sim.step(p);
+    const unsigned s = static_cast<unsigned>(p[8]) |
+                       (static_cast<unsigned>(p[9]) << 1);
+    for (int bit = 0; bit < 2; ++bit)
+      EXPECT_EQ(out[static_cast<std::size_t>(bit)],
+                p[static_cast<std::size_t>(s * 2 + static_cast<unsigned>(bit))]);
+  }
+}
+
+TEST(Blocks, SboxMatchesTable) {
+  Netlist nl("sbox");
+  const Bus in = b_inputs(nl, "i", 6);
+  std::array<std::uint8_t, 64> table{};
+  for (unsigned i = 0; i < 64; ++i)
+    table[i] = static_cast<std::uint8_t>((i * 7 + 3) & 0xF);
+  b_outputs(nl, "s", b_sbox(nl, in, table, "sb"));
+  synthesize(nl);  // decomposes the 6-input functions
+  Simulator sim(nl);
+  sim.reset();
+  for (const Pattern& p : exhaustive_patterns(6)) {
+    const auto out = sim.step(p);
+    unsigned idx = 0;
+    for (int i = 0; i < 6; ++i)
+      idx |= static_cast<unsigned>(p[static_cast<std::size_t>(i)]) << i;
+    unsigned got = 0;
+    for (int i = 0; i < 4; ++i)
+      got |= static_cast<unsigned>(out[static_cast<std::size_t>(i)]) << i;
+    EXPECT_EQ(got, table[idx]);
+  }
+}
+
+TEST(Catalog, HasAllNineDesigns) {
+  ASSERT_EQ(paper_designs().size(), 9u);
+  EXPECT_STREQ(paper_designs()[0].name, "9sym");
+  EXPECT_EQ(paper_design("DES").clbs, 1050);
+  EXPECT_EQ(paper_design("s9234").clbs, 235);
+  EXPECT_THROW(paper_design("nope"), CheckError);
+}
+
+TEST(Catalog, PadToClbsHitsTarget) {
+  Netlist nl = test::make_adder4();
+  pad_to_clbs(nl, 40, 3, 0.1);
+  const std::size_t clbs = pack(nl).num_clbs();
+  EXPECT_GE(clbs, 40u);
+  EXPECT_LE(clbs, 44u);
+  EXPECT_TRUE(outputs_reachable(nl));
+}
+
+class SmallDesignTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SmallDesignTest, CalibratesToPaperClbCount) {
+  const PaperDesign& spec = paper_design(GetParam());
+  const Netlist nl = build_paper_design(GetParam(), 1);
+  const std::size_t clbs = pack(nl).num_clbs();
+  EXPECT_GE(static_cast<double>(clbs), spec.clbs * 0.98);
+  EXPECT_LE(static_cast<double>(clbs), spec.clbs * 1.10);
+  // Mapped to 4-LUTs, structurally sound, and alive end to end.
+  for (CellId id : nl.live_cells())
+    if (nl.cell(id).kind == CellKind::kLut)
+      EXPECT_LE(nl.cell(id).function.num_inputs(), 4);
+  EXPECT_TRUE(outputs_reachable(nl));
+  EXPECT_EQ(nl.num_dffs() > 0, spec.sequential);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSmall, SmallDesignTest,
+                         ::testing::Values("9sym", "styr", "sand", "c499",
+                                           "planet1", "c880", "s9234"));
+
+TEST(Designs, NineSymIsSymmetric) {
+  const Netlist nl = build_paper_design("9sym", 2);
+  // The sym output must be invariant under input permutation. Check pairs
+  // of patterns with equal popcount.
+  Simulator sim(nl);
+  sim.reset();
+  const auto out_for = [&](unsigned bits) {
+    Pattern p(nl.primary_inputs().size(), 0);
+    for (int i = 0; i < 9; ++i) p[static_cast<std::size_t>(i)] = (bits >> i) & 1u;
+    return sim.step(p)[0];  // output 0 is "sym"
+  };
+  EXPECT_EQ(out_for(0b000000111), out_for(0b111000000));
+  EXPECT_EQ(out_for(0b000011111), out_for(0b111110000));
+  EXPECT_NE(out_for(0b000000000), out_for(0b000001111));  // 0 vs 4 ones
+}
+
+TEST(Designs, C499CorrectsSingleBitErrors) {
+  const Netlist nl = build_paper_design("c499", 3);
+  Simulator sim(nl);
+  sim.reset();
+  Rng rng(5);
+  // With all check bits consistent (zero data, zero checks) outputs follow
+  // data; we only verify determinism and width here (the full SEC property
+  // is generator-internal).
+  Pattern p(nl.primary_inputs().size(), 0);
+  const auto o1 = sim.step(p);
+  const auto o2 = sim.step(p);
+  EXPECT_EQ(o1, o2);
+  EXPECT_GE(o1.size(), 20u);  // 20 corrected data lanes + checksum
+  (void)rng;
+}
+
+TEST(Designs, DeterministicForSeed) {
+  const Netlist a = build_paper_design("styr", 7);
+  const Netlist b = build_paper_design("styr", 7);
+  EXPECT_EQ(a.num_cells(), b.num_cells());
+  EXPECT_EQ(a.num_nets(), b.num_nets());
+  const auto patterns = random_patterns(a.primary_inputs().size(), 32, 11);
+  EXPECT_EQ(test::run_patterns(a, patterns), test::run_patterns(b, patterns));
+}
+
+TEST(Designs, LargeDesignsCalibrate) {
+  for (const char* name : {"MIPS R2000", "DES"}) {
+    const PaperDesign& spec = paper_design(name);
+    const Netlist nl = build_paper_design(name, 1);
+    const std::size_t clbs = pack(nl).num_clbs();
+    EXPECT_GE(static_cast<double>(clbs), spec.clbs * 0.98) << name;
+    EXPECT_LE(static_cast<double>(clbs), spec.clbs * 1.10) << name;
+  }
+}
+
+}  // namespace
+}  // namespace emutile

@@ -1,0 +1,108 @@
+#pragma once
+/// Shared fixtures: small hand-built netlists and random-netlist factories
+/// used across the test suite.
+
+#include <cstdint>
+#include <vector>
+
+#include "designs/blocks.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/netlist_ops.hpp"
+#include "sim/patterns.hpp"
+#include "sim/simulator.hpp"
+#include "synth/lut_mapper.hpp"
+#include "util/rng.hpp"
+
+namespace emutile::test {
+
+/// 4-bit combinational adder: 9 PIs (a0..3, b0..3, cin), 5 POs.
+inline Netlist make_adder4() {
+  Netlist nl("adder4");
+  const Bus a = b_inputs(nl, "a", 4);
+  const Bus b = b_inputs(nl, "b", 4);
+  const NetId cin = nl.cell_output(nl.add_input("cin"));
+  const AddResult r = b_adder(nl, a, b, cin, "add");
+  b_outputs(nl, "s", r.sum);
+  nl.add_output("cout", r.carry_out);
+  nl.validate();
+  return nl;
+}
+
+/// Small sequential circuit: 4-bit counter-ish datapath with an enable.
+inline Netlist make_seq4() {
+  Netlist nl("seq4");
+  const NetId en = nl.cell_output(nl.add_input("en"));
+  const CellId one = nl.add_const("one", true);
+  Bus q;
+  std::vector<CellId> ffs;
+  const CellId zero = nl.add_const("zero", false);
+  for (int i = 0; i < 4; ++i) {
+    const CellId ff = nl.add_dff("q" + std::to_string(i), nl.cell_output(zero));
+    ffs.push_back(ff);
+    q.push_back(nl.cell_output(ff));
+  }
+  Bus inc(4, nl.cell_output(zero));
+  inc[0] = nl.cell_output(one);
+  const AddResult r = b_adder(nl, q, inc, nl.cell_output(zero), "inc");
+  const Bus next = b_mux_bus(nl, en, q, r.sum, "nx");
+  for (int i = 0; i < 4; ++i)
+    nl.reconnect_input(ffs[static_cast<std::size_t>(i)], 0,
+                       next[static_cast<std::size_t>(i)]);
+  b_outputs(nl, "o", q);
+  nl.validate();
+  return nl;
+}
+
+/// Random mapped netlist with `num_luts` 4-LUTs (plus a share of DFFs),
+/// every cone folded into a checksum output. Already 4-LUT mapped.
+inline Netlist make_random_netlist(int num_luts, std::uint64_t seed,
+                                   double ff_fraction = 0.1, int num_pis = 8) {
+  Netlist nl("rand" + std::to_string(seed));
+  Rng rng(seed);
+  std::vector<NetId> pool;
+  for (int i = 0; i < num_pis; ++i)
+    pool.push_back(nl.cell_output(nl.add_input("pi" + std::to_string(i))));
+  std::vector<NetId> outs;
+  for (int i = 0; i < num_luts; ++i) {
+    std::vector<NetId> ins;
+    for (int k = 0; k < 4; ++k) {
+      // Mostly-local connectivity (like real circuits); purely uniform
+      // random graphs have Rent exponent ~1 and are barely routable.
+      if (rng.next_bool(0.8) && pool.size() > 24)
+        ins.push_back(pool[pool.size() - 1 - rng.next_below(24)]);
+      else
+        ins.push_back(pool[rng.next_below(pool.size())]);
+    }
+    TruthTable tt(4);
+    do {
+      for (unsigned m = 0; m < 16; ++m) tt.set_bit(m, rng.next_bool(0.5));
+    } while (tt.is_constant(false) || tt.is_constant(true));
+    NetId out = nl.cell_output(nl.add_lut("l" + std::to_string(i), tt, ins));
+    if (rng.next_bool(ff_fraction)) {
+      out = nl.cell_output(nl.add_dff("f" + std::to_string(i), out));
+    }
+    pool.push_back(out);
+    outs.push_back(out);
+  }
+  // Fold everything into one checksum plus a few direct outputs.
+  for (int o = 0; o < 4 && o < static_cast<int>(outs.size()); ++o)
+    nl.add_output("po" + std::to_string(o),
+                  outs[outs.size() - 1 - static_cast<std::size_t>(o)]);
+  nl.add_output("checksum", b_xor_tree(nl, outs, "ck"));
+  nl.validate();
+  return nl;
+}
+
+/// Response capture: run `patterns` through a netlist, returning all PO
+/// vectors (resets first).
+inline std::vector<std::vector<std::uint8_t>> run_patterns(
+    const Netlist& nl, const std::vector<Pattern>& patterns) {
+  Simulator sim(nl);
+  sim.reset();
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(patterns.size());
+  for (const Pattern& p : patterns) out.push_back(sim.step(p));
+  return out;
+}
+
+}  // namespace emutile::test

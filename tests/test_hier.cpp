@@ -1,0 +1,82 @@
+// Hierarchy and back-annotation tests.
+
+#include <gtest/gtest.h>
+
+#include "core/tiling_engine.hpp"
+#include "hier/hierarchy.hpp"
+#include "test_helpers.hpp"
+
+namespace emutile {
+namespace {
+
+TEST(Hierarchy, BlocksAndBinding) {
+  Netlist nl = test::make_adder4();
+  DesignHierarchy h("adder");
+  const HierId blk_a = h.add_block("low_bits");
+  const HierId blk_b = h.add_block("high_bits");
+  EXPECT_EQ(h.num_blocks(), 2u);
+  EXPECT_EQ(h.name(blk_a), "low_bits");
+
+  // Bind half the LUTs to each block.
+  int i = 0;
+  for (CellId id : nl.live_cells())
+    if (nl.cell(id).kind == CellKind::kLut)
+      h.bind_cell(id, (i++ % 2) ? blk_a : blk_b);
+  h.bind_remaining(nl, blk_a);
+
+  for (CellId id : nl.live_cells())
+    EXPECT_TRUE(h.block_of(id).valid());
+  EXPECT_THROW(h.bind_cell(nl.live_cells().front(), blk_b), CheckError);
+}
+
+TEST(Hierarchy, TraceToBlocksDeduplicates) {
+  Netlist nl = test::make_adder4();
+  DesignHierarchy h("adder");
+  const HierId blk = h.add_block("all");
+  h.bind_remaining(nl, blk);
+  std::vector<CellId> changed{nl.live_cells()[0], nl.live_cells()[1]};
+  const auto blocks = h.trace_to_blocks(changed);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0], blk);
+}
+
+TEST(Hierarchy, BackAnnotationReachesTiles) {
+  TilingParams tp;
+  tp.seed = 3;
+  tp.target_overhead = 0.25;
+  tp.num_tiles = 4;
+  TiledDesign d =
+      TilingEngine::build(test::make_random_netlist(60, 3), tp);
+
+  // Two blocks: split the LUT population between them.
+  DesignHierarchy h("rand");
+  const HierId blk_a = h.add_block("half_a");
+  const HierId blk_b = h.add_block("half_b");
+  int i = 0;
+  for (CellId id : d.netlist.live_cells())
+    h.bind_cell(id, (i++ % 2) ? blk_a : blk_b);
+
+  // Quick_ECO granularity: one changed cell drags in its whole BLOCK's
+  // tiles — the coarseness tiling improves on. The trace must cover the
+  // tile of every instance holding a block cell, in particular the changed
+  // cell's own tile.
+  CellId cell;
+  for (CellId id : d.netlist.live_cells())
+    if (d.netlist.cell(id).kind == CellKind::kLut) {
+      cell = id;
+      break;
+    }
+  const auto tiles = trace_change_to_tiles(h, d, {cell});
+  ASSERT_GE(tiles.size(), 1u);
+  const InstId inst = d.packed.inst_of_cell(cell);
+  auto [x, y] = d.device->clb_xy(d.placement->site_of(inst));
+  EXPECT_NE(std::find(tiles.begin(), tiles.end(), d.tiles->tile_at(x, y)),
+            tiles.end());
+
+  // Both blocks together trace to at least as many tiles as one.
+  const auto all_tiles = annotate_blocks_to_tiles(h, d, {blk_a, blk_b});
+  EXPECT_GE(all_tiles.size(), tiles.size());
+}
+
+}  // namespace
+}  // namespace emutile

@@ -1,0 +1,240 @@
+// Unit tests: truth tables, netlist editing invariants, structural analyses.
+
+#include <gtest/gtest.h>
+
+#include "netlist/cell_library.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/netlist_ops.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+
+namespace emutile {
+namespace {
+
+TEST(TruthTable, VariableProjection) {
+  for (int n = 1; n <= 4; ++n) {
+    for (int v = 0; v < n; ++v) {
+      const TruthTable tt = TruthTable::variable(n, v);
+      for (unsigned m = 0; m < tt.num_minterms(); ++m)
+        EXPECT_EQ(tt.eval(m), ((m >> v) & 1u) != 0);
+    }
+  }
+}
+
+TEST(TruthTable, ConstantsAndComplement) {
+  const TruthTable zero = TruthTable::constant(3, false);
+  EXPECT_TRUE(zero.is_constant(false));
+  EXPECT_TRUE(zero.complement().is_constant(true));
+  EXPECT_EQ(zero.complement().complement(), zero);
+}
+
+TEST(TruthTable, AndOrXorSemantics) {
+  const TruthTable a3 = TruthTable::and_all(3);
+  const TruthTable o3 = TruthTable::or_all(3);
+  const TruthTable x3 = TruthTable::xor_all(3);
+  for (unsigned m = 0; m < 8; ++m) {
+    EXPECT_EQ(a3.eval(m), m == 7u);
+    EXPECT_EQ(o3.eval(m), m != 0u);
+    EXPECT_EQ(x3.eval(m), (__builtin_popcount(m) & 1) != 0);
+  }
+}
+
+TEST(TruthTable, Mux21Semantics) {
+  const TruthTable mux = TruthTable::mux21();
+  for (unsigned m = 0; m < 8; ++m) {
+    const bool sel = m & 1u, a = (m >> 1) & 1u, b = (m >> 2) & 1u;
+    EXPECT_EQ(mux.eval(m), sel ? b : a);
+  }
+}
+
+TEST(TruthTable, CofactorReducesArity) {
+  const TruthTable x4 = TruthTable::xor_all(4);
+  const TruthTable c0 = x4.cofactor(3, false);
+  const TruthTable c1 = x4.cofactor(3, true);
+  EXPECT_EQ(c0, TruthTable::xor_all(3));
+  EXPECT_EQ(c1, TruthTable::xor_all(3).complement());
+}
+
+TEST(TruthTable, CofactorMiddleVariable) {
+  // f = v1 (projection); cofactor on v0 keeps the projection.
+  const TruthTable f = TruthTable::variable(3, 1);
+  EXPECT_EQ(f.cofactor(0, false), TruthTable::variable(2, 0));
+  EXPECT_EQ(f.cofactor(0, true), TruthTable::variable(2, 0));
+  // Cofactor on v1 yields constants.
+  EXPECT_TRUE(f.cofactor(1, false).is_constant(false));
+  EXPECT_TRUE(f.cofactor(1, true).is_constant(true));
+}
+
+TEST(TruthTable, DependsOn) {
+  const TruthTable f = TruthTable::variable(4, 2);
+  EXPECT_FALSE(f.depends_on(0));
+  EXPECT_FALSE(f.depends_on(1));
+  EXPECT_TRUE(f.depends_on(2));
+  EXPECT_FALSE(f.depends_on(3));
+}
+
+TEST(TruthTable, PermuteSwapsInputs) {
+  // f(a, b) = a & !b ; perm swapping inputs yields !a & b.
+  TruthTable f(2);
+  f.set_bit(0b01, true);  // a=1, b=0
+  const TruthTable g = f.permute({1, 0});
+  EXPECT_TRUE(g.eval(0b10));
+  EXPECT_FALSE(g.eval(0b01));
+}
+
+TEST(TruthTable, FromBitsRoundTrip) {
+  std::vector<bool> bits{true, false, false, true};
+  const TruthTable tt = TruthTable::from_bits(2, bits);
+  for (unsigned m = 0; m < 4; ++m) EXPECT_EQ(tt.eval(m), bits[m]);
+}
+
+TEST(TruthTable, RejectsTooManyInputs) {
+  EXPECT_THROW(TruthTable(9), CheckError);
+}
+
+TEST(Netlist, BuildAndQuery) {
+  Netlist nl("t");
+  const CellId a = nl.add_input("a");
+  const CellId b = nl.add_input("b");
+  const CellId g = nl.add_lut("g", TruthTable::and_all(2),
+                              {nl.cell_output(a), nl.cell_output(b)});
+  nl.add_output("y", nl.cell_output(g));
+  nl.validate();
+  EXPECT_EQ(nl.num_cells(), 4u);
+  EXPECT_EQ(nl.num_luts(), 1u);
+  EXPECT_EQ(nl.primary_inputs().size(), 2u);
+  EXPECT_EQ(nl.primary_outputs().size(), 1u);
+  EXPECT_TRUE(nl.find_net("g").has_value());
+  EXPECT_TRUE(nl.find_cell("g").has_value());
+  EXPECT_FALSE(nl.find_net("nope").has_value());
+}
+
+TEST(Netlist, NameCollisionsAreDisambiguated) {
+  Netlist nl;
+  nl.add_input("x");
+  const CellId second = nl.add_input("x");
+  EXPECT_NE(nl.cell(second).name, "x");
+  nl.validate();
+}
+
+TEST(Netlist, ReconnectInputMaintainsSinkLists) {
+  Netlist nl;
+  const CellId a = nl.add_input("a");
+  const CellId b = nl.add_input("b");
+  const CellId g =
+      nl.add_lut("g", TruthTable::buffer(), {nl.cell_output(a)});
+  nl.add_output("y", nl.cell_output(g));
+  nl.reconnect_input(g, 0, nl.cell_output(b));
+  nl.validate();
+  EXPECT_TRUE(nl.net(nl.cell_output(a)).sinks.empty());
+  EXPECT_EQ(nl.net(nl.cell_output(b)).sinks.size(), 1u);
+}
+
+TEST(Netlist, TransferSinksMovesAllConsumers) {
+  Netlist nl;
+  const CellId a = nl.add_input("a");
+  const CellId b = nl.add_input("b");
+  const CellId g1 =
+      nl.add_lut("g1", TruthTable::buffer(), {nl.cell_output(a)});
+  const CellId g2 =
+      nl.add_lut("g2", TruthTable::inverter(), {nl.cell_output(a)});
+  nl.add_output("y1", nl.cell_output(g1));
+  nl.add_output("y2", nl.cell_output(g2));
+  nl.transfer_sinks(nl.cell_output(a), nl.cell_output(b));
+  nl.validate();
+  EXPECT_TRUE(nl.net(nl.cell_output(a)).sinks.empty());
+  EXPECT_EQ(nl.net(nl.cell_output(b)).sinks.size(), 2u);
+}
+
+TEST(Netlist, RemoveCellRequiresDeadOutput) {
+  Netlist nl;
+  const CellId a = nl.add_input("a");
+  const CellId g =
+      nl.add_lut("g", TruthTable::buffer(), {nl.cell_output(a)});
+  const CellId h =
+      nl.add_lut("h", TruthTable::inverter(), {nl.cell_output(g)});
+  EXPECT_THROW(nl.remove_cell(g), CheckError);  // h still consumes it
+  nl.remove_cell(h);
+  nl.remove_cell(g);
+  nl.validate();
+  EXPECT_EQ(nl.num_luts(), 0u);
+}
+
+TEST(Netlist, RemovedIdsStayStableForSurvivors) {
+  Netlist nl;
+  const CellId a = nl.add_input("a");
+  const CellId g =
+      nl.add_lut("g", TruthTable::buffer(), {nl.cell_output(a)});
+  const CellId h =
+      nl.add_lut("h", TruthTable::inverter(), {nl.cell_output(a)});
+  nl.remove_cell(g);
+  EXPECT_EQ(nl.cell(h).name, "h");  // id h still resolves
+  nl.validate();
+}
+
+TEST(NetlistOps, TopoOrderRespectsDependencies) {
+  const Netlist nl = test::make_adder4();
+  const std::vector<CellId> order = topo_order_luts(nl);
+  std::vector<int> pos(nl.cell_bound(), -1);
+  for (std::size_t i = 0; i < order.size(); ++i)
+    pos[order[i].value()] = static_cast<int>(i);
+  for (CellId id : order) {
+    const Cell& c = nl.cell(id);
+    for (NetId in : c.inputs) {
+      const CellId drv = nl.net(in).driver;
+      if (nl.cell(drv).kind == CellKind::kLut)
+        EXPECT_LT(pos[drv.value()], pos[id.value()]);
+    }
+  }
+}
+
+TEST(NetlistOps, LevelizeMonotone) {
+  const Netlist nl = test::make_adder4();
+  const std::vector<int> level = levelize(nl);
+  for (CellId id : topo_order_luts(nl)) {
+    const Cell& c = nl.cell(id);
+    for (NetId in : c.inputs) {
+      const CellId drv = nl.net(in).driver;
+      if (nl.cell(drv).kind == CellKind::kLut)
+        EXPECT_LT(level[drv.value()], level[id.value()]);
+    }
+  }
+  EXPECT_EQ(logic_depth(nl), 4);  // ripple carry chain of 4 full adders
+}
+
+TEST(NetlistOps, FaninConeOfCarryChain) {
+  const Netlist nl = test::make_adder4();
+  const CellId cout_po = nl.primary_outputs().back();
+  const auto cone = fanin_cone(nl, nl.cell(cout_po).inputs[0]);
+  EXPECT_EQ(cone.size(), 4u);  // the four carry LUTs
+}
+
+TEST(NetlistOps, OutputsReachable) {
+  const Netlist nl = test::make_adder4();
+  EXPECT_TRUE(outputs_reachable(nl));
+}
+
+TEST(NetlistOps, StatsSummary) {
+  const Netlist nl = test::make_adder4();
+  const NetlistStats s = compute_stats(nl);
+  EXPECT_EQ(s.primary_inputs, 9u);
+  EXPECT_EQ(s.primary_outputs, 5u);
+  EXPECT_EQ(s.luts, 8u);  // 4x (sum + carry)
+  EXPECT_EQ(s.dffs, 0u);
+  EXPECT_GT(s.avg_fanout, 0.0);
+}
+
+TEST(NetlistOps, CombinationalCycleDetected) {
+  Netlist nl;
+  const CellId a = nl.add_input("a");
+  const CellId g1 = nl.add_lut("g1", TruthTable::and_all(2),
+                               {nl.cell_output(a), nl.cell_output(a)});
+  const CellId g2 =
+      nl.add_lut("g2", TruthTable::buffer(), {nl.cell_output(g1)});
+  nl.reconnect_input(g1, 1, nl.cell_output(g2));  // close the loop
+  nl.add_output("y", nl.cell_output(g2));
+  EXPECT_THROW(topo_order_luts(nl), CheckError);
+}
+
+}  // namespace
+}  // namespace emutile

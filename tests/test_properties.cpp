@@ -1,0 +1,288 @@
+// Property-based sweeps (parameterized gtest): algebraic identities on
+// truth tables, semantics preservation through every netlist transformation,
+// placer/router legality across seeds, ECO confinement across seeds, and
+// engine monotonicity properties.
+
+#include <gtest/gtest.h>
+
+#include "core/flow.hpp"
+#include "core/region_mask.hpp"
+#include "core/tiling_engine.hpp"
+#include "netlist/blif_parser.hpp"
+#include "netlist/blif_writer.hpp"
+#include "test_helpers.hpp"
+
+namespace emutile {
+namespace {
+
+// ---------------------------------------------------------------- truth tables
+
+class TruthTableProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TruthTableProperty, ShannonExpansionIdentity) {
+  // f(x) == x_i ? f|x_i=1 : f|x_i=0 for every variable.
+  Rng rng(GetParam());
+  const int n = 2 + static_cast<int>(rng.next_below(5));  // 2..6
+  TruthTable f(n);
+  for (unsigned m = 0; m < f.num_minterms(); ++m)
+    f.set_bit(m, rng.next_bool(0.5));
+  for (int var = 0; var < n; ++var) {
+    const TruthTable f0 = f.cofactor(var, false);
+    const TruthTable f1 = f.cofactor(var, true);
+    for (unsigned m = 0; m < f.num_minterms(); ++m) {
+      const unsigned low = m & ((1u << var) - 1u);
+      const unsigned high = (m >> (var + 1)) << var;
+      const unsigned reduced = high | low;
+      const bool expect = ((m >> var) & 1u) ? f1.eval(reduced) : f0.eval(reduced);
+      EXPECT_EQ(f.eval(m), expect) << "var " << var << " minterm " << m;
+    }
+  }
+}
+
+TEST_P(TruthTableProperty, ComplementIsInvolution) {
+  Rng rng(GetParam());
+  const int n = 1 + static_cast<int>(rng.next_below(6));
+  TruthTable f(n);
+  for (unsigned m = 0; m < f.num_minterms(); ++m)
+    f.set_bit(m, rng.next_bool(0.5));
+  EXPECT_EQ(f.complement().complement(), f);
+  for (unsigned m = 0; m < f.num_minterms(); ++m)
+    EXPECT_NE(f.eval(m), f.complement().eval(m));
+}
+
+TEST_P(TruthTableProperty, PermuteRoundTrip) {
+  Rng rng(GetParam());
+  const int n = 2 + static_cast<int>(rng.next_below(4));  // 2..5
+  TruthTable f(n);
+  for (unsigned m = 0; m < f.num_minterms(); ++m)
+    f.set_bit(m, rng.next_bool(0.5));
+  // Random permutation and its inverse.
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+  std::shuffle(perm.begin(), perm.end(), rng);
+  std::vector<int> inv(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) inv[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])] = i;
+  EXPECT_EQ(f.permute(perm).permute(inv), f);
+}
+
+TEST_P(TruthTableProperty, DependsOnAgreesWithCofactors) {
+  Rng rng(GetParam());
+  const int n = 1 + static_cast<int>(rng.next_below(5));
+  TruthTable f(n);
+  for (unsigned m = 0; m < f.num_minterms(); ++m)
+    f.set_bit(m, rng.next_bool(0.3));
+  for (int var = 0; var < n; ++var)
+    EXPECT_EQ(f.depends_on(var), f.cofactor(var, false) != f.cofactor(var, true));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TruthTableProperty,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+// ---------------------------------------------------------------- transforms
+
+class TransformProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TransformProperty, BlifRoundTripPreservesBehaviour) {
+  const Netlist original =
+      test::make_random_netlist(40 + static_cast<int>(GetParam()) * 7,
+                                GetParam() * 31 + 5);
+  const Netlist reparsed = parse_blif_string(to_blif_string(original));
+  const auto patterns =
+      random_patterns(original.primary_inputs().size(), 48, GetParam());
+  EXPECT_EQ(test::run_patterns(original, patterns),
+            test::run_patterns(reparsed, patterns));
+}
+
+TEST_P(TransformProperty, SynthesizePreservesBehaviour) {
+  Rng rng(GetParam() * 97 + 3);
+  Netlist nl("wide");
+  const int width = 5 + static_cast<int>(rng.next_below(4));
+  const Bus in = b_inputs(nl, "i", width);
+  for (int f = 0; f < 3; ++f) {
+    TruthTable tt(width);
+    for (unsigned m = 0; m < tt.num_minterms(); ++m)
+      tt.set_bit(m, rng.next_bool(0.5));
+    nl.add_output("y" + std::to_string(f),
+                  nl.cell_output(nl.add_lut("f" + std::to_string(f), tt, in)));
+  }
+  const auto patterns = exhaustive_patterns(static_cast<std::size_t>(width));
+  const auto before = test::run_patterns(nl, patterns);
+  synthesize(nl);
+  for (CellId id : nl.live_cells())
+    if (nl.cell(id).kind == CellKind::kLut)
+      ASSERT_LE(nl.cell(id).function.num_inputs(), 4);
+  EXPECT_EQ(test::run_patterns(nl, patterns), before);
+}
+
+TEST_P(TransformProperty, PackerInvariantsAcrossSeeds) {
+  const Netlist nl = test::make_random_netlist(
+      30 + static_cast<int>(GetParam()) * 11, GetParam() * 13 + 7, 0.15);
+  const PackedDesign packed = pack(nl);
+  packed.validate(nl);
+  // Density: pairing should do clearly better than one LUT per CLB.
+  EXPECT_LE(packed.num_clbs(), nl.num_luts());
+  EXPECT_GE(packed.num_clbs(), (nl.num_luts() + 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TransformProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// ---------------------------------------------------------------- physical
+
+class PhysicalProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PhysicalProperty, FullFlowLegalAcrossSeeds) {
+  FlowParams fp;
+  fp.seed = GetParam();
+  fp.slack = 0.25;
+  TiledDesign d =
+      build_flat(test::make_random_netlist(60, GetParam() * 3 + 1), fp);
+  d.validate();
+  EXPECT_EQ(d.routing->count_overused(), 0u);
+  EXPECT_EQ(d.routing->audit_occupancy(), 0u);
+}
+
+TEST_P(PhysicalProperty, TiledEcoConfinementAcrossSeeds) {
+  TilingParams tp;
+  tp.seed = GetParam();
+  tp.target_overhead = 0.25;
+  tp.num_tiles = 8;
+  TiledDesign d = TilingEngine::build(
+      test::make_random_netlist(90, GetParam() * 17 + 2), tp);
+
+  // Snapshot placement.
+  std::vector<SiteIndex> before(d.packed.inst_bound(), kInvalidSite);
+  for (InstId id : d.packed.live_insts())
+    before[id.value()] = d.placement->site_of(id);
+
+  // Modify one LUT.
+  CellId victim;
+  for (CellId id : d.netlist.live_cells())
+    if (d.netlist.cell(id).kind == CellKind::kLut) victim = id;
+  d.netlist.set_lut_function(victim,
+                             d.netlist.cell(victim).function.complement());
+  EcoChange change;
+  change.modified_cells = {victim};
+  const EcoOutcome out = TilingEngine::apply_change(d, change, EcoOptions{});
+  ASSERT_TRUE(out.success);
+  d.validate();
+
+  std::unordered_set<std::uint32_t> affected;
+  for (TileId t : out.affected) affected.insert(t.value());
+  for (InstId id : d.packed.live_insts()) {
+    const SiteIndex s = before[id.value()];
+    if (s == kInvalidSite || !d.device->is_clb_site(s)) continue;
+    auto [x, y] = d.device->clb_xy(s);
+    if (affected.count(d.tiles->tile_at(x, y).value())) continue;
+    EXPECT_EQ(d.placement->site_of(id), s) << "locked instance moved";
+  }
+}
+
+TEST_P(PhysicalProperty, EcoPreservesBehaviourAcrossSeeds) {
+  TilingParams tp;
+  tp.seed = GetParam() ^ 0xFACE;
+  tp.target_overhead = 0.25;
+  tp.num_tiles = 6;
+  TiledDesign d = TilingEngine::build(
+      test::make_random_netlist(70, GetParam() * 29 + 11), tp);
+  const auto patterns =
+      random_patterns(d.netlist.primary_inputs().size(), 48, GetParam());
+  const auto before = test::run_patterns(d.netlist, patterns);
+
+  // Add observation-style logic (behaviour-neutral).
+  CellId anchor;
+  for (CellId id : d.netlist.live_cells())
+    if (d.netlist.cell(id).kind == CellKind::kLut) {
+      anchor = id;
+      break;
+    }
+  EcoChange change;
+  const CellId probe = d.netlist.add_lut("p", TruthTable::buffer(),
+                                         {d.netlist.cell_output(anchor)});
+  const CellId ff = d.netlist.add_dff("pf", d.netlist.cell_output(probe));
+  change.added_cells = {probe, ff};
+  change.anchor_cells = {anchor};
+  ASSERT_TRUE(TilingEngine::apply_change(d, change, EcoOptions{}).success);
+  EXPECT_EQ(test::run_patterns(d.netlist, patterns), before);
+  d.validate();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PhysicalProperty,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+// ---------------------------------------------------------------- engine
+
+TEST(EngineProperty, ExpansionIsMonotoneInDemand) {
+  TilingParams tp;
+  tp.seed = 5;
+  tp.target_overhead = 0.25;
+  tp.num_tiles = 9;
+  TiledDesign d = TilingEngine::build(test::make_random_netlist(90, 5), tp);
+  std::vector<TileId> prev;
+  for (int need = 1; need < 24; need += 4) {
+    std::vector<TileId> cur;
+    try {
+      cur = TilingEngine::expand_for_capacity(d, {TileId{0}}, need);
+    } catch (const CheckError&) {
+      break;  // device exhausted
+    }
+    EXPECT_GE(cur.size(), prev.size());
+    // Superset property: the affected set only ever grows.
+    for (TileId t : prev)
+      EXPECT_NE(std::find(cur.begin(), cur.end(), t), cur.end());
+    prev = cur;
+  }
+}
+
+TEST(EngineProperty, RegionMaskRipImpliesAllowed) {
+  const Device device(DeviceParams{10, 10, 6});
+  const RrGraph rr(device);
+  const TileGrid grid(10, 10, 3, 3);
+  for (int t = 0; t < grid.num_tiles(); ++t) {
+    std::vector<std::uint8_t> affected(
+        static_cast<std::size_t>(grid.num_tiles()), 0);
+    affected[static_cast<std::size_t>(t)] = 1;
+    const RegionMasks masks = build_region_masks(rr, grid, affected);
+    std::size_t allowed_count = 0;
+    for (std::size_t i = 0; i < rr.num_nodes(); ++i) {
+      if (masks.rip[i]) EXPECT_TRUE(masks.allowed[i]) << "rip outside allowed";
+      if (masks.allowed[i]) ++allowed_count;
+    }
+    EXPECT_GT(allowed_count, 0u);
+  }
+}
+
+TEST(EngineProperty, MasksOfDisjointTilesDontOverlapInterior) {
+  const Device device(DeviceParams{12, 12, 6});
+  const RrGraph rr(device);
+  const TileGrid grid(12, 12, 3, 3);
+  // Two non-adjacent tiles: their RIP sets must be disjoint.
+  std::vector<std::uint8_t> a(9, 0), b(9, 0);
+  a[grid.tile_at(0, 0).value()] = 1;
+  b[grid.tile_at(11, 11).value()] = 1;
+  const RegionMasks ma = build_region_masks(rr, grid, a);
+  const RegionMasks mb = build_region_masks(rr, grid, b);
+  for (std::size_t i = 0; i < rr.num_nodes(); ++i)
+    EXPECT_FALSE(ma.rip[i] && mb.rip[i]);
+}
+
+TEST(EngineProperty, RetilePreservesPlacementAndRouting) {
+  TilingParams tp;
+  tp.seed = 7;
+  tp.num_tiles = 12;
+  TiledDesign d = TilingEngine::build(test::make_random_netlist(80, 7), tp);
+  std::vector<SiteIndex> before(d.packed.inst_bound(), kInvalidSite);
+  for (InstId id : d.packed.live_insts())
+    before[id.value()] = d.placement->site_of(id);
+  const std::size_t wires_before = d.routing->total_wire_nodes();
+
+  TilingEngine::retile(d, 4);
+  EXPECT_LE(d.tiles->num_tiles(), 8);
+  for (InstId id : d.packed.live_insts())
+    EXPECT_EQ(d.placement->site_of(id), before[id.value()]);
+  EXPECT_EQ(d.routing->total_wire_nodes(), wires_before);
+  d.validate();
+}
+
+}  // namespace
+}  // namespace emutile

@@ -1,0 +1,135 @@
+// Simulator and pattern-generation tests.
+
+#include <gtest/gtest.h>
+
+#include "sim/patterns.hpp"
+#include "sim/simulator.hpp"
+#include "test_helpers.hpp"
+
+namespace emutile {
+namespace {
+
+TEST(Simulator, Adder4Exhaustive) {
+  const Netlist nl = test::make_adder4();
+  Simulator sim(nl);
+  sim.reset();
+  for (const Pattern& p : exhaustive_patterns(9)) {
+    unsigned a = 0, b = 0;
+    for (int i = 0; i < 4; ++i) {
+      a |= static_cast<unsigned>(p[static_cast<std::size_t>(i)]) << i;
+      b |= static_cast<unsigned>(p[static_cast<std::size_t>(4 + i)]) << i;
+    }
+    const unsigned cin = p[8];
+    const auto out = sim.step(p);
+    unsigned sum = 0;
+    for (int i = 0; i < 4; ++i)
+      sum |= static_cast<unsigned>(out[static_cast<std::size_t>(i)]) << i;
+    sum |= static_cast<unsigned>(out[4]) << 4;
+    EXPECT_EQ(sum, a + b + cin);
+  }
+}
+
+TEST(Simulator, SequentialCounterCounts) {
+  const Netlist nl = test::make_seq4();
+  Simulator sim(nl);
+  sim.reset();
+  // en=1 for 5 cycles: outputs show 0,1,2,3,4 (Moore: state visible after).
+  std::vector<unsigned> seen;
+  for (int c = 0; c < 5; ++c) {
+    const auto out = sim.step({1});
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<unsigned>(out[static_cast<std::size_t>(i)]) << i;
+    seen.push_back(v);
+  }
+  EXPECT_EQ(seen, (std::vector<unsigned>{0, 1, 2, 3, 4}));
+  // en=0 holds.
+  const auto hold = sim.step({0});
+  unsigned v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<unsigned>(hold[static_cast<std::size_t>(i)]) << i;
+  EXPECT_EQ(v, 5u);
+  EXPECT_EQ(sim.step({0})[0], hold[0]);
+}
+
+TEST(Simulator, ResetClearsState) {
+  const Netlist nl = test::make_seq4();
+  Simulator sim(nl);
+  sim.reset();
+  for (int c = 0; c < 3; ++c) sim.step({1});
+  sim.reset();
+  EXPECT_EQ(sim.cycle(), 0u);
+  const auto out = sim.step({0});
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], 0);
+}
+
+TEST(Simulator, NetValueReadback) {
+  const Netlist nl = test::make_adder4();
+  Simulator sim(nl);
+  sim.reset();
+  Pattern p(9, 1);  // all ones: a=15, b=15, cin=1 -> sum=31
+  sim.step(p);
+  const NetId cout_net =
+      nl.cell(nl.primary_outputs().back()).inputs[0];
+  EXPECT_TRUE(sim.net_value(cout_net));
+}
+
+TEST(Simulator, FfStateReadback) {
+  const Netlist nl = test::make_seq4();
+  Simulator sim(nl);
+  sim.reset();
+  sim.step({1});  // state becomes 1
+  bool any = false;
+  for (CellId id : nl.live_cells())
+    if (nl.cell(id).kind == CellKind::kDff && sim.ff_state(id)) any = true;
+  EXPECT_TRUE(any);
+}
+
+TEST(Patterns, RandomAreDeterministic) {
+  const auto a = random_patterns(8, 16, 42);
+  const auto b = random_patterns(8, 16, 42);
+  const auto c = random_patterns(8, 16, 43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.size(), 16u);
+  EXPECT_EQ(a[0].size(), 8u);
+}
+
+TEST(Patterns, ExhaustiveCoversAll) {
+  const auto p = exhaustive_patterns(4);
+  EXPECT_EQ(p.size(), 16u);
+  std::set<unsigned> values;
+  for (const Pattern& v : p) {
+    unsigned x = 0;
+    for (std::size_t i = 0; i < v.size(); ++i)
+      x |= static_cast<unsigned>(v[i]) << i;
+    values.insert(x);
+  }
+  EXPECT_EQ(values.size(), 16u);
+}
+
+TEST(Patterns, MarchingShapes) {
+  const auto p = marching_patterns(5);
+  EXPECT_EQ(p.size(), 12u);  // 0, 5 walking ones, 1s, 5 walking zeros
+}
+
+TEST(Signature, DiffersOnDifferentStreams) {
+  SignatureAccumulator a, b;
+  for (int i = 0; i < 64; ++i) {
+    a.add(i % 3 == 0);
+    b.add(i % 3 == 1);
+  }
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST(Signature, SameStreamSameSignature) {
+  SignatureAccumulator a, b;
+  for (int i = 0; i < 64; ++i) {
+    a.add(i & 1);
+    b.add(i & 1);
+  }
+  EXPECT_EQ(a.value(), b.value());
+}
+
+}  // namespace
+}  // namespace emutile

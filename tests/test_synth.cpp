@@ -1,0 +1,211 @@
+// Technology mapping and packing tests: semantics preservation and
+// structural invariants of the CLB packing.
+
+#include <gtest/gtest.h>
+
+#include "synth/lut_mapper.hpp"
+#include "synth/packer.hpp"
+#include "test_helpers.hpp"
+
+namespace emutile {
+namespace {
+
+TEST(LutMapper, DecomposesWideFunctions) {
+  Netlist nl;
+  const Bus in = b_inputs(nl, "i", 6);
+  const CellId wide = nl.add_lut("wide", TruthTable::xor_all(6), in);
+  nl.add_output("y", nl.cell_output(wide));
+
+  const auto before = test::run_patterns(nl, exhaustive_patterns(6));
+  const MapReport report = map_to_luts(nl);
+  EXPECT_EQ(report.luts_decomposed, 1u);
+  for (CellId id : nl.live_cells())
+    if (nl.cell(id).kind == CellKind::kLut)
+      EXPECT_LE(nl.cell(id).function.num_inputs(), 4);
+  EXPECT_EQ(test::run_patterns(nl, exhaustive_patterns(6)), before);
+}
+
+TEST(LutMapper, DecomposePreservesRandomFunctions) {
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    Netlist nl;
+    const int width = 5 + static_cast<int>(rng.next_below(4));  // 5..8
+    const Bus in = b_inputs(nl, "i", width);
+    TruthTable tt(width);
+    for (unsigned m = 0; m < tt.num_minterms(); ++m)
+      tt.set_bit(m, rng.next_bool(0.5));
+    nl.add_output("y", nl.cell_output(nl.add_lut("f", tt, in)));
+    const auto patterns = exhaustive_patterns(static_cast<std::size_t>(width));
+    const auto before = test::run_patterns(nl, patterns);
+    map_to_luts(nl);
+    EXPECT_EQ(test::run_patterns(nl, patterns), before) << "width " << width;
+  }
+}
+
+TEST(LutMapper, FoldConstantsSimplifies) {
+  Netlist nl;
+  const CellId a = nl.add_input("a");
+  const CellId k1 = nl.add_const("k1", true);
+  const CellId g = nl.add_lut("g", TruthTable::and_all(2),
+                              {nl.cell_output(a), nl.cell_output(k1)});
+  nl.add_output("y", nl.cell_output(g));
+  const MapReport r = fold_constants(nl);
+  EXPECT_GE(r.constants_folded, 1u);
+  // AND(a, 1) == a: the surviving LUT must be a buffer of `a`.
+  bool found_buffer = false;
+  for (CellId id : nl.live_cells())
+    if (nl.cell(id).kind == CellKind::kLut) {
+      EXPECT_EQ(nl.cell(id).function, TruthTable::buffer());
+      found_buffer = true;
+    }
+  EXPECT_TRUE(found_buffer);
+}
+
+TEST(LutMapper, ConstantFedDffBecomesConstant) {
+  Netlist nl;
+  nl.add_input("a");
+  const CellId k1 = nl.add_const("k", true);
+  const CellId ff = nl.add_dff("ff", nl.cell_output(k1));
+  nl.add_output("y", nl.cell_output(ff));
+  fold_constants(nl);
+  EXPECT_EQ(nl.num_dffs(), 0u);
+}
+
+TEST(LutMapper, PruneDeadRemovesUnreachable) {
+  Netlist nl;
+  const CellId a = nl.add_input("a");
+  const CellId live =
+      nl.add_lut("live", TruthTable::buffer(), {nl.cell_output(a)});
+  nl.add_lut("dead", TruthTable::inverter(), {nl.cell_output(a)});
+  nl.add_output("y", nl.cell_output(live));
+  const MapReport r = prune_dead(nl);
+  EXPECT_EQ(r.cells_pruned, 1u);
+  EXPECT_EQ(nl.num_luts(), 1u);
+}
+
+TEST(LutMapper, SynthesizePipelineEndToEnd) {
+  Netlist nl;
+  Rng rng(4);
+  const Bus in = b_inputs(nl, "i", 7);
+  TruthTable tt(7);
+  for (unsigned m = 0; m < tt.num_minterms(); ++m)
+    tt.set_bit(m, rng.next_bool(0.4));
+  nl.add_output("y", nl.cell_output(nl.add_lut("f", tt, in)));
+  const auto patterns = exhaustive_patterns(7);
+  const auto before = test::run_patterns(nl, patterns);
+  synthesize(nl);
+  EXPECT_EQ(test::run_patterns(nl, patterns), before);
+}
+
+TEST(Packer, PacksAdder) {
+  const Netlist nl = test::make_adder4();
+  const PackedDesign packed = pack(nl);
+  packed.validate(nl);
+  // 8 LUTs -> at most 8, at least 4 CLBs.
+  EXPECT_LE(packed.num_clbs(), 8u);
+  EXPECT_GE(packed.num_clbs(), 4u);
+  EXPECT_EQ(packed.num_iobs(), 14u);  // 9 PI + 5 PO
+}
+
+TEST(Packer, PairingUsesAffinity) {
+  // Two LUTs sharing all inputs should land in one CLB.
+  Netlist nl;
+  const Bus in = b_inputs(nl, "i", 4);
+  const CellId f = nl.add_lut("f", TruthTable::and_all(4), in);
+  const CellId g = nl.add_lut("g", TruthTable::or_all(4), in);
+  nl.add_output("yf", nl.cell_output(f));
+  nl.add_output("yg", nl.cell_output(g));
+  const PackedDesign packed = pack(nl);
+  EXPECT_EQ(packed.inst_of_cell(f), packed.inst_of_cell(g));
+  EXPECT_EQ(packed.num_clbs(), 1u);
+}
+
+TEST(Packer, RegistersFfWithDrivingLut) {
+  Netlist nl;
+  const Bus in = b_inputs(nl, "i", 4);
+  const CellId f = nl.add_lut("f", TruthTable::and_all(4), in);
+  const CellId ff = nl.add_dff("ff", nl.cell_output(f));
+  nl.add_output("q", nl.cell_output(ff));
+  const PackedDesign packed = pack(nl);
+  packed.validate(nl);
+  EXPECT_EQ(packed.inst_of_cell(f), packed.inst_of_cell(ff));
+  const Instance& inst = packed.inst(packed.inst_of_cell(f));
+  EXPECT_TRUE(inst.ff_f_src == FfSource::kLutF ||
+              inst.ff_g_src == FfSource::kLutG ||
+              inst.ff_f_src == FfSource::kLutG ||
+              inst.ff_g_src == FfSource::kLutF);
+}
+
+TEST(Packer, InputDemandNeverExceedsPins) {
+  const Netlist nl = test::make_random_netlist(120, 21);
+  const PackedDesign packed = pack(nl);
+  packed.validate(nl);
+  for (InstId id : packed.live_insts())
+    if (packed.inst(id).is_clb())
+      EXPECT_LE(packed.input_net_demand(nl, id), ClbPinModel::kNumIpins);
+}
+
+TEST(Packer, PhysicalNetsExcludeInternalFeeds) {
+  Netlist nl;
+  const Bus in = b_inputs(nl, "i", 4);
+  const CellId f = nl.add_lut("f", TruthTable::and_all(4), in);
+  const CellId ff = nl.add_dff("ff", nl.cell_output(f));
+  nl.add_output("q", nl.cell_output(ff));
+  const PackedDesign packed = pack(nl);
+  // The LUT->FF net is internal to the CLB: it must not appear.
+  for (const PhysNet& pn : packed.physical_nets(nl))
+    EXPECT_NE(pn.net, nl.cell_output(f));
+}
+
+TEST(Packer, PhysicalNetSourcePins) {
+  const Netlist nl = test::make_seq4();
+  Netlist mapped = nl;
+  synthesize(mapped);
+  const PackedDesign packed = pack(mapped);
+  packed.validate(mapped);
+  for (const PhysNet& pn : packed.physical_nets(mapped)) {
+    const auto [inst, opin] = packed.source_pin(mapped, pn.net);
+    EXPECT_EQ(inst, pn.src_inst);
+    EXPECT_EQ(opin, pn.src_opin);
+    EXPECT_GE(opin, 0);
+    EXPECT_LT(opin, ClbPinModel::kNumOpins);
+  }
+}
+
+TEST(Packer, IncrementUsesFreshClbs) {
+  Netlist nl = test::make_adder4();
+  PackedDesign packed = pack(nl);
+  const std::size_t before = packed.num_clbs();
+
+  // Add a small cone and pack it incrementally.
+  const NetId some = nl.cell_output(nl.primary_inputs()[0]);
+  const CellId n1 = nl.add_lut("eco1", TruthTable::inverter(), {some});
+  const CellId n2 =
+      nl.add_lut("eco2", TruthTable::buffer(), {nl.cell_output(n1)});
+  const CellId n3 = nl.add_dff("ecoff", nl.cell_output(n2));
+  nl.add_output("eco_q", nl.cell_output(n3));
+  // The new PO needs an IOB as well.
+  packed.new_iob("iob_eco_q", InstKind::kIobOut, nl.primary_outputs().back());
+
+  const auto created = pack_increment(packed, nl, {n1, n2, n3});
+  packed.validate(nl);
+  EXPECT_FALSE(created.empty());
+  EXPECT_GT(packed.num_clbs(), before - 1);
+  for (InstId id : created) EXPECT_TRUE(packed.inst(id).is_clb());
+}
+
+TEST(Packer, UnbindAndRemoveIfEmpty) {
+  Netlist nl;
+  const Bus in = b_inputs(nl, "i", 4);
+  const CellId f = nl.add_lut("f", TruthTable::and_all(4), in);
+  nl.add_output("y", nl.cell_output(f));
+  PackedDesign packed = pack(nl);
+  const InstId inst = packed.inst_of_cell(f);
+  packed.unbind_cell(f);
+  EXPECT_FALSE(packed.inst_of_cell(f).valid());
+  packed.remove_if_empty(inst);
+  EXPECT_EQ(packed.num_clbs(), 0u);
+}
+
+}  // namespace
+}  // namespace emutile
