@@ -1,0 +1,87 @@
+/// Campaign sweep bench: fleet-scale statistics the paper's per-iteration
+/// numbers only hint at. Runs 100+ debugging sessions — three Table 1
+/// designs x three error kinds x two tile sizes, several replicas each —
+/// single-threaded and multi-threaded, and checks that the aggregate report
+/// is byte-identical either way (the campaign determinism contract), then
+/// reports wall-clock throughput, effort percentiles, and measured tiled-ECO
+/// speedups against the Quick_ECO and full re-P&R baselines.
+///
+///   $ ./campaign_sweep [threads] [sessions_per_scenario]
+
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "campaign/campaign_engine.hpp"
+#include "util/stats.hpp"
+
+using namespace emutile;
+
+namespace {
+
+CampaignSpec make_spec(int replicas) {
+  CampaignSpec spec;
+  for (const char* name : {"9sym", "styr", "sand"})
+    spec.add_catalog_design(name);
+  // All three designs are small (<200 CLBs), so one ECO effort fits all.
+  spec.eco.placer_effort = bench::effort_for(paper_design("sand").clbs);
+  spec.master_seed = 2000;  // DAC 2000
+  spec.sessions_per_scenario = replicas;
+  spec.num_patterns = 192;
+  spec.tilings.clear();
+  for (const int tiles : {6, 12}) {
+    TilingParams tp;
+    tp.num_tiles = tiles;
+    tp.target_overhead = 0.22;
+    spec.tilings.push_back(tp);
+  }
+  spec.measure_baselines = true;
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t threads =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+               : std::max(2u, std::thread::hardware_concurrency());
+  const int replicas = argc > 2 ? std::atoi(argv[2]) : 6;
+
+  bench::banner("Campaign sweep: fleet-scale debug statistics",
+                "the experimental method, at scale,");
+
+  const CampaignSpec spec = make_spec(replicas);
+  std::cout << "matrix: " << spec.designs.size() << " designs x "
+            << spec.error_kinds.size() << " error kinds x "
+            << spec.tilings.size() << " tile sizes x " << replicas
+            << " replicas = " << spec.num_sessions() << " sessions\n\n";
+
+  std::cout << "single-threaded reference run...\n";
+  CampaignOptions single;
+  single.num_threads = 1;
+  const CampaignReport ref = run_campaign(spec, single);
+  std::cout << "  " << Table::fmt(ref.wall_seconds, 1) << " s, "
+            << Table::fmt(ref.sessions_per_second(), 2) << " sessions/s\n\n";
+
+  std::cout << threads << "-thread run...\n";
+  CampaignOptions multi;
+  multi.num_threads = threads;
+  const CampaignReport par = run_campaign(spec, multi);
+  std::cout << "  " << Table::fmt(par.wall_seconds, 1) << " s, "
+            << Table::fmt(par.sessions_per_second(), 2) << " sessions/s\n\n";
+
+  const bool deterministic =
+      ref.to_json() == par.to_json() && ref.to_csv() == par.to_csv();
+  std::cout << "determinism (1 vs " << threads << " threads): "
+            << (deterministic ? "byte-identical report" : "MISMATCH — BUG")
+            << "\n";
+  std::cout << "wall-clock speedup: "
+            << Table::fmt(ref.wall_seconds / par.wall_seconds, 2) << "x on "
+            << threads << " threads ("
+            << std::thread::hardware_concurrency() << " hardware threads)\n\n";
+
+  par.print_summary(std::cout);
+  std::cout << "\nper-scenario CSV:\n" << par.to_csv();
+  return deterministic ? 0 : 1;
+}

@@ -21,28 +21,6 @@
 
 using namespace emutile;
 
-namespace {
-
-/// The standard debugging change, scripted identically on every clone.
-EcoChange make_change(TiledDesign& d) {
-  CellId victim;
-  for (CellId id : d.netlist.live_cells())
-    if (d.netlist.cell(id).kind == CellKind::kLut) victim = id;
-  d.netlist.set_lut_function(victim,
-                             d.netlist.cell(victim).function.complement());
-  EcoChange change;
-  change.modified_cells = {victim};
-  const CellId n1 = d.netlist.add_lut("fix1", TruthTable::inverter(),
-                                      {d.netlist.cell_output(victim)});
-  const CellId n2 =
-      d.netlist.add_dff("fix2", d.netlist.cell_output(n1));
-  change.added_cells = {n1, n2};
-  change.anchor_cells = {victim};
-  return change;
-}
-
-}  // namespace
-
 int main() {
   bench::banner("Figure 5: place-and-route speedup vs tile size", "Figure 5");
 
@@ -73,13 +51,13 @@ int main() {
       EcoOptions eco;
       eco.placer_effort = bench::effort_for(spec.clbs);
       const EcoStrategyResult rt =
-          tiled_eco(tiled, make_change(tiled), eco);
+          tiled_eco(tiled, scripted_standard_change(tiled), eco);
       const EcoStrategyResult rq =
-          quick_eco(for_quick, hier, make_change(for_quick), 5);
+          quick_eco(for_quick, hier, scripted_standard_change(for_quick), 5);
       IncrementalOptions inc;
       inc.refine_effort = 0.35 * bench::effort_for(spec.clbs);
       const EcoStrategyResult ri =
-          incremental_eco(for_incr, make_change(for_incr), inc);
+          incremental_eco(for_incr, scripted_standard_change(for_incr), inc);
 
       const double t = rt.effort.total_ms();
       const double sq = rq.effort.total_ms() / t;

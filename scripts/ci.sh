@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build, and run the full test suite.
+#
+# Uses the "ci" CMake preset (RelWithDebInfo, -Wall -Wextra). Equivalent to:
+#   cmake -B build -S . && cmake --build build -j && cd build && ctest
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset ci
+cmake --build --preset ci
+ctest --preset ci

@@ -1,0 +1,141 @@
+#include "campaign/campaign_engine.hpp"
+
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <utility>
+
+#include "designs/catalog.hpp"
+#include "eco/eco_strategies.hpp"
+#include "hier/hierarchy.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
+
+namespace emutile {
+
+namespace {
+
+/// Tiled-vs-baseline work ratio on the scripted standard change.
+ScenarioBaseline measure_baseline(const CampaignSpec& spec,
+                                  std::size_t design_index,
+                                  TilingParams tiling, const Netlist& golden,
+                                  std::uint64_t seed) {
+  ScenarioBaseline result;
+  try {
+    tiling.seed = seed;
+    TiledDesign tiled = TilingEngine::build(Netlist(golden), tiling);
+    TiledDesign for_quick = tiled.clone();
+    TiledDesign for_full = tiled.clone();
+
+    const EcoStrategyResult rt =
+        tiled_eco(tiled, scripted_standard_change(tiled), spec.eco);
+    DesignHierarchy hier(spec.designs[design_index].name);
+    hier.bind_remaining(for_quick.netlist, hier.add_block("functional_block"));
+    const EcoStrategyResult rq =
+        quick_eco(for_quick, hier, scripted_standard_change(for_quick), seed);
+    const EcoStrategyResult rf =
+        full_eco(for_full, scripted_standard_change(for_full), seed);
+
+    const double tiled_work = work_units(rt.effort);
+    if (!rt.success || tiled_work <= 0.0) return result;
+    result.measured = true;
+    result.speedup_quick = work_units(rq.effort) / tiled_work;
+    result.speedup_full = work_units(rf.effort) / tiled_work;
+  } catch (const std::exception& e) {
+    EMUTILE_WARN("baseline measurement failed: " << e.what());
+  }
+  return result;
+}
+
+}  // namespace
+
+CampaignReport run_campaign(const CampaignSpec& spec,
+                            const CampaignOptions& options) {
+  EMUTILE_CHECK(options.num_threads >= 1, "campaign needs at least 1 thread");
+  const std::vector<CampaignJob> jobs = spec.expand();
+  ThreadPool pool(options.num_threads);
+
+  // Build every golden netlist once; sessions share them read-only (each
+  // session copies before mutating).
+  std::vector<Netlist> goldens(spec.designs.size());
+  std::vector<std::string> golden_errors(spec.designs.size());
+  pool.parallel_for(spec.designs.size(), [&](std::size_t i) {
+    try {
+      const CampaignDesign& d = spec.designs[i];
+      goldens[i] = d.builder ? d.builder(spec.design_seed(i))
+                             : build_paper_design(d.name, spec.design_seed(i));
+    } catch (const std::exception& e) {
+      golden_errors[i] = e.what();
+    }
+  });
+
+  std::vector<SessionOutcome> outcomes(jobs.size());
+  std::size_t finished = 0;  // guarded by progress_mutex
+  std::mutex progress_mutex;
+  const auto t0 = std::chrono::steady_clock::now();
+  pool.parallel_for(jobs.size(), [&](std::size_t i) {
+    const CampaignJob& job = jobs[i];
+    SessionOutcome& out = outcomes[i];
+    if (!golden_errors[job.design_index].empty()) {
+      out.error = "design '" + spec.designs[job.design_index].name +
+                  "' failed to build: " + golden_errors[job.design_index];
+    } else if (options.cancel && options.cancel()) {
+      out.report.cancelled = true;
+    } else {
+      DebugSessionOptions session = job.options;
+      if (options.cancel) {
+        // Compose campaign cancellation with any caller-provided hook.
+        const auto user_hook = std::move(session.hooks.on_phase);
+        const auto cancel = options.cancel;
+        session.hooks.on_phase = [user_hook, cancel](SessionPhase phase) {
+          if (cancel()) return false;
+          return !user_hook || user_hook(phase);
+        };
+      }
+      try {
+        out.report = run_debug_session(goldens[job.design_index], session);
+      } catch (const std::exception& e) {
+        out.error = e.what();
+      }
+    }
+    if (options.on_progress) {
+      // Count and report under one lock so `done` values arrive in order.
+      std::lock_guard<std::mutex> lock(progress_mutex);
+      options.on_progress(++finished, jobs.size());
+    }
+  });
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::vector<ScenarioBaseline> baselines;
+  if (spec.measure_baselines) {
+    // The baseline depends only on (design, tiling), so measure each unique
+    // pair once and fan the result out across the error-kind scenarios.
+    const std::size_t unique = spec.designs.size() * spec.tilings.size();
+    std::vector<ScenarioBaseline> per_pair(unique);
+    pool.parallel_for(unique, [&](std::size_t u) {
+      const std::size_t di = u / spec.tilings.size();
+      const std::size_t ti = u % spec.tilings.size();
+      if (!golden_errors[di].empty()) return;
+      if (options.cancel && options.cancel()) return;
+      per_pair[u] = measure_baseline(spec, di, spec.tilings[ti], goldens[di],
+                                     spec.baseline_seed(u));
+    });
+    baselines.resize(spec.num_scenarios());
+    for (std::size_t sc = 0; sc < baselines.size(); ++sc) {
+      const std::size_t ti = sc % spec.tilings.size();
+      const std::size_t di =
+          sc / (spec.tilings.size() * spec.error_kinds.size());
+      baselines[sc] = per_pair[di * spec.tilings.size() + ti];
+    }
+  }
+
+  CampaignReport report = build_report(spec, jobs, outcomes, baselines);
+  report.wall_seconds = wall_seconds;
+  report.num_threads = options.num_threads;
+  return report;
+}
+
+}  // namespace emutile

@@ -1,0 +1,37 @@
+#pragma once
+/// \file campaign_engine.hpp
+/// Multi-threaded campaign execution: drain a CampaignSpec's job queue
+/// across a worker pool and fold the outcomes into a CampaignReport.
+///
+/// Determinism contract: given the same spec, run_campaign returns a report
+/// whose to_csv()/to_json() output is byte-identical for any worker count —
+/// session seeds are split-derived from the master seed by job index, each
+/// job writes only its own result slot, and aggregation happens on one
+/// thread in canonical job order over deterministic work counters.
+
+#include <cstddef>
+#include <functional>
+
+#include "campaign/campaign_report.hpp"
+#include "campaign/campaign_spec.hpp"
+
+namespace emutile {
+
+struct CampaignOptions {
+  std::size_t num_threads = 1;
+  /// Called after every finished session with (completed, total). Calls are
+  /// serialized; keep it cheap — workers block on it.
+  std::function<void(std::size_t, std::size_t)> on_progress;
+  /// Polled between sessions and at session phase boundaries; returning
+  /// true cancels the remainder of the campaign (cancelled sessions are
+  /// counted in the report, never silently dropped).
+  std::function<bool()> cancel;
+};
+
+/// Execute the campaign described by `spec` on `options.num_threads`
+/// workers. Golden netlists are built once per design and shared read-only
+/// by the sessions.
+[[nodiscard]] CampaignReport run_campaign(const CampaignSpec& spec,
+                                          const CampaignOptions& options = {});
+
+}  // namespace emutile

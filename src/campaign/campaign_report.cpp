@@ -1,0 +1,242 @@
+#include "campaign/campaign_report.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace emutile {
+
+namespace {
+
+/// Shortest-round-trip style numeric formatting shared by both emitters so
+/// identical doubles always render identically.
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string ratio(std::size_t a, std::size_t b) {
+  return b == 0 ? "0" : num(static_cast<double>(a) / static_cast<double>(b));
+}
+
+}  // namespace
+
+double CampaignReport::detection_rate() const {
+  return completed == 0 ? 0.0
+                        : static_cast<double>(detected) /
+                              static_cast<double>(completed);
+}
+
+double CampaignReport::localization_rate() const {
+  return detected == 0 ? 0.0
+                       : static_cast<double>(narrowed) /
+                             static_cast<double>(detected);
+}
+
+double CampaignReport::correction_rate() const {
+  return detected == 0 ? 0.0
+                       : static_cast<double>(clean) /
+                             static_cast<double>(detected);
+}
+
+double CampaignReport::sessions_per_second() const {
+  return wall_seconds <= 0.0
+             ? 0.0
+             : static_cast<double>(completed) / wall_seconds;
+}
+
+std::string CampaignReport::to_csv() const {
+  Table t({"design", "error_kind", "tiles", "overhead", "sessions",
+           "cancelled", "failed", "detected", "narrowed", "corrected",
+           "clean", "suspects_mean", "iters_mean", "debug_work_mean",
+           "debug_work_max", "build_work_mean", "speedup_quick",
+           "speedup_full"});
+  for (const ScenarioStats& s : scenarios) {
+    t.add_row({s.design, to_string(s.error_kind),
+               std::to_string(s.num_tiles), num(s.target_overhead),
+               std::to_string(s.sessions), std::to_string(s.cancelled),
+               std::to_string(s.failed), std::to_string(s.detected),
+               std::to_string(s.narrowed), std::to_string(s.corrected),
+               std::to_string(s.clean),
+               s.suspects.count() ? num(s.suspects.mean()) : "-",
+               s.iterations.count() ? num(s.iterations.mean()) : "-",
+               s.debug_work.count() ? num(s.debug_work.mean()) : "-",
+               s.debug_work.count() ? num(s.debug_work.max()) : "-",
+               s.build_work.count() ? num(s.build_work.mean()) : "-",
+               s.baseline.measured ? num(s.baseline.speedup_quick) : "-",
+               s.baseline.measured ? num(s.baseline.speedup_full) : "-"});
+  }
+  std::ostringstream os;
+  t.print_csv(os);
+  return os.str();
+}
+
+std::string CampaignReport::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"campaign\": {\n"
+     << "    \"sessions\": " << sessions << ",\n"
+     << "    \"completed\": " << completed << ",\n"
+     << "    \"cancelled\": " << cancelled << ",\n"
+     << "    \"failed\": " << failed << ",\n"
+     << "    \"detected\": " << detected << ",\n"
+     << "    \"narrowed\": " << narrowed << ",\n"
+     << "    \"corrected\": " << corrected << ",\n"
+     << "    \"clean\": " << clean << ",\n"
+     << "    \"detection_rate\": " << ratio(detected, completed) << ",\n"
+     << "    \"localization_rate\": " << ratio(narrowed, detected) << ",\n"
+     << "    \"correction_rate\": " << ratio(clean, detected) << ",\n"
+     << "    \"debug_work\": {\"mean\": "
+     << (debug_work.count() ? num(debug_work.mean()) : "0")
+     << ", \"p50\": " << num(debug_work_p50)
+     << ", \"p90\": " << num(debug_work_p90)
+     << ", \"p99\": " << num(debug_work_p99)
+     << ", \"max\": " << (debug_work.count() ? num(debug_work.max()) : "0")
+     << "},\n"
+     << "    \"build_work_mean\": "
+     << (build_work.count() ? num(build_work.mean()) : "0") << ",\n"
+     << "    \"speedup_quick_geomean\": " << num(speedup_quick_geomean)
+     << ",\n"
+     << "    \"speedup_full_geomean\": " << num(speedup_full_geomean) << "\n"
+     << "  },\n  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const ScenarioStats& s = scenarios[i];
+    os << "    {\"design\": \"" << s.design << "\", \"error_kind\": \""
+       << to_string(s.error_kind) << "\", \"tiles\": " << s.num_tiles
+       << ", \"overhead\": " << num(s.target_overhead)
+       << ", \"sessions\": " << s.sessions
+       << ", \"cancelled\": " << s.cancelled << ", \"failed\": " << s.failed
+       << ", \"detected\": " << s.detected << ", \"narrowed\": " << s.narrowed
+       << ", \"corrected\": " << s.corrected << ", \"clean\": " << s.clean
+       << ", \"debug_work_mean\": "
+       << (s.debug_work.count() ? num(s.debug_work.mean()) : "0");
+    if (s.baseline.measured)
+      os << ", \"speedup_quick\": " << num(s.baseline.speedup_quick)
+         << ", \"speedup_full\": " << num(s.baseline.speedup_full);
+    os << "}" << (i + 1 < scenarios.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+void CampaignReport::print_summary(std::ostream& os) const {
+  os << "campaign: " << sessions << " sessions over " << scenarios.size()
+     << " scenarios on " << num_threads
+     << (num_threads == 1 ? " thread" : " threads") << "\n"
+     << "  completed " << completed << ", cancelled " << cancelled
+     << ", failed " << failed << "\n"
+     << "  detection rate    " << num(100.0 * detection_rate()) << "%\n"
+     << "  localization rate " << num(100.0 * localization_rate()) << "%\n"
+     << "  correction rate   " << num(100.0 * correction_rate()) << "%\n";
+  if (debug_work.count())
+    os << "  debug work units: mean " << num(debug_work.mean()) << ", p50 "
+       << num(debug_work_p50) << ", p90 " << num(debug_work_p90) << ", p99 "
+       << num(debug_work_p99) << "\n";
+  if (speedup_full_geomean > 0.0)
+    os << "  tiled-ECO speedup (geomean work units): " << "vs Quick_ECO "
+       << num(speedup_quick_geomean) << "x, vs full re-P&R "
+       << num(speedup_full_geomean) << "x\n";
+  if (wall_seconds > 0.0)
+    os << "  wall clock " << num(wall_seconds) << " s ("
+       << num(sessions_per_second()) << " sessions/s)\n";
+}
+
+CampaignReport build_report(const CampaignSpec& spec,
+                            const std::vector<CampaignJob>& jobs,
+                            const std::vector<SessionOutcome>& outcomes,
+                            const std::vector<ScenarioBaseline>& baselines) {
+  EMUTILE_CHECK(jobs.size() == outcomes.size(),
+                "outcome count does not match job count");
+  CampaignReport report;
+  report.scenarios.resize(spec.num_scenarios());
+
+  // Seed scenario identities straight from the matrix (same enumeration
+  // order as CampaignSpec::expand), so rows are labelled even when a
+  // scenario ran zero sessions (sessions_per_scenario == 0).
+  std::size_t scenario = 0;
+  for (const CampaignDesign& design : spec.designs) {
+    for (const ErrorKind kind : spec.error_kinds) {
+      for (const TilingParams& tiling : spec.tilings) {
+        ScenarioStats& s = report.scenarios[scenario++];
+        s.design = design.name;
+        s.error_kind = kind;
+        s.num_tiles = tiling.num_tiles;
+        s.target_overhead = tiling.target_overhead;
+      }
+    }
+  }
+
+  std::vector<double> work_samples;
+  work_samples.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const CampaignJob& job = jobs[i];
+    const SessionOutcome& out = outcomes[i];
+    ScenarioStats& s = report.scenarios[job.scenario];
+    ++s.sessions;
+    ++report.sessions;
+    if (!out.error.empty()) {
+      ++s.failed;
+      ++report.failed;
+      continue;
+    }
+    if (out.report.cancelled) {
+      ++s.cancelled;
+      ++report.cancelled;
+      continue;
+    }
+    ++report.completed;
+    const DebugSessionReport& r = out.report;
+    const double dwork = work_units(r.debug_effort);
+    const double bwork = work_units(r.build_effort);
+    s.debug_work.add(dwork);
+    s.build_work.add(bwork);
+    report.debug_work.add(dwork);
+    report.build_work.add(bwork);
+    work_samples.push_back(dwork);
+    if (!r.detection.error_detected) continue;
+    ++s.detected;
+    ++report.detected;
+    s.suspects.add(static_cast<double>(r.localization.suspects.size()));
+    s.iterations.add(static_cast<double>(r.localization.iterations.size()));
+    if (r.localization.narrowed) {
+      ++s.narrowed;
+      ++report.narrowed;
+    }
+    if (r.correction.corrected) {
+      ++s.corrected;
+      ++report.corrected;
+    }
+    if (r.final_clean) {
+      ++s.clean;
+      ++report.clean;
+    }
+  }
+
+  if (!work_samples.empty()) {
+    report.debug_work_p50 = percentile(work_samples, 50.0);
+    report.debug_work_p90 = percentile(work_samples, 90.0);
+    report.debug_work_p99 = percentile(work_samples, 99.0);
+  }
+
+  if (!baselines.empty()) {
+    EMUTILE_CHECK(baselines.size() == report.scenarios.size(),
+                  "baseline count does not match scenario count");
+    std::vector<double> quick, full;
+    for (std::size_t sc = 0; sc < baselines.size(); ++sc) {
+      report.scenarios[sc].baseline = baselines[sc];
+      if (!baselines[sc].measured) continue;
+      quick.push_back(baselines[sc].speedup_quick);
+      full.push_back(baselines[sc].speedup_full);
+    }
+    if (!quick.empty()) {
+      report.speedup_quick_geomean = geomean(quick);
+      report.speedup_full_geomean = geomean(full);
+    }
+  }
+  return report;
+}
+
+}  // namespace emutile

@@ -1,0 +1,114 @@
+#pragma once
+/// \file campaign_report.hpp
+/// Aggregated statistics over a campaign's debug sessions.
+///
+/// Aggregation runs in canonical job order over deterministic work counters
+/// (instances placed, nets routed, router expansions — never wall-clock), so
+/// the same spec produces a byte-identical CSV/JSON report no matter how
+/// many worker threads ran the sessions. Wall-clock throughput is collected
+/// separately and appears only in print_summary(), which is allowed to vary
+/// run to run.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign_spec.hpp"
+#include "core/pnr_effort.hpp"
+#include "util/stats.hpp"
+
+namespace emutile {
+
+/// Deterministic CAD-work proxy for an effort record (every counter is a
+/// pure function of the session seed, unlike the ms timers).
+[[nodiscard]] inline double work_units(const PnrEffort& e) {
+  return static_cast<double>(e.instances_placed) +
+         static_cast<double>(e.nets_routed) +
+         static_cast<double>(e.nodes_expanded);
+}
+
+/// What one campaign session produced: the session report, or the error
+/// that aborted it.
+struct SessionOutcome {
+  DebugSessionReport report;
+  std::string error;  ///< nonempty => the session threw
+};
+
+/// Optional per-scenario baseline measurement: tiled-ECO work-unit speedup
+/// against the two baseline strategies on a standard change.
+struct ScenarioBaseline {
+  bool measured = false;
+  double speedup_quick = 0.0;  ///< Quick_ECO work / tiled work
+  double speedup_full = 0.0;   ///< full re-P&R work / tiled work
+};
+
+/// Per-scenario aggregate row.
+struct ScenarioStats {
+  std::string design;
+  ErrorKind error_kind = ErrorKind::kLutFunction;
+  int num_tiles = 0;
+  double target_overhead = 0.0;
+  std::size_t sessions = 0;   ///< jobs expanded for this scenario
+  std::size_t cancelled = 0;  ///< stopped by a hook before finishing
+  std::size_t failed = 0;     ///< threw (flow error)
+  std::size_t detected = 0;
+  std::size_t narrowed = 0;   ///< localization shrank the candidate set
+  std::size_t corrected = 0;
+  std::size_t clean = 0;      ///< corrected and re-verified clean
+  Accumulator suspects;       ///< final candidate count (detected sessions)
+  Accumulator iterations;     ///< localization iterations (detected sessions)
+  Accumulator debug_work;     ///< per-session debugging-ECO work units
+  Accumulator build_work;     ///< per-session initial-build work units
+  ScenarioBaseline baseline;
+};
+
+/// The campaign-wide aggregate.
+struct CampaignReport {
+  std::size_t sessions = 0;
+  std::size_t completed = 0;  ///< ran to the end (not cancelled, not failed)
+  std::size_t cancelled = 0;
+  std::size_t failed = 0;
+  std::size_t detected = 0;
+  std::size_t narrowed = 0;
+  std::size_t corrected = 0;
+  std::size_t clean = 0;
+  Accumulator debug_work;  ///< over completed sessions
+  Accumulator build_work;
+  /// Debugging-work latency profile over completed sessions (work units).
+  double debug_work_p50 = 0.0;
+  double debug_work_p90 = 0.0;
+  double debug_work_p99 = 0.0;
+  /// Geometric-mean baseline speedups over measured scenarios (0 if none).
+  double speedup_quick_geomean = 0.0;
+  double speedup_full_geomean = 0.0;
+  std::vector<ScenarioStats> scenarios;
+
+  // ---- wall-clock (set by the engine; excluded from to_csv/to_json) ----
+  double wall_seconds = 0.0;
+  std::size_t num_threads = 1;
+
+  [[nodiscard]] double detection_rate() const;    ///< detected / completed
+  [[nodiscard]] double localization_rate() const; ///< narrowed / detected
+  [[nodiscard]] double correction_rate() const;   ///< clean / detected
+  [[nodiscard]] double sessions_per_second() const;
+
+  /// One CSV row per scenario (deterministic).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Campaign aggregate plus scenario rows as JSON (deterministic).
+  [[nodiscard]] std::string to_json() const;
+
+  /// Human-readable summary including wall-clock throughput.
+  void print_summary(std::ostream& os) const;
+};
+
+/// Fold session outcomes (indexed like `jobs`) and optional per-scenario
+/// baselines (indexed by scenario; may be empty) into a report. Aggregation
+/// visits jobs in index order regardless of completion order.
+[[nodiscard]] CampaignReport build_report(
+    const CampaignSpec& spec, const std::vector<CampaignJob>& jobs,
+    const std::vector<SessionOutcome>& outcomes,
+    const std::vector<ScenarioBaseline>& baselines);
+
+}  // namespace emutile

@@ -1,0 +1,89 @@
+#include "campaign/campaign_spec.hpp"
+
+#include "designs/catalog.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace emutile {
+
+namespace {
+// Disjoint stream ranges so session, design-build, and baseline seeds can
+// never collide even for absurdly large campaigns.
+constexpr std::uint64_t kDesignStreamBase = 0x4000000000000000ull;
+constexpr std::uint64_t kBaselineStreamBase = 0x8000000000000000ull;
+}  // namespace
+
+namespace {
+/// Design names flow verbatim into the CSV/JSON emitters, so restrict them
+/// to characters that need no quoting in either format.
+void check_design_name(const std::string& name) {
+  EMUTILE_CHECK(!name.empty(), "campaign design name must not be empty");
+  EMUTILE_CHECK(name.find_first_of("\",\\\n\r") == std::string::npos,
+                "campaign design name '"
+                    << name << "' may not contain quotes, commas, "
+                    << "backslashes, or newlines");
+}
+}  // namespace
+
+void CampaignSpec::add_catalog_design(const std::string& name) {
+  static_cast<void>(paper_design(name));  // validate eagerly (throws on unknown)
+  check_design_name(name);
+  designs.push_back({name, {}});
+}
+
+void CampaignSpec::add_design(std::string name,
+                              std::function<Netlist(std::uint64_t)> builder) {
+  EMUTILE_CHECK(builder, "custom campaign design needs a builder");
+  check_design_name(name);
+  designs.push_back({std::move(name), std::move(builder)});
+}
+
+std::size_t CampaignSpec::num_scenarios() const {
+  return designs.size() * error_kinds.size() * tilings.size();
+}
+
+std::size_t CampaignSpec::num_sessions() const {
+  EMUTILE_CHECK(sessions_per_scenario >= 0, "negative sessions_per_scenario");
+  return num_scenarios() * static_cast<std::size_t>(sessions_per_scenario);
+}
+
+std::uint64_t CampaignSpec::design_seed(std::size_t design_index) const {
+  return split_seed(master_seed, kDesignStreamBase + design_index);
+}
+
+std::uint64_t CampaignSpec::baseline_seed(std::size_t pair_index) const {
+  return split_seed(master_seed, kBaselineStreamBase + pair_index);
+}
+
+std::vector<CampaignJob> CampaignSpec::expand() const {
+  EMUTILE_CHECK(!error_kinds.empty(), "campaign needs at least one error kind");
+  EMUTILE_CHECK(!tilings.empty(), "campaign needs at least one tiling point");
+  std::vector<CampaignJob> jobs;
+  jobs.reserve(num_sessions());
+  std::size_t scenario = 0;
+  for (std::size_t di = 0; di < designs.size(); ++di) {
+    for (const ErrorKind kind : error_kinds) {
+      for (const TilingParams& tiling : tilings) {
+        for (int rep = 0; rep < sessions_per_scenario; ++rep) {
+          CampaignJob job;
+          job.index = jobs.size();
+          job.scenario = scenario;
+          job.design_index = di;
+          job.replica = static_cast<std::size_t>(rep);
+          job.options.error_kind = kind;
+          job.options.seed = split_seed(master_seed, job.index);
+          job.options.num_patterns = num_patterns;
+          job.options.tiling = tiling;
+          job.options.tiling.seed = job.options.seed;
+          job.options.localizer = localizer;
+          job.options.eco = eco;
+          jobs.push_back(std::move(job));
+        }
+        ++scenario;
+      }
+    }
+  }
+  return jobs;
+}
+
+}  // namespace emutile

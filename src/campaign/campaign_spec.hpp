@@ -1,0 +1,83 @@
+#pragma once
+/// \file campaign_spec.hpp
+/// Declarative description of a debug campaign: the scenario matrix
+/// (designs x error kinds x tiling sweep points) and how many replica
+/// sessions to run per scenario.
+///
+/// expand() flattens the matrix into a job list with a stable global order.
+/// Every job's session seed is derived from the campaign master seed with
+/// splitmix64 stream-splitting (split_seed), never from `seed + i`
+/// arithmetic, so a campaign's results are a pure function of its spec —
+/// independent of worker count and scheduling order.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "debug/debug_loop.hpp"
+#include "netlist/netlist.hpp"
+
+namespace emutile {
+
+/// One design under campaign. `builder` generates the golden netlist from a
+/// seed; when empty the name is looked up in the paper catalog
+/// (build_paper_design).
+struct CampaignDesign {
+  std::string name;
+  std::function<Netlist(std::uint64_t seed)> builder;
+};
+
+/// One fully-resolved debug session of a campaign. `options.seed` already
+/// carries the split-derived per-session seed.
+struct CampaignJob {
+  std::size_t index = 0;         ///< global job id (stable expansion order)
+  std::size_t scenario = 0;      ///< index into the scenario matrix
+  std::size_t design_index = 0;  ///< index into CampaignSpec::designs
+  std::size_t replica = 0;       ///< replica number within the scenario
+  DebugSessionOptions options;
+};
+
+/// The campaign scenario matrix. A scenario is one (design, error kind,
+/// tiling point) triple; each scenario runs `sessions_per_scenario` sessions
+/// with independent seeds.
+struct CampaignSpec {
+  std::vector<CampaignDesign> designs;
+  std::vector<ErrorKind> error_kinds = {ErrorKind::kLutFunction,
+                                        ErrorKind::kWrongPolarity,
+                                        ErrorKind::kWrongConnection};
+  /// Tiling sweep points; the per-session seed overrides each point's seed.
+  std::vector<TilingParams> tilings = {TilingParams{}};
+  int sessions_per_scenario = 1;
+  std::uint64_t master_seed = 1;
+  std::size_t num_patterns = 256;
+  LocalizerOptions localizer;
+  EcoOptions eco;
+  /// When set, the engine additionally measures per-scenario speedup of the
+  /// tiled ECO against the Quick_ECO and full re-P&R baselines (work-unit
+  /// ratios on a standard change, as in the Figure 5 bench).
+  bool measure_baselines = false;
+
+  /// Append a design resolved from the paper catalog (Table 1 name).
+  void add_catalog_design(const std::string& name);
+
+  /// Append a custom design with an explicit netlist builder.
+  void add_design(std::string name,
+                  std::function<Netlist(std::uint64_t)> builder);
+
+  [[nodiscard]] std::size_t num_scenarios() const;
+  [[nodiscard]] std::size_t num_sessions() const;
+
+  /// Seed for building design `design_index`'s golden netlist.
+  [[nodiscard]] std::uint64_t design_seed(std::size_t design_index) const;
+
+  /// Seed for a baseline speedup measurement; `pair_index` identifies the
+  /// unique (design, tiling) pair being measured.
+  [[nodiscard]] std::uint64_t baseline_seed(std::size_t pair_index) const;
+
+  /// Flatten the matrix into jobs ordered (design, error kind, tiling,
+  /// replica) — the canonical order every aggregate is computed in.
+  [[nodiscard]] std::vector<CampaignJob> expand() const;
+};
+
+}  // namespace emutile

@@ -6,17 +6,43 @@
 
 namespace emutile {
 
+const char* to_string(SessionPhase phase) {
+  switch (phase) {
+    case SessionPhase::kInject: return "inject";
+    case SessionPhase::kBuild: return "build";
+    case SessionPhase::kDetect: return "detect";
+    case SessionPhase::kLocalize: return "localize";
+    case SessionPhase::kCorrect: return "correct";
+    case SessionPhase::kVerify: return "verify";
+  }
+  return "?";
+}
+
+namespace {
+/// Phase-boundary hook check; true means "keep going".
+bool enter_phase(const SessionHooks& hooks, SessionPhase phase,
+                 DebugSessionReport& report) {
+  if (!hooks.on_phase) return true;
+  if (hooks.on_phase(phase)) return true;
+  report.cancelled = true;
+  return false;
+}
+}  // namespace
+
 DebugSessionReport run_debug_session(const Netlist& golden_netlist,
                                      const DebugSessionOptions& options) {
   DebugSessionReport report;
+  const SessionHooks& hooks = options.hooks;
 
   // The design under test: golden plus one injected design error (the bug
   // "shipped" in the HDL, so it is part of the original implementation).
+  if (!enter_phase(hooks, SessionPhase::kInject, report)) return report;
   Netlist dut_netlist = golden_netlist;
   report.injected =
       inject_error(dut_netlist, options.error_kind, options.seed);
 
   // Steps 1-8: implement with resource slack and locked tiles.
+  if (!enter_phase(hooks, SessionPhase::kBuild, report)) return report;
   TilingParams tp = options.tiling;
   tp.seed = options.seed;
   TiledDesign dut = TilingEngine::build(std::move(dut_netlist), tp);
@@ -24,6 +50,7 @@ DebugSessionReport run_debug_session(const Netlist& golden_netlist,
   report.design_clbs = dut.packed.num_clbs();
 
   // Step 10: test patterns (software).
+  if (!enter_phase(hooks, SessionPhase::kDetect, report)) return report;
   const std::vector<Pattern> patterns = random_patterns(
       golden_netlist.primary_inputs().size(), options.num_patterns,
       options.seed ^ 0xA5A5ULL);
@@ -37,6 +64,7 @@ DebugSessionReport run_debug_session(const Netlist& golden_netlist,
   }
 
   // Localization (steps 16-21, iterated).
+  if (!enter_phase(hooks, SessionPhase::kLocalize, report)) return report;
   LocalizerOptions lo = options.localizer;
   lo.eco = options.eco;
   report.localization = localize(dut, golden_netlist,
@@ -44,12 +72,14 @@ DebugSessionReport run_debug_session(const Netlist& golden_netlist,
   report.debug_effort += report.localization.total_effort;
 
   // Correction (Section 5) and re-verification.
+  if (!enter_phase(hooks, SessionPhase::kCorrect, report)) return report;
   report.correction =
       correct_design(dut, golden_netlist, report.localization.suspects,
                      patterns, options.eco);
   report.debug_effort += report.correction.total_effort;
 
   if (report.correction.corrected) {
+    if (!enter_phase(hooks, SessionPhase::kVerify, report)) return report;
     const DetectResult final_check =
         detect_errors(dut.netlist, golden_netlist, patterns);
     report.final_clean = !final_check.error_detected;

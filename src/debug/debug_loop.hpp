@@ -5,6 +5,7 @@
 /// the back-end CAD effort of every iteration metered.
 
 #include <cstdint>
+#include <functional>
 
 #include "core/tiled_design.hpp"
 #include "core/tiling_engine.hpp"
@@ -16,6 +17,30 @@
 
 namespace emutile {
 
+/// The phases of one debugging session, in execution order. Reported to
+/// SessionHooks::on_phase just before each phase starts.
+enum class SessionPhase : std::uint8_t {
+  kInject,    ///< mutate the DUT netlist with the design error
+  kBuild,     ///< initial tiled implementation (steps 1-8)
+  kDetect,    ///< pattern emulation vs. golden (step 10)
+  kLocalize,  ///< iterative probe insertion (steps 16-21)
+  kCorrect,   ///< candidate fixes as tiled ECOs (Section 5)
+  kVerify     ///< final re-emulation of the corrected design
+};
+
+[[nodiscard]] const char* to_string(SessionPhase phase);
+
+/// Observation and cancellation hooks for a running session. Drivers that
+/// run thousands of sessions (the campaign engine) use these for progress
+/// reporting and cooperative early termination; both default to no-ops.
+struct SessionHooks {
+  /// Called at each phase boundary. Return false to cancel the session:
+  /// the report is returned as-is with `cancelled` set and the remaining
+  /// phases skipped. Must be safe to call from whichever thread runs the
+  /// session.
+  std::function<bool(SessionPhase)> on_phase;
+};
+
 struct DebugSessionOptions {
   ErrorKind error_kind = ErrorKind::kWrongPolarity;
   std::uint64_t seed = 1;
@@ -23,6 +48,7 @@ struct DebugSessionOptions {
   TilingParams tiling;
   LocalizerOptions localizer;
   EcoOptions eco;
+  SessionHooks hooks;
 };
 
 struct DebugSessionReport {
@@ -31,6 +57,7 @@ struct DebugSessionReport {
   LocalizeResult localization;
   CorrectionResult correction;
   bool final_clean = false;     ///< re-verification after correction
+  bool cancelled = false;       ///< a hook stopped the session early
   PnrEffort build_effort;       ///< initial tiled implementation
   PnrEffort debug_effort;       ///< all debugging-iteration ECOs
   std::size_t design_clbs = 0;

@@ -164,4 +164,20 @@ EcoStrategyResult full_eco(TiledDesign& design, const EcoChange& change,
   return r;
 }
 
+EcoChange scripted_standard_change(TiledDesign& d) {
+  CellId victim;
+  for (CellId id : d.netlist.live_cells())
+    if (d.netlist.cell(id).kind == CellKind::kLut) victim = id;
+  d.netlist.set_lut_function(victim,
+                             d.netlist.cell(victim).function.complement());
+  EcoChange change;
+  change.modified_cells = {victim};
+  const CellId n1 = d.netlist.add_lut("fix1", TruthTable::inverter(),
+                                      {d.netlist.cell_output(victim)});
+  const CellId n2 = d.netlist.add_dff("fix2", d.netlist.cell_output(n1));
+  change.added_cells = {n1, n2};
+  change.anchor_cells = {victim};
+  return change;
+}
+
 }  // namespace emutile

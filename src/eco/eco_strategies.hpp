@@ -50,4 +50,11 @@ EcoStrategyResult incremental_eco(TiledDesign& design, const EcoChange& change,
 EcoStrategyResult full_eco(TiledDesign& design, const EcoChange& change,
                            std::uint64_t seed);
 
+/// Script the "standard debugging change" used to compare ECO strategies on
+/// identical work (the Figure 5 bench and the campaign baseline
+/// measurements): complement one LUT of `design` and graft a two-cell
+/// addition (inverter + flip-flop) anchored at it. Mutates the netlist and
+/// returns the change record; deterministic for a given design state.
+[[nodiscard]] EcoChange scripted_standard_change(TiledDesign& design);
+
 }  // namespace emutile

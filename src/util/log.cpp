@@ -1,5 +1,7 @@
 #include "util/log.hpp"
 
+#include <mutex>
+
 namespace emutile {
 
 namespace {
@@ -22,6 +24,9 @@ void set_log_threshold(LogLevel level) { g_threshold = level; }
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& message) {
+  // Serialized so concurrent campaign workers never interleave lines.
+  static std::mutex emit_mutex;
+  std::lock_guard<std::mutex> lock(emit_mutex);
   std::ostream& os =
       static_cast<int>(level) >= static_cast<int>(LogLevel::kWarn) ? std::cerr
                                                                    : std::cout;

@@ -21,6 +21,21 @@ namespace emutile {
   return z ^ (z >> 31);
 }
 
+/// Derive the seed of independent child stream `stream` from `master`.
+///
+/// Two splitmix64 steps over (master, stream) decorrelate even adjacent
+/// stream indices, so campaign-style sweeps can give job i the seed
+/// `split_seed(master, i)` and get streams that behave independently —
+/// unlike `master + i`, whose xoshiro seedings share low-entropy prefixes.
+/// Purely a function of its arguments: the derivation order never matters.
+[[nodiscard]] constexpr std::uint64_t split_seed(std::uint64_t master,
+                                                 std::uint64_t stream) {
+  std::uint64_t sm = master ^ (stream * 0x632BE59BD9B4E019ull);
+  const std::uint64_t first = splitmix64(sm);
+  sm ^= first;
+  return splitmix64(sm);
+}
+
 /// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
 class Rng {
  public:
@@ -30,6 +45,7 @@ class Rng {
 
   /// Re-initialize from a 64-bit seed (splitmix64 expansion).
   void reseed(std::uint64_t seed) {
+    seed_ = seed;
     std::uint64_t sm = seed;
     for (auto& word : state_) word = splitmix64(sm);
   }
@@ -83,11 +99,22 @@ class Rng {
   /// Derive an independent child generator (for per-subsystem streams).
   [[nodiscard]] Rng fork() { return Rng((*this)()); }
 
+  /// Derive the independent child generator of stream `stream`.
+  ///
+  /// Unlike fork(), the result depends only on this generator's seed and the
+  /// stream index — not on how many numbers have been drawn — so concurrent
+  /// workers splitting the same master generator get identical streams no
+  /// matter the split order or thread count.
+  [[nodiscard]] Rng split(std::uint64_t stream) const {
+    return Rng(split_seed(seed_, stream));
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
   }
   std::array<std::uint64_t, 4> state_{};
+  std::uint64_t seed_ = 0;
 };
 
 }  // namespace emutile

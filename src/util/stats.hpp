@@ -57,6 +57,21 @@ class Accumulator {
   return s / static_cast<double>(xs.size());
 }
 
+/// Percentile of a sample with linear interpolation between closest ranks
+/// (numpy's default `linear` / inclusive convention: rank = p/100 * (n-1)).
+/// `p` is in [0, 100]; p=50 matches median(). Copies; fine for bench- and
+/// campaign-sized data.
+[[nodiscard]] inline double percentile(std::vector<double> xs, double p) {
+  EMUTILE_CHECK(!xs.empty(), "percentile of empty sample");
+  EMUTILE_CHECK(p >= 0.0 && p <= 100.0, "percentile p out of [0,100]: " << p);
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  if (lo + 1 >= xs.size()) return xs.back();
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[lo + 1] - xs[lo]);
+}
+
 /// Geometric mean (all samples must be > 0).
 [[nodiscard]] inline double geomean(const std::vector<double>& xs) {
   EMUTILE_CHECK(!xs.empty(), "geomean of empty sample");

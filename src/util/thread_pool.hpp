@@ -1,0 +1,104 @@
+#pragma once
+/// \file thread_pool.hpp
+/// Reusable fixed-size worker pool.
+///
+/// Workers drain a FIFO task queue; wait_idle() blocks until every submitted
+/// task has finished, so one pool can serve many sequential batches (build
+/// the campaign goldens, then run the session queue, then the next campaign).
+/// Determinism is the caller's job: give each task an index-derived seed
+/// (see Rng::split) and a dedicated result slot, and the outcome is
+/// independent of scheduling order and thread count.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace emutile {
+
+class ThreadPool {
+ public:
+  /// Spawn `num_threads` workers (>= 1).
+  explicit ThreadPool(std::size_t num_threads) {
+    EMUTILE_CHECK(num_threads >= 1, "thread pool needs at least one worker");
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    wake_workers_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  [[nodiscard]] std::size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueue one task. Tasks must not throw — wrap fallible work and record
+  /// the failure in the task's result slot instead.
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      EMUTILE_CHECK(!stopping_, "submit on a stopping thread pool");
+      queue_.push_back(std::move(task));
+    }
+    wake_workers_.notify_one();
+  }
+
+  /// Run `fn(i)` for every i in [0, count) across the pool and wait for all
+  /// of them. `fn` is shared by the workers, so it must be safe to call
+  /// concurrently with distinct indices.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn) {
+    for (std::size_t i = 0; i < count; ++i) submit([&fn, i] { fn(i); });
+    wait_idle();
+  }
+
+  /// Block until the queue is empty and no worker is mid-task.
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_workers_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+        if (stopping_ && queue_.empty()) return;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+        ++in_flight_;
+      }
+      task();
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --in_flight_;
+        if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable wake_workers_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace emutile

@@ -1,0 +1,282 @@
+// Campaign-engine tests: scenario-matrix expansion, split-derived seeding,
+// thread-count determinism of the aggregate report, cancellation/progress
+// hooks, and the util pieces the subsystem rides on (Rng::split, percentile,
+// ThreadPool).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "campaign/campaign_engine.hpp"
+#include "campaign/campaign_report.hpp"
+#include "campaign/campaign_spec.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+#include "test_helpers.hpp"
+
+namespace emutile {
+namespace {
+
+/// Small campaign over synthetic designs — fast enough to run repeatedly
+/// under different thread counts.
+CampaignSpec small_spec(std::uint64_t master_seed = 77) {
+  CampaignSpec spec;
+  spec.add_design("rand-a",
+                  [](std::uint64_t s) { return test::make_random_netlist(40, s); });
+  spec.add_design("rand-b",
+                  [](std::uint64_t s) { return test::make_random_netlist(55, s); });
+  spec.error_kinds = {ErrorKind::kWrongPolarity, ErrorKind::kWrongConnection};
+  spec.sessions_per_scenario = 2;
+  spec.master_seed = master_seed;
+  spec.num_patterns = 128;
+  spec.tilings[0].num_tiles = 6;
+  spec.tilings[0].target_overhead = 0.30;
+  return spec;
+}
+
+TEST(RngSplit, IndependentOfDrawCountAndDistinctPerStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) static_cast<void>(b());  // advance b only
+
+  // split depends on the seed, not the generator position.
+  for (std::uint64_t stream : {0ull, 1ull, 2ull, 1ull << 20}) {
+    Rng ca = a.split(stream);
+    Rng cb = b.split(stream);
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(ca(), cb()) << "stream " << stream;
+  }
+
+  // Adjacent streams and adjacent masters decorrelate.
+  std::set<std::uint64_t> by_stream, by_master;
+  for (std::uint64_t s = 0; s < 1000; ++s) by_stream.insert(split_seed(9, s));
+  for (std::uint64_t m = 0; m < 1000; ++m) by_master.insert(split_seed(m, 9));
+  EXPECT_EQ(by_stream.size(), 1000u);
+  EXPECT_EQ(by_master.size(), 1000u);
+}
+
+TEST(Percentile, MatchesMedianAndInterpolates) {
+  std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), median(xs));
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 1.75);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 99.0), 7.0);
+  EXPECT_THROW(static_cast<void>(percentile({}, 50.0)), CheckError);
+  EXPECT_THROW(static_cast<void>(percentile({1.0}, 101.0)), CheckError);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+
+  // The pool is reusable after wait_idle.
+  std::atomic<int> count{0};
+  for (int i = 0; i < 32; ++i) pool.submit([&] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(CampaignSpec, ExpansionOrderAndSeedsAreCanonical) {
+  const CampaignSpec spec = small_spec();
+  EXPECT_EQ(spec.num_scenarios(), 4u);   // 2 designs x 2 kinds x 1 tiling
+  EXPECT_EQ(spec.num_sessions(), 8u);
+  const std::vector<CampaignJob> jobs = spec.expand();
+  ASSERT_EQ(jobs.size(), 8u);
+  std::set<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].index, i);
+    EXPECT_EQ(jobs[i].scenario, i / 2);
+    EXPECT_EQ(jobs[i].replica, i % 2);
+    EXPECT_EQ(jobs[i].options.seed, split_seed(spec.master_seed, i));
+    EXPECT_EQ(jobs[i].options.tiling.seed, jobs[i].options.seed);
+    seeds.insert(jobs[i].options.seed);
+  }
+  EXPECT_EQ(seeds.size(), jobs.size()) << "session seeds must be distinct";
+}
+
+TEST(CampaignEngine, EmptySpecProducesEmptyReport) {
+  CampaignSpec spec;  // no designs
+  const CampaignReport report = run_campaign(spec);
+  EXPECT_EQ(report.sessions, 0u);
+  EXPECT_EQ(report.completed, 0u);
+  EXPECT_TRUE(report.scenarios.empty());
+  EXPECT_EQ(report.detection_rate(), 0.0);
+  // Emitters must not choke on the empty report.
+  EXPECT_FALSE(report.to_csv().empty());
+  EXPECT_FALSE(report.to_json().empty());
+}
+
+TEST(CampaignEngine, SingleJobMatchesDirectSession) {
+  CampaignSpec spec;
+  spec.add_design("solo",
+                  [](std::uint64_t s) { return test::make_random_netlist(70, s); });
+  spec.error_kinds = {ErrorKind::kWrongPolarity};
+  spec.sessions_per_scenario = 1;
+  spec.master_seed = 5;
+  spec.num_patterns = 128;
+  spec.tilings[0].num_tiles = 6;
+  spec.tilings[0].target_overhead = 0.30;
+
+  const CampaignReport report = run_campaign(spec);
+  ASSERT_EQ(report.sessions, 1u);
+
+  // The one campaign session is exactly run_debug_session with the
+  // split-derived seed on the same golden netlist — including the case
+  // where the flow throws (the engine records it as a failed session).
+  const std::vector<CampaignJob> jobs = spec.expand();
+  const Netlist golden = test::make_random_netlist(70, spec.design_seed(0));
+  DebugSessionReport direct;
+  std::string direct_error;
+  try {
+    direct = run_debug_session(golden, jobs[0].options);
+  } catch (const std::exception& e) {
+    direct_error = e.what();
+  }
+  if (direct_error.empty()) {
+    EXPECT_EQ(report.completed, 1u);
+    EXPECT_EQ(report.failed, 0u);
+    EXPECT_EQ(report.detected, direct.detection.error_detected ? 1u : 0u);
+    if (report.debug_work.count()) {
+      EXPECT_DOUBLE_EQ(report.debug_work.mean(),
+                       work_units(direct.debug_effort));
+    }
+  } else {
+    EXPECT_EQ(report.failed, 1u);
+  }
+}
+
+TEST(CampaignEngine, ReportIsByteIdenticalAcross1And2And8Threads) {
+  const CampaignSpec spec = small_spec();
+  std::string csv_ref, json_ref;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    CampaignOptions options;
+    options.num_threads = threads;
+    const CampaignReport report = run_campaign(spec, options);
+    EXPECT_EQ(report.sessions, spec.num_sessions());
+    EXPECT_EQ(report.num_threads, threads);
+    if (csv_ref.empty()) {
+      csv_ref = report.to_csv();
+      json_ref = report.to_json();
+      EXPECT_GT(report.completed, 0u);
+    } else {
+      EXPECT_EQ(report.to_csv(), csv_ref) << threads << " threads";
+      EXPECT_EQ(report.to_json(), json_ref) << threads << " threads";
+    }
+  }
+}
+
+TEST(CampaignEngine, ProgressReportedAndCancelStopsEarly) {
+  const CampaignSpec spec = small_spec(31);
+  std::atomic<std::size_t> progress_calls{0};
+  std::atomic<bool> cancel{false};
+
+  CampaignOptions options;
+  options.num_threads = 2;
+  options.on_progress = [&](std::size_t done, std::size_t total) {
+    EXPECT_LE(done, total);
+    if (++progress_calls >= 2) cancel.store(true);  // cancel mid-campaign
+  };
+  options.cancel = [&] { return cancel.load(); };
+
+  const CampaignReport report = run_campaign(spec, options);
+  EXPECT_EQ(progress_calls.load(), spec.num_sessions())
+      << "every session reports progress, even when cancelled";
+  EXPECT_EQ(report.sessions, spec.num_sessions());
+  EXPECT_GT(report.cancelled, 0u) << "cancellation must be visible";
+  EXPECT_EQ(report.completed + report.cancelled + report.failed,
+            report.sessions);
+}
+
+TEST(CampaignEngine, SmokeCampaignOverCatalogDesigns) {
+  // Three real Table 1 designs, one quick session each.
+  CampaignSpec spec;
+  spec.add_catalog_design("9sym");
+  spec.add_catalog_design("styr");
+  spec.add_catalog_design("sand");
+  spec.error_kinds = {ErrorKind::kWrongPolarity};
+  spec.sessions_per_scenario = 1;
+  spec.master_seed = 4;
+  spec.num_patterns = 96;
+  spec.tilings[0].num_tiles = 8;
+
+  CampaignOptions options;
+  options.num_threads = 2;
+  const CampaignReport report = run_campaign(spec, options);
+  EXPECT_EQ(report.sessions, 3u);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.completed, 3u);
+  ASSERT_EQ(report.scenarios.size(), 3u);
+  EXPECT_EQ(report.scenarios[0].design, "9sym");
+  EXPECT_EQ(report.scenarios[2].design, "sand");
+  for (const ScenarioStats& s : report.scenarios)
+    EXPECT_GT(s.build_work.mean(), 0.0) << s.design;
+}
+
+TEST(CampaignEngine, UnknownCatalogDesignThrowsEagerly) {
+  CampaignSpec spec;
+  EXPECT_THROW(spec.add_catalog_design("no-such-design"), CheckError);
+  // Names flow into CSV/JSON verbatim, so quoting-hostile ones are rejected.
+  const auto builder = [](std::uint64_t s) {
+    return test::make_random_netlist(10, s);
+  };
+  EXPECT_THROW(spec.add_design("a,b", builder), CheckError);
+  EXPECT_THROW(spec.add_design("a\"b", builder), CheckError);
+  EXPECT_THROW(spec.add_design("", builder), CheckError);
+}
+
+TEST(CampaignEngine, ZeroReplicasStillLabelsScenarioRows) {
+  CampaignSpec spec;
+  spec.add_design("zero-rep",
+                  [](std::uint64_t s) { return test::make_random_netlist(10, s); });
+  spec.error_kinds = {ErrorKind::kWrongPolarity};
+  spec.sessions_per_scenario = 0;
+  const CampaignReport report = run_campaign(spec);
+  EXPECT_EQ(report.sessions, 0u);
+  ASSERT_EQ(report.scenarios.size(), 1u);
+  EXPECT_EQ(report.scenarios[0].design, "zero-rep");
+  EXPECT_EQ(report.scenarios[0].error_kind, ErrorKind::kWrongPolarity);
+}
+
+TEST(SessionHooks, PhaseSequenceAndCancellation) {
+  // Same proven-converging configuration as DebugLoop.FullSession.
+  const Netlist golden = test::make_random_netlist(70, 53);
+  DebugSessionOptions options;
+  options.error_kind = ErrorKind::kWrongPolarity;
+  options.seed = 9;
+  options.num_patterns = 192;
+  options.tiling.num_tiles = 6;
+  options.tiling.target_overhead = 0.30;
+
+  std::vector<SessionPhase> phases;
+  options.hooks.on_phase = [&](SessionPhase phase) {
+    phases.push_back(phase);
+    return true;
+  };
+  const DebugSessionReport full = run_debug_session(golden, options);
+  EXPECT_FALSE(full.cancelled);
+  ASSERT_GE(phases.size(), 3u);
+  EXPECT_EQ(phases[0], SessionPhase::kInject);
+  EXPECT_EQ(phases[1], SessionPhase::kBuild);
+  EXPECT_EQ(phases[2], SessionPhase::kDetect);
+  for (std::size_t i = 1; i < phases.size(); ++i)
+    EXPECT_LT(static_cast<int>(phases[i - 1]), static_cast<int>(phases[i]));
+
+  // Cancelling at kLocalize skips localization and correction entirely.
+  options.hooks.on_phase = [](SessionPhase phase) {
+    return phase != SessionPhase::kLocalize;
+  };
+  const DebugSessionReport cut = run_debug_session(golden, options);
+  EXPECT_TRUE(cut.cancelled);
+  EXPECT_TRUE(cut.localization.iterations.empty());
+  EXPECT_FALSE(cut.correction.corrected);
+  EXPECT_EQ(std::string(to_string(SessionPhase::kLocalize)), "localize");
+}
+
+}  // namespace
+}  // namespace emutile
