@@ -38,8 +38,11 @@ int main(int argc, char** argv) {
 
   CampaignOptions options;
   options.num_threads = threads;
-  options.on_progress = [](std::size_t done, std::size_t total) {
-    std::cout << "  session " << done << "/" << total << " finished\n";
+  options.campaign_id = "walkthrough";
+  options.on_progress = [](const std::string& id, std::size_t done,
+                           std::size_t total) {
+    std::cout << "  [" << id << "] session " << done << "/" << total
+              << " finished\n";
   };
 
   const CampaignReport report = run_campaign(spec, options);

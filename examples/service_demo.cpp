@@ -1,0 +1,85 @@
+/// Session-service walkthrough: stand up an in-process campaign daemon,
+/// submit two campaigns concurrently (different priorities), watch the
+/// streamed snapshots land, then resubmit the first spec and see the result
+/// cache serve it without re-running a single session.
+///
+///   $ ./service_demo [root_dir]
+///
+/// The same flow works out-of-process with the shipped tools:
+///   $ emutile_serviced --root demo-root &
+///   $ emutile_submit --root demo-root my_campaign.spec --wait
+
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+
+#include "campaign/campaign_spec_io.hpp"
+#include "service/session_service.hpp"
+
+using namespace emutile;
+
+namespace {
+
+std::string demo_spec(const char* design, std::uint64_t seed) {
+  std::ostringstream os;
+  os << "emutile-campaign v1\n"
+     << "design " << design << "\n"
+     << "error_kind wrong-polarity\n"
+     << "error_kind wrong-connection\n"
+     << "tiling 6 0.3 1 12 4\n"
+     << "sessions_per_scenario 3\n"
+     << "master_seed " << seed << "\n"
+     << "num_patterns 128\n"
+     << "end\n";
+  return os.str();
+}
+
+void show(const CampaignStatus& s) {
+  std::cout << "  " << s.id << ": " << to_string(s.state) << ", "
+            << s.sessions_done << "/" << s.sessions_total << " sessions, "
+            << s.snapshots << " snapshots, " << s.cache_hits
+            << " cache hits\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::filesystem::path root =
+      argc > 1 ? argv[1] : std::filesystem::temp_directory_path() /
+                               "emutile-service-demo";
+  std::filesystem::remove_all(root);
+
+  std::cout << "== campaign session service walkthrough ==\n\n"
+            << "service root: " << root.string() << "\n"
+            << "  spool/     file-queue intake (*.spec)\n"
+            << "  cache/     memoized session results\n"
+            << "  out/<id>/  snapshots + final reports\n\n";
+
+  ServiceConfig config;
+  config.root = root;
+  config.num_threads = 2;
+  config.snapshot_every = 2;
+  SessionService service(config);
+
+  std::cout << "submitting two campaigns (9sym at priority 0, styr at 1)...\n";
+  const std::string id_a = service.submit_text(demo_spec("9sym", 21), 0, "a");
+  const std::string id_b = service.submit_text(demo_spec("styr", 34), 1, "b");
+  service.drain();
+  for (const CampaignStatus& s : service.list()) show(s);
+
+  std::cout << "\nresubmitting the 9sym spec (should be all cache hits)...\n";
+  const std::string id_c =
+      service.submit_text(demo_spec("9sym", 21), 0, "a-again");
+  service.wait(id_c);
+  show(*service.status(id_c));
+
+  const auto final_status = service.status(id_c);
+  std::cout << "\nfinal report: "
+            << (final_status->out_dir / "report.json").string() << "\n"
+            << "cache: " << service.cache()->entries() << " entries, "
+            << service.cache()->hits() << " hits, "
+            << service.cache()->misses() << " misses total\n";
+  static_cast<void>(id_a);
+  static_cast<void>(id_b);
+  return 0;
+}

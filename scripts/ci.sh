@@ -1,11 +1,20 @@
 #!/usr/bin/env bash
-# Tier-1 verify: configure, build, and run the full test suite.
+# Tier-1 verify: configure, build, and run the full test suite, then rebuild
+# the service + campaign layers under AddressSanitizer and rerun their tests
+# (the concurrency-heavy part of the codebase).
 #
 # Uses the "ci" CMake preset (RelWithDebInfo, -Wall -Wextra). Equivalent to:
 #   cmake -B build -S . && cmake --build build -j && cd build && ctest
+# Set EMUTILE_SKIP_ASAN=1 to skip the sanitizer pass.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake --preset ci
 cmake --build --preset ci
 ctest --preset ci
+
+if [[ "${EMUTILE_SKIP_ASAN:-0}" != "1" ]]; then
+  cmake --preset asan
+  cmake --build --preset asan
+  ctest --preset asan
+fi

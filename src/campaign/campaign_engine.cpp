@@ -5,6 +5,7 @@
 #include <mutex>
 #include <utility>
 
+#include "campaign/result_cache.hpp"
 #include "designs/catalog.hpp"
 #include "eco/eco_strategies.hpp"
 #include "hier/hierarchy.hpp"
@@ -14,18 +15,25 @@
 
 namespace emutile {
 
-namespace {
+Netlist build_campaign_golden(const CampaignSpec& spec,
+                              std::size_t design_index) {
+  const CampaignDesign& d = spec.designs.at(design_index);
+  const std::uint64_t seed = spec.design_seed(design_index);
+  return d.builder ? d.builder(seed) : build_paper_design(d.name, seed);
+}
 
-/// Tiled-vs-baseline work ratio on the scripted standard change.
-ScenarioBaseline measure_baseline(const CampaignSpec& spec,
-                                  std::size_t design_index,
-                                  TilingParams tiling, const Netlist& golden,
-                                  std::uint64_t seed) {
+ScenarioBaseline measure_baseline_pair(const CampaignSpec& spec,
+                                       std::size_t pair_index,
+                                       const Netlist& golden) {
+  const std::size_t design_index = pair_index / spec.tilings.size();
+  TilingParams tiling = spec.tilings[pair_index % spec.tilings.size()];
+  const std::uint64_t seed = spec.baseline_seed(pair_index);
   ScenarioBaseline result;
   try {
     tiling.seed = seed;
     TiledDesign tiled = TilingEngine::build(Netlist(golden), tiling);
     TiledDesign for_quick = tiled.clone();
+    TiledDesign for_incremental = tiled.clone();
     TiledDesign for_full = tiled.clone();
 
     const EcoStrategyResult rt =
@@ -34,21 +42,89 @@ ScenarioBaseline measure_baseline(const CampaignSpec& spec,
     hier.bind_remaining(for_quick.netlist, hier.add_block("functional_block"));
     const EcoStrategyResult rq =
         quick_eco(for_quick, hier, scripted_standard_change(for_quick), seed);
+    IncrementalOptions incremental_options;
+    incremental_options.seed = seed;
+    const EcoStrategyResult ri =
+        incremental_eco(for_incremental,
+                        scripted_standard_change(for_incremental),
+                        incremental_options);
     const EcoStrategyResult rf =
         full_eco(for_full, scripted_standard_change(for_full), seed);
 
     const double tiled_work = work_units(rt.effort);
-    if (!rt.success || tiled_work <= 0.0) return result;
+    const double quick_work = work_units(rq.effort);
+    const double incremental_work = work_units(ri.effort);
+    const double full_work = work_units(rf.effort);
+    // All four strategies must have done real work, or the ratios (and the
+    // geomean over them) are meaningless.
+    if (!rt.success || tiled_work <= 0.0 || quick_work <= 0.0 ||
+        incremental_work <= 0.0 || full_work <= 0.0)
+      return result;
     result.measured = true;
-    result.speedup_quick = work_units(rq.effort) / tiled_work;
-    result.speedup_full = work_units(rf.effort) / tiled_work;
+    result.speedup_quick = quick_work / tiled_work;
+    result.speedup_incremental = incremental_work / tiled_work;
+    result.speedup_full = full_work / tiled_work;
   } catch (const std::exception& e) {
     EMUTILE_WARN("baseline measurement failed: " << e.what());
   }
   return result;
 }
 
-}  // namespace
+std::vector<ScenarioBaseline> fan_out_baselines(
+    const CampaignSpec& spec, const std::vector<ScenarioBaseline>& per_pair) {
+  EMUTILE_CHECK(per_pair.size() == spec.designs.size() * spec.tilings.size(),
+                "per-pair baseline count does not match the spec");
+  std::vector<ScenarioBaseline> baselines(spec.num_scenarios());
+  for (std::size_t sc = 0; sc < baselines.size(); ++sc) {
+    const std::size_t ti = sc % spec.tilings.size();
+    const std::size_t di =
+        sc / (spec.tilings.size() * spec.error_kinds.size());
+    baselines[sc] = per_pair[di * spec.tilings.size() + ti];
+  }
+  return baselines;
+}
+
+SessionOutcome run_campaign_session(const CampaignSpec& spec,
+                                    const CampaignJob& job,
+                                    const Netlist& golden,
+                                    const std::function<bool()>& cancel,
+                                    ResultCache* cache, CacheLookup* lookup) {
+  if (lookup) *lookup = CacheLookup::kNotConsulted;
+  SessionOutcome out;
+  if (cancel && cancel()) {
+    out.report.cancelled = true;
+    return out;
+  }
+  const bool cacheable =
+      cache != nullptr && !spec.designs[job.design_index].builder;
+  std::uint64_t key = 0;
+  if (cacheable) {
+    key = session_cache_key(spec, job);
+    if (std::optional<CachedSession> hit = cache->load(key)) {
+      if (lookup) *lookup = CacheLookup::kHit;
+      return from_cached(*hit);
+    }
+    if (lookup) *lookup = CacheLookup::kMiss;
+  }
+  DebugSessionOptions session = job.options;
+  if (cancel) {
+    // Compose campaign cancellation with any caller-provided hook.
+    const auto user_hook = std::move(session.hooks.on_phase);
+    session.hooks.on_phase = [user_hook, cancel](SessionPhase phase) {
+      if (cancel()) return false;
+      return !user_hook || user_hook(phase);
+    };
+  }
+  try {
+    out.report = run_debug_session(golden, session);
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+  // A cancelled outcome reflects this driver's state, not the spec — only
+  // spec-determined results may be memoized.
+  if (cacheable && !out.report.cancelled) cache->store(key, to_cached(out));
+  return out;
+}
 
 CampaignReport run_campaign(const CampaignSpec& spec,
                             const CampaignOptions& options) {
@@ -56,54 +132,68 @@ CampaignReport run_campaign(const CampaignSpec& spec,
   const std::vector<CampaignJob> jobs = spec.expand();
   ThreadPool pool(options.num_threads);
 
-  // Build every golden netlist once; sessions share them read-only (each
-  // session copies before mutating).
+  // A sharded spec only needs part of the campaign's work: goldens for the
+  // designs its job slice touches, and the baseline pairs assigned to it.
+  // Baseline pairs are round-robin partitioned across shards so one fleet
+  // measures each pair exactly once; the union over all shards covers every
+  // pair (merge() keeps whichever shard measured a scenario).
+  const std::size_t baseline_pairs = spec.designs.size() * spec.tilings.size();
+  std::vector<char> design_has_jobs(spec.designs.size(),
+                                    spec.shard_count == 1 ? 1 : 0);
+  if (spec.shard_count > 1)
+    for (const CampaignJob& job : jobs) design_has_jobs[job.design_index] = 1;
+  const auto pair_assigned = [&](std::size_t u) {
+    return spec.shard_count == 1 || u % spec.shard_count == spec.shard_index;
+  };
+  std::vector<char> design_needed = design_has_jobs;
+  if (spec.measure_baselines)
+    for (std::size_t u = 0; u < baseline_pairs; ++u)
+      if (pair_assigned(u)) design_needed[u / spec.tilings.size()] = 1;
+
+  // Build the needed golden netlists once; sessions share them read-only
+  // (each session copies before mutating).
   std::vector<Netlist> goldens(spec.designs.size());
   std::vector<std::string> golden_errors(spec.designs.size());
   pool.parallel_for(spec.designs.size(), [&](std::size_t i) {
+    if (!design_needed[i]) return;
     try {
-      const CampaignDesign& d = spec.designs[i];
-      goldens[i] = d.builder ? d.builder(spec.design_seed(i))
-                             : build_paper_design(d.name, spec.design_seed(i));
+      goldens[i] = build_campaign_golden(spec, i);
     } catch (const std::exception& e) {
       golden_errors[i] = e.what();
     }
   });
 
   std::vector<SessionOutcome> outcomes(jobs.size());
-  std::size_t finished = 0;  // guarded by progress_mutex
+  std::size_t finished = 0;     // guarded by progress_mutex
+  std::size_t cache_hits = 0;   // guarded by progress_mutex
+  std::size_t cache_misses = 0; // guarded by progress_mutex
   std::mutex progress_mutex;
   const auto t0 = std::chrono::steady_clock::now();
   pool.parallel_for(jobs.size(), [&](std::size_t i) {
     const CampaignJob& job = jobs[i];
-    SessionOutcome& out = outcomes[i];
+    CacheLookup lookup = CacheLookup::kNotConsulted;
     if (!golden_errors[job.design_index].empty()) {
-      out.error = "design '" + spec.designs[job.design_index].name +
-                  "' failed to build: " + golden_errors[job.design_index];
-    } else if (options.cancel && options.cancel()) {
-      out.report.cancelled = true;
+      // The design never built; cancel is still honored so a cancelled
+      // campaign reports these jobs consistently with its siblings.
+      if (options.cancel && options.cancel())
+        outcomes[i].report.cancelled = true;
+      else
+        outcomes[i].error = "design '" + spec.designs[job.design_index].name +
+                            "' failed to build: " +
+                            golden_errors[job.design_index];
     } else {
-      DebugSessionOptions session = job.options;
-      if (options.cancel) {
-        // Compose campaign cancellation with any caller-provided hook.
-        const auto user_hook = std::move(session.hooks.on_phase);
-        const auto cancel = options.cancel;
-        session.hooks.on_phase = [user_hook, cancel](SessionPhase phase) {
-          if (cancel()) return false;
-          return !user_hook || user_hook(phase);
-        };
-      }
-      try {
-        out.report = run_debug_session(goldens[job.design_index], session);
-      } catch (const std::exception& e) {
-        out.error = e.what();
-      }
+      outcomes[i] =
+          run_campaign_session(spec, job, goldens[job.design_index],
+                               options.cancel, options.cache, &lookup);
     }
-    if (options.on_progress) {
-      // Count and report under one lock so `done` values arrive in order.
-      std::lock_guard<std::mutex> lock(progress_mutex);
-      options.on_progress(++finished, jobs.size());
-    }
+    // Progress fires on every accounting path — completed, failed,
+    // cancelled, and cache-served sessions alike.
+    std::lock_guard<std::mutex> lock(progress_mutex);
+    if (lookup == CacheLookup::kHit) ++cache_hits;
+    if (lookup == CacheLookup::kMiss) ++cache_misses;
+    ++finished;
+    if (options.on_progress)
+      options.on_progress(options.campaign_id, finished, jobs.size());
   });
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -113,28 +203,22 @@ CampaignReport run_campaign(const CampaignSpec& spec,
   if (spec.measure_baselines) {
     // The baseline depends only on (design, tiling), so measure each unique
     // pair once and fan the result out across the error-kind scenarios.
-    const std::size_t unique = spec.designs.size() * spec.tilings.size();
-    std::vector<ScenarioBaseline> per_pair(unique);
-    pool.parallel_for(unique, [&](std::size_t u) {
+    std::vector<ScenarioBaseline> per_pair(baseline_pairs);
+    pool.parallel_for(baseline_pairs, [&](std::size_t u) {
       const std::size_t di = u / spec.tilings.size();
-      const std::size_t ti = u % spec.tilings.size();
+      if (!pair_assigned(u)) return;
       if (!golden_errors[di].empty()) return;
       if (options.cancel && options.cancel()) return;
-      per_pair[u] = measure_baseline(spec, di, spec.tilings[ti], goldens[di],
-                                     spec.baseline_seed(u));
+      per_pair[u] = measure_baseline_pair(spec, u, goldens[di]);
     });
-    baselines.resize(spec.num_scenarios());
-    for (std::size_t sc = 0; sc < baselines.size(); ++sc) {
-      const std::size_t ti = sc % spec.tilings.size();
-      const std::size_t di =
-          sc / (spec.tilings.size() * spec.error_kinds.size());
-      baselines[sc] = per_pair[di * spec.tilings.size() + ti];
-    }
+    baselines = fan_out_baselines(spec, per_pair);
   }
 
   CampaignReport report = build_report(spec, jobs, outcomes, baselines);
   report.wall_seconds = wall_seconds;
   report.num_threads = options.num_threads;
+  report.cache_hits = cache_hits;
+  report.cache_misses = cache_misses;
   return report;
 }
 

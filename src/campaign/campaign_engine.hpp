@@ -7,25 +7,44 @@
 /// whose to_csv()/to_json() output is byte-identical for any worker count —
 /// session seeds are split-derived from the master seed by job index, each
 /// job writes only its own result slot, and aggregation happens on one
-/// thread in canonical job order over deterministic work counters.
+/// thread in canonical job order over deterministic work counters. The
+/// optional result cache preserves the contract: a cached outcome restores
+/// exactly the counters aggregation reads, so cached and fresh runs emit
+/// identical bytes.
+///
+/// The per-session and per-baseline primitives are exposed so other drivers
+/// (the session service, shard runners) can schedule the same work their own
+/// way and still land on the same report.
 
 #include <cstddef>
 #include <functional>
+#include <string>
 
 #include "campaign/campaign_report.hpp"
 #include "campaign/campaign_spec.hpp"
 
 namespace emutile {
 
+class ResultCache;
+
 struct CampaignOptions {
   std::size_t num_threads = 1;
-  /// Called after every finished session with (completed, total). Calls are
-  /// serialized; keep it cheap — workers block on it.
-  std::function<void(std::size_t, std::size_t)> on_progress;
-  /// Polled between sessions and at session phase boundaries; returning
-  /// true cancels the remainder of the campaign (cancelled sessions are
-  /// counted in the report, never silently dropped).
+  /// Identifies this campaign in multi-campaign drivers; handed verbatim to
+  /// on_progress so one callback can serve many concurrent campaigns.
+  std::string campaign_id;
+  /// Called after every finished session — completed, cancelled, failed, or
+  /// served from the cache alike — with (campaign_id, done, total). Calls
+  /// are serialized; keep it cheap — workers block on it.
+  std::function<void(const std::string&, std::size_t, std::size_t)>
+      on_progress;
+  /// Polled before every session (including cache hits) and at session phase
+  /// boundaries; returning true cancels the remainder of the campaign
+  /// (cancelled sessions are counted in the report, never silently dropped).
   std::function<bool()> cancel;
+  /// When set, sessions of catalog designs are memoized here: hits skip the
+  /// debug loop entirely, misses run and are stored. Counted in the report's
+  /// cache_hits/cache_misses.
+  ResultCache* cache = nullptr;
 };
 
 /// Execute the campaign described by `spec` on `options.num_threads`
@@ -33,5 +52,46 @@ struct CampaignOptions {
 /// by the sessions.
 [[nodiscard]] CampaignReport run_campaign(const CampaignSpec& spec,
                                           const CampaignOptions& options = {});
+
+// ---- building blocks shared with the session service -----------------------
+
+/// How a session interacted with the result cache — the single source of
+/// truth for per-campaign hit/miss accounting across every driver.
+enum class CacheLookup : std::uint8_t {
+  kNotConsulted,  ///< no cache, custom-builder design, or cancelled up front
+  kHit,           ///< served from the cache without running
+  kMiss           ///< consulted, ran, and (if not cancelled mid-run) stored
+};
+
+/// Run one campaign session against its golden netlist. Polls `cancel` once
+/// up front and at every phase boundary; consults/fills `cache` when non-null
+/// and the job's design is a catalog design (cancelled outcomes are never
+/// cached). `*lookup` (optional) reports the cache interaction for counter
+/// accounting. Never throws: session failures are recorded in the outcome.
+[[nodiscard]] SessionOutcome run_campaign_session(
+    const CampaignSpec& spec, const CampaignJob& job, const Netlist& golden,
+    const std::function<bool()>& cancel = {}, ResultCache* cache = nullptr,
+    CacheLookup* lookup = nullptr);
+
+/// Measure the tiled-vs-baseline speedups of unique (design, tiling) pair
+/// `pair_index` (= design_index * spec.tilings.size() + tiling_index) on the
+/// scripted standard change, covering the full Figure 5 strategy set
+/// (Quick_ECO, Incremental_ECO, full re-P&R). Failures yield an unmeasured
+/// baseline.
+[[nodiscard]] ScenarioBaseline measure_baseline_pair(const CampaignSpec& spec,
+                                                     std::size_t pair_index,
+                                                     const Netlist& golden);
+
+/// Fan per-(design, tiling)-pair baselines out to the scenario-indexed
+/// vector build_report expects (every error kind of a pair shares its
+/// measurement).
+[[nodiscard]] std::vector<ScenarioBaseline> fan_out_baselines(
+    const CampaignSpec& spec, const std::vector<ScenarioBaseline>& per_pair);
+
+/// Build design `design_index`'s golden netlist from its builder or the
+/// paper catalog, with the spec's split-derived design seed. Throws on
+/// builder/catalog failure.
+[[nodiscard]] Netlist build_campaign_golden(const CampaignSpec& spec,
+                                            std::size_t design_index);
 
 }  // namespace emutile

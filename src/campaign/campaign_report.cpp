@@ -23,6 +23,23 @@ std::string ratio(std::size_t a, std::size_t b) {
   return b == 0 ? "0" : num(static_cast<double>(a) / static_cast<double>(b));
 }
 
+/// Re-derive the campaign-level speedup geomeans from the scenario baselines
+/// (shared by build_report and CampaignReport::merge).
+void recompute_speedup_geomeans(CampaignReport& report) {
+  std::vector<double> quick, incremental, full;
+  for (const ScenarioStats& s : report.scenarios) {
+    if (!s.baseline.measured) continue;
+    quick.push_back(s.baseline.speedup_quick);
+    incremental.push_back(s.baseline.speedup_incremental);
+    full.push_back(s.baseline.speedup_full);
+  }
+  if (!quick.empty()) {
+    report.speedup_quick_geomean = geomean(quick);
+    report.speedup_incremental_geomean = geomean(incremental);
+    report.speedup_full_geomean = geomean(full);
+  }
+}
+
 }  // namespace
 
 double CampaignReport::detection_rate() const {
@@ -54,7 +71,7 @@ std::string CampaignReport::to_csv() const {
            "cancelled", "failed", "detected", "narrowed", "corrected",
            "clean", "suspects_mean", "iters_mean", "debug_work_mean",
            "debug_work_max", "build_work_mean", "speedup_quick",
-           "speedup_full"});
+           "speedup_incr", "speedup_full"});
   for (const ScenarioStats& s : scenarios) {
     t.add_row({s.design, to_string(s.error_kind),
                std::to_string(s.num_tiles), num(s.target_overhead),
@@ -68,6 +85,7 @@ std::string CampaignReport::to_csv() const {
                s.debug_work.count() ? num(s.debug_work.max()) : "-",
                s.build_work.count() ? num(s.build_work.mean()) : "-",
                s.baseline.measured ? num(s.baseline.speedup_quick) : "-",
+               s.baseline.measured ? num(s.baseline.speedup_incremental) : "-",
                s.baseline.measured ? num(s.baseline.speedup_full) : "-"});
   }
   std::ostringstream os;
@@ -100,6 +118,8 @@ std::string CampaignReport::to_json() const {
      << (build_work.count() ? num(build_work.mean()) : "0") << ",\n"
      << "    \"speedup_quick_geomean\": " << num(speedup_quick_geomean)
      << ",\n"
+     << "    \"speedup_incremental_geomean\": "
+     << num(speedup_incremental_geomean) << ",\n"
      << "    \"speedup_full_geomean\": " << num(speedup_full_geomean) << "\n"
      << "  },\n  \"scenarios\": [\n";
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
@@ -115,6 +135,8 @@ std::string CampaignReport::to_json() const {
        << (s.debug_work.count() ? num(s.debug_work.mean()) : "0");
     if (s.baseline.measured)
       os << ", \"speedup_quick\": " << num(s.baseline.speedup_quick)
+         << ", \"speedup_incremental\": "
+         << num(s.baseline.speedup_incremental)
          << ", \"speedup_full\": " << num(s.baseline.speedup_full);
     os << "}" << (i + 1 < scenarios.size() ? "," : "") << "\n";
   }
@@ -137,8 +159,12 @@ void CampaignReport::print_summary(std::ostream& os) const {
        << num(debug_work_p99) << "\n";
   if (speedup_full_geomean > 0.0)
     os << "  tiled-ECO speedup (geomean work units): " << "vs Quick_ECO "
-       << num(speedup_quick_geomean) << "x, vs full re-P&R "
+       << num(speedup_quick_geomean) << "x, vs Incremental_ECO "
+       << num(speedup_incremental_geomean) << "x, vs full re-P&R "
        << num(speedup_full_geomean) << "x\n";
+  if (cache_hits + cache_misses > 0)
+    os << "  result cache: " << cache_hits << " hits, " << cache_misses
+       << " misses\n";
   if (wall_seconds > 0.0)
     os << "  wall clock " << num(wall_seconds) << " s ("
        << num(sessions_per_second()) << " sessions/s)\n";
@@ -169,7 +195,7 @@ CampaignReport build_report(const CampaignSpec& spec,
     }
   }
 
-  std::vector<double> work_samples;
+  std::vector<double>& work_samples = report.debug_work_samples;
   work_samples.reserve(jobs.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     const CampaignJob& job = jobs[i];
@@ -224,19 +250,66 @@ CampaignReport build_report(const CampaignSpec& spec,
   if (!baselines.empty()) {
     EMUTILE_CHECK(baselines.size() == report.scenarios.size(),
                   "baseline count does not match scenario count");
-    std::vector<double> quick, full;
-    for (std::size_t sc = 0; sc < baselines.size(); ++sc) {
+    for (std::size_t sc = 0; sc < baselines.size(); ++sc)
       report.scenarios[sc].baseline = baselines[sc];
-      if (!baselines[sc].measured) continue;
-      quick.push_back(baselines[sc].speedup_quick);
-      full.push_back(baselines[sc].speedup_full);
-    }
-    if (!quick.empty()) {
-      report.speedup_quick_geomean = geomean(quick);
-      report.speedup_full_geomean = geomean(full);
-    }
+    recompute_speedup_geomeans(report);
   }
   return report;
+}
+
+void CampaignReport::merge(const CampaignReport& other) {
+  EMUTILE_CHECK(scenarios.size() == other.scenarios.size(),
+                "cannot merge reports with different scenario matrices ("
+                    << scenarios.size() << " vs " << other.scenarios.size()
+                    << ")");
+  sessions += other.sessions;
+  completed += other.completed;
+  cancelled += other.cancelled;
+  failed += other.failed;
+  detected += other.detected;
+  narrowed += other.narrowed;
+  corrected += other.corrected;
+  clean += other.clean;
+  debug_work.merge(other.debug_work);
+  build_work.merge(other.build_work);
+  debug_work_samples.insert(debug_work_samples.end(),
+                            other.debug_work_samples.begin(),
+                            other.debug_work_samples.end());
+  if (!debug_work_samples.empty()) {
+    debug_work_p50 = percentile(debug_work_samples, 50.0);
+    debug_work_p90 = percentile(debug_work_samples, 90.0);
+    debug_work_p99 = percentile(debug_work_samples, 99.0);
+  }
+  for (std::size_t sc = 0; sc < scenarios.size(); ++sc) {
+    ScenarioStats& s = scenarios[sc];
+    const ScenarioStats& o = other.scenarios[sc];
+    EMUTILE_CHECK(s.design == o.design && s.error_kind == o.error_kind &&
+                      s.num_tiles == o.num_tiles &&
+                      s.target_overhead == o.target_overhead,
+                  "scenario " << sc << " mismatch: '" << s.design << "' vs '"
+                              << o.design << "' — merge needs shards of the "
+                              << "same campaign spec");
+    s.sessions += o.sessions;
+    s.cancelled += o.cancelled;
+    s.failed += o.failed;
+    s.detected += o.detected;
+    s.narrowed += o.narrowed;
+    s.corrected += o.corrected;
+    s.clean += o.clean;
+    s.suspects.merge(o.suspects);
+    s.iterations.merge(o.iterations);
+    s.debug_work.merge(o.debug_work);
+    s.build_work.merge(o.build_work);
+    // Baselines are a pure function of (master seed, design, tiling), so a
+    // scenario measured by several shards carries identical values; keep
+    // whichever side has one.
+    if (!s.baseline.measured && o.baseline.measured) s.baseline = o.baseline;
+  }
+  recompute_speedup_geomeans(*this);
+  wall_seconds += other.wall_seconds;
+  num_threads = std::max(num_threads, other.num_threads);
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
 }
 
 }  // namespace emutile

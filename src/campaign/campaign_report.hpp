@@ -36,11 +36,13 @@ struct SessionOutcome {
 };
 
 /// Optional per-scenario baseline measurement: tiled-ECO work-unit speedup
-/// against the two baseline strategies on a standard change.
+/// against the three baseline strategies on a standard change (the full
+/// Figure 5 set: Quick_ECO, Incremental_ECO, full re-P&R).
 struct ScenarioBaseline {
   bool measured = false;
-  double speedup_quick = 0.0;  ///< Quick_ECO work / tiled work
-  double speedup_full = 0.0;   ///< full re-P&R work / tiled work
+  double speedup_quick = 0.0;        ///< Quick_ECO work / tiled work
+  double speedup_incremental = 0.0;  ///< Incremental_ECO work / tiled work
+  double speedup_full = 0.0;         ///< full re-P&R work / tiled work
 };
 
 /// Per-scenario aggregate row.
@@ -81,12 +83,20 @@ struct CampaignReport {
   double debug_work_p99 = 0.0;
   /// Geometric-mean baseline speedups over measured scenarios (0 if none).
   double speedup_quick_geomean = 0.0;
+  double speedup_incremental_geomean = 0.0;
   double speedup_full_geomean = 0.0;
   std::vector<ScenarioStats> scenarios;
+  /// Raw per-session debug-work samples (completed sessions, canonical job
+  /// order). Retained so merge() can recompute the percentiles exactly;
+  /// excluded from to_csv/to_json.
+  std::vector<double> debug_work_samples;
 
-  // ---- wall-clock (set by the engine; excluded from to_csv/to_json) ----
+  // ---- wall-clock / execution stats (set by the engine; excluded from ----
+  // ---- to_csv/to_json so cached and fresh runs emit identical bytes)  ----
   double wall_seconds = 0.0;
   std::size_t num_threads = 1;
+  std::size_t cache_hits = 0;    ///< sessions served from the result cache
+  std::size_t cache_misses = 0;  ///< cacheable sessions that had to run
 
   [[nodiscard]] double detection_rate() const;    ///< detected / completed
   [[nodiscard]] double localization_rate() const; ///< narrowed / detected
@@ -101,6 +111,13 @@ struct CampaignReport {
 
   /// Human-readable summary including wall-clock throughput.
   void print_summary(std::ostream& os) const;
+
+  /// Fold another shard's report into this one, as if both shards' jobs had
+  /// run in one campaign: counters add, accumulators combine, percentiles
+  /// and geomeans are recomputed from the retained samples/baselines. Both
+  /// reports must come from shards of the same spec (matching scenario
+  /// rows); baselines present on either side are kept.
+  void merge(const CampaignReport& other);
 };
 
 /// Fold session outcomes (indexed like `jobs`) and optional per-scenario

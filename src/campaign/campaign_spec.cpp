@@ -55,18 +55,41 @@ std::uint64_t CampaignSpec::baseline_seed(std::size_t pair_index) const {
   return split_seed(master_seed, kBaselineStreamBase + pair_index);
 }
 
+CampaignSpec CampaignSpec::shard(std::size_t index, std::size_t count) const {
+  EMUTILE_CHECK(count >= 1, "shard count must be at least 1");
+  EMUTILE_CHECK(index < count,
+                "shard index " << index << " out of range for " << count
+                               << " shards");
+  EMUTILE_CHECK(shard_count == 1, "cannot re-shard an already sharded spec");
+  CampaignSpec sharded = *this;
+  sharded.shard_index = index;
+  sharded.shard_count = count;
+  return sharded;
+}
+
 std::vector<CampaignJob> CampaignSpec::expand() const {
   EMUTILE_CHECK(!error_kinds.empty(), "campaign needs at least one error kind");
   EMUTILE_CHECK(!tilings.empty(), "campaign needs at least one tiling point");
+  EMUTILE_CHECK(shard_count >= 1 && shard_index < shard_count,
+                "invalid shard selection " << shard_index << "/"
+                                           << shard_count);
+  // Contiguous slice [begin, end) of the canonical job list. Contiguous
+  // slicing keeps a scenario's replicas together whenever slice boundaries
+  // allow, and the bounds are a pure function of (total, index, count).
+  const std::size_t total = num_sessions();
+  const std::size_t begin = total * shard_index / shard_count;
+  const std::size_t end = total * (shard_index + 1) / shard_count;
   std::vector<CampaignJob> jobs;
-  jobs.reserve(num_sessions());
+  jobs.reserve(end - begin);
   std::size_t scenario = 0;
+  std::size_t global_index = 0;
   for (std::size_t di = 0; di < designs.size(); ++di) {
     for (const ErrorKind kind : error_kinds) {
       for (const TilingParams& tiling : tilings) {
-        for (int rep = 0; rep < sessions_per_scenario; ++rep) {
+        for (int rep = 0; rep < sessions_per_scenario; ++rep, ++global_index) {
+          if (global_index < begin || global_index >= end) continue;
           CampaignJob job;
-          job.index = jobs.size();
+          job.index = global_index;
           job.scenario = scenario;
           job.design_index = di;
           job.replica = static_cast<std::size_t>(rep);

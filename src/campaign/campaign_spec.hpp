@@ -54,9 +54,16 @@ struct CampaignSpec {
   LocalizerOptions localizer;
   EcoOptions eco;
   /// When set, the engine additionally measures per-scenario speedup of the
-  /// tiled ECO against the Quick_ECO and full re-P&R baselines (work-unit
-  /// ratios on a standard change, as in the Figure 5 bench).
+  /// tiled ECO against the Quick_ECO, Incremental_ECO, and full re-P&R
+  /// baselines (work-unit ratios on a standard change, as in the Figure 5
+  /// bench — the full strategy set).
   bool measure_baselines = false;
+  /// Shard selection (see shard()): this spec covers the shard_index-th of
+  /// shard_count contiguous slices of the canonical job list. Job indices,
+  /// seeds, and scenario numbering are those of the unsharded campaign, so
+  /// per-shard reports merge back into the unsharded report exactly.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
 
   /// Append a design resolved from the paper catalog (Table 1 name).
   void add_catalog_design(const std::string& name);
@@ -75,8 +82,18 @@ struct CampaignSpec {
   /// unique (design, tiling) pair being measured.
   [[nodiscard]] std::uint64_t baseline_seed(std::size_t pair_index) const;
 
+  /// Stable job-slicing for multi-process/multi-host campaigns: a copy of
+  /// this spec restricted to the `index`-th of `count` contiguous slices of
+  /// the canonical job list. Each job keeps its unsharded global index and
+  /// split-derived seed, so the union of all shards' expand() outputs is
+  /// exactly the unsharded expand() and CampaignReport::merge can recombine
+  /// the per-shard reports.
+  [[nodiscard]] CampaignSpec shard(std::size_t index, std::size_t count) const;
+
   /// Flatten the matrix into jobs ordered (design, error kind, tiling,
-  /// replica) — the canonical order every aggregate is computed in.
+  /// replica) — the canonical order every aggregate is computed in. When the
+  /// spec is sharded, only this shard's contiguous slice is returned (still
+  /// carrying unsharded indices and seeds).
   [[nodiscard]] std::vector<CampaignJob> expand() const;
 };
 

@@ -1,0 +1,62 @@
+#pragma once
+/// \file campaign_spec_io.hpp
+/// Textual interchange format for CampaignSpec — the wire format of the
+/// session service (spool files, socket submissions) and the basis of the
+/// result cache's content addressing.
+///
+/// The format is line-oriented text: `# comments`, blank lines, and one
+/// `key value...` pair per line between the `emutile-campaign v1` header and
+/// the `end` footer. Repeated keys build lists (designs, error kinds,
+/// tilings); scalar keys may appear at most once. Only catalog designs are
+/// representable — a custom netlist builder is a C++ closure and has no
+/// textual form.
+///
+/// serialize_campaign_spec() emits the *canonical* form: fixed key order,
+/// every field explicit, doubles printed with enough digits to round-trip
+/// exactly. Two specs hash equal iff their canonical forms are identical, so
+/// spec_content_hash() is a content address: any semantic change (seed,
+/// matrix, tiling knob, localizer option...) yields a new hash, which is how
+/// the service keys output directories and the cache detects invalidation.
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "campaign/campaign_spec.hpp"
+
+namespace emutile {
+
+/// Parse a spec from the line-oriented text format. Throws CheckError with a
+/// line number on malformed input (bad header, unknown key, duplicate scalar
+/// key, unparsable number, unknown design or error kind, bad shard range).
+[[nodiscard]] CampaignSpec parse_campaign_spec(const std::string& text);
+
+/// Read and parse a spec file. Throws CheckError on IO or parse errors.
+[[nodiscard]] CampaignSpec load_campaign_spec_file(
+    const std::filesystem::path& path);
+
+/// Canonical serialization (see the file comment). Throws CheckError if any
+/// design carries a custom builder. parse(serialize(s)) reproduces `s`.
+[[nodiscard]] std::string serialize_campaign_spec(const CampaignSpec& spec);
+
+/// FNV-1a 64-bit hash of the canonical serialization.
+[[nodiscard]] std::uint64_t spec_content_hash(const CampaignSpec& spec);
+
+/// spec_content_hash rendered as 16 lowercase hex digits.
+[[nodiscard]] std::string spec_content_hash_hex(const CampaignSpec& spec);
+
+/// Parse an ErrorKind from its to_string() name. Throws CheckError.
+[[nodiscard]] ErrorKind error_kind_from_string(const std::string& name);
+
+/// FNV-1a 64-bit hash of a byte string (exposed for the result cache).
+[[nodiscard]] std::uint64_t fnv1a64(const std::string& bytes);
+
+/// Shortest decimal representation of `v` that strtod round-trips exactly —
+/// the double format of every canonical/content-addressed string (spec
+/// serialization, cache keys). One definition so the two can never drift.
+[[nodiscard]] std::string format_double_exact(double v);
+
+/// `v` as 16 lowercase hex digits (spec hashes, cache entry names).
+[[nodiscard]] std::string format_u64_hex(std::uint64_t v);
+
+}  // namespace emutile

@@ -1,0 +1,227 @@
+#include "campaign/result_cache.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "campaign/campaign_spec_io.hpp"
+#include "util/check.hpp"
+
+namespace emutile {
+
+namespace {
+
+/// One-line-per-field text codec for CachedSession. `error` is stored as the
+/// rest of its line with newlines flattened, so the record stays line
+/// oriented no matter what the exception said.
+std::string encode(const CachedSession& s) {
+  std::string error = s.error;
+  for (char& c : error)
+    if (c == '\n' || c == '\r') c = ' ';
+  std::ostringstream os;
+  os << "emutile-session v1\n"
+     << "flags " << (s.detected ? 1 : 0) << " " << (s.narrowed ? 1 : 0) << " "
+     << (s.corrected ? 1 : 0) << " " << (s.clean ? 1 : 0) << "\n"
+     << "counts " << s.suspects << " " << s.iterations << " " << s.design_clbs
+     << "\n"
+     << "build_effort " << s.build_placed << " " << s.build_routed << " "
+     << s.build_expanded << "\n"
+     << "debug_effort " << s.debug_placed << " " << s.debug_routed << " "
+     << s.debug_expanded << "\n"
+     << "error " << error << "\n"
+     << "end\n";
+  return os.str();
+}
+
+std::optional<CachedSession> decode(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  const auto next = [&](const char* prefix) -> std::optional<std::istringstream> {
+    if (!std::getline(in, line)) return std::nullopt;
+    const std::size_t n = std::string(prefix).size();
+    if (line.compare(0, n, prefix) != 0) return std::nullopt;
+    return std::istringstream(line.substr(n));
+  };
+  if (!std::getline(in, line) || line != "emutile-session v1")
+    return std::nullopt;
+  CachedSession s;
+  int detected = 0, narrowed = 0, corrected = 0, clean = 0;
+  auto flags = next("flags ");
+  if (!flags || !(*flags >> detected >> narrowed >> corrected >> clean))
+    return std::nullopt;
+  s.detected = detected != 0;
+  s.narrowed = narrowed != 0;
+  s.corrected = corrected != 0;
+  s.clean = clean != 0;
+  auto counts = next("counts ");
+  if (!counts || !(*counts >> s.suspects >> s.iterations >> s.design_clbs))
+    return std::nullopt;
+  auto build = next("build_effort ");
+  if (!build || !(*build >> s.build_placed >> s.build_routed >>
+                  s.build_expanded))
+    return std::nullopt;
+  auto debug = next("debug_effort ");
+  if (!debug || !(*debug >> s.debug_placed >> s.debug_routed >>
+                  s.debug_expanded))
+    return std::nullopt;
+  if (!std::getline(in, line) || line.compare(0, 6, "error ") != 0)
+    return std::nullopt;
+  s.error = line.substr(6);
+  if (!std::getline(in, line) || line != "end") return std::nullopt;
+  return s;
+}
+
+}  // namespace
+
+std::uint64_t session_cache_key(const CampaignSpec& spec,
+                                const CampaignJob& job) {
+  const CampaignDesign& design = spec.designs.at(job.design_index);
+  EMUTILE_CHECK(!design.builder,
+                "session cache keys need catalog designs; '"
+                    << design.name << "' has a custom builder");
+  const DebugSessionOptions& o = job.options;
+  std::ostringstream os;
+  os << "emutile-session-key v1"
+     << " design=" << design.name
+     << " design_seed=" << spec.design_seed(job.design_index)
+     << " kind=" << to_string(o.error_kind) << " seed=" << o.seed
+     << " patterns=" << o.num_patterns << " tiling=" << o.tiling.num_tiles
+     << "," << format_double_exact(o.tiling.target_overhead) << ","
+     << format_double_exact(o.tiling.placer_effort) << ","
+     << o.tiling.tracks_per_channel << "," << o.tiling.route_headroom << ","
+     << o.tiling.seed << " localizer=" << o.localizer.probes_per_iteration
+     << "," << o.localizer.max_iterations << "," << o.localizer.stop_at << ","
+     << o.localizer.seed << " localizer_eco=" << o.localizer.eco.seed << ","
+     << format_double_exact(o.localizer.eco.placer_effort) << ","
+     << o.localizer.eco.max_region_expansions << " eco=" << o.eco.seed << ","
+     << format_double_exact(o.eco.placer_effort) << "," << o.eco.max_region_expansions;
+  return fnv1a64(os.str());
+}
+
+CachedSession to_cached(const SessionOutcome& outcome) {
+  EMUTILE_CHECK(!outcome.report.cancelled,
+                "cancelled sessions must not be cached");
+  CachedSession s;
+  s.error = outcome.error;
+  const DebugSessionReport& r = outcome.report;
+  s.detected = r.detection.error_detected;
+  s.narrowed = r.localization.narrowed;
+  s.corrected = r.correction.corrected;
+  s.clean = r.final_clean;
+  s.suspects = r.localization.suspects.size();
+  s.iterations = r.localization.iterations.size();
+  s.build_placed = r.build_effort.instances_placed;
+  s.build_routed = r.build_effort.nets_routed;
+  s.build_expanded = r.build_effort.nodes_expanded;
+  s.debug_placed = r.debug_effort.instances_placed;
+  s.debug_routed = r.debug_effort.nets_routed;
+  s.debug_expanded = r.debug_effort.nodes_expanded;
+  s.design_clbs = r.design_clbs;
+  return s;
+}
+
+SessionOutcome from_cached(const CachedSession& cached) {
+  SessionOutcome out;
+  out.error = cached.error;
+  DebugSessionReport& r = out.report;
+  r.detection.error_detected = cached.detected;
+  r.localization.narrowed = cached.narrowed;
+  r.localization.suspects.resize(cached.suspects);
+  r.localization.iterations.resize(cached.iterations);
+  r.correction.corrected = cached.corrected;
+  r.final_clean = cached.clean;
+  r.build_effort.instances_placed = cached.build_placed;
+  r.build_effort.nets_routed = cached.build_routed;
+  r.build_effort.nodes_expanded = cached.build_expanded;
+  r.debug_effort.instances_placed = cached.debug_placed;
+  r.debug_effort.nets_routed = cached.debug_routed;
+  r.debug_effort.nodes_expanded = cached.debug_expanded;
+  r.design_clbs = cached.design_clbs;
+  return out;
+}
+
+ResultCache::ResultCache(std::filesystem::path dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  EMUTILE_CHECK(!ec, "cannot create cache directory " << dir_ << ": "
+                                                      << ec.message());
+}
+
+std::filesystem::path ResultCache::entry_path(std::uint64_t key) const {
+  return dir_ / (format_u64_hex(key) + ".session");
+}
+
+std::optional<CachedSession> ResultCache::load(std::uint64_t key) {
+  std::optional<CachedSession> result;
+  {
+    std::ifstream in(entry_path(key));
+    if (in.good()) {
+      std::ostringstream text;
+      text << in.rdbuf();
+      result = decode(text.str());
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (result)
+    ++hits_;
+  else
+    ++misses_;
+  return result;
+}
+
+void ResultCache::store(std::uint64_t key, const CachedSession& session) {
+  std::size_t seq;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    seq = ++temp_seq_;
+    ++stores_;
+  }
+  const std::filesystem::path tmp =
+      dir_ / (format_u64_hex(key) + ".tmp" + std::to_string(seq));
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    EMUTILE_CHECK(out.good(), "cannot write cache entry " << tmp);
+    out << encode(session);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, entry_path(key), ec);
+  if (ec) {
+    // Leave the cache consistent even if rename fails (e.g. odd filesystem):
+    // drop the temp file; the entry simply stays absent.
+    std::filesystem::remove(tmp, ec);
+  }
+}
+
+void ResultCache::clear() {
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().extension() == ".session") {
+      std::error_code ec;
+      std::filesystem::remove(entry.path(), ec);
+    }
+  }
+}
+
+std::size_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::size_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::size_t ResultCache::stores() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stores_;
+}
+
+std::size_t ResultCache::entries() const {
+  std::size_t n = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_))
+    if (entry.path().extension() == ".session") ++n;
+  return n;
+}
+
+}  // namespace emutile

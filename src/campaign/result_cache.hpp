@@ -1,0 +1,100 @@
+#pragma once
+/// \file result_cache.hpp
+/// Disk-backed memoization of campaign sessions.
+///
+/// A campaign session's outcome is a pure function of (golden design,
+/// session options) — everything downstream of the split-derived session
+/// seed is deterministic. The cache exploits that: each session is content-
+/// addressed by a hash of exactly the inputs that determine its result
+/// (design name + design seed, error kind, session seed, pattern count,
+/// tiling, localizer, and ECO options), so overlapping or resubmitted
+/// campaign specs reuse already-computed sessions instead of re-running
+/// them. Any change to a spec changes the derived keys and naturally
+/// invalidates stale entries.
+///
+/// Only the aggregation-relevant slice of a session report is persisted
+/// (CachedSession) — precisely the fields build_report() folds — so a report
+/// built from cached outcomes is byte-identical to one built from fresh
+/// runs. Cancelled sessions are never stored: cancellation reflects the
+/// driver's state, not the spec.
+///
+/// On-disk layout: one `<16-hex-key>.session` text file per entry inside the
+/// cache directory, written atomically (temp file + rename). Corrupt or
+/// truncated entries read as misses.
+
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "campaign/campaign_report.hpp"
+#include "campaign/campaign_spec.hpp"
+
+namespace emutile {
+
+/// The aggregation-relevant slice of a SessionOutcome (see build_report).
+struct CachedSession {
+  std::string error;      ///< nonempty => the session threw
+  bool detected = false;
+  bool narrowed = false;
+  bool corrected = false;
+  bool clean = false;
+  std::uint64_t suspects = 0;    ///< final candidate count
+  std::uint64_t iterations = 0;  ///< localization iterations
+  std::uint64_t build_placed = 0, build_routed = 0, build_expanded = 0;
+  std::uint64_t debug_placed = 0, debug_routed = 0, debug_expanded = 0;
+  std::uint64_t design_clbs = 0;
+};
+
+/// Content-address of one campaign job: a hash over every input that
+/// determines the session's result. Requires a catalog design (a custom
+/// builder closure has no stable content identity).
+[[nodiscard]] std::uint64_t session_cache_key(const CampaignSpec& spec,
+                                              const CampaignJob& job);
+
+/// Project a finished outcome onto its cacheable slice (outcome must not be
+/// cancelled).
+[[nodiscard]] CachedSession to_cached(const SessionOutcome& outcome);
+
+/// Reconstruct a SessionOutcome whose aggregation through build_report is
+/// identical to the original's.
+[[nodiscard]] SessionOutcome from_cached(const CachedSession& cached);
+
+/// Thread-safe disk cache of CachedSession entries. Safe for concurrent use
+/// by many workers and (thanks to atomic renames) by many processes sharing
+/// one cache directory.
+class ResultCache {
+ public:
+  /// Opens (and creates if needed) the cache directory.
+  explicit ResultCache(std::filesystem::path dir);
+
+  [[nodiscard]] const std::filesystem::path& dir() const { return dir_; }
+
+  /// Look up a session by key; counts a hit or a miss. Corrupt entries are
+  /// misses.
+  [[nodiscard]] std::optional<CachedSession> load(std::uint64_t key);
+
+  /// Persist an entry (atomic; last writer wins on a racing key).
+  void store(std::uint64_t key, const CachedSession& session);
+
+  /// Remove every entry (counters are kept).
+  void clear();
+
+  [[nodiscard]] std::size_t hits() const;
+  [[nodiscard]] std::size_t misses() const;
+  [[nodiscard]] std::size_t stores() const;
+  [[nodiscard]] std::size_t entries() const;  ///< files currently on disk
+
+ private:
+  [[nodiscard]] std::filesystem::path entry_path(std::uint64_t key) const;
+
+  std::filesystem::path dir_;
+  mutable std::mutex mutex_;  // counters + temp-name sequence
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t stores_ = 0;
+  std::size_t temp_seq_ = 0;
+};
+
+}  // namespace emutile

@@ -1,0 +1,100 @@
+#include "service/job_scheduler.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace emutile {
+
+JobScheduler::JobScheduler(std::size_t num_threads) : pool_(num_threads) {}
+
+JobScheduler::~JobScheduler() { wait_all(); }
+
+std::size_t JobScheduler::num_threads() const { return pool_.num_threads(); }
+
+JobScheduler::StreamId JobScheduler::open_stream(int priority) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const StreamId id = next_id_++;
+  streams_[id].priority = priority;
+  return id;
+}
+
+void JobScheduler::submit(StreamId stream, Unit unit) {
+  EMUTILE_CHECK(unit, "cannot submit an empty unit");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = streams_.find(stream);
+    EMUTILE_CHECK(it != streams_.end(), "unknown stream " << stream);
+    it->second.pending.push_back(std::move(unit));
+  }
+  pool_.submit([this] { run_ticket(); });
+}
+
+void JobScheduler::cancel(StreamId stream) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = streams_.find(stream);
+  EMUTILE_CHECK(it != streams_.end(), "unknown stream " << stream);
+  it->second.cancelled = true;
+}
+
+bool JobScheduler::is_cancelled(StreamId stream) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = streams_.find(stream);
+  EMUTILE_CHECK(it != streams_.end(), "unknown stream " << stream);
+  return it->second.cancelled;
+}
+
+JobScheduler::Stream* JobScheduler::pick_best_locked() {
+  Stream* best = nullptr;
+  for (auto& [id, stream] : streams_) {
+    if (stream.pending.empty()) continue;
+    if (best == nullptr || stream.priority > best->priority ||
+        (stream.priority == best->priority && stream.started < best->started))
+      best = &stream;
+  }
+  return best;
+}
+
+void JobScheduler::run_ticket() {
+  Unit unit;
+  bool cancelled = false;
+  Stream* stream = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stream = pick_best_locked();
+    // Tickets and pending units are created 1:1 and only this function
+    // consumes either, so a ticket always finds work.
+    EMUTILE_ASSERT(stream != nullptr, "scheduler ticket found no pending unit");
+    unit = std::move(stream->pending.front());
+    stream->pending.pop_front();
+    ++stream->started;
+    ++stream->running;
+    cancelled = stream->cancelled;
+  }
+  unit(cancelled);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --stream->running;
+  }
+  idle_.notify_all();
+}
+
+void JobScheduler::wait(StreamId stream) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [&] {
+    const auto it = streams_.find(stream);
+    EMUTILE_CHECK(it != streams_.end(), "unknown stream " << stream);
+    return it->second.pending.empty() && it->second.running == 0;
+  });
+}
+
+void JobScheduler::wait_all() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [&] {
+    for (const auto& [id, stream] : streams_)
+      if (!stream.pending.empty() || stream.running > 0) return false;
+    return true;
+  });
+}
+
+}  // namespace emutile

@@ -1,0 +1,88 @@
+#pragma once
+/// \file job_scheduler.hpp
+/// Priority + fair-share scheduling of many job streams over one shared
+/// ThreadPool.
+///
+/// The pool itself is FIFO; the scheduler layers policy on top with a
+/// ticket scheme: every submitted unit enqueues one generic pool task, and
+/// when a ticket runs it picks the *best* pending unit at that moment —
+/// highest stream priority first, then the stream that has started the
+/// fewest units (fair interleaving among equals), then the oldest stream.
+/// Tickets and units are 1:1 in count but deliberately not in identity, so
+/// a unit submitted to a starved stream can be executed by a ticket that a
+/// busier stream paid for.
+///
+/// Cancellation is cooperative and prompt: cancel(stream) marks the stream,
+/// and every still-queued unit runs immediately-ish with cancelled=true so
+/// drivers can account for it (never silently dropped). Units already
+/// running are the driver's job to stop (e.g. via a cancel flag polled at
+/// phase boundaries).
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+
+#include "util/thread_pool.hpp"
+
+namespace emutile {
+
+class JobScheduler {
+ public:
+  using StreamId = std::uint64_t;
+  /// A schedulable unit. `cancelled` is true when the stream was cancelled
+  /// while the unit was still queued.
+  using Unit = std::function<void(bool cancelled)>;
+
+  /// Schedule over an internal pool of `num_threads` workers.
+  explicit JobScheduler(std::size_t num_threads);
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  /// Drains: blocks until every submitted unit has run.
+  ~JobScheduler();
+
+  [[nodiscard]] std::size_t num_threads() const;
+
+  /// Open a stream (e.g. one campaign). Higher priority preempts queued
+  /// units of lower-priority streams.
+  [[nodiscard]] StreamId open_stream(int priority = 0);
+
+  /// Enqueue a unit on `stream`. Units may submit further units (including
+  /// to their own stream) while running.
+  void submit(StreamId stream, Unit unit);
+
+  /// Mark `stream` cancelled: queued units run with cancelled=true.
+  void cancel(StreamId stream);
+
+  [[nodiscard]] bool is_cancelled(StreamId stream) const;
+
+  /// Block until `stream` has no queued or running units.
+  void wait(StreamId stream);
+
+  /// Block until no stream has queued or running units.
+  void wait_all();
+
+ private:
+  struct Stream {
+    int priority = 0;
+    std::deque<Unit> pending;
+    std::size_t started = 0;   ///< units handed to workers so far
+    std::size_t running = 0;   ///< units currently executing
+    bool cancelled = false;
+  };
+
+  void run_ticket();
+  [[nodiscard]] Stream* pick_best_locked();
+
+  mutable std::mutex mutex_;
+  std::condition_variable idle_;
+  std::map<StreamId, Stream> streams_;  // ordered => oldest-stream tie-break
+  StreamId next_id_ = 1;
+  ThreadPool pool_;
+};
+
+}  // namespace emutile

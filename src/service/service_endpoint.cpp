@@ -1,0 +1,210 @@
+#include "service/service_endpoint.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "service/session_service.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace emutile {
+
+namespace {
+
+/// Read until EOF (the peer half-closed). Returns false on read errors.
+bool read_all(int fd, std::string& out) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n == 0) return true;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string status_line(const CampaignStatus& s) {
+  std::ostringstream os;
+  os << s.id << " " << to_string(s.state) << " " << s.sessions_done << "/"
+     << s.sessions_total << " hits=" << s.cache_hits
+     << " misses=" << s.cache_misses << " snapshots=" << s.snapshots;
+  return os.str();
+}
+
+sockaddr_un make_address(const std::filesystem::path& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  const std::string p = path.string();
+  EMUTILE_CHECK(p.size() < sizeof addr.sun_path,
+                "socket path too long (" << p.size() << " bytes): " << p);
+  std::memcpy(addr.sun_path, p.c_str(), p.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+ServiceEndpoint::ServiceEndpoint(SessionService& service,
+                                 std::filesystem::path socket_path)
+    : service_(service), socket_path_(std::move(socket_path)) {
+  const sockaddr_un addr = make_address(socket_path_);
+  std::filesystem::remove(socket_path_);  // replace a stale socket file
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EMUTILE_CHECK(listen_fd_ >= 0,
+                "cannot create socket: " << std::strerror(errno));
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    EMUTILE_CHECK(false, "cannot listen on " << socket_path_ << ": "
+                                             << std::strerror(err));
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+ServiceEndpoint::~ServiceEndpoint() {
+  stopping_.store(true);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  // Connection threads are detached; wait for the in-flight ones to finish
+  // (they hold `this` only until they decrement the counter).
+  std::unique_lock<std::mutex> lock(active_mutex_);
+  active_drained_.wait(lock, [this] { return active_connections_ == 0; });
+  std::error_code ec;
+  std::filesystem::remove(socket_path_, ec);
+}
+
+void ServiceEndpoint::accept_loop() {
+  while (!stopping_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);  // 100 ms stop-flag cadence
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    {
+      // Registered before the thread exists so the destructor can never
+      // observe zero while a connection is starting up.
+      std::lock_guard<std::mutex> lock(active_mutex_);
+      ++active_connections_;
+    }
+    try {
+      std::thread([this, fd] { serve_connection(fd); }).detach();
+    } catch (const std::system_error&) {
+      std::lock_guard<std::mutex> lock(active_mutex_);
+      --active_connections_;
+      ::close(fd);
+    }
+  }
+}
+
+void ServiceEndpoint::serve_connection(int fd) {
+  std::string request;
+  std::string response = "ERR request read failed\n";
+  if (read_all(fd, request)) {
+    try {
+      response = handle_request(request);
+    } catch (const std::exception& e) {
+      response = std::string("ERR ") + e.what() + "\n";
+    }
+  }
+  write_all(fd, response);
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(active_mutex_);
+  --active_connections_;
+  active_drained_.notify_all();
+}
+
+std::string ServiceEndpoint::handle_request(const std::string& request) {
+  const std::size_t eol = request.find('\n');
+  const std::string first =
+      eol == std::string::npos ? request : request.substr(0, eol);
+  const std::string body =
+      eol == std::string::npos ? "" : request.substr(eol + 1);
+  std::istringstream line(first);
+  std::string command;
+  line >> command;
+
+  if (command == "PING") {
+    return "OK pong\n";
+  } else if (command == "SUBMIT") {
+    int priority = 0;
+    std::string name_hint;
+    line >> priority >> name_hint;
+    const std::string id = service_.submit_text(body, priority, name_hint);
+    return "OK " + id + "\n";
+  } else if (command == "STATUS") {
+    std::string id;
+    if (!(line >> id)) return "ERR STATUS needs a campaign id\n";
+    const std::optional<CampaignStatus> s = service_.status(id);
+    if (!s) return "ERR unknown campaign '" + id + "'\n";
+    return "OK " + status_line(*s) + "\n";
+  } else if (command == "LIST") {
+    const std::vector<CampaignStatus> all = service_.list();
+    std::ostringstream os;
+    os << "OK " << all.size() << "\n";
+    for (const CampaignStatus& s : all) os << status_line(s) << "\n";
+    return os.str();
+  } else if (command == "CANCEL") {
+    std::string id;
+    if (!(line >> id)) return "ERR CANCEL needs a campaign id\n";
+    if (!service_.cancel(id)) return "ERR unknown campaign '" + id + "'\n";
+    return "OK cancelled\n";
+  } else if (command == "WAIT") {
+    std::string id;
+    if (!(line >> id)) return "ERR WAIT needs a campaign id\n";
+    service_.wait(id);
+    const std::optional<CampaignStatus> s = service_.status(id);
+    return std::string("OK ") + (s ? to_string(s->state) : "unknown") + "\n";
+  } else if (command == "SHUTDOWN") {
+    shutdown_requested_.store(true);
+    return "OK bye\n";
+  }
+  return "ERR unknown command '" + command + "'\n";
+}
+
+std::string endpoint_request(const std::filesystem::path& socket_path,
+                             const std::string& request) {
+  const sockaddr_un addr = make_address(socket_path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EMUTILE_CHECK(fd >= 0, "cannot create socket: " << std::strerror(errno));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    EMUTILE_CHECK(false, "cannot connect to " << socket_path << ": "
+                                              << std::strerror(err));
+  }
+  std::string response;
+  const bool sent = write_all(fd, request);
+  if (sent) ::shutdown(fd, SHUT_WR);  // half-close delimits the request
+  const bool received = sent && read_all(fd, response);
+  ::close(fd);
+  EMUTILE_CHECK(sent && received,
+                "request to " << socket_path << " failed mid-flight");
+  return response;
+}
+
+}  // namespace emutile

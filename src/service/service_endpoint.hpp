@@ -1,0 +1,79 @@
+#pragma once
+/// \file service_endpoint.hpp
+/// Local control endpoint for the session service: a Unix-domain stream
+/// socket speaking a one-shot, line-oriented text protocol (one request per
+/// connection; the client half-closes after writing, the server replies and
+/// closes — so the connection itself delimits both sides).
+///
+/// Requests (first line; SUBMIT carries the spec text as the body):
+///
+///   PING                         -> OK pong
+///   SUBMIT <priority> [<name>]   -> OK <campaign-id>      (body = spec text)
+///   STATUS <id>                  -> OK <state> <done>/<total> hits=<n>
+///                                   misses=<n> snapshots=<n>
+///   LIST                         -> OK <count>  (+ one status line per
+///                                   campaign)
+///   CANCEL <id>                  -> OK cancelled
+///   WAIT <id>                    -> OK <terminal-state>   (blocks)
+///   SHUTDOWN                     -> OK bye  (sets shutdown_requested)
+///
+/// Errors answer `ERR <message>`. Each connection is served on its own
+/// thread, so a blocking WAIT never stalls other clients.
+
+#include <atomic>
+#include <condition_variable>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace emutile {
+
+class SessionService;
+
+class ServiceEndpoint {
+ public:
+  /// Bind and listen on `socket_path` (an existing stale socket file is
+  /// replaced) and start accepting. Throws CheckError on bind failures.
+  ServiceEndpoint(SessionService& service, std::filesystem::path socket_path);
+
+  /// Stops accepting, waits for in-flight connections, unlinks the socket.
+  ~ServiceEndpoint();
+
+  ServiceEndpoint(const ServiceEndpoint&) = delete;
+  ServiceEndpoint& operator=(const ServiceEndpoint&) = delete;
+
+  [[nodiscard]] const std::filesystem::path& socket_path() const {
+    return socket_path_;
+  }
+
+  /// True once a client sent SHUTDOWN. The daemon's main loop polls this.
+  [[nodiscard]] bool shutdown_requested() const {
+    return shutdown_requested_.load();
+  }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  [[nodiscard]] std::string handle_request(const std::string& request);
+
+  SessionService& service_;
+  std::filesystem::path socket_path_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shutdown_requested_{false};
+  std::thread accept_thread_;
+  // Connection threads are detached so a long-lived daemon never accumulates
+  // joinable threads; this counter lets the destructor drain them.
+  std::mutex active_mutex_;
+  std::condition_variable active_drained_;
+  std::size_t active_connections_ = 0;
+};
+
+/// Client side of the protocol: connect to `socket_path`, send `request`
+/// (first line + optional body), half-close, and return the full response.
+/// Throws CheckError on connection errors.
+[[nodiscard]] std::string endpoint_request(
+    const std::filesystem::path& socket_path, const std::string& request);
+
+}  // namespace emutile

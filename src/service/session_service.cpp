@@ -1,0 +1,497 @@
+#include "service/session_service.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <sstream>
+
+#include "campaign/campaign_spec_io.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace emutile {
+
+const char* to_string(CampaignState state) {
+  switch (state) {
+    case CampaignState::kQueued: return "queued";
+    case CampaignState::kRunning: return "running";
+    case CampaignState::kFinished: return "finished";
+    case CampaignState::kCancelled: return "cancelled";
+    case CampaignState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+void write_file_atomic(const std::filesystem::path& path,
+                       const std::string& content) {
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    EMUTILE_CHECK(out.good(), "cannot write " << tmp);
+    out << content;
+    EMUTILE_CHECK(out.good(), "write to " << tmp << " failed");
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+namespace {
+
+std::string sanitize_id(const std::string& hint) {
+  std::string out;
+  for (const char c : hint) {
+    if (out.size() >= 24) break;
+    if (std::isalnum(static_cast<unsigned char>(c)))
+      out.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    else if (c == '-' || c == '_' || c == '.')
+      out.push_back('-');
+  }
+  return out.empty() ? "campaign" : out;
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  EMUTILE_CHECK(in.good(), "cannot open " << path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+/// Move `from` into directory `dir`, uniquifying the name on collision.
+void move_into(const std::filesystem::path& from,
+               const std::filesystem::path& dir) {
+  std::filesystem::create_directories(dir);
+  std::filesystem::path to = dir / from.filename();
+  for (int n = 1; std::filesystem::exists(to); ++n)
+    to = dir / (from.stem().string() + "." + std::to_string(n) +
+                from.extension().string());
+  std::filesystem::rename(from, to);
+}
+
+}  // namespace
+
+/// All mutable fields are guarded by the service mutex except cancel_flag,
+/// which sessions poll lock-free at phase boundaries.
+struct SessionService::Campaign {
+  std::string id;
+  CampaignSpec spec;
+  int priority = 0;
+  JobScheduler::StreamId stream = 0;
+  std::filesystem::path out_dir;
+  CampaignState state = CampaignState::kQueued;
+  std::string error;
+  std::atomic<bool> cancel_flag{false};
+  std::vector<CampaignJob> jobs;
+  std::vector<Netlist> goldens;
+  std::vector<std::string> golden_errors;
+  std::vector<SessionOutcome> outcomes;
+  std::vector<char> done;  ///< per job: outcome recorded (for snapshots)
+  std::vector<ScenarioBaseline> per_pair;
+  std::size_t sessions_done = 0;
+  std::size_t units_done = 0;
+  std::size_t units_total = 0;  ///< fixed by the prepare unit
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::size_t snapshots = 0;
+};
+
+SessionService::SessionService(ServiceConfig config)
+    : config_(std::move(config)) {
+  EMUTILE_CHECK(!config_.root.empty(), "service needs a root directory");
+  EMUTILE_CHECK(config_.num_threads >= 1, "service needs at least 1 thread");
+  std::filesystem::create_directories(config_.root / "spool");
+  std::filesystem::create_directories(config_.root / "out");
+  if (config_.enable_cache)
+    cache_ = std::make_unique<ResultCache>(config_.root / "cache");
+  scheduler_ = std::make_unique<JobScheduler>(config_.num_threads);
+}
+
+SessionService::~SessionService() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::unique_ptr<Campaign>& c : campaigns_) {
+      if (c->state == CampaignState::kQueued ||
+          c->state == CampaignState::kRunning) {
+        c->cancel_flag.store(true);
+        scheduler_->cancel(c->stream);
+      }
+    }
+  }
+  scheduler_.reset();  // drains every unit, which finalizes every campaign
+}
+
+std::string SessionService::submit(const CampaignSpec& spec, int priority,
+                                   const std::string& name_hint) {
+  std::string canonical;
+  std::string hash8 = "custom";
+  try {
+    canonical = serialize_campaign_spec(spec);
+    hash8 = spec_content_hash_hex(spec).substr(0, 8);
+  } catch (const CheckError&) {
+    // Custom-builder specs have no textual form; they still run, they just
+    // are not content-addressed.
+  }
+
+  Campaign* c = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto owned = std::make_unique<Campaign>();
+    c = owned.get();
+    c->id = sanitize_id(name_hint) + "-" + hash8 + "-" +
+            std::to_string(next_seq_++);
+    c->spec = spec;
+    c->priority = priority;
+    c->out_dir = config_.root / "out" / c->id;
+    std::filesystem::create_directories(c->out_dir);
+    if (!canonical.empty())
+      write_file_atomic(c->out_dir / "spec.txt", canonical);
+    c->stream = scheduler_->open_stream(priority);
+    campaigns_.push_back(std::move(owned));
+  }
+  schedule(*c);
+  return c->id;
+}
+
+std::string SessionService::submit_text(const std::string& text, int priority,
+                                        const std::string& name_hint) {
+  return submit(parse_campaign_spec(text), priority, name_hint);
+}
+
+std::size_t SessionService::poll_spool() {
+  const std::filesystem::path spool = config_.root / "spool";
+  std::vector<std::filesystem::path> specs;
+  for (const auto& entry : std::filesystem::directory_iterator(spool)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".spec")
+      specs.push_back(entry.path());
+  }
+  std::sort(specs.begin(), specs.end());  // stable intake order
+
+  std::size_t accepted = 0;
+  for (const std::filesystem::path& path : specs) {
+    try {
+      const CampaignSpec spec = parse_campaign_spec(read_file(path));
+      submit(spec, 0, path.stem().string());
+      move_into(path, spool / "archive");
+      ++accepted;
+    } catch (const std::exception& e) {
+      EMUTILE_WARN("spool file " << path << " rejected: " << e.what());
+      const std::filesystem::path rejected = spool / "rejected";
+      std::filesystem::create_directories(rejected);
+      write_file_atomic(rejected / (path.stem().string() + ".error"),
+                        std::string(e.what()) + "\n");
+      move_into(path, rejected);
+    }
+  }
+  return accepted;
+}
+
+void SessionService::schedule(Campaign& c) {
+  scheduler_->submit(c.stream,
+                     [this, &c](bool cancelled) { prepare_unit(c, cancelled); });
+}
+
+void SessionService::prepare_unit(Campaign& c, bool cancelled) {
+  bool do_finalize = false;
+  try {
+    std::vector<CampaignJob> jobs = c.spec.expand();
+    const bool cancel_now = cancelled || c.cancel_flag.load();
+
+    std::vector<Netlist> goldens(c.spec.designs.size());
+    std::vector<std::string> golden_errors(c.spec.designs.size());
+    if (!cancel_now) {
+      for (std::size_t i = 0; i < c.spec.designs.size(); ++i) {
+        try {
+          goldens[i] = build_campaign_golden(c.spec, i);
+        } catch (const std::exception& e) {
+          golden_errors[i] = e.what();
+        }
+      }
+    }
+
+    std::size_t baseline_pairs = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      c.state = CampaignState::kRunning;
+      c.jobs = std::move(jobs);
+      c.goldens = std::move(goldens);
+      c.golden_errors = std::move(golden_errors);
+      c.outcomes.resize(c.jobs.size());
+      c.done.assign(c.jobs.size(), 0);
+      if (c.spec.measure_baselines && !cancel_now) {
+        baseline_pairs = c.spec.designs.size() * c.spec.tilings.size();
+        c.per_pair.resize(baseline_pairs);
+      }
+      c.units_total = 1 + c.jobs.size() + baseline_pairs;
+      if (cancel_now) {
+        for (std::size_t i = 0; i < c.jobs.size(); ++i) {
+          c.outcomes[i].report.cancelled = true;
+          c.done[i] = 1;
+        }
+        c.sessions_done = c.jobs.size();
+        c.units_total = 1;
+        do_finalize = unit_finished_locked(c);
+      }
+    }
+
+    if (!cancel_now) {
+      // If a submit throws partway (allocation failure), account for every
+      // unit that never reached the scheduler so the finished/total ledger
+      // still balances and finalize() fires exactly once.
+      std::size_t submitted = 0;
+      try {
+        for (std::size_t i = 0; i < c.jobs.size(); ++i) {
+          scheduler_->submit(c.stream, [this, &c, i](bool unit_cancelled) {
+            session_unit(c, i, unit_cancelled);
+          });
+          ++submitted;
+        }
+        for (std::size_t u = 0; u < baseline_pairs; ++u) {
+          scheduler_->submit(c.stream, [this, &c, u](bool unit_cancelled) {
+            baseline_unit(c, u, unit_cancelled);
+          });
+          ++submitted;
+        }
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        c.units_total = 1 + submitted;
+        for (std::size_t i = submitted; i < c.jobs.size(); ++i) {
+          c.outcomes[i].error =
+              std::string("session could not be scheduled: ") + e.what();
+          c.done[i] = 1;
+          ++c.sessions_done;
+        }
+        // Unscheduled baseline pairs simply stay unmeasured.
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      do_finalize = unit_finished_locked(c);
+    }
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    c.state = CampaignState::kFailed;
+    c.error = e.what();
+    c.units_total = 1;
+    do_finalize = unit_finished_locked(c);
+  }
+  if (do_finalize) finalize(c);
+}
+
+/// What a snapshot needs, captured under the lock so the report build and
+/// file write can happen outside it.
+struct SessionService::SnapshotData {
+  std::size_t sequence = 0;  ///< 1-based snapshot number
+  std::vector<CampaignJob> jobs_done;
+  std::vector<SessionOutcome> outcomes_done;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+};
+
+void SessionService::session_unit(Campaign& c, std::size_t job_slot,
+                                  bool cancelled) {
+  const CampaignJob& job = c.jobs[job_slot];
+  SessionOutcome outcome;
+  CacheLookup lookup = CacheLookup::kNotConsulted;
+  const bool cancel_now = cancelled || c.cancel_flag.load();
+  if (cancel_now) {
+    outcome.report.cancelled = true;
+  } else if (!c.golden_errors[job.design_index].empty()) {
+    outcome.error = "design '" + c.spec.designs[job.design_index].name +
+                    "' failed to build: " + c.golden_errors[job.design_index];
+  } else {
+    outcome = run_campaign_session(
+        c.spec, job, c.goldens[job.design_index],
+        [&c] { return c.cancel_flag.load(); }, cache_.get(), &lookup);
+  }
+
+  bool do_finalize = false;
+  bool do_snapshot = false;
+  SnapshotData snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    c.outcomes[job_slot] = std::move(outcome);
+    c.done[job_slot] = 1;
+    ++c.sessions_done;
+    if (lookup == CacheLookup::kHit) ++c.cache_hits;
+    if (lookup == CacheLookup::kMiss) ++c.cache_misses;
+    // Stream a snapshot every N completed sessions; the final report
+    // supersedes the would-be last snapshot.
+    if (config_.snapshot_every > 0 &&
+        c.sessions_done % config_.snapshot_every == 0 &&
+        c.sessions_done < c.jobs.size()) {
+      snapshot = capture_snapshot_locked(c);
+      do_snapshot = true;
+    }
+    do_finalize = unit_finished_locked(c);
+  }
+  // Report building and disk IO happen off the service mutex so one
+  // campaign's output never stalls the others' workers or API calls.
+  if (do_snapshot) write_snapshot(c, snapshot);
+  if (do_finalize) finalize(c);
+}
+
+void SessionService::baseline_unit(Campaign& c, std::size_t pair_index,
+                                   bool cancelled) {
+  ScenarioBaseline baseline;
+  const std::size_t design_index = pair_index / c.spec.tilings.size();
+  if (!cancelled && !c.cancel_flag.load() &&
+      c.golden_errors[design_index].empty()) {
+    baseline =
+        measure_baseline_pair(c.spec, pair_index, c.goldens[design_index]);
+  }
+  bool do_finalize = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    c.per_pair[pair_index] = baseline;
+    do_finalize = unit_finished_locked(c);
+  }
+  if (do_finalize) finalize(c);
+}
+
+bool SessionService::unit_finished_locked(Campaign& c) {
+  ++c.units_done;
+  return c.units_done == c.units_total;
+}
+
+void SessionService::finalize(Campaign& c) {
+  // Runs on the campaign's last unit, outside the service mutex: every
+  // other unit is done, so jobs/outcomes/per_pair have no writers left.
+  CampaignState state = c.state;
+  std::string error = c.error;
+  if (state != CampaignState::kFailed) {
+    try {
+      std::vector<ScenarioBaseline> baselines;
+      if (c.spec.measure_baselines && !c.per_pair.empty())
+        baselines = fan_out_baselines(c.spec, c.per_pair);
+      CampaignReport report =
+          build_report(c.spec, c.jobs, c.outcomes, baselines);
+      report.num_threads = scheduler_->num_threads();
+      report.cache_hits = c.cache_hits;
+      report.cache_misses = c.cache_misses;
+      write_file_atomic(c.out_dir / "report.json", report.to_json());
+      write_file_atomic(c.out_dir / "report.csv", report.to_csv());
+      state = c.cancel_flag.load() ? CampaignState::kCancelled
+                                   : CampaignState::kFinished;
+    } catch (const std::exception& e) {
+      state = CampaignState::kFailed;
+      error = e.what();
+    }
+  }
+  if (state == CampaignState::kFailed)
+    write_file_atomic(c.out_dir / "error.txt", error + "\n");
+  std::lock_guard<std::mutex> lock(mutex_);
+  c.state = state;
+  c.error = error;
+  // Golden netlists can be large; the campaign is done with them.
+  c.goldens.clear();
+  state_changed_.notify_all();
+}
+
+SessionService::SnapshotData SessionService::capture_snapshot_locked(
+    Campaign& c) {
+  // Copy exactly the sessions recorded so far. The subset is
+  // scheduling-dependent (snapshots are a progress stream, not the
+  // deterministic artifact), but each snapshot covers a superset of the
+  // previous one's sessions. The sequence number is assigned here, under
+  // the lock, so concurrent snapshot writers never collide.
+  SnapshotData data;
+  data.sequence = ++c.snapshots;
+  data.cache_hits = c.cache_hits;
+  data.cache_misses = c.cache_misses;
+  data.jobs_done.reserve(c.sessions_done);
+  data.outcomes_done.reserve(c.sessions_done);
+  for (std::size_t i = 0; i < c.jobs.size(); ++i) {
+    if (!c.done[i]) continue;
+    data.jobs_done.push_back(c.jobs[i]);
+    data.outcomes_done.push_back(c.outcomes[i]);
+  }
+  return data;
+}
+
+void SessionService::write_snapshot(const Campaign& c,
+                                    const SnapshotData& data) {
+  try {
+    CampaignReport snapshot =
+        build_report(c.spec, data.jobs_done, data.outcomes_done, {});
+    snapshot.num_threads = scheduler_->num_threads();
+    snapshot.cache_hits = data.cache_hits;
+    snapshot.cache_misses = data.cache_misses;
+    char name[32];
+    std::snprintf(name, sizeof name, "snapshot-%03zu.json", data.sequence);
+    write_file_atomic(c.out_dir / name, snapshot.to_json());
+  } catch (const std::exception& e) {
+    EMUTILE_WARN("campaign " << c.id << ": snapshot failed: " << e.what());
+  }
+}
+
+CampaignStatus SessionService::status_locked(const Campaign& c) const {
+  CampaignStatus s;
+  s.id = c.id;
+  s.state = c.state;
+  s.priority = c.priority;
+  s.sessions_done = c.sessions_done;
+  s.sessions_total = c.jobs.size();
+  s.cache_hits = c.cache_hits;
+  s.cache_misses = c.cache_misses;
+  s.snapshots = c.snapshots;
+  s.error = c.error;
+  s.out_dir = c.out_dir;
+  return s;
+}
+
+std::optional<CampaignStatus> SessionService::status(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<Campaign>& c : campaigns_)
+    if (c->id == id) return status_locked(*c);
+  return std::nullopt;
+}
+
+std::vector<CampaignStatus> SessionService::list() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CampaignStatus> out;
+  out.reserve(campaigns_.size());
+  for (const std::unique_ptr<Campaign>& c : campaigns_)
+    out.push_back(status_locked(*c));
+  return out;
+}
+
+bool SessionService::cancel(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<Campaign>& c : campaigns_) {
+    if (c->id != id) continue;
+    c->cancel_flag.store(true);
+    scheduler_->cancel(c->stream);
+    return true;
+  }
+  return false;
+}
+
+namespace {
+bool terminal(CampaignState state) {
+  return state == CampaignState::kFinished ||
+         state == CampaignState::kCancelled ||
+         state == CampaignState::kFailed;
+}
+}  // namespace
+
+void SessionService::wait(const std::string& id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  Campaign* target = nullptr;
+  for (const std::unique_ptr<Campaign>& c : campaigns_)
+    if (c->id == id) target = c.get();
+  EMUTILE_CHECK(target != nullptr, "unknown campaign id '" << id << "'");
+  state_changed_.wait(lock, [&] { return terminal(target->state); });
+}
+
+void SessionService::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  state_changed_.wait(lock, [&] {
+    for (const std::unique_ptr<Campaign>& c : campaigns_)
+      if (!terminal(c->state)) return false;
+    return true;
+  });
+}
+
+}  // namespace emutile

@@ -1,0 +1,160 @@
+#pragma once
+/// \file session_service.hpp
+/// The campaign session service: a long-lived engine that accepts
+/// CampaignSpec submissions, schedules their sessions concurrently on one
+/// shared worker pool (per-campaign priorities, fair interleaving,
+/// cooperative cancellation), streams incremental CampaignReport snapshots,
+/// and memoizes session results on disk.
+///
+/// Directory layout under ServiceConfig::root:
+///
+///   spool/              file-queue intake: drop `<name>.spec` files here
+///   spool/archive/      accepted spec files, moved after parsing
+///   spool/rejected/     malformed spec files + `<name>.error` sidecars
+///   cache/              the shared session ResultCache
+///   out/<id>/spec.txt   canonical serialization of the accepted spec
+///   out/<id>/snapshot-NNN.json   streamed partial reports (every
+///                                snapshot_every completed sessions)
+///   out/<id>/report.json|.csv    final deterministic report
+///   out/<id>/error.txt  present iff the campaign failed outright
+///
+/// Determinism contract: out/<id>/report.json and report.csv are
+/// byte-identical to to_json()/to_csv() of a direct run_campaign() of the
+/// same spec, regardless of worker count, concurrent campaigns, or whether
+/// sessions came from the cache. Snapshots are partial aggregates over
+/// whichever sessions had finished and therefore may vary run to run — but
+/// their session counts grow monotonically within a campaign.
+
+#include <condition_variable>
+#include <cstddef>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign_engine.hpp"
+#include "campaign/result_cache.hpp"
+#include "service/job_scheduler.hpp"
+
+namespace emutile {
+
+struct ServiceConfig {
+  std::filesystem::path root;   ///< spool/, cache/, and out/ live here
+  std::size_t num_threads = 2;  ///< shared worker pool size
+  /// Stream a snapshot every this many completed sessions (0 disables
+  /// intermediate snapshots; the final report is always written).
+  std::size_t snapshot_every = 8;
+  bool enable_cache = true;
+};
+
+enum class CampaignState : std::uint8_t {
+  kQueued,    ///< accepted, waiting for its first unit to run
+  kRunning,   ///< sessions in flight
+  kFinished,  ///< final report written
+  kCancelled, ///< cancelled; report written with cancelled sessions counted
+  kFailed     ///< spec expansion or every-design build failed outright
+};
+
+[[nodiscard]] const char* to_string(CampaignState state);
+
+/// A point-in-time view of one campaign.
+struct CampaignStatus {
+  std::string id;
+  CampaignState state = CampaignState::kQueued;
+  int priority = 0;
+  std::size_t sessions_done = 0;
+  std::size_t sessions_total = 0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::size_t snapshots = 0;  ///< intermediate snapshots streamed so far
+  std::string error;          ///< nonempty iff state == kFailed
+  std::filesystem::path out_dir;
+};
+
+class SessionService {
+ public:
+  explicit SessionService(ServiceConfig config);
+
+  /// Cancels everything still queued and drains in-flight work.
+  ~SessionService();
+
+  SessionService(const SessionService&) = delete;
+  SessionService& operator=(const SessionService&) = delete;
+
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+
+  /// Accept a campaign: allocate an id and output directory, persist the
+  /// canonical spec, and schedule it. Returns the campaign id immediately;
+  /// execution is asynchronous. `name_hint` seeds the id (sanitized).
+  std::string submit(const CampaignSpec& spec, int priority = 0,
+                     const std::string& name_hint = "");
+
+  /// Parse `text` as a campaign spec and submit it. Throws CheckError on
+  /// malformed input (nothing is scheduled in that case).
+  std::string submit_text(const std::string& text, int priority = 0,
+                          const std::string& name_hint = "");
+
+  /// Scan spool/ once: every `*.spec` file is parsed and submitted (then
+  /// moved to spool/archive/), malformed ones are moved to spool/rejected/
+  /// with an `.error` sidecar. Returns the number of accepted campaigns.
+  std::size_t poll_spool();
+
+  [[nodiscard]] std::optional<CampaignStatus> status(
+      const std::string& id) const;
+
+  /// Status of every campaign, in submission order.
+  [[nodiscard]] std::vector<CampaignStatus> list() const;
+
+  /// Cooperatively cancel a campaign: queued sessions are recorded as
+  /// cancelled, running sessions stop at their next phase boundary, and the
+  /// final report still gets written. Returns false for unknown ids.
+  bool cancel(const std::string& id);
+
+  /// Block until the campaign reaches a terminal state. Throws CheckError
+  /// for unknown ids.
+  void wait(const std::string& id);
+
+  /// Block until every submitted campaign reaches a terminal state.
+  void drain();
+
+  /// The shared session cache (nullptr when disabled).
+  [[nodiscard]] ResultCache* cache() { return cache_.get(); }
+
+ private:
+  struct Campaign;
+
+  struct SnapshotData;
+
+  void schedule(Campaign& c);
+  void prepare_unit(Campaign& c, bool cancelled);
+  void session_unit(Campaign& c, std::size_t job_slot, bool cancelled);
+  void baseline_unit(Campaign& c, std::size_t pair_index, bool cancelled);
+  /// Count one finished unit; true when it was the campaign's last (the
+  /// caller must then run finalize() after releasing the lock).
+  [[nodiscard]] bool unit_finished_locked(Campaign& c);
+  /// Build and persist the final report. Called exactly once per campaign,
+  /// by its last unit, outside the service mutex (all workers are done with
+  /// the campaign, so its bulk state has no writers left).
+  void finalize(Campaign& c);
+  [[nodiscard]] SnapshotData capture_snapshot_locked(Campaign& c);
+  void write_snapshot(const Campaign& c, const SnapshotData& data);
+  [[nodiscard]] CampaignStatus status_locked(const Campaign& c) const;
+
+  ServiceConfig config_;
+  std::unique_ptr<ResultCache> cache_;
+  std::unique_ptr<JobScheduler> scheduler_;
+
+  mutable std::mutex mutex_;  // campaign registry + per-campaign state
+  std::condition_variable state_changed_;
+  std::vector<std::unique_ptr<Campaign>> campaigns_;  // submission order
+  std::size_t next_seq_ = 1;
+};
+
+/// Atomically write `content` to `path` (temp file + rename).
+void write_file_atomic(const std::filesystem::path& path,
+                       const std::string& content);
+
+}  // namespace emutile

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 #include "util/check.hpp"
@@ -21,6 +22,26 @@ class Accumulator {
     m2_ += delta * (x - mean_);
     min_ = std::min(min_, x);
     max_ = std::max(max_, x);
+  }
+
+  /// Fold another accumulator into this one (Chan et al. parallel
+  /// combination), as if both sample streams had been added here. Used to
+  /// merge per-shard campaign reports.
+  void merge(const Accumulator& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(other.n_);
+    n_ += other.n_;
+    const auto n = static_cast<double>(n_);
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
   }
 
   [[nodiscard]] std::size_t count() const { return n_; }

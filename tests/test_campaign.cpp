@@ -178,7 +178,10 @@ TEST(CampaignEngine, ProgressReportedAndCancelStopsEarly) {
 
   CampaignOptions options;
   options.num_threads = 2;
-  options.on_progress = [&](std::size_t done, std::size_t total) {
+  options.campaign_id = "cancel-test";
+  options.on_progress = [&](const std::string& id, std::size_t done,
+                            std::size_t total) {
+    EXPECT_EQ(id, "cancel-test") << "progress must carry the campaign id";
     EXPECT_LE(done, total);
     if (++progress_calls >= 2) cancel.store(true);  // cancel mid-campaign
   };
@@ -241,6 +244,79 @@ TEST(CampaignEngine, ZeroReplicasStillLabelsScenarioRows) {
   ASSERT_EQ(report.scenarios.size(), 1u);
   EXPECT_EQ(report.scenarios[0].design, "zero-rep");
   EXPECT_EQ(report.scenarios[0].error_kind, ErrorKind::kWrongPolarity);
+}
+
+TEST(CampaignShard, SlicesAreDisjointAndCoverAllJobs) {
+  const CampaignSpec spec = small_spec(91);
+  const std::vector<CampaignJob> all = spec.expand();
+  std::set<std::size_t> seen;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const CampaignSpec piece = spec.shard(i, 3);
+    for (const CampaignJob& job : piece.expand()) {
+      EXPECT_TRUE(seen.insert(job.index).second)
+          << "job " << job.index << " appears in two shards";
+      // Shard jobs carry their unsharded identity: same seed, scenario,
+      // and options as the corresponding job of the full expansion.
+      ASSERT_LT(job.index, all.size());
+      EXPECT_EQ(job.options.seed, all[job.index].options.seed);
+      EXPECT_EQ(job.scenario, all[job.index].scenario);
+      EXPECT_EQ(job.replica, all[job.index].replica);
+    }
+  }
+  EXPECT_EQ(seen.size(), all.size()) << "shards must cover every job";
+
+  EXPECT_THROW(static_cast<void>(spec.shard(3, 3)), CheckError);
+  EXPECT_THROW(static_cast<void>(spec.shard(0, 0)), CheckError);
+  EXPECT_THROW(static_cast<void>(spec.shard(0, 2).shard(0, 2)), CheckError);
+}
+
+TEST(CampaignShard, MergedShardReportsMatchUnshardedRun) {
+  // Baselines on: shards partition the (design, tiling) baseline pairs
+  // round-robin, so the merged report must recover every measurement.
+  CampaignSpec spec = small_spec(91);
+  spec.measure_baselines = true;
+  const CampaignReport full = run_campaign(spec);
+
+  CampaignReport merged;
+  bool first = true;
+  for (std::size_t i = 0; i < 3; ++i) {
+    CampaignOptions options;
+    options.num_threads = 2;
+    const CampaignReport piece = run_campaign(spec.shard(i, 3), options);
+    if (first) {
+      merged = piece;
+      first = false;
+    } else {
+      merged.merge(piece);
+    }
+  }
+  EXPECT_EQ(merged.sessions, full.sessions);
+  EXPECT_EQ(merged.completed, full.completed);
+  EXPECT_EQ(merged.to_csv(), full.to_csv());
+  EXPECT_EQ(merged.to_json(), full.to_json());
+}
+
+TEST(CampaignBaselines, MeasureCoversFullFigure5StrategySet) {
+  CampaignSpec spec;
+  spec.add_catalog_design("9sym");
+  spec.error_kinds = {ErrorKind::kWrongPolarity};
+  spec.sessions_per_scenario = 0;  // baselines only — no sessions needed
+  spec.master_seed = 12;
+  spec.measure_baselines = true;
+  spec.tilings[0].num_tiles = 6;
+
+  const CampaignReport report = run_campaign(spec);
+  ASSERT_EQ(report.scenarios.size(), 1u);
+  const ScenarioBaseline& b = report.scenarios[0].baseline;
+  ASSERT_TRUE(b.measured);
+  EXPECT_GT(b.speedup_quick, 0.0);
+  EXPECT_GT(b.speedup_incremental, 0.0);
+  EXPECT_GT(b.speedup_full, 0.0);
+  EXPECT_GT(report.speedup_incremental_geomean, 0.0);
+  const std::string csv = report.to_csv();
+  EXPECT_NE(csv.find("speedup_incr"), std::string::npos);
+  EXPECT_NE(report.to_json().find("speedup_incremental_geomean"),
+            std::string::npos);
 }
 
 TEST(SessionHooks, PhaseSequenceAndCancellation) {

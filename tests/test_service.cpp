@@ -1,0 +1,561 @@
+// Session-service tests: campaign spec IO (parse/serialize round-trip,
+// malformed inputs, content hashing), the disk result cache (hit/miss/
+// invalidation, report byte-equality across cached reruns), the priority/
+// fair-share job scheduler, and the service itself end-to-end: spool intake,
+// concurrent submissions, streamed snapshots, deterministic final reports,
+// cache reuse on resubmission, and the Unix-socket endpoint.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "campaign/campaign_engine.hpp"
+#include "campaign/campaign_spec_io.hpp"
+#include "campaign/result_cache.hpp"
+#include "service/job_scheduler.hpp"
+#include "service/service_endpoint.hpp"
+#include "service/session_service.hpp"
+#include "util/check.hpp"
+
+namespace emutile {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory per test, removed on destruction.
+struct ScratchDir {
+  fs::path path;
+  explicit ScratchDir(const std::string& name) {
+    path = fs::path(::testing::TempDir()) / ("emutile-" + name);
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p);
+  EXPECT_TRUE(in.good()) << "cannot open " << p;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+/// A small single-design catalog campaign in wire format: 2 error kinds x
+/// 3 replicas = 6 sessions.
+std::string small_spec_text(const std::string& design,
+                            std::uint64_t master_seed) {
+  std::ostringstream os;
+  os << "# test campaign\n"
+     << "emutile-campaign v1\n"
+     << "design " << design << "\n"
+     << "error_kind wrong-polarity\n"
+     << "error_kind wrong-connection\n"
+     << "tiling 6 0.3 1 12 4\n"
+     << "sessions_per_scenario 3\n"
+     << "master_seed " << master_seed << "\n"
+     << "num_patterns 96\n"
+     << "end\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------- spec IO ---
+
+TEST(CampaignSpecIo, CanonicalSerializationRoundTrips) {
+  CampaignSpec spec;
+  spec.add_catalog_design("9sym");
+  spec.add_catalog_design("styr");
+  spec.error_kinds = {ErrorKind::kLutFunction, ErrorKind::kWrongConnection};
+  spec.tilings.clear();
+  for (const int tiles : {6, 12}) {
+    TilingParams t;
+    t.num_tiles = tiles;
+    t.target_overhead = 0.22;
+    t.placer_effort = 0.75;
+    spec.tilings.push_back(t);
+  }
+  spec.sessions_per_scenario = 4;
+  spec.master_seed = 0xDEADBEEFull;
+  spec.num_patterns = 192;
+  spec.localizer.probes_per_iteration = 5;
+  spec.localizer.eco.placer_effort = 0.5;
+  spec.eco.max_region_expansions = 6;
+  spec.measure_baselines = true;
+  spec = spec.shard(1, 2);
+
+  const std::string text = serialize_campaign_spec(spec);
+  const CampaignSpec parsed = parse_campaign_spec(text);
+  EXPECT_EQ(serialize_campaign_spec(parsed), text);
+  EXPECT_EQ(spec_content_hash(parsed), spec_content_hash(spec));
+
+  // The parsed spec is behaviorally identical: same jobs, same seeds.
+  const auto a = spec.expand();
+  const auto b = parsed.expand();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].index, b[i].index);
+    EXPECT_EQ(a[i].options.seed, b[i].options.seed);
+  }
+}
+
+TEST(CampaignSpecIo, OmittedListsFallBackToDefaults) {
+  const CampaignSpec parsed = parse_campaign_spec(
+      "emutile-campaign v1\ndesign 9sym\nmaster_seed 7\nend\n");
+  const CampaignSpec defaults;
+  EXPECT_EQ(parsed.error_kinds.size(), defaults.error_kinds.size());
+  ASSERT_EQ(parsed.tilings.size(), 1u);
+  EXPECT_EQ(parsed.tilings[0].num_tiles, defaults.tilings[0].num_tiles);
+  EXPECT_EQ(parsed.num_patterns, defaults.num_patterns);
+  EXPECT_EQ(parsed.master_seed, 7u);
+}
+
+TEST(CampaignSpecIo, MalformedInputsThrowWithContext) {
+  const auto reject = [](const std::string& text) {
+    EXPECT_THROW(static_cast<void>(parse_campaign_spec(text)), CheckError)
+        << text;
+  };
+  reject("");                                        // no header
+  reject("emutile-campaign v2\nend\n");              // wrong version
+  reject("emutile-campaign v1\n");                   // missing end
+  reject("emutile-campaign v1\nfrobnicate 3\nend\n");  // unknown key
+  reject("emutile-campaign v1\ndesign no-such-design\nend\n");
+  reject("emutile-campaign v1\nerror_kind typo\nend\n");
+  reject("emutile-campaign v1\nmaster_seed banana\nend\n");
+  reject("emutile-campaign v1\nmaster_seed 1\nmaster_seed 2\nend\n");
+  reject("emutile-campaign v1\nmaster_seed 1 2\nend\n");  // trailing token
+  reject("emutile-campaign v1\ntiling 6 0.3\nend\n");     // short tiling
+  reject("emutile-campaign v1\nshard 2 2\nend\n");        // index >= count
+  reject("emutile-campaign v1\nend\nleftover\n");         // trailing content
+  // Line numbers make daemon-side rejections debuggable.
+  try {
+    static_cast<void>(parse_campaign_spec(
+        "emutile-campaign v1\n# comment\nfrobnicate 3\nend\n"));
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CampaignSpecIo, ContentHashTracksEverySemanticField) {
+  const CampaignSpec base =
+      parse_campaign_spec(small_spec_text("9sym", 21));
+  const std::uint64_t h0 = spec_content_hash(base);
+
+  CampaignSpec changed = base;
+  changed.master_seed = 22;
+  EXPECT_NE(spec_content_hash(changed), h0);
+  changed = base;
+  changed.num_patterns = 97;
+  EXPECT_NE(spec_content_hash(changed), h0);
+  changed = base;
+  changed.tilings[0].target_overhead = 0.31;
+  EXPECT_NE(spec_content_hash(changed), h0);
+  changed = base;
+  changed.measure_baselines = true;
+  EXPECT_NE(spec_content_hash(changed), h0);
+  changed = base.shard(0, 2);
+  EXPECT_NE(spec_content_hash(changed), h0);
+
+  // Custom builders have no canonical form.
+  CampaignSpec custom;
+  custom.add_design("x", [](std::uint64_t) { return Netlist("x"); });
+  EXPECT_THROW(static_cast<void>(serialize_campaign_spec(custom)),
+               CheckError);
+}
+
+// ----------------------------------------------------------- result cache ---
+
+TEST(ResultCache, StoreLoadRoundTripAndCorruptionIsAMiss) {
+  ScratchDir scratch("cache-roundtrip");
+  ResultCache cache(scratch.path / "cache");
+
+  CachedSession s;
+  s.error = "flow exploded:\nmulti line";
+  s.detected = true;
+  s.narrowed = true;
+  s.clean = true;
+  s.suspects = 3;
+  s.iterations = 5;
+  s.build_placed = 100;
+  s.build_routed = 200;
+  s.build_expanded = 300;
+  s.debug_placed = 11;
+  s.debug_routed = 22;
+  s.debug_expanded = 33;
+  s.design_clbs = 44;
+  cache.store(77, s);
+  EXPECT_EQ(cache.entries(), 1u);
+
+  const auto loaded = cache.load(77);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->error, "flow exploded: multi line");  // newline flattened
+  EXPECT_TRUE(loaded->detected);
+  EXPECT_TRUE(loaded->narrowed);
+  EXPECT_FALSE(loaded->corrected);
+  EXPECT_TRUE(loaded->clean);
+  EXPECT_EQ(loaded->suspects, 3u);
+  EXPECT_EQ(loaded->iterations, 5u);
+  EXPECT_EQ(loaded->debug_expanded, 33u);
+  EXPECT_EQ(loaded->design_clbs, 44u);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  EXPECT_FALSE(cache.load(78).has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+
+  // Corrupt entries read as misses, not crashes.
+  std::ofstream(scratch.path / "cache" / "000000000000004d.session",
+                std::ios::trunc)
+      << "emutile-session v1\ngarbage\n";
+  EXPECT_FALSE(cache.load(77).has_value());
+
+  cache.store(77, s);
+  EXPECT_TRUE(cache.load(77).has_value());
+  cache.clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_FALSE(cache.load(77).has_value());
+}
+
+TEST(ResultCache, CampaignRerunsHitAndSpecChangesInvalidate) {
+  ScratchDir scratch("cache-campaign");
+  ResultCache cache(scratch.path / "cache");
+  const CampaignSpec spec = parse_campaign_spec(small_spec_text("9sym", 21));
+
+  CampaignOptions options;
+  options.num_threads = 2;
+  options.cache = &cache;
+  const CampaignReport cold = run_campaign(spec, options);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.cache_misses, spec.num_sessions());
+
+  const CampaignReport warm = run_campaign(spec, options);
+  EXPECT_EQ(warm.cache_hits, spec.num_sessions());
+  EXPECT_EQ(warm.cache_misses, 0u);
+
+  // The determinism contract survives the cache: cached and fresh runs
+  // emit identical bytes.
+  EXPECT_EQ(warm.to_csv(), cold.to_csv());
+  EXPECT_EQ(warm.to_json(), cold.to_json());
+  const CampaignReport uncached = run_campaign(spec);
+  EXPECT_EQ(uncached.to_json(), cold.to_json());
+
+  // A semantically different spec shares nothing.
+  CampaignSpec changed = spec;
+  changed.num_patterns = 128;
+  const CampaignReport miss = run_campaign(changed, options);
+  EXPECT_EQ(miss.cache_hits, 0u);
+  EXPECT_EQ(miss.cache_misses, changed.num_sessions());
+
+  // An overlapping spec (subset of the scenario matrix, same master seed
+  // and knobs) reuses the shared sessions via per-session keys... but note
+  // session seeds are split-derived by global job index, so overlap means
+  // "same (design, kind, tiling, replica) lattice position AND same index".
+  // A shard qualifies: its jobs are exactly a slice of the original's.
+  const CampaignReport shard_run = run_campaign(spec.shard(0, 2), options);
+  EXPECT_EQ(shard_run.cache_hits, shard_run.sessions);
+  EXPECT_EQ(shard_run.cache_misses, 0u);
+}
+
+// ---------------------------------------------------------- job scheduler ---
+
+TEST(JobScheduler, FairlyInterleavesEqualPriorityStreams) {
+  JobScheduler scheduler(1);  // single worker => observable total order
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  std::vector<int> order;
+
+  const auto blocker = [&](bool) {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return release; });
+  };
+  const auto stream_a = scheduler.open_stream(0);
+  const auto stream_b = scheduler.open_stream(0);
+  scheduler.submit(stream_a, blocker);  // hold the worker while we queue up
+  for (int i = 0; i < 4; ++i) {
+    scheduler.submit(stream_a, [&](bool) {
+      std::lock_guard<std::mutex> lock(mutex);
+      order.push_back(0);
+    });
+    scheduler.submit(stream_b, [&](bool) {
+      std::lock_guard<std::mutex> lock(mutex);
+      order.push_back(1);
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  scheduler.wait_all();
+
+  ASSERT_EQ(order.size(), 8u);
+  // Fair share: within any prefix, the two streams' counts differ by <= 1.
+  int count[2] = {0, 0};
+  for (const int stream : order) {
+    ++count[stream];
+    EXPECT_LE(std::abs(count[0] - count[1]), 1)
+        << "streams must interleave fairly";
+  }
+}
+
+TEST(JobScheduler, HigherPriorityPreemptsQueuedWork) {
+  JobScheduler scheduler(1);
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  std::vector<char> order;
+
+  const auto low = scheduler.open_stream(0);
+  const auto high = scheduler.open_stream(5);
+  scheduler.submit(low, [&](bool) {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return release; });
+  });
+  for (int i = 0; i < 3; ++i)
+    scheduler.submit(low, [&](bool) {
+      std::lock_guard<std::mutex> lock(mutex);
+      order.push_back('l');
+    });
+  for (int i = 0; i < 3; ++i)
+    scheduler.submit(high, [&](bool) {
+      std::lock_guard<std::mutex> lock(mutex);
+      order.push_back('h');
+    });
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  scheduler.wait_all();
+  ASSERT_EQ(order.size(), 6u);
+  EXPECT_EQ(std::string(order.begin(), order.begin() + 3), "hhh")
+      << "queued high-priority units must run before queued low-priority "
+         "ones";
+}
+
+TEST(JobScheduler, CancelledStreamsStillRunUnitsWithTheFlag) {
+  JobScheduler scheduler(2);
+  const auto stream = scheduler.open_stream(0);
+  std::atomic<int> ran{0};
+  std::atomic<int> cancelled{0};
+  scheduler.cancel(stream);
+  for (int i = 0; i < 5; ++i)
+    scheduler.submit(stream, [&](bool unit_cancelled) {
+      ++ran;
+      if (unit_cancelled) ++cancelled;
+    });
+  scheduler.wait(stream);
+  EXPECT_EQ(ran.load(), 5) << "cancellation must never drop units silently";
+  EXPECT_EQ(cancelled.load(), 5);
+  EXPECT_TRUE(scheduler.is_cancelled(stream));
+}
+
+// ---------------------------------------------------------------- service ---
+
+/// Extract the first `"sessions": N` value of a report JSON.
+std::size_t sessions_in_json(const std::string& json) {
+  const std::string needle = "\"sessions\": ";
+  const std::size_t at = json.find(needle);
+  EXPECT_NE(at, std::string::npos);
+  return static_cast<std::size_t>(
+      std::strtoull(json.c_str() + at + needle.size(), nullptr, 10));
+}
+
+std::vector<fs::path> sorted_snapshots(const fs::path& out_dir) {
+  std::vector<fs::path> snapshots;
+  for (const auto& entry : fs::directory_iterator(out_dir)) {
+    if (entry.path().filename().string().rfind("snapshot-", 0) == 0)
+      snapshots.push_back(entry.path());
+  }
+  std::sort(snapshots.begin(), snapshots.end());
+  return snapshots;
+}
+
+TEST(SessionService, ServesConcurrentCampaignsDeterministicallyEndToEnd) {
+  ScratchDir scratch("service-e2e");
+  ServiceConfig config;
+  config.root = scratch.path;
+  config.num_threads = 2;
+  config.snapshot_every = 2;  // 6 sessions => snapshots at 2 and 4
+  const std::string text_a = small_spec_text("9sym", 21);
+  const std::string text_b = small_spec_text("styr", 34);
+
+  std::string id_a, id_b, id_a2;
+  {
+    SessionService service(config);
+    id_a = service.submit_text(text_a, 0, "alpha");
+    id_b = service.submit_text(text_b, 1, "beta");
+    EXPECT_NE(id_a, id_b);
+    service.drain();
+
+    for (const std::string& id : {id_a, id_b}) {
+      const auto status = service.status(id);
+      ASSERT_TRUE(status.has_value());
+      EXPECT_EQ(status->state, CampaignState::kFinished) << status->error;
+      EXPECT_EQ(status->sessions_done, 6u);
+      EXPECT_GE(status->snapshots, 2u)
+          << "the service must stream intermediate snapshots";
+    }
+
+    // Resubmitting a spec reuses the session cache: >= 90% of sessions are
+    // served without re-running (here: all of them).
+    id_a2 = service.submit_text(text_a, 0, "alpha-again");
+    service.wait(id_a2);
+    const auto again = service.status(id_a2);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(again->state, CampaignState::kFinished);
+    EXPECT_GE(again->cache_hits * 10, again->sessions_done * 9)
+        << "resubmission must reuse >=90% of sessions from the cache";
+    EXPECT_EQ(again->cache_hits, 6u);
+  }
+
+  // Final reports are byte-identical to direct run_campaign runs of the
+  // same specs — the determinism contract across the serving layer, cache
+  // included.
+  const CampaignReport direct_a = run_campaign(parse_campaign_spec(text_a));
+  const CampaignReport direct_b = run_campaign(parse_campaign_spec(text_b));
+  const fs::path out = scratch.path / "out";
+  EXPECT_EQ(read_file(out / id_a / "report.json"), direct_a.to_json());
+  EXPECT_EQ(read_file(out / id_a / "report.csv"), direct_a.to_csv());
+  EXPECT_EQ(read_file(out / id_b / "report.json"), direct_b.to_json());
+  EXPECT_EQ(read_file(out / id_b / "report.csv"), direct_b.to_csv());
+  EXPECT_EQ(read_file(out / id_a2 / "report.json"), direct_a.to_json())
+      << "a cache-served campaign must emit identical bytes";
+
+  // Snapshots stream monotonically growing partial aggregates.
+  for (const std::string& id : {id_a, id_b}) {
+    const std::vector<fs::path> snapshots = sorted_snapshots(out / id);
+    ASSERT_GE(snapshots.size(), 2u);
+    std::size_t prev = 0;
+    for (const fs::path& snapshot : snapshots) {
+      const std::size_t sessions = sessions_in_json(read_file(snapshot));
+      EXPECT_GE(sessions, prev) << snapshot;
+      EXPECT_LT(sessions, 6u) << "snapshots are strictly partial";
+      prev = sessions;
+    }
+  }
+  // The canonical spec was persisted alongside the results.
+  EXPECT_EQ(read_file(out / id_a / "spec.txt"),
+            serialize_campaign_spec(parse_campaign_spec(text_a)));
+}
+
+TEST(SessionService, SpoolIntakeAcceptsValidAndRejectsMalformedSpecs) {
+  ScratchDir scratch("service-spool");
+  ServiceConfig config;
+  config.root = scratch.path;
+  config.num_threads = 2;
+  config.snapshot_every = 0;  // final report only
+  SessionService service(config);
+
+  EXPECT_EQ(service.poll_spool(), 0u);  // empty spool is fine
+
+  std::ofstream(scratch.path / "spool" / "good.spec")
+      << small_spec_text("9sym", 5);
+  std::ofstream(scratch.path / "spool" / "bad.spec") << "not a spec\n";
+  std::ofstream(scratch.path / "spool" / "ignored.txt") << "not .spec\n";
+
+  EXPECT_EQ(service.poll_spool(), 1u);
+  service.drain();
+
+  const std::vector<CampaignStatus> all = service.list();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].state, CampaignState::kFinished) << all[0].error;
+  EXPECT_EQ(all[0].id.rfind("good-", 0), 0u) << all[0].id;
+  EXPECT_TRUE(fs::exists(all[0].out_dir / "report.json"));
+
+  // Accepted specs are archived, malformed ones rejected with a reason.
+  EXPECT_FALSE(fs::exists(scratch.path / "spool" / "good.spec"));
+  EXPECT_TRUE(fs::exists(scratch.path / "spool" / "archive" / "good.spec"));
+  EXPECT_TRUE(fs::exists(scratch.path / "spool" / "rejected" / "bad.spec"));
+  const std::string reason =
+      read_file(scratch.path / "spool" / "rejected" / "bad.error");
+  EXPECT_NE(reason.find("emutile-campaign"), std::string::npos) << reason;
+  EXPECT_TRUE(fs::exists(scratch.path / "spool" / "ignored.txt"));
+  EXPECT_EQ(service.poll_spool(), 0u) << "spool files are consumed once";
+}
+
+TEST(SessionService, CancelStopsACampaignAndAccountsForEverySession) {
+  ScratchDir scratch("service-cancel");
+  ServiceConfig config;
+  config.root = scratch.path;
+  config.num_threads = 1;
+  SessionService service(config);
+
+  // Plenty of sessions so cancellation lands mid-campaign.
+  std::ostringstream spec;
+  spec << "emutile-campaign v1\ndesign 9sym\nerror_kind wrong-polarity\n"
+       << "tiling 6 0.3 1 12 4\nsessions_per_scenario 12\nmaster_seed 3\n"
+       << "num_patterns 96\nend\n";
+  const std::string id = service.submit_text(spec.str(), 0, "doomed");
+  EXPECT_TRUE(service.cancel(id));
+  EXPECT_FALSE(service.cancel("no-such-campaign"));
+  service.wait(id);
+
+  const auto status = service.status(id);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, CampaignState::kCancelled);
+  EXPECT_EQ(status->sessions_done, status->sessions_total)
+      << "every session must be accounted for, cancelled or not";
+  // The report still exists and counts the cancelled sessions.
+  const std::string json = read_file(status->out_dir / "report.json");
+  EXPECT_NE(json.find("\"cancelled\": "), std::string::npos);
+}
+
+TEST(SessionService, EndpointSpeaksTheLineProtocol) {
+  ScratchDir scratch("service-socket");
+  ServiceConfig config;
+  config.root = scratch.path;
+  config.num_threads = 2;
+  config.snapshot_every = 0;
+  SessionService service(config);
+  ServiceEndpoint endpoint(service, scratch.path / "serviced.sock");
+
+  EXPECT_EQ(endpoint_request(endpoint.socket_path(), "PING\n"), "OK pong\n");
+  EXPECT_EQ(endpoint_request(endpoint.socket_path(), "BOGUS\n"),
+            "ERR unknown command 'BOGUS'\n");
+  EXPECT_EQ(endpoint_request(endpoint.socket_path(), "STATUS nope\n"),
+            "ERR unknown campaign 'nope'\n");
+
+  // One-session campaign over the socket.
+  std::ostringstream request;
+  request << "SUBMIT 0 sock\n"
+          << "emutile-campaign v1\ndesign 9sym\nerror_kind wrong-polarity\n"
+          << "tiling 6 0.3 1 12 4\nsessions_per_scenario 1\nmaster_seed 8\n"
+          << "num_patterns 96\nend\n";
+  const std::string submitted =
+      endpoint_request(endpoint.socket_path(), request.str());
+  ASSERT_EQ(submitted.rfind("OK sock-", 0), 0u) << submitted;
+  const std::string id = submitted.substr(3, submitted.find('\n') - 3);
+
+  EXPECT_EQ(endpoint_request(endpoint.socket_path(), "WAIT " + id + "\n"),
+            "OK finished\n");
+  const std::string status =
+      endpoint_request(endpoint.socket_path(), "STATUS " + id + "\n");
+  EXPECT_NE(status.find("finished 1/1"), std::string::npos) << status;
+  const std::string list = endpoint_request(endpoint.socket_path(), "LIST\n");
+  EXPECT_EQ(list.rfind("OK 1\n", 0), 0u) << list;
+  EXPECT_NE(list.find(id), std::string::npos) << list;
+
+  // Malformed submissions answer ERR without wedging the daemon.
+  EXPECT_EQ(endpoint_request(endpoint.socket_path(), "SUBMIT 0 bad\njunk\n")
+                .rfind("ERR ", 0),
+            0u);
+
+  EXPECT_FALSE(endpoint.shutdown_requested());
+  EXPECT_EQ(endpoint_request(endpoint.socket_path(), "SHUTDOWN\n"),
+            "OK bye\n");
+  EXPECT_TRUE(endpoint.shutdown_requested());
+}
+
+}  // namespace
+}  // namespace emutile

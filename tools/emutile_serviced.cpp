@@ -1,0 +1,128 @@
+/// emutile_serviced — the campaign session daemon.
+///
+/// Runs a resident SessionService: polls the spool directory for submitted
+/// campaign specs, serves the Unix-socket control endpoint, and streams
+/// snapshots/reports under <root>/out/. Stops on SIGINT/SIGTERM, on a
+/// SHUTDOWN request over the socket, or when a file named <root>/stop
+/// appears (handy for scripted orchestration); in-flight campaigns are
+/// drained before exit unless --no-drain is given.
+///
+///   $ emutile_serviced --root DIR [--threads N] [--snapshot-every N]
+///                      [--poll-ms N] [--no-cache] [--no-socket]
+///                      [--socket PATH] [--once] [--no-drain]
+///
+///   --once   drain the spool once, wait for those campaigns, and exit.
+
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <thread>
+
+#include "service/service_endpoint.hpp"
+#include "service/session_service.hpp"
+#include "util/log.hpp"
+
+using namespace emutile;
+
+namespace {
+
+volatile std::sig_atomic_t g_signalled = 0;
+void on_signal(int) { g_signalled = 1; }
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --root DIR [--threads N] [--snapshot-every N] [--poll-ms N]"
+               " [--no-cache] [--no-socket] [--socket PATH] [--once]"
+               " [--no-drain]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServiceConfig config;
+  config.num_threads = std::max(2u, std::thread::hardware_concurrency());
+  std::filesystem::path socket_path;
+  bool use_socket = true;
+  bool once = false;
+  bool drain_on_exit = true;
+  long poll_ms = 250;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") config.root = value();
+    else if (arg == "--threads") config.num_threads = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--snapshot-every") config.snapshot_every = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--poll-ms") poll_ms = std::strtol(value(), nullptr, 10);
+    else if (arg == "--no-cache") config.enable_cache = false;
+    else if (arg == "--no-socket") use_socket = false;
+    else if (arg == "--socket") socket_path = value();
+    else if (arg == "--once") once = true;
+    else if (arg == "--no-drain") drain_on_exit = false;
+    else return usage(argv[0]);
+  }
+  if (config.root.empty()) return usage(argv[0]);
+  if (socket_path.empty()) socket_path = config.root / "serviced.sock";
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  set_log_threshold(LogLevel::kInfo);
+
+  try {
+    SessionService service(config);
+    std::unique_ptr<ServiceEndpoint> endpoint;
+    if (use_socket)
+      endpoint = std::make_unique<ServiceEndpoint>(service, socket_path);
+
+    std::cout << "emutile_serviced: root=" << config.root.string()
+              << " threads=" << config.num_threads
+              << " snapshot_every=" << config.snapshot_every << " cache="
+              << (config.enable_cache ? "on" : "off");
+    if (endpoint)
+      std::cout << " socket=" << endpoint->socket_path().string();
+    std::cout << std::endl;
+
+    const std::filesystem::path stop_file = config.root / "stop";
+    for (;;) {
+      const std::size_t accepted = service.poll_spool();
+      if (accepted > 0)
+        std::cout << "accepted " << accepted << " campaign(s) from spool"
+                  << std::endl;
+      if (once) break;
+      if (g_signalled || std::filesystem::exists(stop_file) ||
+          (endpoint && endpoint->shutdown_requested()))
+        break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+    }
+
+    if (drain_on_exit || once) {
+      std::cout << "draining in-flight campaigns..." << std::endl;
+      service.drain();
+    } else {
+      for (const CampaignStatus& s : service.list())
+        if (s.state == CampaignState::kQueued ||
+            s.state == CampaignState::kRunning)
+          service.cancel(s.id);
+    }
+    for (const CampaignStatus& s : service.list())
+      std::cout << "  " << s.id << ": " << to_string(s.state) << " ("
+                << s.sessions_done << "/" << s.sessions_total << " sessions, "
+                << s.cache_hits << " cache hits)" << std::endl;
+    std::error_code ec;
+    std::filesystem::remove(stop_file, ec);
+  } catch (const std::exception& e) {
+    std::cerr << "emutile_serviced: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,156 @@
+/// emutile_submit — submit campaign specs to a running emutile_serviced.
+///
+/// Prefers the daemon's Unix socket (immediate id + optional --wait); falls
+/// back to dropping the spec into the spool directory (picked up on the
+/// daemon's next poll) when no socket is reachable or --spool is forced.
+///
+///   $ emutile_submit --root DIR [--socket PATH] [--spool] [--priority N]
+///                    [--wait] [--status ID | --list | --cancel ID] SPEC...
+///
+/// Spec files are validated locally before submission, so malformed specs
+/// fail fast with a parse error instead of landing in spool/rejected/.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign_spec_io.hpp"
+#include "service/service_endpoint.hpp"
+#include "util/check.hpp"
+
+using namespace emutile;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --root DIR [--socket PATH] [--spool] [--priority N] [--wait]"
+               " [--status ID | --list | --cancel ID] SPEC...\n";
+  return 2;
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  EMUTILE_CHECK(in.good(), "cannot open " << path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+/// Atomically drop `text` into the spool as `<stem>-<suffix>.spec`.
+std::filesystem::path spool_submit(const std::filesystem::path& root,
+                                   const std::filesystem::path& spec_path,
+                                   const std::string& text) {
+  const std::filesystem::path spool = root / "spool";
+  std::filesystem::create_directories(spool);
+  std::filesystem::path target;
+  for (int n = 0;; ++n) {
+    target = spool / (spec_path.stem().string() +
+                      (n == 0 ? "" : "-" + std::to_string(n)) + ".spec");
+    if (!std::filesystem::exists(target)) break;
+  }
+  const std::filesystem::path tmp = target.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    EMUTILE_CHECK(out.good(), "cannot write " << tmp);
+    out << text;
+  }
+  std::filesystem::rename(tmp, target);  // .spec appears atomically
+  return target;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::filesystem::path root, socket_path;
+  bool force_spool = false;
+  bool wait = false;
+  int priority = 0;
+  std::string one_shot;  // "LIST", "STATUS <id>", or "CANCEL <id>"
+  std::vector<std::filesystem::path> specs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") root = value();
+    else if (arg == "--socket") socket_path = value();
+    else if (arg == "--spool") force_spool = true;
+    else if (arg == "--priority") priority = std::atoi(value());
+    else if (arg == "--wait") wait = true;
+    else if (arg == "--list") one_shot = "LIST";
+    else if (arg == "--status") one_shot = std::string("STATUS ") + value();
+    else if (arg == "--cancel") one_shot = std::string("CANCEL ") + value();
+    else if (!arg.empty() && arg[0] == '-') return usage(argv[0]);
+    else specs.emplace_back(arg);
+  }
+  if (root.empty()) return usage(argv[0]);
+  if (socket_path.empty()) socket_path = root / "serviced.sock";
+  if (specs.empty() && one_shot.empty()) return usage(argv[0]);
+
+  try {
+    if (!one_shot.empty()) {
+      std::cout << endpoint_request(socket_path, one_shot + "\n");
+      return 0;
+    }
+
+    // The socket is "up" only if it actually answers — a stale socket file
+    // left by a crashed daemon must not strand submissions.
+    bool socket_up = false;
+    if (!force_spool) {
+      try {
+        socket_up = endpoint_request(socket_path, "PING\n") == "OK pong\n";
+      } catch (const CheckError&) {
+        socket_up = false;
+      }
+    }
+    std::vector<std::string> ids;
+    for (const std::filesystem::path& spec_path : specs) {
+      const std::string text = read_file(spec_path);
+      static_cast<void>(parse_campaign_spec(text));  // validate locally
+
+      if (socket_up) {
+        std::ostringstream request;
+        request << "SUBMIT " << priority << " " << spec_path.stem().string()
+                << "\n"
+                << text;
+        const std::string response =
+            endpoint_request(socket_path, request.str());
+        EMUTILE_CHECK(response.rfind("OK ", 0) == 0,
+                      "daemon refused " << spec_path << ": " << response);
+        const std::string id =
+            response.substr(3, response.find('\n') - 3);
+        std::cout << spec_path.string() << " -> " << id << "\n";
+        ids.push_back(id);
+      } else {
+        const std::filesystem::path spooled =
+            spool_submit(root, spec_path, text);
+        std::cout << spec_path.string() << " -> spooled as "
+                  << spooled.filename().string() << "\n";
+      }
+    }
+
+    if (wait) {
+      EMUTILE_CHECK(socket_up,
+                    "--wait needs the daemon socket (spool submissions get "
+                    "their id from the daemon, not the client)");
+      for (const std::string& id : ids) {
+        const std::string response =
+            endpoint_request(socket_path, "WAIT " + id + "\n");
+        std::cout << id << ": " << response;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "emutile_submit: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
