@@ -100,9 +100,15 @@ SessionOutcome run_campaign_session(const CampaignSpec& spec,
   std::uint64_t key = 0;
   if (cacheable) {
     key = session_cache_key(spec, job);
-    if (std::optional<CachedSession> hit = cache->load(key)) {
-      if (lookup) *lookup = CacheLookup::kHit;
-      return from_cached(*hit);
+    // Cache IO failures (unreadable directory, disk trouble) must not break
+    // the never-throws contract — they degrade to an uncached run.
+    try {
+      if (std::optional<CachedSession> hit = cache->load(key)) {
+        if (lookup) *lookup = CacheLookup::kHit;
+        return from_cached(*hit);
+      }
+    } catch (const std::exception& e) {
+      EMUTILE_WARN("cache load failed for key " << key << ": " << e.what());
     }
     if (lookup) *lookup = CacheLookup::kMiss;
   }
@@ -120,9 +126,20 @@ SessionOutcome run_campaign_session(const CampaignSpec& spec,
   } catch (const std::exception& e) {
     out.error = e.what();
   }
-  // A cancelled outcome reflects this driver's state, not the spec — only
-  // spec-determined results may be memoized.
-  if (cacheable && !out.report.cancelled) cache->store(key, to_cached(out));
+  // A cancelled outcome reflects this driver's state, not the spec, and an
+  // exception may be transient (resource exhaustion) — only spec-determined
+  // successful results may be memoized, or a one-off failure would replay
+  // from the cache forever. A failed store (disk full, permissions, cache
+  // dir removed) just means this result is not memoized.
+  if (cacheable && !out.report.cancelled && out.error.empty()) {
+    try {
+      cache->store(key, to_cached(out));
+    } catch (const std::exception& e) {
+      EMUTILE_WARN("cache store failed for key " << key
+                                                 << ", result not memoized: "
+                                                 << e.what());
+    }
+  }
   return out;
 }
 

@@ -67,7 +67,8 @@ enum class CacheLookup : std::uint8_t {
 /// up front and at every phase boundary; consults/fills `cache` when non-null
 /// and the job's design is a catalog design (cancelled outcomes are never
 /// cached). `*lookup` (optional) reports the cache interaction for counter
-/// accounting. Never throws: session failures are recorded in the outcome.
+/// accounting. Never throws: session failures are recorded in the outcome,
+/// and cache IO failures are logged and degrade to an uncached run.
 [[nodiscard]] SessionOutcome run_campaign_session(
     const CampaignSpec& spec, const CampaignJob& job, const Netlist& golden,
     const std::function<bool()>& cancel = {}, ResultCache* cache = nullptr,

@@ -7,6 +7,7 @@
 
 #include "designs/catalog.hpp"
 #include "util/check.hpp"
+#include "util/file_io.hpp"
 
 namespace emutile {
 
@@ -228,11 +229,7 @@ CampaignSpec parse_campaign_spec(const std::string& text) {
 }
 
 CampaignSpec load_campaign_spec_file(const std::filesystem::path& path) {
-  std::ifstream in(path);
-  EMUTILE_CHECK(in.good(), "cannot open campaign spec file " << path);
-  std::ostringstream text;
-  text << in.rdbuf();
-  return parse_campaign_spec(text.str());
+  return parse_campaign_spec(read_file(path));
 }
 
 std::string serialize_campaign_spec(const CampaignSpec& spec) {

@@ -7,6 +7,7 @@
 
 #include "campaign/campaign_spec_io.hpp"
 #include "util/check.hpp"
+#include "util/file_io.hpp"
 
 namespace emutile {
 
@@ -171,26 +172,14 @@ std::optional<CachedSession> ResultCache::load(std::uint64_t key) {
 }
 
 void ResultCache::store(std::uint64_t key, const CachedSession& session) {
-  std::size_t seq;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    seq = ++temp_seq_;
     ++stores_;
   }
-  const std::filesystem::path tmp =
-      dir_ / (format_u64_hex(key) + ".tmp" + std::to_string(seq));
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    EMUTILE_CHECK(out.good(), "cannot write cache entry " << tmp);
-    out << encode(session);
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, entry_path(key), ec);
-  if (ec) {
-    // Leave the cache consistent even if rename fails (e.g. odd filesystem):
-    // drop the temp file; the entry simply stays absent.
-    std::filesystem::remove(tmp, ec);
-  }
+  // Temp names unique across threads and processes; racing stores of the
+  // same key resolve last-writer-wins. Throws on IO failure — callers treat
+  // that as "not memoized" (see run_campaign_session).
+  write_file_atomic(entry_path(key), encode(session));
 }
 
 void ResultCache::clear() {

@@ -15,8 +15,10 @@
 /// Only the aggregation-relevant slice of a session report is persisted
 /// (CachedSession) — precisely the fields build_report() folds — so a report
 /// built from cached outcomes is byte-identical to one built from fresh
-/// runs. Cancelled sessions are never stored: cancellation reflects the
-/// driver's state, not the spec.
+/// runs. Cancelled sessions are never stored (cancellation reflects the
+/// driver's state, not the spec), and neither are sessions that ended in an
+/// exception — an error can be transient (resource exhaustion), and
+/// memoizing it would replay the failure forever.
 ///
 /// On-disk layout: one `<16-hex-key>.session` text file per entry inside the
 /// cache directory, written atomically (temp file + rename). Corrupt or
@@ -75,7 +77,8 @@ class ResultCache {
   /// misses.
   [[nodiscard]] std::optional<CachedSession> load(std::uint64_t key);
 
-  /// Persist an entry (atomic; last writer wins on a racing key).
+  /// Persist an entry (atomic; last writer wins on a racing key). Throws
+  /// CheckError when the entry cannot be written.
   void store(std::uint64_t key, const CachedSession& session);
 
   /// Remove every entry (counters are kept).
@@ -90,11 +93,10 @@ class ResultCache {
   [[nodiscard]] std::filesystem::path entry_path(std::uint64_t key) const;
 
   std::filesystem::path dir_;
-  mutable std::mutex mutex_;  // counters + temp-name sequence
+  mutable std::mutex mutex_;  // counters
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
   std::size_t stores_ = 0;
-  std::size_t temp_seq_ = 0;
 };
 
 }  // namespace emutile

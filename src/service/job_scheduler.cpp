@@ -21,13 +21,21 @@ JobScheduler::StreamId JobScheduler::open_stream(int priority) {
 
 void JobScheduler::submit(StreamId stream, Unit unit) {
   EMUTILE_CHECK(unit, "cannot submit an empty unit");
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = streams_.find(stream);
-    EMUTILE_CHECK(it != streams_.end(), "unknown stream " << stream);
-    it->second.pending.push_back(std::move(unit));
+  // The scheduler mutex is held across the pool enqueue (the pool has its
+  // own lock; workers take ours only inside run_ticket, never inside
+  // pool_.submit), so the unit and its ticket appear atomically: the pool
+  // can only throw before its queue push, and the catch withdraws the unit,
+  // keeping the 1:1 ticket/unit invariant and the wait ledgers intact.
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = streams_.find(stream);
+  EMUTILE_CHECK(it != streams_.end(), "unknown stream " << stream);
+  it->second.pending.push_back(std::move(unit));
+  try {
+    pool_.submit([this] { run_ticket(); });
+  } catch (...) {
+    it->second.pending.pop_back();
+    throw;
   }
-  pool_.submit([this] { run_ticket(); });
 }
 
 void JobScheduler::cancel(StreamId stream) {
@@ -71,12 +79,21 @@ void JobScheduler::run_ticket() {
     ++stream->running;
     cancelled = stream->cancelled;
   }
+  // Units must not throw (see Unit), but restore the running ledger through
+  // a scope guard anyway so wait()/wait_all() cannot block forever while an
+  // escaping exception takes the process down.
+  struct RunningGuard {
+    JobScheduler& scheduler;
+    Stream& stream;
+    ~RunningGuard() {
+      {
+        std::lock_guard<std::mutex> lock(scheduler.mutex_);
+        --stream.running;
+      }
+      scheduler.idle_.notify_all();
+    }
+  } guard{*this, *stream};
   unit(cancelled);
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    --stream->running;
-  }
-  idle_.notify_all();
 }
 
 void JobScheduler::wait(StreamId stream) {

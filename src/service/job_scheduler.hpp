@@ -33,7 +33,10 @@ class JobScheduler {
  public:
   using StreamId = std::uint64_t;
   /// A schedulable unit. `cancelled` is true when the stream was cancelled
-  /// while the unit was still queued.
+  /// while the unit was still queued. Units must not throw: they run on
+  /// ThreadPool workers whose tasks must not throw, so an escaping exception
+  /// terminates the process (the scheduler's ledger stays balanced either
+  /// way, so waiters are never deadlocked on the way down).
   using Unit = std::function<void(bool cancelled)>;
 
   /// Schedule over an internal pool of `num_threads` workers.

@@ -5,7 +5,9 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <sstream>
 #include <utility>
@@ -18,10 +20,36 @@ namespace emutile {
 
 namespace {
 
-/// Read until EOF (the peer half-closed). Returns false on read errors.
-bool read_all(int fd, std::string& out) {
+/// How long the server waits for a request to arrive in full. A client that
+/// connects and never writes (or never half-closes) must not pin a detached
+/// connection thread forever — that would also block ~ServiceEndpoint, which
+/// drains those threads.
+constexpr int kRequestReadTimeoutMs = 30'000;
+
+/// Read until EOF (the peer half-closed). Returns false on read errors, or —
+/// when `timeout_ms` is non-negative — if EOF has not arrived by the
+/// deadline or `*stop` became true (polled in short slices, so shutdown is
+/// not held up by the full deadline). Negative timeout means block
+/// indefinitely (clients waiting on WAIT).
+bool read_all(int fd, std::string& out, int timeout_ms = -1,
+              const std::atomic<bool>* stop = nullptr) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
   char buf[4096];
   for (;;) {
+    if (timeout_ms >= 0) {
+      if (stop && stop->load()) return false;
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now())
+              .count();
+      if (remaining <= 0) return false;
+      pollfd pfd{fd, POLLIN, 0};
+      const int ready =
+          ::poll(&pfd, 1, static_cast<int>(std::min<long long>(remaining, 100)));
+      if (ready < 0 && errno != EINTR) return false;
+      if (ready <= 0) continue;  // re-check stop + deadline, poll again
+    }
     const ssize_t n = ::read(fd, buf, sizeof buf);
     if (n == 0) return true;
     if (n < 0) {
@@ -35,7 +63,11 @@ bool read_all(int fd, std::string& out) {
 bool write_all(int fd, const std::string& data) {
   std::size_t off = 0;
   while (off < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    // MSG_NOSIGNAL: a peer that closed before reading the reply must yield
+    // EPIPE here, not a process-killing SIGPIPE (the daemon installs no
+    // handler for it).
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -123,7 +155,7 @@ void ServiceEndpoint::accept_loop() {
 void ServiceEndpoint::serve_connection(int fd) {
   std::string request;
   std::string response = "ERR request read failed\n";
-  if (read_all(fd, request)) {
+  if (read_all(fd, request, kRequestReadTimeoutMs, &stopping_)) {
     try {
       response = handle_request(request);
     } catch (const std::exception& e) {
@@ -175,7 +207,12 @@ std::string ServiceEndpoint::handle_request(const std::string& request) {
   } else if (command == "WAIT") {
     std::string id;
     if (!(line >> id)) return "ERR WAIT needs a campaign id\n";
-    service_.wait(id);
+    // Poll so ~ServiceEndpoint (which drains this connection thread) can
+    // interrupt the wait: with the daemon tearing down before the service,
+    // the waited-on state change may only happen after the endpoint is gone
+    // — blocking here indefinitely would deadlock shutdown.
+    while (!service_.wait_for(id, std::chrono::milliseconds(100)))
+      if (stopping_.load()) return "ERR service shutting down\n";
     const std::optional<CampaignStatus> s = service_.status(id);
     return std::string("OK ") + (s ? to_string(s->state) : "unknown") + "\n";
   } else if (command == "SHUTDOWN") {

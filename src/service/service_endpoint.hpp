@@ -9,8 +9,8 @@
 ///
 ///   PING                         -> OK pong
 ///   SUBMIT <priority> [<name>]   -> OK <campaign-id>      (body = spec text)
-///   STATUS <id>                  -> OK <state> <done>/<total> hits=<n>
-///                                   misses=<n> snapshots=<n>
+///   STATUS <id>                  -> OK <id> <state> <done>/<total>
+///                                   hits=<n> misses=<n> snapshots=<n>
 ///   LIST                         -> OK <count>  (+ one status line per
 ///                                   campaign)
 ///   CANCEL <id>                  -> OK cancelled
@@ -18,7 +18,10 @@
 ///   SHUTDOWN                     -> OK bye  (sets shutdown_requested)
 ///
 /// Errors answer `ERR <message>`. Each connection is served on its own
-/// thread, so a blocking WAIT never stalls other clients.
+/// thread, so a blocking WAIT never stalls other clients. The server applies
+/// a receive deadline to each request, so a client that connects and never
+/// writes (or never half-closes) gets `ERR` instead of pinning a connection
+/// thread and blocking daemon shutdown.
 
 #include <atomic>
 #include <condition_variable>

@@ -10,6 +10,7 @@
 
 #include "campaign/campaign_spec_io.hpp"
 #include "util/check.hpp"
+#include "util/file_io.hpp"
 #include "util/log.hpp"
 
 namespace emutile {
@@ -25,18 +26,6 @@ const char* to_string(CampaignState state) {
   return "?";
 }
 
-void write_file_atomic(const std::filesystem::path& path,
-                       const std::string& content) {
-  const std::filesystem::path tmp = path.string() + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    EMUTILE_CHECK(out.good(), "cannot write " << tmp);
-    out << content;
-    EMUTILE_CHECK(out.good(), "write to " << tmp << " failed");
-  }
-  std::filesystem::rename(tmp, path);
-}
-
 namespace {
 
 std::string sanitize_id(const std::string& hint) {
@@ -50,14 +39,6 @@ std::string sanitize_id(const std::string& hint) {
       out.push_back('-');
   }
   return out.empty() ? "campaign" : out;
-}
-
-std::string read_file(const std::filesystem::path& path) {
-  std::ifstream in(path);
-  EMUTILE_CHECK(in.good(), "cannot open " << path);
-  std::ostringstream text;
-  text << in.rdbuf();
-  return text.str();
 }
 
 /// Move `from` into directory `dir`, uniquifying the name on collision.
@@ -135,23 +116,57 @@ std::string SessionService::submit(const CampaignSpec& spec, int priority,
     // are not content-addressed.
   }
 
+  // Pick an id whose output directory is fresh: the sequence counter
+  // restarts with the process, and reusing a directory surviving from an
+  // earlier daemon run would mix its stale snapshots/report with the new
+  // campaign's. The exists() probes are disk IO, so only the sequence bump
+  // happens under the service mutex.
+  std::string id;
+  std::filesystem::path out_dir;
+  for (;;) {
+    std::size_t seq;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      seq = next_seq_++;
+    }
+    id = sanitize_id(name_hint) + "-" + hash8 + "-" + std::to_string(seq);
+    out_dir = config_.root / "out" / id;
+    if (!std::filesystem::exists(out_dir)) break;
+  }
+
   Campaign* c = nullptr;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto owned = std::make_unique<Campaign>();
     c = owned.get();
-    c->id = sanitize_id(name_hint) + "-" + hash8 + "-" +
-            std::to_string(next_seq_++);
+    c->id = id;
+    c->out_dir = out_dir;
     c->spec = spec;
     c->priority = priority;
-    c->out_dir = config_.root / "out" / c->id;
-    std::filesystem::create_directories(c->out_dir);
-    if (!canonical.empty())
-      write_file_atomic(c->out_dir / "spec.txt", canonical);
     c->stream = scheduler_->open_stream(priority);
     campaigns_.push_back(std::move(owned));
   }
-  schedule(*c);
+  // Disk IO happens off the service mutex (like snapshots and finalize), so
+  // a slow disk never stalls workers recording outcomes or status calls. The
+  // campaign is not scheduled yet, so nothing else touches its out_dir.
+  try {
+    std::filesystem::create_directories(c->out_dir);
+    if (!canonical.empty())
+      write_file_atomic(c->out_dir / "spec.txt", canonical);
+    schedule(*c);
+  } catch (const std::exception& e) {
+    // Nothing reached the scheduler (a throwing JobScheduler::submit
+    // withdraws its unit). Mark the campaign failed rather than erase it: a
+    // concurrent list() may already have handed its id to a waiter whose
+    // wait predicate holds a pointer to this Campaign, so erasing would
+    // free it out from under them. kFailed is terminal, so waiters and
+    // drain() proceed normally.
+    std::lock_guard<std::mutex> lock(mutex_);
+    c->state = CampaignState::kFailed;
+    c->error = std::string("campaign could not be started: ") + e.what();
+    state_changed_.notify_all();
+    throw;
+  }
   return c->id;
 }
 
@@ -199,10 +214,34 @@ void SessionService::prepare_unit(Campaign& c, bool cancelled) {
     std::vector<CampaignJob> jobs = c.spec.expand();
     const bool cancel_now = cancelled || c.cancel_flag.load();
 
+    // Baseline pairs are round-robin partitioned across shards exactly as
+    // run_campaign does, so a service-run shard's report stays byte-identical
+    // to a direct run_campaign of the same spec and a fleet of shards
+    // measures each pair once; unassigned pairs stay unmeasured.
+    const auto pair_assigned = [&c](std::size_t u) {
+      return c.spec.shard_count == 1 ||
+             u % c.spec.shard_count == c.spec.shard_index;
+    };
+    const std::size_t all_pairs =
+        c.spec.measure_baselines
+            ? c.spec.designs.size() * c.spec.tilings.size()
+            : 0;
+
+    // Build only the goldens this shard's jobs and assigned baseline pairs
+    // touch, mirroring run_campaign's design_needed filter.
+    std::vector<char> design_needed(c.spec.designs.size(),
+                                    c.spec.shard_count == 1 ? 1 : 0);
+    if (c.spec.shard_count > 1) {
+      for (const CampaignJob& job : jobs) design_needed[job.design_index] = 1;
+      for (std::size_t u = 0; u < all_pairs; ++u)
+        if (pair_assigned(u)) design_needed[u / c.spec.tilings.size()] = 1;
+    }
+
     std::vector<Netlist> goldens(c.spec.designs.size());
     std::vector<std::string> golden_errors(c.spec.designs.size());
     if (!cancel_now) {
       for (std::size_t i = 0; i < c.spec.designs.size(); ++i) {
+        if (!design_needed[i]) continue;
         try {
           goldens[i] = build_campaign_golden(c.spec, i);
         } catch (const std::exception& e) {
@@ -212,6 +251,7 @@ void SessionService::prepare_unit(Campaign& c, bool cancelled) {
     }
 
     std::size_t baseline_pairs = 0;
+    std::size_t baseline_units = 0;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       c.state = CampaignState::kRunning;
@@ -221,10 +261,12 @@ void SessionService::prepare_unit(Campaign& c, bool cancelled) {
       c.outcomes.resize(c.jobs.size());
       c.done.assign(c.jobs.size(), 0);
       if (c.spec.measure_baselines && !cancel_now) {
-        baseline_pairs = c.spec.designs.size() * c.spec.tilings.size();
+        baseline_pairs = all_pairs;
         c.per_pair.resize(baseline_pairs);
+        for (std::size_t u = 0; u < baseline_pairs; ++u)
+          if (pair_assigned(u)) ++baseline_units;
       }
-      c.units_total = 1 + c.jobs.size() + baseline_pairs;
+      c.units_total = 1 + c.jobs.size() + baseline_units;
       if (cancel_now) {
         for (std::size_t i = 0; i < c.jobs.size(); ++i) {
           c.outcomes[i].report.cancelled = true;
@@ -249,6 +291,7 @@ void SessionService::prepare_unit(Campaign& c, bool cancelled) {
           ++submitted;
         }
         for (std::size_t u = 0; u < baseline_pairs; ++u) {
+          if (!pair_assigned(u)) continue;
           scheduler_->submit(c.stream, [this, &c, u](bool unit_cancelled) {
             baseline_unit(c, u, unit_cancelled);
           });
@@ -366,7 +409,9 @@ void SessionService::finalize(Campaign& c) {
         baselines = fan_out_baselines(c.spec, c.per_pair);
       CampaignReport report =
           build_report(c.spec, c.jobs, c.outcomes, baselines);
-      report.num_threads = scheduler_->num_threads();
+      // config_, not scheduler_: during ~SessionService the scheduler
+      // unique_ptr is already null while its drain runs this very unit.
+      report.num_threads = config_.num_threads;
       report.cache_hits = c.cache_hits;
       report.cache_misses = c.cache_misses;
       write_file_atomic(c.out_dir / "report.json", report.to_json());
@@ -414,7 +459,7 @@ void SessionService::write_snapshot(const Campaign& c,
   try {
     CampaignReport snapshot =
         build_report(c.spec, data.jobs_done, data.outcomes_done, {});
-    snapshot.num_threads = scheduler_->num_threads();
+    snapshot.num_threads = config_.num_threads;
     snapshot.cache_hits = data.cache_hits;
     snapshot.cache_misses = data.cache_misses;
     char name[32];
@@ -483,6 +528,17 @@ void SessionService::wait(const std::string& id) {
     if (c->id == id) target = c.get();
   EMUTILE_CHECK(target != nullptr, "unknown campaign id '" << id << "'");
   state_changed_.wait(lock, [&] { return terminal(target->state); });
+}
+
+bool SessionService::wait_for(const std::string& id,
+                              std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  Campaign* target = nullptr;
+  for (const std::unique_ptr<Campaign>& c : campaigns_)
+    if (c->id == id) target = c.get();
+  EMUTILE_CHECK(target != nullptr, "unknown campaign id '" << id << "'");
+  return state_changed_.wait_for(lock, timeout,
+                                 [&] { return terminal(target->state); });
 }
 
 void SessionService::drain() {

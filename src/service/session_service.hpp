@@ -25,6 +25,7 @@
 /// whichever sessions had finished and therefore may vary run to run — but
 /// their session counts grow monotonically within a campaign.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <filesystem>
@@ -117,6 +118,13 @@ class SessionService {
   /// for unknown ids.
   void wait(const std::string& id);
 
+  /// Like wait(), but gives up after `timeout`; returns true iff the
+  /// campaign is terminal. Lets callers that must stay interruptible (e.g.
+  /// the endpoint's WAIT handler during daemon shutdown) poll instead of
+  /// blocking indefinitely.
+  [[nodiscard]] bool wait_for(const std::string& id,
+                              std::chrono::milliseconds timeout);
+
   /// Block until every submitted campaign reaches a terminal state.
   void drain();
 
@@ -152,9 +160,5 @@ class SessionService {
   std::vector<std::unique_ptr<Campaign>> campaigns_;  // submission order
   std::size_t next_seq_ = 1;
 };
-
-/// Atomically write `content` to `path` (temp file + rename).
-void write_file_atomic(const std::filesystem::path& path,
-                       const std::string& content);
 
 }  // namespace emutile

@@ -1,0 +1,48 @@
+#include "util/file_io.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace emutile {
+
+void write_file_atomic(const std::filesystem::path& path,
+                       const std::string& content) {
+  // pid + process-wide sequence makes the temp name unique across the
+  // threads of this process and across processes sharing the directory, so
+  // racing writers never interleave into one temp file.
+  static std::atomic<unsigned long> seq{0};
+  const std::filesystem::path tmp =
+      path.string() + ".tmp" + std::to_string(::getpid()) + "." +
+      std::to_string(++seq);
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    EMUTILE_CHECK(out.good(), "cannot write " << tmp);
+    out << content;
+    // Flush before checking: a close-time flush failure (disk full) would
+    // otherwise go unseen and rename() would publish a truncated file.
+    out.flush();
+    EMUTILE_CHECK(out.good(), "write to " << tmp << " failed");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    EMUTILE_CHECK(false, "cannot publish " << path << ": " << ec.message());
+  }
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  EMUTILE_CHECK(in.good(), "cannot open " << path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+}  // namespace emutile

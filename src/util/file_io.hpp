@@ -1,0 +1,22 @@
+#pragma once
+/// \file file_io.hpp
+/// Small filesystem helpers shared by the service layer and tools.
+
+#include <filesystem>
+#include <string>
+
+namespace emutile {
+
+/// Atomically write `content` to `path`: the data lands under a temp name
+/// unique across threads and processes, then rename() publishes it, so
+/// readers see either the old file or the complete new one — never a torn
+/// write. Racing writers of the same path resolve last-writer-wins. Throws
+/// CheckError when the write or the publish fails.
+void write_file_atomic(const std::filesystem::path& path,
+                       const std::string& content);
+
+/// Read the whole of `path` into a string. Throws CheckError when the file
+/// cannot be opened.
+[[nodiscard]] std::string read_file(const std::filesystem::path& path);
+
+}  // namespace emutile

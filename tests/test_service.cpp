@@ -449,6 +449,47 @@ TEST(SessionService, ServesConcurrentCampaignsDeterministicallyEndToEnd) {
             serialize_campaign_spec(parse_campaign_spec(text_a)));
 }
 
+TEST(SessionService, ShardedBaselinesMatchDirectRunCampaign) {
+  // A sharded spec with measure_baselines must leave unassigned
+  // (design, tiling) pairs unmeasured exactly as run_campaign does, so the
+  // service's report stays byte-identical to a direct run of the same
+  // sharded spec and a fleet of shards measures each pair once.
+  std::ostringstream os;
+  os << "emutile-campaign v1\n"
+     << "design 9sym\n"
+     << "error_kind wrong-polarity\n"
+     << "tiling 6 0.3 1 12 4\n"
+     << "tiling 8 0.3 1 12 4\n"
+     << "sessions_per_scenario 1\n"
+     << "master_seed 77\n"
+     << "num_patterns 96\n"
+     << "measure_baselines 1\n"
+     << "shard 1 2\n"
+     << "end\n";
+  const std::string text = os.str();
+
+  ScratchDir scratch("service-shard");
+  ServiceConfig config;
+  config.root = scratch.path;
+  config.num_threads = 2;
+  config.snapshot_every = 0;
+  config.enable_cache = false;  // compare two fresh runs
+  std::string id;
+  {
+    SessionService service(config);
+    id = service.submit_text(text, 0, "shard1");
+    service.wait(id);
+    const auto status = service.status(id);
+    ASSERT_TRUE(status.has_value());
+    EXPECT_EQ(status->state, CampaignState::kFinished) << status->error;
+  }
+  const CampaignReport direct = run_campaign(parse_campaign_spec(text));
+  EXPECT_EQ(read_file(scratch.path / "out" / id / "report.json"),
+            direct.to_json());
+  EXPECT_EQ(read_file(scratch.path / "out" / id / "report.csv"),
+            direct.to_csv());
+}
+
 TEST(SessionService, SpoolIntakeAcceptsValidAndRejectsMalformedSpecs) {
   ScratchDir scratch("service-spool");
   ServiceConfig config;

@@ -10,8 +10,9 @@
 /// Spec files are validated locally before submission, so malformed specs
 /// fail fast with a parse error instead of landing in spool/rejected/.
 
+#include <unistd.h>
+
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -20,6 +21,7 @@
 #include "campaign/campaign_spec_io.hpp"
 #include "service/service_endpoint.hpp"
 #include "util/check.hpp"
+#include "util/file_io.hpp"
 
 using namespace emutile;
 
@@ -32,33 +34,23 @@ int usage(const char* argv0) {
   return 2;
 }
 
-std::string read_file(const std::filesystem::path& path) {
-  std::ifstream in(path);
-  EMUTILE_CHECK(in.good(), "cannot open " << path);
-  std::ostringstream text;
-  text << in.rdbuf();
-  return text.str();
-}
-
-/// Atomically drop `text` into the spool as `<stem>-<suffix>.spec`.
+/// Atomically drop `text` into the spool as `<stem>-<pid>[-<n>].spec`. The
+/// pid keeps concurrent submitters of same-named specs on distinct targets
+/// (no lost submission), the -n loop uniquifies retries within one process,
+/// and write_file_atomic publishes the .spec whole.
 std::filesystem::path spool_submit(const std::filesystem::path& root,
                                    const std::filesystem::path& spec_path,
                                    const std::string& text) {
   const std::filesystem::path spool = root / "spool";
   std::filesystem::create_directories(spool);
+  const std::string stem =
+      spec_path.stem().string() + "-" + std::to_string(::getpid());
   std::filesystem::path target;
   for (int n = 0;; ++n) {
-    target = spool / (spec_path.stem().string() +
-                      (n == 0 ? "" : "-" + std::to_string(n)) + ".spec");
+    target = spool / (stem + (n == 0 ? "" : "-" + std::to_string(n)) + ".spec");
     if (!std::filesystem::exists(target)) break;
   }
-  const std::filesystem::path tmp = target.string() + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    EMUTILE_CHECK(out.good(), "cannot write " << tmp);
-    out << text;
-  }
-  std::filesystem::rename(tmp, target);  // .spec appears atomically
+  write_file_atomic(target, text);
   return target;
 }
 
