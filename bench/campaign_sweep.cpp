@@ -6,7 +6,10 @@
 /// reports wall-clock throughput, effort percentiles, and measured tiled-ECO
 /// speedups against the Quick_ECO and full re-P&R baselines.
 ///
-///   $ ./campaign_sweep [threads] [sessions_per_scenario]
+///   $ ./campaign_sweep [threads] [sessions_per_scenario] [csv_out]
+///
+/// `csv_out`, when given, receives the per-scenario CSV report — what the
+/// CI bench-smoke job uploads as its artifact.
 
 #include <cstdlib>
 #include <iostream>
@@ -14,6 +17,7 @@
 
 #include "bench_common.hpp"
 #include "campaign/campaign_engine.hpp"
+#include "util/file_io.hpp"
 #include "util/stats.hpp"
 
 using namespace emutile;
@@ -83,5 +87,9 @@ int main(int argc, char** argv) {
 
   par.print_summary(std::cout);
   std::cout << "\nper-scenario CSV:\n" << par.to_csv();
+  if (argc > 3) {
+    write_file_atomic(argv[3], par.to_csv());
+    std::cout << "\nCSV report written to " << argv[3] << "\n";
+  }
   return deterministic ? 0 : 1;
 }

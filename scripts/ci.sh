@@ -1,20 +1,55 @@
 #!/usr/bin/env bash
-# Tier-1 verify: configure, build, and run the full test suite, then rebuild
-# the service + campaign layers under AddressSanitizer and rerun their tests
-# (the concurrency-heavy part of the codebase).
+# Tier-1 verify, preset-driven. The same steps run locally and in GitHub
+# Actions (.github/workflows/ci.yml) — the workflow jobs invoke this script
+# with explicit steps so the two can never drift.
 #
-# Uses the "ci" CMake preset (RelWithDebInfo, -Wall -Wextra). Equivalent to:
-#   cmake -B build -S . && cmake --build build -j && cd build && ctest
-# Set EMUTILE_SKIP_ASAN=1 to skip the sanitizer pass.
+#   scripts/ci.sh [step...]      steps: ci | asan | bench-smoke
+#
+#   ci           configure + build + ctest with the "ci" CMake preset
+#                (RelWithDebInfo, -Wall -Wextra). EMUTILE_BUILD_TYPE, when
+#                set, overrides the preset's CMAKE_BUILD_TYPE — how the
+#                Actions matrix runs {Release, Debug} through one preset.
+#   asan         the "asan" preset: AddressSanitizer over the concurrency-
+#                heavy service/campaign tests.
+#   bench-smoke  build bench/campaign_sweep under the "ci" preset and run a
+#                tiny sweep (2 threads x 1 replica, determinism-checked);
+#                the per-scenario CSV lands in build/bench-smoke/ for the
+#                workflow to upload as an artifact.
+#
+# No arguments reproduces the historical default: ci then asan
+# (EMUTILE_SKIP_ASAN=1 skips the sanitizer pass).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake --preset ci
-cmake --build --preset ci
-ctest --preset ci
+run_preset() {
+  local preset=$1
+  cmake --preset "$preset" \
+    ${EMUTILE_BUILD_TYPE:+-DCMAKE_BUILD_TYPE="$EMUTILE_BUILD_TYPE"}
+  cmake --build --preset "$preset"
+  ctest --preset "$preset"
+}
 
-if [[ "${EMUTILE_SKIP_ASAN:-0}" != "1" ]]; then
-  cmake --preset asan
-  cmake --build --preset asan
-  ctest --preset asan
+bench_smoke() {
+  cmake --preset ci
+  cmake --build --preset ci --target bench_campaign_sweep
+  mkdir -p build/bench-smoke
+  ./build/campaign_sweep 2 1 build/bench-smoke/campaign_sweep.csv \
+    | tee build/bench-smoke/campaign_sweep.log
+}
+
+steps=("$@")
+if [[ ${#steps[@]} -eq 0 ]]; then
+  steps=(ci)
+  [[ "${EMUTILE_SKIP_ASAN:-0}" != "1" ]] && steps+=(asan)
 fi
+
+for step in "${steps[@]}"; do
+  case "$step" in
+    ci|asan) run_preset "$step" ;;
+    bench-smoke) bench_smoke ;;
+    *)
+      echo "unknown step '$step' (ci | asan | bench-smoke)" >&2
+      exit 2
+      ;;
+  esac
+done

@@ -1,0 +1,42 @@
+#pragma once
+/// \file campaign_report_io.hpp
+/// Mergeable wire format for CampaignReport — how shard reports travel from
+/// serviced instances back to the campaign coordinator.
+///
+/// to_csv()/to_json() are lossy presentation formats: they drop the raw
+/// debug-work samples and the accumulators' internal moments that
+/// CampaignReport::merge needs to recombine shards exactly. This module
+/// serializes the *complete* mergeable state — every counter, each
+/// accumulator's exact Welford moments, the retained work samples, and the
+/// per-scenario baselines — as line-oriented text with round-trip-exact
+/// doubles (format_double_exact), so
+///
+///   parse_campaign_report(serialize_campaign_report(r))
+///
+/// reconstructs a report that is indistinguishable from `r`: identical
+/// to_csv()/to_json() bytes, and merge() over parsed shard reports equals
+/// merge() over the originals bit-for-bit. The session service writes this
+/// form as out/<id>/report.shard and serves it over the SHARDREPORT wire
+/// command; the coordinator parses and merges the shards into a report
+/// byte-identical to an unsharded run_campaign.
+#include <filesystem>
+#include <string>
+
+#include "campaign/campaign_report.hpp"
+
+namespace emutile {
+
+/// Serialize the complete mergeable state (see the file comment).
+[[nodiscard]] std::string serialize_campaign_report(
+    const CampaignReport& report);
+
+/// Parse the serialized form back. Throws CheckError with a line number on
+/// malformed input (bad header, missing or out-of-order field, unparsable
+/// number, wrong scenario count).
+[[nodiscard]] CampaignReport parse_campaign_report(const std::string& text);
+
+/// Read and parse a shard-report file. Throws CheckError on IO/parse errors.
+[[nodiscard]] CampaignReport load_campaign_report_file(
+    const std::filesystem::path& path);
+
+}  // namespace emutile

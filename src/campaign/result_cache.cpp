@@ -213,4 +213,16 @@ std::size_t ResultCache::entries() const {
   return n;
 }
 
+std::size_t ResultCache::bytes() const {
+  std::size_t total = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().extension() != ".session") continue;
+    // A concurrently-evicted or racing entry reads as size 0, not an error.
+    std::error_code ec;
+    const std::uintmax_t size = entry.file_size(ec);
+    if (!ec) total += static_cast<std::size_t>(size);
+  }
+  return total;
+}
+
 }  // namespace emutile

@@ -88,6 +88,7 @@ class ResultCache {
   [[nodiscard]] std::size_t misses() const;
   [[nodiscard]] std::size_t stores() const;
   [[nodiscard]] std::size_t entries() const;  ///< files currently on disk
+  [[nodiscard]] std::size_t bytes() const;    ///< total entry bytes on disk
 
  private:
   [[nodiscard]] std::filesystem::path entry_path(std::uint64_t key) const;

@@ -1,0 +1,326 @@
+#include "orchestrator/campaign_coordinator.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "campaign/campaign_engine.hpp"
+#include "campaign/campaign_report_io.hpp"
+#include "campaign/campaign_spec_io.hpp"
+#include "service/service_client.hpp"
+#include "util/check.hpp"
+#include "util/file_io.hpp"
+#include "util/log.hpp"
+
+namespace emutile {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+const char* to_string(ShardState state) {
+  switch (state) {
+    case ShardState::kPending: return "pending";
+    case ShardState::kRemote: return "remote";
+    case ShardState::kLocal: return "local";
+    case ShardState::kDone: return "done";
+  }
+  return "?";
+}
+
+/// One shard's worth of work and where it currently lives.
+struct CampaignCoordinator::ShardWork {
+  CampaignSpec spec;
+  std::string text;  ///< canonical wire form of `spec`
+  ShardProgress progress;
+  std::size_t instance_index = 0;           ///< valid while kRemote
+  Clock::time_point last_progress{};        ///< last observed forward motion
+  std::filesystem::path spool_out_dir;      ///< discovered out dir (spool)
+  CampaignReport report;                    ///< valid once kDone
+};
+
+struct CampaignCoordinator::InstanceState {
+  const FleetInstance* config = nullptr;
+  bool healthy = true;
+};
+
+CampaignCoordinator::CampaignCoordinator(FleetConfig fleet,
+                                         CoordinatorOptions options)
+    : fleet_(std::move(fleet)), options_(std::move(options)) {}
+
+bool CampaignCoordinator::dispatch(ShardWork& shard,
+                                   std::vector<InstanceState>& instances) {
+  const std::string name_hint =
+      "shard" + std::to_string(shard.progress.shard);
+  for (std::size_t probe = 0; probe < instances.size(); ++probe) {
+    const std::size_t index = (rr_cursor_ + probe) % instances.size();
+    InstanceState& instance = instances[index];
+    if (!instance.healthy) continue;
+    try {
+      if (instance.config->address == InstanceAddress::kSocket) {
+        const ServiceClient client(instance.config->path,
+                                   options_.request_timeout_ms);
+        shard.progress.campaign_id =
+            client.submit(shard.text, options_.priority, name_hint);
+      } else {
+        // Spool instances get the spec dropped into <root>/spool; the id is
+        // daemon-assigned, so poll_shard discovers the output directory by
+        // matching the canonical spec text instead.
+        shard.progress.campaign_id.clear();
+        shard.spool_out_dir.clear();
+        static_cast<void>(
+            spool_submit_spec(instance.config->path, name_hint, shard.text));
+      }
+    } catch (const ServiceClient::BusyError&) {
+      // Loaded but alive: leave it healthy, try the next instance. If the
+      // whole fleet is busy the shard stays pending until a queue frees up
+      // — that backpressure is the point of the bounded SUBMIT queue.
+      continue;
+    } catch (const std::exception& e) {
+      EMUTILE_WARN("fleet instance '" << instance.config->name
+                                      << "' failed a dispatch: " << e.what());
+      instance.healthy = false;
+      continue;
+    }
+    shard.instance_index = index;
+    shard.progress.instance = instance.config->name;
+    shard.progress.state = ShardState::kRemote;
+    shard.progress.sessions_done = 0;
+    shard.last_progress = Clock::now();
+    ++shard.progress.dispatches;
+    if (shard.progress.dispatches > 1) ++redispatches_;
+    rr_cursor_ = (index + 1) % instances.size();
+    return true;
+  }
+  return false;
+}
+
+void CampaignCoordinator::poll_shard(ShardWork& shard,
+                                     std::vector<InstanceState>& instances) {
+  InstanceState& instance = instances[shard.instance_index];
+  const auto give_back = [&](const std::string& why, bool instance_dead) {
+    EMUTILE_WARN("shard " << shard.progress.shard << " on '"
+                          << instance.config->name << "': " << why
+                          << " — re-dispatching");
+    if (instance_dead) instance.healthy = false;
+    shard.progress.state = ShardState::kPending;
+  };
+  // Evaluated lazily, *after* this poll has had its chance to refresh
+  // last_progress — a tick that observes fresh progress (e.g. right after a
+  // long in-process fallback blocked the loop) must never act on a stale
+  // pre-poll timestamp and kill a healthy instance.
+  const auto stalled = [&] {
+    return options_.stall_deadline.count() > 0 &&
+           Clock::now() - shard.last_progress > options_.stall_deadline;
+  };
+
+  if (instance.config->address == InstanceAddress::kSocket) {
+    const ServiceClient client(instance.config->path,
+                               options_.request_timeout_ms);
+    try {
+      const RemoteCampaignStatus status =
+          client.status(shard.progress.campaign_id);
+      if (status.sessions_done > shard.progress.sessions_done)
+        shard.last_progress = Clock::now();
+      shard.progress.sessions_done = status.sessions_done;
+      if (status.state == "finished") {
+        // Already terminal, so WAIT returns immediately — it confirms the
+        // final report hit the disk before we fetch it.
+        static_cast<void>(client.wait(shard.progress.campaign_id,
+                                      options_.request_timeout_ms));
+        shard.report = parse_campaign_report(
+            client.fetch_shard_report(shard.progress.campaign_id));
+        shard.progress.state = ShardState::kDone;
+        shard.progress.sessions_done = shard.progress.sessions_total;
+      } else if (status.terminal()) {
+        // failed or cancelled out from under us: the instance answered, so
+        // it stays healthy, but this shard needs a new home.
+        give_back("campaign ended " + status.state, /*instance_dead=*/false);
+      } else if (stalled()) {
+        try {
+          client.cancel(shard.progress.campaign_id);  // best-effort
+        } catch (const std::exception&) {
+        }
+        give_back("no progress past the stall deadline",
+                  /*instance_dead=*/true);
+      }
+    } catch (const std::exception& e) {
+      give_back(e.what(), /*instance_dead=*/true);
+    }
+    return;
+  }
+
+  // Spool instance: discover the output directory by canonical spec text,
+  // then watch for the shard report (written atomically, so it reads whole
+  // or not at all).
+  try {
+    const std::filesystem::path out = instance.config->path / "out";
+    if (shard.spool_out_dir.empty() && std::filesystem::exists(out)) {
+      for (const auto& entry : std::filesystem::directory_iterator(out)) {
+        if (!entry.is_directory()) continue;
+        const std::filesystem::path spec_file = entry.path() / "spec.txt";
+        std::error_code ec;
+        if (!std::filesystem::exists(spec_file, ec)) continue;
+        try {
+          if (read_file(spec_file) == shard.text) {
+            shard.spool_out_dir = entry.path();
+            shard.last_progress = Clock::now();
+            break;
+          }
+        } catch (const std::exception&) {
+          // A vanished or unreadable dir is another campaign's business.
+        }
+      }
+    }
+    if (!shard.spool_out_dir.empty()) {
+      if (std::filesystem::exists(shard.spool_out_dir / "report.shard")) {
+        shard.report =
+            load_campaign_report_file(shard.spool_out_dir / "report.shard");
+        shard.progress.state = ShardState::kDone;
+        shard.progress.sessions_done = shard.progress.sessions_total;
+        return;
+      }
+      if (std::filesystem::exists(shard.spool_out_dir / "error.txt")) {
+        give_back("campaign failed (error.txt present)",
+                  /*instance_dead=*/false);
+        return;
+      }
+    }
+    if (stalled())
+      give_back("no progress past the stall deadline", /*instance_dead=*/true);
+  } catch (const std::exception& e) {
+    give_back(e.what(), /*instance_dead=*/true);
+  }
+}
+
+void CampaignCoordinator::run_local(ShardWork& shard) {
+  CampaignOptions options;
+  options.num_threads = std::max<std::size_t>(1, options_.local_threads);
+  options.campaign_id = "shard" + std::to_string(shard.progress.shard);
+  shard.progress.state = ShardState::kLocal;
+  shard.progress.instance = "local";
+  ++shard.progress.dispatches;
+  if (shard.progress.dispatches > 1) ++redispatches_;
+  ++local_shards_;
+  shard.report = run_campaign(shard.spec, options);
+  shard.progress.state = ShardState::kDone;
+  shard.progress.sessions_done = shard.progress.sessions_total;
+}
+
+FleetSnapshot CampaignCoordinator::snapshot(
+    const std::vector<ShardWork>& shards,
+    const std::vector<InstanceState>& instances) const {
+  FleetSnapshot snap;
+  snap.total_instances = instances.size();
+  for (const InstanceState& instance : instances)
+    if (instance.healthy) ++snap.healthy_instances;
+  snap.shards.reserve(shards.size());
+  for (const ShardWork& shard : shards) {
+    snap.shards.push_back(shard.progress);
+    snap.sessions_done += shard.progress.sessions_done;
+    snap.sessions_total += shard.progress.sessions_total;
+    if (shard.progress.state == ShardState::kDone) ++snap.shards_done;
+  }
+  return snap;
+}
+
+OrchestrationResult CampaignCoordinator::run(const CampaignSpec& spec) {
+  EMUTILE_CHECK(spec.shard_count == 1,
+                "the coordinator shards the spec itself — pass it unsharded");
+  // A coordinator may be reused: each run's counters start from zero.
+  rr_cursor_ = 0;
+  redispatches_ = 0;
+  local_shards_ = 0;
+
+  // A spec that cannot travel the wire (custom netlist builders) can still
+  // be orchestrated — entirely in-process.
+  bool serializable = true;
+  try {
+    static_cast<void>(serialize_campaign_spec(spec));
+  } catch (const CheckError&) {
+    serializable = false;
+  }
+
+  std::size_t num_shards =
+      options_.num_shards > 0 ? options_.num_shards : fleet_.instances.size();
+  num_shards = std::max<std::size_t>(1, num_shards);
+  if (!serializable) {
+    EMUTILE_CHECK(options_.allow_local_fallback,
+                  "spec has custom-builder designs (no wire form) and local "
+                  "fallback is disabled");
+    num_shards = 1;
+  }
+
+  std::vector<ShardWork> shards(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    ShardWork& shard = shards[i];
+    shard.spec = num_shards == 1 ? spec : spec.shard(i, num_shards);
+    if (serializable) shard.text = serialize_campaign_spec(shard.spec);
+    shard.progress.shard = i;
+    shard.progress.sessions_total = shard.spec.expand().size();
+  }
+
+  std::vector<InstanceState> instances(fleet_.instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i)
+    instances[i].config = &fleet_.instances[i];
+  if (!serializable)
+    for (InstanceState& instance : instances) instance.healthy = false;
+
+  // The supervision loop: dispatch pending shards, poll in-flight ones,
+  // stream a snapshot, sleep. A shard bounces kPending -> kRemote -> kDone,
+  // detouring back to kPending on every failure until it exhausts the fleet
+  // (one dispatch per instance plus slack) and runs locally.
+  const std::size_t max_remote_dispatches = instances.size() + 1;
+  for (;;) {
+    std::size_t done = 0;
+    bool any_healthy = false;
+    for (const InstanceState& instance : instances)
+      any_healthy = any_healthy || instance.healthy;
+
+    for (ShardWork& shard : shards) {
+      if (shard.progress.state == ShardState::kPending) {
+        const bool exhausted =
+            shard.progress.dispatches >= max_remote_dispatches;
+        if (any_healthy && !exhausted && dispatch(shard, instances)) {
+          // in flight now
+        } else if (!any_healthy || exhausted ||
+                   std::none_of(instances.begin(), instances.end(),
+                                [](const InstanceState& i) {
+                                  return i.healthy;
+                                })) {
+          EMUTILE_CHECK(options_.allow_local_fallback,
+                        "no healthy fleet instance left for shard "
+                            << shard.progress.shard
+                            << " and local fallback is disabled");
+          run_local(shard);
+        }
+        // else: every healthy instance answered busy — stay pending and
+        // retry next tick; their bounded queues are draining.
+      } else if (shard.progress.state == ShardState::kRemote) {
+        poll_shard(shard, instances);
+      }
+      if (shard.progress.state == ShardState::kDone) ++done;
+    }
+
+    if (options_.on_snapshot) options_.on_snapshot(snapshot(shards, instances));
+    if (done == shards.size()) break;
+    std::this_thread::sleep_for(options_.poll_interval);
+  }
+
+  OrchestrationResult result;
+  result.num_shards = num_shards;
+  result.redispatches = redispatches_;
+  result.local_shards = local_shards_;
+  // Merge in shard-index order — the exact order the byte-identity contract
+  // of CampaignReport::merge is tested against.
+  result.report = std::move(shards[0].report);
+  for (std::size_t i = 1; i < shards.size(); ++i)
+    result.report.merge(shards[i].report);
+  result.shards.reserve(shards.size());
+  for (const ShardWork& shard : shards) result.shards.push_back(shard.progress);
+  return result;
+}
+
+}  // namespace emutile

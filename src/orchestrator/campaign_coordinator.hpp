@@ -1,0 +1,153 @@
+#pragma once
+/// \file campaign_coordinator.hpp
+/// Multi-host campaign orchestration: one CampaignSpec fanned out across a
+/// fleet of serviced instances and merged back into a single report.
+///
+/// The coordinator composes the pieces the lower layers already guarantee:
+/// CampaignSpec::shard(i, n) slices the canonical job list without changing
+/// any job's identity or seed; each serviced instance runs its shard to a
+/// deterministic report; CampaignReport::merge recombines shard reports
+/// byte-identically to an unsharded run_campaign. What the coordinator adds
+/// is the traffic engineering in between:
+///
+///   dispatch     shards are SUBMITted round-robin over the healthy
+///                instances (socket instances over the wire protocol via
+///                ServiceClient, spool instances by dropping the shard spec
+///                into <root>/spool)
+///   supervision  STATUS is polled every poll_interval; per-instance
+///                progress and merged totals stream out via on_snapshot
+///   re-dispatch  an instance that dies (connection refused), hangs past
+///                stall_deadline without progress, rejects a SUBMIT
+///                (`ERR busy`), or whose campaign ends failed/cancelled is
+///                marked unhealthy and its shard is re-dispatched to the
+///                next healthy instance — sessions already computed are
+///                recovered from that instance's result cache, and the
+///                deterministic seeds make any re-run byte-identical
+///   degradation  when no healthy instance remains (or none ever existed),
+///                remaining shards run in-process via run_campaign — the
+///                fleet burning down degrades throughput, never correctness
+///   collection   a finished shard is WAITed (fast — already terminal),
+///                fetched over SHARDREPORT, and parsed from the mergeable
+///                wire format (campaign_report_io)
+///
+/// Determinism contract: run() returns a report whose to_csv()/to_json()
+/// bytes equal a direct run_campaign(spec) of the same unsharded spec, no
+/// matter how shards were placed, how often they were re-dispatched, or how
+/// many fell back to local execution.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign_report.hpp"
+#include "campaign/campaign_spec.hpp"
+#include "orchestrator/fleet_config_io.hpp"
+
+namespace emutile {
+
+/// Where one shard currently stands.
+enum class ShardState : std::uint8_t {
+  kPending,  ///< waiting for a (re-)dispatch
+  kRemote,   ///< submitted to an instance, in flight
+  kLocal,    ///< running in-process (fallback)
+  kDone      ///< shard report collected
+};
+
+[[nodiscard]] const char* to_string(ShardState state);
+
+struct ShardProgress {
+  std::size_t shard = 0;         ///< shard index (0-based)
+  ShardState state = ShardState::kPending;
+  std::string instance;          ///< serving instance name; "local" fallback
+  std::string campaign_id;       ///< remote campaign id (empty until known)
+  std::size_t sessions_done = 0;
+  std::size_t sessions_total = 0;
+  std::size_t dispatches = 0;    ///< submission attempts so far
+};
+
+/// Point-in-time aggregate streamed to CoordinatorOptions::on_snapshot.
+struct FleetSnapshot {
+  std::vector<ShardProgress> shards;
+  std::size_t sessions_done = 0;   ///< merged partial across all shards
+  std::size_t sessions_total = 0;
+  std::size_t shards_done = 0;
+  std::size_t healthy_instances = 0;
+  std::size_t total_instances = 0;
+};
+
+struct CoordinatorOptions {
+  /// How many shards to slice the spec into; 0 means one per fleet instance.
+  std::size_t num_shards = 0;
+  /// Priority forwarded to every SUBMIT.
+  int priority = 0;
+  /// STATUS poll cadence (also the snapshot cadence).
+  std::chrono::milliseconds poll_interval{200};
+  /// Re-dispatch a shard whose instance reported no progress for this long
+  /// (0 disables stall detection). This is also the only way a *dead*
+  /// spool-addressed instance is ever detected — dropping a spec into its
+  /// spool cannot fail the way a socket connect does — so the default is on,
+  /// generously. Spool instances only surface progress at completion; size
+  /// the deadline to the slowest expected shard, not the slowest session
+  /// (an over-eager deadline still converges: after exhausting the fleet
+  /// the shard runs in-process, merely wasting remote work).
+  std::chrono::milliseconds stall_deadline{600'000};
+  /// Per-exchange receive timeout for socket instances.
+  int request_timeout_ms = 30'000;
+  /// Worker threads for shards that fall back to in-process execution.
+  std::size_t local_threads = 2;
+  /// When false, a fully-failed fleet raises CheckError instead of running
+  /// remaining shards in-process.
+  bool allow_local_fallback = true;
+  /// Streamed once per poll tick with the current fleet aggregate.
+  std::function<void(const FleetSnapshot&)> on_snapshot;
+};
+
+/// What an orchestrated campaign produced, beyond the merged report.
+struct OrchestrationResult {
+  CampaignReport report;         ///< merged; byte-identical to unsharded run
+  std::size_t num_shards = 0;
+  std::size_t redispatches = 0;  ///< dispatches beyond each shard's first
+  std::size_t local_shards = 0;  ///< shards that ran in-process
+  std::vector<ShardProgress> shards;  ///< final per-shard state
+};
+
+class CampaignCoordinator {
+ public:
+  explicit CampaignCoordinator(FleetConfig fleet,
+                               CoordinatorOptions options = {});
+
+  /// Orchestrate `spec` across the fleet and block until the merged report
+  /// is complete. The spec must be unsharded (the coordinator owns the
+  /// slicing) and serializable (catalog designs only) to travel the wire;
+  /// a custom-builder spec runs entirely in-process. Throws CheckError when
+  /// a shard cannot be completed anywhere (e.g. fallback disabled and every
+  /// instance down).
+  [[nodiscard]] OrchestrationResult run(const CampaignSpec& spec);
+
+ private:
+  struct ShardWork;
+  struct InstanceState;
+
+  /// Submit `shard` to the next healthy instance; true on success. Marks
+  /// instances it fails against unhealthy.
+  [[nodiscard]] bool dispatch(ShardWork& shard,
+                              std::vector<InstanceState>& instances);
+  /// One STATUS/report-collection pass over an in-flight shard. May flip it
+  /// to kDone or back to kPending (failure → re-dispatch).
+  void poll_shard(ShardWork& shard, std::vector<InstanceState>& instances);
+  void run_local(ShardWork& shard);
+  [[nodiscard]] FleetSnapshot snapshot(
+      const std::vector<ShardWork>& shards,
+      const std::vector<InstanceState>& instances) const;
+
+  FleetConfig fleet_;
+  CoordinatorOptions options_;
+  std::size_t rr_cursor_ = 0;     ///< round-robin dispatch position
+  std::size_t redispatches_ = 0;
+  std::size_t local_shards_ = 0;
+};
+
+}  // namespace emutile

@@ -1,0 +1,61 @@
+#pragma once
+/// \file fleet_config_io.hpp
+/// The fleet-config format: which serviced instances a campaign coordinator
+/// fans shards out to, and how each one is addressed.
+///
+/// Line-oriented text, same conventions as the campaign spec format
+/// (`# comments`, blank lines, `emutile-fleet v1` header, `end` footer):
+///
+///   emutile-fleet v1
+///   instance alpha socket /var/emutile-a/serviced.sock
+///   instance beta  spool  /var/emutile-b
+///   end
+///
+/// Two address kinds:
+///   socket <path>  the instance's Unix control socket — full protocol
+///                  (SUBMIT/STATUS/WAIT/SHARDREPORT), live progress
+///   spool <root>   the instance's service *root* directory — the
+///                  coordinator drops shard specs into <root>/spool and
+///                  watches <root>/out for the shard report; degraded but
+///                  works with --no-socket daemons and network filesystems
+///
+/// Instance names must be unique — they key health tracking and appear in
+/// fleet snapshots and logs.
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace emutile {
+
+enum class InstanceAddress : std::uint8_t {
+  kSocket,  ///< path is the daemon's Unix control socket
+  kSpool    ///< path is the daemon's service root (spool/ + out/ under it)
+};
+
+[[nodiscard]] const char* to_string(InstanceAddress address);
+
+struct FleetInstance {
+  std::string name;
+  InstanceAddress address = InstanceAddress::kSocket;
+  std::filesystem::path path;
+};
+
+struct FleetConfig {
+  std::vector<FleetInstance> instances;
+};
+
+/// Parse a fleet config. Throws CheckError with a line number on malformed
+/// input (bad header, unknown key or address kind, duplicate or missing
+/// instance name, empty fleet, trailing content).
+[[nodiscard]] FleetConfig parse_fleet_config(const std::string& text);
+
+/// Read and parse a fleet-config file. Throws CheckError on IO/parse errors.
+[[nodiscard]] FleetConfig load_fleet_config_file(
+    const std::filesystem::path& path);
+
+/// Canonical serialization; parse(serialize(c)) reproduces `c`.
+[[nodiscard]] std::string serialize_fleet_config(const FleetConfig& config);
+
+}  // namespace emutile

@@ -1,0 +1,148 @@
+#include "service/service_client.hpp"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "service/service_endpoint.hpp"
+#include "util/file_io.hpp"
+
+namespace emutile {
+
+namespace {
+
+/// Parse `key=<number>` where the token is known to start with `key=`.
+std::size_t keyed_count(const std::string& token, const char* key) {
+  const std::string prefix = std::string(key) + "=";
+  EMUTILE_CHECK(token.rfind(prefix, 0) == 0,
+                "malformed status token '" << token << "' (expected " << key
+                                           << "=...)");
+  return static_cast<std::size_t>(
+      std::strtoull(token.c_str() + prefix.size(), nullptr, 10));
+}
+
+}  // namespace
+
+ServiceClient::ServiceClient(std::filesystem::path socket_path, int timeout_ms)
+    : socket_path_(std::move(socket_path)), timeout_ms_(timeout_ms) {}
+
+std::string ServiceClient::request(const std::string& request_text) const {
+  return endpoint_request(socket_path_, request_text, timeout_ms_);
+}
+
+std::string ServiceClient::expect_ok(const std::string& response,
+                                     const std::string& what) const {
+  EMUTILE_CHECK(response.rfind("OK ", 0) == 0,
+                what << " via " << socket_path_ << " refused: "
+                     << (response.empty() ? std::string("<empty response>")
+                                          : response));
+  const std::size_t eol = response.find('\n');
+  return response.substr(3, eol == std::string::npos ? std::string::npos
+                                                     : eol - 3);
+}
+
+bool ServiceClient::ping() const noexcept {
+  try {
+    return request("PING\n") == "OK pong\n";
+  } catch (...) {
+    return false;
+  }
+}
+
+std::string ServiceClient::submit(const std::string& spec_text, int priority,
+                                  const std::string& name_hint) const {
+  std::ostringstream os;
+  os << "SUBMIT " << priority;
+  if (!name_hint.empty()) os << " " << name_hint;
+  os << "\n" << spec_text;
+  const std::string response = request(os.str());
+  if (response.rfind("ERR busy", 0) == 0)
+    throw BusyError("instance at " + socket_path_.string() +
+                    " is busy: " + response.substr(4));
+  return expect_ok(response, "SUBMIT");
+}
+
+RemoteCampaignStatus ServiceClient::status(const std::string& id) const {
+  const std::string line = expect_ok(request("STATUS " + id + "\n"),
+                                     "STATUS " + id);
+  // <id> <state> <done>/<total> hits=<n> misses=<n> snapshots=<n>
+  std::istringstream in(line);
+  RemoteCampaignStatus s;
+  std::string progress, hits, misses, snapshots;
+  EMUTILE_CHECK(in >> s.id >> s.state >> progress >> hits >> misses >>
+                    snapshots,
+                "malformed STATUS line from " << socket_path_ << ": " << line);
+  const std::size_t slash = progress.find('/');
+  EMUTILE_CHECK(slash != std::string::npos,
+                "malformed progress '" << progress << "' in STATUS line");
+  s.sessions_done =
+      static_cast<std::size_t>(std::strtoull(progress.c_str(), nullptr, 10));
+  s.sessions_total = static_cast<std::size_t>(
+      std::strtoull(progress.c_str() + slash + 1, nullptr, 10));
+  s.cache_hits = keyed_count(hits, "hits");
+  s.cache_misses = keyed_count(misses, "misses");
+  s.snapshots = keyed_count(snapshots, "snapshots");
+  return s;
+}
+
+std::string ServiceClient::wait(const std::string& id, int timeout_ms) const {
+  return expect_ok(
+      endpoint_request(socket_path_, "WAIT " + id + "\n", timeout_ms),
+      "WAIT " + id);
+}
+
+void ServiceClient::cancel(const std::string& id) const {
+  static_cast<void>(expect_ok(request("CANCEL " + id + "\n"), "CANCEL " + id));
+}
+
+std::string ServiceClient::list() const {
+  const std::string response = request("LIST\n");
+  static_cast<void>(expect_ok(response, "LIST"));
+  return response;
+}
+
+std::string ServiceClient::fetch_shard_report(const std::string& id) const {
+  const std::string response = request("SHARDREPORT " + id + "\n");
+  static_cast<void>(expect_ok(response, "SHARDREPORT " + id));
+  const std::size_t eol = response.find('\n');
+  EMUTILE_CHECK(eol != std::string::npos && eol + 1 < response.size(),
+                "SHARDREPORT " << id << " from " << socket_path_
+                               << " carried no report body");
+  return response.substr(eol + 1);
+}
+
+RemoteCacheStats ServiceClient::cache_stats() const {
+  const std::string line = expect_ok(request("CACHE\n"), "CACHE");
+  std::istringstream in(line);
+  std::string entries, bytes, hits, misses, stores;
+  EMUTILE_CHECK(in >> entries >> bytes >> hits >> misses >> stores,
+                "malformed CACHE line from " << socket_path_ << ": " << line);
+  RemoteCacheStats s;
+  s.entries = keyed_count(entries, "entries");
+  s.bytes = keyed_count(bytes, "bytes");
+  s.hits = keyed_count(hits, "hits");
+  s.misses = keyed_count(misses, "misses");
+  s.stores = keyed_count(stores, "stores");
+  return s;
+}
+
+std::filesystem::path spool_submit_spec(const std::filesystem::path& root,
+                                        const std::string& stem,
+                                        const std::string& text) {
+  const std::filesystem::path spool = root / "spool";
+  std::filesystem::create_directories(spool);
+  const std::string unique_stem = stem + "-" + std::to_string(::getpid());
+  std::filesystem::path target;
+  for (int n = 0;; ++n) {
+    target =
+        spool / (unique_stem + (n == 0 ? "" : "-" + std::to_string(n)) +
+                 ".spec");
+    if (!std::filesystem::exists(target)) break;
+  }
+  write_file_atomic(target, text);
+  return target;
+}
+
+}  // namespace emutile

@@ -1,0 +1,121 @@
+#pragma once
+/// \file service_client.hpp
+/// Client side of a serviced instance: typed wrappers over the one-shot
+/// line protocol of service_endpoint.hpp, shared by emutile_submit, the
+/// campaign coordinator, and anything else that talks to a daemon.
+///
+/// One class, one connection codepath: every method opens a fresh one-shot
+/// connection through endpoint_request() with this client's receive timeout,
+/// so a hung or dead daemon surfaces as a CheckError within the timeout
+/// instead of blocking the caller forever. Methods that parse an `OK ...`
+/// response throw CheckError on `ERR ...` replies too — except where a
+/// distinguished result is part of the contract (ping(), submit()'s
+/// BusyError).
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace emutile {
+
+/// Parsed form of one STATUS line.
+struct RemoteCampaignStatus {
+  std::string id;
+  std::string state;  ///< queued|running|finished|cancelled|failed
+  std::size_t sessions_done = 0;
+  std::size_t sessions_total = 0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::size_t snapshots = 0;
+
+  [[nodiscard]] bool terminal() const {
+    return state == "finished" || state == "cancelled" || state == "failed";
+  }
+};
+
+/// Parsed form of a CACHE response.
+struct RemoteCacheStats {
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t stores = 0;
+};
+
+class ServiceClient {
+ public:
+  /// Thrown by submit() when the daemon answered `ERR busy` (bounded queue
+  /// full): the spec is fine, the instance is loaded — try later/elsewhere.
+  class BusyError : public CheckError {
+   public:
+    using CheckError::CheckError;
+  };
+
+  /// `timeout_ms` bounds every exchange except wait() (which has its own);
+  /// negative blocks indefinitely.
+  explicit ServiceClient(std::filesystem::path socket_path,
+                         int timeout_ms = 30'000);
+
+  [[nodiscard]] const std::filesystem::path& socket_path() const {
+    return socket_path_;
+  }
+
+  /// Raw one-shot exchange (request must be newline-terminated; SUBMIT
+  /// carries the spec as the body). Returns the raw response.
+  [[nodiscard]] std::string request(const std::string& request_text) const;
+
+  /// True iff a live daemon answered the PING. Never throws: a dead socket,
+  /// a stale socket file, or a timeout all read as "not up".
+  [[nodiscard]] bool ping() const noexcept;
+
+  /// SUBMIT `spec_text`; returns the daemon-assigned campaign id. Throws
+  /// BusyError on `ERR busy`, CheckError on any other failure.
+  [[nodiscard]] std::string submit(const std::string& spec_text,
+                                   int priority = 0,
+                                   const std::string& name_hint = "") const;
+
+  /// STATUS of one campaign. Throws CheckError (e.g. unknown id).
+  [[nodiscard]] RemoteCampaignStatus status(const std::string& id) const;
+
+  /// WAIT for a terminal state; returns it ("finished", ...). `timeout_ms`
+  /// defaults to blocking indefinitely — campaigns take as long as they
+  /// take; pass a bound when polling STATUS first.
+  [[nodiscard]] std::string wait(const std::string& id,
+                                 int timeout_ms = -1) const;
+
+  /// CANCEL a campaign. Throws CheckError on unknown ids.
+  void cancel(const std::string& id) const;
+
+  /// LIST: raw response body, one status line per campaign after `OK <n>`.
+  [[nodiscard]] std::string list() const;
+
+  /// SHARDREPORT: the campaign's mergeable report (campaign_report_io
+  /// format, ready for parse_campaign_report). The campaign must be
+  /// terminal. Throws CheckError otherwise.
+  [[nodiscard]] std::string fetch_shard_report(const std::string& id) const;
+
+  /// CACHE: result-cache statistics. Throws CheckError (e.g. disabled).
+  [[nodiscard]] RemoteCacheStats cache_stats() const;
+
+ private:
+  /// Strip "OK " and the trailing newline off a single-line response; throw
+  /// CheckError describing `what` on an ERR or malformed reply.
+  [[nodiscard]] std::string expect_ok(const std::string& response,
+                                      const std::string& what) const;
+
+  std::filesystem::path socket_path_;
+  int timeout_ms_;
+};
+
+/// Socketless submission: atomically drop `text` into `root`/spool as
+/// `<stem>-<pid>[-<n>].spec` for the daemon's next poll. The pid keeps
+/// concurrent submitters of same-named specs on distinct targets, the -n
+/// loop uniquifies retries within one process, and write_file_atomic
+/// publishes the .spec whole. Returns the spooled path.
+std::filesystem::path spool_submit_spec(const std::filesystem::path& root,
+                                        const std::string& stem,
+                                        const std::string& text);
+
+}  // namespace emutile

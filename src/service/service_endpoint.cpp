@@ -14,6 +14,7 @@
 
 #include "service/session_service.hpp"
 #include "util/check.hpp"
+#include "util/file_io.hpp"
 #include "util/log.hpp"
 
 namespace emutile {
@@ -185,8 +186,14 @@ std::string ServiceEndpoint::handle_request(const std::string& request) {
     int priority = 0;
     std::string name_hint;
     line >> priority >> name_hint;
-    const std::string id = service_.submit_text(body, priority, name_hint);
-    return "OK " + id + "\n";
+    try {
+      const std::string id = service_.submit_text(body, priority, name_hint);
+      return "OK " + id + "\n";
+    } catch (const ServiceBusyError& e) {
+      // A distinguished first token: clients branch on `ERR busy` to back
+      // off or re-dispatch instead of treating the spec as malformed.
+      return std::string("ERR busy ") + e.what() + "\n";
+    }
   } else if (command == "STATUS") {
     std::string id;
     if (!(line >> id)) return "ERR STATUS needs a campaign id\n";
@@ -215,6 +222,32 @@ std::string ServiceEndpoint::handle_request(const std::string& request) {
       if (stopping_.load()) return "ERR service shutting down\n";
     const std::optional<CampaignStatus> s = service_.status(id);
     return std::string("OK ") + (s ? to_string(s->state) : "unknown") + "\n";
+  } else if (command == "SHARDREPORT") {
+    std::string id;
+    if (!(line >> id)) return "ERR SHARDREPORT needs a campaign id\n";
+    const std::optional<CampaignStatus> s = service_.status(id);
+    if (!s) return "ERR unknown campaign '" + id + "'\n";
+    if (s->state == CampaignState::kFailed)
+      return "ERR campaign '" + id + "' failed: " + s->error + "\n";
+    if (s->state != CampaignState::kFinished &&
+        s->state != CampaignState::kCancelled)
+      return "ERR campaign '" + id + "' is still " + to_string(s->state) +
+             " — WAIT for it first\n";
+    // finalize() published the mergeable form before the state flipped
+    // terminal, so a terminal campaign always has it on disk.
+    try {
+      return "OK " + id + "\n" + read_file(s->out_dir / "report.shard");
+    } catch (const std::exception& e) {
+      return std::string("ERR shard report unreadable: ") + e.what() + "\n";
+    }
+  } else if (command == "CACHE") {
+    ResultCache* cache = service_.cache();
+    if (!cache) return "ERR result cache disabled\n";
+    std::ostringstream os;
+    os << "OK entries=" << cache->entries() << " bytes=" << cache->bytes()
+       << " hits=" << cache->hits() << " misses=" << cache->misses()
+       << " stores=" << cache->stores() << "\n";
+    return os.str();
   } else if (command == "SHUTDOWN") {
     shutdown_requested_.store(true);
     return "OK bye\n";
@@ -223,7 +256,7 @@ std::string ServiceEndpoint::handle_request(const std::string& request) {
 }
 
 std::string endpoint_request(const std::filesystem::path& socket_path,
-                             const std::string& request) {
+                             const std::string& request, int timeout_ms) {
   const sockaddr_un addr = make_address(socket_path);
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   EMUTILE_CHECK(fd >= 0, "cannot create socket: " << std::strerror(errno));
@@ -237,10 +270,13 @@ std::string endpoint_request(const std::filesystem::path& socket_path,
   std::string response;
   const bool sent = write_all(fd, request);
   if (sent) ::shutdown(fd, SHUT_WR);  // half-close delimits the request
-  const bool received = sent && read_all(fd, response);
+  const bool received = sent && read_all(fd, response, timeout_ms);
   ::close(fd);
-  EMUTILE_CHECK(sent && received,
-                "request to " << socket_path << " failed mid-flight");
+  EMUTILE_CHECK(sent && received, "request to " << socket_path
+                                                << " failed mid-flight"
+                                                << (timeout_ms >= 0
+                                                        ? " or timed out"
+                                                        : ""));
   return response;
 }
 

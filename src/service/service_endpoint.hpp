@@ -9,12 +9,24 @@
 ///
 ///   PING                         -> OK pong
 ///   SUBMIT <priority> [<name>]   -> OK <campaign-id>      (body = spec text)
+///                                   `ERR busy ...` when the bounded campaign
+///                                   queue (ServiceConfig::max_pending) is
+///                                   full — resubmit later or elsewhere
 ///   STATUS <id>                  -> OK <id> <state> <done>/<total>
 ///                                   hits=<n> misses=<n> snapshots=<n>
 ///   LIST                         -> OK <count>  (+ one status line per
 ///                                   campaign)
 ///   CANCEL <id>                  -> OK cancelled
 ///   WAIT <id>                    -> OK <terminal-state>   (blocks)
+///   SHARDREPORT <id>             -> OK <id>  (+ the campaign's mergeable
+///                                   report, campaign_report_io format; only
+///                                   after the campaign is terminal — a
+///                                   coordinator merges these shard reports
+///                                   into the fleet-wide result)
+///   CACHE                        -> OK entries=<n> bytes=<n> hits=<n>
+///                                   misses=<n> stores=<n>  (result-cache
+///                                   stats since daemon start; `ERR` when the
+///                                   cache is disabled)
 ///   SHUTDOWN                     -> OK bye  (sets shutdown_requested)
 ///
 /// Errors answer `ERR <message>`. Each connection is served on its own
@@ -75,8 +87,12 @@ class ServiceEndpoint {
 
 /// Client side of the protocol: connect to `socket_path`, send `request`
 /// (first line + optional body), half-close, and return the full response.
-/// Throws CheckError on connection errors.
+/// Throws CheckError on connection errors, or when the response has not
+/// arrived in full within `timeout_ms` (negative blocks indefinitely — only
+/// appropriate for WAIT against a trusted daemon; a coordinator polling many
+/// instances must bound every exchange so one hung daemon cannot wedge it).
 [[nodiscard]] std::string endpoint_request(
-    const std::filesystem::path& socket_path, const std::string& request);
+    const std::filesystem::path& socket_path, const std::string& request,
+    int timeout_ms = -1);
 
 }  // namespace emutile

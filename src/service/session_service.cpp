@@ -8,6 +8,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "campaign/campaign_report_io.hpp"
 #include "campaign/campaign_spec_io.hpp"
 #include "util/check.hpp"
 #include "util/file_io.hpp"
@@ -137,6 +138,20 @@ std::string SessionService::submit(const CampaignSpec& spec, int priority,
   Campaign* c = nullptr;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    // Admission control under the same lock that registers the campaign —
+    // check-then-act with the lock dropped in between would let concurrent
+    // submits overshoot the bound it exists to enforce.
+    if (config_.max_pending > 0) {
+      std::size_t pending = 0;
+      for (const std::unique_ptr<Campaign>& existing : campaigns_)
+        if (existing->state == CampaignState::kQueued ||
+            existing->state == CampaignState::kRunning)
+          ++pending;
+      if (pending >= config_.max_pending)
+        throw ServiceBusyError("campaign queue full (" +
+                               std::to_string(pending) + " pending, limit " +
+                               std::to_string(config_.max_pending) + ")");
+    }
     auto owned = std::make_unique<Campaign>();
     c = owned.get();
     c->id = id;
@@ -191,6 +206,11 @@ std::size_t SessionService::poll_spool() {
       submit(spec, 0, path.stem().string());
       move_into(path, spool / "archive");
       ++accepted;
+    } catch (const ServiceBusyError&) {
+      // Queue full, not a bad spec: leave it (and everything queued behind
+      // it — same full queue) in the spool for the next poll. Busy means
+      // "try again later", never "reject".
+      break;
     } catch (const std::exception& e) {
       EMUTILE_WARN("spool file " << path << " rejected: " << e.what());
       const std::filesystem::path rejected = spool / "rejected";
@@ -416,6 +436,10 @@ void SessionService::finalize(Campaign& c) {
       report.cache_misses = c.cache_misses;
       write_file_atomic(c.out_dir / "report.json", report.to_json());
       write_file_atomic(c.out_dir / "report.csv", report.to_csv());
+      // The mergeable form: what a coordinator fetches over SHARDREPORT to
+      // recombine this shard with the rest of its fleet.
+      write_file_atomic(c.out_dir / "report.shard",
+                        serialize_campaign_report(report));
       state = c.cancel_flag.load() ? CampaignState::kCancelled
                                    : CampaignState::kFinished;
     } catch (const std::exception& e) {

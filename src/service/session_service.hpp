@@ -16,6 +16,8 @@
 ///   out/<id>/snapshot-NNN.json   streamed partial reports (every
 ///                                snapshot_every completed sessions)
 ///   out/<id>/report.json|.csv    final deterministic report
+///   out/<id>/report.shard        mergeable form (campaign_report_io) served
+///                                over the SHARDREPORT wire command
 ///   out/<id>/error.txt  present iff the campaign failed outright
 ///
 /// Determinism contract: out/<id>/report.json and report.csv are
@@ -39,6 +41,7 @@
 #include "campaign/campaign_engine.hpp"
 #include "campaign/result_cache.hpp"
 #include "service/job_scheduler.hpp"
+#include "util/check.hpp"
 
 namespace emutile {
 
@@ -49,6 +52,18 @@ struct ServiceConfig {
   /// intermediate snapshots; the final report is always written).
   std::size_t snapshot_every = 8;
   bool enable_cache = true;
+  /// Backpressure: when more than this many campaigns are queued or running,
+  /// submit() throws ServiceBusyError (the endpoint answers `ERR busy`)
+  /// instead of accepting — a misbehaving submitter cannot OOM the daemon.
+  /// 0 means unbounded.
+  std::size_t max_pending = 0;
+};
+
+/// Thrown by submit() when the bounded campaign queue (max_pending) is full.
+/// The spec was not accepted; resubmit later or to another instance.
+class ServiceBusyError : public CheckError {
+ public:
+  using CheckError::CheckError;
 };
 
 enum class CampaignState : std::uint8_t {

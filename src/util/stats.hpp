@@ -44,8 +44,26 @@ class Accumulator {
     max_ = std::max(max_, other.max_);
   }
 
+  /// Reconstruct an accumulator from its exact internal state (the values
+  /// the accessors report). With round-trip-exact doubles this restores the
+  /// accumulator bit-for-bit, so a merge of restored accumulators equals a
+  /// merge of the originals — the basis of the shard-report wire format.
+  [[nodiscard]] static Accumulator from_parts(std::size_t n, double mean,
+                                              double m2, double min,
+                                              double max) {
+    Accumulator a;
+    if (n == 0) return a;
+    a.n_ = n;
+    a.mean_ = mean;
+    a.m2_ = m2;
+    a.min_ = min;
+    a.max_ = max;
+    return a;
+  }
+
   [[nodiscard]] std::size_t count() const { return n_; }
   [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double m2() const { return m2_; }  ///< raw Welford moment
   [[nodiscard]] double min() const { return min_; }
   [[nodiscard]] double max() const { return max_; }
   [[nodiscard]] double variance() const {

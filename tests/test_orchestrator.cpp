@@ -1,0 +1,353 @@
+// Orchestrator tests: the fleet-config format, the mergeable shard-report
+// wire format (exact round-trip + merge equivalence), and the campaign
+// coordinator end-to-end — sharded orchestration over in-process serviced
+// instances, re-dispatch when an instance is killed mid-campaign, spool-
+// addressed instances, and the all-instances-down in-process fallback. The
+// load-bearing assertion throughout: the merged fleet report is
+// byte-identical to a direct unsharded run_campaign of the same spec.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "campaign/campaign_engine.hpp"
+#include "campaign/campaign_report_io.hpp"
+#include "campaign/campaign_spec_io.hpp"
+#include "orchestrator/campaign_coordinator.hpp"
+#include "service/service_endpoint.hpp"
+#include "service/session_service.hpp"
+#include "util/check.hpp"
+
+namespace emutile {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory per test, removed on destruction.
+struct ScratchDir {
+  fs::path path;
+  explicit ScratchDir(const std::string& name) {
+    path = fs::path(::testing::TempDir()) / ("emutile-" + name);
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+/// A campaign big enough that a 3-shard split gives every shard real work:
+/// 2 error kinds x `replicas` replicas on one design.
+CampaignSpec sharded_test_spec(int replicas, std::uint64_t master_seed) {
+  CampaignSpec spec;
+  spec.add_catalog_design("9sym");
+  spec.error_kinds = {ErrorKind::kWrongPolarity, ErrorKind::kWrongConnection};
+  spec.tilings.clear();
+  TilingParams tiling;
+  tiling.num_tiles = 6;
+  tiling.target_overhead = 0.3;
+  spec.tilings.push_back(tiling);
+  spec.sessions_per_scenario = replicas;
+  spec.master_seed = master_seed;
+  spec.num_patterns = 96;
+  return spec;
+}
+
+// ------------------------------------------------------------ fleet config ---
+
+TEST(FleetConfigIo, RoundTripsAndToleratesCommentsAndBlanks) {
+  const std::string text =
+      "# production fleet\n"
+      "emutile-fleet v1\n"
+      "\n"
+      "instance alpha socket /var/emutile-a/serviced.sock\n"
+      "instance beta spool /var/emutile-b\n"
+      "end\n";
+  const FleetConfig fleet = parse_fleet_config(text);
+  ASSERT_EQ(fleet.instances.size(), 2u);
+  EXPECT_EQ(fleet.instances[0].name, "alpha");
+  EXPECT_EQ(fleet.instances[0].address, InstanceAddress::kSocket);
+  EXPECT_EQ(fleet.instances[0].path, "/var/emutile-a/serviced.sock");
+  EXPECT_EQ(fleet.instances[1].name, "beta");
+  EXPECT_EQ(fleet.instances[1].address, InstanceAddress::kSpool);
+
+  // serialize -> parse is the identity on the canonical form.
+  const std::string canonical = serialize_fleet_config(fleet);
+  EXPECT_EQ(serialize_fleet_config(parse_fleet_config(canonical)), canonical);
+}
+
+TEST(FleetConfigIo, MalformedInputsThrowWithContext) {
+  const auto reject = [](const std::string& text) {
+    EXPECT_THROW(static_cast<void>(parse_fleet_config(text)), CheckError)
+        << text;
+  };
+  reject("");                                          // no header
+  reject("emutile-fleet v2\nend\n");                   // wrong version
+  reject("emutile-fleet v1\n");                        // missing end
+  reject("emutile-fleet v1\nend\n");                   // empty fleet
+  reject("emutile-fleet v1\nhost a socket /s\nend\n");  // unknown key
+  reject("emutile-fleet v1\ninstance\nend\n");          // missing name
+  reject("emutile-fleet v1\ninstance a\nend\n");        // missing kind
+  reject("emutile-fleet v1\ninstance a socket\nend\n");  // missing path
+  reject("emutile-fleet v1\ninstance a tcp 1.2.3.4\nend\n");  // bad kind
+  reject("emutile-fleet v1\ninstance a socket /s extra\nend\n");
+  reject(
+      "emutile-fleet v1\ninstance a socket /s\ninstance a socket /t\nend\n");
+  reject("emutile-fleet v1\ninstance a socket /s\nend\nleftover\n");
+  // Line numbers make config mistakes debuggable.
+  try {
+    static_cast<void>(parse_fleet_config(
+        "emutile-fleet v1\n# comment\nfrobnicate\nend\n"));
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+// ----------------------------------------------------- shard report format ---
+
+TEST(CampaignReportIo, ExactRoundTripThroughTheWireFormat) {
+  // Baselines on: the serialized form must carry scenario baselines and the
+  // accumulators' exact internal moments, not just presentation values.
+  CampaignSpec spec = sharded_test_spec(2, 77);
+  spec.measure_baselines = true;
+  const CampaignReport original = run_campaign(spec);
+
+  const std::string wire = serialize_campaign_report(original);
+  const CampaignReport parsed = parse_campaign_report(wire);
+
+  // Indistinguishable in presentation bytes and in re-serialized bytes.
+  EXPECT_EQ(parsed.to_json(), original.to_json());
+  EXPECT_EQ(parsed.to_csv(), original.to_csv());
+  EXPECT_EQ(serialize_campaign_report(parsed), wire);
+  EXPECT_EQ(parsed.debug_work_samples, original.debug_work_samples);
+  EXPECT_EQ(parsed.cache_hits, original.cache_hits);
+  EXPECT_EQ(parsed.num_threads, original.num_threads);
+}
+
+TEST(CampaignReportIo, MergeOverParsedShardsMatchesUnshardedRun) {
+  // The contract the coordinator stands on: shard reports that travelled
+  // the wire format merge into the exact bytes of a direct unsharded run.
+  CampaignSpec spec = sharded_test_spec(3, 21);
+  spec.measure_baselines = true;
+  const CampaignReport full = run_campaign(spec);
+
+  CampaignReport merged;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const CampaignReport piece = run_campaign(spec.shard(i, 3));
+    const CampaignReport parsed =
+        parse_campaign_report(serialize_campaign_report(piece));
+    if (i == 0)
+      merged = parsed;
+    else
+      merged.merge(parsed);
+  }
+  EXPECT_EQ(merged.to_json(), full.to_json());
+  EXPECT_EQ(merged.to_csv(), full.to_csv());
+}
+
+TEST(CampaignReportIo, MalformedReportsThrowWithLineNumbers) {
+  const auto reject = [](const std::string& text) {
+    EXPECT_THROW(static_cast<void>(parse_campaign_report(text)), CheckError)
+        << text;
+  };
+  reject("");
+  reject("emutile-report v2\n");
+  reject("emutile-report v1\n");  // truncated
+  reject("emutile-report v1\ncampaign 1 1 0 0 1 1 1 1\n");  // truncated
+  reject(
+      "emutile-report v1\ncampaign banana 1 0 0 1 1 1 1\n");  // bad number
+  const CampaignReport empty_report =
+      run_campaign(sharded_test_spec(0, 1).shard(0, 2));
+  std::string wire = serialize_campaign_report(empty_report);
+  reject(wire.substr(0, wire.size() / 2));  // cut mid-stream
+  // Field-order violations are rejected, not silently misread.
+  reject("emutile-report v1\nbuild_work 0\n");
+  try {
+    static_cast<void>(
+        parse_campaign_report("emutile-report v1\nwrong 1\n"));
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+// -------------------------------------------------------------- coordinator ---
+
+/// One in-process "host": a SessionService plus its socket endpoint, both
+/// destroyable mid-test to simulate an instance dying.
+struct InProcessInstance {
+  ServiceConfig config;
+  std::unique_ptr<SessionService> service;
+  std::unique_ptr<ServiceEndpoint> endpoint;
+
+  InProcessInstance(const fs::path& root, std::size_t threads) {
+    config.root = root;
+    config.num_threads = threads;
+    config.snapshot_every = 0;
+    service = std::make_unique<SessionService>(config);
+    endpoint = std::make_unique<ServiceEndpoint>(*service,
+                                                 root / "serviced.sock");
+  }
+
+  void kill() {
+    endpoint.reset();  // connections drain, socket unlinked
+    service.reset();   // queued work cancelled, in-flight drained
+  }
+
+  [[nodiscard]] bool has_accepted_campaign() const {
+    return service && !service->list().empty();
+  }
+};
+
+TEST(CampaignCoordinator, KilledInstanceMidCampaignStillMergesByteIdentical) {
+  // Three instances, three shards — then one instance dies mid-campaign.
+  // The coordinator must re-dispatch its shard to a survivor and still
+  // produce the exact bytes of an unsharded direct run.
+  ScratchDir scratch("coord-kill");
+  std::vector<std::unique_ptr<InProcessInstance>> hosts;
+  FleetConfig fleet;
+  for (int i = 0; i < 3; ++i) {
+    const std::string name = "host" + std::to_string(i);
+    hosts.push_back(std::make_unique<InProcessInstance>(scratch.path / name,
+                                                        /*threads=*/1));
+    fleet.instances.push_back({name, InstanceAddress::kSocket,
+                               hosts.back()->endpoint->socket_path()});
+  }
+
+  // Enough sessions per shard (4 each) that the doomed instance cannot
+  // finish before the kill lands: the kill fires the moment the instance
+  // has accepted its shard, while sessions are still running.
+  const CampaignSpec spec = sharded_test_spec(/*replicas=*/6, 2000);
+
+  CoordinatorOptions options;
+  options.poll_interval = std::chrono::milliseconds(20);
+  options.request_timeout_ms = 10'000;
+  options.local_threads = 2;
+  std::atomic<std::size_t> snapshots{0};
+  options.on_snapshot = [&](const FleetSnapshot& snap) {
+    ++snapshots;
+    EXPECT_EQ(snap.shards.size(), 3u);
+    EXPECT_EQ(snap.total_instances, 3u);
+  };
+
+  OrchestrationResult result;
+  CampaignCoordinator coordinator(fleet, options);
+  std::thread orchestration([&] { result = coordinator.run(spec); });
+
+  // Kill host1 as soon as it has accepted a shard.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (!hosts[1]->has_accepted_campaign() &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_TRUE(hosts[1]->has_accepted_campaign())
+      << "host1 never received a shard";
+  hosts[1]->kill();
+  orchestration.join();
+
+  EXPECT_EQ(result.num_shards, 3u);
+  EXPECT_GE(result.redispatches, 1u)
+      << "the killed instance's shard must have been re-dispatched";
+  EXPECT_EQ(result.local_shards, 0u)
+      << "two healthy instances remained — no local fallback expected";
+  EXPECT_GE(snapshots.load(), 1u);
+  for (const ShardProgress& shard : result.shards) {
+    EXPECT_EQ(shard.state, ShardState::kDone);
+    EXPECT_NE(shard.instance, "host1")
+        << "no shard may end on the killed instance";
+  }
+
+  const CampaignReport direct = run_campaign(spec);
+  EXPECT_EQ(result.report.to_json(), direct.to_json());
+  EXPECT_EQ(result.report.to_csv(), direct.to_csv());
+}
+
+TEST(CampaignCoordinator, AllInstancesDownFallsBackToInProcessExecution) {
+  ScratchDir scratch("coord-down");
+  FleetConfig fleet;
+  fleet.instances.push_back({"ghost-a", InstanceAddress::kSocket,
+                             scratch.path / "no-such-a.sock"});
+  fleet.instances.push_back({"ghost-b", InstanceAddress::kSocket,
+                             scratch.path / "no-such-b.sock"});
+
+  const CampaignSpec spec = sharded_test_spec(2, 34);
+  CoordinatorOptions options;
+  options.poll_interval = std::chrono::milliseconds(10);
+  options.local_threads = 2;
+  CampaignCoordinator coordinator(fleet, options);
+  const OrchestrationResult result = coordinator.run(spec);
+
+  EXPECT_EQ(result.num_shards, 2u);
+  EXPECT_EQ(result.local_shards, 2u);
+  for (const ShardProgress& shard : result.shards)
+    EXPECT_EQ(shard.instance, "local");
+
+  const CampaignReport direct = run_campaign(spec);
+  EXPECT_EQ(result.report.to_json(), direct.to_json());
+  EXPECT_EQ(result.report.to_csv(), direct.to_csv());
+}
+
+TEST(CampaignCoordinator, FallbackDisabledThrowsWhenFleetIsDown) {
+  ScratchDir scratch("coord-nofallback");
+  FleetConfig fleet;
+  fleet.instances.push_back({"ghost", InstanceAddress::kSocket,
+                             scratch.path / "no-such.sock"});
+  CoordinatorOptions options;
+  options.allow_local_fallback = false;
+  CampaignCoordinator coordinator(fleet, options);
+  const CampaignSpec spec = sharded_test_spec(1, 5);
+  EXPECT_THROW(static_cast<void>(coordinator.run(spec)), CheckError);
+}
+
+TEST(CampaignCoordinator, SpoolAddressedInstanceCompletesTheCampaign) {
+  // A daemon reachable only through its spool directory (--no-socket):
+  // shard specs go in via spool/, shard reports come back by watching out/.
+  ScratchDir scratch("coord-spool");
+  InProcessInstance host(scratch.path / "host", /*threads=*/2);
+
+  std::atomic<bool> stop{false};
+  std::thread spool_poller([&] {
+    while (!stop.load()) {
+      static_cast<void>(host.service->poll_spool());
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  FleetConfig fleet;
+  fleet.instances.push_back(
+      {"spooled", InstanceAddress::kSpool, host.config.root});
+  CoordinatorOptions options;
+  options.num_shards = 2;  // both shards through the one spool instance
+  options.poll_interval = std::chrono::milliseconds(20);
+  CampaignCoordinator coordinator(fleet, options);
+  const CampaignSpec spec = sharded_test_spec(2, 8);
+  const OrchestrationResult result = coordinator.run(spec);
+  stop.store(true);
+  spool_poller.join();
+
+  EXPECT_EQ(result.num_shards, 2u);
+  EXPECT_EQ(result.local_shards, 0u);
+  const CampaignReport direct = run_campaign(spec);
+  EXPECT_EQ(result.report.to_json(), direct.to_json());
+  EXPECT_EQ(result.report.to_csv(), direct.to_csv());
+}
+
+TEST(CampaignCoordinator, RejectsAlreadyShardedSpecs) {
+  FleetConfig fleet;
+  fleet.instances.push_back({"a", InstanceAddress::kSocket, "/nowhere.sock"});
+  CampaignCoordinator coordinator(fleet, {});
+  const CampaignSpec spec = sharded_test_spec(1, 3).shard(0, 2);
+  EXPECT_THROW(static_cast<void>(coordinator.run(spec)), CheckError);
+}
+
+}  // namespace
+}  // namespace emutile

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <mutex>
@@ -16,6 +17,7 @@
 #include <vector>
 
 #include "campaign/campaign_engine.hpp"
+#include "campaign/campaign_report_io.hpp"
 #include "campaign/campaign_spec_io.hpp"
 #include "campaign/result_cache.hpp"
 #include "service/job_scheduler.hpp"
@@ -596,6 +598,116 @@ TEST(SessionService, EndpointSpeaksTheLineProtocol) {
   EXPECT_EQ(endpoint_request(endpoint.socket_path(), "SHUTDOWN\n"),
             "OK bye\n");
   EXPECT_TRUE(endpoint.shutdown_requested());
+}
+
+TEST(SessionService, ShardReportAndCacheCommandsServeTheCoordinator) {
+  ScratchDir scratch("service-shardreport");
+  ServiceConfig config;
+  config.root = scratch.path;
+  config.num_threads = 2;
+  config.snapshot_every = 0;
+  SessionService service(config);
+  ServiceEndpoint endpoint(service, scratch.path / "serviced.sock");
+  const std::string text = small_spec_text("9sym", 13);
+
+  EXPECT_EQ(endpoint_request(endpoint.socket_path(), "SHARDREPORT nope\n"),
+            "ERR unknown campaign 'nope'\n");
+
+  const std::string id = service.submit_text(text, 0, "shardy");
+  service.wait(id);
+
+  // The mergeable form comes back over the wire and parses to the exact
+  // presentation bytes of a direct run of the same spec.
+  const std::string response =
+      endpoint_request(endpoint.socket_path(), "SHARDREPORT " + id + "\n");
+  ASSERT_EQ(response.rfind("OK " + id + "\n", 0), 0u) << response;
+  const CampaignReport fetched =
+      parse_campaign_report(response.substr(response.find('\n') + 1));
+  const CampaignReport direct = run_campaign(parse_campaign_spec(text));
+  EXPECT_EQ(fetched.to_json(), direct.to_json());
+  EXPECT_EQ(fetched.to_csv(), direct.to_csv());
+
+  // CACHE reports entry count, bytes, and hit/miss counters since start.
+  const std::string cache =
+      endpoint_request(endpoint.socket_path(), "CACHE\n");
+  ASSERT_EQ(cache.rfind("OK entries=", 0), 0u) << cache;
+  std::size_t entries = 0, bytes = 0, hits = 0, misses = 0, stores = 0;
+  ASSERT_EQ(std::sscanf(cache.c_str(),
+                        "OK entries=%zu bytes=%zu hits=%zu misses=%zu "
+                        "stores=%zu",
+                        &entries, &bytes, &hits, &misses, &stores),
+            5)
+      << cache;
+  EXPECT_EQ(entries, 6u);  // six sessions memoized
+  EXPECT_GT(bytes, 0u);
+  EXPECT_EQ(misses, 6u);
+  EXPECT_EQ(stores, 6u);
+
+  // A cache-disabled daemon answers ERR rather than inventing numbers.
+  ServiceConfig no_cache = config;
+  no_cache.root = scratch.path / "nocache";
+  no_cache.enable_cache = false;
+  SessionService uncached(no_cache);
+  ServiceEndpoint uncached_endpoint(uncached,
+                                    no_cache.root / "serviced.sock");
+  EXPECT_EQ(endpoint_request(uncached_endpoint.socket_path(), "CACHE\n")
+                .rfind("ERR ", 0),
+            0u);
+}
+
+TEST(SessionService, BoundedSubmitQueueRejectsWithBusy) {
+  ScratchDir scratch("service-busy");
+  ServiceConfig config;
+  config.root = scratch.path;
+  config.num_threads = 1;
+  config.snapshot_every = 0;
+  config.max_pending = 1;  // one campaign in flight at a time
+  SessionService service(config);
+  ServiceEndpoint endpoint(service, scratch.path / "serviced.sock");
+
+  // Occupy the single queue slot with a slow campaign.
+  std::ostringstream slow;
+  slow << "emutile-campaign v1\ndesign 9sym\nerror_kind wrong-polarity\n"
+       << "tiling 6 0.3 1 12 4\nsessions_per_scenario 12\nmaster_seed 9\n"
+       << "num_patterns 96\nend\n";
+  const std::string id = service.submit_text(slow.str(), 0, "hog");
+
+  // Direct API: ServiceBusyError; the spec was not accepted.
+  EXPECT_THROW(
+      static_cast<void>(service.submit_text(small_spec_text("9sym", 1))),
+      ServiceBusyError);
+
+  // Wire protocol: a distinguished `ERR busy` first token.
+  std::ostringstream request;
+  request << "SUBMIT 0 rejected\n" << small_spec_text("9sym", 2);
+  const std::string response =
+      endpoint_request(endpoint.socket_path(), request.str());
+  EXPECT_EQ(response.rfind("ERR busy", 0), 0u) << response;
+  EXPECT_EQ(service.list().size(), 1u)
+      << "the rejected spec must not occupy a campaign slot";
+
+  // Spool intake during busy leaves the spec in place for the next poll —
+  // busy means "later", never "rejected".
+  std::ofstream(scratch.path / "spool" / "patient.spec")
+      << small_spec_text("9sym", 4);
+  EXPECT_EQ(service.poll_spool(), 0u);
+  EXPECT_TRUE(fs::exists(scratch.path / "spool" / "patient.spec"))
+      << "a busy queue must not consume or reject spooled specs";
+  EXPECT_FALSE(fs::exists(scratch.path / "spool" / "rejected" /
+                          "patient.spec"));
+
+  // Once the hog drains, the queue accepts again.
+  service.wait(id);
+  EXPECT_EQ(service.poll_spool(), 1u)
+      << "the retained spool spec must be accepted after the queue drains";
+  EXPECT_TRUE(
+      fs::exists(scratch.path / "spool" / "archive" / "patient.spec"));
+  service.drain();  // free the single slot again
+  const std::string ok_id = service.submit_text(small_spec_text("9sym", 3));
+  service.wait(ok_id);
+  const auto status = service.status(ok_id);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, CampaignState::kFinished) << status->error;
 }
 
 }  // namespace

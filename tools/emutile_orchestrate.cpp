@@ -1,0 +1,117 @@
+/// emutile_orchestrate — fan one campaign spec out across a fleet of
+/// serviced instances and merge the shard reports.
+///
+/// Reads a fleet config (see fleet_config_io.hpp), shards the spec across
+/// the instances, supervises the shards (re-dispatching on instance failure,
+/// stall, or rejection; falling back to in-process execution when the whole
+/// fleet is down), and writes a merged report byte-identical to a direct
+/// unsharded run_campaign of the same spec.
+///
+///   $ emutile_orchestrate --fleet FLEET.cfg --spec SPEC [--out DIR]
+///                         [--shards N] [--priority N] [--poll-ms N]
+///                         [--stall-ms N] [--timeout-ms N]
+///                         [--local-threads N] [--no-local-fallback]
+///                         [--quiet]
+///
+/// Writes <out>/report.json, <out>/report.csv, and <out>/report.shard
+/// (the mergeable form) — default out dir is the current directory.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "campaign/campaign_report_io.hpp"
+#include "campaign/campaign_spec_io.hpp"
+#include "orchestrator/campaign_coordinator.hpp"
+#include "util/file_io.hpp"
+#include "util/log.hpp"
+
+using namespace emutile;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --fleet FLEET.cfg --spec SPEC [--out DIR] [--shards N]"
+               " [--priority N] [--poll-ms N] [--stall-ms N] [--timeout-ms N]"
+               " [--local-threads N] [--no-local-fallback] [--quiet]\n";
+  return 2;
+}
+
+void print_snapshot(const FleetSnapshot& snap) {
+  std::cout << "fleet: " << snap.shards_done << "/" << snap.shards.size()
+            << " shards done, " << snap.sessions_done << "/"
+            << snap.sessions_total << " sessions, " << snap.healthy_instances
+            << "/" << snap.total_instances << " instances healthy |";
+  for (const ShardProgress& shard : snap.shards)
+    std::cout << " s" << shard.shard << "=" << to_string(shard.state) << "@"
+              << (shard.instance.empty() ? "-" : shard.instance) << ":"
+              << shard.sessions_done << "/" << shard.sessions_total;
+  std::cout << std::endl;  // flush: progress must survive a crash right after
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::filesystem::path fleet_path, spec_path, out_dir = ".";
+  CoordinatorOptions options;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--fleet") fleet_path = value();
+    else if (arg == "--spec") spec_path = value();
+    else if (arg == "--out") out_dir = value();
+    else if (arg == "--shards") options.num_shards = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--priority") options.priority = std::atoi(value());
+    else if (arg == "--poll-ms") options.poll_interval = std::chrono::milliseconds(std::strtol(value(), nullptr, 10));
+    else if (arg == "--stall-ms") options.stall_deadline = std::chrono::milliseconds(std::strtol(value(), nullptr, 10));
+    else if (arg == "--timeout-ms") options.request_timeout_ms = static_cast<int>(std::strtol(value(), nullptr, 10));
+    else if (arg == "--local-threads") options.local_threads = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--no-local-fallback") options.allow_local_fallback = false;
+    else if (arg == "--quiet") quiet = true;
+    else return usage(argv[0]);
+  }
+  if (fleet_path.empty() || spec_path.empty()) return usage(argv[0]);
+  set_log_threshold(LogLevel::kWarn);
+
+  try {
+    const FleetConfig fleet = load_fleet_config_file(fleet_path);
+    const CampaignSpec spec = load_campaign_spec_file(spec_path);
+    if (!quiet) {
+      std::cout << "fleet (" << fleet.instances.size() << " instances):\n";
+      for (const FleetInstance& instance : fleet.instances)
+        std::cout << "  " << instance.name << " "
+                  << to_string(instance.address) << " "
+                  << instance.path.string() << "\n";
+      options.on_snapshot = print_snapshot;
+    }
+
+    CampaignCoordinator coordinator(fleet, options);
+    const OrchestrationResult result = coordinator.run(spec);
+
+    std::filesystem::create_directories(out_dir);
+    write_file_atomic(out_dir / "report.json", result.report.to_json());
+    write_file_atomic(out_dir / "report.csv", result.report.to_csv());
+    write_file_atomic(out_dir / "report.shard",
+                      serialize_campaign_report(result.report));
+
+    std::cout << "orchestrated " << result.num_shards << " shard"
+              << (result.num_shards == 1 ? "" : "s") << " ("
+              << result.redispatches << " re-dispatched, "
+              << result.local_shards << " ran locally)\n";
+    result.report.print_summary(std::cout);
+    std::cout << "reports written to " << out_dir.string() << "\n";
+  } catch (const std::exception& e) {
+    std::cerr << "emutile_orchestrate: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

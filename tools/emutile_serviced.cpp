@@ -9,7 +9,11 @@
 ///
 ///   $ emutile_serviced --root DIR [--threads N] [--snapshot-every N]
 ///                      [--poll-ms N] [--no-cache] [--no-socket]
-///                      [--socket PATH] [--once] [--no-drain]
+///                      [--socket PATH] [--max-pending N] [--once]
+///                      [--no-drain]
+///
+///   --max-pending N  bounded SUBMIT queue: reject with `ERR busy` while N
+///                    campaigns are already queued or running (0 = unbounded)
 ///
 ///   --once   drain the spool once, wait for those campaigns, and exit.
 
@@ -35,8 +39,8 @@ void on_signal(int) { g_signalled = 1; }
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --root DIR [--threads N] [--snapshot-every N] [--poll-ms N]"
-               " [--no-cache] [--no-socket] [--socket PATH] [--once]"
-               " [--no-drain]\n";
+               " [--no-cache] [--no-socket] [--socket PATH] [--max-pending N]"
+               " [--once] [--no-drain]\n";
   return 2;
 }
 
@@ -64,6 +68,7 @@ int main(int argc, char** argv) {
     else if (arg == "--threads") config.num_threads = std::strtoull(value(), nullptr, 10);
     else if (arg == "--snapshot-every") config.snapshot_every = std::strtoull(value(), nullptr, 10);
     else if (arg == "--poll-ms") poll_ms = std::strtol(value(), nullptr, 10);
+    else if (arg == "--max-pending") config.max_pending = std::strtoull(value(), nullptr, 10);
     else if (arg == "--no-cache") config.enable_cache = false;
     else if (arg == "--no-socket") use_socket = false;
     else if (arg == "--socket") socket_path = value();

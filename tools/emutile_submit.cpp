@@ -3,23 +3,23 @@
 /// Prefers the daemon's Unix socket (immediate id + optional --wait); falls
 /// back to dropping the spec into the spool directory (picked up on the
 /// daemon's next poll) when no socket is reachable or --spool is forced.
+/// All socket traffic goes through the shared ServiceClient — the same
+/// codepath the campaign coordinator uses.
 ///
 ///   $ emutile_submit --root DIR [--socket PATH] [--spool] [--priority N]
-///                    [--wait] [--status ID | --list | --cancel ID] SPEC...
+///                    [--wait] [--status ID | --list | --cancel ID | --cache]
+///                    SPEC...
 ///
 /// Spec files are validated locally before submission, so malformed specs
 /// fail fast with a parse error instead of landing in spool/rejected/.
 
-#include <unistd.h>
-
 #include <cstdlib>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "campaign/campaign_spec_io.hpp"
-#include "service/service_endpoint.hpp"
+#include "service/service_client.hpp"
 #include "util/check.hpp"
 #include "util/file_io.hpp"
 
@@ -30,28 +30,8 @@ namespace {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --root DIR [--socket PATH] [--spool] [--priority N] [--wait]"
-               " [--status ID | --list | --cancel ID] SPEC...\n";
+               " [--status ID | --list | --cancel ID | --cache] SPEC...\n";
   return 2;
-}
-
-/// Atomically drop `text` into the spool as `<stem>-<pid>[-<n>].spec`. The
-/// pid keeps concurrent submitters of same-named specs on distinct targets
-/// (no lost submission), the -n loop uniquifies retries within one process,
-/// and write_file_atomic publishes the .spec whole.
-std::filesystem::path spool_submit(const std::filesystem::path& root,
-                                   const std::filesystem::path& spec_path,
-                                   const std::string& text) {
-  const std::filesystem::path spool = root / "spool";
-  std::filesystem::create_directories(spool);
-  const std::string stem =
-      spec_path.stem().string() + "-" + std::to_string(::getpid());
-  std::filesystem::path target;
-  for (int n = 0;; ++n) {
-    target = spool / (stem + (n == 0 ? "" : "-" + std::to_string(n)) + ".spec");
-    if (!std::filesystem::exists(target)) break;
-  }
-  write_file_atomic(target, text);
-  return target;
 }
 
 }  // namespace
@@ -61,7 +41,7 @@ int main(int argc, char** argv) {
   bool force_spool = false;
   bool wait = false;
   int priority = 0;
-  std::string one_shot;  // "LIST", "STATUS <id>", or "CANCEL <id>"
+  std::string one_shot;  // "LIST", "STATUS <id>", "CANCEL <id>", or "CACHE"
   std::vector<std::filesystem::path> specs;
 
   for (int i = 1; i < argc; ++i) {
@@ -81,6 +61,7 @@ int main(int argc, char** argv) {
     else if (arg == "--list") one_shot = "LIST";
     else if (arg == "--status") one_shot = std::string("STATUS ") + value();
     else if (arg == "--cancel") one_shot = std::string("CANCEL ") + value();
+    else if (arg == "--cache") one_shot = "CACHE";
     else if (!arg.empty() && arg[0] == '-') return usage(argv[0]);
     else specs.emplace_back(arg);
   }
@@ -88,43 +69,29 @@ int main(int argc, char** argv) {
   if (socket_path.empty()) socket_path = root / "serviced.sock";
   if (specs.empty() && one_shot.empty()) return usage(argv[0]);
 
+  const ServiceClient client(socket_path);
   try {
     if (!one_shot.empty()) {
-      std::cout << endpoint_request(socket_path, one_shot + "\n");
+      std::cout << client.request(one_shot + "\n");
       return 0;
     }
 
     // The socket is "up" only if it actually answers — a stale socket file
     // left by a crashed daemon must not strand submissions.
-    bool socket_up = false;
-    if (!force_spool) {
-      try {
-        socket_up = endpoint_request(socket_path, "PING\n") == "OK pong\n";
-      } catch (const CheckError&) {
-        socket_up = false;
-      }
-    }
+    const bool socket_up = !force_spool && client.ping();
     std::vector<std::string> ids;
     for (const std::filesystem::path& spec_path : specs) {
       const std::string text = read_file(spec_path);
       static_cast<void>(parse_campaign_spec(text));  // validate locally
 
       if (socket_up) {
-        std::ostringstream request;
-        request << "SUBMIT " << priority << " " << spec_path.stem().string()
-                << "\n"
-                << text;
-        const std::string response =
-            endpoint_request(socket_path, request.str());
-        EMUTILE_CHECK(response.rfind("OK ", 0) == 0,
-                      "daemon refused " << spec_path << ": " << response);
         const std::string id =
-            response.substr(3, response.find('\n') - 3);
+            client.submit(text, priority, spec_path.stem().string());
         std::cout << spec_path.string() << " -> " << id << "\n";
         ids.push_back(id);
       } else {
         const std::filesystem::path spooled =
-            spool_submit(root, spec_path, text);
+            spool_submit_spec(root, spec_path.stem().string(), text);
         std::cout << spec_path.string() << " -> spooled as "
                   << spooled.filename().string() << "\n";
       }
@@ -134,11 +101,8 @@ int main(int argc, char** argv) {
       EMUTILE_CHECK(socket_up,
                     "--wait needs the daemon socket (spool submissions get "
                     "their id from the daemon, not the client)");
-      for (const std::string& id : ids) {
-        const std::string response =
-            endpoint_request(socket_path, "WAIT " + id + "\n");
-        std::cout << id << ": " << response;
-      }
+      for (const std::string& id : ids)
+        std::cout << id << ": OK " << client.wait(id) << "\n";
     }
   } catch (const std::exception& e) {
     std::cerr << "emutile_submit: " << e.what() << "\n";
