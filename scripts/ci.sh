@@ -3,14 +3,20 @@
 # Actions (.github/workflows/ci.yml) — the workflow jobs invoke this script
 # with explicit steps so the two can never drift.
 #
-#   scripts/ci.sh [step...]      steps: ci | asan | bench-smoke
+#   scripts/ci.sh [step...]      steps: ci | pregate | asan | bench-smoke
 #
 #   ci           configure + build + ctest with the "ci" CMake preset
-#                (RelWithDebInfo, -Wall -Wextra). EMUTILE_BUILD_TYPE, when
-#                set, overrides the preset's CMAKE_BUILD_TYPE — how the
-#                Actions matrix runs {Release, Debug} through one preset.
+#                (RelWithDebInfo, -Wall -Wextra). The fast `unit`-labeled
+#                tier runs first (ctest -L unit) so a broken build fails in
+#                seconds, then the heavier service/stats tiers.
+#                EMUTILE_BUILD_TYPE, when set, overrides the preset's
+#                CMAKE_BUILD_TYPE — how the Actions matrix runs
+#                {Release, Debug} through one preset.
+#   pregate      build the "asan" preset and run only its `unit`-labeled
+#                tests — the fail-fast gate the sanitizer job runs before
+#                committing to the slow instrumented service/stats suites.
 #   asan         the "asan" preset: AddressSanitizer over the concurrency-
-#                heavy service/campaign tests.
+#                heavy service/campaign/orchestrator/adaptive tests.
 #   bench-smoke  build bench/campaign_sweep under the "ci" preset and run a
 #                tiny sweep (2 threads x 1 replica, determinism-checked);
 #                the per-scenario CSV lands in build/bench-smoke/ for the
@@ -26,7 +32,26 @@ run_preset() {
   cmake --preset "$preset" \
     ${EMUTILE_BUILD_TYPE:+-DCMAKE_BUILD_TYPE="$EMUTILE_BUILD_TYPE"}
   cmake --build --preset "$preset"
-  ctest --preset "$preset"
+  if [[ "$preset" == ci ]]; then
+    # Fail-fast pre-gate: the `unit`-labeled tier takes seconds; only when
+    # it is green do the heavier service/stats tiers run.
+    ctest --preset "$preset" -L unit
+    ctest --preset "$preset" -LE unit
+  else
+    ctest --preset "$preset"
+  fi
+}
+
+pregate() {
+  # The sanitizer job's fail-fast gate: build the instrumented tree once and
+  # run just the fast unit-labeled tests before the asan step reuses the
+  # same build for the slow concurrency suites. --test-dir bypasses the asan
+  # test preset (its name filter excludes the unit tier), so mirror the
+  # preset's environment explicitly.
+  cmake --preset asan
+  cmake --build --preset asan
+  ASAN_OPTIONS=detect_leaks=0 \
+    ctest --test-dir build-asan -L unit --output-on-failure -j 4
 }
 
 bench_smoke() {
@@ -46,9 +71,10 @@ fi
 for step in "${steps[@]}"; do
   case "$step" in
     ci|asan) run_preset "$step" ;;
+    pregate) pregate ;;
     bench-smoke) bench_smoke ;;
     *)
-      echo "unknown step '$step' (ci | asan | bench-smoke)" >&2
+      echo "unknown step '$step' (ci | pregate | asan | bench-smoke)" >&2
       exit 2
       ;;
   esac

@@ -1,0 +1,197 @@
+#include "campaign/adaptive_driver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace emutile {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Stand-in magnitude for an infinite half-width inside the allocation
+/// ranking: large enough to outrank any real interval (Wilson widths are at
+/// most 0.5 and relative work widths of this size mean "no information"),
+/// finite so the sqrt(n/(n+k)) shrink model still spreads sessions across
+/// several starved scenarios instead of pinning them all on the first one.
+constexpr double kWide = 1e6;
+
+/// Sample count the shrink model reasons about — how many observations the
+/// scenario's metric currently rests on.
+std::size_t metric_samples(const ScenarioStats& s, AdaptiveMetric metric) {
+  switch (metric) {
+    case AdaptiveMetric::kDetection: return s.completed();
+    case AdaptiveMetric::kCorrection: return s.detected;
+    case AdaptiveMetric::kDebugWork: return s.debug_work.count();
+  }
+  return 0;
+}
+
+}  // namespace
+
+const char* to_string(AdaptiveMetric metric) {
+  switch (metric) {
+    case AdaptiveMetric::kDetection: return "detection";
+    case AdaptiveMetric::kCorrection: return "correction";
+    case AdaptiveMetric::kDebugWork: return "debug-work";
+  }
+  return "?";
+}
+
+AdaptiveCampaignDriver::AdaptiveCampaignDriver(AdaptiveOptions options)
+    : options_(std::move(options)) {}
+
+double AdaptiveCampaignDriver::scenario_halfwidth(const ScenarioStats& stats,
+                                                  AdaptiveMetric metric,
+                                                  double confidence) {
+  switch (metric) {
+    case AdaptiveMetric::kDetection:
+      return stats.detection_interval(confidence).half_width();
+    case AdaptiveMetric::kCorrection:
+      return stats.correction_interval(confidence).half_width();
+    case AdaptiveMetric::kDebugWork: {
+      const double hw = stats.debug_work_interval(confidence).half_width();
+      if (std::isinf(hw)) return kInf;
+      const double mean = stats.debug_work.mean();
+      // Relative width, so small and large designs compare on one scale.
+      return mean > 0.0 ? hw / mean : kInf;
+    }
+  }
+  return kInf;
+}
+
+std::vector<int> AdaptiveCampaignDriver::allocate(
+    const std::vector<ScenarioStats>& scenarios, std::size_t budget) const {
+  std::vector<int> alloc(scenarios.size(), 0);
+  std::vector<double> width(scenarios.size(), 0.0);
+  std::vector<std::size_t> samples(scenarios.size(), 0);
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    const double hw = scenario_halfwidth(scenarios[s], options_.metric,
+                                         options_.confidence);
+    width[s] = std::isinf(hw) ? kWide : hw;
+    samples[s] = std::max<std::size_t>(1, metric_samples(scenarios[s],
+                                                         options_.metric));
+  }
+  // One session at a time to the scenario whose interval is predicted to
+  // still be the widest, under the standard-error shrink model
+  // hw(n + k) ~ hw(n) * sqrt(n / (n + k)). Scenarios predicted at or below
+  // the target get nothing; ties break toward the lowest scenario index so
+  // the allocation is a pure function of the merged report.
+  for (std::size_t slot = 0; slot < budget; ++slot) {
+    std::size_t best = scenarios.size();
+    double best_predicted = options_.target_halfwidth;
+    for (std::size_t s = 0; s < scenarios.size(); ++s) {
+      const double n = static_cast<double>(samples[s]);
+      const double predicted =
+          width[s] * std::sqrt(n / (n + static_cast<double>(alloc[s])));
+      if (predicted > best_predicted) {
+        best_predicted = predicted;
+        best = s;
+      }
+    }
+    if (best == scenarios.size()) break;  // everything predicted converged
+    ++alloc[best];
+  }
+  return alloc;
+}
+
+AdaptiveResult AdaptiveCampaignDriver::run(const CampaignSpec& base) {
+  EMUTILE_CHECK(base.shard_count == 1,
+                "the adaptive driver shards rounds itself — pass the spec "
+                "unsharded");
+  EMUTILE_CHECK(base.sessions_by_scenario.empty() && base.replica_base.empty(),
+                "the adaptive driver owns the per-scenario budget vectors");
+  EMUTILE_CHECK(options_.target_halfwidth > 0.0,
+                "target_halfwidth must be positive");
+  EMUTILE_CHECK(options_.initial_sessions >= 1,
+                "the exploratory round needs at least one session per "
+                "scenario");
+  const std::size_t num_scenarios = base.num_scenarios();
+  EMUTILE_CHECK(num_scenarios > 0, "adaptive campaign has no scenarios");
+
+  const std::size_t max_total = options_.max_total_sessions > 0
+                                    ? options_.max_total_sessions
+                                    : base.num_sessions();
+  // The exploratory round cannot estimate anything with zero replicas, so
+  // one session per scenario is the hard floor of any adaptive budget.
+  EMUTILE_CHECK(max_total >= num_scenarios,
+                "session budget " << max_total << " cannot cover the "
+                                  << num_scenarios
+                                  << "-scenario exploratory round (one "
+                                     "session per scenario minimum)");
+  const std::size_t round_budget =
+      options_.round_budget > 0 ? options_.round_budget : num_scenarios;
+
+  AdaptiveRoundExecutor execute = options_.executor;
+  if (!execute) {
+    execute = [this](const CampaignSpec& round_spec, std::size_t) {
+      return run_campaign(round_spec, options_.engine);
+    };
+  }
+
+  // Exploratory round: uniform, clamped into the total budget.
+  const int initial = static_cast<int>(std::max<std::size_t>(
+      1, std::min<std::size_t>(
+             static_cast<std::size_t>(options_.initial_sessions),
+             max_total / num_scenarios)));
+  std::vector<int> replicas_done(num_scenarios, 0);
+  std::vector<int> alloc(num_scenarios, initial);
+
+  AdaptiveResult result;
+  for (std::size_t round = 0; round < options_.max_rounds; ++round) {
+    CampaignSpec round_spec = base;
+    round_spec.sessions_per_scenario = 0;
+    round_spec.sessions_by_scenario = alloc;
+    round_spec.replica_base = replicas_done;
+    // Baselines are a pure function of (master seed, design, tiling) —
+    // replica-independent — so one measurement in the exploratory round
+    // covers every later round of the same campaign.
+    round_spec.measure_baselines = base.measure_baselines && round == 0;
+
+    result.report.merge(execute(round_spec, round));
+    std::size_t round_sessions = 0;
+    for (std::size_t s = 0; s < num_scenarios; ++s) {
+      replicas_done[s] += alloc[s];
+      round_sessions += static_cast<std::size_t>(alloc[s]);
+    }
+    result.total_sessions += round_sessions;
+    result.rounds = round + 1;
+    EMUTILE_CHECK(result.report.scenarios.size() == num_scenarios,
+                  "round executor returned a report with "
+                      << result.report.scenarios.size() << " scenarios for a "
+                      << num_scenarios << "-scenario spec");
+
+    AdaptiveRoundInfo info;
+    info.round = round;
+    info.sessions = round_sessions;
+    info.total_sessions = result.total_sessions;
+    info.max_halfwidth = 0.0;
+    for (const ScenarioStats& s : result.report.scenarios) {
+      const double hw =
+          scenario_halfwidth(s, options_.metric, options_.confidence);
+      info.max_halfwidth = std::max(info.max_halfwidth, hw);
+      if (hw > options_.target_halfwidth) ++info.scenarios_above_target;
+    }
+    result.max_halfwidth = info.max_halfwidth;
+    result.round_log.push_back(info);
+    if (options_.on_round) options_.on_round(info);
+
+    if (info.scenarios_above_target == 0) {
+      result.converged = true;
+      break;
+    }
+    if (result.total_sessions >= max_total) break;
+
+    alloc = allocate(result.report.scenarios,
+                     std::min(round_budget, max_total - result.total_sessions));
+    bool any = false;
+    for (const int n : alloc) any = any || n > 0;
+    if (!any) break;  // every wide scenario is predicted converged already
+  }
+  return result;
+}
+
+}  // namespace emutile

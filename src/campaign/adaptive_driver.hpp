@@ -1,0 +1,138 @@
+#pragma once
+/// \file adaptive_driver.hpp
+/// Confidence-driven session budgets: run a campaign in rounds and spend
+/// each round's replicas on the scenarios whose interval estimates are
+/// widest, instead of a flat sessions_per_scenario grid.
+///
+/// The paper's headline numbers are per-scenario sample means; at fleet
+/// scale most scenarios converge after a handful of replicas while a few
+/// rare-corner (design, error-kind, tiling) cells stay wide. The driver
+/// exploits that skew:
+///
+///   round 0      a uniform exploratory round (initial_sessions replicas per
+///                scenario) seeds every scenario's estimate
+///   round k > 0  the round budget is allocated greedily to the scenarios
+///                whose metric interval (Wilson for detection/correction,
+///                Student-t for debug work) is predicted widest, one session
+///                at a time under a sqrt(n / (n + extra)) shrink model
+///   stop         when every scenario's half-width is at or below
+///                target_halfwidth (converged), or the total session budget
+///                / round cap runs out
+///
+/// Determinism contract: session seeds are split-derived from (scenario,
+/// absolute replica) — CampaignSpec::session_seed — so round k's spec simply
+/// continues each scenario's replica stream where round k-1 stopped. Every
+/// session an adaptive run executes is byte-identical to the same (scenario,
+/// replica) session of any uniform run of the same base spec, the adaptive
+/// run's session set is a superset of the uniform initial_sessions run's,
+/// and the merged report is byte-identical for any worker count and for any
+/// executor (in-process, session service, fleet coordinator) because each
+/// round's report already is.
+///
+/// Execution layers plug in through the executor hook: the default runs
+/// rounds in-process via run_campaign; make_adaptive_executor(SessionService&)
+/// submits rounds to a resident service (whose result cache makes re-running
+/// an adaptive campaign nearly free); make_adaptive_executor(
+/// CampaignCoordinator&) fans each round out across a serviced fleet as
+/// extra shards.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "campaign/campaign_engine.hpp"
+#include "campaign/campaign_report.hpp"
+#include "campaign/campaign_spec.hpp"
+#include "util/stats.hpp"
+
+namespace emutile {
+
+/// Which per-scenario interval drives the allocation and the stop rule.
+enum class AdaptiveMetric : std::uint8_t {
+  kDetection,   ///< Wilson half-width of detected / completed
+  kCorrection,  ///< Wilson half-width of clean / detected
+  kDebugWork,   ///< relative t half-width of mean debug work (hw / mean)
+};
+
+[[nodiscard]] const char* to_string(AdaptiveMetric metric);
+
+/// Runs one round's spec to completion and returns its report. The spec is
+/// a plain CampaignSpec whose sessions_by_scenario / replica_base carry the
+/// round's allocation, so any layer that can run a campaign can serve as an
+/// executor. `round` is 0 for the exploratory round.
+using AdaptiveRoundExecutor =
+    std::function<CampaignReport(const CampaignSpec& spec, std::size_t round)>;
+
+struct AdaptiveRoundInfo {
+  std::size_t round = 0;
+  std::size_t sessions = 0;        ///< sessions this round ran
+  std::size_t total_sessions = 0;  ///< cumulative across rounds
+  double max_halfwidth = 0.0;      ///< widest scenario after this round
+  std::size_t scenarios_above_target = 0;
+};
+
+struct AdaptiveOptions {
+  /// Stop once every scenario's metric half-width is at or below this.
+  double target_halfwidth = 0.05;
+  double confidence = 0.95;
+  AdaptiveMetric metric = AdaptiveMetric::kDetection;
+  /// Uniform replicas per scenario in the exploratory round (clamped so the
+  /// round fits the total budget).
+  int initial_sessions = 4;
+  /// Sessions per follow-up round; 0 means one per scenario. Larger rounds
+  /// amortize executor overhead (a service SUBMIT, a fleet dispatch) at the
+  /// cost of allocating on staler intervals.
+  std::size_t round_budget = 0;
+  /// Total session budget; 0 means the base spec's own uniform budget
+  /// (num_scenarios x sessions_per_scenario) — "spend at most what the flat
+  /// grid would have". Must cover at least one session per scenario (the
+  /// exploratory round's hard floor); run() throws below that.
+  std::size_t max_total_sessions = 0;
+  std::size_t max_rounds = 64;
+  /// Engine options for the default in-process executor (threads, cache,
+  /// cancel/progress hooks). Ignored when `executor` is set.
+  CampaignOptions engine;
+  AdaptiveRoundExecutor executor;
+  /// Called after each round with its summary (allocation telemetry).
+  std::function<void(const AdaptiveRoundInfo&)> on_round;
+};
+
+struct AdaptiveResult {
+  CampaignReport report;  ///< merged over all rounds
+  std::size_t rounds = 0;
+  std::size_t total_sessions = 0;
+  double max_halfwidth = 0.0;  ///< widest scenario at stop
+  bool converged = false;      ///< every scenario reached the target
+  std::vector<AdaptiveRoundInfo> round_log;
+};
+
+class AdaptiveCampaignDriver {
+ public:
+  explicit AdaptiveCampaignDriver(AdaptiveOptions options = {});
+
+  /// Run `base` adaptively. The spec must be unsharded and must not carry
+  /// per-scenario budget vectors (the driver owns those); its
+  /// sessions_per_scenario is read as the uniform reference budget when
+  /// max_total_sessions is 0. measure_baselines, when set, runs in the
+  /// exploratory round only (baselines are replica-independent).
+  [[nodiscard]] AdaptiveResult run(const CampaignSpec& base);
+
+  /// The metric half-width of one scenario row — the quantity allocation
+  /// ranks and the stop rule thresholds. Infinite when the metric is
+  /// undefined (e.g. debug-work below 2 samples).
+  [[nodiscard]] static double scenario_halfwidth(const ScenarioStats& stats,
+                                                 AdaptiveMetric metric,
+                                                 double confidence);
+
+ private:
+  /// Greedily split `budget` sessions over the scenarios predicted to stay
+  /// above the target; returns per-scenario extra-session counts (all zero
+  /// when every scenario is predicted converged).
+  [[nodiscard]] std::vector<int> allocate(
+      const std::vector<ScenarioStats>& scenarios, std::size_t budget) const;
+
+  AdaptiveOptions options_;
+};
+
+}  // namespace emutile

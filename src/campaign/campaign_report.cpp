@@ -42,6 +42,18 @@ void recompute_speedup_geomeans(CampaignReport& report) {
 
 }  // namespace
 
+Interval ScenarioStats::detection_interval(double confidence) const {
+  return wilson_interval(detected, completed(), confidence);
+}
+
+Interval ScenarioStats::correction_interval(double confidence) const {
+  return wilson_interval(clean, detected, confidence);
+}
+
+Interval ScenarioStats::debug_work_interval(double confidence) const {
+  return mean_interval(debug_work, confidence);
+}
+
 double CampaignReport::detection_rate() const {
   return completed == 0 ? 0.0
                         : static_cast<double>(detected) /
@@ -69,19 +81,30 @@ double CampaignReport::sessions_per_second() const {
 std::string CampaignReport::to_csv() const {
   Table t({"design", "error_kind", "tiles", "overhead", "sessions",
            "cancelled", "failed", "detected", "narrowed", "corrected",
-           "clean", "suspects_mean", "iters_mean", "debug_work_mean",
-           "debug_work_max", "build_work_mean", "speedup_quick",
-           "speedup_incr", "speedup_full"});
+           "clean", "det_lo", "det_hi", "corr_lo", "corr_hi",
+           "suspects_mean", "iters_mean", "debug_work_mean",
+           "debug_work_lo", "debug_work_hi", "debug_work_max",
+           "build_work_mean", "speedup_quick", "speedup_incr",
+           "speedup_full"});
   for (const ScenarioStats& s : scenarios) {
+    const Interval det = s.detection_interval();
+    const Interval corr = s.correction_interval();
+    const Interval work = s.debug_work_interval();
     t.add_row({s.design, to_string(s.error_kind),
                std::to_string(s.num_tiles), num(s.target_overhead),
                std::to_string(s.sessions), std::to_string(s.cancelled),
                std::to_string(s.failed), std::to_string(s.detected),
                std::to_string(s.narrowed), std::to_string(s.corrected),
                std::to_string(s.clean),
+               s.completed() ? num(det.lo) : "-",
+               s.completed() ? num(det.hi) : "-",
+               s.detected ? num(corr.lo) : "-",
+               s.detected ? num(corr.hi) : "-",
                s.suspects.count() ? num(s.suspects.mean()) : "-",
                s.iterations.count() ? num(s.iterations.mean()) : "-",
                s.debug_work.count() ? num(s.debug_work.mean()) : "-",
+               s.debug_work.count() > 1 ? num(work.lo) : "-",
+               s.debug_work.count() > 1 ? num(work.hi) : "-",
                s.debug_work.count() ? num(s.debug_work.max()) : "-",
                s.build_work.count() ? num(s.build_work.mean()) : "-",
                s.baseline.measured ? num(s.baseline.speedup_quick) : "-",
@@ -133,6 +156,23 @@ std::string CampaignReport::to_json() const {
        << ", \"corrected\": " << s.corrected << ", \"clean\": " << s.clean
        << ", \"debug_work_mean\": "
        << (s.debug_work.count() ? num(s.debug_work.mean()) : "0");
+    // Interval fields appear only when defined, so the JSON never carries
+    // infinities (which it cannot represent).
+    if (s.completed() > 0) {
+      const Interval det = s.detection_interval();
+      os << ", \"detection_ci\": [" << num(det.lo) << ", " << num(det.hi)
+         << "]";
+    }
+    if (s.detected > 0) {
+      const Interval corr = s.correction_interval();
+      os << ", \"correction_ci\": [" << num(corr.lo) << ", " << num(corr.hi)
+         << "]";
+    }
+    if (s.debug_work.count() > 1) {
+      const Interval work = s.debug_work_interval();
+      os << ", \"debug_work_ci\": [" << num(work.lo) << ", " << num(work.hi)
+         << "]";
+    }
     if (s.baseline.measured)
       os << ", \"speedup_quick\": " << num(s.baseline.speedup_quick)
          << ", \"speedup_incremental\": "
@@ -258,6 +298,29 @@ CampaignReport build_report(const CampaignSpec& spec,
 }
 
 void CampaignReport::merge(const CampaignReport& other) {
+  // A report with no scenarios and no sessions is the merge identity (the
+  // state a default-constructed accumulation starts from, and what an empty
+  // shard list folds to). Only execution stats carry across, so wall clock
+  // and cache accounting stay truthful either way around.
+  const auto is_empty = [](const CampaignReport& r) {
+    return r.scenarios.empty() && r.sessions == 0;
+  };
+  const auto fold_exec = [](CampaignReport& into, const CampaignReport& from) {
+    into.wall_seconds += from.wall_seconds;
+    into.num_threads = std::max(into.num_threads, from.num_threads);
+    into.cache_hits += from.cache_hits;
+    into.cache_misses += from.cache_misses;
+  };
+  if (is_empty(other)) {
+    fold_exec(*this, other);
+    return;
+  }
+  if (is_empty(*this)) {
+    const CampaignReport exec_only = *this;
+    *this = other;
+    fold_exec(*this, exec_only);
+    return;
+  }
   EMUTILE_CHECK(scenarios.size() == other.scenarios.size(),
                 "cannot merge reports with different scenario matrices ("
                     << scenarios.size() << " vs " << other.scenarios.size()
@@ -310,6 +373,12 @@ void CampaignReport::merge(const CampaignReport& other) {
   num_threads = std::max(num_threads, other.num_threads);
   cache_hits += other.cache_hits;
   cache_misses += other.cache_misses;
+}
+
+CampaignReport merge_reports(const std::vector<CampaignReport>& shards) {
+  CampaignReport merged;
+  for (const CampaignReport& shard : shards) merged.merge(shard);
+  return merged;
 }
 
 }  // namespace emutile

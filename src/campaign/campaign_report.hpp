@@ -63,6 +63,20 @@ struct ScenarioStats {
   Accumulator debug_work;     ///< per-session debugging-ECO work units
   Accumulator build_work;     ///< per-session initial-build work units
   ScenarioBaseline baseline;
+
+  /// Sessions that ran to the end (not cancelled, not failed) — the trial
+  /// count behind the proportion intervals below.
+  [[nodiscard]] std::size_t completed() const {
+    return sessions - cancelled - failed;
+  }
+  /// Wilson score interval for this scenario's detection rate
+  /// (detected / completed). Zero completed sessions -> [0, 1].
+  [[nodiscard]] Interval detection_interval(double confidence = 0.95) const;
+  /// Wilson score interval for this scenario's correction rate
+  /// (clean / detected). Zero detections -> [0, 1].
+  [[nodiscard]] Interval correction_interval(double confidence = 0.95) const;
+  /// Student-t interval for the mean debug work; (-inf, inf) below 2 samples.
+  [[nodiscard]] Interval debug_work_interval(double confidence = 0.95) const;
 };
 
 /// The campaign-wide aggregate.
@@ -116,9 +130,20 @@ struct CampaignReport {
   /// run in one campaign: counters add, accumulators combine, percentiles
   /// and geomeans are recomputed from the retained samples/baselines. Both
   /// reports must come from shards of the same spec (matching scenario
-  /// rows); baselines present on either side are kept.
+  /// rows); baselines present on either side are kept. A report with no
+  /// scenarios and no sessions (the default-constructed state) is the merge
+  /// identity on either side — only its execution stats (wall clock, cache
+  /// counters) carry over — so accumulation loops can start from an empty
+  /// report without special-casing their first shard.
   void merge(const CampaignReport& other);
 };
+
+/// Fold any number of shard reports into one. Well-defined for every list
+/// size: an empty list yields the default-constructed (empty) report, a
+/// single shard is returned unchanged, and longer lists fold left in order
+/// — the same order the coordinator merges its shards in.
+[[nodiscard]] CampaignReport merge_reports(
+    const std::vector<CampaignReport>& shards);
 
 /// Fold session outcomes (indexed like `jobs`) and optional per-scenario
 /// baselines (indexed by scenario; may be empty) into a report. Aggregation

@@ -78,6 +78,15 @@ struct ReportReader {
     if (rest >> extra) fail("trailing token '" + extra + "' after value");
   }
 
+  /// Require the input to be exhausted (call after the 'end' footer).
+  void end_of_input() {
+    std::string line;
+    if (std::getline(in, line)) {
+      ++line_no;
+      fail("content after the 'end' footer");
+    }
+  }
+
   Accumulator acc(const char* key) {
     expect(key);
     const std::uint64_t n = u64("sample count");
@@ -223,6 +232,7 @@ CampaignReport parse_campaign_report(const std::string& text) {
   }
   p.expect("end");
   p.done();
+  p.end_of_input();
   return r;
 }
 

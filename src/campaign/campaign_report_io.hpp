@@ -14,11 +14,16 @@
 ///   parse_campaign_report(serialize_campaign_report(r))
 ///
 /// reconstructs a report that is indistinguishable from `r`: identical
-/// to_csv()/to_json() bytes, and merge() over parsed shard reports equals
+/// to_csv()/to_json() bytes (including the per-scenario confidence-interval
+/// columns — intervals are pure functions of the serialized counters and
+/// moments, so they survive the round trip exactly and the format never has
+/// to carry derived data), and merge() over parsed shard reports equals
 /// merge() over the originals bit-for-bit. The session service writes this
 /// form as out/<id>/report.shard and serves it over the SHARDREPORT wire
 /// command; the coordinator parses and merges the shards into a report
-/// byte-identical to an unsharded run_campaign.
+/// byte-identical to an unsharded run_campaign; the adaptive driver's
+/// service executor fetches round reports in this form before merging
+/// rounds.
 #include <filesystem>
 #include <string>
 

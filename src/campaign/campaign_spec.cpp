@@ -8,9 +8,14 @@ namespace emutile {
 
 namespace {
 // Disjoint stream ranges so session, design-build, and baseline seeds can
-// never collide even for absurdly large campaigns.
+// never collide even for absurdly large campaigns. Session streams occupy
+// [0, kDesignStreamBase): each scenario owns a contiguous block of
+// kReplicaStreamSpan replica slots, so a scenario's replica stream is
+// independent of every other scenario's budget — the basis of the adaptive
+// driver's superset property.
 constexpr std::uint64_t kDesignStreamBase = 0x4000000000000000ull;
 constexpr std::uint64_t kBaselineStreamBase = 0x8000000000000000ull;
+constexpr std::uint64_t kReplicaStreamSpan = 1ull << 32;
 }  // namespace
 
 namespace {
@@ -38,13 +43,37 @@ void CampaignSpec::add_design(std::string name,
   designs.push_back({std::move(name), std::move(builder)});
 }
 
+namespace {
+/// Shared validation of the per-scenario budget vectors (empty or exactly
+/// one non-negative entry per scenario).
+void check_budgets(const CampaignSpec& spec) {
+  EMUTILE_CHECK(spec.sessions_per_scenario >= 0,
+                "negative sessions_per_scenario");
+  for (const std::vector<int>* v :
+       {&spec.sessions_by_scenario, &spec.replica_base}) {
+    if (v->empty()) continue;
+    EMUTILE_CHECK(v->size() == spec.num_scenarios(),
+                  "per-scenario budget vector has "
+                      << v->size() << " entries for " << spec.num_scenarios()
+                      << " scenarios");
+    for (const int n : *v)
+      EMUTILE_CHECK(n >= 0, "negative per-scenario budget entry " << n);
+  }
+}
+}  // namespace
+
 std::size_t CampaignSpec::num_scenarios() const {
   return designs.size() * error_kinds.size() * tilings.size();
 }
 
 std::size_t CampaignSpec::num_sessions() const {
-  EMUTILE_CHECK(sessions_per_scenario >= 0, "negative sessions_per_scenario");
-  return num_scenarios() * static_cast<std::size_t>(sessions_per_scenario);
+  check_budgets(*this);
+  if (sessions_by_scenario.empty())
+    return num_scenarios() * static_cast<std::size_t>(sessions_per_scenario);
+  std::size_t total = 0;
+  for (const int n : sessions_by_scenario)
+    total += static_cast<std::size_t>(n);
+  return total;
 }
 
 std::uint64_t CampaignSpec::design_seed(std::size_t design_index) const {
@@ -53,6 +82,17 @@ std::uint64_t CampaignSpec::design_seed(std::size_t design_index) const {
 
 std::uint64_t CampaignSpec::baseline_seed(std::size_t pair_index) const {
   return split_seed(master_seed, kBaselineStreamBase + pair_index);
+}
+
+std::uint64_t CampaignSpec::session_seed(std::size_t scenario,
+                                         std::size_t replica) const {
+  EMUTILE_CHECK(scenario < kDesignStreamBase / kReplicaStreamSpan,
+                "scenario index " << scenario
+                                  << " exceeds the session stream range");
+  EMUTILE_CHECK(replica < kReplicaStreamSpan,
+                "replica index " << replica
+                                 << " exceeds the per-scenario stream span");
+  return split_seed(master_seed, scenario * kReplicaStreamSpan + replica);
 }
 
 CampaignSpec CampaignSpec::shard(std::size_t index, std::size_t count) const {
@@ -76,7 +116,7 @@ std::vector<CampaignJob> CampaignSpec::expand() const {
   // Contiguous slice [begin, end) of the canonical job list. Contiguous
   // slicing keeps a scenario's replicas together whenever slice boundaries
   // allow, and the bounds are a pure function of (total, index, count).
-  const std::size_t total = num_sessions();
+  const std::size_t total = num_sessions();  // also validates the budgets
   const std::size_t begin = total * shard_index / shard_count;
   const std::size_t end = total * (shard_index + 1) / shard_count;
   std::vector<CampaignJob> jobs;
@@ -86,15 +126,22 @@ std::vector<CampaignJob> CampaignSpec::expand() const {
   for (std::size_t di = 0; di < designs.size(); ++di) {
     for (const ErrorKind kind : error_kinds) {
       for (const TilingParams& tiling : tilings) {
-        for (int rep = 0; rep < sessions_per_scenario; ++rep, ++global_index) {
+        const int count = sessions_by_scenario.empty()
+                              ? sessions_per_scenario
+                              : sessions_by_scenario[scenario];
+        const std::size_t base =
+            replica_base.empty()
+                ? 0
+                : static_cast<std::size_t>(replica_base[scenario]);
+        for (int rep = 0; rep < count; ++rep, ++global_index) {
           if (global_index < begin || global_index >= end) continue;
           CampaignJob job;
           job.index = global_index;
           job.scenario = scenario;
           job.design_index = di;
-          job.replica = static_cast<std::size_t>(rep);
+          job.replica = base + static_cast<std::size_t>(rep);
           job.options.error_kind = kind;
-          job.options.seed = split_seed(master_seed, job.index);
+          job.options.seed = session_seed(scenario, job.replica);
           job.options.num_patterns = num_patterns;
           job.options.tiling = tiling;
           job.options.tiling.seed = job.options.seed;

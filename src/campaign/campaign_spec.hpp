@@ -6,9 +6,15 @@
 ///
 /// expand() flattens the matrix into a job list with a stable global order.
 /// Every job's session seed is derived from the campaign master seed with
-/// splitmix64 stream-splitting (split_seed), never from `seed + i`
-/// arithmetic, so a campaign's results are a pure function of its spec —
-/// independent of worker count and scheduling order.
+/// splitmix64 stream-splitting (split_seed) over the (scenario, replica)
+/// pair — never from `seed + i` arithmetic and never from the job's position
+/// in the list — so a campaign's results are a pure function of its spec,
+/// independent of worker count and scheduling order, and every scenario owns
+/// an unbounded replica stream: two specs that differ only in how many
+/// replicas each scenario runs draw the *same* sessions for the replicas
+/// they share. That superset property is what lets the adaptive driver
+/// (adaptive_driver.hpp) grow wide-interval scenarios round by round while
+/// staying byte-identical to a uniform run on the shared prefix.
 
 #include <cstdint>
 #include <functional>
@@ -49,6 +55,16 @@ struct CampaignSpec {
   /// Tiling sweep points; the per-session seed overrides each point's seed.
   std::vector<TilingParams> tilings = {TilingParams{}};
   int sessions_per_scenario = 1;
+  /// Per-scenario budget overrides for adaptive rounds. When non-empty it
+  /// must carry num_scenarios() entries and scenario `s` runs
+  /// sessions_by_scenario[s] sessions (sessions_per_scenario is ignored),
+  /// starting at absolute replica index replica_base[s] (0 when replica_base
+  /// is empty). Replica indices select positions in the scenario's seed
+  /// stream, so a follow-up round with replica_base picking up where an
+  /// earlier round stopped extends that round's sample instead of redrawing
+  /// it.
+  std::vector<int> sessions_by_scenario;
+  std::vector<int> replica_base;  ///< first replica per scenario (see above)
   std::uint64_t master_seed = 1;
   std::size_t num_patterns = 256;
   LocalizerOptions localizer;
@@ -77,6 +93,12 @@ struct CampaignSpec {
 
   /// Seed for building design `design_index`'s golden netlist.
   [[nodiscard]] std::uint64_t design_seed(std::size_t design_index) const;
+
+  /// Seed of replica `replica` in scenario `scenario`'s session stream — a
+  /// pure function of (master_seed, scenario, replica), independent of any
+  /// other scenario's budget.
+  [[nodiscard]] std::uint64_t session_seed(std::size_t scenario,
+                                           std::size_t replica) const;
 
   /// Seed for a baseline speedup measurement; `pair_index` identifies the
   /// unique (design, tiling) pair being measured.

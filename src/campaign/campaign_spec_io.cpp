@@ -170,6 +170,21 @@ CampaignSpec parse_campaign_spec(const std::string& text) {
       scalar_once(p.key);
       spec.sessions_per_scenario = static_cast<int>(p.u64("session count"));
       p.done();
+    } else if (p.key == "sessions_by_scenario" || p.key == "replica_base") {
+      scalar_once(p.key);
+      std::vector<int>& v = p.key == "sessions_by_scenario"
+                                ? spec.sessions_by_scenario
+                                : spec.replica_base;
+      std::string w;
+      while (p.rest >> w) {
+        char* end = nullptr;
+        const std::uint64_t n = std::strtoull(w.c_str(), &end, 10);
+        if (end == w.c_str() || *end != '\0' || w[0] == '-' ||
+            n > 0x7fffffffull)
+          p.fail("bad per-scenario count '" + w + "'");
+        v.push_back(static_cast<int>(n));
+      }
+      if (v.empty()) p.fail("needs at least one per-scenario count");
     } else if (p.key == "master_seed") {
       scalar_once(p.key);
       spec.master_seed = p.u64("seed");
@@ -225,6 +240,13 @@ CampaignSpec parse_campaign_spec(const std::string& text) {
   if (spec.error_kinds.empty())
     spec.error_kinds = CampaignSpec{}.error_kinds;
   if (spec.tilings.empty()) spec.tilings = CampaignSpec{}.tilings;
+  for (const std::vector<int>* v :
+       {&spec.sessions_by_scenario, &spec.replica_base}) {
+    EMUTILE_CHECK(v->empty() || v->size() == spec.num_scenarios(),
+                  "per-scenario budget vector has "
+                      << v->size() << " entries but the spec has "
+                      << spec.num_scenarios() << " scenarios");
+  }
   return spec;
 }
 
@@ -250,8 +272,21 @@ std::string serialize_campaign_spec(const CampaignSpec& spec) {
     os << "tiling " << t.num_tiles << " " << format_double_exact(t.target_overhead)
        << " " << format_double_exact(t.placer_effort) << " " << t.tracks_per_channel
        << " " << t.route_headroom << "\n";
-  os << "sessions_per_scenario " << spec.sessions_per_scenario << "\n"
-     << "master_seed " << spec.master_seed << "\n"
+  os << "sessions_per_scenario " << spec.sessions_per_scenario << "\n";
+  // The per-scenario budget vectors are omitted when empty so plain uniform
+  // specs keep their historical canonical form (and content hashes).
+  const auto emit_budgets = [&](const char* key, const std::vector<int>& v) {
+    if (v.empty()) return;
+    EMUTILE_CHECK(v.size() == spec.num_scenarios(),
+                  key << " has " << v.size() << " entries for "
+                      << spec.num_scenarios() << " scenarios");
+    os << key;
+    for (const int n : v) os << " " << n;
+    os << "\n";
+  };
+  emit_budgets("sessions_by_scenario", spec.sessions_by_scenario);
+  emit_budgets("replica_base", spec.replica_base);
+  os << "master_seed " << spec.master_seed << "\n"
      << "num_patterns " << spec.num_patterns << "\n"
      << "localizer " << spec.localizer.probes_per_iteration << " "
      << spec.localizer.max_iterations << " " << spec.localizer.stop_at << " "

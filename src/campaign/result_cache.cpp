@@ -1,9 +1,11 @@
 #include "campaign/result_cache.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "campaign/campaign_spec_io.hpp"
 #include "util/check.hpp"
@@ -172,14 +174,90 @@ std::optional<CachedSession> ResultCache::load(std::uint64_t key) {
 }
 
 void ResultCache::store(std::uint64_t key, const CachedSession& session) {
+  const std::string encoded = encode(session);
+  bool over_bound = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stores_;
+    // Running total so the common under-bound store costs no directory
+    // scan; evict_to_fit re-syncs it against the disk truth whenever the
+    // estimate crosses the bound (other processes sharing the directory
+    // only widen the estimate's error toward late eviction, never toward
+    // evicting early).
+    approx_bytes_ += encoded.size();
+    over_bound = max_bytes_ > 0 && approx_bytes_ > max_bytes_;
   }
   // Temp names unique across threads and processes; racing stores of the
   // same key resolve last-writer-wins. Throws on IO failure — callers treat
   // that as "not memoized" (see run_campaign_session).
-  write_file_atomic(entry_path(key), encode(session));
+  write_file_atomic(entry_path(key), encoded);
+  if (over_bound) evict_to_fit();
+}
+
+void ResultCache::set_max_bytes(std::size_t max_bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    max_bytes_ = max_bytes;
+  }
+  evict_to_fit();
+}
+
+std::size_t ResultCache::max_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_bytes_;
+}
+
+void ResultCache::evict_to_fit() {
+  std::size_t bound;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    bound = max_bytes_;
+  }
+  if (bound == 0) return;
+  // One evictor at a time: a concurrent store that loses this race simply
+  // skips — the winning scan already observes (and prunes past) its entry.
+  std::unique_lock<std::mutex> evicting(evict_mutex_, std::try_to_lock);
+  if (!evicting.owns_lock()) return;
+
+  struct Entry {
+    std::filesystem::file_time_type mtime;
+    std::filesystem::path path;
+    std::size_t size = 0;
+  };
+  std::vector<Entry> entries;
+  std::size_t total = 0;
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(dir_, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (it->path().extension() != ".session") continue;
+    // Entries racing with a concurrent clear()/evictor read as gone.
+    std::error_code entry_ec;
+    const std::uintmax_t size = it->file_size(entry_ec);
+    if (entry_ec) continue;
+    const auto mtime = it->last_write_time(entry_ec);
+    if (entry_ec) continue;
+    entries.push_back({mtime, it->path(), static_cast<std::size_t>(size)});
+    total += static_cast<std::size_t>(size);
+  }
+  std::size_t evicted = 0;
+  if (total > bound) {
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) {
+                return a.mtime != b.mtime ? a.mtime < b.mtime
+                                          : a.path < b.path;
+              });
+    for (const Entry& entry : entries) {
+      if (total <= bound) break;
+      std::error_code remove_ec;
+      if (!std::filesystem::remove(entry.path, remove_ec) || remove_ec)
+        continue;  // already gone or unremovable — nothing reclaimed
+      total -= entry.size;
+      ++evicted;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  evictions_ += evicted;
+  approx_bytes_ = total;  // re-sync the estimate with the disk truth
 }
 
 void ResultCache::clear() {
@@ -189,6 +267,8 @@ void ResultCache::clear() {
       std::filesystem::remove(entry.path(), ec);
     }
   }
+  std::lock_guard<std::mutex> lock(mutex_);
+  approx_bytes_ = 0;
 }
 
 std::size_t ResultCache::hits() const {
@@ -204,6 +284,11 @@ std::size_t ResultCache::misses() const {
 std::size_t ResultCache::stores() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stores_;
+}
+
+std::size_t ResultCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
 }
 
 std::size_t ResultCache::entries() const {

@@ -23,6 +23,14 @@
 /// On-disk layout: one `<16-hex-key>.session` text file per entry inside the
 /// cache directory, written atomically (temp file + rename). Corrupt or
 /// truncated entries read as misses.
+///
+/// The cache can be size-bounded (set_max_bytes): when a store pushes the
+/// total entry bytes past the bound, entries are evicted oldest
+/// modification time first (ties broken by file name) until it fits again —
+/// an approximate LRU where "recently stored" is what counts, cheap enough
+/// to run on the store path and correct under concurrent evictors (a racing
+/// removal is simply already-evicted). Eviction never throws; a cache that
+/// cannot be pruned just stays big until the next store tries again.
 
 #include <cstdint>
 #include <filesystem>
@@ -84,20 +92,38 @@ class ResultCache {
   /// Remove every entry (counters are kept).
   void clear();
 
+  /// Bound the cache to `max_bytes` of entries, evicting oldest-mtime-first
+  /// after each store that overflows it. 0 (the default) disables eviction.
+  /// Takes effect immediately: shrinking the bound prunes on the next store.
+  void set_max_bytes(std::size_t max_bytes);
+
+  [[nodiscard]] std::size_t max_bytes() const;
   [[nodiscard]] std::size_t hits() const;
   [[nodiscard]] std::size_t misses() const;
   [[nodiscard]] std::size_t stores() const;
+  [[nodiscard]] std::size_t evictions() const;  ///< entries evicted by the bound
   [[nodiscard]] std::size_t entries() const;  ///< files currently on disk
   [[nodiscard]] std::size_t bytes() const;    ///< total entry bytes on disk
 
  private:
   [[nodiscard]] std::filesystem::path entry_path(std::uint64_t key) const;
+  /// Evict oldest entries until the cache fits max_bytes (no-op when
+  /// unbounded or already within). Best-effort and never throws.
+  void evict_to_fit();
 
   std::filesystem::path dir_;
-  mutable std::mutex mutex_;  // counters
+  mutable std::mutex mutex_;  // counters + max_bytes + approx_bytes
+  std::mutex evict_mutex_;    // one evictor at a time (scan is O(entries))
+  std::size_t max_bytes_ = 0;
+  /// Running estimate of total entry bytes, so the common under-bound store
+  /// needs no directory scan; re-synced with the disk whenever eviction
+  /// scans. Other processes sharing the directory only make it an
+  /// undercount (late eviction), never an overcount (early eviction).
+  std::size_t approx_bytes_ = 0;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
   std::size_t stores_ = 0;
+  std::size_t evictions_ = 0;
 };
 
 }  // namespace emutile

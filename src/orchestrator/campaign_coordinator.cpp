@@ -315,12 +315,16 @@ OrchestrationResult CampaignCoordinator::run(const CampaignSpec& spec) {
   result.local_shards = local_shards_;
   // Merge in shard-index order — the exact order the byte-identity contract
   // of CampaignReport::merge is tested against.
-  result.report = std::move(shards[0].report);
-  for (std::size_t i = 1; i < shards.size(); ++i)
-    result.report.merge(shards[i].report);
+  for (ShardWork& shard : shards) result.report.merge(shard.report);
   result.shards.reserve(shards.size());
   for (const ShardWork& shard : shards) result.shards.push_back(shard.progress);
   return result;
+}
+
+AdaptiveRoundExecutor make_adaptive_executor(CampaignCoordinator& coordinator) {
+  return [&coordinator](const CampaignSpec& spec, std::size_t) {
+    return coordinator.run(spec).report;
+  };
 }
 
 }  // namespace emutile

@@ -42,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/adaptive_driver.hpp"
 #include "campaign/campaign_report.hpp"
 #include "campaign/campaign_spec.hpp"
 #include "orchestrator/fleet_config_io.hpp"
@@ -149,5 +150,13 @@ class CampaignCoordinator {
   std::size_t redispatches_ = 0;
   std::size_t local_shards_ = 0;
 };
+
+/// Adaptive-round executor backed by a fleet coordinator: each round is
+/// orchestrated like any campaign — sharded across the serviced instances,
+/// supervised, re-dispatched on failure, merged — so an adaptive campaign's
+/// follow-up rounds simply become extra shards flowing over the fleet. The
+/// coordinator must outlive the returned executor.
+[[nodiscard]] AdaptiveRoundExecutor make_adaptive_executor(
+    CampaignCoordinator& coordinator);
 
 }  // namespace emutile

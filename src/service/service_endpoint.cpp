@@ -246,7 +246,8 @@ std::string ServiceEndpoint::handle_request(const std::string& request) {
     std::ostringstream os;
     os << "OK entries=" << cache->entries() << " bytes=" << cache->bytes()
        << " hits=" << cache->hits() << " misses=" << cache->misses()
-       << " stores=" << cache->stores() << "\n";
+       << " stores=" << cache->stores()
+       << " evictions=" << cache->evictions() << "\n";
     return os.str();
   } else if (command == "SHUTDOWN") {
     shutdown_requested_.store(true);

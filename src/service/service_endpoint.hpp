@@ -24,9 +24,9 @@
 ///                                   coordinator merges these shard reports
 ///                                   into the fleet-wide result)
 ///   CACHE                        -> OK entries=<n> bytes=<n> hits=<n>
-///                                   misses=<n> stores=<n>  (result-cache
-///                                   stats since daemon start; `ERR` when the
-///                                   cache is disabled)
+///                                   misses=<n> stores=<n> evictions=<n>
+///                                   (result-cache stats since daemon start;
+///                                   `ERR` when the cache is disabled)
 ///   SHUTDOWN                     -> OK bye  (sets shutdown_requested)
 ///
 /// Errors answer `ERR <message>`. Each connection is served on its own

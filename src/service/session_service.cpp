@@ -86,8 +86,10 @@ SessionService::SessionService(ServiceConfig config)
   EMUTILE_CHECK(config_.num_threads >= 1, "service needs at least 1 thread");
   std::filesystem::create_directories(config_.root / "spool");
   std::filesystem::create_directories(config_.root / "out");
-  if (config_.enable_cache)
+  if (config_.enable_cache) {
     cache_ = std::make_unique<ResultCache>(config_.root / "cache");
+    cache_->set_max_bytes(config_.cache_max_bytes);
+  }
   scheduler_ = std::make_unique<JobScheduler>(config_.num_threads);
 }
 
@@ -572,6 +574,25 @@ void SessionService::drain() {
       if (!terminal(c->state)) return false;
     return true;
   });
+}
+
+AdaptiveRoundExecutor make_adaptive_executor(SessionService& service,
+                                             int priority) {
+  return [&service, priority](const CampaignSpec& spec, std::size_t round) {
+    const std::string id = service.submit(
+        spec, priority, "adaptive-r" + std::to_string(round));
+    service.wait(id);
+    const std::optional<CampaignStatus> status = service.status(id);
+    EMUTILE_CHECK(status.has_value(),
+                  "adaptive round " << round << ": campaign '" << id
+                                    << "' vanished from the service");
+    EMUTILE_CHECK(status->state == CampaignState::kFinished,
+                  "adaptive round " << round << ": campaign '" << id
+                                    << "' ended " << to_string(status->state)
+                                    << (status->error.empty() ? "" : ": ")
+                                    << status->error);
+    return load_campaign_report_file(status->out_dir / "report.shard");
+  };
 }
 
 }  // namespace emutile

@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/adaptive_driver.hpp"
 #include "campaign/campaign_engine.hpp"
 #include "campaign/result_cache.hpp"
 #include "service/job_scheduler.hpp"
@@ -52,6 +53,10 @@ struct ServiceConfig {
   /// intermediate snapshots; the final report is always written).
   std::size_t snapshot_every = 8;
   bool enable_cache = true;
+  /// Size bound for the result cache (ResultCache::set_max_bytes): after a
+  /// store pushes the cache past this many bytes of entries, oldest-mtime
+  /// entries are evicted until it fits. 0 means unbounded.
+  std::size_t cache_max_bytes = 0;
   /// Backpressure: when more than this many campaigns are queued or running,
   /// submit() throws ServiceBusyError (the endpoint answers `ERR busy`)
   /// instead of accepting — a misbehaving submitter cannot OOM the daemon.
@@ -175,5 +180,14 @@ class SessionService {
   std::vector<std::unique_ptr<Campaign>> campaigns_;  // submission order
   std::size_t next_seq_ = 1;
 };
+
+/// Adaptive-round executor backed by a resident SessionService: each round's
+/// spec is submitted (catalog designs only — rounds travel the wire format),
+/// waited to a terminal state, and its mergeable out/<id>/report.shard
+/// loaded back. Rounds ride the service's result cache, so re-running an
+/// adaptive campaign against a warm cache re-submits its scenarios nearly
+/// for free. Throws CheckError when a round ends failed or cancelled.
+[[nodiscard]] AdaptiveRoundExecutor make_adaptive_executor(
+    SessionService& service, int priority = 0);
 
 }  // namespace emutile

@@ -93,11 +93,57 @@ TEST(CampaignSpec, ExpansionOrderAndSeedsAreCanonical) {
     EXPECT_EQ(jobs[i].index, i);
     EXPECT_EQ(jobs[i].scenario, i / 2);
     EXPECT_EQ(jobs[i].replica, i % 2);
-    EXPECT_EQ(jobs[i].options.seed, split_seed(spec.master_seed, i));
+    // Seeds are split-derived from (scenario, replica) — each scenario owns
+    // its own replica stream — never from the job's list position.
+    EXPECT_EQ(jobs[i].options.seed,
+              spec.session_seed(jobs[i].scenario, jobs[i].replica));
     EXPECT_EQ(jobs[i].options.tiling.seed, jobs[i].options.seed);
     seeds.insert(jobs[i].options.seed);
   }
   EXPECT_EQ(seeds.size(), jobs.size()) << "session seeds must be distinct";
+}
+
+TEST(CampaignSpec, PerScenarioBudgetsContinueTheReplicaStreams) {
+  const CampaignSpec uniform = small_spec();
+  const std::vector<CampaignJob> uniform_jobs = uniform.expand();
+
+  // A follow-up-round style spec: scenario budgets differ and replica_base
+  // picks up where a 2-replica uniform round stopped.
+  CampaignSpec round = uniform;
+  round.sessions_per_scenario = 0;  // ignored once the vector is set
+  round.sessions_by_scenario = {3, 0, 1, 2};
+  round.replica_base = {2, 2, 2, 2};
+  EXPECT_EQ(round.num_sessions(), 6u);
+  const std::vector<CampaignJob> jobs = round.expand();
+  ASSERT_EQ(jobs.size(), 6u);
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    EXPECT_EQ(jobs[i].index, i) << "round jobs keep a dense canonical order";
+  EXPECT_EQ(jobs[0].scenario, 0u);
+  EXPECT_EQ(jobs[0].replica, 2u);
+  EXPECT_EQ(jobs[3].scenario, 2u);
+  EXPECT_EQ(jobs[3].replica, 2u);
+  EXPECT_EQ(jobs[4].scenario, 3u);
+
+  // Superset property: a replica shared with the uniform run (same scenario,
+  // same absolute replica index) carries the identical seed, so its session
+  // is byte-identical.
+  for (const CampaignJob& job : jobs) {
+    EXPECT_EQ(job.options.seed,
+              uniform.session_seed(job.scenario, job.replica));
+    for (const CampaignJob& u : uniform_jobs) {
+      if (u.scenario == job.scenario && u.replica == job.replica) {
+        EXPECT_EQ(u.options.seed, job.options.seed);
+      }
+    }
+  }
+
+  // Malformed budget vectors are rejected, not silently mis-expanded.
+  CampaignSpec bad = uniform;
+  bad.sessions_by_scenario = {1, 2};  // 4 scenarios
+  EXPECT_THROW(static_cast<void>(bad.expand()), CheckError);
+  bad = uniform;
+  bad.replica_base = {0, 0, 0, -1};
+  EXPECT_THROW(static_cast<void>(bad.num_sessions()), CheckError);
 }
 
 TEST(CampaignEngine, EmptySpecProducesEmptyReport) {
@@ -294,6 +340,45 @@ TEST(CampaignShard, MergedShardReportsMatchUnshardedRun) {
   EXPECT_EQ(merged.completed, full.completed);
   EXPECT_EQ(merged.to_csv(), full.to_csv());
   EXPECT_EQ(merged.to_json(), full.to_json());
+}
+
+TEST(CampaignShard, MergeOfEmptyAndSingleShardListsIsWellDefined) {
+  // Empty shard list: the identity (default-constructed) report.
+  const CampaignReport none = merge_reports({});
+  EXPECT_EQ(none.sessions, 0u);
+  EXPECT_TRUE(none.scenarios.empty());
+  EXPECT_FALSE(none.to_csv().empty());  // emitters handle it
+
+  // Single shard: byte-for-byte the shard itself.
+  const CampaignSpec spec = small_spec(19);
+  const CampaignReport solo = run_campaign(spec);
+  const CampaignReport merged_solo = merge_reports({solo});
+  EXPECT_EQ(merged_solo.to_csv(), solo.to_csv());
+  EXPECT_EQ(merged_solo.to_json(), solo.to_json());
+  EXPECT_EQ(merged_solo.sessions, solo.sessions);
+  EXPECT_EQ(merged_solo.wall_seconds, solo.wall_seconds);
+
+  // The empty report is the merge identity on either side, and only the
+  // execution stats (wall clock, cache counters) carry across.
+  CampaignReport empty_first;
+  empty_first.wall_seconds = 1.5;
+  empty_first.cache_hits = 3;
+  empty_first.merge(solo);
+  EXPECT_EQ(empty_first.to_csv(), solo.to_csv());
+  EXPECT_DOUBLE_EQ(empty_first.wall_seconds, solo.wall_seconds + 1.5);
+  EXPECT_EQ(empty_first.cache_hits, solo.cache_hits + 3);
+  CampaignReport empty_second = solo;
+  empty_second.merge(CampaignReport{});
+  EXPECT_EQ(empty_second.to_csv(), solo.to_csv());
+  EXPECT_EQ(empty_second.sessions, solo.sessions);
+
+  // A list that folds through the identity still equals the shard-by-shard
+  // merge of the full campaign.
+  const CampaignReport a = run_campaign(spec.shard(0, 2));
+  const CampaignReport b = run_campaign(spec.shard(1, 2));
+  const CampaignReport folded = merge_reports({a, b});
+  EXPECT_EQ(folded.to_csv(), solo.to_csv());
+  EXPECT_EQ(folded.to_json(), solo.to_json());
 }
 
 TEST(CampaignBaselines, MeasureCoversFullFigure5StrategySet) {

@@ -1,10 +1,13 @@
 // Property-based sweeps (parameterized gtest): algebraic identities on
 // truth tables, semantics preservation through every netlist transformation,
-// placer/router legality across seeds, ECO confinement across seeds, and
-// engine monotonicity properties.
+// placer/router legality across seeds, ECO confinement across seeds, engine
+// monotonicity properties, and round-trip/robustness fuzzing of the campaign
+// wire formats (spec and mergeable report).
 
 #include <gtest/gtest.h>
 
+#include "campaign/campaign_report_io.hpp"
+#include "campaign/campaign_spec_io.hpp"
 #include "core/flow.hpp"
 #include "core/region_mask.hpp"
 #include "core/tiling_engine.hpp"
@@ -108,9 +111,11 @@ TEST_P(TransformProperty, SynthesizePreservesBehaviour) {
   const auto patterns = exhaustive_patterns(static_cast<std::size_t>(width));
   const auto before = test::run_patterns(nl, patterns);
   synthesize(nl);
-  for (CellId id : nl.live_cells())
-    if (nl.cell(id).kind == CellKind::kLut)
+  for (CellId id : nl.live_cells()) {
+    if (nl.cell(id).kind == CellKind::kLut) {
       ASSERT_LE(nl.cell(id).function.num_inputs(), 4);
+    }
+  }
   EXPECT_EQ(test::run_patterns(nl, patterns), before);
 }
 
@@ -245,7 +250,9 @@ TEST(EngineProperty, RegionMaskRipImpliesAllowed) {
     const RegionMasks masks = build_region_masks(rr, grid, affected);
     std::size_t allowed_count = 0;
     for (std::size_t i = 0; i < rr.num_nodes(); ++i) {
-      if (masks.rip[i]) EXPECT_TRUE(masks.allowed[i]) << "rip outside allowed";
+      if (masks.rip[i]) {
+        EXPECT_TRUE(masks.allowed[i]) << "rip outside allowed";
+      }
       if (masks.allowed[i]) ++allowed_count;
     }
     EXPECT_GT(allowed_count, 0u);
@@ -264,6 +271,246 @@ TEST(EngineProperty, MasksOfDisjointTilesDontOverlapInterior) {
   const RegionMasks mb = build_region_masks(rr, grid, b);
   for (std::size_t i = 0; i < rr.num_nodes(); ++i)
     EXPECT_FALSE(ma.rip[i] && mb.rip[i]);
+}
+
+// ------------------------------------------------------- wire format fuzz ---
+
+/// A random but internally consistent campaign spec drawn from the catalog.
+CampaignSpec random_campaign_spec(Rng& rng) {
+  static const char* kDesigns[] = {"9sym", "styr", "sand", "c499"};
+  static const ErrorKind kKinds[] = {ErrorKind::kLutFunction,
+                                     ErrorKind::kWrongPolarity,
+                                     ErrorKind::kWrongConnection};
+  CampaignSpec spec;
+  const std::size_t nd = 1 + rng.next_below(3);
+  for (std::size_t i = 0; i < nd; ++i)
+    spec.add_catalog_design(kDesigns[rng.next_below(4)]);
+  spec.error_kinds.clear();
+  const std::size_t nk = 1 + rng.next_below(3);
+  for (std::size_t i = 0; i < nk; ++i)
+    spec.error_kinds.push_back(kKinds[rng.next_below(3)]);
+  spec.tilings.clear();
+  const std::size_t nt = 1 + rng.next_below(2);
+  for (std::size_t i = 0; i < nt; ++i) {
+    TilingParams t;
+    t.num_tiles = static_cast<int>(1 + rng.next_below(24));
+    t.target_overhead = rng.next_double();      // arbitrary-precision doubles
+    t.placer_effort = 0.05 + rng.next_double(); // exercise exact round-trip
+    t.tracks_per_channel = static_cast<int>(6 + rng.next_below(12));
+    t.route_headroom = static_cast<int>(rng.next_below(8));
+    spec.tilings.push_back(t);
+  }
+  spec.sessions_per_scenario = static_cast<int>(rng.next_below(6));
+  spec.master_seed = rng();
+  spec.num_patterns = 1 + rng.next_below(512);
+  spec.localizer.probes_per_iteration = static_cast<int>(1 + rng.next_below(9));
+  spec.localizer.max_iterations = static_cast<int>(1 + rng.next_below(30));
+  spec.localizer.stop_at = 1 + rng.next_below(4);
+  spec.localizer.seed = rng();
+  spec.localizer.eco.seed = rng();
+  spec.localizer.eco.placer_effort = rng.next_double();
+  spec.localizer.eco.max_region_expansions =
+      static_cast<int>(rng.next_below(9));
+  spec.eco.seed = rng();
+  spec.eco.placer_effort = rng.next_double();
+  spec.eco.max_region_expansions = static_cast<int>(rng.next_below(9));
+  spec.measure_baselines = rng.next_bool(0.5);
+  if (rng.next_bool(0.3)) {
+    const std::size_t count = 2 + rng.next_below(4);
+    spec = spec.shard(rng.next_below(count), count);
+  }
+  if (rng.next_bool(0.5)) {
+    for (std::size_t s = 0; s < spec.num_scenarios(); ++s) {
+      spec.sessions_by_scenario.push_back(
+          static_cast<int>(rng.next_below(7)));
+      spec.replica_base.push_back(static_cast<int>(rng.next_below(40)));
+    }
+  }
+  return spec;
+}
+
+/// A random accumulator (possibly empty).
+Accumulator random_accumulator(Rng& rng) {
+  Accumulator acc;
+  const std::size_t n = rng.next_below(6);
+  for (std::size_t i = 0; i < n; ++i)
+    acc.add(rng.next_double() * 1e4 - 5e3);
+  return acc;
+}
+
+/// A random report of the shape build_report/merge produce — counters need
+/// not be mutually consistent for the codec to round-trip them exactly.
+CampaignReport random_campaign_report(Rng& rng) {
+  static const char* kNames[] = {"9sym", "styr", "rand-a", "x"};
+  static const ErrorKind kKinds[] = {ErrorKind::kLutFunction,
+                                     ErrorKind::kWrongPolarity,
+                                     ErrorKind::kWrongConnection};
+  CampaignReport r;
+  r.sessions = rng.next_below(1000);
+  r.completed = rng.next_below(1000);
+  r.cancelled = rng.next_below(10);
+  r.failed = rng.next_below(10);
+  r.detected = rng.next_below(1000);
+  r.narrowed = rng.next_below(1000);
+  r.corrected = rng.next_below(1000);
+  r.clean = rng.next_below(1000);
+  r.debug_work = random_accumulator(rng);
+  r.build_work = random_accumulator(rng);
+  r.debug_work_p50 = rng.next_double() * 1e6;
+  r.debug_work_p90 = rng.next_double() * 1e6;
+  r.debug_work_p99 = rng.next_double() * 1e6;
+  r.speedup_quick_geomean = rng.next_double() * 40.0;
+  r.speedup_incremental_geomean = rng.next_double() * 40.0;
+  r.speedup_full_geomean = rng.next_double() * 40.0;
+  r.wall_seconds = rng.next_double() * 1e3;
+  r.num_threads = 1 + rng.next_below(64);
+  r.cache_hits = rng.next_below(500);
+  r.cache_misses = rng.next_below(500);
+  const std::size_t samples = rng.next_below(12);
+  for (std::size_t i = 0; i < samples; ++i)
+    r.debug_work_samples.push_back(rng.next_double() * 1e5);
+  const std::size_t scenarios = rng.next_below(5);
+  for (std::size_t i = 0; i < scenarios; ++i) {
+    ScenarioStats s;
+    s.design = kNames[rng.next_below(4)];
+    s.error_kind = kKinds[rng.next_below(3)];
+    s.num_tiles = static_cast<int>(rng.next_below(30));
+    s.target_overhead = rng.next_double();
+    // Counters respect the aggregation invariants (detected <= completed,
+    // clean <= corrected <= detected) — what build_report/merge always emit,
+    // and what the derived interval columns assume.
+    const std::size_t completed = rng.next_below(40);
+    s.cancelled = rng.next_below(5);
+    s.failed = rng.next_below(5);
+    s.sessions = completed + s.cancelled + s.failed;
+    s.detected = rng.next_below(completed + 1);
+    s.narrowed = rng.next_below(s.detected + 1);
+    s.corrected = rng.next_below(s.detected + 1);
+    s.clean = rng.next_below(s.corrected + 1);
+    s.suspects = random_accumulator(rng);
+    s.iterations = random_accumulator(rng);
+    s.debug_work = random_accumulator(rng);
+    s.build_work = random_accumulator(rng);
+    s.baseline.measured = rng.next_bool(0.5);
+    if (s.baseline.measured) {
+      s.baseline.speedup_quick = 0.1 + rng.next_double() * 30.0;
+      s.baseline.speedup_incremental = 0.1 + rng.next_double() * 30.0;
+      s.baseline.speedup_full = 0.1 + rng.next_double() * 30.0;
+    }
+    r.scenarios.push_back(s);
+  }
+  return r;
+}
+
+class WireFormatFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WireFormatFuzz, RandomSpecsRoundTripExactly) {
+  Rng rng(GetParam() * 7919 + 1);
+  for (int i = 0; i < 8; ++i) {
+    const CampaignSpec spec = random_campaign_spec(rng);
+    const std::string text = serialize_campaign_spec(spec);
+    const CampaignSpec parsed = parse_campaign_spec(text);
+    EXPECT_EQ(serialize_campaign_spec(parsed), text);
+    EXPECT_EQ(spec_content_hash(parsed), spec_content_hash(spec));
+    // Behavioral identity: the same jobs with the same seeds.
+    const auto a = spec.expand();
+    const auto b = parsed.expand();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      EXPECT_EQ(a[j].index, b[j].index);
+      EXPECT_EQ(a[j].scenario, b[j].scenario);
+      EXPECT_EQ(a[j].replica, b[j].replica);
+      EXPECT_EQ(a[j].options.seed, b[j].options.seed);
+    }
+  }
+}
+
+TEST_P(WireFormatFuzz, RandomReportsRoundTripExactly) {
+  Rng rng(GetParam() * 104729 + 3);
+  for (int i = 0; i < 8; ++i) {
+    const CampaignReport report = random_campaign_report(rng);
+    const std::string text = serialize_campaign_report(report);
+    const CampaignReport parsed = parse_campaign_report(text);
+    // The mergeable form is complete: identical re-serialization and
+    // identical presentation bytes (which also covers the derived interval
+    // columns — they are pure functions of the round-tripped state).
+    EXPECT_EQ(serialize_campaign_report(parsed), text);
+    EXPECT_EQ(parsed.to_csv(), report.to_csv());
+    EXPECT_EQ(parsed.to_json(), report.to_json());
+  }
+}
+
+TEST_P(WireFormatFuzz, MutatedInputsErrorCleanly) {
+  // Any corruption of a valid serialization must either still parse (the
+  // mutation can land in free text like a design name) or throw CheckError —
+  // never crash, hang, or surface any other exception type.
+  Rng rng(GetParam() * 31 + 17);
+  const std::string spec_text =
+      serialize_campaign_spec(random_campaign_spec(rng));
+  const std::string report_text =
+      serialize_campaign_report(random_campaign_report(rng));
+  const auto mutate = [&rng](std::string text) {
+    switch (rng.next_below(3)) {
+      case 0:  // truncate
+        text.resize(rng.next_below(text.size() + 1));
+        break;
+      case 1: {  // corrupt one byte
+        if (!text.empty())
+          text[rng.next_below(text.size())] =
+              static_cast<char>(' ' + rng.next_below(95));
+        break;
+      }
+      default: {  // duplicate a line somewhere
+        const std::size_t cut = rng.next_below(text.size() + 1);
+        text.insert(cut, "sessions_per_scenario 2\n");
+        break;
+      }
+    }
+    return text;
+  };
+  for (int i = 0; i < 40; ++i) {
+    try {
+      static_cast<void>(parse_campaign_spec(mutate(spec_text)));
+    } catch (const CheckError&) {
+      // expected for most mutations
+    }
+    try {
+      static_cast<void>(parse_campaign_report(mutate(report_text)));
+    } catch (const CheckError&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WireFormatFuzz,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+TEST(WireFormatRobustness, MalformedReportsThrowWithContext) {
+  const auto reject = [](const std::string& text) {
+    EXPECT_THROW(static_cast<void>(parse_campaign_report(text)), CheckError)
+        << text;
+  };
+  reject("");                                    // no header
+  reject("emutile-report v2\n");                 // wrong version
+  reject("emutile-report v1\n");                 // truncated after header
+  reject("emutile-report v1\ncampaign 1 1 0 0 1 1 1 1\n");  // truncated
+  reject(
+      "emutile-report v1\ncampaign 1 1 0 0 1 1 1 x\n");  // non-numeric count
+  // A structurally complete report with a scenario-count lie.
+  CampaignReport r;
+  r.scenarios.resize(1);
+  r.scenarios[0].design = "9sym";
+  std::string text = serialize_campaign_report(r);
+  const std::size_t pos = text.find("scenarios 1");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 11, "scenarios 3");
+  reject(text);
+  // Trailing garbage after the footer.
+  reject(serialize_campaign_report(CampaignReport{}) + "leftover\n");
+  // Whitespace-hostile design names cannot be serialized at all.
+  CampaignReport bad;
+  bad.scenarios.resize(1);
+  bad.scenarios[0].design = "two words";
+  EXPECT_THROW(static_cast<void>(serialize_campaign_report(bad)), CheckError);
 }
 
 TEST(EngineProperty, RetilePreservesPlacementAndRouting) {

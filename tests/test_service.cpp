@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <filesystem>
@@ -258,13 +259,74 @@ TEST(ResultCache, CampaignRerunsHitAndSpecChangesInvalidate) {
   EXPECT_EQ(miss.cache_misses, changed.num_sessions());
 
   // An overlapping spec (subset of the scenario matrix, same master seed
-  // and knobs) reuses the shared sessions via per-session keys... but note
-  // session seeds are split-derived by global job index, so overlap means
-  // "same (design, kind, tiling, replica) lattice position AND same index".
-  // A shard qualifies: its jobs are exactly a slice of the original's.
+  // and knobs) reuses the shared sessions via per-session keys: seeds are
+  // split-derived from (scenario, replica), so any spec covering the same
+  // lattice positions shares their sessions. A shard qualifies (its jobs
+  // are a slice of the original's), and so does a smaller uniform budget —
+  // its replicas are a prefix of each scenario's stream.
   const CampaignReport shard_run = run_campaign(spec.shard(0, 2), options);
   EXPECT_EQ(shard_run.cache_hits, shard_run.sessions);
   EXPECT_EQ(shard_run.cache_misses, 0u);
+  CampaignSpec fewer = spec;
+  fewer.sessions_per_scenario = 2;  // prefix of the 3-replica streams
+  const CampaignReport prefix_run = run_campaign(fewer, options);
+  EXPECT_EQ(prefix_run.cache_hits, prefix_run.sessions);
+  EXPECT_EQ(prefix_run.cache_misses, 0u);
+}
+
+TEST(ResultCache, SizeBoundEvictsOldestMtimeFirst) {
+  ScratchDir scratch("cache-evict");
+  ResultCache cache(scratch.path / "cache");
+  CachedSession s;
+  s.detected = true;
+
+  // Four entries with strictly increasing, explicitly-set mtimes (the clock
+  // alone can't be trusted to tick between stores).
+  const auto entry = [&](std::uint64_t key) {
+    return scratch.path / "cache" / (format_u64_hex(key) + ".session");
+  };
+  std::size_t entry_bytes = 0;
+  for (std::uint64_t key = 1; key <= 4; ++key) {
+    cache.store(key, s);
+    entry_bytes = fs::file_size(entry(key));
+    fs::last_write_time(entry(key),
+                        fs::file_time_type::clock::now() +
+                            std::chrono::seconds(static_cast<int>(key)));
+  }
+  ASSERT_GT(entry_bytes, 0u);
+  EXPECT_EQ(cache.entries(), 4u);
+  EXPECT_EQ(cache.evictions(), 0u);  // unbounded so far
+
+  // Bound to two entries' worth: the two oldest (keys 1, 2) must go, the
+  // two newest stay.
+  cache.set_max_bytes(2 * entry_bytes);
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.evictions(), 2u);
+  EXPECT_LE(cache.bytes(), 2 * entry_bytes);
+  EXPECT_FALSE(cache.load(1).has_value());
+  EXPECT_FALSE(cache.load(2).has_value());
+  EXPECT_TRUE(cache.load(3).has_value());
+  EXPECT_TRUE(cache.load(4).has_value());
+
+  // A store that overflows the bound prunes the oldest survivor; the entry
+  // just stored is the newest and survives.
+  fs::last_write_time(entry(3), fs::file_time_type::clock::now() -
+                                    std::chrono::hours(1));
+  fs::last_write_time(entry(4), fs::file_time_type::clock::now() -
+                                    std::chrono::minutes(30));
+  cache.store(5, s);
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.evictions(), 3u);
+  EXPECT_FALSE(cache.load(3).has_value());
+  EXPECT_TRUE(cache.load(5).has_value());
+
+  // max_bytes() reads back; 0 disables eviction again.
+  EXPECT_EQ(cache.max_bytes(), 2 * entry_bytes);
+  cache.set_max_bytes(0);
+  cache.store(6, s);
+  cache.store(7, s);
+  EXPECT_EQ(cache.entries(), 4u);
+  EXPECT_EQ(cache.evictions(), 3u);
 }
 
 // ---------------------------------------------------------- job scheduler ---

@@ -11,7 +11,17 @@
 ///                         [--shards N] [--priority N] [--poll-ms N]
 ///                         [--stall-ms N] [--timeout-ms N]
 ///                         [--local-threads N] [--no-local-fallback]
+///                         [--adaptive] [--target-halfwidth X]
+///                         [--initial-sessions N] [--max-sessions N]
+///                         [--metric detection|correction|debug-work]
 ///                         [--quiet]
+///
+/// --adaptive runs the campaign in confidence-driven rounds (see
+/// adaptive_driver.hpp): a uniform exploratory round of --initial-sessions
+/// per scenario, then follow-up rounds orchestrated across the fleet as
+/// extra shards, spending sessions on the scenarios whose --metric interval
+/// is widest until every half-width is at or below --target-halfwidth or
+/// --max-sessions (default: the spec's own uniform budget) runs out.
 ///
 /// Writes <out>/report.json, <out>/report.csv, and <out>/report.shard
 /// (the mergeable form) — default out dir is the current directory.
@@ -19,7 +29,9 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <utility>
 
+#include "campaign/adaptive_driver.hpp"
 #include "campaign/campaign_report_io.hpp"
 #include "campaign/campaign_spec_io.hpp"
 #include "orchestrator/campaign_coordinator.hpp"
@@ -34,7 +46,10 @@ int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --fleet FLEET.cfg --spec SPEC [--out DIR] [--shards N]"
                " [--priority N] [--poll-ms N] [--stall-ms N] [--timeout-ms N]"
-               " [--local-threads N] [--no-local-fallback] [--quiet]\n";
+               " [--local-threads N] [--no-local-fallback] [--adaptive]"
+               " [--target-halfwidth X] [--initial-sessions N]"
+               " [--max-sessions N]"
+               " [--metric detection|correction|debug-work] [--quiet]\n";
   return 2;
 }
 
@@ -55,6 +70,8 @@ void print_snapshot(const FleetSnapshot& snap) {
 int main(int argc, char** argv) {
   std::filesystem::path fleet_path, spec_path, out_dir = ".";
   CoordinatorOptions options;
+  AdaptiveOptions adaptive;
+  bool use_adaptive = false;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -76,6 +93,17 @@ int main(int argc, char** argv) {
     else if (arg == "--timeout-ms") options.request_timeout_ms = static_cast<int>(std::strtol(value(), nullptr, 10));
     else if (arg == "--local-threads") options.local_threads = std::strtoull(value(), nullptr, 10);
     else if (arg == "--no-local-fallback") options.allow_local_fallback = false;
+    else if (arg == "--adaptive") use_adaptive = true;
+    else if (arg == "--target-halfwidth") adaptive.target_halfwidth = std::strtod(value(), nullptr);
+    else if (arg == "--initial-sessions") adaptive.initial_sessions = std::atoi(value());
+    else if (arg == "--max-sessions") adaptive.max_total_sessions = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--metric") {
+      const std::string metric = value();
+      if (metric == "detection") adaptive.metric = AdaptiveMetric::kDetection;
+      else if (metric == "correction") adaptive.metric = AdaptiveMetric::kCorrection;
+      else if (metric == "debug-work") adaptive.metric = AdaptiveMetric::kDebugWork;
+      else return usage(argv[0]);
+    }
     else if (arg == "--quiet") quiet = true;
     else return usage(argv[0]);
   }
@@ -95,19 +123,45 @@ int main(int argc, char** argv) {
     }
 
     CampaignCoordinator coordinator(fleet, options);
-    const OrchestrationResult result = coordinator.run(spec);
+    CampaignReport report;
+    if (use_adaptive) {
+      adaptive.executor = make_adaptive_executor(coordinator);
+      if (!quiet) {
+        adaptive.on_round = [&](const AdaptiveRoundInfo& info) {
+          std::cout << "adaptive round " << info.round << ": "
+                    << info.sessions << " sessions ("
+                    << info.total_sessions << " total), max "
+                    << to_string(adaptive.metric) << " half-width "
+                    << info.max_halfwidth << ", "
+                    << info.scenarios_above_target
+                    << " scenario(s) above target" << std::endl;
+        };
+      }
+      AdaptiveCampaignDriver driver(adaptive);
+      AdaptiveResult result = driver.run(spec);
+      report = std::move(result.report);
+      std::cout << "adaptive campaign "
+                << (result.converged ? "converged" : "stopped") << " after "
+                << result.rounds << " round(s), " << result.total_sessions
+                << "/" << spec.num_sessions()
+                << " sessions of the uniform budget, max half-width "
+                << result.max_halfwidth << "\n";
+    } else {
+      OrchestrationResult result = coordinator.run(spec);
+      report = std::move(result.report);
+      std::cout << "orchestrated " << result.num_shards << " shard"
+                << (result.num_shards == 1 ? "" : "s") << " ("
+                << result.redispatches << " re-dispatched, "
+                << result.local_shards << " ran locally)\n";
+    }
 
     std::filesystem::create_directories(out_dir);
-    write_file_atomic(out_dir / "report.json", result.report.to_json());
-    write_file_atomic(out_dir / "report.csv", result.report.to_csv());
+    write_file_atomic(out_dir / "report.json", report.to_json());
+    write_file_atomic(out_dir / "report.csv", report.to_csv());
     write_file_atomic(out_dir / "report.shard",
-                      serialize_campaign_report(result.report));
+                      serialize_campaign_report(report));
 
-    std::cout << "orchestrated " << result.num_shards << " shard"
-              << (result.num_shards == 1 ? "" : "s") << " ("
-              << result.redispatches << " re-dispatched, "
-              << result.local_shards << " ran locally)\n";
-    result.report.print_summary(std::cout);
+    report.print_summary(std::cout);
     std::cout << "reports written to " << out_dir.string() << "\n";
   } catch (const std::exception& e) {
     std::cerr << "emutile_orchestrate: " << e.what() << "\n";

@@ -8,12 +8,16 @@
 /// drained before exit unless --no-drain is given.
 ///
 ///   $ emutile_serviced --root DIR [--threads N] [--snapshot-every N]
-///                      [--poll-ms N] [--no-cache] [--no-socket]
-///                      [--socket PATH] [--max-pending N] [--once]
-///                      [--no-drain]
+///                      [--poll-ms N] [--no-cache] [--cache-max-bytes N]
+///                      [--no-socket] [--socket PATH] [--max-pending N]
+///                      [--once] [--no-drain]
 ///
-///   --max-pending N  bounded SUBMIT queue: reject with `ERR busy` while N
-///                    campaigns are already queued or running (0 = unbounded)
+///   --max-pending N      bounded SUBMIT queue: reject with `ERR busy` while
+///                        N campaigns are already queued or running
+///                        (0 = unbounded)
+///   --cache-max-bytes N  bound the result cache to N bytes of entries;
+///                        oldest-mtime entries are evicted past the bound
+///                        (0 = unbounded)
 ///
 ///   --once   drain the spool once, wait for those campaigns, and exit.
 
@@ -39,8 +43,8 @@ void on_signal(int) { g_signalled = 1; }
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --root DIR [--threads N] [--snapshot-every N] [--poll-ms N]"
-               " [--no-cache] [--no-socket] [--socket PATH] [--max-pending N]"
-               " [--once] [--no-drain]\n";
+               " [--no-cache] [--cache-max-bytes N] [--no-socket]"
+               " [--socket PATH] [--max-pending N] [--once] [--no-drain]\n";
   return 2;
 }
 
@@ -69,6 +73,7 @@ int main(int argc, char** argv) {
     else if (arg == "--snapshot-every") config.snapshot_every = std::strtoull(value(), nullptr, 10);
     else if (arg == "--poll-ms") poll_ms = std::strtol(value(), nullptr, 10);
     else if (arg == "--max-pending") config.max_pending = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--cache-max-bytes") config.cache_max_bytes = std::strtoull(value(), nullptr, 10);
     else if (arg == "--no-cache") config.enable_cache = false;
     else if (arg == "--no-socket") use_socket = false;
     else if (arg == "--socket") socket_path = value();
@@ -93,6 +98,8 @@ int main(int argc, char** argv) {
               << " threads=" << config.num_threads
               << " snapshot_every=" << config.snapshot_every << " cache="
               << (config.enable_cache ? "on" : "off");
+    if (config.enable_cache && config.cache_max_bytes > 0)
+      std::cout << " cache_max_bytes=" << config.cache_max_bytes;
     if (endpoint)
       std::cout << " socket=" << endpoint->socket_path().string();
     std::cout << std::endl;
