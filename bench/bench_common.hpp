@@ -6,9 +6,12 @@
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/tiling_engine.hpp"
 #include "designs/catalog.hpp"
+#include "util/file_io.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 
@@ -47,5 +50,50 @@ inline void banner(const char* title, const char* paper_ref) {
             << " of Lach/Mangione-Smith/Potkonjak, DAC 2000)\n"
             << "==============================================================\n";
 }
+
+/// Machine-readable bench output: a flat named-metric JSON document,
+///
+///   {"bench": "<name>", "metrics": {"<key>": <number>, ...}}
+///
+/// shared by every bench the perf-regression CI lane consumes — the
+/// checked-in bench/baselines/*.json files are literal copies of this
+/// output, and tools/perf_compare reads both sides. Metric naming contract:
+/// keys ending in `_ratio` or `_work_units` are guarded (lower is better,
+/// compared against the baseline with a tolerance band); everything else —
+/// absolute seconds in particular, which do not transfer across machines —
+/// is recorded for humans and trend tooling but never gates CI.
+class MetricsJson {
+ public:
+  explicit MetricsJson(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void add(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  [[nodiscard]] std::string str() const {
+    std::string out = "{\n  \"bench\": \"" + bench_name_ + "\",\n"
+                      "  \"metrics\": {\n";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.6g", metrics_[i].second);
+      out += "    \"" + metrics_[i].first + "\": " + buf;
+      out += i + 1 < metrics_.size() ? ",\n" : "\n";
+    }
+    out += "  }\n}\n";
+    return out;
+  }
+
+  /// Atomically write the document to `path` (the artifact CI uploads and
+  /// perf-refresh checks in as the new baseline).
+  void write(const std::string& path) const {
+    write_file_atomic(path, str());
+    std::cout << "metrics JSON written to " << path << "\n";
+  }
+
+ private:
+  std::string bench_name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 }  // namespace emutile::bench

@@ -6,10 +6,12 @@
 /// reports wall-clock throughput, effort percentiles, and measured tiled-ECO
 /// speedups against the Quick_ECO and full re-P&R baselines.
 ///
-///   $ ./campaign_sweep [threads] [sessions_per_scenario] [csv_out]
+///   $ ./campaign_sweep [threads] [sessions_per_scenario] [csv_out] [json_out]
 ///
 /// `csv_out`, when given, receives the per-scenario CSV report — what the
-/// CI bench-smoke job uploads as its artifact.
+/// CI bench-smoke job uploads as its artifact. `json_out` receives the
+/// machine-readable metrics document (bench_common MetricsJson) the perf
+/// CI lane compares against bench/baselines/campaign_sweep.json.
 
 #include <cstdlib>
 #include <iostream>
@@ -87,9 +89,25 @@ int main(int argc, char** argv) {
 
   par.print_summary(std::cout);
   std::cout << "\nper-scenario CSV:\n" << par.to_csv();
+  std::cout << "\nper-scenario phase timing:\n" << par.timing_csv();
   if (argc > 3) {
     write_file_atomic(argv[3], par.to_csv());
     std::cout << "\nCSV report written to " << argv[3] << "\n";
+  }
+  if (argc > 4) {
+    bench::MetricsJson metrics("campaign_sweep");
+    // Guarded (deterministic work-unit means; a CAD-efficiency regression
+    // moves these regardless of machine speed).
+    metrics.add("debug_work_units",
+                par.debug_work.count() ? par.debug_work.mean() : 0.0);
+    metrics.add("build_work_units",
+                par.build_work.count() ? par.build_work.mean() : 0.0);
+    // Informational (machine-dependent).
+    metrics.add("wall_seconds_single", ref.wall_seconds);
+    metrics.add("wall_seconds_par", par.wall_seconds);
+    metrics.add("sessions_per_second", par.sessions_per_second());
+    metrics.add("warm_builds", static_cast<double>(par.warm_builds));
+    metrics.write(argv[4]);
   }
   return deterministic ? 0 : 1;
 }

@@ -3,7 +3,8 @@
 # Actions (.github/workflows/ci.yml) — the workflow jobs invoke this script
 # with explicit steps so the two can never drift.
 #
-#   scripts/ci.sh [step...]      steps: ci | pregate | asan | bench-smoke
+#   scripts/ci.sh [step...]
+#   steps: ci | pregate | asan | bench-smoke | perf | perf-refresh
 #
 #   ci           configure + build + ctest with the "ci" CMake preset
 #                (RelWithDebInfo, -Wall -Wextra). The fast `unit`-labeled
@@ -21,11 +22,30 @@
 #                tiny sweep (2 threads x 1 replica, determinism-checked);
 #                the per-scenario CSV lands in build/bench-smoke/ for the
 #                workflow to upload as an artifact.
+#   perf         the perf-regression lane: run session_profile and
+#                campaign_sweep on the pinned small grid below, then compare
+#                their metrics JSON against the checked-in baselines in
+#                bench/baselines/ with a 25% tolerance band (tools/
+#                perf_compare; guarded keys are machine-portable ratios and
+#                deterministic work units — absolute seconds never gate).
+#                Artifacts land in build/perf/ and are uploaded by CI on
+#                success and failure alike.
+#   perf-refresh rerun the same pinned grid and write its metrics JSON
+#                straight into bench/baselines/ — how the baselines are
+#                regenerated locally after an intentional perf change.
 #
 # No arguments reproduces the historical default: ci then asan
 # (EMUTILE_SKIP_ASAN=1 skips the sanitizer pass).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# The pinned grid of the perf lane. Small on purpose (CI minutes), and the
+# baselines were recorded with exactly these arguments — change them and the
+# baselines together (perf-refresh).
+PERF_PROFILE_ARGS=(--designs styr,sand --sessions 2 --tiles 6 --patterns 128
+                   --threads 2)
+PERF_SWEEP_ARGS=(2 1)
+PERF_TOLERANCE=0.25
 
 run_preset() {
   local preset=$1
@@ -62,20 +82,66 @@ bench_smoke() {
     | tee build/bench-smoke/campaign_sweep.log
 }
 
+build_perf_binaries() {
+  cmake --preset ci
+  cmake --build --preset ci \
+    --target bench_session_profile bench_campaign_sweep perf_compare
+}
+
+run_perf_grid() {
+  # $1: directory receiving the metrics JSON (build/perf or bench/baselines).
+  local out_dir=$1
+  mkdir -p "$out_dir" build/perf
+  ./build/session_profile "${PERF_PROFILE_ARGS[@]}" \
+    --json "$out_dir/session_profile.json" \
+    | tee build/perf/session_profile.log
+  ./build/campaign_sweep "${PERF_SWEEP_ARGS[@]}" \
+    build/perf/campaign_sweep.csv "$out_dir/campaign_sweep.json" \
+    | tee build/perf/campaign_sweep.log
+}
+
+perf() {
+  build_perf_binaries
+  run_perf_grid build/perf
+  ./build/perf_compare bench/baselines/session_profile.json \
+    build/perf/session_profile.json "$PERF_TOLERANCE"
+  ./build/perf_compare bench/baselines/campaign_sweep.json \
+    build/perf/campaign_sweep.json "$PERF_TOLERANCE"
+}
+
+perf_refresh() {
+  build_perf_binaries
+  run_perf_grid bench/baselines
+  echo "perf baselines regenerated in bench/baselines/ — review and commit"
+}
+
 steps=("$@")
 if [[ ${#steps[@]} -eq 0 ]]; then
   steps=(ci)
   [[ "${EMUTILE_SKIP_ASAN:-0}" != "1" ]] && steps+=(asan)
 fi
 
+# Validate the whole step list up front: a typo must stop the run with a
+# distinct exit code *before* any step has spent minutes building.
 for step in "${steps[@]}"; do
+  case "$step" in
+    ci|asan|pregate|bench-smoke|perf|perf-refresh) ;;
+    *)
+      echo "unknown step '$step'" \
+           "(ci | pregate | asan | bench-smoke | perf | perf-refresh)" >&2
+      exit 64
+      ;;
+  esac
+done
+
+for step in "${steps[@]}"; do
+  step_start=$SECONDS
   case "$step" in
     ci|asan) run_preset "$step" ;;
     pregate) pregate ;;
     bench-smoke) bench_smoke ;;
-    *)
-      echo "unknown step '$step' (ci | pregate | asan | bench-smoke)" >&2
-      exit 2
-      ;;
+    perf) perf ;;
+    perf-refresh) perf_refresh ;;
   esac
+  echo "ci.sh: step '$step' finished in $((SECONDS - step_start))s"
 done

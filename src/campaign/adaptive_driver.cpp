@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/tiled_baseline_cache.hpp"
 #include "util/check.hpp"
 
 namespace emutile {
@@ -126,9 +127,17 @@ AdaptiveResult AdaptiveCampaignDriver::run(const CampaignSpec& base) {
       options_.round_budget > 0 ? options_.round_budget : num_scenarios;
 
   AdaptiveRoundExecutor execute = options_.executor;
+  // Every round re-runs the same (design, tiling) pairs, so the in-process
+  // executor shares one warm-start baseline cache across rounds instead of
+  // letting each run_campaign rebuild the pre-injection baselines.
+  TiledBaselineCache round_baselines;
   if (!execute) {
-    execute = [this](const CampaignSpec& round_spec, std::size_t) {
-      return run_campaign(round_spec, options_.engine);
+    execute = [this, &round_baselines](const CampaignSpec& round_spec,
+                                       std::size_t) {
+      CampaignOptions engine = options_.engine;
+      if (engine.warm_start && engine.baseline_cache == nullptr)
+        engine.baseline_cache = &round_baselines;
+      return run_campaign(round_spec, engine);
     };
   }
 

@@ -3,9 +3,12 @@
 #include <chrono>
 #include <exception>
 #include <mutex>
+#include <sstream>
 #include <utility>
 
+#include "campaign/campaign_spec_io.hpp"
 #include "campaign/result_cache.hpp"
+#include "core/tiled_baseline_cache.hpp"
 #include "designs/catalog.hpp"
 #include "eco/eco_strategies.hpp"
 #include "hier/hierarchy.hpp"
@@ -84,11 +87,33 @@ std::vector<ScenarioBaseline> fan_out_baselines(
   return baselines;
 }
 
+namespace {
+
+/// Content key of the (design, tiling) pair's pre-injection baseline: the
+/// golden netlist identity (catalog name + design seed) plus every tiling
+/// parameter. Custom-builder designs have no stable content identity and
+/// never share a baseline cache entry.
+std::string tiled_baseline_key(const CampaignSpec& spec,
+                               const CampaignJob& job) {
+  const TilingParams& t = job.options.tiling;
+  std::ostringstream os;
+  os << "emutile-baseline-key v1 design="
+     << spec.designs[job.design_index].name
+     << " dseed=" << spec.design_seed(job.design_index) << " tiling="
+     << t.num_tiles << "," << format_double_exact(t.target_overhead) << ","
+     << format_double_exact(t.placer_effort) << "," << t.tracks_per_channel
+     << "," << t.route_headroom << "," << t.seed;
+  return os.str();
+}
+
+}  // namespace
+
 SessionOutcome run_campaign_session(const CampaignSpec& spec,
                                     const CampaignJob& job,
                                     const Netlist& golden,
                                     const std::function<bool()>& cancel,
-                                    ResultCache* cache, CacheLookup* lookup) {
+                                    ResultCache* cache, CacheLookup* lookup,
+                                    TiledBaselineCache* baselines) {
   if (lookup) *lookup = CacheLookup::kNotConsulted;
   SessionOutcome out;
   if (cancel && cancel()) {
@@ -113,6 +138,32 @@ SessionOutcome run_campaign_session(const CampaignSpec& spec,
     if (lookup) *lookup = CacheLookup::kMiss;
   }
   DebugSessionOptions session = job.options;
+  // Warm start: share one pre-injection tiled baseline across every session
+  // of this (design, tiling) pair. Connection errors change connectivity
+  // and would build cold anyway, so they skip the lookup; a baseline build
+  // failure degrades to a cold build (the session will hit the same error
+  // and record it properly).
+  double baseline_wall_seconds = 0.0;
+  if (baselines != nullptr && !spec.designs[job.design_index].builder &&
+      job.options.error_kind != ErrorKind::kWrongConnection) {
+    const auto baseline_t0 = std::chrono::steady_clock::now();
+    try {
+      session.warm_baseline = baselines->get_or_build(
+          tiled_baseline_key(spec, job), [&] {
+            return TilingEngine::build(Netlist(golden), job.options.tiling);
+          });
+    } catch (const std::exception& e) {
+      EMUTILE_WARN("baseline build failed, session builds cold: "
+                   << e.what());
+    }
+    // The session that builds the shared baseline did real build work; fold
+    // it into this session's build phase below so the timing profile never
+    // under-reports warm-start mode (cache hits add ~nothing here).
+    baseline_wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      baseline_t0)
+            .count();
+  }
   if (cancel) {
     // Compose campaign cancellation with any caller-provided hook.
     const auto user_hook = std::move(session.hooks.on_phase);
@@ -123,6 +174,11 @@ SessionOutcome run_campaign_session(const CampaignSpec& spec,
   }
   try {
     out.report = run_debug_session(golden, session);
+    if (baseline_wall_seconds > 0.0) {
+      out.report.phase_seconds[static_cast<std::size_t>(
+          SessionPhase::kBuild)] += baseline_wall_seconds;
+      out.report.wall_seconds += baseline_wall_seconds;
+    }
   } catch (const std::exception& e) {
     out.error = e.what();
   }
@@ -148,6 +204,17 @@ CampaignReport run_campaign(const CampaignSpec& spec,
   EMUTILE_CHECK(options.num_threads >= 1, "campaign needs at least 1 thread");
   const std::vector<CampaignJob> jobs = spec.expand();
   ThreadPool pool(options.num_threads);
+
+  // Shared pre-injection baselines: the first session of each (design,
+  // tiling) pair builds one, the rest clone it. A caller-provided cache
+  // amortizes across campaigns (the session service); otherwise the cache
+  // lives for this run only.
+  TiledBaselineCache local_tiled_baselines;
+  TiledBaselineCache* tiled_baselines =
+      options.warm_start
+          ? (options.baseline_cache ? options.baseline_cache
+                                    : &local_tiled_baselines)
+          : nullptr;
 
   // A sharded spec only needs part of the campaign's work: goldens for the
   // designs its job slice touches, and the baseline pairs assigned to it.
@@ -201,7 +268,8 @@ CampaignReport run_campaign(const CampaignSpec& spec,
     } else {
       outcomes[i] =
           run_campaign_session(spec, job, goldens[job.design_index],
-                               options.cancel, options.cache, &lookup);
+                               options.cancel, options.cache, &lookup,
+                               tiled_baselines);
     }
     // Progress fires on every accounting path — completed, failed,
     // cancelled, and cache-served sessions alike.

@@ -26,6 +26,7 @@
 namespace emutile {
 
 class ResultCache;
+class TiledBaselineCache;
 
 struct CampaignOptions {
   std::size_t num_threads = 1;
@@ -45,6 +46,16 @@ struct CampaignOptions {
   /// debug loop entirely, misses run and are stored. Counted in the report's
   /// cache_hits/cache_misses.
   ResultCache* cache = nullptr;
+  /// Warm-start sessions from a shared pre-injection tiled baseline, one per
+  /// (design, tiling) pair: the first session of a pair builds it, the rest
+  /// clone it (TilingEngine::rebase). Reports stay byte-identical to cold
+  /// builds — sessions whose injected error changes connectivity fall back
+  /// to a cold build automatically. Disable to force every session through
+  /// the full build (the pre-warm-start behavior, kept for benches/tests).
+  bool warm_start = true;
+  /// Optional cross-campaign baseline cache (e.g. the session service's);
+  /// when null and warm_start is set, a cache local to this run is used.
+  TiledBaselineCache* baseline_cache = nullptr;
 };
 
 /// Execute the campaign described by `spec` on `options.num_threads`
@@ -67,12 +78,17 @@ enum class CacheLookup : std::uint8_t {
 /// up front and at every phase boundary; consults/fills `cache` when non-null
 /// and the job's design is a catalog design (cancelled outcomes are never
 /// cached). `*lookup` (optional) reports the cache interaction for counter
-/// accounting. Never throws: session failures are recorded in the outcome,
-/// and cache IO failures are logged and degrade to an uncached run.
+/// accounting. When `baselines` is non-null and the job can warm-start
+/// (catalog design, LUT-reconfiguration error kind), the session clones the
+/// shared pre-injection tiled baseline — built on first use under a content
+/// key — instead of running a full build; the report is byte-identical
+/// either way. Never throws: session failures are recorded in the outcome,
+/// and cache/baseline IO or build failures are logged and degrade to an
+/// uncached / cold-built run.
 [[nodiscard]] SessionOutcome run_campaign_session(
     const CampaignSpec& spec, const CampaignJob& job, const Netlist& golden,
     const std::function<bool()>& cancel = {}, ResultCache* cache = nullptr,
-    CacheLookup* lookup = nullptr);
+    CacheLookup* lookup = nullptr, TiledBaselineCache* baselines = nullptr);
 
 /// Measure the tiled-vs-baseline speedups of unique (design, tiling) pair
 /// `pair_index` (= design_index * spec.tilings.size() + tiling_index) on the

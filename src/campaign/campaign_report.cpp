@@ -184,6 +184,69 @@ std::string CampaignReport::to_json() const {
   return os.str();
 }
 
+namespace {
+
+/// Mean of an accumulator, or 0 when it holds no samples — timing columns
+/// must stay valid numbers even for scenarios served entirely from cache.
+double mean_or_zero(const Accumulator& a) {
+  return a.count() ? a.mean() : 0.0;
+}
+
+}  // namespace
+
+std::string CampaignReport::timing_csv() const {
+  std::vector<std::string> header{"design",        "error_kind",
+                                  "tiles",         "overhead",
+                                  "timed_sessions", "warm_builds",
+                                  "wall_mean_s"};
+  for (std::size_t p = 0; p < kNumSessionPhases; ++p)
+    header.push_back(std::string(to_string(static_cast<SessionPhase>(p))) +
+                     "_mean_s");
+  Table t(header);
+  for (const ScenarioStats& s : scenarios) {
+    std::vector<std::string> row{
+        s.design,
+        to_string(s.error_kind),
+        std::to_string(s.num_tiles),
+        num(s.target_overhead),
+        std::to_string(s.session_wall.count()),
+        std::to_string(s.warm_builds),
+        num(mean_or_zero(s.session_wall))};
+    for (std::size_t p = 0; p < kNumSessionPhases; ++p)
+      row.push_back(num(mean_or_zero(s.phase_wall[p])));
+    t.add_row(std::move(row));
+  }
+  std::ostringstream os;
+  t.print_csv(os);
+  return os.str();
+}
+
+std::string CampaignReport::timing_json() const {
+  std::ostringstream os;
+  os << "{\n  \"campaign\": {\n"
+     << "    \"timed_sessions\": " << session_wall.count() << ",\n"
+     << "    \"warm_builds\": " << warm_builds << ",\n"
+     << "    \"wall_mean_s\": " << num(mean_or_zero(session_wall));
+  for (std::size_t p = 0; p < kNumSessionPhases; ++p)
+    os << ",\n    \"" << to_string(static_cast<SessionPhase>(p))
+       << "_mean_s\": " << num(mean_or_zero(phase_wall[p]));
+  os << "\n  },\n  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const ScenarioStats& s = scenarios[i];
+    os << "    {\"design\": \"" << s.design << "\", \"error_kind\": \""
+       << to_string(s.error_kind) << "\", \"tiles\": " << s.num_tiles
+       << ", \"timed_sessions\": " << s.session_wall.count()
+       << ", \"warm_builds\": " << s.warm_builds
+       << ", \"wall_mean_s\": " << num(mean_or_zero(s.session_wall));
+    for (std::size_t p = 0; p < kNumSessionPhases; ++p)
+      os << ", \"" << to_string(static_cast<SessionPhase>(p))
+         << "_mean_s\": " << num(mean_or_zero(s.phase_wall[p]));
+    os << "}" << (i + 1 < scenarios.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
 void CampaignReport::print_summary(std::ostream& os) const {
   os << "campaign: " << sessions << " sessions over " << scenarios.size()
      << " scenarios on " << num_threads
@@ -205,6 +268,18 @@ void CampaignReport::print_summary(std::ostream& os) const {
   if (cache_hits + cache_misses > 0)
     os << "  result cache: " << cache_hits << " hits, " << cache_misses
        << " misses\n";
+  if (session_wall.count()) {
+    os << "  session wall (over " << session_wall.count()
+       << " timed sessions): mean " << num(session_wall.mean())
+       << " s; phases:";
+    for (std::size_t p = 0; p < kNumSessionPhases; ++p)
+      os << " " << to_string(static_cast<SessionPhase>(p)) << " "
+         << num(mean_or_zero(phase_wall[p])) << "s";
+    os << "\n";
+    if (warm_builds > 0)
+      os << "  warm-started builds: " << warm_builds << " of "
+         << session_wall.count() << " timed sessions\n";
+  }
   if (wall_seconds > 0.0)
     os << "  wall clock " << num(wall_seconds) << " s ("
        << num(sessions_per_second()) << " sessions/s)\n";
@@ -262,6 +337,20 @@ CampaignReport build_report(const CampaignSpec& spec,
     report.debug_work.add(dwork);
     report.build_work.add(bwork);
     work_samples.push_back(dwork);
+    if (r.warm_started) {
+      ++s.warm_builds;
+      ++report.warm_builds;
+    }
+    // Cache-served sessions replay counters but never ran, so they carry no
+    // wall clock; only actually-executed sessions feed the timing profile.
+    if (r.wall_seconds > 0.0) {
+      s.session_wall.add(r.wall_seconds);
+      report.session_wall.add(r.wall_seconds);
+      for (std::size_t p = 0; p < kNumSessionPhases; ++p) {
+        s.phase_wall[p].add(r.phase_seconds[p]);
+        report.phase_wall[p].add(r.phase_seconds[p]);
+      }
+    }
     if (!r.detection.error_detected) continue;
     ++s.detected;
     ++report.detected;
@@ -310,6 +399,10 @@ void CampaignReport::merge(const CampaignReport& other) {
     into.num_threads = std::max(into.num_threads, from.num_threads);
     into.cache_hits += from.cache_hits;
     into.cache_misses += from.cache_misses;
+    into.warm_builds += from.warm_builds;
+    into.session_wall.merge(from.session_wall);
+    for (std::size_t p = 0; p < kNumSessionPhases; ++p)
+      into.phase_wall[p].merge(from.phase_wall[p]);
   };
   if (is_empty(other)) {
     fold_exec(*this, other);
@@ -363,6 +456,10 @@ void CampaignReport::merge(const CampaignReport& other) {
     s.iterations.merge(o.iterations);
     s.debug_work.merge(o.debug_work);
     s.build_work.merge(o.build_work);
+    s.warm_builds += o.warm_builds;
+    s.session_wall.merge(o.session_wall);
+    for (std::size_t p = 0; p < kNumSessionPhases; ++p)
+      s.phase_wall[p].merge(o.phase_wall[p]);
     // Baselines are a pure function of (master seed, design, tiling), so a
     // scenario measured by several shards carries identical values; keep
     // whichever side has one.
@@ -373,6 +470,10 @@ void CampaignReport::merge(const CampaignReport& other) {
   num_threads = std::max(num_threads, other.num_threads);
   cache_hits += other.cache_hits;
   cache_misses += other.cache_misses;
+  warm_builds += other.warm_builds;
+  session_wall.merge(other.session_wall);
+  for (std::size_t p = 0; p < kNumSessionPhases; ++p)
+    phase_wall[p].merge(other.phase_wall[p]);
 }
 
 CampaignReport merge_reports(const std::vector<CampaignReport>& shards) {

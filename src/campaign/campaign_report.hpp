@@ -9,6 +9,7 @@
 /// separately and appears only in print_summary(), which is allowed to vary
 /// run to run.
 
+#include <array>
 #include <cstddef>
 #include <iosfwd>
 #include <string>
@@ -64,6 +65,13 @@ struct ScenarioStats {
   Accumulator build_work;     ///< per-session initial-build work units
   ScenarioBaseline baseline;
 
+  // ---- wall-clock profile (freshly executed sessions only: cache hits ----
+  // ---- carry no timing; excluded from to_csv/to_json, reported by      ----
+  // ---- timing_csv/timing_json and print_summary)                       ----
+  std::size_t warm_builds = 0;  ///< sessions that cloned the shared baseline
+  Accumulator session_wall;     ///< total wall seconds per timed session
+  std::array<Accumulator, kNumSessionPhases> phase_wall;  ///< per phase
+
   /// Sessions that ran to the end (not cancelled, not failed) — the trial
   /// count behind the proportion intervals below.
   [[nodiscard]] std::size_t completed() const {
@@ -111,6 +119,9 @@ struct CampaignReport {
   std::size_t num_threads = 1;
   std::size_t cache_hits = 0;    ///< sessions served from the result cache
   std::size_t cache_misses = 0;  ///< cacheable sessions that had to run
+  std::size_t warm_builds = 0;   ///< sessions that cloned a shared baseline
+  Accumulator session_wall;      ///< per-session wall seconds (timed sessions)
+  std::array<Accumulator, kNumSessionPhases> phase_wall;  ///< per phase
 
   [[nodiscard]] double detection_rate() const;    ///< detected / completed
   [[nodiscard]] double localization_rate() const; ///< narrowed / detected
@@ -122,6 +133,17 @@ struct CampaignReport {
 
   /// Campaign aggregate plus scenario rows as JSON (deterministic).
   [[nodiscard]] std::string to_json() const;
+
+  /// Per-scenario wall-clock phase profile as CSV: one row per scenario
+  /// with mean seconds per SessionPhase over the sessions that actually
+  /// executed this run (cache hits carry no timing). Nondeterministic by
+  /// nature — kept out of to_csv so the deterministic report contract
+  /// (cached == fresh, warm == cold, 1 == N threads, byte for byte) holds.
+  [[nodiscard]] std::string timing_csv() const;
+
+  /// Campaign-level and per-scenario phase profile as JSON (same caveats
+  /// as timing_csv).
+  [[nodiscard]] std::string timing_json() const;
 
   /// Human-readable summary including wall-clock throughput.
   void print_summary(std::ostream& os) const;

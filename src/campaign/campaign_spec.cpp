@@ -15,6 +15,7 @@ namespace {
 // driver's superset property.
 constexpr std::uint64_t kDesignStreamBase = 0x4000000000000000ull;
 constexpr std::uint64_t kBaselineStreamBase = 0x8000000000000000ull;
+constexpr std::uint64_t kBuildStreamBase = 0xC000000000000000ull;
 constexpr std::uint64_t kReplicaStreamSpan = 1ull << 32;
 }  // namespace
 
@@ -84,6 +85,10 @@ std::uint64_t CampaignSpec::baseline_seed(std::size_t pair_index) const {
   return split_seed(master_seed, kBaselineStreamBase + pair_index);
 }
 
+std::uint64_t CampaignSpec::build_seed(std::size_t pair_index) const {
+  return split_seed(master_seed, kBuildStreamBase + pair_index);
+}
+
 std::uint64_t CampaignSpec::session_seed(std::size_t scenario,
                                          std::size_t replica) const {
   EMUTILE_CHECK(scenario < kDesignStreamBase / kReplicaStreamSpan,
@@ -125,7 +130,7 @@ std::vector<CampaignJob> CampaignSpec::expand() const {
   std::size_t global_index = 0;
   for (std::size_t di = 0; di < designs.size(); ++di) {
     for (const ErrorKind kind : error_kinds) {
-      for (const TilingParams& tiling : tilings) {
+      for (std::size_t ti = 0; ti < tilings.size(); ++ti) {
         const int count = sessions_by_scenario.empty()
                               ? sessions_per_scenario
                               : sessions_by_scenario[scenario];
@@ -143,8 +148,12 @@ std::vector<CampaignJob> CampaignSpec::expand() const {
           job.options.error_kind = kind;
           job.options.seed = session_seed(scenario, job.replica);
           job.options.num_patterns = num_patterns;
-          job.options.tiling = tiling;
-          job.options.tiling.seed = job.options.seed;
+          job.options.tiling = tilings[ti];
+          // The build seed is shared by every session of this (design,
+          // tiling) pair — see build_seed() — so all of them implement on
+          // the same physical design and warm-started campaigns can clone
+          // one shared baseline with byte-identical reports.
+          job.options.tiling.seed = build_seed(di * tilings.size() + ti);
           job.options.localizer = localizer;
           job.options.eco = eco;
           jobs.push_back(std::move(job));

@@ -104,6 +104,14 @@ struct CampaignSpec {
   /// unique (design, tiling) pair being measured.
   [[nodiscard]] std::uint64_t baseline_seed(std::size_t pair_index) const;
 
+  /// Seed of the physical build shared by every session of (design, tiling)
+  /// pair `pair_index` (= design_index * tilings.size() + tiling_index).
+  /// Sessions of one scenario sample over injected errors on *one*
+  /// implementation — the session seed drives injection/patterns/localizer
+  /// only — which is what lets campaigns share a pre-injection tiled
+  /// baseline across sessions (warm start) without changing any report byte.
+  [[nodiscard]] std::uint64_t build_seed(std::size_t pair_index) const;
+
   /// Stable job-slicing for multi-process/multi-host campaigns: a copy of
   /// this spec restricted to the `index`-th of `count` contiguous slices of
   /// the canonical job list. Each job keeps its unsharded global index and

@@ -85,7 +85,11 @@ std::uint64_t session_cache_key(const CampaignSpec& spec,
                     << design.name << "' has a custom builder");
   const DebugSessionOptions& o = job.options;
   std::ostringstream os;
-  os << "emutile-session-key v1"
+  // v2: the physical build is seeded by tiling.seed (scenario-stable) and no
+  // longer by the session seed, and the localizer's persistent_probes mode
+  // changes the deterministic effort counters, so it is part of the key;
+  // v1 entries were computed under the old coupling and must not replay.
+  os << "emutile-session-key v2"
      << " design=" << design.name
      << " design_seed=" << spec.design_seed(job.design_index)
      << " kind=" << to_string(o.error_kind) << " seed=" << o.seed
@@ -95,7 +99,9 @@ std::uint64_t session_cache_key(const CampaignSpec& spec,
      << o.tiling.tracks_per_channel << "," << o.tiling.route_headroom << ","
      << o.tiling.seed << " localizer=" << o.localizer.probes_per_iteration
      << "," << o.localizer.max_iterations << "," << o.localizer.stop_at << ","
-     << o.localizer.seed << " localizer_eco=" << o.localizer.eco.seed << ","
+     << o.localizer.seed << ","
+     << (o.localizer.persistent_probes ? 1 : 0)
+     << " localizer_eco=" << o.localizer.eco.seed << ","
      << format_double_exact(o.localizer.eco.placer_effort) << ","
      << o.localizer.eco.max_region_expansions << " eco=" << o.eco.seed << ","
      << format_double_exact(o.eco.placer_effort) << "," << o.eco.max_region_expansions;

@@ -1,0 +1,78 @@
+#include "core/tiled_baseline_cache.hpp"
+
+namespace emutile {
+
+std::shared_ptr<const TiledDesign> TiledBaselineCache::get_or_build(
+    const std::string& key, const Builder& build) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_ptr<Entry>& slot = entries_[key];
+    if (!slot) slot = std::make_shared<Entry>();
+    entry = slot;
+    if (entry->design) {
+      ++hits_;
+      entry->last_used = ++tick_;
+      return entry->design;
+    }
+  }
+  // Build outside the cache mutex so other keys proceed; one builder per
+  // key. Losers of the build race find the design already set.
+  std::lock_guard<std::mutex> build_lock(entry->build_mutex);
+  if (!entry->design) {
+    auto built = std::make_shared<const TiledDesign>(build());
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++misses_;
+    entry->design = std::move(built);
+    entry->last_used = ++tick_;
+    evict_locked();
+  } else {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++hits_;
+    entry->last_used = ++tick_;
+  }
+  return entry->design;
+}
+
+void TiledBaselineCache::evict_locked() {
+  if (max_entries_ == 0) return;
+  while (entries_.size() > max_entries_) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (!it->second->design) continue;  // still building: not evictable
+      if (victim == entries_.end() ||
+          it->second->last_used < victim->second->last_used)
+        victim = it;
+    }
+    if (victim == entries_.end()) return;  // everything is mid-build
+    entries_.erase(victim);
+    ++evictions_;
+  }
+}
+
+void TiledBaselineCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+std::size_t TiledBaselineCache::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t TiledBaselineCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::size_t TiledBaselineCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::size_t TiledBaselineCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+}  // namespace emutile

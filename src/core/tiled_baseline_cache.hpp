@@ -1,0 +1,76 @@
+#pragma once
+/// \file tiled_baseline_cache.hpp
+/// Shared pre-injection tiled baselines for warm-started debug sessions.
+///
+/// A campaign runs hundreds of sessions against the *same* golden netlist
+/// with the same TilingParams — only the injected error differs — yet each
+/// session used to pay a full place-and-route in TilingEngine::build. Since
+/// the physical flow never reads LUT truth tables, every session whose
+/// injected error is a LUT reconfiguration (function / polarity bugs)
+/// implements on the *identical* placed-and-tiled result. This cache holds
+/// that result once per content key so sessions clone it
+/// (TilingEngine::rebase) instead of rebuilding, which is where the bulk of
+/// the big-design session wall time goes.
+///
+/// Concurrency: get_or_build serializes the build of any one key (concurrent
+/// requesters block on the building thread and share its result) while
+/// different keys build in parallel. A builder that throws caches nothing —
+/// the next requester retries. Entries are handed out as
+/// shared_ptr<const TiledDesign>, so eviction can never invalidate a design
+/// a session is still cloning from.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/tiled_design.hpp"
+
+namespace emutile {
+
+class TiledBaselineCache {
+ public:
+  using Builder = std::function<TiledDesign()>;
+
+  /// `max_entries` bounds the cache (least-recently-used eviction after each
+  /// insert); 0 means unbounded — right for a per-campaign cache whose key
+  /// population is the (design, tiling) pair count.
+  explicit TiledBaselineCache(std::size_t max_entries = 0)
+      : max_entries_(max_entries) {}
+
+  /// Return the baseline cached under `key`, building it with `build` (and
+  /// caching the result) on first use.
+  [[nodiscard]] std::shared_ptr<const TiledDesign> get_or_build(
+      const std::string& key, const Builder& build);
+
+  /// Drop every cached baseline (in-flight shared_ptrs stay valid).
+  void clear();
+
+  [[nodiscard]] std::size_t entries() const;
+  [[nodiscard]] std::size_t hits() const;
+  [[nodiscard]] std::size_t misses() const;    ///< get_or_build calls that built
+  [[nodiscard]] std::size_t evictions() const;
+
+ private:
+  struct Entry {
+    std::mutex build_mutex;  ///< serializes the one build of this key
+    /// Written holding both build_mutex and the cache mutex; read either
+    /// under the cache mutex (fast path) or under build_mutex (builder path).
+    std::shared_ptr<const TiledDesign> design;
+    std::uint64_t last_used = 0;
+  };
+
+  void evict_locked();
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
+  std::size_t max_entries_ = 0;
+  std::uint64_t tick_ = 0;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t evictions_ = 0;
+};
+
+}  // namespace emutile

@@ -77,7 +77,10 @@ struct TiledDesign {
 
   /// Deep copy (rebuilds the device/RR graph and rebinds placement/routing).
   /// Cell/net/instance ids are preserved, so a netlist edit scripted against
-  /// the original applies identically to the clone.
+  /// the original applies identically to the clone. This is the warm-start
+  /// primitive: cloning a pre-injection baseline costs RR-graph
+  /// reconstruction only — no placer or router search — which is why
+  /// TilingEngine::rebase is orders of magnitude cheaper than build().
   [[nodiscard]] TiledDesign clone() const;
 };
 

@@ -169,6 +169,33 @@ TiledDesign TilingEngine::build(Netlist netlist, const TilingParams& params) {
   return design;
 }
 
+bool TilingEngine::lut_reconfig_equivalent(const Netlist& a,
+                                           const Netlist& b) {
+  if (a.cell_bound() != b.cell_bound() || a.net_bound() != b.net_bound())
+    return false;
+  for (std::size_t i = 0; i < a.cell_bound(); ++i) {
+    const CellId id{static_cast<std::uint32_t>(i)};
+    const Cell& ca = a.cell(id);
+    const Cell& cb = b.cell(id);
+    if (ca.alive != cb.alive) return false;
+    if (!ca.alive) continue;
+    if (ca.kind != cb.kind || ca.inputs != cb.inputs ||
+        ca.output != cb.output)
+      return false;
+  }
+  return true;
+}
+
+TiledDesign TilingEngine::rebase(const TiledDesign& baseline,
+                                 Netlist netlist) {
+  EMUTILE_CHECK(lut_reconfig_equivalent(baseline.netlist, netlist),
+                "rebase needs a LUT-reconfiguration-equivalent netlist "
+                "(connectivity changes need a cold build or a tiled ECO)");
+  TiledDesign out = baseline.clone();
+  out.netlist = std::move(netlist);
+  return out;
+}
+
 void TilingEngine::retile(TiledDesign& design, int num_tiles) {
   EMUTILE_CHECK(design.device != nullptr, "retile needs a built design");
   TileGrid grid = TileGrid::make(design.device->width(),

@@ -60,6 +60,25 @@ class TilingEngine {
   [[nodiscard]] static TiledDesign build(Netlist netlist,
                                          const TilingParams& params);
 
+  /// True when `a` and `b` are the same connectivity graph — identical cell
+  /// ids, kinds, input nets, and output nets — differing at most in LUT
+  /// truth tables. This is exactly the edit class an FPGA absorbs by
+  /// reconfiguring LUT contents: a placed-and-routed implementation of `a`
+  /// implements `b` with zero CAD work, because nothing in packing,
+  /// placement, or routing reads a truth table.
+  [[nodiscard]] static bool lut_reconfig_equivalent(const Netlist& a,
+                                                    const Netlist& b);
+
+  /// Warm start: re-implement `netlist` by cloning `baseline`'s physical
+  /// design (placement, routing, tiles, and build-effort ledger are carried
+  /// over unchanged) and swapping the netlist in — the tiled-ECO equivalent
+  /// of applying a LUT-reconfiguration change to an already-built design.
+  /// Requires lut_reconfig_equivalent(baseline.netlist, netlist) (checked).
+  /// The result is bit-identical to build(netlist, params-of-baseline),
+  /// at the cost of a clone instead of a full place-and-route.
+  [[nodiscard]] static TiledDesign rebase(const TiledDesign& baseline,
+                                          Netlist netlist);
+
   /// Capacity-driven affected-tile identification (Section 4.2 / Figure 3):
   /// starting from `seeds`, absorb neighboring tiles until the region's free
   /// sites can take `clbs_needed` new CLBs. Throws if the device cannot fit

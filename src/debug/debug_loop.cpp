@@ -3,6 +3,7 @@
 #include "sim/patterns.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
+#include "util/phase_timer.hpp"
 
 namespace emutile {
 
@@ -19,38 +20,56 @@ const char* to_string(SessionPhase phase) {
 }
 
 namespace {
-/// Phase-boundary hook check; true means "keep going".
-bool enter_phase(const SessionHooks& hooks, SessionPhase phase,
-                 DebugSessionReport& report) {
-  if (!hooks.on_phase) return true;
-  if (hooks.on_phase(phase)) return true;
-  report.cancelled = true;
-  return false;
-}
-}  // namespace
 
-DebugSessionReport run_debug_session(const Netlist& golden_netlist,
-                                     const DebugSessionOptions& options) {
-  DebugSessionReport report;
+using SessionTimer = PhaseTimer<kNumSessionPhases>;
+
+/// Phase-boundary hook check; true means "keep going". On "go", the timer
+/// switches to the new phase.
+bool enter_phase(const SessionHooks& hooks, SessionPhase phase,
+                 DebugSessionReport& report, SessionTimer& timer) {
+  if (hooks.on_phase && !hooks.on_phase(phase)) {
+    report.cancelled = true;
+    return false;
+  }
+  timer.begin(static_cast<std::size_t>(phase));
+  return true;
+}
+
+/// Session body; separated so the early returns all flow through the
+/// timing epilogue in run_debug_session.
+void run_session_phases(const Netlist& golden_netlist,
+                        const DebugSessionOptions& options,
+                        DebugSessionReport& report, SessionTimer& timer) {
   const SessionHooks& hooks = options.hooks;
 
   // The design under test: golden plus one injected design error (the bug
   // "shipped" in the HDL, so it is part of the original implementation).
-  if (!enter_phase(hooks, SessionPhase::kInject, report)) return report;
+  if (!enter_phase(hooks, SessionPhase::kInject, report, timer)) return;
   Netlist dut_netlist = golden_netlist;
   report.injected =
       inject_error(dut_netlist, options.error_kind, options.seed);
 
-  // Steps 1-8: implement with resource slack and locked tiles.
-  if (!enter_phase(hooks, SessionPhase::kBuild, report)) return report;
-  TilingParams tp = options.tiling;
-  tp.seed = options.seed;
-  TiledDesign dut = TilingEngine::build(std::move(dut_netlist), tp);
+  // Steps 1-8: implement with resource slack and locked tiles. A warm
+  // baseline (the golden netlist's tiled implementation) short-circuits the
+  // build whenever the injected error is a pure LUT reconfiguration — the
+  // cloned physical state is bit-identical to what a cold build of the
+  // injected netlist would produce, because the flow never reads truth
+  // tables. Connectivity-changing errors build cold.
+  if (!enter_phase(hooks, SessionPhase::kBuild, report, timer)) return;
+  TiledDesign dut;
+  if (options.warm_baseline &&
+      TilingEngine::lut_reconfig_equivalent(options.warm_baseline->netlist,
+                                            dut_netlist)) {
+    dut = TilingEngine::rebase(*options.warm_baseline, std::move(dut_netlist));
+    report.warm_started = true;
+  } else {
+    dut = TilingEngine::build(std::move(dut_netlist), options.tiling);
+  }
   report.build_effort = dut.build_effort;
   report.design_clbs = dut.packed.num_clbs();
 
   // Step 10: test patterns (software).
-  if (!enter_phase(hooks, SessionPhase::kDetect, report)) return report;
+  if (!enter_phase(hooks, SessionPhase::kDetect, report, timer)) return;
   const std::vector<Pattern> patterns = random_patterns(
       golden_netlist.primary_inputs().size(), options.num_patterns,
       options.seed ^ 0xA5A5ULL);
@@ -60,11 +79,11 @@ DebugSessionReport run_debug_session(const Netlist& golden_netlist,
   if (!report.detection.error_detected) {
     EMUTILE_INFO("injected error not excited by " << patterns.size()
                                                   << " patterns");
-    return report;
+    return;
   }
 
   // Localization (steps 16-21, iterated).
-  if (!enter_phase(hooks, SessionPhase::kLocalize, report)) return report;
+  if (!enter_phase(hooks, SessionPhase::kLocalize, report, timer)) return;
   LocalizerOptions lo = options.localizer;
   lo.eco = options.eco;
   report.localization = localize(dut, golden_netlist,
@@ -72,19 +91,31 @@ DebugSessionReport run_debug_session(const Netlist& golden_netlist,
   report.debug_effort += report.localization.total_effort;
 
   // Correction (Section 5) and re-verification.
-  if (!enter_phase(hooks, SessionPhase::kCorrect, report)) return report;
+  if (!enter_phase(hooks, SessionPhase::kCorrect, report, timer)) return;
   report.correction =
       correct_design(dut, golden_netlist, report.localization.suspects,
                      patterns, options.eco);
   report.debug_effort += report.correction.total_effort;
 
   if (report.correction.corrected) {
-    if (!enter_phase(hooks, SessionPhase::kVerify, report)) return report;
+    if (!enter_phase(hooks, SessionPhase::kVerify, report, timer)) return;
     const DetectResult final_check =
         detect_errors(dut.netlist, golden_netlist, patterns);
     report.final_clean = !final_check.error_detected;
     dut.validate();
   }
+}
+
+}  // namespace
+
+DebugSessionReport run_debug_session(const Netlist& golden_netlist,
+                                     const DebugSessionOptions& options) {
+  DebugSessionReport report;
+  SessionTimer timer;
+  run_session_phases(golden_netlist, options, report, timer);
+  timer.stop();
+  report.phase_seconds = timer.seconds();
+  report.wall_seconds = timer.total();
   return report;
 }
 

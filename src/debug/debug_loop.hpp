@@ -4,8 +4,10 @@
 /// tiling, generate patterns, detect, localize, correct, re-verify — with
 /// the back-end CAD effort of every iteration metered.
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "core/tiled_design.hpp"
 #include "core/tiling_engine.hpp"
@@ -30,6 +32,9 @@ enum class SessionPhase : std::uint8_t {
 
 [[nodiscard]] const char* to_string(SessionPhase phase);
 
+/// Number of SessionPhase values — sizes the per-phase timing arrays.
+inline constexpr std::size_t kNumSessionPhases = 6;
+
 /// Observation and cancellation hooks for a running session. Drivers that
 /// run thousands of sessions (the campaign engine) use these for progress
 /// reporting and cooperative early termination; both default to no-ops.
@@ -43,12 +48,25 @@ struct SessionHooks {
 
 struct DebugSessionOptions {
   ErrorKind error_kind = ErrorKind::kWrongPolarity;
+  /// Session seed: drives error injection, test patterns, and the localizer.
+  /// The physical build is seeded by `tiling.seed` (NOT this), so sessions
+  /// that differ only in the injected error share one implementation — the
+  /// basis of warm-started campaigns.
   std::uint64_t seed = 1;
   std::size_t num_patterns = 512;
   TilingParams tiling;
   LocalizerOptions localizer;
   EcoOptions eco;
   SessionHooks hooks;
+  /// Warm-start baseline: a tiled implementation of the *golden* netlist
+  /// built with exactly `tiling`. When the injected error is a pure LUT
+  /// reconfiguration (function/polarity bugs — the physical flow never reads
+  /// truth tables), the build phase clones this instead of re-running the
+  /// full place-and-route, with a bit-identical physical result; errors that
+  /// change connectivity fall back to a cold build automatically. Campaign
+  /// drivers share one baseline across every session of a (design, tiling)
+  /// pair (see TiledBaselineCache).
+  std::shared_ptr<const TiledDesign> warm_baseline;
 };
 
 struct DebugSessionReport {
@@ -58,14 +76,22 @@ struct DebugSessionReport {
   CorrectionResult correction;
   bool final_clean = false;     ///< re-verification after correction
   bool cancelled = false;       ///< a hook stopped the session early
+  bool warm_started = false;    ///< build phase cloned the shared baseline
   PnrEffort build_effort;       ///< initial tiled implementation
   PnrEffort debug_effort;       ///< all debugging-iteration ECOs
   std::size_t design_clbs = 0;
+  /// Wall-clock seconds spent per phase, and their sum. Nondeterministic by
+  /// nature: campaign aggregation reports these only through the timing
+  /// emitters (timing_csv/timing_json, print_summary) and benches, never
+  /// through the byte-deterministic to_csv/to_json.
+  std::array<double, kNumSessionPhases> phase_seconds{};
+  double wall_seconds = 0.0;
 };
 
 /// Run one full debugging session on (a copy of) `golden_netlist`:
 /// inject an error, implement with tiling, then detect/localize/correct.
-/// Deterministic in options.seed.
+/// Deterministic in (options.seed, options.tiling.seed) — everything except
+/// the wall-clock phase timings.
 [[nodiscard]] DebugSessionReport run_debug_session(
     const Netlist& golden_netlist, const DebugSessionOptions& options);
 

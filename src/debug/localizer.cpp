@@ -1,10 +1,13 @@
 #include "debug/localizer.hpp"
 
 #include <algorithm>
+#include <iterator>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "debug/test_logic.hpp"
 #include "netlist/netlist_ops.hpp"
+#include "route/router.hpp"
 #include "sim/simulator.hpp"
 #include "util/check.hpp"
 
@@ -82,6 +85,79 @@ PnrEffort remove_test_logic(TiledDesign& design, const ObservationPlan& plan) {
   return effort;
 }
 
+/// Routing-only retarget ECO: compactor placement is untouched, so the
+/// physical delta of re-aiming probes is purely in the probed nets' routing
+/// — each `released` net is pruned back to the sinks it still drives, and
+/// each `gained` net is incrementally extended to its new XOR pin with its
+/// existing tree as the starting forest. Costs a handful of router
+/// expansions instead of clearing and re-implementing tiles. Returns false
+/// (without updating `effort`) when the incremental route fails on a
+/// congested fabric; the caller falls back to the tile-clearing ECO.
+bool apply_retarget_routing(TiledDesign& design,
+                            const std::vector<NetId>& released,
+                            const std::vector<NetId>& gained,
+                            PnrEffort& effort) {
+  design.refresh_nets();
+  std::unordered_map<std::uint32_t, const PhysNet*> net_by_id;
+  for (const PhysNet& pn : design.nets) net_by_id[pn.net.value()] = &pn;
+
+  // Drop branches that no longer feed a sink (a swapped net can be in both
+  // lists: pruning first keeps its old XOR branch from colliding with the
+  // other probe's reroute).
+  const auto prune_stale = [&](NetId net) {
+    if (!design.routing->has_tree(net)) return;
+    const auto it = net_by_id.find(net.value());
+    if (it == net_by_id.end()) return;
+    std::unordered_set<std::uint32_t> in_tree;
+    for (RrNodeId n : design.routing->tree(net).nodes)
+      in_tree.insert(n.value());
+    std::vector<RrNodeId> wanted;
+    for (InstId s : it->second->sink_insts) {
+      const RrNodeId sink = design.rr->sink(design.placement->site_of(s));
+      if (in_tree.count(sink.value())) wanted.push_back(sink);
+    }
+    if (wanted.empty())
+      design.routing->rip_up(net);
+    else
+      design.routing->prune_to_sinks(net, wanted);
+  };
+  for (NetId net : released) prune_stale(net);
+  for (NetId net : gained) prune_stale(net);
+
+  std::vector<NetTask> tasks;
+  for (NetId net : gained) {
+    const auto it = net_by_id.find(net.value());
+    if (it == net_by_id.end()) continue;
+    const PhysNet& pn = *it->second;
+    NetTask t;
+    t.net = pn.net;
+    t.source = design.rr->opin(design.placement->site_of(pn.src_inst),
+                               pn.src_opin);
+    for (InstId s : pn.sink_insts)
+      t.sinks.push_back(design.rr->sink(design.placement->site_of(s)));
+    if (design.routing->has_tree(pn.net)) {
+      // The whole surviving tree becomes the kept source component; the
+      // router only has to reach the new XOR pin from it.
+      const RouteTree& tree = design.routing->tree(pn.net);
+      t.kept.nodes = tree.nodes;
+      t.kept.parent = tree.parent;
+      t.kept.group.assign(tree.nodes.size(), 0);
+      t.kept.num_orphan_groups = 0;
+      design.routing->rip_up(pn.net);
+    }
+    tasks.push_back(std::move(t));
+  }
+
+  Router router(*design.rr);
+  const RouteResult rres =
+      router.route(std::move(tasks), *design.routing, RouterParams{});
+  if (!rres.success) return false;
+  effort.nets_routed += rres.nets_routed;
+  effort.nodes_expanded += rres.nodes_expanded;
+  effort.route_ms += rres.wall_ms;
+  return true;
+}
+
 }  // namespace
 
 std::vector<CellId> output_cone(const Netlist& nl, std::size_t output_index) {
@@ -99,6 +175,29 @@ LocalizeResult localize(TiledDesign& dut, const Netlist& golden,
 
   std::vector<CellId> candidates = output_cone(dut.netlist, failing_output);
   const std::size_t initial_candidates = candidates.size();
+
+  // Persistent mode: the probe infrastructure built so far. Compactors stay
+  // in the design across iterations and are retargeted to each new probe
+  // set; one teardown ECO runs after the loop.
+  ObservationPlan infra;
+
+  // One golden emulation for the whole loop: every iteration used to replay
+  // the golden reference from reset to recompute the soft signatures of its
+  // probe set, but a signature is a pure function of a net's value sequence
+  // — so fold the signature of *every* live net in a single pass up front
+  // and each iteration just looks its probes up.
+  std::vector<unsigned> golden_sig(golden.net_bound(), 0);
+  {
+    const std::vector<NetId> live = golden.live_nets();
+    Simulator gold(golden);
+    gold.reset();
+    for (const Pattern& p : patterns) {
+      gold.step(p);
+      for (NetId n : live)
+        golden_sig[n.value()] =
+            signature_step(golden_sig[n.value()], gold.net_value(n));
+    }
+  }
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     if (candidates.size() <= options.stop_at) break;
@@ -126,45 +225,97 @@ LocalizeResult localize(TiledDesign& dut, const Netlist& golden,
     for (std::uint32_t nv : probe_nets) probes.push_back(NetId{nv});
     it.probes = probes;
 
-    // ---- insert observation logic as a tiled ECO ----
-    const ObservationPlan plan = insert_observation(
-        dut.netlist, probes, "obs_i" + std::to_string(iter));
+    // ---- aim observation logic at the probes (tiled ECO) ----
+    // Per-iteration mode builds a fresh plan and removes it afterwards.
+    // Persistent mode retargets the compactors that already exist and only
+    // inserts when the probe budget outgrew the infrastructure.
+    ObservationPlan iteration_plan;  // per-iteration mode only
     EcoChange change;
-    change.added_cells = plan.added_cells;
-    for (NetId p : probes)
-      change.anchor_cells.push_back(dut.netlist.net(p).driver);
-    const EcoOutcome eco =
-        TilingEngine::apply_change(dut, change, options.eco);
-    EMUTILE_CHECK(eco.success, "observation-logic ECO failed");
-    it.insert_effort = eco.effort;
-    it.tiles_affected = eco.affected.size();
-    result.total_effort += eco.effort;
+    std::vector<NetId> released, gained;  // persistent retarget route delta
+    if (options.persistent_probes) {
+      std::vector<NetId> fresh;
+      for (std::size_t i = 0; i < probes.size(); ++i) {
+        if (i < infra.probes.size()) {
+          const NetId old = infra.probes[i].probed;
+          if (retarget_probe(dut.netlist, infra.probes[i], probes[i])) {
+            change.modified_cells.push_back(infra.probes[i].xor_lut);
+            released.push_back(old);
+            gained.push_back(probes[i]);
+            ++it.probes_retargeted;
+          }
+        } else {
+          fresh.push_back(probes[i]);
+        }
+      }
+      if (!fresh.empty()) {
+        // Probe budget grew: fall back to insertion for the extras.
+        ObservationPlan extra = insert_observation(
+            dut.netlist, fresh, "obs_i" + std::to_string(iter));
+        it.probes_inserted = extra.probes.size();
+        change.added_cells = extra.added_cells;
+        infra.probes.insert(infra.probes.end(),
+                            std::make_move_iterator(extra.probes.begin()),
+                            std::make_move_iterator(extra.probes.end()));
+        infra.added_cells.insert(infra.added_cells.end(),
+                                 extra.added_cells.begin(),
+                                 extra.added_cells.end());
+      } else if (it.probes_retargeted > 0) {
+        dut.netlist.validate();  // retargets bypass insert_observation's check
+      }
+    } else {
+      iteration_plan = insert_observation(dut.netlist, probes,
+                                          "obs_i" + std::to_string(iter));
+      it.probes_inserted = iteration_plan.probes.size();
+      change.added_cells = iteration_plan.added_cells;
+    }
+    // Pure retargets take the routing-only fast path; anything that adds
+    // cells — and the rare congested-fabric retarget — pays the full
+    // tile-clearing ECO.
+    bool need_tile_eco =
+        !change.added_cells.empty() ||
+        (!options.persistent_probes && !change.modified_cells.empty());
+    if (!need_tile_eco && !gained.empty()) {
+      PnrEffort eff;
+      if (apply_retarget_routing(dut, released, gained, eff)) {
+        it.insert_effort = eff;
+        result.total_effort += eff;
+      } else {
+        need_tile_eco = true;
+      }
+    }
+    if (need_tile_eco &&
+        (!change.added_cells.empty() || !change.modified_cells.empty())) {
+      for (NetId p : probes)
+        change.anchor_cells.push_back(dut.netlist.net(p).driver);
+      const EcoOutcome eco =
+          TilingEngine::apply_change(dut, change, options.eco);
+      EMUTILE_CHECK(eco.success, "observation-logic ECO failed");
+      it.insert_effort = eco.effort;
+      it.tiles_affected = eco.affected.size();
+      result.total_effort += eco.effort;
+    }
+    const std::vector<ProbePoint>& points =
+        options.persistent_probes ? infra.probes : iteration_plan.probes;
 
     // ---- emulate and compare signatures ----
     Simulator sim(dut.netlist);
-    Simulator gold(golden);
     sim.reset();
-    gold.reset();
-    std::vector<unsigned> soft_sig(probes.size(), 0);
-    for (const Pattern& p : patterns) {
-      sim.step(p);
-      gold.step(p);
-      for (std::size_t i = 0; i < probes.size(); ++i)
-        soft_sig[i] = signature_step(soft_sig[i], gold.net_value(probes[i]));
-    }
+    for (const Pattern& p : patterns) sim.step(p);
     it.probe_bad.resize(probes.size());
     std::vector<NetId> bad_probes, good_probes;
     for (std::size_t i = 0; i < probes.size(); ++i) {
       const unsigned hard = read_signature(
-          plan.probes[i], [&](CellId ff) { return sim.ff_state(ff); });
-      const bool bad = hard != soft_sig[i];
+          points[i], [&](CellId ff) { return sim.ff_state(ff); });
+      const bool bad = hard != golden_sig[probes[i].value()];
       it.probe_bad[i] = bad ? 1 : 0;
       (bad ? bad_probes : good_probes).push_back(probes[i]);
     }
 
-    // ---- remove the test logic (tiled clean-up) ----
-    it.remove_effort = remove_test_logic(dut, plan);
-    result.total_effort += it.remove_effort;
+    // ---- remove the test logic (tiled clean-up, per-iteration mode) ----
+    if (!options.persistent_probes) {
+      it.remove_effort = remove_test_logic(dut, iteration_plan);
+      result.total_effort += it.remove_effort;
+    }
 
     // ---- narrow candidates ----
     std::unordered_set<std::uint32_t> cset;
@@ -210,6 +361,13 @@ LocalizeResult localize(TiledDesign& dut, const Netlist& golden,
     const bool progress = candidates.size() < before;
     result.iterations.push_back(std::move(it));
     if (!progress) break;
+  }
+
+  // Persistent mode: one teardown for the whole loop instead of a removal
+  // per iteration.
+  if (!infra.added_cells.empty()) {
+    result.teardown_effort = remove_test_logic(dut, infra);
+    result.total_effort += result.teardown_effort;
   }
 
   result.suspects = candidates;

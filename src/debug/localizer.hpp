@@ -27,6 +27,14 @@ struct LocalizerOptions {
   std::size_t stop_at = 2;     ///< stop when this few candidates remain
   std::uint64_t seed = 17;
   EcoOptions eco;              ///< engine knobs for the test-logic ECOs
+  /// Keep the probe infrastructure alive across iterations: instead of the
+  /// insert-ECO/remove-ECO pair every iteration, existing signature
+  /// compactors are *retargeted* to the next probe set (one net edit per
+  /// moved probe), and insertion only happens when the probe budget grows.
+  /// One teardown ECO runs after the loop. This is the amortization overlay-
+  /// based debug systems rely on; disable to get the one-shot pre-batching
+  /// behavior for comparison benches.
+  bool persistent_probes = true;
 };
 
 struct LocalizeIteration {
@@ -35,8 +43,10 @@ struct LocalizeIteration {
   std::size_t candidates_before = 0;
   std::size_t candidates_after = 0;
   std::size_t tiles_affected = 0;
-  PnrEffort insert_effort;   ///< tiled ECO to add the probes
-  PnrEffort remove_effort;   ///< tiled clean-up afterwards
+  std::size_t probes_inserted = 0;      ///< compactors newly built this iter
+  std::size_t probes_retargeted = 0;    ///< compactors re-aimed, not rebuilt
+  PnrEffort insert_effort;   ///< tiled ECO to add/retarget the probes
+  PnrEffort remove_effort;   ///< tiled clean-up (per-iteration mode only)
 };
 
 struct LocalizeResult {
@@ -44,6 +54,9 @@ struct LocalizeResult {
   std::vector<CellId> suspects;         ///< final candidates (LUT cells)
   std::vector<LocalizeIteration> iterations;
   PnrEffort total_effort;
+  /// Final removal of the persistent probe infrastructure (already included
+  /// in total_effort; zero in per-iteration mode, which removes as it goes).
+  PnrEffort teardown_effort;
 };
 
 /// Run the localization loop on a tiled design whose netlist misbehaves on

@@ -38,6 +38,13 @@ ObservationPlan insert_observation(Netlist& nl,
   return plan;
 }
 
+bool retarget_probe(Netlist& nl, ProbePoint& probe, NetId net) {
+  if (probe.probed == net) return false;
+  nl.reconnect_input(probe.xor_lut, 0, net);
+  probe.probed = net;
+  return true;
+}
+
 ControlPoint insert_control(Netlist& nl, NetId net, const std::string& tag) {
   ControlPoint cp;
   cp.controlled = net;

@@ -43,6 +43,14 @@ inline constexpr int kSignatureBits = 4;
                                                  const std::vector<NetId>& probes,
                                                  const std::string& tag);
 
+/// Point an existing compactor at a different net: only the XOR's probe
+/// input (port 0) is rewired, the 4-FF ring stays intact, so the *physical*
+/// delta is one net losing a sink and one gaining it — far cheaper than the
+/// insert/remove ECO pair per localization iteration. Returns true when the
+/// netlist changed (false: the compactor already watches `net`). The caller
+/// batches validate() and the tiled ECO for the whole retargeted set.
+bool retarget_probe(Netlist& nl, ProbePoint& probe, NetId net);
+
 /// Software model of the compactor (must mirror the hardware exactly):
 /// state' = shift left, stage0 = old stage3 XOR probe.
 [[nodiscard]] inline unsigned signature_step(unsigned state, bool probe) {

@@ -81,7 +81,8 @@ struct SessionService::Campaign {
 };
 
 SessionService::SessionService(ServiceConfig config)
-    : config_(std::move(config)) {
+    : config_(std::move(config)),
+      baselines_(config_.baseline_cache_entries) {
   EMUTILE_CHECK(!config_.root.empty(), "service needs a root directory");
   EMUTILE_CHECK(config_.num_threads >= 1, "service needs at least 1 thread");
   std::filesystem::create_directories(config_.root / "spool");
@@ -367,7 +368,8 @@ void SessionService::session_unit(Campaign& c, std::size_t job_slot,
   } else {
     outcome = run_campaign_session(
         c.spec, job, c.goldens[job.design_index],
-        [&c] { return c.cancel_flag.load(); }, cache_.get(), &lookup);
+        [&c] { return c.cancel_flag.load(); }, cache_.get(), &lookup,
+        &baselines_);
   }
 
   bool do_finalize = false;

@@ -41,6 +41,7 @@
 #include "campaign/adaptive_driver.hpp"
 #include "campaign/campaign_engine.hpp"
 #include "campaign/result_cache.hpp"
+#include "core/tiled_baseline_cache.hpp"
 #include "service/job_scheduler.hpp"
 #include "util/check.hpp"
 
@@ -62,6 +63,12 @@ struct ServiceConfig {
   /// instead of accepting — a misbehaving submitter cannot OOM the daemon.
   /// 0 means unbounded.
   std::size_t max_pending = 0;
+  /// Bound on the warm-start baseline cache (pre-injection tiled designs
+  /// shared by every session of a (design, tiling) pair, across campaigns):
+  /// least-recently-used entries are dropped past this count. A tiled
+  /// baseline of a big design is tens of MB, so the default stays small.
+  /// 0 means unbounded.
+  std::size_t baseline_cache_entries = 8;
 };
 
 /// Thrown by submit() when the bounded campaign queue (max_pending) is full.
@@ -173,6 +180,13 @@ class SessionService {
 
   ServiceConfig config_;
   std::unique_ptr<ResultCache> cache_;
+  /// Warm-start baselines shared across campaigns. Content-keyed on
+  /// (catalog design, design seed, full tiling params incl. the pair build
+  /// seed), so reuse happens between campaigns that share a master seed —
+  /// re-submissions, shards of one campaign, and adaptive rounds, the
+  /// traffic a resident daemon actually sees. Different master seeds build
+  /// genuinely different baselines and correctly miss.
+  TiledBaselineCache baselines_;
   std::unique_ptr<JobScheduler> scheduler_;
 
   mutable std::mutex mutex_;  // campaign registry + per-campaign state

@@ -1,0 +1,65 @@
+#pragma once
+/// \file phase_timer.hpp
+/// Wall-clock accumulation over a fixed set of phases.
+///
+/// A PhaseTimer walks an execution through its phases: begin(p) closes the
+/// phase currently running (banking its elapsed wall time) and starts timing
+/// phase p; stop() closes the last one. Re-entering a phase accumulates, so
+/// loops that bounce between phases just keep calling begin(). The result is
+/// a dense per-phase seconds array cheap enough to carry in every session
+/// report.
+///
+/// Wall-clock readings are inherently nondeterministic — consumers that
+/// promise byte-identical output (campaign to_csv/to_json) must keep these
+/// numbers out of their deterministic emitters and report them separately
+/// (timing_csv/timing_json, print_summary, benches).
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+
+namespace emutile {
+
+template <std::size_t NumPhases>
+class PhaseTimer {
+ public:
+  /// Close the running phase (if any) and start timing `phase`.
+  void begin(std::size_t phase) {
+    close();
+    current_ = phase;
+    started_ = Clock::now();
+    running_ = phase < NumPhases;
+  }
+
+  /// Close the running phase (if any). Safe to call repeatedly.
+  void stop() { close(); }
+
+  /// Accumulated wall seconds per phase (phases never begun read 0).
+  [[nodiscard]] const std::array<double, NumPhases>& seconds() const {
+    return seconds_;
+  }
+
+  /// Sum over all phases.
+  [[nodiscard]] double total() const {
+    double sum = 0.0;
+    for (double s : seconds_) sum += s;
+    return sum;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void close() {
+    if (!running_) return;
+    seconds_[current_] +=
+        std::chrono::duration<double>(Clock::now() - started_).count();
+    running_ = false;
+  }
+
+  std::array<double, NumPhases> seconds_{};
+  Clock::time_point started_{};
+  std::size_t current_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace emutile

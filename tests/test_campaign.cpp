@@ -97,7 +97,13 @@ TEST(CampaignSpec, ExpansionOrderAndSeedsAreCanonical) {
     // its own replica stream — never from the job's list position.
     EXPECT_EQ(jobs[i].options.seed,
               spec.session_seed(jobs[i].scenario, jobs[i].replica));
-    EXPECT_EQ(jobs[i].options.tiling.seed, jobs[i].options.seed);
+    // The physical build is seeded per (design, tiling) pair — every session
+    // of a pair implements on the same design, the precondition for sharing
+    // a warm-start baseline — never per session.
+    const std::size_t tiling_index = jobs[i].scenario % spec.tilings.size();
+    EXPECT_EQ(jobs[i].options.tiling.seed,
+              spec.build_seed(jobs[i].design_index * spec.tilings.size() +
+                              tiling_index));
     seeds.insert(jobs[i].options.seed);
   }
   EXPECT_EQ(seeds.size(), jobs.size()) << "session seeds must be distinct";
@@ -402,6 +408,49 @@ TEST(CampaignBaselines, MeasureCoversFullFigure5StrategySet) {
   EXPECT_NE(csv.find("speedup_incr"), std::string::npos);
   EXPECT_NE(report.to_json().find("speedup_incremental_geomean"),
             std::string::npos);
+}
+
+TEST(CampaignEngine, WarmStartReportIsByteIdenticalToColdBuild) {
+  // The warm-start contract: sharing one pre-injection tiled baseline per
+  // (design, tiling) pair changes *when* the physical design is computed,
+  // never *what* any session observes — the CSV and JSON reports must be
+  // byte-identical to a campaign forced through cold builds, across every
+  // error kind (wrong-connection sessions fall back to cold builds inside
+  // the warm run).
+  CampaignSpec spec;
+  spec.add_catalog_design("9sym");
+  spec.sessions_per_scenario = 2;
+  spec.master_seed = 77;
+  spec.num_patterns = 96;
+  spec.tilings[0].num_tiles = 4;
+  spec.tilings[0].target_overhead = 0.30;
+
+  CampaignOptions cold_opts;
+  cold_opts.num_threads = 2;
+  cold_opts.warm_start = false;
+  const CampaignReport cold = run_campaign(spec, cold_opts);
+
+  CampaignOptions warm_opts;
+  warm_opts.num_threads = 2;  // warm_start defaults on
+  const CampaignReport warm = run_campaign(spec, warm_opts);
+
+  EXPECT_EQ(warm.to_csv(), cold.to_csv());
+  EXPECT_EQ(warm.to_json(), cold.to_json());
+  EXPECT_EQ(cold.warm_builds, 0u);
+  EXPECT_GT(warm.warm_builds, 0u);
+  // Only the LUT-reconfiguration kinds may warm-start: with three error
+  // kinds and 2 sessions each, at most 4 of 6 completed sessions clone.
+  EXPECT_LE(warm.warm_builds + warm.failed + warm.cancelled,
+            2u * (spec.error_kinds.size() - 1) + warm.failed + warm.cancelled);
+
+  // The timing emitters carry the wall-clock profile the deterministic
+  // report excludes: every executed session is timed, and the CSV header
+  // names each phase.
+  EXPECT_EQ(warm.session_wall.count(), warm.completed);
+  const std::string timing = warm.timing_csv();
+  EXPECT_NE(timing.find("build_mean_s"), std::string::npos);
+  EXPECT_NE(timing.find("localize_mean_s"), std::string::npos);
+  EXPECT_NE(warm.timing_json().find("\"warm_builds\""), std::string::npos);
 }
 
 TEST(SessionHooks, PhaseSequenceAndCancellation) {

@@ -167,6 +167,71 @@ TEST(Localizer, NarrowsCandidatesOnTiledDesign) {
   EXPECT_GT(loc.total_effort.place_ms + loc.total_effort.route_ms, 0.0);
 }
 
+TEST(Localizer, PersistentProbesMatchSuspectsWithLessInsertWork) {
+  // Persistent probe infrastructure must change only the *cost* of
+  // localization, never its conclusions: probe choices, signatures, and
+  // narrowing are identical, but retargeting compactors (a routing-only
+  // delta) replaces the per-iteration insert/remove ECO pair.
+  Netlist golden = test::make_random_netlist(120, 31);
+  Netlist dut_nl = golden;
+  const InjectedError err = inject_error(dut_nl, ErrorKind::kWrongPolarity, 2);
+
+  TilingParams tp;
+  tp.seed = 4;
+  tp.target_overhead = 0.30;
+  tp.num_tiles = 8;
+  TiledDesign dut_legacy = TilingEngine::build(std::move(dut_nl), tp);
+  TiledDesign dut_persistent = dut_legacy.clone();
+
+  const auto patterns =
+      random_patterns(golden.primary_inputs().size(), 192, 12);
+  const DetectResult det =
+      detect_errors(dut_legacy.netlist, golden, patterns);
+  ASSERT_TRUE(det.error_detected);
+
+  LocalizerOptions lo;
+  lo.seed = 3;
+  lo.probes_per_iteration = 4;
+  lo.persistent_probes = false;
+  const LocalizeResult legacy =
+      localize(dut_legacy, golden, det.failing_output, patterns, lo);
+  lo.persistent_probes = true;
+  const LocalizeResult persistent =
+      localize(dut_persistent, golden, det.failing_output, patterns, lo);
+
+  // Same conclusions, iteration for iteration.
+  EXPECT_EQ(persistent.suspects, legacy.suspects);
+  ASSERT_EQ(persistent.iterations.size(), legacy.iterations.size());
+  ASSERT_GE(legacy.iterations.size(), 2u)
+      << "config must localize over several iterations for the comparison "
+         "to exercise retargeting";
+  const auto work = [](const PnrEffort& e) {
+    return static_cast<double>(e.instances_placed) +
+           static_cast<double>(e.nets_routed) +
+           static_cast<double>(e.nodes_expanded);
+  };
+  double legacy_insert = 0.0, persistent_insert = 0.0;
+  std::size_t retargets = 0;
+  for (std::size_t i = 0; i < legacy.iterations.size(); ++i) {
+    EXPECT_EQ(persistent.iterations[i].probes, legacy.iterations[i].probes);
+    EXPECT_EQ(persistent.iterations[i].probe_bad,
+              legacy.iterations[i].probe_bad);
+    EXPECT_EQ(persistent.iterations[i].candidates_after,
+              legacy.iterations[i].candidates_after);
+    legacy_insert += work(legacy.iterations[i].insert_effort);
+    persistent_insert += work(persistent.iterations[i].insert_effort);
+    retargets += persistent.iterations[i].probes_retargeted;
+  }
+  EXPECT_GT(retargets, 0u);
+  // Strictly lower probe-ECO work, even charging the one-time teardown.
+  EXPECT_LT(persistent_insert + work(persistent.teardown_effort),
+            legacy_insert);
+
+  // Both modes leave a clean, consistent physical design behind.
+  dut_legacy.validate();
+  dut_persistent.validate();
+}
+
 TEST(Corrector, FixesLocalizedError) {
   Netlist golden = test::make_random_netlist(60, 41);
   Netlist dut_nl = golden;
@@ -203,6 +268,60 @@ TEST(DebugLoop, FullSessionConvergesOnSmallDesign) {
   EXPECT_TRUE(report.correction.corrected);
   EXPECT_TRUE(report.final_clean);
   EXPECT_GT(report.debug_effort.total_ms(), 0.0);
+
+  // The phase profile is populated: the session took measurable wall time,
+  // every phase contributed non-negatively, and the phases sum to the total.
+  EXPECT_GT(report.wall_seconds, 0.0);
+  double phase_sum = 0.0;
+  for (double s : report.phase_seconds) {
+    EXPECT_GE(s, 0.0);
+    phase_sum += s;
+  }
+  EXPECT_NEAR(phase_sum, report.wall_seconds, 1e-9);
+  EXPECT_GT(
+      report.phase_seconds[static_cast<std::size_t>(SessionPhase::kBuild)],
+      0.0);
+}
+
+TEST(DebugLoop, WarmBaselineMatchesColdBuildByteForByte) {
+  // A session handed the golden netlist's tiled implementation as a warm
+  // baseline must clone it for LUT-reconfiguration errors — and everything
+  // downstream (detection, localization, correction, effort counters) must
+  // be indistinguishable from the cold build, because the physical flow
+  // never reads truth tables.
+  const Netlist golden = test::make_random_netlist(70, 53);
+  DebugSessionOptions opts;
+  opts.error_kind = ErrorKind::kWrongPolarity;
+  opts.seed = 9;
+  opts.num_patterns = 192;
+  opts.tiling.target_overhead = 0.30;
+  opts.tiling.num_tiles = 6;
+  const DebugSessionReport cold = run_debug_session(golden, opts);
+
+  opts.warm_baseline = std::make_shared<const TiledDesign>(
+      TilingEngine::build(Netlist(golden), opts.tiling));
+  const DebugSessionReport warm = run_debug_session(golden, opts);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_FALSE(cold.warm_started);
+  EXPECT_EQ(warm.detection.error_detected, cold.detection.error_detected);
+  EXPECT_EQ(warm.localization.suspects, cold.localization.suspects);
+  EXPECT_EQ(warm.correction.corrected, cold.correction.corrected);
+  EXPECT_EQ(warm.final_clean, cold.final_clean);
+  EXPECT_EQ(warm.build_effort.instances_placed,
+            cold.build_effort.instances_placed);
+  EXPECT_EQ(warm.build_effort.nets_routed, cold.build_effort.nets_routed);
+  EXPECT_EQ(warm.build_effort.nodes_expanded,
+            cold.build_effort.nodes_expanded);
+  EXPECT_EQ(warm.debug_effort.instances_placed,
+            cold.debug_effort.instances_placed);
+  EXPECT_EQ(warm.debug_effort.nets_routed, cold.debug_effort.nets_routed);
+  EXPECT_EQ(warm.debug_effort.nodes_expanded,
+            cold.debug_effort.nodes_expanded);
+
+  // A connectivity-changing error must refuse the baseline and build cold.
+  opts.error_kind = ErrorKind::kWrongConnection;
+  const DebugSessionReport conn = run_debug_session(golden, opts);
+  EXPECT_FALSE(conn.warm_started);
 }
 
 }  // namespace

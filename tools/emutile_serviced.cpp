@@ -9,8 +9,9 @@
 ///
 ///   $ emutile_serviced --root DIR [--threads N] [--snapshot-every N]
 ///                      [--poll-ms N] [--no-cache] [--cache-max-bytes N]
-///                      [--no-socket] [--socket PATH] [--max-pending N]
-///                      [--once] [--no-drain]
+///                      [--baseline-cache-entries N] [--no-socket]
+///                      [--socket PATH] [--max-pending N] [--once]
+///                      [--no-drain]
 ///
 ///   --max-pending N      bounded SUBMIT queue: reject with `ERR busy` while
 ///                        N campaigns are already queued or running
@@ -18,6 +19,9 @@
 ///   --cache-max-bytes N  bound the result cache to N bytes of entries;
 ///                        oldest-mtime entries are evicted past the bound
 ///                        (0 = unbounded)
+///   --baseline-cache-entries N  cap the warm-start tiled-baseline cache
+///                        (pre-injection builds shared across campaigns;
+///                        LRU past the cap, 0 = unbounded, default 8)
 ///
 ///   --once   drain the spool once, wait for those campaigns, and exit.
 
@@ -43,8 +47,9 @@ void on_signal(int) { g_signalled = 1; }
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --root DIR [--threads N] [--snapshot-every N] [--poll-ms N]"
-               " [--no-cache] [--cache-max-bytes N] [--no-socket]"
-               " [--socket PATH] [--max-pending N] [--once] [--no-drain]\n";
+               " [--no-cache] [--cache-max-bytes N]"
+               " [--baseline-cache-entries N] [--no-socket] [--socket PATH]"
+               " [--max-pending N] [--once] [--no-drain]\n";
   return 2;
 }
 
@@ -74,6 +79,7 @@ int main(int argc, char** argv) {
     else if (arg == "--poll-ms") poll_ms = std::strtol(value(), nullptr, 10);
     else if (arg == "--max-pending") config.max_pending = std::strtoull(value(), nullptr, 10);
     else if (arg == "--cache-max-bytes") config.cache_max_bytes = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--baseline-cache-entries") config.baseline_cache_entries = std::strtoull(value(), nullptr, 10);
     else if (arg == "--no-cache") config.enable_cache = false;
     else if (arg == "--no-socket") use_socket = false;
     else if (arg == "--socket") socket_path = value();
