@@ -17,6 +17,7 @@
 /// bench/baselines/session_profile.json; the guarded keys are ratios and
 /// work units, which transfer across machines.
 
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -28,6 +29,7 @@
 #include "bench_common.hpp"
 #include "campaign/campaign_engine.hpp"
 #include "debug/debug_loop.hpp"
+#include "obs/metrics.hpp"
 #include "util/stats.hpp"
 
 using namespace emutile;
@@ -45,6 +47,38 @@ std::vector<std::string> split_csv(const std::string& s) {
 
 double mean_or_zero(const Accumulator& a) {
   return a.count() ? a.mean() : 0.0;
+}
+
+/// A generous per-session budget of metric record operations: endpoint +
+/// scheduler + cache counters, six phase histograms, localizer work counters
+/// — a real session issues well under this.
+constexpr std::uint64_t kRecordOpsPerSession = 1000;
+
+/// Calibrate the per-operation cost of the metrics hot path (one counter add
+/// plus one histogram record on pre-resolved handles, the way instrumented
+/// code actually uses them) and return the projected overhead as a percent
+/// of `session_wall_s`. With EMUTILE_METRICS_DISABLED both ops compile to
+/// no-ops and this measures (and certifies) approximately zero.
+double metrics_overhead_pct(double session_wall_s) {
+  MetricsRegistry registry;
+  MetricCounter& counter = registry.counter("bench.calibration.count");
+  MetricHistogram& hist = registry.histogram("bench.calibration.us");
+  constexpr std::uint64_t kCalibrationOps = 1'000'000;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < kCalibrationOps; ++i) {
+    counter.add();
+    hist.record(i & 0xFFFF);
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  // Defeat dead-code elimination of the whole loop.
+  if (counter.value() > kCalibrationOps || hist.sum() == 1)
+    std::cerr << "calibration anomaly\n";
+  if (session_wall_s <= 0.0) return 0.0;
+  const double per_op_s = elapsed_s / static_cast<double>(kCalibrationOps);
+  return 100.0 * per_op_s * static_cast<double>(kRecordOpsPerSession) /
+         session_wall_s;
 }
 
 }  // namespace
@@ -149,6 +183,19 @@ int main(int argc, char** argv) {
             << "warm-started builds: " << current.warm_builds << " of "
             << timed << " sessions\n";
 
+  // Observability overhead gate: the metrics layer's recording cost,
+  // calibrated per-op and projected onto a generous per-session op budget,
+  // must stay under 2% of the mean session wall time.
+  const double overhead_pct = metrics_overhead_pct(current_mean);
+  std::cout << "metrics recording overhead: " << Table::fmt(overhead_pct, 3)
+            << "% of mean session wall (budget " << kRecordOpsPerSession
+            << " ops/session, gate < 2%)\n";
+  if (overhead_pct >= 2.0) {
+    std::cerr << "FAIL: metrics overhead " << overhead_pct
+              << "% >= 2% of session wall time\n";
+    return 1;
+  }
+
   if (!json_out.empty()) {
     bench::MetricsJson metrics("session_profile");
     // Guarded: ratios and work units transfer across machines.
@@ -156,7 +203,9 @@ int main(int argc, char** argv) {
     metrics.add("debug_work_ratio", work_ratio);
     metrics.add("cold_build_ratio", cold_ratio);
     metrics.add("debug_work_units", current_work);
-    // Informational.
+    // Informational. (metrics_overhead_pct is deliberately not a guarded
+    // `_ratio` key: the <2% gate above already enforces it exactly.)
+    metrics.add("metrics_overhead_pct", overhead_pct);
     metrics.add("mean_session_wall_legacy_s", legacy_mean);
     metrics.add("mean_session_wall_current_s", current_mean);
     for (std::size_t p = 0; p < kNumSessionPhases; ++p)

@@ -4,7 +4,7 @@
 # with explicit steps so the two can never drift.
 #
 #   scripts/ci.sh [step...]
-#   steps: ci | pregate | asan | bench-smoke | perf | perf-refresh
+#   steps: ci | pregate | asan | tsan | bench-smoke | perf | perf-refresh
 #
 #   ci           configure + build + ctest with the "ci" CMake preset
 #                (RelWithDebInfo, -Wall -Wextra). The fast `unit`-labeled
@@ -18,6 +18,10 @@
 #                committing to the slow instrumented service/stats suites.
 #   asan         the "asan" preset: AddressSanitizer over the concurrency-
 #                heavy service/campaign/orchestrator/adaptive tests.
+#   tsan         the "tsan" preset: ThreadSanitizer over the lock-free
+#                metrics registry (test_obs hammer) and the multi-threaded
+#                service suite — the lane that keeps the relaxed-atomic
+#                recording paths honestly race-free.
 #   bench-smoke  build bench/campaign_sweep under the "ci" preset and run a
 #                tiny sweep (2 threads x 1 replica, determinism-checked);
 #                the per-scenario CSV lands in build/bench-smoke/ for the
@@ -125,10 +129,10 @@ fi
 # distinct exit code *before* any step has spent minutes building.
 for step in "${steps[@]}"; do
   case "$step" in
-    ci|asan|pregate|bench-smoke|perf|perf-refresh) ;;
+    ci|asan|tsan|pregate|bench-smoke|perf|perf-refresh) ;;
     *)
       echo "unknown step '$step'" \
-           "(ci | pregate | asan | bench-smoke | perf | perf-refresh)" >&2
+           "(ci | pregate | asan | tsan | bench-smoke | perf | perf-refresh)" >&2
       exit 64
       ;;
   esac
@@ -137,7 +141,7 @@ done
 for step in "${steps[@]}"; do
   step_start=$SECONDS
   case "$step" in
-    ci|asan) run_preset "$step" ;;
+    ci|asan|tsan) run_preset "$step" ;;
     pregate) pregate ;;
     bench-smoke) bench_smoke ;;
     perf) perf ;;

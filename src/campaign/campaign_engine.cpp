@@ -12,6 +12,7 @@
 #include "designs/catalog.hpp"
 #include "eco/eco_strategies.hpp"
 #include "hier/hierarchy.hpp"
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
@@ -178,6 +179,20 @@ SessionOutcome run_campaign_session(const CampaignSpec& spec,
       out.report.phase_seconds[static_cast<std::size_t>(
           SessionPhase::kBuild)] += baseline_wall_seconds;
       out.report.wall_seconds += baseline_wall_seconds;
+    }
+    // Feed the phase-timer data into the process-wide latency histograms
+    // (session.wall_us, session.phase_us.<phase>). Observability only: the
+    // deterministic report path never reads these.
+    if (!out.report.cancelled) {
+      MetricsRegistry& reg = MetricsRegistry::global();
+      reg.histogram("session.wall_us")
+          .record(static_cast<std::uint64_t>(out.report.wall_seconds * 1e6));
+      for (std::size_t p = 0; p < kNumSessionPhases; ++p) {
+        reg.histogram(std::string("session.phase_us.") +
+                      to_string(static_cast<SessionPhase>(p)))
+            .record(static_cast<std::uint64_t>(out.report.phase_seconds[p] *
+                                               1e6));
+      }
     }
   } catch (const std::exception& e) {
     out.error = e.what();

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "campaign/campaign_spec_io.hpp"
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/file_io.hpp"
 
@@ -171,6 +172,10 @@ std::optional<CachedSession> ResultCache::load(std::uint64_t key) {
       result = decode(text.str());
     }
   }
+  if (result)
+    MetricsRegistry::global().counter("result_cache.hits").add();
+  else
+    MetricsRegistry::global().counter("result_cache.misses").add();
   std::lock_guard<std::mutex> lock(mutex_);
   if (result)
     ++hits_;
@@ -182,6 +187,7 @@ std::optional<CachedSession> ResultCache::load(std::uint64_t key) {
 void ResultCache::store(std::uint64_t key, const CachedSession& session) {
   const std::string encoded = encode(session);
   bool over_bound = false;
+  MetricsRegistry::global().counter("result_cache.stores").add();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stores_;
@@ -261,6 +267,7 @@ void ResultCache::evict_to_fit() {
       ++evicted;
     }
   }
+  MetricsRegistry::global().counter("result_cache.evictions").add(evicted);
   std::lock_guard<std::mutex> lock(mutex_);
   evictions_ += evicted;
   approx_bytes_ = total;  // re-sync the estimate with the disk truth

@@ -1,5 +1,7 @@
 #include "core/tiled_baseline_cache.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace emutile {
 
 std::shared_ptr<const TiledDesign> TiledBaselineCache::get_or_build(
@@ -13,6 +15,7 @@ std::shared_ptr<const TiledDesign> TiledBaselineCache::get_or_build(
     if (entry->design) {
       ++hits_;
       entry->last_used = ++tick_;
+      MetricsRegistry::global().counter("baseline_cache.hits").add();
       return entry->design;
     }
   }
@@ -21,12 +24,14 @@ std::shared_ptr<const TiledDesign> TiledBaselineCache::get_or_build(
   std::lock_guard<std::mutex> build_lock(entry->build_mutex);
   if (!entry->design) {
     auto built = std::make_shared<const TiledDesign>(build());
+    MetricsRegistry::global().counter("baseline_cache.misses").add();
     std::lock_guard<std::mutex> lock(mutex_);
     ++misses_;
     entry->design = std::move(built);
     entry->last_used = ++tick_;
     evict_locked();
   } else {
+    MetricsRegistry::global().counter("baseline_cache.hits").add();
     std::lock_guard<std::mutex> lock(mutex_);
     ++hits_;
     entry->last_used = ++tick_;
@@ -47,6 +52,7 @@ void TiledBaselineCache::evict_locked() {
     if (victim == entries_.end()) return;  // everything is mid-build
     entries_.erase(victim);
     ++evictions_;
+    MetricsRegistry::global().counter("baseline_cache.evictions").add();
   }
 }
 

@@ -7,6 +7,7 @@
 
 #include "debug/test_logic.hpp"
 #include "netlist/netlist_ops.hpp"
+#include "obs/metrics.hpp"
 #include "route/router.hpp"
 #include "sim/simulator.hpp"
 #include "util/check.hpp"
@@ -372,6 +373,23 @@ LocalizeResult localize(TiledDesign& dut, const Netlist& golden,
 
   result.suspects = candidates;
   result.narrowed = candidates.size() < initial_candidates;
+
+  // Probe-ECO work counters for the fleet metrics view; the per-session
+  // numbers stay in the (deterministic) result itself.
+  {
+    MetricsRegistry& reg = MetricsRegistry::global();
+    reg.counter("localizer.iterations").add(result.iterations.size());
+    std::uint64_t inserted = 0, retargeted = 0;
+    for (const LocalizeIteration& iter : result.iterations) {
+      inserted += iter.probes_inserted;
+      retargeted += iter.probes_retargeted;
+    }
+    reg.counter("localizer.probes_inserted").add(inserted);
+    reg.counter("localizer.probes_retargeted").add(retargeted);
+    reg.counter("localizer.probe_work_units")
+        .add(result.total_effort.instances_placed +
+             result.total_effort.nets_routed);
+  }
   return result;
 }
 

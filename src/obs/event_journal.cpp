@@ -1,0 +1,79 @@
+#include "obs/event_journal.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+namespace emutile {
+
+std::uint64_t journal_now_us() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+namespace {
+
+void append_json_string(std::ostringstream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+EventJournal::EventJournal(const std::filesystem::path& path,
+                           std::string campaign_id)
+    : path_(path), campaign_id_(std::move(campaign_id)) {
+  std::error_code ec;
+  if (path_.has_parent_path())
+    std::filesystem::create_directories(path_.parent_path(), ec);
+  out_.open(path_, std::ios::app);
+  ok_ = out_.is_open();
+}
+
+void EventJournal::record(std::string_view event,
+                          std::initializer_list<Field> fields) {
+  if (!ok_) return;
+  std::ostringstream os;
+  os << "{\"t_us\":" << journal_now_us() << ",\"campaign\":";
+  append_json_string(os, campaign_id_);
+  os << ",\"event\":";
+  append_json_string(os, event);
+  for (const Field& f : fields) {
+    os << ',';
+    append_json_string(os, f.key);
+    os << ':';
+    if (f.raw) {
+      os << f.value;
+    } else {
+      append_json_string(os, f.value);
+    }
+  }
+  os << "}\n";
+  const std::string line = os.str();
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_.write(line.data(), static_cast<std::streamsize>(line.size()));
+  out_.flush();
+  if (out_.fail()) ok_ = false;  // disk trouble: go inert, never throw
+}
+
+}  // namespace emutile

@@ -1,0 +1,74 @@
+#pragma once
+/// \file event_journal.hpp
+/// Append-only JSONL event journal for one campaign (or one orchestration
+/// run): submit/schedule/session-start/cache-hit/retry/finalize records with
+/// monotonic timestamps, written to `out/<id>/events.jsonl`.
+///
+/// The journal is an *audit* artifact, deliberately separate from the
+/// deterministic report/CSV/JSON emitters: timestamps are wall-progression
+/// data and must never leak into artifacts that two identical runs are
+/// expected to reproduce byte-for-byte (the same rule CampaignReport keeps
+/// for its wall-clock fields). Each record is one JSON object on one line,
+/// written with a single stream write under a mutex so concurrent session
+/// workers never interleave. Journal failures (disk full, unwritable dir)
+/// are swallowed: observability must never take down the campaign it is
+/// observing.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace emutile {
+
+/// Microseconds since the process-wide steady epoch (first use). Monotonic
+/// within a process; journal readers order and diff, they don't cross-host
+/// correlate.
+[[nodiscard]] std::uint64_t journal_now_us();
+
+class EventJournal {
+ public:
+  /// Field value: either a JSON string (quoted on write) or a raw number /
+  /// literal emitted verbatim.
+  struct Field {
+    std::string_view key;
+    std::string value;
+    bool raw = false;
+    Field(std::string_view k, std::string_view v)
+        : key(k), value(v), raw(false) {}
+    Field(std::string_view k, const char* v) : key(k), value(v), raw(false) {}
+    Field(std::string_view k, std::uint64_t v)
+        : key(k), value(std::to_string(v)), raw(true) {}
+    Field(std::string_view k, std::int64_t v)
+        : key(k), value(std::to_string(v)), raw(true) {}
+    Field(std::string_view k, int v)
+        : key(k), value(std::to_string(v)), raw(true) {}
+  };
+
+  /// Opens (appends to) `path`, creating parent directories. A journal that
+  /// fails to open becomes inert rather than throwing.
+  EventJournal(const std::filesystem::path& path, std::string campaign_id);
+
+  EventJournal(const EventJournal&) = delete;
+  EventJournal& operator=(const EventJournal&) = delete;
+
+  /// Append `{"t_us":N,"campaign":"...","event":"...", <fields>...}` as one
+  /// line with a single flushed write. Never throws.
+  void record(std::string_view event, std::initializer_list<Field> fields = {});
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+  std::string campaign_id_;
+  std::mutex mutex_;
+  std::ofstream out_;
+  bool ok_ = false;
+};
+
+}  // namespace emutile

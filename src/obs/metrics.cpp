@@ -1,0 +1,292 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace emutile {
+
+// ---- MetricHistogram -------------------------------------------------------
+
+std::uint64_t MetricHistogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the order statistic we want (1-based, nearest-rank).
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(n - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::uint32_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      std::uint64_t lower = 0, upper = 0;
+      bucket_bounds(i, lower, upper);
+      return lower + (upper - lower) / 2;
+    }
+  }
+  return max();
+}
+
+void MetricHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(kEmptyMin, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<std::pair<std::uint32_t, std::uint64_t>>
+MetricHistogram::nonzero_buckets() const {
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> out;
+  for (std::uint32_t i = 0; i < kNumBuckets; ++i) {
+    const std::uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c != 0) out.emplace_back(i, c);
+  }
+  return out;
+}
+
+// ---- HistogramSnapshot -----------------------------------------------------
+
+std::uint64_t HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(count - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (const auto& [index, c] : buckets) {
+    seen += c;
+    if (seen >= rank) {
+      std::uint64_t lower = 0, upper = 0;
+      MetricHistogram::bucket_bounds(index, lower, upper);
+      return lower + (upper - lower) / 2;
+    }
+  }
+  return max;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  min = count == 0 ? other.min : std::min(min, other.min);
+  max = std::max(max, other.max);
+  count += other.count;
+  sum += other.sum;
+  // Both bucket lists are sorted by index; merge like sorted sequences.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> merged;
+  merged.reserve(buckets.size() + other.buckets.size());
+  std::size_t a = 0, b = 0;
+  while (a < buckets.size() || b < other.buckets.size()) {
+    if (b == other.buckets.size() ||
+        (a < buckets.size() && buckets[a].first < other.buckets[b].first)) {
+      merged.push_back(buckets[a++]);
+    } else if (a == buckets.size() ||
+               other.buckets[b].first < buckets[a].first) {
+      merged.push_back(other.buckets[b++]);
+    } else {
+      merged.emplace_back(buckets[a].first,
+                          buckets[a].second + other.buckets[b].second);
+      ++a;
+      ++b;
+    }
+  }
+  buckets = std::move(merged);
+}
+
+// ---- MetricsSnapshot -------------------------------------------------------
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) gauges[name] += value;
+  for (const auto& [name, hist] : other.histograms)
+    histograms[name].merge(hist);
+}
+
+std::string MetricsSnapshot::to_text() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters)
+    os << "counter " << name << ' ' << value << '\n';
+  for (const auto& [name, value] : gauges)
+    os << "gauge " << name << ' ' << value << '\n';
+  for (const auto& [name, h] : histograms) {
+    os << "hist " << name << " count=" << h.count << " sum=" << h.sum
+       << " min=" << h.min << " max=" << h.max << " p50=" << h.quantile(0.50)
+       << " p90=" << h.quantile(0.90) << " p99=" << h.quantile(0.99)
+       << " buckets=";
+    bool first = true;
+    for (const auto& [index, c] : h.buckets) {
+      if (!first) os << ',';
+      first = false;
+      os << index << ':' << c;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": " << value;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": " << value;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": {\"count\": "
+       << h.count << ", \"sum\": " << h.sum << ", \"min\": " << h.min
+       << ", \"max\": " << h.max << ", \"p50\": " << h.quantile(0.50)
+       << ", \"p90\": " << h.quantile(0.90) << ", \"p99\": " << h.quantile(0.99)
+       << ", \"buckets\": [";
+    bool bfirst = true;
+    for (const auto& [index, c] : h.buckets) {
+      os << (bfirst ? "" : ", ") << '[' << index << ", " << c << ']';
+      bfirst = false;
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+MetricsSnapshot parse_metrics_text(const std::string& text) {
+  MetricsSnapshot snap;
+  std::istringstream in(text);
+  std::string line;
+  const auto keyed = [](const std::string& token, const char* key) {
+    const std::size_t klen = std::strlen(key);
+    EMUTILE_CHECK(token.compare(0, klen, key) == 0 && token.size() > klen &&
+                      token[klen] == '=',
+                  "metrics line: expected '" << key << "=...', got '" << token
+                                             << "'");
+    return std::stoull(token.substr(klen + 1));
+  };
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string kind, name;
+    ls >> kind >> name;
+    EMUTILE_CHECK(!name.empty(), "metrics line missing a name: " << line);
+    if (kind == "counter") {
+      std::uint64_t value = 0;
+      ls >> value;
+      EMUTILE_CHECK(!ls.fail(), "bad counter line: " << line);
+      snap.counters[name] += value;
+    } else if (kind == "gauge") {
+      std::int64_t value = 0;
+      ls >> value;
+      EMUTILE_CHECK(!ls.fail(), "bad gauge line: " << line);
+      snap.gauges[name] += value;
+    } else if (kind == "hist") {
+      HistogramSnapshot h;
+      std::string tok;
+      ls >> tok;
+      h.count = keyed(tok, "count");
+      ls >> tok;
+      h.sum = keyed(tok, "sum");
+      ls >> tok;
+      h.min = keyed(tok, "min");
+      ls >> tok;
+      h.max = keyed(tok, "max");
+      ls >> tok >> tok >> tok;  // p50/p90/p99: derived, recomputed on demand
+      ls >> tok;
+      EMUTILE_CHECK(tok.rfind("buckets=", 0) == 0,
+                    "hist line missing buckets=: " << line);
+      std::string list = tok.substr(std::strlen("buckets="));
+      std::size_t pos = 0;
+      while (pos < list.size()) {
+        const std::size_t colon = list.find(':', pos);
+        EMUTILE_CHECK(colon != std::string::npos,
+                      "bad bucket entry in: " << line);
+        std::size_t comma = list.find(',', colon);
+        if (comma == std::string::npos) comma = list.size();
+        const auto index = static_cast<std::uint32_t>(
+            std::stoul(list.substr(pos, colon - pos)));
+        const std::uint64_t c =
+            std::stoull(list.substr(colon + 1, comma - colon - 1));
+        h.buckets.emplace_back(index, c);
+        pos = comma + 1;
+      }
+      snap.histograms[name].merge(h);
+    } else {
+      EMUTILE_CHECK(false, "unknown metrics line kind: " << kind);
+    }
+  }
+  return snap;
+}
+
+// ---- MetricsRegistry -------------------------------------------------------
+
+MetricCounter& MetricsRegistry::counter(std::string_view name) {
+  Stripe& s = stripe_for(name);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  auto it = s.counters.find(name);
+  if (it == s.counters.end())
+    it = s.counters
+             .emplace(std::string(name), std::make_unique<MetricCounter>())
+             .first;
+  return *it->second;
+}
+
+MetricGauge& MetricsRegistry::gauge(std::string_view name) {
+  Stripe& s = stripe_for(name);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  auto it = s.gauges.find(name);
+  if (it == s.gauges.end())
+    it = s.gauges.emplace(std::string(name), std::make_unique<MetricGauge>())
+             .first;
+  return *it->second;
+}
+
+MetricHistogram& MetricsRegistry::histogram(std::string_view name) {
+  Stripe& s = stripe_for(name);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  auto it = s.histograms.find(name);
+  if (it == s.histograms.end())
+    it = s.histograms
+             .emplace(std::string(name), std::make_unique<MetricHistogram>())
+             .first;
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    for (const auto& [name, c] : s.counters) snap.counters[name] = c->value();
+    for (const auto& [name, g] : s.gauges) snap.gauges[name] = g->value();
+    for (const auto& [name, h] : s.histograms) {
+      HistogramSnapshot& hs = snap.histograms[name];
+      hs.buckets = h->nonzero_buckets();
+      hs.count = h->count();
+      hs.sum = h->sum();
+      hs.min = h->min();
+      hs.max = h->max();
+    }
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  for (Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    for (auto& [name, c] : s.counters) c->reset();
+    for (auto& [name, g] : s.gauges) g->reset();
+    for (auto& [name, h] : s.histograms) h->reset();
+  }
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+}  // namespace emutile

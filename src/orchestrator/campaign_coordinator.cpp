@@ -90,7 +90,16 @@ bool CampaignCoordinator::dispatch(ShardWork& shard,
     shard.progress.sessions_done = 0;
     shard.last_progress = Clock::now();
     ++shard.progress.dispatches;
-    if (shard.progress.dispatches > 1) ++redispatches_;
+    if (shard.progress.dispatches > 1) {
+      ++redispatches_;
+      MetricsRegistry::global().counter("coordinator.redispatches").add();
+    }
+    MetricsRegistry::global().counter("coordinator.dispatches").add();
+    if (options_.journal)
+      options_.journal->record(
+          "dispatch", {{"shard", shard.progress.shard},
+                       {"instance", instance.config->name},
+                       {"attempt", shard.progress.dispatches}});
     rr_cursor_ = (index + 1) % instances.size();
     return true;
   }
@@ -106,6 +115,11 @@ void CampaignCoordinator::poll_shard(ShardWork& shard,
                           << " — re-dispatching");
     if (instance_dead) instance.healthy = false;
     shard.progress.state = ShardState::kPending;
+    if (options_.journal)
+      options_.journal->record("retry",
+                               {{"shard", shard.progress.shard},
+                                {"instance", instance.config->name},
+                                {"why", why}});
   };
   // Evaluated lazily, *after* this poll has had its chance to refresh
   // last_progress — a tick that observes fresh progress (e.g. right after a
@@ -134,6 +148,10 @@ void CampaignCoordinator::poll_shard(ShardWork& shard,
             client.fetch_shard_report(shard.progress.campaign_id));
         shard.progress.state = ShardState::kDone;
         shard.progress.sessions_done = shard.progress.sessions_total;
+        if (options_.journal)
+          options_.journal->record("collect",
+                                   {{"shard", shard.progress.shard},
+                                    {"instance", instance.config->name}});
       } else if (status.terminal()) {
         // failed or cancelled out from under us: the instance answered, so
         // it stays healthy, but this shard needs a new home.
@@ -180,6 +198,10 @@ void CampaignCoordinator::poll_shard(ShardWork& shard,
             load_campaign_report_file(shard.spool_out_dir / "report.shard");
         shard.progress.state = ShardState::kDone;
         shard.progress.sessions_done = shard.progress.sessions_total;
+        if (options_.journal)
+          options_.journal->record("collect",
+                                   {{"shard", shard.progress.shard},
+                                    {"instance", instance.config->name}});
         return;
       }
       if (std::filesystem::exists(shard.spool_out_dir / "error.txt")) {
@@ -202,8 +224,15 @@ void CampaignCoordinator::run_local(ShardWork& shard) {
   shard.progress.state = ShardState::kLocal;
   shard.progress.instance = "local";
   ++shard.progress.dispatches;
-  if (shard.progress.dispatches > 1) ++redispatches_;
+  if (shard.progress.dispatches > 1) {
+    ++redispatches_;
+    MetricsRegistry::global().counter("coordinator.redispatches").add();
+  }
   ++local_shards_;
+  MetricsRegistry::global().counter("coordinator.local_fallbacks").add();
+  if (options_.journal)
+    options_.journal->record("local-fallback",
+                             {{"shard", shard.progress.shard}});
   shard.report = run_campaign(shard.spec, options);
   shard.progress.state = ShardState::kDone;
   shard.progress.sessions_done = shard.progress.sessions_total;
@@ -318,6 +347,29 @@ OrchestrationResult CampaignCoordinator::run(const CampaignSpec& spec) {
   for (ShardWork& shard : shards) result.report.merge(shard.report);
   result.shards.reserve(shards.size());
   for (const ShardWork& shard : shards) result.shards.push_back(shard.progress);
+
+  // Fleet-wide observability: fold every reachable socket instance's
+  // registry into one snapshot (integral values, so the merged series equal
+  // the per-instance sums exactly). Best-effort — a dead instance loses its
+  // metrics, never the run.
+  if (options_.collect_metrics) {
+    for (const InstanceState& instance : instances) {
+      if (instance.config->address != InstanceAddress::kSocket) continue;
+      try {
+        const ServiceClient client(instance.config->path,
+                                   options_.request_timeout_ms);
+        result.fleet_metrics.merge(parse_metrics_text(client.fetch_metrics()));
+        ++result.metrics_instances;
+      } catch (const std::exception& e) {
+        EMUTILE_WARN("fleet instance '" << instance.config->name
+                                        << "' skipped in the metrics merge: "
+                                        << e.what());
+      }
+    }
+    if (options_.journal)
+      options_.journal->record("fleet-metrics",
+                               {{"instances", result.metrics_instances}});
+  }
   return result;
 }
 

@@ -45,6 +45,8 @@
 #include "campaign/adaptive_driver.hpp"
 #include "campaign/campaign_report.hpp"
 #include "campaign/campaign_spec.hpp"
+#include "obs/event_journal.hpp"
+#include "obs/metrics.hpp"
 #include "orchestrator/fleet_config_io.hpp"
 
 namespace emutile {
@@ -104,6 +106,15 @@ struct CoordinatorOptions {
   bool allow_local_fallback = true;
   /// Streamed once per poll tick with the current fleet aggregate.
   std::function<void(const FleetSnapshot&)> on_snapshot;
+  /// After every shard is collected, fetch METRICS from each socket instance
+  /// and merge the registries into OrchestrationResult::fleet_metrics — the
+  /// fleet-wide observability view next to the fleet-wide report. Instances
+  /// that fail the fetch are skipped (metrics are never worth a re-dispatch).
+  bool collect_metrics = true;
+  /// Optional caller-owned journal (e.g. the orchestrate tool's
+  /// events.jsonl): dispatch/retry/local-fallback/collect records stream
+  /// into it as the run progresses. May be null; must outlive run().
+  EventJournal* journal = nullptr;
 };
 
 /// What an orchestrated campaign produced, beyond the merged report.
@@ -113,6 +124,11 @@ struct OrchestrationResult {
   std::size_t redispatches = 0;  ///< dispatches beyond each shard's first
   std::size_t local_shards = 0;  ///< shards that ran in-process
   std::vector<ShardProgress> shards;  ///< final per-shard state
+  /// Sum of every reachable socket instance's metrics registry (counters
+  /// add, histogram buckets add — see MetricsSnapshot::merge). Empty when
+  /// collect_metrics is off or no instance answered.
+  MetricsSnapshot fleet_metrics;
+  std::size_t metrics_instances = 0;  ///< instances that contributed
 };
 
 class CampaignCoordinator {

@@ -2,9 +2,26 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace emutile {
+
+namespace {
+/// Scheduler metrics, resolved once: submit/pick are the service hot path.
+struct SchedulerMetrics {
+  MetricGauge& queue_depth =
+      MetricsRegistry::global().gauge("scheduler.queue_depth");
+  MetricHistogram& ticket_wait_us =
+      MetricsRegistry::global().histogram("scheduler.ticket_wait_us");
+  MetricCounter& units_completed =
+      MetricsRegistry::global().counter("scheduler.units_completed");
+  static SchedulerMetrics& get() {
+    static SchedulerMetrics m;
+    return m;
+  }
+};
+}  // namespace
 
 JobScheduler::JobScheduler(std::size_t num_threads) : pool_(num_threads) {}
 
@@ -29,13 +46,15 @@ void JobScheduler::submit(StreamId stream, Unit unit) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = streams_.find(stream);
   EMUTILE_CHECK(it != streams_.end(), "unknown stream " << stream);
-  it->second.pending.push_back(std::move(unit));
+  it->second.pending.push_back(
+      PendingUnit{std::move(unit), std::chrono::steady_clock::now()});
   try {
     pool_.submit([this] { run_ticket(); });
   } catch (...) {
     it->second.pending.pop_back();
     throw;
   }
+  SchedulerMetrics::get().queue_depth.add();
 }
 
 void JobScheduler::cancel(StreamId stream) {
@@ -73,11 +92,18 @@ void JobScheduler::run_ticket() {
     // Tickets and pending units are created 1:1 and only this function
     // consumes either, so a ticket always finds work.
     EMUTILE_ASSERT(stream != nullptr, "scheduler ticket found no pending unit");
-    unit = std::move(stream->pending.front());
+    PendingUnit pending = std::move(stream->pending.front());
     stream->pending.pop_front();
     ++stream->started;
     ++stream->running;
     cancelled = stream->cancelled;
+    unit = std::move(pending.unit);
+    SchedulerMetrics& metrics = SchedulerMetrics::get();
+    metrics.queue_depth.sub();
+    const auto waited = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - pending.enqueued);
+    metrics.ticket_wait_us.record(
+        waited.count() < 0 ? 0 : static_cast<std::uint64_t>(waited.count()));
   }
   // Units must not throw (see Unit), but restore the running ledger through
   // a scope guard anyway so wait()/wait_all() cannot block forever while an
@@ -94,6 +120,7 @@ void JobScheduler::run_ticket() {
     }
   } guard{*this, *stream};
   unit(cancelled);
+  SchedulerMetrics::get().units_completed.add();
 }
 
 void JobScheduler::wait(StreamId stream) {

@@ -18,6 +18,7 @@
 /// running are the driver's job to stop (e.g. via a cancel flag polled at
 /// phase boundaries).
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -70,9 +71,16 @@ class JobScheduler {
   void wait_all();
 
  private:
+  /// A queued unit plus its enqueue instant, so the scheduler can report the
+  /// time units spend waiting for a ticket (scheduler.ticket_wait_us).
+  struct PendingUnit {
+    Unit unit;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   struct Stream {
     int priority = 0;
-    std::deque<Unit> pending;
+    std::deque<PendingUnit> pending;
     std::size_t started = 0;   ///< units handed to workers so far
     std::size_t running = 0;   ///< units currently executing
     bool cancelled = false;

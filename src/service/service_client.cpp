@@ -84,6 +84,17 @@ RemoteCampaignStatus ServiceClient::status(const std::string& id) const {
   s.cache_hits = keyed_count(hits, "hits");
   s.cache_misses = keyed_count(misses, "misses");
   s.snapshots = keyed_count(snapshots, "snapshots");
+  // Daemon-level fields appended after the per-campaign ones. Optional so
+  // the client still parses replies from daemons that predate them.
+  std::string token;
+  while (in >> token) {
+    if (token.rfind("uptime_s=", 0) == 0)
+      s.daemon_uptime_s = keyed_count(token, "uptime_s");
+    else if (token.rfind("queued=", 0) == 0)
+      s.daemon_queued = keyed_count(token, "queued");
+    else if (token.rfind("running=", 0) == 0)
+      s.daemon_running = keyed_count(token, "running");
+  }
   return s;
 }
 
@@ -126,6 +137,14 @@ RemoteCacheStats ServiceClient::cache_stats() const {
   s.misses = keyed_count(misses, "misses");
   s.stores = keyed_count(stores, "stores");
   return s;
+}
+
+std::string ServiceClient::fetch_metrics(bool json) const {
+  const std::string response =
+      request(json ? "METRICS json\n" : "METRICS\n");
+  static_cast<void>(expect_ok(response, "METRICS"));
+  const std::size_t eol = response.find('\n');
+  return eol == std::string::npos ? std::string() : response.substr(eol + 1);
 }
 
 std::filesystem::path spool_submit_spec(const std::filesystem::path& root,

@@ -29,6 +29,11 @@ struct RemoteCampaignStatus {
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
   std::size_t snapshots = 0;
+  /// Daemon-level fields (STATUS appends them after the per-campaign ones);
+  /// zero when talking to a daemon that predates them.
+  std::size_t daemon_uptime_s = 0;
+  std::size_t daemon_queued = 0;   ///< campaigns waiting for their first unit
+  std::size_t daemon_running = 0;  ///< campaigns with sessions in flight
 
   [[nodiscard]] bool terminal() const {
     return state == "finished" || state == "cancelled" || state == "failed";
@@ -98,6 +103,12 @@ class ServiceClient {
 
   /// CACHE: result-cache statistics. Throws CheckError (e.g. disabled).
   [[nodiscard]] RemoteCacheStats cache_stats() const;
+
+  /// METRICS: the instance's process-wide metrics. Text exposition (the
+  /// default, parseable with parse_metrics_text and mergeable across
+  /// instances) or JSON with `json=true`. Returns the payload without the
+  /// leading "OK <format>" line.
+  [[nodiscard]] std::string fetch_metrics(bool json = false) const;
 
  private:
   /// Strip "OK " and the trailing newline off a single-line response; throw

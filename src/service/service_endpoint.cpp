@@ -12,6 +12,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "service/session_service.hpp"
 #include "util/check.hpp"
 #include "util/file_io.hpp"
@@ -76,6 +77,16 @@ bool write_all(int fd, const std::string& data) {
     off += static_cast<std::size_t>(n);
   }
   return true;
+}
+
+/// Commands get their own endpoint.requests.<CMD>/endpoint.request_us.<CMD>
+/// series; anything unrecognized (including garbage) is folded into one
+/// "OTHER" pair so a misbehaving client cannot mint unbounded metric names.
+bool known_command(const std::string& command) {
+  return command == "PING" || command == "SUBMIT" || command == "STATUS" ||
+         command == "LIST" || command == "CANCEL" || command == "WAIT" ||
+         command == "SHARDREPORT" || command == "CACHE" ||
+         command == "METRICS" || command == "SHUTDOWN";
 }
 
 std::string status_line(const CampaignStatus& s) {
@@ -160,6 +171,7 @@ void ServiceEndpoint::serve_connection(int fd) {
     try {
       response = handle_request(request);
     } catch (const std::exception& e) {
+      MetricsRegistry::global().counter("endpoint.errors").add();
       response = std::string("ERR ") + e.what() + "\n";
     }
   }
@@ -180,6 +192,13 @@ std::string ServiceEndpoint::handle_request(const std::string& request) {
   std::string command;
   line >> command;
 
+  // Per-command request accounting. The latency probe covers the whole
+  // handler, including service calls and disk reads — what a client feels.
+  MetricsRegistry& reg = MetricsRegistry::global();
+  const std::string series = known_command(command) ? command : "OTHER";
+  reg.counter("endpoint.requests." + series).add();
+  const ScopedLatency latency(reg.histogram("endpoint.request_us." + series));
+
   if (command == "PING") {
     return "OK pong\n";
   } else if (command == "SUBMIT") {
@@ -199,7 +218,11 @@ std::string ServiceEndpoint::handle_request(const std::string& request) {
     if (!(line >> id)) return "ERR STATUS needs a campaign id\n";
     const std::optional<CampaignStatus> s = service_.status(id);
     if (!s) return "ERR unknown campaign '" + id + "'\n";
-    return "OK " + status_line(*s) + "\n";
+    std::ostringstream os;
+    os << "OK " << status_line(*s) << " uptime_s=" << service_.uptime_seconds()
+       << " queued=" << service_.queued_count()
+       << " running=" << service_.running_count() << "\n";
+    return os.str();
   } else if (command == "LIST") {
     const std::vector<CampaignStatus> all = service_.list();
     std::ostringstream os;
@@ -249,10 +272,24 @@ std::string ServiceEndpoint::handle_request(const std::string& request) {
        << " stores=" << cache->stores()
        << " evictions=" << cache->evictions() << "\n";
     return os.str();
+  } else if (command == "METRICS") {
+    // The whole process-wide registry, either as the stable text exposition
+    // (what parse_metrics_text and the coordinator's fleet merge consume) or
+    // as JSON for humans and dashboards. The first reply line carries a
+    // token after "OK " so ServiceClient::expect_ok stays happy; the payload
+    // follows verbatim.
+    std::string format;
+    line >> format;
+    const MetricsSnapshot snap = reg.snapshot();
+    if (format == "json") return "OK json\n" + snap.to_json();
+    if (!format.empty() && format != "text")
+      return "ERR METRICS takes no argument, 'text', or 'json'\n";
+    return "OK text\n" + snap.to_text();
   } else if (command == "SHUTDOWN") {
     shutdown_requested_.store(true);
     return "OK bye\n";
   }
+  reg.counter("endpoint.errors").add();
   return "ERR unknown command '" + command + "'\n";
 }
 

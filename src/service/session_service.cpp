@@ -10,6 +10,7 @@
 
 #include "campaign/campaign_report_io.hpp"
 #include "campaign/campaign_spec_io.hpp"
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/file_io.hpp"
 #include "util/log.hpp"
@@ -78,6 +79,9 @@ struct SessionService::Campaign {
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
   std::size_t snapshots = 0;
+  /// Audit journal (out/<id>/events.jsonl); null when disabled. Thread-safe
+  /// and inert on IO failure, so units record into it without ceremony.
+  std::unique_ptr<EventJournal> journal;
 };
 
 SessionService::SessionService(ServiceConfig config)
@@ -167,10 +171,21 @@ std::string SessionService::submit(const CampaignSpec& spec, int priority,
   // Disk IO happens off the service mutex (like snapshots and finalize), so
   // a slow disk never stalls workers recording outcomes or status calls. The
   // campaign is not scheduled yet, so nothing else touches its out_dir.
+  bool counted_active = false;
   try {
     std::filesystem::create_directories(c->out_dir);
     if (!canonical.empty())
       write_file_atomic(c->out_dir / "spec.txt", canonical);
+    if (config_.enable_journal) {
+      c->journal =
+          std::make_unique<EventJournal>(c->out_dir / "events.jsonl", c->id);
+      c->journal->record("submit", {{"priority", priority},
+                                    {"designs", c->spec.designs.size()},
+                                    {"tilings", c->spec.tilings.size()}});
+    }
+    MetricsRegistry::global().counter("service.campaigns_submitted").add();
+    MetricsRegistry::global().gauge("service.campaigns_active").add();
+    counted_active = true;
     schedule(*c);
   } catch (const std::exception& e) {
     // Nothing reached the scheduler (a throwing JobScheduler::submit
@@ -179,6 +194,10 @@ std::string SessionService::submit(const CampaignSpec& spec, int priority,
     // wait predicate holds a pointer to this Campaign, so erasing would
     // free it out from under them. kFailed is terminal, so waiters and
     // drain() proceed normally.
+    if (counted_active)
+      MetricsRegistry::global().gauge("service.campaigns_active").sub();
+    MetricsRegistry::global().counter("service.campaigns_failed").add();
+    if (c->journal) c->journal->record("finalize", {{"state", "failed"}});
     std::lock_guard<std::mutex> lock(mutex_);
     c->state = CampaignState::kFailed;
     c->error = std::string("campaign could not be started: ") + e.what();
@@ -227,11 +246,13 @@ std::size_t SessionService::poll_spool() {
 }
 
 void SessionService::schedule(Campaign& c) {
+  if (c.journal) c.journal->record("schedule");
   scheduler_->submit(c.stream,
                      [this, &c](bool cancelled) { prepare_unit(c, cancelled); });
 }
 
 void SessionService::prepare_unit(Campaign& c, bool cancelled) {
+  const LogCampaignScope log_scope(c.id);
   bool do_finalize = false;
   try {
     std::vector<CampaignJob> jobs = c.spec.expand();
@@ -356,10 +377,15 @@ struct SessionService::SnapshotData {
 
 void SessionService::session_unit(Campaign& c, std::size_t job_slot,
                                   bool cancelled) {
+  const LogCampaignScope log_scope(c.id);
   const CampaignJob& job = c.jobs[job_slot];
   SessionOutcome outcome;
   CacheLookup lookup = CacheLookup::kNotConsulted;
   const bool cancel_now = cancelled || c.cancel_flag.load();
+  if (!cancel_now && c.journal)
+    c.journal->record("session-start", {{"session", job_slot},
+                                        {"scenario", job.scenario},
+                                        {"replica", job.replica}});
   if (cancel_now) {
     outcome.report.cancelled = true;
   } else if (!c.golden_errors[job.design_index].empty()) {
@@ -371,6 +397,14 @@ void SessionService::session_unit(Campaign& c, std::size_t job_slot,
         [&c] { return c.cancel_flag.load(); }, cache_.get(), &lookup,
         &baselines_);
   }
+  if (c.journal) {
+    if (lookup == CacheLookup::kHit)
+      c.journal->record("cache-hit", {{"session", job_slot}});
+    c.journal->record("session-done",
+                      {{"session", job_slot},
+                       {"cached", lookup == CacheLookup::kHit ? 1 : 0}});
+  }
+  MetricsRegistry::global().counter("service.sessions_completed").add();
 
   bool do_finalize = false;
   bool do_snapshot = false;
@@ -424,6 +458,7 @@ bool SessionService::unit_finished_locked(Campaign& c) {
 void SessionService::finalize(Campaign& c) {
   // Runs on the campaign's last unit, outside the service mutex: every
   // other unit is done, so jobs/outcomes/per_pair have no writers left.
+  const LogCampaignScope log_scope(c.id);
   CampaignState state = c.state;
   std::string error = c.error;
   if (state != CampaignState::kFailed) {
@@ -453,6 +488,20 @@ void SessionService::finalize(Campaign& c) {
   }
   if (state == CampaignState::kFailed)
     write_file_atomic(c.out_dir / "error.txt", error + "\n");
+  {
+    MetricsRegistry& reg = MetricsRegistry::global();
+    reg.gauge("service.campaigns_active").sub();
+    if (state == CampaignState::kFinished)
+      reg.counter("service.campaigns_finished").add();
+    else if (state == CampaignState::kCancelled)
+      reg.counter("service.campaigns_cancelled").add();
+    else
+      reg.counter("service.campaigns_failed").add();
+  }
+  if (c.journal)
+    c.journal->record("finalize", {{"state", to_string(state)},
+                                   {"sessions_done", c.sessions_done},
+                                   {"cache_hits", c.cache_hits}});
   std::lock_guard<std::mutex> lock(mutex_);
   c.state = state;
   c.error = error;
@@ -567,6 +616,29 @@ bool SessionService::wait_for(const std::string& id,
   EMUTILE_CHECK(target != nullptr, "unknown campaign id '" << id << "'");
   return state_changed_.wait_for(lock, timeout,
                                  [&] { return terminal(target->state); });
+}
+
+std::uint64_t SessionService::uptime_seconds() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count());
+}
+
+std::size_t SessionService::queued_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const std::unique_ptr<Campaign>& c : campaigns_)
+    if (c->state == CampaignState::kQueued) ++n;
+  return n;
+}
+
+std::size_t SessionService::running_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const std::unique_ptr<Campaign>& c : campaigns_)
+    if (c->state == CampaignState::kRunning) ++n;
+  return n;
 }
 
 void SessionService::drain() {

@@ -42,6 +42,7 @@
 #include "campaign/campaign_engine.hpp"
 #include "campaign/result_cache.hpp"
 #include "core/tiled_baseline_cache.hpp"
+#include "obs/event_journal.hpp"
 #include "service/job_scheduler.hpp"
 #include "util/check.hpp"
 
@@ -69,6 +70,11 @@ struct ServiceConfig {
   /// baseline of a big design is tens of MB, so the default stays small.
   /// 0 means unbounded.
   std::size_t baseline_cache_entries = 8;
+  /// Write an append-only `out/<id>/events.jsonl` audit journal per campaign
+  /// (submit/schedule/session-start/cache-hit/finalize records). The journal
+  /// carries wall-progression timestamps and therefore lives strictly
+  /// outside the deterministic report artifacts.
+  bool enable_journal = true;
 };
 
 /// Thrown by submit() when the bounded campaign queue (max_pending) is full.
@@ -158,6 +164,15 @@ class SessionService {
   /// The shared session cache (nullptr when disabled).
   [[nodiscard]] ResultCache* cache() { return cache_.get(); }
 
+  /// Whole seconds since this service was constructed (daemon uptime).
+  [[nodiscard]] std::uint64_t uptime_seconds() const;
+
+  /// Campaigns currently in kQueued state.
+  [[nodiscard]] std::size_t queued_count() const;
+
+  /// Campaigns currently in kRunning state.
+  [[nodiscard]] std::size_t running_count() const;
+
  private:
   struct Campaign;
 
@@ -193,6 +208,8 @@ class SessionService {
   std::condition_variable state_changed_;
   std::vector<std::unique_ptr<Campaign>> campaigns_;  // submission order
   std::size_t next_seq_ = 1;
+  std::chrono::steady_clock::time_point start_time_ =
+      std::chrono::steady_clock::now();
 };
 
 /// Adaptive-round executor backed by a resident SessionService: each round's

@@ -1,11 +1,18 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <mutex>
+#include <utility>
 
 namespace emutile {
 
 namespace {
-LogLevel g_threshold = LogLevel::kWarn;
+// Atomic so daemon threads can read the threshold while a signal-driven or
+// admin path changes it, without a lock on every log-site check.
+std::atomic<LogLevel> g_threshold{LogLevel::kWarn};
+
+// Campaign id attributed to this thread's log lines (LogCampaignScope).
+thread_local std::string t_campaign;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,18 +26,54 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-LogLevel log_threshold() { return g_threshold; }
-void set_log_threshold(LogLevel level) { g_threshold = level; }
+LogLevel log_threshold() {
+  return g_threshold.load(std::memory_order_relaxed);
+}
+void set_log_threshold(LogLevel level) {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+LogCampaignScope::LogCampaignScope(std::string_view id)
+    : previous_(std::move(t_campaign)) {
+  t_campaign.assign(id);
+}
+
+LogCampaignScope::~LogCampaignScope() { t_campaign = std::move(previous_); }
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& message) {
-  // Serialized so concurrent campaign workers never interleave lines.
+  // The whole line is assembled first and pushed with one stream write (under
+  // a mutex for good measure), so concurrent campaign workers never
+  // interleave fragments even when cout/cerr buffering is off.
+  std::string line;
+  line.reserve(message.size() + t_campaign.size() + 24);
+  line.push_back('[');
+  line.append(level_name(level));
+  line.append("] ");
+  if (!t_campaign.empty()) {
+    line.append("campaign=");
+    line.append(t_campaign);
+    line.push_back(' ');
+  }
+  line.append(message);
+  line.push_back('\n');
+
   static std::mutex emit_mutex;
   std::lock_guard<std::mutex> lock(emit_mutex);
   std::ostream& os =
       static_cast<int>(level) >= static_cast<int>(LogLevel::kWarn) ? std::cerr
                                                                    : std::cout;
-  os << '[' << level_name(level) << "] " << message << '\n';
+  os.write(line.data(), static_cast<std::streamsize>(line.size()));
+  os.flush();
 }
 }  // namespace detail
 

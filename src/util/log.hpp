@@ -4,8 +4,10 @@
 /// the library itself logs only through this sink so tests can silence it.
 
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace emutile {
 
@@ -15,6 +17,25 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// output stays clean; benches raise it to kInfo when narrating).
 LogLevel log_threshold();
 void set_log_threshold(LogLevel level);
+
+/// Parse "debug" | "info" | "warn" | "error" | "off" (what
+/// `emutile_serviced --log-level` accepts); nullopt for anything else.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(std::string_view name);
+
+/// RAII: while in scope, every log line this thread emits carries a
+/// `campaign=<id>` key after the level tag, so interleaved multi-campaign
+/// daemon logs stay attributable. Scopes nest; the innermost id wins and the
+/// outer one is restored on destruction.
+class LogCampaignScope {
+ public:
+  explicit LogCampaignScope(std::string_view id);
+  ~LogCampaignScope();
+  LogCampaignScope(const LogCampaignScope&) = delete;
+  LogCampaignScope& operator=(const LogCampaignScope&) = delete;
+
+ private:
+  std::string previous_;
+};
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& message);

@@ -21,7 +21,9 @@
 #include "campaign/campaign_report_io.hpp"
 #include "campaign/campaign_spec_io.hpp"
 #include "campaign/result_cache.hpp"
+#include "obs/metrics.hpp"
 #include "service/job_scheduler.hpp"
+#include "service/service_client.hpp"
 #include "service/service_endpoint.hpp"
 #include "service/session_service.hpp"
 #include "util/check.hpp"
@@ -770,6 +772,143 @@ TEST(SessionService, BoundedSubmitQueueRejectsWithBusy) {
   const auto status = service.status(ok_id);
   ASSERT_TRUE(status.has_value());
   EXPECT_EQ(status->state, CampaignState::kFinished) << status->error;
+}
+
+// ---------------------------------------------------------- observability ---
+
+TEST(SessionService, MetricsCommandExposesLiveSeries) {
+  ScratchDir scratch("service-metrics");
+  ServiceConfig config;
+  config.root = scratch.path;
+  config.num_threads = 2;
+  config.snapshot_every = 0;
+  SessionService service(config);
+  ServiceEndpoint endpoint(service, scratch.path / "serviced.sock");
+
+  // Drive real traffic through every instrumented layer first.
+  EXPECT_EQ(endpoint_request(endpoint.socket_path(), "PING\n"), "OK pong\n");
+  const std::string id = service.submit_text(small_spec_text("9sym", 55));
+  service.wait(id);
+
+  const std::string response =
+      endpoint_request(endpoint.socket_path(), "METRICS\n");
+  ASSERT_EQ(response.rfind("OK text\n", 0), 0u) << response;
+  const MetricsSnapshot snap =
+      parse_metrics_text(response.substr(response.find('\n') + 1));
+
+  // The process-wide registry accumulates across the whole test binary, so
+  // assert presence and non-zero activity rather than exact totals.
+  ASSERT_TRUE(snap.counters.count("endpoint.requests.PING"));
+  EXPECT_GT(snap.counters.at("endpoint.requests.PING"), 0u);
+  ASSERT_TRUE(snap.histograms.count("endpoint.request_us.PING"));
+  EXPECT_GT(snap.histograms.at("endpoint.request_us.PING").count, 0u);
+  ASSERT_TRUE(snap.counters.count("service.sessions_completed"));
+  EXPECT_GE(snap.counters.at("service.sessions_completed"), 6u);
+  ASSERT_TRUE(snap.histograms.count("session.wall_us"));
+  EXPECT_GT(snap.histograms.at("session.wall_us").count, 0u);
+  EXPECT_GT(snap.histograms.at("session.wall_us").sum, 0u);
+  ASSERT_TRUE(snap.histograms.count("scheduler.ticket_wait_us"));
+  EXPECT_GT(snap.histograms.at("scheduler.ticket_wait_us").count, 0u);
+  ASSERT_TRUE(snap.counters.count("result_cache.misses"));
+  EXPECT_GT(snap.counters.at("result_cache.misses"), 0u);
+  ASSERT_TRUE(snap.counters.count("result_cache.stores"));
+  // Every phase histogram of the session pipeline is populated.
+  for (const char* phase : {"inject", "build", "detect", "localize",
+                            "correct", "verify"}) {
+    const std::string name = std::string("session.phase_us.") + phase;
+    ASSERT_TRUE(snap.histograms.count(name)) << name;
+    EXPECT_GT(snap.histograms.at(name).count, 0u) << name;
+  }
+
+  // JSON exposition and the format error path.
+  const std::string json_response =
+      endpoint_request(endpoint.socket_path(), "METRICS json\n");
+  ASSERT_EQ(json_response.rfind("OK json\n", 0), 0u) << json_response;
+  EXPECT_NE(json_response.find("\"session.wall_us\""), std::string::npos);
+  EXPECT_EQ(endpoint_request(endpoint.socket_path(), "METRICS xml\n")
+                .rfind("ERR ", 0),
+            0u);
+
+  // ServiceClient's typed wrapper strips the framing line.
+  const ServiceClient client(endpoint.socket_path());
+  const MetricsSnapshot via_client = parse_metrics_text(client.fetch_metrics());
+  EXPECT_GE(via_client.counters.at("endpoint.requests.METRICS"), 1u);
+}
+
+TEST(SessionService, StatusCarriesDaemonLevelFields) {
+  ScratchDir scratch("service-status-daemon");
+  ServiceConfig config;
+  config.root = scratch.path;
+  config.num_threads = 2;
+  config.snapshot_every = 0;
+  SessionService service(config);
+  ServiceEndpoint endpoint(service, scratch.path / "serviced.sock");
+
+  const std::string id = service.submit_text(small_spec_text("9sym", 71));
+  service.wait(id);
+
+  const std::string status =
+      endpoint_request(endpoint.socket_path(), "STATUS " + id + "\n");
+  EXPECT_NE(status.find(" uptime_s="), std::string::npos) << status;
+  EXPECT_NE(status.find(" queued="), std::string::npos) << status;
+  EXPECT_NE(status.find(" running="), std::string::npos) << status;
+
+  const ServiceClient client(endpoint.socket_path());
+  const RemoteCampaignStatus parsed = client.status(id);
+  EXPECT_EQ(parsed.state, "finished");
+  EXPECT_EQ(parsed.daemon_queued + parsed.daemon_running, 0u)
+      << "a drained daemon has nothing queued or running";
+}
+
+TEST(SessionService, EventJournalRecordsTheCampaignLifecycle) {
+  ScratchDir scratch("service-journal");
+  ServiceConfig config;
+  config.root = scratch.path;
+  config.num_threads = 2;
+  config.snapshot_every = 0;
+  std::string id, again;
+  {
+    SessionService service(config);
+    id = service.submit_text(small_spec_text("9sym", 91), 2, "journaled");
+    service.wait(id);
+    again = service.submit_text(small_spec_text("9sym", 91), 0, "rerun");
+    service.wait(again);
+  }
+
+  const std::string journal =
+      read_file(scratch.path / "out" / id / "events.jsonl");
+  for (const char* event : {"\"event\":\"submit\"", "\"event\":\"schedule\"",
+                            "\"event\":\"session-start\"",
+                            "\"event\":\"session-done\"",
+                            "\"event\":\"finalize\""}) {
+    EXPECT_NE(journal.find(event), std::string::npos)
+        << event << " missing from:\n" << journal;
+  }
+  EXPECT_NE(journal.find("\"campaign\":\"" + id + "\""), std::string::npos);
+  EXPECT_NE(journal.find("\"priority\":2"), std::string::npos) << journal;
+  EXPECT_NE(journal.find("\"state\":\"finished\""), std::string::npos);
+  // The cache-served rerun logs its hits.
+  const std::string rerun_journal =
+      read_file(scratch.path / "out" / again / "events.jsonl");
+  EXPECT_NE(rerun_journal.find("\"event\":\"cache-hit\""), std::string::npos)
+      << rerun_journal;
+
+  // The journal is an audit artifact, never part of the deterministic
+  // outputs: disabling it changes nothing about the report bytes.
+  ServiceConfig silent = config;
+  silent.root = scratch.path / "silent";
+  silent.enable_journal = false;
+  std::string silent_id;
+  {
+    SessionService service(silent);
+    silent_id = service.submit_text(small_spec_text("9sym", 91));
+    service.wait(silent_id);
+  }
+  EXPECT_FALSE(
+      fs::exists(silent.root / "out" / silent_id / "events.jsonl"));
+  EXPECT_EQ(read_file(silent.root / "out" / silent_id / "report.json"),
+            read_file(scratch.path / "out" / id / "report.json"))
+      << "journal on/off must not perturb deterministic artifacts";
 }
 
 }  // namespace

@@ -24,7 +24,12 @@
 /// --max-sessions (default: the spec's own uniform budget) runs out.
 ///
 /// Writes <out>/report.json, <out>/report.csv, and <out>/report.shard
-/// (the mergeable form) — default out dir is the current directory.
+/// (the mergeable form) — default out dir is the current directory. A
+/// non-adaptive run also writes <out>/fleet_metrics.txt + .json (the merged
+/// per-instance metrics registries; sums of the instance series) and streams
+/// an <out>/events.jsonl journal of dispatch/retry/collect records. The
+/// report artifacts stay deterministic; metrics and journal are
+/// observability sidecars.
 
 #include <cstdlib>
 #include <iostream>
@@ -122,8 +127,17 @@ int main(int argc, char** argv) {
       options.on_snapshot = print_snapshot;
     }
 
+    // The journal and metrics sidecars live next to the reports; create the
+    // out dir up front so the journal can open.
+    std::filesystem::create_directories(out_dir);
+    EventJournal journal(out_dir / "events.jsonl",
+                         spec_path.stem().string());
+    options.journal = &journal;
+
     CampaignCoordinator coordinator(fleet, options);
     CampaignReport report;
+    MetricsSnapshot fleet_metrics;
+    std::size_t metrics_instances = 0;
     if (use_adaptive) {
       adaptive.executor = make_adaptive_executor(coordinator);
       if (!quiet) {
@@ -149,17 +163,25 @@ int main(int argc, char** argv) {
     } else {
       OrchestrationResult result = coordinator.run(spec);
       report = std::move(result.report);
+      fleet_metrics = std::move(result.fleet_metrics);
+      metrics_instances = result.metrics_instances;
       std::cout << "orchestrated " << result.num_shards << " shard"
                 << (result.num_shards == 1 ? "" : "s") << " ("
                 << result.redispatches << " re-dispatched, "
                 << result.local_shards << " ran locally)\n";
     }
 
-    std::filesystem::create_directories(out_dir);
     write_file_atomic(out_dir / "report.json", report.to_json());
     write_file_atomic(out_dir / "report.csv", report.to_csv());
     write_file_atomic(out_dir / "report.shard",
                       serialize_campaign_report(report));
+    if (!fleet_metrics.empty()) {
+      write_file_atomic(out_dir / "fleet_metrics.txt", fleet_metrics.to_text());
+      write_file_atomic(out_dir / "fleet_metrics.json",
+                        fleet_metrics.to_json());
+      std::cout << "fleet metrics merged from " << metrics_instances
+                << " instance(s)\n";
+    }
 
     report.print_summary(std::cout);
     std::cout << "reports written to " << out_dir.string() << "\n";

@@ -11,7 +11,8 @@
 ///                      [--poll-ms N] [--no-cache] [--cache-max-bytes N]
 ///                      [--baseline-cache-entries N] [--no-socket]
 ///                      [--socket PATH] [--max-pending N] [--once]
-///                      [--no-drain]
+///                      [--no-drain] [--no-journal]
+///                      [--log-level debug|info|warn|error|off]
 ///
 ///   --max-pending N      bounded SUBMIT queue: reject with `ERR busy` while
 ///                        N campaigns are already queued or running
@@ -24,6 +25,8 @@
 ///                        LRU past the cap, 0 = unbounded, default 8)
 ///
 ///   --once   drain the spool once, wait for those campaigns, and exit.
+///   --no-journal   skip the per-campaign out/<id>/events.jsonl audit journal
+///   --log-level L  log verbosity (default info)
 
 #include <chrono>
 #include <csignal>
@@ -49,7 +52,8 @@ int usage(const char* argv0) {
             << " --root DIR [--threads N] [--snapshot-every N] [--poll-ms N]"
                " [--no-cache] [--cache-max-bytes N]"
                " [--baseline-cache-entries N] [--no-socket] [--socket PATH]"
-               " [--max-pending N] [--once] [--no-drain]\n";
+               " [--max-pending N] [--once] [--no-drain] [--no-journal]"
+               " [--log-level debug|info|warn|error|off]\n";
   return 2;
 }
 
@@ -63,6 +67,7 @@ int main(int argc, char** argv) {
   bool once = false;
   bool drain_on_exit = true;
   long poll_ms = 250;
+  LogLevel log_level = LogLevel::kInfo;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -83,6 +88,15 @@ int main(int argc, char** argv) {
     else if (arg == "--no-cache") config.enable_cache = false;
     else if (arg == "--no-socket") use_socket = false;
     else if (arg == "--socket") socket_path = value();
+    else if (arg == "--no-journal") config.enable_journal = false;
+    else if (arg == "--log-level") {
+      const std::optional<LogLevel> parsed = parse_log_level(value());
+      if (!parsed) {
+        std::cerr << "--log-level wants debug|info|warn|error|off\n";
+        return 2;
+      }
+      log_level = *parsed;
+    }
     else if (arg == "--once") once = true;
     else if (arg == "--no-drain") drain_on_exit = false;
     else return usage(argv[0]);
@@ -92,7 +106,7 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
-  set_log_threshold(LogLevel::kInfo);
+  set_log_threshold(log_level);
 
   try {
     SessionService service(config);

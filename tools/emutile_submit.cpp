@@ -7,8 +7,8 @@
 /// codepath the campaign coordinator uses.
 ///
 ///   $ emutile_submit --root DIR [--socket PATH] [--spool] [--priority N]
-///                    [--wait] [--status ID | --list | --cancel ID | --cache]
-///                    SPEC...
+///                    [--wait] [--status ID | --list | --cancel ID | --cache
+///                    | --metrics [json]] SPEC...
 ///
 /// Spec files are validated locally before submission, so malformed specs
 /// fail fast with a parse error instead of landing in spool/rejected/.
@@ -30,7 +30,8 @@ namespace {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --root DIR [--socket PATH] [--spool] [--priority N] [--wait]"
-               " [--status ID | --list | --cancel ID | --cache] SPEC...\n";
+               " [--status ID | --list | --cancel ID | --cache"
+               " | --metrics [json]] SPEC...\n";
   return 2;
 }
 
@@ -62,6 +63,14 @@ int main(int argc, char** argv) {
     else if (arg == "--status") one_shot = std::string("STATUS ") + value();
     else if (arg == "--cancel") one_shot = std::string("CANCEL ") + value();
     else if (arg == "--cache") one_shot = "CACHE";
+    else if (arg == "--metrics") {
+      // Optional bare "json" operand selects the JSON exposition.
+      one_shot = "METRICS";
+      if (i + 1 < argc && std::string(argv[i + 1]) == "json") {
+        one_shot += " json";
+        ++i;
+      }
+    }
     else if (!arg.empty() && arg[0] == '-') return usage(argv[0]);
     else specs.emplace_back(arg);
   }
