@@ -30,6 +30,7 @@
 #include "campaign/campaign_engine.hpp"
 #include "debug/debug_loop.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/stats.hpp"
 
 using namespace emutile;
@@ -78,6 +79,34 @@ double metrics_overhead_pct(double session_wall_s) {
   if (session_wall_s <= 0.0) return 0.0;
   const double per_op_s = elapsed_s / static_cast<double>(kCalibrationOps);
   return 100.0 * per_op_s * static_cast<double>(kRecordOpsPerSession) /
+         session_wall_s;
+}
+
+/// Spans a session actually opens: one session.run, six phases, a cache
+/// lookup, and a localizer.round per iteration — tens, not hundreds. 64 is
+/// comfortably above the real count.
+constexpr std::uint64_t kSpanOpsPerSession = 64;
+
+/// Same calibration for the tracing hot path: one full ScopedSpan
+/// open/close cycle (TLS frame push/pop + striped ring append), projected
+/// onto a per-session span budget. Compiled out, it certifies ~zero.
+double tracing_overhead_pct(double session_wall_s) {
+  Tracer tracer;
+  constexpr std::uint64_t kCalibrationSpans = 100'000;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < kCalibrationSpans; ++i) {
+    const ScopedSpan span(tracer, "bench.calibration.span");
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  // Defeat dead-code elimination: the tracer must have buffered something
+  // (ring capacity bounds how much survives) unless tracing is compiled out.
+  if (Tracer::enabled() && tracer.collect(false).empty())
+    std::cerr << "calibration anomaly\n";
+  if (session_wall_s <= 0.0) return 0.0;
+  const double per_span_s = elapsed_s / static_cast<double>(kCalibrationSpans);
+  return 100.0 * per_span_s * static_cast<double>(kSpanOpsPerSession) /
          session_wall_s;
 }
 
@@ -183,15 +212,22 @@ int main(int argc, char** argv) {
             << "warm-started builds: " << current.warm_builds << " of "
             << timed << " sessions\n";
 
-  // Observability overhead gate: the metrics layer's recording cost,
-  // calibrated per-op and projected onto a generous per-session op budget,
-  // must stay under 2% of the mean session wall time.
+  // Observability overhead gate: the metrics and tracing layers' combined
+  // recording cost, each calibrated per-op and projected onto a generous
+  // per-session op budget, must stay under 2% of the mean session wall time.
   const double overhead_pct = metrics_overhead_pct(current_mean);
+  const double trace_pct = tracing_overhead_pct(current_mean);
+  const double combined_pct = overhead_pct + trace_pct;
   std::cout << "metrics recording overhead: " << Table::fmt(overhead_pct, 3)
             << "% of mean session wall (budget " << kRecordOpsPerSession
-            << " ops/session, gate < 2%)\n";
-  if (overhead_pct >= 2.0) {
-    std::cerr << "FAIL: metrics overhead " << overhead_pct
+            << " ops/session)\n"
+            << "tracing span overhead: " << Table::fmt(trace_pct, 3)
+            << "% of mean session wall (budget " << kSpanOpsPerSession
+            << " spans/session)\n"
+            << "combined observability overhead: "
+            << Table::fmt(combined_pct, 3) << "% (gate < 2%)\n";
+  if (combined_pct >= 2.0) {
+    std::cerr << "FAIL: metrics+tracing overhead " << combined_pct
               << "% >= 2% of session wall time\n";
     return 1;
   }
@@ -203,9 +239,11 @@ int main(int argc, char** argv) {
     metrics.add("debug_work_ratio", work_ratio);
     metrics.add("cold_build_ratio", cold_ratio);
     metrics.add("debug_work_units", current_work);
-    // Informational. (metrics_overhead_pct is deliberately not a guarded
-    // `_ratio` key: the <2% gate above already enforces it exactly.)
+    // Informational. (The overhead keys are deliberately not guarded
+    // `_ratio` keys: the <2% gate above already enforces them exactly.)
     metrics.add("metrics_overhead_pct", overhead_pct);
+    metrics.add("tracing_overhead_pct", trace_pct);
+    metrics.add("observability_overhead_pct", combined_pct);
     metrics.add("mean_session_wall_legacy_s", legacy_mean);
     metrics.add("mean_session_wall_current_s", current_mean);
     for (std::size_t p = 0; p < kNumSessionPhases; ++p)

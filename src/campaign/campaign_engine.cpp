@@ -2,7 +2,9 @@
 
 #include <chrono>
 #include <exception>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <utility>
 
@@ -13,6 +15,7 @@
 #include "eco/eco_strategies.hpp"
 #include "hier/hierarchy.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
@@ -129,6 +132,7 @@ SessionOutcome run_campaign_session(const CampaignSpec& spec,
     // Cache IO failures (unreadable directory, disk trouble) must not break
     // the never-throws contract — they degrade to an uncached run.
     try {
+      const ScopedSpan lookup_span(Tracer::global(), "cache.lookup");
       if (std::optional<CachedSession> hit = cache->load(key)) {
         if (lookup) *lookup = CacheLookup::kHit;
         return from_cached(*hit);
@@ -165,6 +169,28 @@ SessionOutcome run_campaign_session(const CampaignSpec& spec,
                                       baseline_t0)
             .count();
   }
+  // Per-phase trace spans: on_phase fires just before each phase on this
+  // thread, so the hook closes the previous phase's span and opens the next
+  // (the TLS parent — session.run — is already on the stack). The span state
+  // sits behind a shared_ptr because hooks are copyable std::functions.
+  struct PhaseSpans {
+    std::optional<ScopedSpan> open;
+    void enter(SessionPhase phase) {
+      open.reset();
+      open.emplace(Tracer::global(),
+                   std::string("session.phase.") + to_string(phase));
+    }
+  };
+  std::shared_ptr<PhaseSpans> phase_spans;
+  if (Tracer::enabled()) {
+    phase_spans = std::make_shared<PhaseSpans>();
+    const auto user_hook = std::move(session.hooks.on_phase);
+    session.hooks.on_phase = [user_hook, phase_spans](SessionPhase phase) {
+      if (user_hook && !user_hook(phase)) return false;
+      phase_spans->enter(phase);
+      return true;
+    };
+  }
   if (cancel) {
     // Compose campaign cancellation with any caller-provided hook.
     const auto user_hook = std::move(session.hooks.on_phase);
@@ -175,6 +201,7 @@ SessionOutcome run_campaign_session(const CampaignSpec& spec,
   }
   try {
     out.report = run_debug_session(golden, session);
+    if (phase_spans) phase_spans->open.reset();
     if (baseline_wall_seconds > 0.0) {
       out.report.phase_seconds[static_cast<std::size_t>(
           SessionPhase::kBuild)] += baseline_wall_seconds;
@@ -195,6 +222,7 @@ SessionOutcome run_campaign_session(const CampaignSpec& spec,
       }
     }
   } catch (const std::exception& e) {
+    if (phase_spans) phase_spans->open.reset();
     out.error = e.what();
   }
   // A cancelled outcome reflects this driver's state, not the spec, and an

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
 #include "designs/catalog.hpp"
 #include "util/check.hpp"
@@ -308,6 +309,25 @@ std::uint64_t spec_content_hash(const CampaignSpec& spec) {
 
 std::string spec_content_hash_hex(const CampaignSpec& spec) {
   return format_u64_hex(spec_content_hash(spec));
+}
+
+std::string prepend_traceparent(const std::string& spec_text,
+                                const std::string& traceparent) {
+  if (traceparent.empty()) return spec_text;
+  return "# traceparent=" + traceparent + "\n" + spec_text;
+}
+
+std::string extract_traceparent(const std::string& spec_text) {
+  static constexpr std::string_view kPrefix = "# traceparent=";
+  std::istringstream in(spec_text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] != '#') return "";  // past the comment preamble
+    if (line.compare(0, kPrefix.size(), kPrefix) == 0)
+      return line.substr(kPrefix.size());
+  }
+  return "";
 }
 
 }  // namespace emutile

@@ -59,4 +59,15 @@ namespace emutile {
 /// `v` as 16 lowercase hex digits (spec hashes, cache entry names).
 [[nodiscard]] std::string format_u64_hex(std::uint64_t v);
 
+/// Trace-context transport for *spool* submissions, where there is no
+/// request line to carry a `traceparent=` token: the context rides as a
+/// `# traceparent=<trace>-<span>` comment prepended to the spec text. The
+/// parser skips comments, the canonical serialization never emits them, so
+/// content hashes, cache keys, and spec round-trips are all unaffected.
+[[nodiscard]] std::string prepend_traceparent(const std::string& spec_text,
+                                              const std::string& traceparent);
+
+/// The traceparent comment's value if `spec_text` carries one, else "".
+[[nodiscard]] std::string extract_traceparent(const std::string& spec_text);
+
 }  // namespace emutile

@@ -8,6 +8,7 @@
 #include "debug/test_logic.hpp"
 #include "netlist/netlist_ops.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "route/router.hpp"
 #include "sim/simulator.hpp"
 #include "util/check.hpp"
@@ -203,6 +204,9 @@ LocalizeResult localize(TiledDesign& dut, const Netlist& golden,
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     if (candidates.size() <= options.stop_at) break;
 
+    // Child of whatever span is active on this thread (session.phase.localize
+    // when the session runs under the service).
+    const ScopedSpan round_span(Tracer::global(), "localizer.round");
     LocalizeIteration it;
     it.candidates_before = candidates.size();
 

@@ -41,8 +41,10 @@ void append_json_string(std::ostringstream& os, std::string_view s) {
 }  // namespace
 
 EventJournal::EventJournal(const std::filesystem::path& path,
-                           std::string campaign_id)
-    : path_(path), campaign_id_(std::move(campaign_id)) {
+                           std::string campaign_id, std::string trace_hex)
+    : path_(path),
+      campaign_id_(std::move(campaign_id)),
+      trace_hex_(std::move(trace_hex)) {
   std::error_code ec;
   if (path_.has_parent_path())
     std::filesystem::create_directories(path_.parent_path(), ec);
@@ -54,7 +56,9 @@ void EventJournal::record(std::string_view event,
                           std::initializer_list<Field> fields) {
   if (!ok_) return;
   std::ostringstream os;
-  os << "{\"t_us\":" << journal_now_us() << ",\"campaign\":";
+  os << "{\"schema\":1,\"t_us\":" << journal_now_us() << ",\"trace_id\":";
+  append_json_string(os, trace_hex_);
+  os << ",\"campaign\":";
   append_json_string(os, campaign_id_);
   os << ",\"event\":";
   append_json_string(os, event);

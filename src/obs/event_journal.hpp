@@ -4,6 +4,11 @@
 /// run): submit/schedule/session-start/cache-hit/retry/finalize records with
 /// monotonic timestamps, written to `out/<id>/events.jsonl`.
 ///
+/// Record schema (v1): every line carries `"schema":1`, the monotonic
+/// `"t_us"` stamp, a `"trace_id"` (16-hex trace id when the campaign is
+/// traced, "" otherwise — joins journal lines against trace.json spans),
+/// the `"campaign"` id, the `"event"` name, then event-specific fields.
+///
 /// The journal is an *audit* artifact, deliberately separate from the
 /// deterministic report/CSV/JSON emitters: timestamps are wall-progression
 /// data and must never leak into artifacts that two identical runs are
@@ -50,14 +55,17 @@ class EventJournal {
   };
 
   /// Opens (appends to) `path`, creating parent directories. A journal that
-  /// fails to open becomes inert rather than throwing.
-  EventJournal(const std::filesystem::path& path, std::string campaign_id);
+  /// fails to open becomes inert rather than throwing. `trace_hex` is the
+  /// 16-hex trace id stamped onto every record ("" when untraced).
+  EventJournal(const std::filesystem::path& path, std::string campaign_id,
+               std::string trace_hex = "");
 
   EventJournal(const EventJournal&) = delete;
   EventJournal& operator=(const EventJournal&) = delete;
 
-  /// Append `{"t_us":N,"campaign":"...","event":"...", <fields>...}` as one
-  /// line with a single flushed write. Never throws.
+  /// Append `{"schema":1,"t_us":N,"trace_id":"...","campaign":"...",
+  /// "event":"...", <fields>...}` as one line with a single flushed write.
+  /// Never throws.
   void record(std::string_view event, std::initializer_list<Field> fields = {});
 
   [[nodiscard]] bool ok() const { return ok_; }
@@ -66,6 +74,7 @@ class EventJournal {
  private:
   std::filesystem::path path_;
   std::string campaign_id_;
+  std::string trace_hex_;
   std::mutex mutex_;
   std::ofstream out_;
   bool ok_ = false;

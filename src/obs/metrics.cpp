@@ -1,7 +1,10 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <sstream>
 
 #include "util/check.hpp"
@@ -157,17 +160,40 @@ std::string MetricsSnapshot::to_json() const {
   return os.str();
 }
 
+namespace {
+
+/// Strict decimal u64: digits only, full consume, overflow rejected. The
+/// wire exposition may arrive corrupted from a peer, so every numeric field
+/// goes through this instead of std::stoull (which throws std::out_of_range
+/// / std::invalid_argument outside the CheckError contract).
+std::uint64_t parse_u64_strict(const std::string& digits,
+                               const std::string& line) {
+  EMUTILE_CHECK(!digits.empty(), "empty number in metrics line: " << line);
+  for (const char c : digits)
+    EMUTILE_CHECK(c >= '0' && c <= '9',
+                  "non-numeric value in metrics line: " << line);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(digits.c_str(), &end, 10);
+  EMUTILE_CHECK(errno != ERANGE && end == digits.c_str() + digits.size(),
+                "overflowing value in metrics line: " << line);
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
 MetricsSnapshot parse_metrics_text(const std::string& text) {
   MetricsSnapshot snap;
   std::istringstream in(text);
   std::string line;
-  const auto keyed = [](const std::string& token, const char* key) {
+  const auto keyed = [](const std::string& token, const char* key,
+                        const std::string& line) {
     const std::size_t klen = std::strlen(key);
     EMUTILE_CHECK(token.compare(0, klen, key) == 0 && token.size() > klen &&
                       token[klen] == '=',
                   "metrics line: expected '" << key << "=...', got '" << token
                                              << "'");
-    return std::stoull(token.substr(klen + 1));
+    return parse_u64_strict(token.substr(klen + 1), line);
   };
   while (std::getline(in, line)) {
     if (line.empty()) continue;
@@ -175,29 +201,54 @@ MetricsSnapshot parse_metrics_text(const std::string& text) {
     std::string kind, name;
     ls >> kind >> name;
     EMUTILE_CHECK(!name.empty(), "metrics line missing a name: " << line);
+    std::string tok;
     if (kind == "counter") {
-      std::uint64_t value = 0;
-      ls >> value;
-      EMUTILE_CHECK(!ls.fail(), "bad counter line: " << line);
-      snap.counters[name] += value;
+      // Read the value as a token, not via istream's uint64 extraction: the
+      // stream form silently wraps "-5" to 2^64-5 instead of rejecting it.
+      EMUTILE_CHECK(static_cast<bool>(ls >> tok),
+                    "truncated counter line: " << line);
+      const std::uint64_t value = parse_u64_strict(tok, line);
+      EMUTILE_CHECK(!(ls >> tok), "trailing token in counter line: " << line);
+      EMUTILE_CHECK(snap.counters.emplace(name, value).second,
+                    "duplicate counter series: " << name);
     } else if (kind == "gauge") {
-      std::int64_t value = 0;
-      ls >> value;
-      EMUTILE_CHECK(!ls.fail(), "bad gauge line: " << line);
-      snap.gauges[name] += value;
+      EMUTILE_CHECK(static_cast<bool>(ls >> tok),
+                    "truncated gauge line: " << line);
+      const bool negative = tok[0] == '-';
+      const std::uint64_t magnitude =
+          parse_u64_strict(negative ? tok.substr(1) : tok, line);
+      EMUTILE_CHECK(magnitude <= static_cast<std::uint64_t>(
+                                     std::numeric_limits<std::int64_t>::max()),
+                    "overflowing gauge value in: " << line);
+      const auto value = negative ? -static_cast<std::int64_t>(magnitude)
+                                  : static_cast<std::int64_t>(magnitude);
+      EMUTILE_CHECK(!(ls >> tok), "trailing token in gauge line: " << line);
+      EMUTILE_CHECK(snap.gauges.emplace(name, value).second,
+                    "duplicate gauge series: " << name);
     } else if (kind == "hist") {
       HistogramSnapshot h;
-      std::string tok;
-      ls >> tok;
-      h.count = keyed(tok, "count");
-      ls >> tok;
-      h.sum = keyed(tok, "sum");
-      ls >> tok;
-      h.min = keyed(tok, "min");
-      ls >> tok;
-      h.max = keyed(tok, "max");
-      ls >> tok >> tok >> tok;  // p50/p90/p99: derived, recomputed on demand
-      ls >> tok;
+      EMUTILE_CHECK(static_cast<bool>(ls >> tok),
+                    "truncated hist line: " << line);
+      h.count = keyed(tok, "count", line);
+      EMUTILE_CHECK(static_cast<bool>(ls >> tok),
+                    "truncated hist line: " << line);
+      h.sum = keyed(tok, "sum", line);
+      EMUTILE_CHECK(static_cast<bool>(ls >> tok),
+                    "truncated hist line: " << line);
+      h.min = keyed(tok, "min", line);
+      EMUTILE_CHECK(static_cast<bool>(ls >> tok),
+                    "truncated hist line: " << line);
+      h.max = keyed(tok, "max", line);
+      // p50/p90/p99 are derived (recomputed from the buckets on demand) but
+      // their presence is part of the format — a missing one means the line
+      // was truncated, not that the field was optional.
+      for (const char* q : {"p50", "p90", "p99"}) {
+        EMUTILE_CHECK(static_cast<bool>(ls >> tok),
+                      "truncated hist line: " << line);
+        static_cast<void>(keyed(tok, q, line));
+      }
+      EMUTILE_CHECK(static_cast<bool>(ls >> tok),
+                    "truncated hist line: " << line);
       EMUTILE_CHECK(tok.rfind("buckets=", 0) == 0,
                     "hist line missing buckets=: " << line);
       std::string list = tok.substr(std::strlen("buckets="));
@@ -208,14 +259,26 @@ MetricsSnapshot parse_metrics_text(const std::string& text) {
                       "bad bucket entry in: " << line);
         std::size_t comma = list.find(',', colon);
         if (comma == std::string::npos) comma = list.size();
-        const auto index = static_cast<std::uint32_t>(
-            std::stoul(list.substr(pos, colon - pos)));
+        const std::uint64_t wide =
+            parse_u64_strict(list.substr(pos, colon - pos), line);
+        // An out-of-range index would hit undefined shifts in bucket_bounds
+        // when a quantile is later read off the snapshot.
+        EMUTILE_CHECK(wide < MetricHistogram::kNumBuckets,
+                      "bucket index out of range in: " << line);
+        const auto index = static_cast<std::uint32_t>(wide);
         const std::uint64_t c =
-            std::stoull(list.substr(colon + 1, comma - colon - 1));
+            parse_u64_strict(list.substr(colon + 1, comma - colon - 1), line);
+        EMUTILE_CHECK(h.buckets.empty() || index > h.buckets.back().first,
+                      "bucket indices not ascending in: " << line);
         h.buckets.emplace_back(index, c);
         pos = comma + 1;
       }
-      snap.histograms[name].merge(h);
+      // (No bucket-sum == count cross-check: a snapshot taken while
+      // recorders are mid-flight is transiently skewed — relaxed atomics —
+      // and the live console parses exactly such snapshots.)
+      EMUTILE_CHECK(!(ls >> tok), "trailing token in hist line: " << line);
+      EMUTILE_CHECK(snap.histograms.emplace(name, std::move(h)).second,
+                    "duplicate hist series: " << name);
     } else {
       EMUTILE_CHECK(false, "unknown metrics line kind: " << kind);
     }

@@ -1,0 +1,53 @@
+#pragma once
+/// \file trace_io.hpp
+/// Serialization for TraceSpan collections, in two shapes:
+///
+///   wire text  the TRACESPANS reply body — line-oriented like the metrics
+///              exposition, round-trips exactly:
+///                emutile-trace v1
+///                span <name> trace=<hex16> span=<hex16> parent=<hex16>
+///                     start_us=<N> dur_us=<N> pid=<N> tid=<N> open=<0|1>
+///                end
+///              (one `span` line per span; names carry no whitespace)
+///
+///   Chrome trace-event JSON  what `out/<id>/trace.json` and the fleet's
+///              `fleet_trace.json` hold — complete ("ph":"X") events that
+///              load directly in Perfetto / chrome://tracing. Only closed
+///              spans are exported; an open span has no defensible `dur`.
+///
+/// Plus the small span-algebra the coordinator's stitcher needs: shifting a
+/// remote instance's spans onto the local clock and deduplicating by span id
+/// (re-dispatches and in-process test fleets can surface one span twice).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace emutile {
+
+/// Wire text for a span collection. Throws CheckError if a span name
+/// contains whitespace or newlines (names are code-controlled; a violation
+/// is a bug, not bad input).
+[[nodiscard]] std::string trace_spans_to_text(
+    const std::vector<TraceSpan>& spans);
+
+/// Parse the wire text back. Throws CheckError on malformed input.
+/// parse(to_text(s)) == s field-for-field.
+[[nodiscard]] std::vector<TraceSpan> parse_trace_spans_text(
+    const std::string& text);
+
+/// Chrome trace-event JSON (the `{"traceEvents":[...]}` object form).
+/// Open spans are skipped.
+[[nodiscard]] std::string trace_events_json(
+    const std::vector<TraceSpan>& spans);
+
+/// Shift every span's start by `offset_us` (clock-offset correction),
+/// clamping at 0.
+void shift_spans(std::vector<TraceSpan>& spans, std::int64_t offset_us);
+
+/// Keep the first occurrence of each span id, preserving order.
+[[nodiscard]] std::vector<TraceSpan> dedup_spans(std::vector<TraceSpan> spans);
+
+}  // namespace emutile

@@ -1,12 +1,14 @@
 #include "orchestrator/campaign_coordinator.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <thread>
 #include <utility>
 
 #include "campaign/campaign_engine.hpp"
 #include "campaign/campaign_report_io.hpp"
 #include "campaign/campaign_spec_io.hpp"
+#include "obs/trace_io.hpp"
 #include "service/service_client.hpp"
 #include "util/check.hpp"
 #include "util/file_io.hpp"
@@ -58,20 +60,33 @@ bool CampaignCoordinator::dispatch(ShardWork& shard,
     const std::size_t index = (rr_cursor_ + probe) % instances.size();
     InstanceState& instance = instances[index];
     if (!instance.healthy) continue;
+    // Each dispatch attempt gets its own synthesized span under the run
+    // root; the context travels as the SUBMIT traceparent so the remote
+    // campaign's spans hang off this exact attempt (re-dispatches stay
+    // distinguishable in the stitched trace).
+    const bool traced = Tracer::enabled() && run_root_.valid();
+    const TraceContext dispatch_ctx =
+        traced ? Tracer::global().child_context(run_root_) : TraceContext{};
+    const std::string traceparent =
+        traced ? format_traceparent(dispatch_ctx) : std::string();
+    const std::uint64_t dispatch_start_us = traced ? journal_now_us() : 0;
     try {
       if (instance.config->address == InstanceAddress::kSocket) {
         const ServiceClient client(instance.config->path,
                                    options_.request_timeout_ms);
-        shard.progress.campaign_id =
-            client.submit(shard.text, options_.priority, name_hint);
+        shard.progress.campaign_id = client.submit(
+            shard.text, options_.priority, name_hint, traceparent);
       } else {
         // Spool instances get the spec dropped into <root>/spool; the id is
         // daemon-assigned, so poll_shard discovers the output directory by
-        // matching the canonical spec text instead.
+        // matching the canonical spec text instead. The traceparent rides a
+        // comment line the canonical serialization never carries, so the
+        // spec-text matching below still works on the out dir's spec.txt.
         shard.progress.campaign_id.clear();
         shard.spool_out_dir.clear();
-        static_cast<void>(
-            spool_submit_spec(instance.config->path, name_hint, shard.text));
+        static_cast<void>(spool_submit_spec(
+            instance.config->path, name_hint,
+            prepend_traceparent(shard.text, traceparent)));
       }
     } catch (const ServiceClient::BusyError&) {
       // Loaded but alive: leave it healthy, try the next instance. If the
@@ -84,6 +99,10 @@ bool CampaignCoordinator::dispatch(ShardWork& shard,
       instance.healthy = false;
       continue;
     }
+    if (traced)
+      Tracer::global().record_span("orchestrate.dispatch", dispatch_ctx,
+                                   run_root_.span_id, dispatch_start_us,
+                                   journal_now_us() - dispatch_start_us);
     shard.instance_index = index;
     shard.progress.instance = instance.config->name;
     shard.progress.state = ShardState::kRemote;
@@ -233,6 +252,10 @@ void CampaignCoordinator::run_local(ShardWork& shard) {
   if (options_.journal)
     options_.journal->record("local-fallback",
                              {{"shard", shard.progress.shard}});
+  // Explicit parent: the in-process fallback runs on the supervision thread,
+  // but the run root was opened via record_span, not the TLS stack.
+  const ScopedSpan local_span(Tracer::global(), "orchestrate.local",
+                              run_root_);
   shard.report = run_campaign(shard.spec, options);
   shard.progress.state = ShardState::kDone;
   shard.progress.sessions_done = shard.progress.sessions_total;
@@ -262,6 +285,16 @@ OrchestrationResult CampaignCoordinator::run(const CampaignSpec& spec) {
   rr_cursor_ = 0;
   redispatches_ = 0;
   local_shards_ = 0;
+
+  // Root the run's trace: adopt the caller's context or mint a fresh trace.
+  // orchestrate.run is synthesized at the end (record_span) rather than
+  // scoped, so dispatch() can parent on it from the first tick.
+  run_root_ = TraceContext{};
+  std::uint64_t run_start_us = 0;
+  if (Tracer::enabled()) {
+    run_root_ = Tracer::global().child_context(options_.trace);
+    run_start_us = journal_now_us();
+  }
 
   // A spec that cannot travel the wire (custom netlist builders) can still
   // be orchestrated — entirely in-process.
@@ -369,6 +402,71 @@ OrchestrationResult CampaignCoordinator::run(const CampaignSpec& spec) {
     if (options_.journal)
       options_.journal->record("fleet-metrics",
                                {{"instances", result.metrics_instances}});
+  }
+
+  // Fleet trace stitching: close the run root, then pull every socket
+  // instance's span buffer over TRACESPANS and splice it onto the local
+  // clock. journal_now_us() is a per-process epoch, so remote stamps mean
+  // nothing here as-is; the reply's now_us was taken roughly at the
+  // exchange midpoint, so midpoint - now_us estimates the remote→local
+  // offset (symmetric-latency assumption, the NTP one). Best-effort like
+  // the metrics merge — a dead instance loses its spans, never the run.
+  if (Tracer::enabled() && run_root_.valid()) {
+    Tracer& tracer = Tracer::global();
+    tracer.record_span("orchestrate.run", run_root_,
+                       options_.trace.valid() ? options_.trace.span_id : 0,
+                       run_start_us, journal_now_us() - run_start_us);
+    result.trace = run_root_;
+    if (options_.collect_trace) {
+      std::vector<TraceSpan> stitched =
+          tracer.collect_trace(run_root_.trace_id, /*include_open=*/false);
+      for (const InstanceState& instance : instances) {
+        if (instance.config->address != InstanceAddress::kSocket) continue;
+        try {
+          const ServiceClient client(instance.config->path,
+                                     options_.request_timeout_ms);
+          const std::uint64_t t0 = journal_now_us();
+          RemoteTraceSpans remote = client.fetch_trace_spans();
+          const std::uint64_t t1 = journal_now_us();
+          const std::int64_t offset =
+              static_cast<std::int64_t>((t0 + t1) / 2) -
+              static_cast<std::int64_t>(remote.now_us);
+          std::vector<TraceSpan> spans = std::move(remote.spans);
+          // Other traces' spans (and still-open ones — no defensible
+          // duration) stay behind.
+          spans.erase(
+              std::remove_if(spans.begin(), spans.end(),
+                             [&](const TraceSpan& s) {
+                               return s.open ||
+                                      s.trace_id != run_root_.trace_id;
+                             }),
+              spans.end());
+          shift_spans(spans, offset);
+          stitched.insert(stitched.end(),
+                          std::make_move_iterator(spans.begin()),
+                          std::make_move_iterator(spans.end()));
+          ++result.trace_instances;
+        } catch (const std::exception& e) {
+          EMUTILE_WARN("fleet instance '" << instance.config->name
+                                          << "' skipped in the trace stitch: "
+                                          << e.what());
+        }
+      }
+      // In-process fleets share one global tracer, so a span can arrive both
+      // locally and over the wire — keep the first copy, then restore the
+      // canonical (start_us, span_id) order the shifts may have disturbed.
+      stitched = dedup_spans(std::move(stitched));
+      std::sort(stitched.begin(), stitched.end(),
+                [](const TraceSpan& a, const TraceSpan& b) {
+                  return a.start_us != b.start_us ? a.start_us < b.start_us
+                                                  : a.span_id < b.span_id;
+                });
+      result.fleet_trace = std::move(stitched);
+      if (options_.journal)
+        options_.journal->record("fleet-trace",
+                                 {{"instances", result.trace_instances},
+                                  {"spans", result.fleet_trace.size()}});
+    }
   }
   return result;
 }

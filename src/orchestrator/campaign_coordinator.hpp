@@ -47,6 +47,7 @@
 #include "campaign/campaign_spec.hpp"
 #include "obs/event_journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "orchestrator/fleet_config_io.hpp"
 
 namespace emutile {
@@ -115,6 +116,16 @@ struct CoordinatorOptions {
   /// events.jsonl): dispatch/retry/local-fallback/collect records stream
   /// into it as the run progresses. May be null; must outlive run().
   EventJournal* journal = nullptr;
+  /// Trace context the whole run is parented on. Invalid (the default) mints
+  /// a fresh trace per run(); the orchestrate tool passes its own root so a
+  /// re-used coordinator keeps one trace per invocation.
+  TraceContext trace{};
+  /// After every shard is collected, fetch TRACESPANS from each socket
+  /// instance, shift the spans onto the local clock (clock-offset correction
+  /// via the request/reply midpoint), and stitch everything reachable under
+  /// this run's trace id into OrchestrationResult::fleet_trace. Same
+  /// best-effort stance as collect_metrics.
+  bool collect_trace = true;
 };
 
 /// What an orchestrated campaign produced, beyond the merged report.
@@ -129,6 +140,13 @@ struct OrchestrationResult {
   /// collect_metrics is off or no instance answered.
   MetricsSnapshot fleet_metrics;
   std::size_t metrics_instances = 0;  ///< instances that contributed
+  /// Closed spans from this run's trace, stitched across the fleet: the
+  /// coordinator's own spans plus every reachable socket instance's, clock-
+  /// offset-corrected, deduplicated by span id, sorted by start. Empty when
+  /// collect_trace is off or tracing is compiled out.
+  std::vector<TraceSpan> fleet_trace;
+  std::size_t trace_instances = 0;  ///< instances that contributed spans
+  TraceContext trace{};             ///< the run's root context (invalid when off)
 };
 
 class CampaignCoordinator {
@@ -165,6 +183,7 @@ class CampaignCoordinator {
   std::size_t rr_cursor_ = 0;     ///< round-robin dispatch position
   std::size_t redispatches_ = 0;
   std::size_t local_shards_ = 0;
+  TraceContext run_root_{};       ///< this run's orchestrate.run context
 };
 
 /// Adaptive-round executor backed by a fleet coordinator: each round is

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/trace_io.hpp"
 #include "service/service_endpoint.hpp"
 #include "util/file_io.hpp"
 
@@ -52,10 +53,12 @@ bool ServiceClient::ping() const noexcept {
 }
 
 std::string ServiceClient::submit(const std::string& spec_text, int priority,
-                                  const std::string& name_hint) const {
+                                  const std::string& name_hint,
+                                  const std::string& traceparent) const {
   std::ostringstream os;
   os << "SUBMIT " << priority;
   if (!name_hint.empty()) os << " " << name_hint;
+  if (!traceparent.empty()) os << " traceparent=" << traceparent;
   os << "\n" << spec_text;
   const std::string response = request(os.str());
   if (response.rfind("ERR busy", 0) == 0)
@@ -145,6 +148,29 @@ std::string ServiceClient::fetch_metrics(bool json) const {
   static_cast<void>(expect_ok(response, "METRICS"));
   const std::size_t eol = response.find('\n');
   return eol == std::string::npos ? std::string() : response.substr(eol + 1);
+}
+
+RemoteTraceSpans ServiceClient::fetch_trace_spans() const {
+  const std::string response = request("TRACESPANS\n");
+  const std::string line = expect_ok(response, "TRACESPANS");
+  // `OK now_us=<n> spans=<n>` followed by the emutile-trace text body.
+  std::istringstream in(line);
+  std::string now_tok, count_tok;
+  EMUTILE_CHECK(in >> now_tok >> count_tok,
+                "malformed TRACESPANS line from " << socket_path_ << ": "
+                                                  << line);
+  RemoteTraceSpans result;
+  result.now_us = keyed_count(now_tok, "now_us");
+  const std::size_t declared = keyed_count(count_tok, "spans");
+  const std::size_t eol = response.find('\n');
+  const std::string body =
+      eol == std::string::npos ? std::string() : response.substr(eol + 1);
+  result.spans = parse_trace_spans_text(body);
+  EMUTILE_CHECK(result.spans.size() == declared,
+                "TRACESPANS from " << socket_path_ << " declared " << declared
+                                   << " spans, body carried "
+                                   << result.spans.size());
+  return result;
 }
 
 std::filesystem::path spool_submit_spec(const std::filesystem::path& root,

@@ -13,9 +13,12 @@
 /// BusyError).
 
 #include <cstddef>
+#include <cstdint>
 #include <filesystem>
 #include <string>
+#include <vector>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace emutile {
@@ -49,6 +52,14 @@ struct RemoteCacheStats {
   std::size_t stores = 0;
 };
 
+/// Parsed form of a TRACESPANS response: the instance's buffered spans plus
+/// its journal clock at reply time (`now_us`), which is what the
+/// coordinator's midpoint clock-offset correction needs.
+struct RemoteTraceSpans {
+  std::vector<TraceSpan> spans;
+  std::uint64_t now_us = 0;
+};
+
 class ServiceClient {
  public:
   /// Thrown by submit() when the daemon answered `ERR busy` (bounded queue
@@ -75,11 +86,14 @@ class ServiceClient {
   /// a stale socket file, or a timeout all read as "not up".
   [[nodiscard]] bool ping() const noexcept;
 
-  /// SUBMIT `spec_text`; returns the daemon-assigned campaign id. Throws
-  /// BusyError on `ERR busy`, CheckError on any other failure.
+  /// SUBMIT `spec_text`; returns the daemon-assigned campaign id. A
+  /// non-empty `traceparent` (format_traceparent form) rides as the
+  /// `traceparent=` token so the daemon parents its spans on the caller's.
+  /// Throws BusyError on `ERR busy`, CheckError on any other failure.
   [[nodiscard]] std::string submit(const std::string& spec_text,
                                    int priority = 0,
-                                   const std::string& name_hint = "") const;
+                                   const std::string& name_hint = "",
+                                   const std::string& traceparent = "") const;
 
   /// STATUS of one campaign. Throws CheckError (e.g. unknown id).
   [[nodiscard]] RemoteCampaignStatus status(const std::string& id) const;
@@ -109,6 +123,11 @@ class ServiceClient {
   /// instances) or JSON with `json=true`. Returns the payload without the
   /// leading "OK <format>" line.
   [[nodiscard]] std::string fetch_metrics(bool json = false) const;
+
+  /// TRACESPANS: the instance's buffered trace spans (open ones included)
+  /// plus its reply-time clock. Throws CheckError on refusal or a reply
+  /// that does not parse.
+  [[nodiscard]] RemoteTraceSpans fetch_trace_spans() const;
 
  private:
   /// Strip "OK " and the trailing newline off a single-line response; throw

@@ -12,7 +12,10 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/event_journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_io.hpp"
 #include "service/session_service.hpp"
 #include "util/check.hpp"
 #include "util/file_io.hpp"
@@ -86,7 +89,15 @@ bool known_command(const std::string& command) {
   return command == "PING" || command == "SUBMIT" || command == "STATUS" ||
          command == "LIST" || command == "CANCEL" || command == "WAIT" ||
          command == "SHARDREPORT" || command == "CACHE" ||
-         command == "METRICS" || command == "SHUTDOWN";
+         command == "METRICS" || command == "TRACESPANS" ||
+         command == "SHUTDOWN";
+}
+
+/// Observability-plane commands are not themselves traced: the console and
+/// the coordinator poll them continuously, and a tracer tracing its own
+/// export only buries the spans operators care about.
+bool traced_command(const std::string& series) {
+  return series != "PING" && series != "METRICS" && series != "TRACESPANS";
 }
 
 std::string status_line(const CampaignStatus& s) {
@@ -168,11 +179,26 @@ void ServiceEndpoint::serve_connection(int fd) {
   std::string request;
   std::string response = "ERR request read failed\n";
   if (read_all(fd, request, kRequestReadTimeoutMs, &stopping_)) {
+    const auto start = std::chrono::steady_clock::now();
     try {
       response = handle_request(request);
     } catch (const std::exception& e) {
       MetricsRegistry::global().counter("endpoint.errors").add();
       response = std::string("ERR ") + e.what() + "\n";
+    }
+    const auto elapsed_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    if (elapsed_us > slow_request_us_.load()) {
+      std::istringstream line(request);
+      std::string command;
+      line >> command;
+      MetricsRegistry::global().counter("endpoint.slow_requests").add();
+      EMUTILE_WARN("slow request: " << command << " took "
+                                    << elapsed_us / 1000 << " ms (threshold "
+                                    << slow_request_us_.load() / 1000
+                                    << " ms)");
     }
   }
   write_all(fd, response);
@@ -199,14 +225,35 @@ std::string ServiceEndpoint::handle_request(const std::string& request) {
   reg.counter("endpoint.requests." + series).add();
   const ScopedLatency latency(reg.histogram("endpoint.request_us." + series));
 
+  // The request span. A SUBMIT carrying a traceparent token joins the
+  // submitter's trace; everything else roots a trace of its own.
+  TraceContext span_parent{};
+  int priority = 0;
+  std::string name_hint;
+  if (command == "SUBMIT") {
+    line >> priority;
+    std::string token;
+    while (line >> token) {
+      if (token.rfind("traceparent=", 0) == 0) {
+        if (const auto ctx =
+                parse_traceparent(token.substr(std::strlen("traceparent="))))
+          span_parent = *ctx;
+      } else if (name_hint.empty()) {
+        name_hint = token;
+      }
+    }
+  }
+  std::optional<ScopedSpan> span;
+  if (Tracer::enabled() && traced_command(series))
+    span.emplace(Tracer::global(), "endpoint.request." + series, span_parent);
+
   if (command == "PING") {
     return "OK pong\n";
   } else if (command == "SUBMIT") {
-    int priority = 0;
-    std::string name_hint;
-    line >> priority >> name_hint;
     try {
-      const std::string id = service_.submit_text(body, priority, name_hint);
+      const std::string id = service_.submit_text(
+          body, priority, name_hint,
+          span ? span->context() : TraceContext{});
       return "OK " + id + "\n";
     } catch (const ServiceBusyError& e) {
       // A distinguished first token: clients branch on `ERR busy` to back
@@ -285,6 +332,16 @@ std::string ServiceEndpoint::handle_request(const std::string& request) {
     if (!format.empty() && format != "text")
       return "ERR METRICS takes no argument, 'text', or 'json'\n";
     return "OK text\n" + snap.to_text();
+  } else if (command == "TRACESPANS") {
+    // Everything the tracer has buffered, open spans included (the console's
+    // "slowest open spans" view needs them; the coordinator's stitcher drops
+    // them). now_us lets the fetcher midpoint-correct for clock offset.
+    const std::vector<TraceSpan> spans = Tracer::global().collect(true);
+    std::ostringstream os;
+    os << "OK now_us=" << journal_now_us() << " spans=" << spans.size()
+       << "\n"
+       << trace_spans_to_text(spans);
+    return os.str();
   } else if (command == "SHUTDOWN") {
     shutdown_requested_.store(true);
     return "OK bye\n";

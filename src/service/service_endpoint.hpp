@@ -8,10 +8,14 @@
 /// Requests (first line; SUBMIT carries the spec text as the body):
 ///
 ///   PING                         -> OK pong
-///   SUBMIT <priority> [<name>]   -> OK <campaign-id>      (body = spec text)
+///   SUBMIT <priority> [<name>] [traceparent=<t>-<s>]
+///                                -> OK <campaign-id>      (body = spec text)
 ///                                   `ERR busy ...` when the bounded campaign
 ///                                   queue (ServiceConfig::max_pending) is
-///                                   full — resubmit later or elsewhere
+///                                   full — resubmit later or elsewhere. The
+///                                   optional traceparent token (see
+///                                   obs/trace.hpp) parents the daemon's
+///                                   campaign spans on the submitter's trace.
 ///   STATUS <id>                  -> OK <id> <state> <done>/<total>
 ///                                   hits=<n> misses=<n> snapshots=<n>
 ///   LIST                         -> OK <count>  (+ one status line per
@@ -27,16 +31,26 @@
 ///                                   misses=<n> stores=<n> evictions=<n>
 ///                                   (result-cache stats since daemon start;
 ///                                   `ERR` when the cache is disabled)
+///   TRACESPANS                   -> OK now_us=<n> spans=<n>  (+ the
+///                                   instance's buffered trace spans in the
+///                                   emutile-trace text format, open spans
+///                                   included; now_us is the instance's
+///                                   journal clock at reply time, which the
+///                                   coordinator's clock-offset stitching
+///                                   reads)
 ///   SHUTDOWN                     -> OK bye  (sets shutdown_requested)
 ///
 /// Errors answer `ERR <message>`. Each connection is served on its own
 /// thread, so a blocking WAIT never stalls other clients. The server applies
 /// a receive deadline to each request, so a client that connects and never
 /// writes (or never half-closes) gets `ERR` instead of pinning a connection
-/// thread and blocking daemon shutdown.
+/// thread and blocking daemon shutdown. Requests slower than the slow-request
+/// threshold (set_slow_request_ms, default 1000) log a WARN with the command
+/// and duration and count into `endpoint.slow_requests`.
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <filesystem>
 #include <mutex>
 #include <string>
@@ -67,6 +81,15 @@ class ServiceEndpoint {
     return shutdown_requested_.load();
   }
 
+  /// Requests slower than this WARN and count into `endpoint.slow_requests`.
+  /// Fractional milliseconds are honored (tests set 0 to trip on any
+  /// request); the comparison is strict, so 0 still requires a measurable
+  /// duration.
+  void set_slow_request_ms(double ms) {
+    slow_request_us_.store(
+        ms <= 0 ? 0 : static_cast<std::uint64_t>(ms * 1000.0));
+  }
+
  private:
   void accept_loop();
   void serve_connection(int fd);
@@ -77,6 +100,7 @@ class ServiceEndpoint {
   int listen_fd_ = -1;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> shutdown_requested_{false};
+  std::atomic<std::uint64_t> slow_request_us_{1'000'000};
   std::thread accept_thread_;
   // Connection threads are detached so a long-lived daemon never accumulates
   // joinable threads; this counter lets the destructor drain them.

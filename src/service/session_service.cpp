@@ -11,6 +11,7 @@
 #include "campaign/campaign_report_io.hpp"
 #include "campaign/campaign_spec_io.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace_io.hpp"
 #include "util/check.hpp"
 #include "util/file_io.hpp"
 #include "util/log.hpp"
@@ -82,6 +83,13 @@ struct SessionService::Campaign {
   /// Audit journal (out/<id>/events.jsonl); null when disabled. Thread-safe
   /// and inert on IO failure, so units record into it without ceremony.
   std::unique_ptr<EventJournal> journal;
+  /// The campaign.run span's context (invalid when tracing is compiled
+  /// out): session/queue-wait spans parent on it, and finalize() records it
+  /// closed over [submit_us, finalize] with trace_parent (the submitter's
+  /// span, e.g. the endpoint's SUBMIT request span) as its parent.
+  TraceContext trace;
+  std::uint64_t trace_parent = 0;
+  std::uint64_t submit_us = 0;
 };
 
 SessionService::SessionService(ServiceConfig config)
@@ -113,7 +121,8 @@ SessionService::~SessionService() {
 }
 
 std::string SessionService::submit(const CampaignSpec& spec, int priority,
-                                   const std::string& name_hint) {
+                                   const std::string& name_hint,
+                                   TraceContext trace) {
   std::string canonical;
   std::string hash8 = "custom";
   try {
@@ -166,6 +175,11 @@ std::string SessionService::submit(const CampaignSpec& spec, int priority,
     c->spec = spec;
     c->priority = priority;
     c->stream = scheduler_->open_stream(priority);
+    // Adopt the submitter's trace (or root a fresh one); child spans parent
+    // on the campaign.run context minted here.
+    c->trace = Tracer::global().child_context(trace);
+    c->trace_parent = trace.valid() ? trace.span_id : 0;
+    c->submit_us = journal_now_us();
     campaigns_.push_back(std::move(owned));
   }
   // Disk IO happens off the service mutex (like snapshots and finalize), so
@@ -177,8 +191,9 @@ std::string SessionService::submit(const CampaignSpec& spec, int priority,
     if (!canonical.empty())
       write_file_atomic(c->out_dir / "spec.txt", canonical);
     if (config_.enable_journal) {
-      c->journal =
-          std::make_unique<EventJournal>(c->out_dir / "events.jsonl", c->id);
+      c->journal = std::make_unique<EventJournal>(
+          c->out_dir / "events.jsonl", c->id,
+          c->trace.valid() ? format_u64_hex(c->trace.trace_id) : "");
       c->journal->record("submit", {{"priority", priority},
                                     {"designs", c->spec.designs.size()},
                                     {"tilings", c->spec.tilings.size()}});
@@ -208,8 +223,9 @@ std::string SessionService::submit(const CampaignSpec& spec, int priority,
 }
 
 std::string SessionService::submit_text(const std::string& text, int priority,
-                                        const std::string& name_hint) {
-  return submit(parse_campaign_spec(text), priority, name_hint);
+                                        const std::string& name_hint,
+                                        TraceContext trace) {
+  return submit(parse_campaign_spec(text), priority, name_hint, trace);
 }
 
 std::size_t SessionService::poll_spool() {
@@ -224,8 +240,14 @@ std::size_t SessionService::poll_spool() {
   std::size_t accepted = 0;
   for (const std::filesystem::path& path : specs) {
     try {
-      const CampaignSpec spec = parse_campaign_spec(read_file(path));
-      submit(spec, 0, path.stem().string());
+      const std::string text = read_file(path);
+      const CampaignSpec spec = parse_campaign_spec(text);
+      // A spooled spec may carry its submitter's trace context as a
+      // `# traceparent=` comment (see prepend_traceparent).
+      TraceContext trace{};
+      if (const std::string tp = extract_traceparent(text); !tp.empty())
+        if (const auto ctx = parse_traceparent(tp)) trace = *ctx;
+      submit(spec, 0, path.stem().string(), trace);
       move_into(path, spool / "archive");
       ++accepted;
     } catch (const ServiceBusyError&) {
@@ -329,9 +351,13 @@ void SessionService::prepare_unit(Campaign& c, bool cancelled) {
       std::size_t submitted = 0;
       try {
         for (std::size_t i = 0; i < c.jobs.size(); ++i) {
-          scheduler_->submit(c.stream, [this, &c, i](bool unit_cancelled) {
-            session_unit(c, i, unit_cancelled);
-          });
+          // Stamped at enqueue so the unit can reconstruct its queue-wait
+          // span without the scheduler knowing about tracing.
+          const std::uint64_t enqueued_us = journal_now_us();
+          scheduler_->submit(
+              c.stream, [this, &c, i, enqueued_us](bool unit_cancelled) {
+                session_unit(c, i, unit_cancelled, enqueued_us);
+              });
           ++submitted;
         }
         for (std::size_t u = 0; u < baseline_pairs; ++u) {
@@ -376,12 +402,23 @@ struct SessionService::SnapshotData {
 };
 
 void SessionService::session_unit(Campaign& c, std::size_t job_slot,
-                                  bool cancelled) {
+                                  bool cancelled,
+                                  std::uint64_t enqueued_us) {
   const LogCampaignScope log_scope(c.id);
   const CampaignJob& job = c.jobs[job_slot];
   SessionOutcome outcome;
   CacheLookup lookup = CacheLookup::kNotConsulted;
   const bool cancel_now = cancelled || c.cancel_flag.load();
+  const std::uint64_t started_us = journal_now_us();
+  if (!cancel_now && Tracer::enabled() && c.trace.valid()) {
+    // The time between enqueue and this unit actually starting, as a span
+    // child of campaign.run — reconstructed from the enqueue stamp, so the
+    // scheduler itself stays tracing-free.
+    Tracer::global().record_span(
+        "scheduler.queue_wait", Tracer::global().child_context(c.trace),
+        c.trace.span_id, enqueued_us,
+        started_us >= enqueued_us ? started_us - enqueued_us : 0);
+  }
   if (!cancel_now && c.journal)
     c.journal->record("session-start", {{"session", job_slot},
                                         {"scenario", job.scenario},
@@ -392,10 +429,32 @@ void SessionService::session_unit(Campaign& c, std::size_t job_slot,
     outcome.error = "design '" + c.spec.designs[job.design_index].name +
                     "' failed to build: " + c.golden_errors[job.design_index];
   } else {
+    // Cross-thread handoff: this worker parents session.run explicitly on
+    // the campaign context. Engine-level spans (cache lookup, phases,
+    // localizer rounds) nest under it through the thread-local stack.
+    const ScopedSpan session_span(Tracer::global(), "session.run", c.trace);
     outcome = run_campaign_session(
         c.spec, job, c.goldens[job.design_index],
         [&c] { return c.cancel_flag.load(); }, cache_.get(), &lookup,
         &baselines_);
+    if (config_.slow_session_multiple > 0 && Tracer::enabled()) {
+      // Slow-span watchdog: compare against the running p99 once the
+      // distribution has enough samples to mean something.
+      const std::uint64_t session_us = journal_now_us() - started_us;
+      MetricHistogram& wall =
+          MetricsRegistry::global().histogram("session.wall_us");
+      const std::uint64_t p99 = wall.quantile(0.99);
+      if (wall.count() >= 20 && p99 > 0 &&
+          static_cast<double>(session_us) >
+              config_.slow_session_multiple * static_cast<double>(p99)) {
+        MetricsRegistry::global().counter("service.slow_sessions").add();
+        EMUTILE_WARN("slow session: span campaign.run > session.run (campaign "
+                     << c.id << ", session " << job_slot << ") took "
+                     << session_us / 1000 << " ms, more than "
+                     << config_.slow_session_multiple << "x the running p99 "
+                     << p99 / 1000 << " ms");
+      }
+    }
   }
   if (c.journal) {
     if (lookup == CacheLookup::kHit)
@@ -502,6 +561,24 @@ void SessionService::finalize(Campaign& c) {
     c.journal->record("finalize", {{"state", to_string(state)},
                                    {"sessions_done", c.sessions_done},
                                    {"cache_hits", c.cache_hits}});
+  if (Tracer::enabled() && c.trace.valid()) {
+    // Close the campaign.run span over [submit, now] and export the
+    // campaign's closed spans as Chrome trace-event JSON. A sidecar like
+    // the journal: failures are swallowed, and the deterministic report
+    // artifacts above never depend on it.
+    Tracer& tracer = Tracer::global();
+    const std::uint64_t now = journal_now_us();
+    tracer.record_span("campaign.run", c.trace, c.trace_parent, c.submit_us,
+                       now >= c.submit_us ? now - c.submit_us : 0);
+    try {
+      write_file_atomic(
+          c.out_dir / "trace.json",
+          trace_events_json(tracer.collect_trace(c.trace.trace_id, false)));
+    } catch (const std::exception& e) {
+      EMUTILE_WARN("campaign " << c.id << ": trace export failed: "
+                               << e.what());
+    }
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   c.state = state;
   c.error = error;

@@ -43,6 +43,7 @@
 #include "campaign/result_cache.hpp"
 #include "core/tiled_baseline_cache.hpp"
 #include "obs/event_journal.hpp"
+#include "obs/trace.hpp"
 #include "service/job_scheduler.hpp"
 #include "util/check.hpp"
 
@@ -75,6 +76,11 @@ struct ServiceConfig {
   /// carries wall-progression timestamps and therefore lives strictly
   /// outside the deterministic report artifacts.
   bool enable_journal = true;
+  /// Slow-span watchdog: WARN (with the span path) when a session's wall
+  /// time exceeds this multiple of the running `session.wall_us` p99, once
+  /// at least 20 sessions have been recorded. Counted as
+  /// `service.slow_sessions`. <= 0 disables the watchdog.
+  double slow_session_multiple = 4.0;
 };
 
 /// Thrown by submit() when the bounded campaign queue (max_pending) is full.
@@ -122,14 +128,19 @@ class SessionService {
 
   /// Accept a campaign: allocate an id and output directory, persist the
   /// canonical spec, and schedule it. Returns the campaign id immediately;
-  /// execution is asynchronous. `name_hint` seeds the id (sanitized).
+  /// execution is asynchronous. `name_hint` seeds the id (sanitized). A
+  /// valid `trace` parents the campaign's spans on the submitter's span
+  /// (the endpoint passes its request span); an invalid one roots a fresh
+  /// trace for the campaign.
   std::string submit(const CampaignSpec& spec, int priority = 0,
-                     const std::string& name_hint = "");
+                     const std::string& name_hint = "",
+                     TraceContext trace = {});
 
   /// Parse `text` as a campaign spec and submit it. Throws CheckError on
   /// malformed input (nothing is scheduled in that case).
   std::string submit_text(const std::string& text, int priority = 0,
-                          const std::string& name_hint = "");
+                          const std::string& name_hint = "",
+                          TraceContext trace = {});
 
   /// Scan spool/ once: every `*.spec` file is parsed and submitted (then
   /// moved to spool/archive/), malformed ones are moved to spool/rejected/
@@ -180,7 +191,11 @@ class SessionService {
 
   void schedule(Campaign& c);
   void prepare_unit(Campaign& c, bool cancelled);
-  void session_unit(Campaign& c, std::size_t job_slot, bool cancelled);
+  /// `enqueued_us` is the journal stamp taken when the unit entered the
+  /// scheduler queue — the synthesized `scheduler.queue_wait` span runs
+  /// from it to the unit's actual start.
+  void session_unit(Campaign& c, std::size_t job_slot, bool cancelled,
+                    std::uint64_t enqueued_us);
   void baseline_unit(Campaign& c, std::size_t pair_index, bool cancelled);
   /// Count one finished unit; true when it was the campaign's last (the
   /// caller must then run finalize() after releasing the lock).

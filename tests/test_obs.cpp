@@ -309,5 +309,67 @@ TEST(EventJournal, EscapesStringsAndSurvivesUnwritablePath) {
   dead.record("ignored");
 }
 
+TEST(EventJournal, RecordsCarrySchemaVersionAndTraceId) {
+  ScratchDir scratch("journal-schema");
+  const fs::path path = scratch.path / "events.jsonl";
+  {
+    EventJournal journal(path, "c9", "00c0ffee00c0ffee");
+    journal.record("submit");
+  }
+  {
+    EventJournal journal(path, "c9");  // no trace: the field stays, empty
+    journal.record("finalize");
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line.rfind("{\"schema\":1,\"t_us\":", 0), 0u) << line;
+  EXPECT_NE(line.find("\"trace_id\":\"00c0ffee00c0ffee\""), std::string::npos)
+      << line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"schema\":1"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"trace_id\":\"\""), std::string::npos) << line;
+}
+
+TEST(MetricsSnapshot, ParseRejectsStructuredCorruption) {
+  const auto reject = [](const std::string& text) {
+    EXPECT_THROW(static_cast<void>(parse_metrics_text(text)), CheckError)
+        << text;
+  };
+  // Every numeric field goes through the strict parser: digits only, full
+  // consume, no overflow. istream extraction would wrap or zero these.
+  reject("counter c 99999999999999999999\n");       // > 2^64-1
+  reject("counter c -5\n");                          // counters are unsigned
+  reject("counter c 5 extra\n");                     // trailing token
+  reject("counter c 0x10\n");                        // no hex
+  reject("counter c\n");                             // truncated
+  reject("gauge g 9223372036854775808\n");           // > int64 max magnitude
+  reject("hist h count=1 sum=2\n");                  // truncated hist line
+  reject("hist h count=1 sum=2 min=2 max=2 p50=2 p90=2 p99=2\n");  // no buckets
+  reject(
+      "hist h count=1 sum=2 min=2 max=2 p50=2 p90=2 p99=2 buckets=5:\n");
+  reject(
+      "hist h count=1 sum=2 min=2 max=2 p50=2 p90=2 p99=2 buckets=9999:1\n");
+  reject(
+      "hist h count=2 sum=4 min=2 max=2 p50=2 p90=2 p99=2 buckets=4:1,4:1\n");
+  reject(
+      "hist h count=2 sum=4 min=1 max=3 p50=2 p90=2 p99=2 buckets=3:1,1:1\n");
+  // Duplicate series would silently lose a shard's worth of data on merge.
+  reject("counter dup 1\ncounter dup 2\n");
+  reject("gauge dup 1\ngauge dup 2\n");
+  reject(
+      "hist dup count=1 sum=2 min=2 max=2 p50=2 p90=2 p99=2 buckets=2:1\n"
+      "hist dup count=1 sum=2 min=2 max=2 p50=2 p90=2 p99=2 buckets=2:1\n");
+
+  // The in-range forms of the same lines parse fine.
+  const MetricsSnapshot ok = parse_metrics_text(
+      "counter c 18446744073709551615\n"
+      "gauge g -9223372036854775807\n"
+      "hist h count=2 sum=4 min=1 max=3 p50=2 p90=2 p99=2 buckets=1:1,3:1\n");
+  EXPECT_EQ(ok.counters.at("c"), 18446744073709551615ull);
+  EXPECT_EQ(ok.gauges.at("g"), -9223372036854775807ll);
+  EXPECT_EQ(ok.histograms.at("h").buckets.size(), 2u);
+}
+
 }  // namespace
 }  // namespace emutile

@@ -10,15 +10,20 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <set>
 #include <sstream>
+#include <string>
 #include <thread>
 
 #include "campaign/campaign_engine.hpp"
 #include "campaign/campaign_report_io.hpp"
 #include "campaign/campaign_spec_io.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_io.hpp"
 #include "orchestrator/campaign_coordinator.hpp"
 #include "service/service_endpoint.hpp"
 #include "service/session_service.hpp"
@@ -351,6 +356,70 @@ TEST(CampaignCoordinator, CollectsFleetMetricsAndJournalsTheRun) {
   }
   EXPECT_NE(events.find("\"instances\":2"), std::string::npos) << events;
 }
+
+#ifndef EMUTILE_METRICS_DISABLED
+
+TEST(CampaignCoordinator, StitchedFleetTraceIsParentCleanAcrossInstances) {
+  // Three instances, three shards, one trace: the stitched fleet trace must
+  // hold spans from the coordinator AND the instances under a single trace
+  // id, with every parent reference resolving inside the trace (no orphans)
+  // and every span id unique (the dedup contract for in-process fleets that
+  // share one global tracer).
+  ScratchDir scratch("coord-trace");
+  Tracer::global().reset();
+  std::vector<std::unique_ptr<InProcessInstance>> hosts;
+  FleetConfig fleet;
+  for (int i = 0; i < 3; ++i) {
+    const std::string name = "thost" + std::to_string(i);
+    hosts.push_back(std::make_unique<InProcessInstance>(scratch.path / name,
+                                                        /*threads=*/1));
+    fleet.instances.push_back({name, InstanceAddress::kSocket,
+                               hosts.back()->endpoint->socket_path()});
+  }
+
+  const CampaignSpec spec = sharded_test_spec(/*replicas=*/3, 777);
+  CoordinatorOptions options;
+  options.poll_interval = std::chrono::milliseconds(20);
+  CampaignCoordinator coordinator(fleet, options);
+  const OrchestrationResult result = coordinator.run(spec);
+
+  EXPECT_EQ(result.trace_instances, 3u);
+  ASSERT_TRUE(result.trace.valid());
+  ASSERT_FALSE(result.fleet_trace.empty());
+
+  std::set<std::uint64_t> ids;
+  std::set<std::string> names;
+  for (const TraceSpan& span : result.fleet_trace) {
+    EXPECT_EQ(span.trace_id, result.trace.trace_id)
+        << span.name << " belongs to a different trace";
+    EXPECT_FALSE(span.open) << span.name;
+    EXPECT_TRUE(ids.insert(span.span_id).second)
+        << span.name << " duplicates a span id";
+    names.insert(span.name);
+  }
+  for (const TraceSpan& span : result.fleet_trace)
+    if (span.parent_id != 0)
+      EXPECT_TRUE(ids.count(span.parent_id))
+          << span.name << " has an orphan parent reference";
+
+  // The whole causal chain is present: run -> dispatch -> request ->
+  // campaign -> session.
+  for (const char* expected :
+       {"orchestrate.run", "orchestrate.dispatch", "endpoint.request.SUBMIT",
+        "campaign.run", "session.run"}) {
+    EXPECT_TRUE(names.count(expected)) << expected << " missing";
+  }
+
+  // Timestamps are sorted and the export is valid Chrome trace-event JSON.
+  for (std::size_t i = 1; i < result.fleet_trace.size(); ++i)
+    EXPECT_GE(result.fleet_trace[i].start_us,
+              result.fleet_trace[i - 1].start_us);
+  const std::string json = trace_events_json(result.fleet_trace);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"orchestrate.run\""), std::string::npos);
+}
+
+#endif  // EMUTILE_METRICS_DISABLED
 
 TEST(CampaignCoordinator, FallbackDisabledThrowsWhenFleetIsDown) {
   ScratchDir scratch("coord-nofallback");

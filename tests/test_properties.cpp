@@ -12,6 +12,7 @@
 #include "core/region_mask.hpp"
 #include "core/tiling_engine.hpp"
 #include "netlist/blif_parser.hpp"
+#include "obs/metrics.hpp"
 #include "netlist/blif_writer.hpp"
 #include "test_helpers.hpp"
 
@@ -477,6 +478,75 @@ TEST_P(WireFormatFuzz, MutatedInputsErrorCleanly) {
     try {
       static_cast<void>(parse_campaign_report(mutate(report_text)));
     } catch (const CheckError&) {
+    }
+  }
+}
+
+/// A metrics snapshot with random counters, gauges, and histograms —
+/// exercised through a registry so bucket layout matches production.
+std::string random_metrics_text(Rng& rng) {
+  MetricsRegistry registry;
+  const std::size_t n_counters = 1 + rng.next_below(4);
+  for (std::size_t i = 0; i < n_counters; ++i)
+    registry.counter("fuzz.counter." + std::to_string(i))
+        .add(rng.next_below(1ull << 40));
+  const std::size_t n_gauges = 1 + rng.next_below(3);
+  for (std::size_t i = 0; i < n_gauges; ++i)
+    registry.gauge("fuzz.gauge." + std::to_string(i))
+        .set(static_cast<std::int64_t>(rng.next_below(1ull << 20)) -
+             (1 << 19));
+  const std::size_t n_hists = 1 + rng.next_below(3);
+  for (std::size_t i = 0; i < n_hists; ++i) {
+    MetricHistogram& hist = registry.histogram("fuzz.hist." + std::to_string(i));
+    const std::size_t samples = 1 + rng.next_below(64);
+    for (std::size_t j = 0; j < samples; ++j)
+      hist.record(rng.next_below(1ull << (1 + rng.next_below(50))));
+  }
+  return registry.snapshot().to_text();
+}
+
+TEST_P(WireFormatFuzz, RandomMetricsRoundTripExactly) {
+  Rng rng(GetParam() * 6151 + 11);
+  for (int i = 0; i < 8; ++i) {
+    const std::string text = random_metrics_text(rng);
+    const MetricsSnapshot parsed = parse_metrics_text(text);
+    // parse(to_text(s)) == s byte-for-byte: names, values, and every sparse
+    // bucket survive, so fleet merges over the wire lose nothing.
+    EXPECT_EQ(parsed.to_text(), text);
+  }
+}
+
+TEST_P(WireFormatFuzz, MutatedMetricsErrorCleanlyOrStayConsistent) {
+  // Same contract as the spec/report fuzz: any corruption either throws
+  // CheckError or yields a snapshot whose own re-serialization is stable.
+  Rng rng(GetParam() * 193 + 7);
+  const std::string text = random_metrics_text(rng);
+  const auto mutate = [&rng](std::string t) {
+    switch (rng.next_below(3)) {
+      case 0:  // truncate
+        t.resize(rng.next_below(t.size() + 1));
+        break;
+      case 1: {  // corrupt one byte
+        if (!t.empty())
+          t[rng.next_below(t.size())] =
+              static_cast<char>(' ' + rng.next_below(95));
+        break;
+      }
+      default: {  // duplicate a line somewhere (duplicate series must throw)
+        const std::size_t cut = rng.next_below(t.size() + 1);
+        t.insert(cut, "counter fuzz.counter.0 7\n");
+        break;
+      }
+    }
+    return t;
+  };
+  for (int i = 0; i < 40; ++i) {
+    try {
+      const MetricsSnapshot parsed = parse_metrics_text(mutate(text));
+      EXPECT_EQ(parse_metrics_text(parsed.to_text()).to_text(),
+                parsed.to_text());
+    } catch (const CheckError&) {
+      // expected for most mutations
     }
   }
 }

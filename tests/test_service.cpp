@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -14,6 +15,7 @@
 #include <filesystem>
 #include <fstream>
 #include <mutex>
+#include <set>
 #include <sstream>
 #include <vector>
 
@@ -22,6 +24,8 @@
 #include "campaign/campaign_spec_io.hpp"
 #include "campaign/result_cache.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_io.hpp"
 #include "service/job_scheduler.hpp"
 #include "service/service_client.hpp"
 #include "service/service_endpoint.hpp"
@@ -909,6 +913,175 @@ TEST(SessionService, EventJournalRecordsTheCampaignLifecycle) {
   EXPECT_EQ(read_file(silent.root / "out" / silent_id / "report.json"),
             read_file(scratch.path / "out" / id / "report.json"))
       << "journal on/off must not perturb deterministic artifacts";
+}
+
+#ifndef EMUTILE_METRICS_DISABLED
+
+TEST(SessionService, SubmitTraceparentPropagatesThroughToCampaignSpans) {
+  ScratchDir scratch("service-traceparent");
+  Tracer::global().reset();
+  ServiceConfig config;
+  config.root = scratch.path;
+  config.num_threads = 2;
+  config.snapshot_every = 0;
+  SessionService service(config);
+  ServiceEndpoint endpoint(service, scratch.path / "serviced.sock");
+
+  // Submit with an explicit upstream context, the way a coordinator does.
+  const TraceContext upstream{0x00c0ffee00c0ffeeull, 0x1234123412341234ull};
+  const ServiceClient client(endpoint.socket_path());
+  const std::string id =
+      client.submit(small_spec_text("9sym", 55), 0, "traced",
+                    format_traceparent(upstream));
+  static_cast<void>(client.wait(id));
+
+  // TRACESPANS serves the instance's buffer; the submitted trace must hold
+  // the whole chain: request -> campaign -> queue wait -> session -> phases.
+  const RemoteTraceSpans remote = client.fetch_trace_spans();
+  EXPECT_GT(remote.now_us, 0u);
+  std::vector<TraceSpan> trace;
+  for (const TraceSpan& span : remote.spans)
+    if (span.trace_id == upstream.trace_id && !span.open)
+      trace.push_back(span);
+  ASSERT_FALSE(trace.empty());
+
+  const auto find_span = [&](const std::string& name) {
+    return std::find_if(trace.begin(), trace.end(), [&](const TraceSpan& s) {
+      return s.name == name;
+    });
+  };
+  const auto request = find_span("endpoint.request.SUBMIT");
+  ASSERT_NE(request, trace.end());
+  EXPECT_EQ(request->parent_id, upstream.span_id)
+      << "the request span must hang off the submitted traceparent";
+  const auto campaign = find_span("campaign.run");
+  ASSERT_NE(campaign, trace.end());
+  EXPECT_EQ(campaign->parent_id, request->span_id);
+  const auto session = find_span("session.run");
+  ASSERT_NE(session, trace.end());
+  EXPECT_EQ(session->parent_id, campaign->span_id);
+  EXPECT_NE(find_span("scheduler.queue_wait"), trace.end());
+  EXPECT_NE(find_span("session.phase.build"), trace.end());
+
+  // No orphans: every nonzero parent inside the trace resolves, except the
+  // upstream span the test invented (the submitter's side of the tree).
+  std::set<std::uint64_t> ids;
+  for (const TraceSpan& span : trace) ids.insert(span.span_id);
+  for (const TraceSpan& span : trace)
+    if (span.parent_id != 0 && span.parent_id != upstream.span_id)
+      EXPECT_TRUE(ids.count(span.parent_id))
+          << span.name << " has an orphan parent";
+
+  // The campaign's own trace.json sidecar loads as Chrome trace-event JSON.
+  const std::string trace_json =
+      read_file(scratch.path / "out" / id / "trace.json");
+  EXPECT_NE(trace_json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace_json.find("\"campaign.run\""), std::string::npos);
+
+  // Journal records carry the schema version and the campaign's trace id.
+  const std::string journal =
+      read_file(scratch.path / "out" / id / "events.jsonl");
+  EXPECT_NE(journal.find("\"schema\":1"), std::string::npos) << journal;
+  EXPECT_NE(journal.find("\"trace_id\":\"00c0ffee00c0ffee\""),
+            std::string::npos)
+      << journal;
+}
+
+TEST(SessionService, SpoolTraceparentCommentJoinsTheTraceWithoutChangingSpec) {
+  ScratchDir scratch("service-spool-trace");
+  Tracer::global().reset();
+  ServiceConfig config;
+  config.root = scratch.path;
+  config.num_threads = 2;
+  config.snapshot_every = 0;
+  SessionService service(config);
+
+  const TraceContext upstream{0x0badc0de0badc0deull, 0x5678567856785678ull};
+  const std::string text = small_spec_text("9sym", 61);
+  EXPECT_EQ(extract_traceparent(
+                prepend_traceparent(text, format_traceparent(upstream))),
+            format_traceparent(upstream));
+  EXPECT_EQ(prepend_traceparent(text, ""), text);
+  static_cast<void>(spool_submit_spec(
+      scratch.path, "spooled",
+      prepend_traceparent(text, format_traceparent(upstream))));
+  ASSERT_EQ(service.poll_spool(), 1u);
+  service.drain();
+
+  const auto statuses = service.list();
+  ASSERT_EQ(statuses.size(), 1u);
+  // The canonical spec.txt never carries the traceparent comment — content
+  // hashes and cache keys see the same bytes either way.
+  const std::string canonical =
+      read_file(statuses[0].out_dir / "spec.txt");
+  EXPECT_EQ(canonical.find("traceparent"), std::string::npos);
+
+  const std::vector<TraceSpan> trace =
+      Tracer::global().collect_trace(upstream.trace_id, false);
+  ASSERT_FALSE(trace.empty());
+  const auto campaign = std::find_if(
+      trace.begin(), trace.end(),
+      [](const TraceSpan& s) { return s.name == "campaign.run"; });
+  ASSERT_NE(campaign, trace.end());
+  EXPECT_EQ(campaign->parent_id, upstream.span_id);
+}
+
+TEST(SessionService, SlowRequestsWarnAndCount) {
+  ScratchDir scratch("service-slow-request");
+  ServiceConfig config;
+  config.root = scratch.path;
+  config.num_threads = 2;
+  config.snapshot_every = 0;
+  SessionService service(config);
+  ServiceEndpoint endpoint(service, scratch.path / "serviced.sock");
+  endpoint.set_slow_request_ms(0);  // any measurable request trips it
+
+  const std::uint64_t before =
+      MetricsRegistry::global().counter("endpoint.slow_requests").value();
+  // SUBMIT parses a spec and WAIT blocks on the campaign — both take
+  // measurably longer than the zero threshold.
+  const ServiceClient client(endpoint.socket_path());
+  const std::string id = client.submit(small_spec_text("9sym", 77), 0, "slow");
+  static_cast<void>(client.wait(id));
+  const std::uint64_t after =
+      MetricsRegistry::global().counter("endpoint.slow_requests").value();
+  EXPECT_GT(after, before);
+}
+
+#endif  // EMUTILE_METRICS_DISABLED
+
+TEST(SessionService, TracingOnOffNeverPerturbsDeterministicArtifacts) {
+  // The same campaign submitted with and without an upstream trace context
+  // must produce byte-identical reports — traces are sidecars. (Under
+  // EMUTILE_METRICS_DISABLED this degenerates to two identical runs, which
+  // certifies the compiled-out path the same way.)
+  ScratchDir scratch("service-trace-determinism");
+  ServiceConfig config;
+  config.root = scratch.path;
+  config.num_threads = 2;
+  config.snapshot_every = 0;
+  SessionService service(config);
+
+  const std::string text = small_spec_text("styr", 83);
+  const std::string traced_id = service.submit_text(
+      text, 0, "with-trace", Tracer::global().child_context({}));
+  service.wait(traced_id);
+  const std::string plain_id =
+      service.submit_text(text, 0, "no-trace", TraceContext{});
+  service.wait(plain_id);
+
+  const auto traced = service.status(traced_id);
+  const auto plain = service.status(plain_id);
+  ASSERT_TRUE(traced.has_value());
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(read_file(traced->out_dir / "report.json"),
+            read_file(plain->out_dir / "report.json"));
+  EXPECT_EQ(read_file(traced->out_dir / "report.csv"),
+            read_file(plain->out_dir / "report.csv"));
+  // Every campaign gets a trace (the service mints one when the submitter
+  // brings none), so the sidecar exists exactly when tracing is compiled in.
+  EXPECT_EQ(fs::exists(traced->out_dir / "trace.json"), Tracer::enabled());
+  EXPECT_EQ(fs::exists(plain->out_dir / "trace.json"), Tracer::enabled());
 }
 
 }  // namespace

@@ -26,9 +26,11 @@
 /// Writes <out>/report.json, <out>/report.csv, and <out>/report.shard
 /// (the mergeable form) — default out dir is the current directory. A
 /// non-adaptive run also writes <out>/fleet_metrics.txt + .json (the merged
-/// per-instance metrics registries; sums of the instance series) and streams
-/// an <out>/events.jsonl journal of dispatch/retry/collect records. The
-/// report artifacts stay deterministic; metrics and journal are
+/// per-instance metrics registries; sums of the instance series),
+/// <out>/fleet_trace.json (the run's stitched fleet trace in Chrome
+/// trace-event JSON — load it in Perfetto), and streams an
+/// <out>/events.jsonl journal of dispatch/retry/collect records. The
+/// report artifacts stay deterministic; metrics, trace, and journal are
 /// observability sidecars.
 
 #include <cstdlib>
@@ -39,6 +41,7 @@
 #include "campaign/adaptive_driver.hpp"
 #include "campaign/campaign_report_io.hpp"
 #include "campaign/campaign_spec_io.hpp"
+#include "obs/trace_io.hpp"
 #include "orchestrator/campaign_coordinator.hpp"
 #include "util/file_io.hpp"
 #include "util/log.hpp"
@@ -127,17 +130,27 @@ int main(int argc, char** argv) {
       options.on_snapshot = print_snapshot;
     }
 
+    // One trace for the whole invocation: every shard dispatch, remote
+    // campaign, and session span hangs off this id, and the journal stamps
+    // it on each record.
+    options.trace = Tracer::global().mint_trace();
+
     // The journal and metrics sidecars live next to the reports; create the
     // out dir up front so the journal can open.
     std::filesystem::create_directories(out_dir);
     EventJournal journal(out_dir / "events.jsonl",
-                         spec_path.stem().string());
+                         spec_path.stem().string(),
+                         options.trace.valid()
+                             ? format_u64_hex(options.trace.trace_id)
+                             : "");
     options.journal = &journal;
 
     CampaignCoordinator coordinator(fleet, options);
     CampaignReport report;
     MetricsSnapshot fleet_metrics;
     std::size_t metrics_instances = 0;
+    std::vector<TraceSpan> fleet_trace;
+    std::size_t trace_instances = 0;
     if (use_adaptive) {
       adaptive.executor = make_adaptive_executor(coordinator);
       if (!quiet) {
@@ -165,6 +178,8 @@ int main(int argc, char** argv) {
       report = std::move(result.report);
       fleet_metrics = std::move(result.fleet_metrics);
       metrics_instances = result.metrics_instances;
+      fleet_trace = std::move(result.fleet_trace);
+      trace_instances = result.trace_instances;
       std::cout << "orchestrated " << result.num_shards << " shard"
                 << (result.num_shards == 1 ? "" : "s") << " ("
                 << result.redispatches << " re-dispatched, "
@@ -181,6 +196,13 @@ int main(int argc, char** argv) {
                         fleet_metrics.to_json());
       std::cout << "fleet metrics merged from " << metrics_instances
                 << " instance(s)\n";
+    }
+    if (!fleet_trace.empty()) {
+      write_file_atomic(out_dir / "fleet_trace.json",
+                        trace_events_json(fleet_trace));
+      std::cout << "fleet trace: " << fleet_trace.size() << " span(s) from "
+                << trace_instances << " instance(s), trace id "
+                << format_u64_hex(options.trace.trace_id) << "\n";
     }
 
     report.print_summary(std::cout);

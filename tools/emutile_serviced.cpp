@@ -12,6 +12,7 @@
 ///                      [--baseline-cache-entries N] [--no-socket]
 ///                      [--socket PATH] [--max-pending N] [--once]
 ///                      [--no-drain] [--no-journal]
+///                      [--slow-request-ms N] [--slow-session-multiple X]
 ///                      [--log-level debug|info|warn|error|off]
 ///
 ///   --max-pending N      bounded SUBMIT queue: reject with `ERR busy` while
@@ -26,6 +27,11 @@
 ///
 ///   --once   drain the spool once, wait for those campaigns, and exit.
 ///   --no-journal   skip the per-campaign out/<id>/events.jsonl audit journal
+///   --slow-request-ms N  WARN + count `endpoint.slow_requests` for endpoint
+///                        requests slower than N ms (default 1000)
+///   --slow-session-multiple X  WARN + count `service.slow_sessions` when a
+///                        session exceeds X times the running session-wall
+///                        p99 (default 4; <= 0 disables the watchdog)
 ///   --log-level L  log verbosity (default info)
 
 #include <chrono>
@@ -53,6 +59,7 @@ int usage(const char* argv0) {
                " [--no-cache] [--cache-max-bytes N]"
                " [--baseline-cache-entries N] [--no-socket] [--socket PATH]"
                " [--max-pending N] [--once] [--no-drain] [--no-journal]"
+               " [--slow-request-ms N] [--slow-session-multiple X]"
                " [--log-level debug|info|warn|error|off]\n";
   return 2;
 }
@@ -67,6 +74,7 @@ int main(int argc, char** argv) {
   bool once = false;
   bool drain_on_exit = true;
   long poll_ms = 250;
+  double slow_request_ms = 1000.0;
   LogLevel log_level = LogLevel::kInfo;
 
   for (int i = 1; i < argc; ++i) {
@@ -89,6 +97,8 @@ int main(int argc, char** argv) {
     else if (arg == "--no-socket") use_socket = false;
     else if (arg == "--socket") socket_path = value();
     else if (arg == "--no-journal") config.enable_journal = false;
+    else if (arg == "--slow-request-ms") slow_request_ms = std::strtod(value(), nullptr);
+    else if (arg == "--slow-session-multiple") config.slow_session_multiple = std::strtod(value(), nullptr);
     else if (arg == "--log-level") {
       const std::optional<LogLevel> parsed = parse_log_level(value());
       if (!parsed) {
@@ -111,8 +121,10 @@ int main(int argc, char** argv) {
   try {
     SessionService service(config);
     std::unique_ptr<ServiceEndpoint> endpoint;
-    if (use_socket)
+    if (use_socket) {
       endpoint = std::make_unique<ServiceEndpoint>(service, socket_path);
+      endpoint->set_slow_request_ms(slow_request_ms);
+    }
 
     std::cout << "emutile_serviced: root=" << config.root.string()
               << " threads=" << config.num_threads

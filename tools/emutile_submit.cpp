@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "campaign/campaign_spec_io.hpp"
+#include "obs/trace.hpp"
 #include "service/service_client.hpp"
 #include "util/check.hpp"
 #include "util/file_io.hpp"
@@ -93,16 +94,27 @@ int main(int argc, char** argv) {
       const std::string text = read_file(spec_path);
       static_cast<void>(parse_campaign_spec(text));  // validate locally
 
+      // Each submission roots its own trace; the daemon parents the
+      // campaign's spans on it, so out/<id>/trace.json carries this id.
+      const TraceContext trace = Tracer::global().mint_trace();
+      const std::string traceparent =
+          trace.valid() ? format_traceparent(trace) : std::string();
+
       if (socket_up) {
-        const std::string id =
-            client.submit(text, priority, spec_path.stem().string());
-        std::cout << spec_path.string() << " -> " << id << "\n";
+        const std::string id = client.submit(
+            text, priority, spec_path.stem().string(), traceparent);
+        std::cout << spec_path.string() << " -> " << id;
+        if (!traceparent.empty()) std::cout << " trace " << traceparent;
+        std::cout << "\n";
         ids.push_back(id);
       } else {
         const std::filesystem::path spooled =
-            spool_submit_spec(root, spec_path.stem().string(), text);
+            spool_submit_spec(root, spec_path.stem().string(),
+                              prepend_traceparent(text, traceparent));
         std::cout << spec_path.string() << " -> spooled as "
-                  << spooled.filename().string() << "\n";
+                  << spooled.filename().string();
+        if (!traceparent.empty()) std::cout << " trace " << traceparent;
+        std::cout << "\n";
       }
     }
 
