@@ -4,7 +4,8 @@
 # with explicit steps so the two can never drift.
 #
 #   scripts/ci.sh [step...]
-#   steps: ci | pregate | asan | tsan | bench-smoke | perf | perf-refresh
+#   steps: ci | pregate | asan | tsan | bench-smoke | perf | storm
+#          | perf-refresh
 #
 #   ci           configure + build + ctest with the "ci" CMake preset
 #                (RelWithDebInfo, -Wall -Wextra). The fast `unit`-labeled
@@ -34,9 +35,20 @@
 #                deterministic work units — absolute seconds never gate).
 #                Artifacts land in build/perf/ and are uploaded by CI on
 #                success and failure alike.
-#   perf-refresh rerun the same pinned grid and write its metrics JSON
-#                straight into bench/baselines/ — how the baselines are
-#                regenerated locally after an intentional perf change.
+#   storm        the submit-storm lane: drive the service front end with the
+#                pinned epoll load generator (bench/submit_storm) in both
+#                endpoint modes and compare against bench/baselines/
+#                submit_storm.json. The guarded key is storm_submit_ratio —
+#                legacy/reactor SUBMIT throughput, a machine-portable ratio
+#                that regresses (grows) when the reactor endpoint loses its
+#                edge over thread-per-connection; absolute req/s and latency
+#                quantiles ride along as informational keys. Artifacts land
+#                in build/storm/ and are uploaded by CI on success and
+#                failure alike.
+#   perf-refresh rerun the same pinned grids (perf + storm) and write their
+#                metrics JSON straight into bench/baselines/ — how the
+#                baselines are regenerated locally after an intentional perf
+#                change.
 #
 # No arguments reproduces the historical default: ci then asan
 # (EMUTILE_SKIP_ASAN=1 skips the sanitizer pass).
@@ -50,6 +62,13 @@ PERF_PROFILE_ARGS=(--designs styr,sand --sessions 2 --tiles 6 --patterns 128
                    --threads 2)
 PERF_SWEEP_ARGS=(2 1)
 PERF_TOLERANCE=0.25
+
+# The pinned shape of the storm lane. 512 clients x 32 one-shot requests per
+# client over a single epoll generator thread (the generator must stay
+# lighter than the servers under test), with a small --max-pending so the
+# shed path is exercised; the baseline was recorded with exactly these
+# arguments — change them and the baseline together (perf-refresh).
+STORM_ARGS=(--clients 512 --requests-per-client 32 --max-pending 8)
 
 run_preset() {
   local preset=$1
@@ -81,10 +100,16 @@ pregate() {
 bench_smoke() {
   cmake --preset ci
   cmake --build --preset ci --target bench_campaign_sweep \
-    emutile_serviced emutile_orchestrate emutile_top
+    bench_submit_storm emutile_serviced emutile_orchestrate emutile_top
   mkdir -p build/bench-smoke
   ./build/campaign_sweep 2 1 build/bench-smoke/campaign_sweep.csv \
     | tee build/bench-smoke/campaign_sweep.log
+  # A tiny reactor-only storm: not a perf gate (that's the storm step), just
+  # proof that the epoll endpoint survives a concurrent one-shot burst in
+  # the same environment the fleet smoke runs in.
+  ./build/submit_storm --mode reactor --clients 64 --requests-per-client 4 \
+    --json build/bench-smoke/submit_storm.json \
+    | tee build/bench-smoke/submit_storm.log
   fleet_smoke
 }
 
@@ -195,9 +220,32 @@ perf() {
     build/perf/campaign_sweep.json "$PERF_TOLERANCE"
 }
 
+build_storm_binaries() {
+  cmake --preset ci
+  cmake --build --preset ci --target bench_submit_storm perf_compare
+}
+
+run_storm() {
+  # $1: directory receiving the metrics JSON (build/storm or bench/baselines).
+  local out_dir=$1
+  mkdir -p "$out_dir" build/storm
+  ./build/submit_storm "${STORM_ARGS[@]}" \
+    --json "$out_dir/submit_storm.json" \
+    | tee build/storm/submit_storm.log
+}
+
+storm() {
+  build_storm_binaries
+  run_storm build/storm
+  ./build/perf_compare bench/baselines/submit_storm.json \
+    build/storm/submit_storm.json "$PERF_TOLERANCE"
+}
+
 perf_refresh() {
   build_perf_binaries
+  build_storm_binaries
   run_perf_grid bench/baselines
+  run_storm bench/baselines
   echo "perf baselines regenerated in bench/baselines/ — review and commit"
 }
 
@@ -211,10 +259,11 @@ fi
 # distinct exit code *before* any step has spent minutes building.
 for step in "${steps[@]}"; do
   case "$step" in
-    ci|asan|tsan|pregate|bench-smoke|perf|perf-refresh) ;;
+    ci|asan|tsan|pregate|bench-smoke|perf|storm|perf-refresh) ;;
     *)
       echo "unknown step '$step'" \
-           "(ci | pregate | asan | tsan | bench-smoke | perf | perf-refresh)" >&2
+           "(ci | pregate | asan | tsan | bench-smoke | perf | storm |" \
+           "perf-refresh)" >&2
       exit 64
       ;;
   esac
@@ -227,6 +276,7 @@ for step in "${steps[@]}"; do
     pregate) pregate ;;
     bench-smoke) bench_smoke ;;
     perf) perf ;;
+    storm) storm ;;
     perf-refresh) perf_refresh ;;
   esac
   echo "ci.sh: step '$step' finished in $((SECONDS - step_start))s"

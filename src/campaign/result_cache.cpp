@@ -162,7 +162,47 @@ std::filesystem::path ResultCache::entry_path(std::uint64_t key) const {
   return dir_ / (format_u64_hex(key) + ".session");
 }
 
+std::optional<CachedSession> ResultCache::index_load(std::uint64_t key) {
+  if (index_capacity_per_shard_.load(std::memory_order_relaxed) == 0)
+    return std::nullopt;
+  IndexShard& shard = index_[key % kIndexShards];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  ++shard.hits;
+  return it->second;
+}
+
+void ResultCache::index_store(std::uint64_t key, const CachedSession& session) {
+  const std::size_t cap =
+      index_capacity_per_shard_.load(std::memory_order_relaxed);
+  if (cap == 0) return;
+  IndexShard& shard = index_[key % kIndexShards];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto [it, inserted] = shard.map.insert_or_assign(key, session);
+  if (inserted) {
+    shard.fifo.push_back(key);
+    while (shard.map.size() > cap && !shard.fifo.empty()) {
+      shard.map.erase(shard.fifo.front());
+      shard.fifo.pop_front();
+    }
+  }
+  ++shard.stores;
+  MetricsRegistry::global().counter("result_cache.index_stores").add();
+}
+
 std::optional<CachedSession> ResultCache::load(std::uint64_t key) {
+  // Hot tier first: one shard mutex, no disk, no cache-wide lock.
+  if (std::optional<CachedSession> result = index_load(key)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    MetricsRegistry::global().counter("result_cache.hits").add();
+    MetricsRegistry::global().counter("result_cache.index_hits").add();
+    return result;
+  }
+  MetricsRegistry::global().counter("result_cache.index_misses").add();
   std::optional<CachedSession> result;
   {
     std::ifstream in(entry_path(key));
@@ -172,15 +212,15 @@ std::optional<CachedSession> ResultCache::load(std::uint64_t key) {
       result = decode(text.str());
     }
   }
-  if (result)
+  if (result) {
+    // Promote the disk hit so the next load for this key stays in memory.
+    index_store(key, *result);
+    hits_.fetch_add(1, std::memory_order_relaxed);
     MetricsRegistry::global().counter("result_cache.hits").add();
-  else
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
     MetricsRegistry::global().counter("result_cache.misses").add();
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (result)
-    ++hits_;
-  else
-    ++misses_;
+  }
   return result;
 }
 
@@ -188,9 +228,9 @@ void ResultCache::store(std::uint64_t key, const CachedSession& session) {
   const std::string encoded = encode(session);
   bool over_bound = false;
   MetricsRegistry::global().counter("result_cache.stores").add();
+  stores_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    ++stores_;
     // Running total so the common under-bound store costs no directory
     // scan; evict_to_fit re-syncs it against the disk truth whenever the
     // estimate crosses the bound (other processes sharing the directory
@@ -199,11 +239,30 @@ void ResultCache::store(std::uint64_t key, const CachedSession& session) {
     approx_bytes_ += encoded.size();
     over_bound = max_bytes_ > 0 && approx_bytes_ > max_bytes_;
   }
+  // Write-through: the index gets the entry whether or not the disk write
+  // below succeeds — a failed disk store is "not durably memoized", but the
+  // in-memory value is still correct for this process's lifetime.
+  index_store(key, session);
   // Temp names unique across threads and processes; racing stores of the
   // same key resolve last-writer-wins. Throws on IO failure — callers treat
   // that as "not memoized" (see run_campaign_session).
   write_file_atomic(entry_path(key), encoded);
   if (over_bound) evict_to_fit();
+}
+
+void ResultCache::set_index_capacity(std::size_t per_shard) {
+  index_capacity_per_shard_.store(per_shard, std::memory_order_relaxed);
+  for (IndexShard& shard : index_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    while (shard.map.size() > per_shard && !shard.fifo.empty()) {
+      shard.map.erase(shard.fifo.front());
+      shard.fifo.pop_front();
+    }
+    if (per_shard == 0) {
+      shard.map.clear();
+      shard.fifo.clear();
+    }
+  }
 }
 
 void ResultCache::set_max_bytes(std::size_t max_bytes) {
@@ -268,12 +327,18 @@ void ResultCache::evict_to_fit() {
     }
   }
   MetricsRegistry::global().counter("result_cache.evictions").add(evicted);
+  evictions_.fetch_add(evicted, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mutex_);
-  evictions_ += evicted;
   approx_bytes_ = total;  // re-sync the estimate with the disk truth
 }
 
 void ResultCache::clear() {
+  // Both tiers: a cleared cache must read as empty from memory too.
+  for (IndexShard& shard : index_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.map.clear();
+    shard.fifo.clear();
+  }
   for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
     if (entry.path().extension() == ".session") {
       std::error_code ec;
@@ -285,23 +350,55 @@ void ResultCache::clear() {
 }
 
 std::size_t ResultCache::hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return hits_;
+  return hits_.load(std::memory_order_relaxed);
 }
 
 std::size_t ResultCache::misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return misses_;
+  return misses_.load(std::memory_order_relaxed);
 }
 
 std::size_t ResultCache::stores() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stores_;
+  return stores_.load(std::memory_order_relaxed);
 }
 
 std::size_t ResultCache::evictions() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return evictions_;
+  return evictions_.load(std::memory_order_relaxed);
+}
+
+std::size_t ResultCache::index_hits() const {
+  std::size_t n = 0;
+  for (const IndexShard& shard : index_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    n += shard.hits;
+  }
+  return n;
+}
+
+std::size_t ResultCache::index_misses() const {
+  std::size_t n = 0;
+  for (const IndexShard& shard : index_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    n += shard.misses;
+  }
+  return n;
+}
+
+std::size_t ResultCache::index_stores() const {
+  std::size_t n = 0;
+  for (const IndexShard& shard : index_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    n += shard.stores;
+  }
+  return n;
+}
+
+std::size_t ResultCache::index_entries() const {
+  std::size_t n = 0;
+  for (const IndexShard& shard : index_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    n += shard.map.size();
+  }
+  return n;
 }
 
 std::size_t ResultCache::entries() const {

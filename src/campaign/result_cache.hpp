@@ -31,12 +31,26 @@
 /// to run on the store path and correct under concurrent evictors (a racing
 /// removal is simply already-evicted). Eviction never throws; a cache that
 /// cannot be pruned just stays big until the next store tries again.
+///
+/// In front of the disk tier sits a sharded in-memory index: 16 mutex-striped
+/// shards keyed by the content hash, each a FIFO-bounded map of decoded
+/// CachedSession values. A hot hit takes exactly one shard mutex — never the
+/// cache-wide mutex, never the filesystem — so concurrent workers replaying
+/// overlapping specs do not serialize on the cache. The index is a pure
+/// read-through/write-through replica of immutable content-addressed data:
+/// stores populate it, disk hits promote into it, clear() empties both
+/// tiers. Disk eviction may leave an index entry behind; that is safe
+/// because a key's value never changes (same key => same bytes).
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <filesystem>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "campaign/campaign_report.hpp"
 #include "campaign/campaign_spec.hpp"
@@ -97,6 +111,11 @@ class ResultCache {
   /// Takes effect immediately: shrinking the bound prunes on the next store.
   void set_max_bytes(std::size_t max_bytes);
 
+  /// Bound each index shard to `per_shard` entries (FIFO eviction). 0
+  /// disables the in-memory index entirely — every load goes to disk —
+  /// which is how the coherence tests exercise the disk tier directly.
+  void set_index_capacity(std::size_t per_shard);
+
   [[nodiscard]] std::size_t max_bytes() const;
   [[nodiscard]] std::size_t hits() const;
   [[nodiscard]] std::size_t misses() const;
@@ -104,15 +123,38 @@ class ResultCache {
   [[nodiscard]] std::size_t evictions() const;  ///< entries evicted by the bound
   [[nodiscard]] std::size_t entries() const;  ///< files currently on disk
   [[nodiscard]] std::size_t bytes() const;    ///< total entry bytes on disk
+  [[nodiscard]] std::size_t index_hits() const;    ///< loads served in memory
+  [[nodiscard]] std::size_t index_misses() const;  ///< loads that went to disk
+  [[nodiscard]] std::size_t index_stores() const;  ///< index insertions
+  [[nodiscard]] std::size_t index_entries() const; ///< live in-memory entries
 
  private:
+  static constexpr std::size_t kIndexShards = 16;
+
+  /// One stripe of the in-memory index: its own mutex, a key->value map,
+  /// FIFO order for bounded eviction, and per-shard counters that fold into
+  /// the result_cache.index_* metrics.
+  struct IndexShard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint64_t, CachedSession> map;
+    std::deque<std::uint64_t> fifo;
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t stores = 0;
+  };
+
   [[nodiscard]] std::filesystem::path entry_path(std::uint64_t key) const;
   /// Evict oldest entries until the cache fits max_bytes (no-op when
   /// unbounded or already within). Best-effort and never throws.
   void evict_to_fit();
+  /// Probe the in-memory index (one shard mutex, no disk). Counts the
+  /// shard's hit/miss and the global index metrics.
+  [[nodiscard]] std::optional<CachedSession> index_load(std::uint64_t key);
+  /// Insert/refresh an index entry, FIFO-evicting past the shard bound.
+  void index_store(std::uint64_t key, const CachedSession& session);
 
   std::filesystem::path dir_;
-  mutable std::mutex mutex_;  // counters + max_bytes + approx_bytes
+  mutable std::mutex mutex_;  // max_bytes + approx_bytes (cold paths only)
   std::mutex evict_mutex_;    // one evictor at a time (scan is O(entries))
   std::size_t max_bytes_ = 0;
   /// Running estimate of total entry bytes, so the common under-bound store
@@ -120,10 +162,13 @@ class ResultCache {
   /// scans. Other processes sharing the directory only make it an
   /// undercount (late eviction), never an overcount (early eviction).
   std::size_t approx_bytes_ = 0;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
-  std::size_t stores_ = 0;
-  std::size_t evictions_ = 0;
+  // Hot-path counters are atomics so an index hit never touches mutex_.
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+  std::atomic<std::size_t> stores_{0};
+  std::atomic<std::size_t> evictions_{0};
+  std::array<IndexShard, kIndexShards> index_;
+  std::atomic<std::size_t> index_capacity_per_shard_{4096};
 };
 
 }  // namespace emutile

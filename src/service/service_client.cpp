@@ -54,16 +54,21 @@ bool ServiceClient::ping() const noexcept {
 
 std::string ServiceClient::submit(const std::string& spec_text, int priority,
                                   const std::string& name_hint,
-                                  const std::string& traceparent) const {
+                                  const std::string& traceparent,
+                                  std::uint64_t deadline_ms) const {
   std::ostringstream os;
   os << "SUBMIT " << priority;
   if (!name_hint.empty()) os << " " << name_hint;
   if (!traceparent.empty()) os << " traceparent=" << traceparent;
+  if (deadline_ms > 0) os << " deadline_ms=" << deadline_ms;
   os << "\n" << spec_text;
   const std::string response = request(os.str());
   if (response.rfind("ERR busy", 0) == 0)
     throw BusyError("instance at " + socket_path_.string() +
                     " is busy: " + response.substr(4));
+  if (response.rfind("ERR overdeadline", 0) == 0)
+    throw OverdeadlineError("instance at " + socket_path_.string() +
+                            " shed the deadline: " + response.substr(4));
   return expect_ok(response, "SUBMIT");
 }
 

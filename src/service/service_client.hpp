@@ -63,8 +63,18 @@ struct RemoteTraceSpans {
 class ServiceClient {
  public:
   /// Thrown by submit() when the daemon answered `ERR busy` (bounded queue
-  /// full): the spec is fine, the instance is loaded — try later/elsewhere.
+  /// full or over the per-campaign session quota): the spec is fine, the
+  /// instance is loaded — try later/elsewhere.
   class BusyError : public CheckError {
+   public:
+    using CheckError::CheckError;
+  };
+
+  /// Thrown by submit() when the daemon answered `ERR overdeadline`:
+  /// admission control concluded the requested relative deadline cannot be
+  /// met given its observed latency and backlog. Relax or drop the deadline,
+  /// or submit elsewhere.
+  class OverdeadlineError : public CheckError {
    public:
     using CheckError::CheckError;
   };
@@ -89,11 +99,15 @@ class ServiceClient {
   /// SUBMIT `spec_text`; returns the daemon-assigned campaign id. A
   /// non-empty `traceparent` (format_traceparent form) rides as the
   /// `traceparent=` token so the daemon parents its spans on the caller's.
-  /// Throws BusyError on `ERR busy`, CheckError on any other failure.
+  /// A non-zero `deadline_ms` rides as the `deadline_ms=` token: the daemon
+  /// sheds the submit up front if it cannot plausibly finish within that
+  /// relative deadline. Throws BusyError on `ERR busy`, OverdeadlineError on
+  /// `ERR overdeadline`, CheckError on any other failure.
   [[nodiscard]] std::string submit(const std::string& spec_text,
                                    int priority = 0,
                                    const std::string& name_hint = "",
-                                   const std::string& traceparent = "") const;
+                                   const std::string& traceparent = "",
+                                   std::uint64_t deadline_ms = 0) const;
 
   /// STATUS of one campaign. Throws CheckError (e.g. unknown id).
   [[nodiscard]] RemoteCampaignStatus status(const std::string& id) const;

@@ -1,6 +1,8 @@
 #include "service/service_endpoint.hpp"
 
 #include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -26,10 +28,14 @@ namespace emutile {
 namespace {
 
 /// How long the server waits for a request to arrive in full. A client that
-/// connects and never writes (or never half-closes) must not pin a detached
-/// connection thread forever — that would also block ~ServiceEndpoint, which
-/// drains those threads.
+/// connects and never writes (or never half-closes) must not pin a
+/// connection forever — that would also block ~ServiceEndpoint, which drains
+/// in-flight connections.
 constexpr int kRequestReadTimeoutMs = 30'000;
+
+/// Parked-WAIT re-poll cadence in the reactor (matches the legacy WAIT
+/// handler's 100 ms wait_for slices).
+constexpr auto kWaitRetryInterval = std::chrono::milliseconds(100);
 
 /// Read until EOF (the peer half-closed). Returns false on read errors, or —
 /// when `timeout_ms` is non-negative — if EOF has not arrived by the
@@ -120,37 +126,121 @@ sockaddr_un make_address(const std::filesystem::path& path) {
 
 }  // namespace
 
+/// One client connection in the reactor: its fd, the request being buffered,
+/// the response being flushed, and the state-machine bookkeeping. The
+/// reactor thread owns every Conn; a worker touches one only between the
+/// exec-ring hand-off and the done-ring hand-back (the rings' release/acquire
+/// publication orders those accesses).
+struct ServiceEndpoint::Conn {
+  enum class St : std::uint8_t {
+    kReading,    ///< buffering the request until the client half-closes
+    kExecuting,  ///< queued for / running on a worker / in the done ring
+    kParked,     ///< a WAIT whose campaign is not yet terminal
+    kWriting,    ///< flushing the response
+  };
+
+  int fd = -1;
+  St state = St::kReading;
+  std::string request;
+  std::string response;
+  std::size_t write_off = 0;
+  std::chrono::steady_clock::time_point read_deadline{};
+  std::chrono::steady_clock::time_point retry_at{};
+  /// Set by the worker before the done-ring hand-back: true when a WAIT
+  /// must park instead of completing.
+  bool parked = false;
+  // First-execution bookkeeping, so a WAIT that parks N times still counts
+  // one request and one latency sample spanning the whole wait.
+  bool counted = false;
+  std::string series;
+  std::string wait_id;
+  std::chrono::steady_clock::time_point exec_start{};
+  std::uint64_t exec_start_journal_us = 0;
+};
+
 ServiceEndpoint::ServiceEndpoint(SessionService& service,
-                                 std::filesystem::path socket_path)
-    : service_(service), socket_path_(std::move(socket_path)) {
+                                 std::filesystem::path socket_path,
+                                 EndpointOptions options)
+    : service_(service),
+      socket_path_(std::move(socket_path)),
+      options_(options) {
   const sockaddr_un addr = make_address(socket_path_);
   std::filesystem::remove(socket_path_);  // replace a stale socket file
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  const bool reactor = options_.mode == EndpointMode::kReactor;
+  // The reactor never blocks in accept/read/write, so its sockets are
+  // non-blocking from birth (accepted fds inherit via accept4).
+  listen_fd_ = ::socket(
+      AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC | (reactor ? SOCK_NONBLOCK : 0), 0);
   EMUTILE_CHECK(listen_fd_ >= 0,
                 "cannot create socket: " << std::strerror(errno));
   if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
              sizeof addr) != 0 ||
-      ::listen(listen_fd_, 16) != 0) {
+      ::listen(listen_fd_, reactor ? 512 : 16) != 0) {
     const int err = errno;
     ::close(listen_fd_);
     listen_fd_ = -1;
     EMUTILE_CHECK(false, "cannot listen on " << socket_path_ << ": "
                                              << std::strerror(err));
   }
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  if (!reactor) {
+    accept_thread_ = std::thread([this] { accept_loop(); });
+    return;
+  }
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    const int err = errno;
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    ::close(listen_fd_);
+    EMUTILE_CHECK(false, "cannot set up reactor: " << std::strerror(err));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  exec_queue_ = std::make_unique<MpmcQueue<Conn*>>(options_.queue_capacity);
+  done_queue_ = std::make_unique<MpmcQueue<Conn*>>(options_.queue_capacity);
+  const std::size_t workers = std::max<std::size_t>(1, options_.workers);
+  worker_threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    worker_threads_.emplace_back([this] { worker_loop(); });
+  reactor_thread_ = std::thread([this] { reactor_loop(); });
 }
 
 ServiceEndpoint::~ServiceEndpoint() {
   stopping_.store(true);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  if (listen_fd_ >= 0) ::close(listen_fd_);
-  // Connection threads are detached; wait for the in-flight ones to finish
-  // (they hold `this` only until they decrement the counter).
-  std::unique_lock<std::mutex> lock(active_mutex_);
-  active_drained_.wait(lock, [this] { return active_connections_ == 0; });
+  if (options_.mode == EndpointMode::kReactor) {
+    // Nudge the reactor so it sees the stop flag immediately, then let it
+    // run the drain: in-flight executions finish and flush, readers and
+    // parked waiters get a terminal ERR, every conn fd is closed.
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+    if (reactor_thread_.joinable()) reactor_thread_.join();
+    // Workers next: the reactor drained every conn, so the exec ring is
+    // empty; pop_wait observes the stop flag and exits.
+    workers_stop_.store(true);
+    exec_queue_->notify_all();
+    done_queue_->notify_all();
+    for (std::thread& t : worker_threads_) t.join();
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    if (listen_fd_ >= 0) ::close(listen_fd_);  // normally closed by the drain
+  } else {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    // Connection threads are detached; wait for the in-flight ones to finish
+    // (they hold `this` only until they decrement the counter).
+    std::unique_lock<std::mutex> lock(active_mutex_);
+    active_drained_.wait(lock, [this] { return active_connections_ == 0; });
+  }
   std::error_code ec;
   std::filesystem::remove(socket_path_, ec);
 }
+
+// ---- legacy thread-per-connection mode -------------------------------------
 
 void ServiceEndpoint::accept_loop() {
   while (!stopping_.load()) {
@@ -159,17 +249,22 @@ void ServiceEndpoint::accept_loop() {
     if (ready <= 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
+    MetricsRegistry::global().counter("endpoint.connections").add();
     {
       // Registered before the thread exists so the destructor can never
       // observe zero while a connection is starting up.
       std::lock_guard<std::mutex> lock(active_mutex_);
       ++active_connections_;
     }
+    MetricsRegistry::global().gauge("endpoint.connections_active").add();
     try {
       std::thread([this, fd] { serve_connection(fd); }).detach();
     } catch (const std::system_error&) {
-      std::lock_guard<std::mutex> lock(active_mutex_);
-      --active_connections_;
+      {
+        std::lock_guard<std::mutex> lock(active_mutex_);
+        --active_connections_;
+      }
+      MetricsRegistry::global().gauge("endpoint.connections_active").sub();
       ::close(fd);
     }
   }
@@ -200,13 +295,345 @@ void ServiceEndpoint::serve_connection(int fd) {
                                     << slow_request_us_.load() / 1000
                                     << " ms)");
     }
+  } else {
+    MetricsRegistry::global().counter("endpoint.read_timeouts").add();
   }
   write_all(fd, response);
   ::close(fd);
+  MetricsRegistry::global().gauge("endpoint.connections_active").sub();
   std::lock_guard<std::mutex> lock(active_mutex_);
   --active_connections_;
   active_drained_.notify_all();
 }
+
+// ---- reactor mode ----------------------------------------------------------
+
+void ServiceEndpoint::reactor_loop() {
+  std::vector<epoll_event> events(128);
+  for (;;) {
+    if (stopping_.load()) {
+      reactor_shutdown_drain();
+      return;
+    }
+    reactor_flush_exec_overflow();
+    // A fixed 100 ms tick bounds how stale read deadlines and parked-WAIT
+    // retries can get; actual IO and completions wake the loop immediately.
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), 100);
+    if (n < 0 && errno != EINTR) {
+      EMUTILE_WARN("endpoint reactor: epoll_wait failed: "
+                   << std::strerror(errno));
+      continue;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        reactor_accept();
+      } else if (fd == wake_fd_) {
+        std::uint64_t v = 0;
+        [[maybe_unused]] const ssize_t r = ::read(wake_fd_, &v, sizeof v);
+        reactor_drain_done();
+      } else {
+        const auto it = conns_.find(fd);
+        if (it == conns_.end()) continue;  // already closed this tick
+        Conn& conn = *it->second;
+        if (conn.state == Conn::St::kReading)
+          reactor_readable(conn);
+        else if (conn.state == Conn::St::kWriting)
+          reactor_writable(conn);
+      }
+    }
+    reactor_drain_done();
+    reactor_expire_and_retry();
+  }
+}
+
+void ServiceEndpoint::reactor_accept() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN: drained the backlog
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->read_deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(kRequestReadTimeoutMs);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    MetricsRegistry::global().counter("endpoint.connections").add();
+    MetricsRegistry::global().gauge("endpoint.connections_active").add();
+    conns_.emplace(fd, std::move(conn));
+  }
+}
+
+void ServiceEndpoint::reactor_readable(Conn& conn) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(conn.fd, buf, sizeof buf);
+    if (n > 0) {
+      conn.request.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      // EOF: the client half-closed, the request is complete. The fd goes
+      // quiet in epoll until the response is ready.
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+      conn.state = Conn::St::kExecuting;
+      reactor_queue_exec(conn);
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // more later
+    reactor_close(conn);
+    return;
+  }
+}
+
+void ServiceEndpoint::reactor_queue_exec(Conn& conn) {
+  if (!exec_queue_->try_push(&conn)) exec_overflow_.push_back(&conn);
+}
+
+void ServiceEndpoint::reactor_flush_exec_overflow() {
+  while (!exec_overflow_.empty()) {
+    if (!exec_queue_->try_push(exec_overflow_.front())) return;
+    exec_overflow_.pop_front();
+  }
+}
+
+void ServiceEndpoint::reactor_drain_done() {
+  while (std::optional<Conn*> done = done_queue_->try_pop()) {
+    Conn& conn = **done;
+    if (conn.parked && !stopping_.load()) {
+      conn.state = Conn::St::kParked;
+      conn.retry_at = std::chrono::steady_clock::now() + kWaitRetryInterval;
+      parked_.push_back(&conn);
+    } else if (conn.parked) {
+      // Stopping: a parked WAIT cannot be satisfied anymore.
+      conn.parked = false;
+      conn.response = "ERR service shutting down\n";
+      reactor_finish(conn);
+    } else {
+      reactor_finish(conn);
+    }
+  }
+}
+
+void ServiceEndpoint::reactor_finish(Conn& conn) {
+  conn.state = Conn::St::kWriting;
+  conn.write_off = 0;
+  epoll_event ev{};
+  ev.events = EPOLLOUT;
+  ev.data.fd = conn.fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn.fd, &ev) != 0) {
+    // The fd may still be registered (read-deadline path): try MOD.
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev) != 0) {
+      reactor_close(conn);
+      return;
+    }
+  }
+  reactor_writable(conn);  // usually flushes in one go
+}
+
+void ServiceEndpoint::reactor_writable(Conn& conn) {
+  while (conn.write_off < conn.response.size()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.response.data() + conn.write_off,
+               conn.response.size() - conn.write_off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // EPOLLOUT later
+      reactor_close(conn);
+      return;
+    }
+    conn.write_off += static_cast<std::size_t>(n);
+  }
+  reactor_close(conn);  // one-shot protocol: reply flushed, done
+}
+
+void ServiceEndpoint::reactor_close(Conn& conn) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+  ::close(conn.fd);
+  MetricsRegistry::global().gauge("endpoint.connections_active").sub();
+  conns_.erase(conn.fd);  // frees the Conn
+}
+
+void ServiceEndpoint::reactor_expire_and_retry() {
+  const auto now = std::chrono::steady_clock::now();
+  // Re-poll parked WAITs whose interval elapsed.
+  for (std::size_t i = 0; i < parked_.size();) {
+    Conn& conn = *parked_[i];
+    if (conn.retry_at <= now || stopping_.load()) {
+      parked_[i] = parked_.back();
+      parked_.pop_back();
+      conn.state = Conn::St::kExecuting;
+      reactor_queue_exec(conn);
+    } else {
+      ++i;
+    }
+  }
+  // Expire readers that never delivered a complete request. Collect first:
+  // finishing may close (and erase) the conn.
+  std::vector<Conn*> expired;
+  for (const auto& [fd, conn] : conns_)
+    if (conn->state == Conn::St::kReading && conn->read_deadline <= now)
+      expired.push_back(conn.get());
+  for (Conn* conn : expired) {
+    MetricsRegistry::global().counter("endpoint.read_timeouts").add();
+    conn->response = "ERR request read failed\n";
+    reactor_finish(*conn);
+  }
+}
+
+void ServiceEndpoint::reactor_shutdown_drain() {
+  // No new connections.
+  if (listen_fd_ >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Readers cannot complete anymore; answer like the legacy stop path.
+  std::vector<Conn*> readers;
+  for (const auto& [fd, conn] : conns_)
+    if (conn->state == Conn::St::kReading) readers.push_back(conn.get());
+  for (Conn* conn : readers) {
+    conn->response = "ERR request read failed\n";
+    reactor_finish(*conn);
+  }
+  // Parked WAITs get a terminal answer.
+  std::vector<Conn*> parked;
+  parked.swap(parked_);
+  for (Conn* conn : parked) {
+    conn->response = "ERR service shutting down\n";
+    reactor_finish(*conn);
+  }
+  // Drain: every queued/running execution finishes (WAITs observe the stop
+  // flag and answer immediately, every other handler is bounded), then the
+  // responses get a bounded window to flush. Conn objects referenced by
+  // workers are never freed here — only kWriting stragglers are forced.
+  std::vector<epoll_event> events(128);
+  auto flush_deadline = std::chrono::steady_clock::now();
+  for (;;) {
+    reactor_flush_exec_overflow();
+    reactor_drain_done();
+    bool executing = false;
+    bool writing = false;
+    for (const auto& [fd, conn] : conns_) {
+      executing = executing || conn->state == Conn::St::kExecuting;
+      writing = writing || conn->state == Conn::St::kWriting;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (executing)
+      flush_deadline = now + std::chrono::seconds(2);
+    if (!executing && (!writing || now > flush_deadline)) break;
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), 10);
+    for (int i = 0; i < (n > 0 ? n : 0); ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t v = 0;
+        [[maybe_unused]] const ssize_t r = ::read(wake_fd_, &v, sizeof v);
+        continue;
+      }
+      const auto it = conns_.find(fd);
+      if (it != conns_.end() && it->second->state == Conn::St::kWriting)
+        reactor_writable(*it->second);
+    }
+  }
+  // Whatever is left is a peer that stopped reading its reply: close it.
+  while (!conns_.empty()) reactor_close(*conns_.begin()->second);
+}
+
+void ServiceEndpoint::worker_loop() {
+  while (std::optional<Conn*> next = exec_queue_->pop_wait(workers_stop_)) {
+    Conn& conn = **next;
+    conn.parked = !execute(conn);
+    if (!done_queue_->push_wait(&conn, workers_stop_)) return;
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+  }
+}
+
+bool ServiceEndpoint::execute(Conn& conn) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  if (!conn.counted) {
+    // First execution of this request: per-command accounting starts here
+    // and — for WAITs, which may park many times — ends only when the
+    // response is produced, so the latency sample spans the whole wait.
+    const std::size_t eol = conn.request.find('\n');
+    std::istringstream line(eol == std::string::npos
+                                ? conn.request
+                                : conn.request.substr(0, eol));
+    std::string command;
+    line >> command;
+    conn.series = known_command(command) ? command : "OTHER";
+    conn.counted = true;
+    conn.exec_start = std::chrono::steady_clock::now();
+    conn.exec_start_journal_us = journal_now_us();
+    if (conn.series == "WAIT") {
+      reg.counter("endpoint.requests.WAIT").add();
+      line >> conn.wait_id;
+    }
+  }
+  if (conn.series == "WAIT") {
+    // Never block a worker: probe, and park when not yet terminal.
+    if (conn.wait_id.empty()) {
+      conn.response = "ERR WAIT needs a campaign id\n";
+    } else {
+      try {
+        if (!service_.wait_for(conn.wait_id, std::chrono::milliseconds(0))) {
+          if (!stopping_.load()) return false;  // park: reactor re-polls
+          conn.response = "ERR service shutting down\n";
+        } else {
+          const std::optional<CampaignStatus> s =
+              service_.status(conn.wait_id);
+          conn.response =
+              std::string("OK ") + (s ? to_string(s->state) : "unknown") +
+              "\n";
+        }
+      } catch (const std::exception& e) {
+        reg.counter("endpoint.errors").add();
+        conn.response = std::string("ERR ") + e.what() + "\n";
+      }
+    }
+  } else {
+    try {
+      conn.response = handle_request(conn.request);
+    } catch (const std::exception& e) {
+      reg.counter("endpoint.errors").add();
+      conn.response = std::string("ERR ") + e.what() + "\n";
+    }
+  }
+  const auto elapsed_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - conn.exec_start)
+          .count());
+  if (conn.series == "WAIT") {
+    // handle_request records the other commands' latency itself; the WAIT
+    // fast path above bypasses it, so record (and trace) here, covering
+    // park time.
+    reg.histogram("endpoint.request_us.WAIT").record(elapsed_us);
+    if (Tracer::enabled())
+      Tracer::global().record_span(
+          "endpoint.request.WAIT", Tracer::global().child_context({}), 0,
+          conn.exec_start_journal_us, elapsed_us);
+  }
+  if (elapsed_us > slow_request_us_.load()) {
+    reg.counter("endpoint.slow_requests").add();
+    EMUTILE_WARN("slow request: " << conn.series << " took "
+                                  << elapsed_us / 1000 << " ms (threshold "
+                                  << slow_request_us_.load() / 1000 << " ms)");
+  }
+  return true;
+}
+
+// ---- the protocol ----------------------------------------------------------
 
 std::string ServiceEndpoint::handle_request(const std::string& request) {
   const std::size_t eol = request.find('\n');
@@ -222,6 +649,7 @@ std::string ServiceEndpoint::handle_request(const std::string& request) {
   // handler, including service calls and disk reads — what a client feels.
   MetricsRegistry& reg = MetricsRegistry::global();
   const std::string series = known_command(command) ? command : "OTHER";
+  // Reactor-mode WAITs are counted by execute() (they never reach here).
   reg.counter("endpoint.requests." + series).add();
   const ScopedLatency latency(reg.histogram("endpoint.request_us." + series));
 
@@ -230,6 +658,7 @@ std::string ServiceEndpoint::handle_request(const std::string& request) {
   TraceContext span_parent{};
   int priority = 0;
   std::string name_hint;
+  std::uint64_t deadline_ms = 0;
   if (command == "SUBMIT") {
     line >> priority;
     std::string token;
@@ -238,6 +667,12 @@ std::string ServiceEndpoint::handle_request(const std::string& request) {
         if (const auto ctx =
                 parse_traceparent(token.substr(std::strlen("traceparent="))))
           span_parent = *ctx;
+      } else if (token.rfind("deadline_ms=", 0) == 0) {
+        try {
+          deadline_ms = std::stoull(token.substr(std::strlen("deadline_ms=")));
+        } catch (const std::exception&) {
+          return "ERR SUBMIT deadline_ms must be a non-negative integer\n";
+        }
       } else if (name_hint.empty()) {
         name_hint = token;
       }
@@ -253,11 +688,14 @@ std::string ServiceEndpoint::handle_request(const std::string& request) {
     try {
       const std::string id = service_.submit_text(
           body, priority, name_hint,
-          span ? span->context() : TraceContext{});
+          span ? span->context() : TraceContext{}, deadline_ms);
       return "OK " + id + "\n";
+    } catch (const ServiceOverdeadlineError& e) {
+      // Distinguished first tokens: clients branch on `ERR busy` to back
+      // off or re-dispatch, and on `ERR overdeadline` to relax or drop the
+      // deadline, instead of treating the spec as malformed.
+      return std::string("ERR overdeadline ") + e.what() + "\n";
     } catch (const ServiceBusyError& e) {
-      // A distinguished first token: clients branch on `ERR busy` to back
-      // off or re-dispatch instead of treating the spec as malformed.
       return std::string("ERR busy ") + e.what() + "\n";
     }
   } else if (command == "STATUS") {
@@ -284,7 +722,8 @@ std::string ServiceEndpoint::handle_request(const std::string& request) {
   } else if (command == "WAIT") {
     std::string id;
     if (!(line >> id)) return "ERR WAIT needs a campaign id\n";
-    // Poll so ~ServiceEndpoint (which drains this connection thread) can
+    // Legacy mode only (the reactor parks WAITs in execute() instead). Poll
+    // so ~ServiceEndpoint (which drains this connection thread) can
     // interrupt the wait: with the daemon tearing down before the service,
     // the waited-on state change may only happen after the endpoint is gone
     // — blocking here indefinitely would deadlock shutdown.
@@ -317,7 +756,11 @@ std::string ServiceEndpoint::handle_request(const std::string& request) {
     os << "OK entries=" << cache->entries() << " bytes=" << cache->bytes()
        << " hits=" << cache->hits() << " misses=" << cache->misses()
        << " stores=" << cache->stores()
-       << " evictions=" << cache->evictions() << "\n";
+       << " evictions=" << cache->evictions()
+       << " index_hits=" << cache->index_hits()
+       << " index_misses=" << cache->index_misses()
+       << " index_stores=" << cache->index_stores()
+       << " index_entries=" << cache->index_entries() << "\n";
     return os.str();
   } else if (command == "METRICS") {
     // The whole process-wide registry, either as the stable text exposition

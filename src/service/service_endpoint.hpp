@@ -8,14 +8,20 @@
 /// Requests (first line; SUBMIT carries the spec text as the body):
 ///
 ///   PING                         -> OK pong
-///   SUBMIT <priority> [<name>] [traceparent=<t>-<s>]
+///   SUBMIT <priority> [<name>] [traceparent=<t>-<s>] [deadline_ms=<n>]
 ///                                -> OK <campaign-id>      (body = spec text)
 ///                                   `ERR busy ...` when the bounded campaign
 ///                                   queue (ServiceConfig::max_pending) is
-///                                   full — resubmit later or elsewhere. The
-///                                   optional traceparent token (see
-///                                   obs/trace.hpp) parents the daemon's
-///                                   campaign spans on the submitter's trace.
+///                                   full or the spec exceeds the per-campaign
+///                                   session quota — resubmit later, smaller,
+///                                   or elsewhere. `ERR overdeadline ...` when
+///                                   admission control concludes the requested
+///                                   relative deadline cannot be met given the
+///                                   observed session-latency p99 and the work
+///                                   already queued. The optional traceparent
+///                                   token (see obs/trace.hpp) parents the
+///                                   daemon's campaign spans on the
+///                                   submitter's trace.
 ///   STATUS <id>                  -> OK <id> <state> <done>/<total>
 ///                                   hits=<n> misses=<n> snapshots=<n>
 ///   LIST                         -> OK <count>  (+ one status line per
@@ -29,6 +35,8 @@
 ///                                   into the fleet-wide result)
 ///   CACHE                        -> OK entries=<n> bytes=<n> hits=<n>
 ///                                   misses=<n> stores=<n> evictions=<n>
+///                                   index_hits=<n> index_misses=<n>
+///                                   index_stores=<n> index_entries=<n>
 ///                                   (result-cache stats since daemon start;
 ///                                   `ERR` when the cache is disabled)
 ///   TRACESPANS                   -> OK now_us=<n> spans=<n>  (+ the
@@ -40,33 +48,81 @@
 ///                                   reads)
 ///   SHUTDOWN                     -> OK bye  (sets shutdown_requested)
 ///
-/// Errors answer `ERR <message>`. Each connection is served on its own
-/// thread, so a blocking WAIT never stalls other clients. The server applies
-/// a receive deadline to each request, so a client that connects and never
-/// writes (or never half-closes) gets `ERR` instead of pinning a connection
-/// thread and blocking daemon shutdown. Requests slower than the slow-request
-/// threshold (set_slow_request_ms, default 1000) log a WARN with the command
-/// and duration and count into `endpoint.slow_requests`.
+/// Errors answer `ERR <message>`.
+///
+/// Two connection-handling modes, byte-identical on the wire:
+///
+///   kReactor (default)  One epoll-multiplexed reactor thread owns every fd:
+///                       non-blocking accept/read/write, a per-connection
+///                       state machine buffering partial requests, and a
+///                       small worker pool executing complete requests
+///                       (handed over through lock-free MPMC rings, woken by
+///                       an eventfd). Blocking WAITs never pin a worker:
+///                       they "park" in the reactor and are re-polled on a
+///                       ~100 ms cadence, so thousands of simultaneous
+///                       clients (waiters included) fit in a handful of
+///                       threads. On stop the reactor drains: in-flight
+///                       executions finish and flush, readers and parked
+///                       waiters get a terminal ERR, and every fd the
+///                       endpoint ever owned is provably closed.
+///
+///   kThreadPerConnection  The original accept-thread + thread-per-connection
+///                       server. Kept as the A/B baseline for the
+///                       submit-storm bench and the cross-mode byte-identity
+///                       test.
+///
+/// The server applies a receive deadline to each request, so a client that
+/// connects and never writes (or never half-closes) gets dropped (counted in
+/// `endpoint.read_timeouts`) instead of pinning a connection and blocking
+/// daemon shutdown. Requests slower than the slow-request threshold
+/// (set_slow_request_ms, default 1000) log a WARN with the command and
+/// duration and count into `endpoint.slow_requests`.
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <filesystem>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "util/mpmc_queue.hpp"
 
 namespace emutile {
 
 class SessionService;
 
+enum class EndpointMode : std::uint8_t {
+  kReactor,              ///< epoll reactor + worker pool (default)
+  kThreadPerConnection,  ///< legacy: one detached thread per connection
+};
+
+struct EndpointOptions {
+  EndpointMode mode = EndpointMode::kReactor;
+  /// Request-execution worker threads (reactor mode only). Small on
+  /// purpose: requests are short (WAIT parks instead of blocking), so a
+  /// handful of workers saturate the service core.
+  std::size_t workers = 4;
+  /// Capacity of the reactor<->worker MPMC rings (rounded up to a power of
+  /// two). A full execution ring briefly queues inside the reactor; a full
+  /// completion ring briefly blocks a worker — neither drops a request.
+  std::size_t queue_capacity = 4096;
+};
+
 class ServiceEndpoint {
  public:
   /// Bind and listen on `socket_path` (an existing stale socket file is
-  /// replaced) and start accepting. Throws CheckError on bind failures.
-  ServiceEndpoint(SessionService& service, std::filesystem::path socket_path);
+  /// replaced) and start serving. Throws CheckError on bind failures.
+  ServiceEndpoint(SessionService& service, std::filesystem::path socket_path,
+                  EndpointOptions options = {});
 
-  /// Stops accepting, waits for in-flight connections, unlinks the socket.
+  /// Stops accepting, drains in-flight connections, closes every owned fd,
+  /// unlinks the socket.
   ~ServiceEndpoint();
 
   ServiceEndpoint(const ServiceEndpoint&) = delete;
@@ -75,6 +131,8 @@ class ServiceEndpoint {
   [[nodiscard]] const std::filesystem::path& socket_path() const {
     return socket_path_;
   }
+
+  [[nodiscard]] EndpointMode mode() const { return options_.mode; }
 
   /// True once a client sent SHUTDOWN. The daemon's main loop polls this.
   [[nodiscard]] bool shutdown_requested() const {
@@ -91,22 +149,62 @@ class ServiceEndpoint {
   }
 
  private:
+  // ---- shared (both modes) ----
+  [[nodiscard]] std::string handle_request(const std::string& request);
+
+  // ---- legacy thread-per-connection mode ----
   void accept_loop();
   void serve_connection(int fd);
-  [[nodiscard]] std::string handle_request(const std::string& request);
+
+  // ---- reactor mode ----
+  /// Per-connection state machine, owned by the reactor. Workers touch a
+  /// connection only between kExecuting hand-off and done-ring hand-back.
+  struct Conn;
+  void reactor_loop();
+  void worker_loop();
+  /// Execute a complete request on a worker. Returns true when the
+  /// connection produced a response (kWriting next), false when a WAIT
+  /// parked (the reactor re-queues it on a ~100 ms cadence).
+  [[nodiscard]] bool execute(Conn& conn);
+  void reactor_accept();
+  void reactor_readable(Conn& conn);
+  void reactor_writable(Conn& conn);
+  void reactor_close(Conn& conn);
+  void reactor_finish(Conn& conn);  ///< response ready -> start writing
+  void reactor_drain_done();
+  void reactor_queue_exec(Conn& conn);
+  void reactor_flush_exec_overflow();
+  void reactor_expire_and_retry();
+  void reactor_shutdown_drain();
 
   SessionService& service_;
   std::filesystem::path socket_path_;
+  EndpointOptions options_;
   int listen_fd_ = -1;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> shutdown_requested_{false};
   std::atomic<std::uint64_t> slow_request_us_{1'000'000};
+
+  // Legacy mode.
   std::thread accept_thread_;
   // Connection threads are detached so a long-lived daemon never accumulates
   // joinable threads; this counter lets the destructor drain them.
   std::mutex active_mutex_;
   std::condition_variable active_drained_;
   std::size_t active_connections_ = 0;
+
+  // Reactor mode. The reactor thread owns epoll_fd_, wake_fd_, listen_fd_
+  // and every connection fd; workers never see an fd.
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd: workers nudge the reactor
+  std::thread reactor_thread_;
+  std::vector<std::thread> worker_threads_;
+  std::atomic<bool> workers_stop_{false};
+  std::unique_ptr<MpmcQueue<Conn*>> exec_queue_;  ///< reactor -> workers
+  std::unique_ptr<MpmcQueue<Conn*>> done_queue_;  ///< workers -> reactor
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;  ///< by fd
+  std::deque<Conn*> exec_overflow_;  ///< exec ring full: retry next tick
+  std::vector<Conn*> parked_;        ///< WAITs awaiting their next poll
 };
 
 /// Client side of the protocol: connect to `socket_path`, send `request`

@@ -62,6 +62,9 @@ void move_into(const std::filesystem::path& from,
 struct SessionService::Campaign {
   std::string id;
   CampaignSpec spec;
+  /// Canonical spec text, carried from submit() to the dispatcher which
+  /// persists it as out/<id>/spec.txt (empty for custom-builder specs).
+  std::string canonical;
   int priority = 0;
   JobScheduler::StreamId stream = 0;
   std::filesystem::path out_dir;
@@ -94,7 +97,8 @@ struct SessionService::Campaign {
 
 SessionService::SessionService(ServiceConfig config)
     : config_(std::move(config)),
-      baselines_(config_.baseline_cache_entries) {
+      baselines_(config_.baseline_cache_entries),
+      intake_(config_.intake_capacity) {
   EMUTILE_CHECK(!config_.root.empty(), "service needs a root directory");
   EMUTILE_CHECK(config_.num_threads >= 1, "service needs at least 1 thread");
   std::filesystem::create_directories(config_.root / "spool");
@@ -104,9 +108,16 @@ SessionService::SessionService(ServiceConfig config)
     cache_->set_max_bytes(config_.cache_max_bytes);
   }
   scheduler_ = std::make_unique<JobScheduler>(config_.num_threads);
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
 }
 
 SessionService::~SessionService() {
+  // Stop the dispatcher first: pop_wait drains the intake ring before
+  // giving up, so every admitted campaign reaches the scheduler (and is
+  // then cancelled below) — nothing submitted is silently dropped.
+  intake_stop_.store(true);
+  intake_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (const std::unique_ptr<Campaign>& c : campaigns_) {
@@ -122,7 +133,47 @@ SessionService::~SessionService() {
 
 std::string SessionService::submit(const CampaignSpec& spec, int priority,
                                    const std::string& name_hint,
-                                   TraceContext trace) {
+                                   TraceContext trace,
+                                   std::uint64_t deadline_ms) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  // QoS admission, cheapest checks first. Quota: a single campaign may not
+  // carry more sessions than the configured per-campaign budget.
+  const std::size_t sessions = spec.num_sessions();
+  if (config_.session_quota > 0 && sessions > config_.session_quota) {
+    reg.counter("service.sheds_quota").add();
+    throw ServiceBusyError(
+        "campaign exceeds session quota (" + std::to_string(sessions) +
+        " sessions, quota " + std::to_string(config_.session_quota) + ")");
+  }
+  // Deadline feasibility: once the session-latency distribution has enough
+  // samples to trust, estimate this campaign's completion as (work already
+  // queued + its own sessions) serialized over the worker pool at the
+  // observed p99 per session. An infeasible deadline is shed *now*, before
+  // the daemon takes on work it already knows it will miss.
+  const std::uint64_t effective_deadline_ms =
+      deadline_ms > 0 ? deadline_ms : config_.deadline_default_ms;
+  if (effective_deadline_ms > 0) {
+    const MetricHistogram& wall = reg.histogram("session.wall_us");
+    if (wall.count() >= 20) {
+      const std::uint64_t p99_us = wall.quantile(0.99);
+      const std::int64_t depth = reg.gauge("scheduler.queue_depth").value();
+      const std::uint64_t queued_units =
+          depth > 0 ? static_cast<std::uint64_t>(depth) : 0;
+      const std::uint64_t estimated_us =
+          (queued_units + sessions) * p99_us / config_.num_threads;
+      if (estimated_us > effective_deadline_ms * 1000) {
+        reg.counter("service.sheds_overdeadline").add();
+        throw ServiceOverdeadlineError(
+            "deadline " + std::to_string(effective_deadline_ms) +
+            " ms infeasible: ~" + std::to_string(estimated_us / 1000) +
+            " ms estimated for " + std::to_string(sessions) +
+            " sessions behind " + std::to_string(queued_units) +
+            " queued units at p99 " + std::to_string(p99_us / 1000) +
+            " ms/session");
+      }
+    }
+  }
+
   std::string canonical;
   std::string hash8 = "custom";
   try {
@@ -154,25 +205,25 @@ std::string SessionService::submit(const CampaignSpec& spec, int priority,
   Campaign* c = nullptr;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    // Admission control under the same lock that registers the campaign —
+    // Load admission under the same lock that registers the campaign —
     // check-then-act with the lock dropped in between would let concurrent
-    // submits overshoot the bound it exists to enforce.
+    // submits overshoot the bound it exists to enforce. The tally is O(1):
+    // set_state_locked keeps the queued/running counters truthful.
     if (config_.max_pending > 0) {
-      std::size_t pending = 0;
-      for (const std::unique_ptr<Campaign>& existing : campaigns_)
-        if (existing->state == CampaignState::kQueued ||
-            existing->state == CampaignState::kRunning)
-          ++pending;
-      if (pending >= config_.max_pending)
+      const std::size_t pending = queued_campaigns_ + running_campaigns_;
+      if (pending >= config_.max_pending) {
+        reg.counter("service.sheds_busy").add();
         throw ServiceBusyError("campaign queue full (" +
                                std::to_string(pending) + " pending, limit " +
                                std::to_string(config_.max_pending) + ")");
+      }
     }
     auto owned = std::make_unique<Campaign>();
     c = owned.get();
     c->id = id;
     c->out_dir = out_dir;
     c->spec = spec;
+    c->canonical = std::move(canonical);
     c->priority = priority;
     c->stream = scheduler_->open_stream(priority);
     // Adopt the submitter's trace (or root a fresh one); child spans parent
@@ -180,28 +231,53 @@ std::string SessionService::submit(const CampaignSpec& spec, int priority,
     c->trace = Tracer::global().child_context(trace);
     c->trace_parent = trace.valid() ? trace.span_id : 0;
     c->submit_us = journal_now_us();
+    ++queued_campaigns_;  // constructed kQueued
+    by_id_.emplace(c->id, c);
     campaigns_.push_back(std::move(owned));
   }
-  // Disk IO happens off the service mutex (like snapshots and finalize), so
-  // a slow disk never stalls workers recording outcomes or status calls. The
-  // campaign is not scheduled yet, so nothing else touches its out_dir.
-  bool counted_active = false;
+  reg.counter("service.campaigns_submitted").add();
+  reg.gauge("service.campaigns_active").add();
+  // Hand off to the dispatcher: spec persistence and scheduling (disk IO)
+  // happen off the submit path. A full ring blocks bounded-ly — it cannot
+  // happen while max_pending <= intake_capacity, because occupancy is
+  // bounded by active campaigns. push_wait only refuses when the service is
+  // already stopping, in which case the shutdown path cancels + finalizes
+  // the registered campaign like any other queued one.
+  if (!intake_.push_wait(c, intake_stop_)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    c->cancel_flag.store(true);
+  }
+  reg.gauge("service.intake_depth")
+      .set(static_cast<std::int64_t>(intake_.size_approx()));
+  return c->id;
+}
+
+void SessionService::dispatch_loop() {
+  while (std::optional<Campaign*> c = intake_.pop_wait(intake_stop_)) {
+    MetricsRegistry::global()
+        .gauge("service.intake_depth")
+        .set(static_cast<std::int64_t>(intake_.size_approx()));
+    dispatch_campaign(**c);
+  }
+}
+
+void SessionService::dispatch_campaign(Campaign& c) {
+  const LogCampaignScope log_scope(c.id);
   try {
-    std::filesystem::create_directories(c->out_dir);
-    if (!canonical.empty())
-      write_file_atomic(c->out_dir / "spec.txt", canonical);
+    std::filesystem::create_directories(c.out_dir);
+    if (!c.canonical.empty())
+      write_file_atomic(c.out_dir / "spec.txt", c.canonical);
+    c.canonical.clear();
+    c.canonical.shrink_to_fit();
     if (config_.enable_journal) {
-      c->journal = std::make_unique<EventJournal>(
-          c->out_dir / "events.jsonl", c->id,
-          c->trace.valid() ? format_u64_hex(c->trace.trace_id) : "");
-      c->journal->record("submit", {{"priority", priority},
-                                    {"designs", c->spec.designs.size()},
-                                    {"tilings", c->spec.tilings.size()}});
+      c.journal = std::make_unique<EventJournal>(
+          c.out_dir / "events.jsonl", c.id,
+          c.trace.valid() ? format_u64_hex(c.trace.trace_id) : "");
+      c.journal->record("submit", {{"priority", c.priority},
+                                   {"designs", c.spec.designs.size()},
+                                   {"tilings", c.spec.tilings.size()}});
     }
-    MetricsRegistry::global().counter("service.campaigns_submitted").add();
-    MetricsRegistry::global().gauge("service.campaigns_active").add();
-    counted_active = true;
-    schedule(*c);
+    schedule(c);
   } catch (const std::exception& e) {
     // Nothing reached the scheduler (a throwing JobScheduler::submit
     // withdraws its unit). Mark the campaign failed rather than erase it: a
@@ -209,23 +285,60 @@ std::string SessionService::submit(const CampaignSpec& spec, int priority,
     // wait predicate holds a pointer to this Campaign, so erasing would
     // free it out from under them. kFailed is terminal, so waiters and
     // drain() proceed normally.
-    if (counted_active)
-      MetricsRegistry::global().gauge("service.campaigns_active").sub();
+    MetricsRegistry::global().gauge("service.campaigns_active").sub();
     MetricsRegistry::global().counter("service.campaigns_failed").add();
-    if (c->journal) c->journal->record("finalize", {{"state", "failed"}});
+    if (c.journal) c.journal->record("finalize", {{"state", "failed"}});
+    EMUTILE_WARN("campaign " << c.id
+                             << " could not be started: " << e.what());
     std::lock_guard<std::mutex> lock(mutex_);
-    c->state = CampaignState::kFailed;
-    c->error = std::string("campaign could not be started: ") + e.what();
+    set_state_locked(c, CampaignState::kFailed);
+    c.error = std::string("campaign could not be started: ") + e.what();
     state_changed_.notify_all();
-    throw;
   }
-  return c->id;
+}
+
+void SessionService::set_state_locked(Campaign& c, CampaignState next) {
+  if (c.state == next) return;
+  if (c.state == CampaignState::kQueued)
+    --queued_campaigns_;
+  else if (c.state == CampaignState::kRunning)
+    --running_campaigns_;
+  if (next == CampaignState::kQueued)
+    ++queued_campaigns_;
+  else if (next == CampaignState::kRunning)
+    ++running_campaigns_;
+  c.state = next;
+}
+
+SessionService::Campaign* SessionService::find_locked(
+    const std::string& id) const {
+  const auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
 }
 
 std::string SessionService::submit_text(const std::string& text, int priority,
                                         const std::string& name_hint,
-                                        TraceContext trace) {
-  return submit(parse_campaign_spec(text), priority, name_hint, trace);
+                                        TraceContext trace,
+                                        std::uint64_t deadline_ms) {
+  // Shed-before-parse: a full campaign queue is an O(1) check, and under a
+  // submit storm most requests die on it — don't spend a spec parse on a
+  // request that was never going to be admitted. The registration path
+  // re-checks under the same lock, so this is purely a fast path.
+  if (config_.max_pending > 0) {
+    std::size_t pending;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      pending = queued_campaigns_ + running_campaigns_;
+    }
+    if (pending >= config_.max_pending) {
+      MetricsRegistry::global().counter("service.sheds_busy").add();
+      throw ServiceBusyError("campaign queue full (" +
+                             std::to_string(pending) + " pending, limit " +
+                             std::to_string(config_.max_pending) + ")");
+    }
+  }
+  return submit(parse_campaign_spec(text), priority, name_hint, trace,
+                deadline_ms);
 }
 
 std::size_t SessionService::poll_spool() {
@@ -320,7 +433,7 @@ void SessionService::prepare_unit(Campaign& c, bool cancelled) {
     std::size_t baseline_units = 0;
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      c.state = CampaignState::kRunning;
+      set_state_locked(c, CampaignState::kRunning);
       c.jobs = std::move(jobs);
       c.goldens = std::move(goldens);
       c.golden_errors = std::move(golden_errors);
@@ -383,7 +496,7 @@ void SessionService::prepare_unit(Campaign& c, bool cancelled) {
     }
   } catch (const std::exception& e) {
     std::lock_guard<std::mutex> lock(mutex_);
-    c.state = CampaignState::kFailed;
+    set_state_locked(c, CampaignState::kFailed);
     c.error = e.what();
     c.units_total = 1;
     do_finalize = unit_finished_locked(c);
@@ -580,7 +693,7 @@ void SessionService::finalize(Campaign& c) {
     }
   }
   std::lock_guard<std::mutex> lock(mutex_);
-  c.state = state;
+  set_state_locked(c, state);
   c.error = error;
   // Golden netlists can be large; the campaign is done with them.
   c.goldens.clear();
@@ -642,8 +755,7 @@ CampaignStatus SessionService::status_locked(const Campaign& c) const {
 std::optional<CampaignStatus> SessionService::status(
     const std::string& id) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  for (const std::unique_ptr<Campaign>& c : campaigns_)
-    if (c->id == id) return status_locked(*c);
+  if (const Campaign* c = find_locked(id)) return status_locked(*c);
   return std::nullopt;
 }
 
@@ -658,13 +770,11 @@ std::vector<CampaignStatus> SessionService::list() const {
 
 bool SessionService::cancel(const std::string& id) {
   std::lock_guard<std::mutex> lock(mutex_);
-  for (const std::unique_ptr<Campaign>& c : campaigns_) {
-    if (c->id != id) continue;
-    c->cancel_flag.store(true);
-    scheduler_->cancel(c->stream);
-    return true;
-  }
-  return false;
+  Campaign* c = find_locked(id);
+  if (c == nullptr) return false;
+  c->cancel_flag.store(true);
+  scheduler_->cancel(c->stream);
+  return true;
 }
 
 namespace {
@@ -677,9 +787,7 @@ bool terminal(CampaignState state) {
 
 void SessionService::wait(const std::string& id) {
   std::unique_lock<std::mutex> lock(mutex_);
-  Campaign* target = nullptr;
-  for (const std::unique_ptr<Campaign>& c : campaigns_)
-    if (c->id == id) target = c.get();
+  Campaign* target = find_locked(id);
   EMUTILE_CHECK(target != nullptr, "unknown campaign id '" << id << "'");
   state_changed_.wait(lock, [&] { return terminal(target->state); });
 }
@@ -687,9 +795,7 @@ void SessionService::wait(const std::string& id) {
 bool SessionService::wait_for(const std::string& id,
                               std::chrono::milliseconds timeout) {
   std::unique_lock<std::mutex> lock(mutex_);
-  Campaign* target = nullptr;
-  for (const std::unique_ptr<Campaign>& c : campaigns_)
-    if (c->id == id) target = c.get();
+  Campaign* target = find_locked(id);
   EMUTILE_CHECK(target != nullptr, "unknown campaign id '" << id << "'");
   return state_changed_.wait_for(lock, timeout,
                                  [&] { return terminal(target->state); });
@@ -704,18 +810,12 @@ std::uint64_t SessionService::uptime_seconds() const {
 
 std::size_t SessionService::queued_count() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::size_t n = 0;
-  for (const std::unique_ptr<Campaign>& c : campaigns_)
-    if (c->state == CampaignState::kQueued) ++n;
-  return n;
+  return queued_campaigns_;
 }
 
 std::size_t SessionService::running_count() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::size_t n = 0;
-  for (const std::unique_ptr<Campaign>& c : campaigns_)
-    if (c->state == CampaignState::kRunning) ++n;
-  return n;
+  return running_campaigns_;
 }
 
 void SessionService::drain() {

@@ -27,6 +27,7 @@
 /// whichever sessions had finished and therefore may vary run to run — but
 /// their session counts grow monotonically within a campaign.
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -36,6 +37,8 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "campaign/adaptive_driver.hpp"
@@ -46,6 +49,7 @@
 #include "obs/trace.hpp"
 #include "service/job_scheduler.hpp"
 #include "util/check.hpp"
+#include "util/mpmc_queue.hpp"
 
 namespace emutile {
 
@@ -81,11 +85,35 @@ struct ServiceConfig {
   /// at least 20 sessions have been recorded. Counted as
   /// `service.slow_sessions`. <= 0 disables the watchdog.
   double slow_session_multiple = 4.0;
+  /// QoS: the largest campaign (spec.num_sessions()) one submit may carry.
+  /// Over-quota campaigns are shed with ServiceBusyError (the endpoint
+  /// answers `ERR busy`) and counted as `service.sheds_quota`. 0 disables.
+  std::size_t session_quota = 0;
+  /// QoS: default relative deadline applied to submits that carry none.
+  /// When a deadline is in force and the observed `session.wall_us` p99
+  /// (>= 20 samples) times the work already queued says it cannot be met,
+  /// the submit is shed with ServiceOverdeadlineError (`ERR overdeadline`,
+  /// counted as `service.sheds_overdeadline`). 0 means no default deadline.
+  std::uint64_t deadline_default_ms = 0;
+  /// Capacity of the lock-free intake ring between submit() and the
+  /// dispatcher thread that performs spec persistence + scheduling. Rounded
+  /// up to a power of two. A full ring backpressures submit() (bounded
+  /// blocking), which cannot happen while max_pending <= intake_capacity.
+  std::size_t intake_capacity = 1024;
 };
 
-/// Thrown by submit() when the bounded campaign queue (max_pending) is full.
-/// The spec was not accepted; resubmit later or to another instance.
+/// Thrown by submit() when the bounded campaign queue (max_pending) is full
+/// or the spec exceeds the per-campaign session quota. The spec was not
+/// accepted; resubmit later, smaller, or to another instance.
 class ServiceBusyError : public CheckError {
+ public:
+  using CheckError::CheckError;
+};
+
+/// Thrown by submit() when admission control concludes the requested
+/// relative deadline cannot be met given the observed session-latency p99
+/// and the work already queued. The spec was not accepted.
+class ServiceOverdeadlineError : public CheckError {
  public:
   using CheckError::CheckError;
 };
@@ -126,21 +154,27 @@ class SessionService {
 
   [[nodiscard]] const ServiceConfig& config() const { return config_; }
 
-  /// Accept a campaign: allocate an id and output directory, persist the
-  /// canonical spec, and schedule it. Returns the campaign id immediately;
-  /// execution is asynchronous. `name_hint` seeds the id (sanitized). A
-  /// valid `trace` parents the campaign's spans on the submitter's span
-  /// (the endpoint passes its request span); an invalid one roots a fresh
-  /// trace for the campaign.
+  /// Accept a campaign: run admission control (max_pending, session quota,
+  /// deadline feasibility), allocate an id, register the campaign, and hand
+  /// it to the dispatcher thread which persists the canonical spec and
+  /// schedules it — submit() itself does no disk writes, so SUBMIT latency
+  /// is decoupled from spec persistence and scheduling. Returns the
+  /// campaign id immediately; execution is asynchronous. `name_hint` seeds
+  /// the id (sanitized). A valid `trace` parents the campaign's spans on
+  /// the submitter's span (the endpoint passes its request span); an
+  /// invalid one roots a fresh trace for the campaign. `deadline_ms` is the
+  /// relative completion deadline for admission control (0 = use
+  /// config.deadline_default_ms; both 0 = no deadline).
   std::string submit(const CampaignSpec& spec, int priority = 0,
                      const std::string& name_hint = "",
-                     TraceContext trace = {});
+                     TraceContext trace = {}, std::uint64_t deadline_ms = 0);
 
   /// Parse `text` as a campaign spec and submit it. Throws CheckError on
   /// malformed input (nothing is scheduled in that case).
   std::string submit_text(const std::string& text, int priority = 0,
                           const std::string& name_hint = "",
-                          TraceContext trace = {});
+                          TraceContext trace = {},
+                          std::uint64_t deadline_ms = 0);
 
   /// Scan spool/ once: every `*.spec` file is parsed and submitted (then
   /// moved to spool/archive/), malformed ones are moved to spool/rejected/
@@ -189,6 +223,17 @@ class SessionService {
 
   struct SnapshotData;
 
+  /// Dispatcher thread body: pops admitted campaigns off the intake ring
+  /// and runs dispatch_campaign on each; drains the ring before exiting.
+  void dispatch_loop();
+  /// The half of submission that touches disk: create the out dir, persist
+  /// spec.txt, open the journal, schedule. Failures mark the campaign
+  /// kFailed (terminal) — asynchronous submitters see it via status/wait.
+  void dispatch_campaign(Campaign& c);
+  /// Transition a campaign's state, keeping the O(1) queued/running
+  /// counters truthful. Caller holds mutex_.
+  void set_state_locked(Campaign& c, CampaignState next);
+  [[nodiscard]] Campaign* find_locked(const std::string& id) const;
   void schedule(Campaign& c);
   void prepare_unit(Campaign& c, bool cancelled);
   /// `enqueued_us` is the journal stamp taken when the unit entered the
@@ -222,7 +267,19 @@ class SessionService {
   mutable std::mutex mutex_;  // campaign registry + per-campaign state
   std::condition_variable state_changed_;
   std::vector<std::unique_ptr<Campaign>> campaigns_;  // submission order
+  /// id -> campaign, so status/wait/cancel stay O(1) when thousands of
+  /// campaigns have passed through (entries live as long as campaigns_).
+  std::unordered_map<std::string, Campaign*> by_id_;
+  /// O(1) state tallies so admission control never scans the registry.
+  std::size_t queued_campaigns_ = 0;
+  std::size_t running_campaigns_ = 0;
   std::size_t next_seq_ = 1;
+  /// Lock-free handoff from submit() to the dispatcher thread. Holds
+  /// registered campaigns (owned by campaigns_) awaiting persistence +
+  /// scheduling; drained, never dropped, on shutdown.
+  MpmcQueue<Campaign*> intake_;
+  std::atomic<bool> intake_stop_{false};
+  std::thread dispatcher_;
   std::chrono::steady_clock::time_point start_time_ =
       std::chrono::steady_clock::now();
 };

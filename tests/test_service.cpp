@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -17,6 +18,7 @@
 #include <mutex>
 #include <set>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "campaign/campaign_engine.hpp"
@@ -187,6 +189,9 @@ TEST(CampaignSpecIo, ContentHashTracksEverySemanticField) {
 TEST(ResultCache, StoreLoadRoundTripAndCorruptionIsAMiss) {
   ScratchDir scratch("cache-roundtrip");
   ResultCache cache(scratch.path / "cache");
+  // This test exercises the disk tier directly: with the in-memory index on,
+  // a corrupted disk entry would be (correctly) masked by the indexed value.
+  cache.set_index_capacity(0);
 
   CachedSession s;
   s.error = "flow exploded:\nmulti line";
@@ -232,6 +237,75 @@ TEST(ResultCache, StoreLoadRoundTripAndCorruptionIsAMiss) {
   cache.clear();
   EXPECT_EQ(cache.entries(), 0u);
   EXPECT_FALSE(cache.load(77).has_value());
+}
+
+TEST(ResultCache, ShardedIndexStaysCoherentWithDiskTier) {
+  ScratchDir scratch("cache-index");
+  ResultCache cache(scratch.path / "cache");
+
+  // Spread keys across every shard (keys 0..63 cover all 16 stripes).
+  const auto session_for = [](std::uint64_t key) {
+    CachedSession s;
+    s.detected = (key % 2) == 0;
+    s.suspects = key;
+    s.iterations = key * 3;
+    s.design_clbs = 44 + key;
+    return s;
+  };
+  constexpr std::uint64_t kKeys = 64;
+  for (std::uint64_t key = 0; key < kKeys; ++key)
+    cache.store(key, session_for(key));
+  EXPECT_EQ(cache.index_entries(), kKeys);
+  EXPECT_EQ(cache.index_stores(), kKeys);
+
+  // Loads are served from memory: values match what was stored, and the
+  // disk files can vanish without the hot tier noticing.
+  for (std::uint64_t key = 0; key < kKeys; ++key)
+    fs::remove(scratch.path / "cache" /
+               (format_u64_hex(key) + ".session"));
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    const auto loaded = cache.load(key);
+    ASSERT_TRUE(loaded.has_value()) << "key " << key;
+    EXPECT_EQ(loaded->suspects, key);
+    EXPECT_EQ(loaded->iterations, key * 3);
+    EXPECT_EQ(loaded->design_clbs, 44 + key);
+  }
+  EXPECT_EQ(cache.index_hits(), kKeys);
+  EXPECT_EQ(cache.index_misses(), 0u);
+  EXPECT_EQ(cache.hits(), kKeys);
+
+  // A cold instance sharing the directory reads through the disk tier and
+  // promotes hits into its own index: first load is an index miss + disk
+  // hit, second load an index hit — same bytes both times.
+  cache.clear();
+  EXPECT_EQ(cache.index_entries(), 0u);
+  EXPECT_FALSE(cache.load(1).has_value());  // cleared everywhere
+
+  cache.store(9, session_for(9));
+  ResultCache cold(scratch.path / "cache");
+  const auto first = cold.load(9);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(cold.index_misses(), 1u);
+  EXPECT_EQ(cold.index_hits(), 0u);
+  const auto second = cold.load(9);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(cold.index_hits(), 1u);
+  EXPECT_EQ(first->suspects, second->suspects);
+  EXPECT_EQ(first->design_clbs, second->design_clbs);
+
+  // Bounded shards FIFO-evict but never return wrong values: with room for
+  // one entry per shard, a shard's second key evicts its first, and the
+  // evicted key falls back to disk with the right bytes.
+  ResultCache bounded(scratch.path / "cache-bounded");
+  bounded.set_index_capacity(1);
+  for (std::uint64_t key = 0; key < 32; ++key)
+    bounded.store(key, session_for(key));
+  EXPECT_LE(bounded.index_entries(), 16u);
+  for (std::uint64_t key = 0; key < 32; ++key) {
+    const auto loaded = bounded.load(key);
+    ASSERT_TRUE(loaded.has_value()) << "key " << key;
+    EXPECT_EQ(loaded->suspects, key);
+  }
 }
 
 TEST(ResultCache, CampaignRerunsHitAndSpecChangesInvalidate) {
@@ -283,6 +357,9 @@ TEST(ResultCache, CampaignRerunsHitAndSpecChangesInvalidate) {
 TEST(ResultCache, SizeBoundEvictsOldestMtimeFirst) {
   ScratchDir scratch("cache-evict");
   ResultCache cache(scratch.path / "cache");
+  // Disk-eviction semantics: bypass the in-memory index so loads observe
+  // what the bound actually kept on disk.
+  cache.set_index_capacity(0);
   CachedSession s;
   s.detected = true;
 
@@ -776,6 +853,211 @@ TEST(SessionService, BoundedSubmitQueueRejectsWithBusy) {
   const auto status = service.status(ok_id);
   ASSERT_TRUE(status.has_value());
   EXPECT_EQ(status->state, CampaignState::kFinished) << status->error;
+}
+
+TEST(SessionService, QosAdmissionShedsOverQuotaAndPastDeadlineSubmits) {
+  ScratchDir scratch("service-qos");
+  ServiceConfig config;
+  config.root = scratch.path;
+  config.num_threads = 2;
+  config.snapshot_every = 0;
+  config.session_quota = 4;  // small_spec_text expands to 6 sessions
+  SessionService service(config);
+  ServiceEndpoint endpoint(service, scratch.path / "serviced.sock");
+  const ServiceClient client(endpoint.socket_path());
+
+  // Over-quota specs are shed up front: ServiceBusyError on the direct API,
+  // a distinguished `ERR busy` first token on the wire, BusyError from the
+  // typed client — and no campaign slot consumed.
+  EXPECT_THROW(
+      static_cast<void>(service.submit_text(small_spec_text("9sym", 1))),
+      ServiceBusyError);
+  std::ostringstream over_quota;
+  over_quota << "SUBMIT 0 hefty\n" << small_spec_text("9sym", 2);
+  const std::string response =
+      endpoint_request(endpoint.socket_path(), over_quota.str());
+  EXPECT_EQ(response.rfind("ERR busy", 0), 0u) << response;
+  EXPECT_THROW(static_cast<void>(client.submit(small_spec_text("9sym", 2))),
+               ServiceClient::BusyError);
+  EXPECT_EQ(service.list().size(), 0u);
+
+  // A within-quota spec sails through and its report stays byte-identical
+  // to a direct run — admission must never perturb accepted work.
+  std::ostringstream small;
+  small << "emutile-campaign v1\ndesign 9sym\nerror_kind wrong-polarity\n"
+        << "tiling 6 0.3 1 12 4\nsessions_per_scenario 1\nmaster_seed 8\n"
+        << "num_patterns 96\nend\n";
+  const std::string ok_id = client.submit(small.str(), 0, "fits");
+  EXPECT_EQ(client.wait(ok_id), "finished");
+
+  // Deadline admission engages once >= 20 session-wall samples exist. Prime
+  // the histogram with absurdly slow sessions so any sane deadline is
+  // infeasible for a multi-session spec.
+  MetricHistogram& wall =
+      MetricsRegistry::global().histogram("session.wall_us");
+  for (int i = 0; i < 24; ++i) wall.record(60'000'000);  // "a minute each"
+  EXPECT_THROW(static_cast<void>(service.submit_text(
+                   small.str(), 0, "", TraceContext{}, /*deadline_ms=*/1)),
+               ServiceOverdeadlineError);
+  std::ostringstream hopeless;
+  hopeless << "SUBMIT 0 hopeless deadline_ms=1\n" << small.str();
+  const std::string shed =
+      endpoint_request(endpoint.socket_path(), hopeless.str());
+  EXPECT_EQ(shed.rfind("ERR overdeadline", 0), 0u) << shed;
+  EXPECT_THROW(static_cast<void>(
+                   client.submit(small.str(), 0, "hopeless", "", 1)),
+               ServiceClient::OverdeadlineError);
+  // A generous deadline is feasible even with the slow history.
+  const std::string in_time =
+      client.submit(small.str(), 0, "in-time", "", 3'600'000);
+  EXPECT_EQ(client.wait(in_time), "finished");
+  // Malformed deadline tokens answer ERR instead of being ignored.
+  std::ostringstream garbled;
+  garbled << "SUBMIT 0 x deadline_ms=soon\n" << small.str();
+  EXPECT_EQ(endpoint_request(endpoint.socket_path(), garbled.str())
+                .rfind("ERR ", 0),
+            0u);
+
+  // Shed SUBMITs are observable, and accepted work stays byte-identical.
+  const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+  const auto quota_it = snap.counters.find("service.sheds_quota");
+  ASSERT_NE(quota_it, snap.counters.end());
+  EXPECT_GE(quota_it->second, 3u);  // direct + wire + typed client
+  const auto deadline_it = snap.counters.find("service.sheds_overdeadline");
+  ASSERT_NE(deadline_it, snap.counters.end());
+  EXPECT_GE(deadline_it->second, 3u);
+  const CampaignReport direct = run_campaign(parse_campaign_spec(small.str()));
+  EXPECT_EQ(read_file(scratch.path / "out" / ok_id / "report.json"),
+            direct.to_json());
+  EXPECT_EQ(read_file(scratch.path / "out" / in_time / "report.json"),
+            direct.to_json());
+}
+
+TEST(SessionService, ReactorAndLegacyEndpointsAreByteIdenticalOnTheWire) {
+  const std::string text = small_spec_text("9sym", 47);
+  std::array<std::string, 2> reports_json;
+  std::array<std::string, 2> reports_csv;
+  std::array<std::string, 2> waits;
+  for (const EndpointMode mode :
+       {EndpointMode::kReactor, EndpointMode::kThreadPerConnection}) {
+    const bool reactor = mode == EndpointMode::kReactor;
+    ScratchDir scratch(reactor ? "service-ab-reactor" : "service-ab-legacy");
+    ServiceConfig config;
+    config.root = scratch.path;
+    config.num_threads = 2;
+    config.snapshot_every = 0;
+    SessionService service(config);
+    EndpointOptions options;
+    options.mode = mode;
+    ServiceEndpoint endpoint(service, scratch.path / "serviced.sock",
+                             options);
+    EXPECT_EQ(endpoint.mode(), mode);
+
+    // Identical command surface in both modes.
+    EXPECT_EQ(endpoint_request(endpoint.socket_path(), "PING\n"),
+              "OK pong\n");
+    EXPECT_EQ(endpoint_request(endpoint.socket_path(), "BOGUS\n"),
+              "ERR unknown command 'BOGUS'\n");
+    EXPECT_EQ(endpoint_request(endpoint.socket_path(), "WAIT\n"),
+              "ERR WAIT needs a campaign id\n");
+    EXPECT_EQ(endpoint_request(endpoint.socket_path(), "STATUS nope\n"),
+              "ERR unknown campaign 'nope'\n");
+
+    std::ostringstream request;
+    request << "SUBMIT 0 ab\n" << text;
+    const std::string submitted =
+        endpoint_request(endpoint.socket_path(), request.str());
+    ASSERT_EQ(submitted.rfind("OK ab-", 0), 0u) << submitted;
+    const std::string id = submitted.substr(3, submitted.find('\n') - 3);
+    const std::size_t slot = reactor ? 0 : 1;
+    waits[slot] =
+        endpoint_request(endpoint.socket_path(), "WAIT " + id + "\n");
+    reports_json[slot] = read_file(scratch.path / "out" / id / "report.json");
+    reports_csv[slot] = read_file(scratch.path / "out" / id / "report.csv");
+  }
+  EXPECT_EQ(waits[0], "OK finished\n");
+  EXPECT_EQ(waits[0], waits[1]);
+  EXPECT_EQ(reports_json[0], reports_json[1])
+      << "the endpoint mode must never leak into campaign results";
+  EXPECT_EQ(reports_csv[0], reports_csv[1]);
+  const CampaignReport direct = run_campaign(parse_campaign_spec(text));
+  EXPECT_EQ(reports_json[0], direct.to_json());
+}
+
+TEST(SessionService, ReactorServesManyConcurrentClientsAndParkedWaits) {
+  ScratchDir scratch("service-reactor-many");
+  ServiceConfig config;
+  config.root = scratch.path;
+  config.num_threads = 2;
+  config.snapshot_every = 0;
+  SessionService service(config);
+  EndpointOptions options;
+  options.workers = 2;  // far fewer workers than concurrent WAITs: parking
+  ServiceEndpoint endpoint(service, scratch.path / "serviced.sock", options);
+
+  const std::string id =
+      service.submit_text(small_spec_text("9sym", 19), 0, "awaited");
+
+  // 24 clients WAIT on the campaign while 24 more hammer PING/LIST — with
+  // 2 workers this only completes if WAITs park instead of pinning workers.
+  std::atomic<int> wait_ok{0};
+  std::atomic<int> ping_ok{0};
+  std::vector<std::thread> clients;
+  clients.reserve(48);
+  for (int i = 0; i < 24; ++i)
+    clients.emplace_back([&] {
+      if (endpoint_request(endpoint.socket_path(), "WAIT " + id + "\n") ==
+          "OK finished\n")
+        wait_ok.fetch_add(1);
+    });
+  for (int i = 0; i < 24; ++i)
+    clients.emplace_back([&] {
+      for (int j = 0; j < 8; ++j)
+        if (endpoint_request(endpoint.socket_path(), "PING\n") ==
+            "OK pong\n")
+          ping_ok.fetch_add(1);
+    });
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(wait_ok.load(), 24);
+  EXPECT_EQ(ping_ok.load(), 24 * 8);
+}
+
+TEST(SessionService, EndpointLeaksNoFileDescriptorsInEitherMode) {
+  const auto open_fds = [] {
+    std::size_t n = 0;
+    for ([[maybe_unused]] const auto& entry :
+         fs::directory_iterator("/proc/self/fd"))
+      ++n;
+    return n;
+  };
+  for (const EndpointMode mode :
+       {EndpointMode::kReactor, EndpointMode::kThreadPerConnection}) {
+    ScratchDir scratch(mode == EndpointMode::kReactor ? "service-fd-reactor"
+                                                      : "service-fd-legacy");
+    ServiceConfig config;
+    config.root = scratch.path;
+    config.num_threads = 1;
+    config.snapshot_every = 0;
+    SessionService service(config);
+    const std::size_t before = open_fds();
+    {
+      EndpointOptions options;
+      options.mode = mode;
+      ServiceEndpoint endpoint(service, scratch.path / "serviced.sock",
+                               options);
+      std::vector<std::thread> clients;
+      for (int i = 0; i < 8; ++i)
+        clients.emplace_back([&] {
+          for (int j = 0; j < 16; ++j)
+            static_cast<void>(
+                endpoint_request(endpoint.socket_path(), "PING\n"));
+        });
+      for (std::thread& t : clients) t.join();
+    }
+    EXPECT_EQ(open_fds(), before)
+        << "endpoint mode " << static_cast<int>(mode)
+        << " leaked file descriptors";
+  }
 }
 
 // ---------------------------------------------------------- observability ---

@@ -10,14 +10,28 @@
 ///   $ emutile_serviced --root DIR [--threads N] [--snapshot-every N]
 ///                      [--poll-ms N] [--no-cache] [--cache-max-bytes N]
 ///                      [--baseline-cache-entries N] [--no-socket]
-///                      [--socket PATH] [--max-pending N] [--once]
-///                      [--no-drain] [--no-journal]
+///                      [--socket PATH] [--max-pending N] [--quota N]
+///                      [--deadline-default-ms N] [--intake-capacity N]
+///                      [--endpoint reactor|legacy] [--endpoint-workers N]
+///                      [--once] [--no-drain] [--no-journal]
 ///                      [--slow-request-ms N] [--slow-session-multiple X]
 ///                      [--log-level debug|info|warn|error|off]
 ///
 ///   --max-pending N      bounded SUBMIT queue: reject with `ERR busy` while
 ///                        N campaigns are already queued or running
 ///                        (0 = unbounded)
+///   --quota N            per-campaign session quota: SUBMITs whose spec
+///                        expands to more than N sessions are shed with
+///                        `ERR busy` (0 = unbounded)
+///   --deadline-default-ms N  relative deadline applied to SUBMITs that
+///                        carry no deadline_ms= token; admission control
+///                        sheds infeasible ones with `ERR overdeadline`
+///                        (0 = no default deadline)
+///   --intake-capacity N  bound of the lock-free submit intake ring between
+///                        admission and the scheduler (default 1024)
+///   --endpoint M         connection handling: `reactor` (default; epoll +
+///                        worker pool) or `legacy` (thread per connection)
+///   --endpoint-workers N reactor request-execution workers (default 4)
 ///   --cache-max-bytes N  bound the result cache to N bytes of entries;
 ///                        oldest-mtime entries are evicted past the bound
 ///                        (0 = unbounded)
@@ -58,7 +72,9 @@ int usage(const char* argv0) {
             << " --root DIR [--threads N] [--snapshot-every N] [--poll-ms N]"
                " [--no-cache] [--cache-max-bytes N]"
                " [--baseline-cache-entries N] [--no-socket] [--socket PATH]"
-               " [--max-pending N] [--once] [--no-drain] [--no-journal]"
+               " [--max-pending N] [--quota N] [--deadline-default-ms N]"
+               " [--intake-capacity N] [--endpoint reactor|legacy]"
+               " [--endpoint-workers N] [--once] [--no-drain] [--no-journal]"
                " [--slow-request-ms N] [--slow-session-multiple X]"
                " [--log-level debug|info|warn|error|off]\n";
   return 2;
@@ -70,6 +86,7 @@ int main(int argc, char** argv) {
   ServiceConfig config;
   config.num_threads = std::max(2u, std::thread::hardware_concurrency());
   std::filesystem::path socket_path;
+  EndpointOptions endpoint_options;
   bool use_socket = true;
   bool once = false;
   bool drain_on_exit = true;
@@ -91,6 +108,19 @@ int main(int argc, char** argv) {
     else if (arg == "--snapshot-every") config.snapshot_every = std::strtoull(value(), nullptr, 10);
     else if (arg == "--poll-ms") poll_ms = std::strtol(value(), nullptr, 10);
     else if (arg == "--max-pending") config.max_pending = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--quota") config.session_quota = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--deadline-default-ms") config.deadline_default_ms = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--intake-capacity") config.intake_capacity = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--endpoint-workers") endpoint_options.workers = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--endpoint") {
+      const std::string mode = value();
+      if (mode == "reactor") endpoint_options.mode = EndpointMode::kReactor;
+      else if (mode == "legacy") endpoint_options.mode = EndpointMode::kThreadPerConnection;
+      else {
+        std::cerr << "--endpoint wants reactor|legacy\n";
+        return 2;
+      }
+    }
     else if (arg == "--cache-max-bytes") config.cache_max_bytes = std::strtoull(value(), nullptr, 10);
     else if (arg == "--baseline-cache-entries") config.baseline_cache_entries = std::strtoull(value(), nullptr, 10);
     else if (arg == "--no-cache") config.enable_cache = false;
@@ -122,7 +152,8 @@ int main(int argc, char** argv) {
     SessionService service(config);
     std::unique_ptr<ServiceEndpoint> endpoint;
     if (use_socket) {
-      endpoint = std::make_unique<ServiceEndpoint>(service, socket_path);
+      endpoint = std::make_unique<ServiceEndpoint>(service, socket_path,
+                                                   endpoint_options);
       endpoint->set_slow_request_ms(slow_request_ms);
     }
 
@@ -133,7 +164,14 @@ int main(int argc, char** argv) {
     if (config.enable_cache && config.cache_max_bytes > 0)
       std::cout << " cache_max_bytes=" << config.cache_max_bytes;
     if (endpoint)
-      std::cout << " socket=" << endpoint->socket_path().string();
+      std::cout << " socket=" << endpoint->socket_path().string()
+                << " endpoint="
+                << (endpoint->mode() == EndpointMode::kReactor ? "reactor"
+                                                               : "legacy");
+    if (config.session_quota > 0)
+      std::cout << " quota=" << config.session_quota;
+    if (config.deadline_default_ms > 0)
+      std::cout << " deadline_default_ms=" << config.deadline_default_ms;
     std::cout << std::endl;
 
     const std::filesystem::path stop_file = config.root / "stop";

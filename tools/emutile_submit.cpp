@@ -7,12 +7,19 @@
 /// codepath the campaign coordinator uses.
 ///
 ///   $ emutile_submit --root DIR [--socket PATH] [--spool] [--priority N]
-///                    [--wait] [--status ID | --list | --cancel ID | --cache
+///                    [--deadline-ms N] [--wait]
+///                    [--status ID | --list | --cancel ID | --cache
 ///                    | --metrics [json]] SPEC...
+///
+///   --deadline-ms N  relative deadline for socket submissions; the daemon
+///                    sheds the SUBMIT with `ERR overdeadline` when its
+///                    admission control finds N ms infeasible. Spool
+///                    submissions ignore it (no admission on the spool path).
 ///
 /// Spec files are validated locally before submission, so malformed specs
 /// fail fast with a parse error instead of landing in spool/rejected/.
 
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -30,7 +37,8 @@ namespace {
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " --root DIR [--socket PATH] [--spool] [--priority N] [--wait]"
+            << " --root DIR [--socket PATH] [--spool] [--priority N]"
+               " [--deadline-ms N] [--wait]"
                " [--status ID | --list | --cancel ID | --cache"
                " | --metrics [json]] SPEC...\n";
   return 2;
@@ -43,6 +51,7 @@ int main(int argc, char** argv) {
   bool force_spool = false;
   bool wait = false;
   int priority = 0;
+  std::uint64_t deadline_ms = 0;
   std::string one_shot;  // "LIST", "STATUS <id>", "CANCEL <id>", or "CACHE"
   std::vector<std::filesystem::path> specs;
 
@@ -59,6 +68,7 @@ int main(int argc, char** argv) {
     else if (arg == "--socket") socket_path = value();
     else if (arg == "--spool") force_spool = true;
     else if (arg == "--priority") priority = std::atoi(value());
+    else if (arg == "--deadline-ms") deadline_ms = std::strtoull(value(), nullptr, 10);
     else if (arg == "--wait") wait = true;
     else if (arg == "--list") one_shot = "LIST";
     else if (arg == "--status") one_shot = std::string("STATUS ") + value();
@@ -101,8 +111,9 @@ int main(int argc, char** argv) {
           trace.valid() ? format_traceparent(trace) : std::string();
 
       if (socket_up) {
-        const std::string id = client.submit(
-            text, priority, spec_path.stem().string(), traceparent);
+        const std::string id =
+            client.submit(text, priority, spec_path.stem().string(),
+                          traceparent, deadline_ms);
         std::cout << spec_path.string() << " -> " << id;
         if (!traceparent.empty()) std::cout << " trace " << traceparent;
         std::cout << "\n";
