@@ -4,8 +4,8 @@
 # with explicit steps so the two can never drift.
 #
 #   scripts/ci.sh [step...]
-#   steps: ci | pregate | asan | tsan | bench-smoke | perf | storm
-#          | perf-refresh
+#   steps: ci | pregate | asan | tsan | durability | bench-smoke | perf
+#          | storm | perf-refresh
 #
 #   ci           configure + build + ctest with the "ci" CMake preset
 #                (RelWithDebInfo, -Wall -Wextra). The fast `unit`-labeled
@@ -22,7 +22,17 @@
 #   tsan         the "tsan" preset: ThreadSanitizer over the lock-free
 #                metrics registry (test_obs hammer) and the multi-threaded
 #                service suite — the lane that keeps the relaxed-atomic
-#                recording paths honestly race-free.
+#                recording paths honestly race-free. The durability tier
+#                rides along, so drain/reattach cross the same locks under
+#                TSan that the service suite hammers.
+#   durability   the crash-kill lane: run only the `durability`-labeled tests
+#                (journal round-trips, SIGKILL-at-fault-point recovery, the
+#                drain/handoff admission checks) under the instrumented
+#                "asan" build — fork-heavy and SIGKILL-happy on purpose, so
+#                it gets its own step instead of riding inside asan's ctest
+#                preset. The randomized kill test prints its seed; rerun a
+#                failure with EMUTILE_KILL_SEED=<seed> scripts/ci.sh
+#                durability to replay the exact kill schedule.
 #   bench-smoke  build bench/campaign_sweep under the "ci" preset and run a
 #                tiny sweep (2 threads x 1 replica, determinism-checked);
 #                the per-scenario CSV lands in build/bench-smoke/ for the
@@ -95,6 +105,18 @@ pregate() {
   cmake --build --preset asan
   ASAN_OPTIONS=detect_leaks=0 \
     ctest --test-dir build-asan -L unit --output-on-failure -j 4
+}
+
+durability() {
+  # The crash-kill suite under ASan: build the instrumented tree (shared
+  # with the asan/pregate steps) and run just the durability-labeled tier.
+  # --test-dir bypasses the asan test preset's name filter, so mirror its
+  # environment explicitly; EMUTILE_KILL_SEED passes through untouched for
+  # replaying a logged randomized-kill schedule.
+  cmake --preset asan
+  cmake --build --preset asan
+  ASAN_OPTIONS=detect_leaks=0 \
+    ctest --test-dir build-asan -L durability --output-on-failure -j 2
 }
 
 bench_smoke() {
@@ -259,11 +281,11 @@ fi
 # distinct exit code *before* any step has spent minutes building.
 for step in "${steps[@]}"; do
   case "$step" in
-    ci|asan|tsan|pregate|bench-smoke|perf|storm|perf-refresh) ;;
+    ci|asan|tsan|pregate|durability|bench-smoke|perf|storm|perf-refresh) ;;
     *)
       echo "unknown step '$step'" \
-           "(ci | pregate | asan | tsan | bench-smoke | perf | storm |" \
-           "perf-refresh)" >&2
+           "(ci | pregate | asan | tsan | durability | bench-smoke | perf |" \
+           "storm | perf-refresh)" >&2
       exit 64
       ;;
   esac
@@ -274,6 +296,7 @@ for step in "${steps[@]}"; do
   case "$step" in
     ci|asan|tsan) run_preset "$step" ;;
     pregate) pregate ;;
+    durability) durability ;;
     bench-smoke) bench_smoke ;;
     perf) perf ;;
     storm) storm ;;

@@ -17,6 +17,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
+#include "util/fault_inject.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
 
@@ -232,6 +233,11 @@ SessionOutcome run_campaign_session(const CampaignSpec& spec,
   // dir removed) just means this result is not memoized.
   if (cacheable && !out.report.cancelled && out.error.empty()) {
     try {
+      // Durability ordering under test: a crash here leaves the result
+      // neither cached nor journaled, so a restart re-runs the session —
+      // the only acceptable loss. The reverse order (journal before cache)
+      // would let a journal record point at a result that never landed.
+      EMUTILE_FAULT_POINT("cache.pre-store");
       cache->store(key, to_cached(out));
     } catch (const std::exception& e) {
       EMUTILE_WARN("cache store failed for key " << key

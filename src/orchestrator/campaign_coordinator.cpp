@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <iterator>
+#include <string_view>
 #include <thread>
 #include <utility>
 
@@ -88,10 +89,18 @@ bool CampaignCoordinator::dispatch(ShardWork& shard,
             instance.config->path, name_hint,
             prepend_traceparent(shard.text, traceparent)));
       }
-    } catch (const ServiceClient::BusyError&) {
-      // Loaded but alive: leave it healthy, try the next instance. If the
-      // whole fleet is busy the shard stays pending until a queue frees up
-      // — that backpressure is the point of the bounded SUBMIT queue.
+    } catch (const ServiceClient::BusyError& e) {
+      // A draining instance will never admit again — take it out of the
+      // rotation (the reprobe loop readmits its replacement). A merely
+      // loaded one stays healthy: if the whole fleet is busy the shard
+      // stays pending until a queue frees up — that backpressure is the
+      // point of the bounded SUBMIT queue.
+      if (std::string_view(e.what()).find("draining") !=
+          std::string_view::npos) {
+        EMUTILE_WARN("fleet instance '" << instance.config->name
+                                        << "' is draining — rotating out");
+        instance.healthy = false;
+      }
       continue;
     } catch (const std::exception& e) {
       EMUTILE_WARN("fleet instance '" << instance.config->name
@@ -155,6 +164,15 @@ void CampaignCoordinator::poll_shard(ShardWork& shard,
     try {
       const RemoteCampaignStatus status =
           client.status(shard.progress.campaign_id);
+      if (status.daemon_draining && instance.healthy) {
+        // Rolling upgrade in progress: stop handing this instance new
+        // shards, but keep polling — a draining daemon finishes (or
+        // journals) what it already holds, and this shard is collected
+        // below like any other.
+        EMUTILE_WARN("fleet instance '" << instance.config->name
+                                        << "' is draining — rotating out");
+        instance.healthy = false;
+      }
       if (status.sessions_done > shard.progress.sessions_done)
         shard.last_progress = Clock::now();
       shard.progress.sessions_done = status.sessions_done;
@@ -335,7 +353,35 @@ OrchestrationResult CampaignCoordinator::run(const CampaignSpec& spec) {
   // detouring back to kPending on every failure until it exhausts the fleet
   // (one dispatch per instance plus slack) and runs locally.
   const std::size_t max_remote_dispatches = instances.size() + 1;
+  Clock::time_point last_reprobe = Clock::now();
   for (;;) {
+    // Re-probe unhealthy socket instances on the reprobe cadence: a PING
+    // answered means a live daemon is back on that socket (typically the
+    // upgraded replacement of a drained one, re-attached to the same root)
+    // and it rejoins the rotation. A dead socket fails the connect inside
+    // ping() and stays out — probing it costs microseconds.
+    if (options_.reprobe_interval.count() > 0 &&
+        Clock::now() - last_reprobe >= options_.reprobe_interval) {
+      last_reprobe = Clock::now();
+      for (InstanceState& instance : instances) {
+        if (instance.healthy ||
+            instance.config->address != InstanceAddress::kSocket)
+          continue;
+        const ServiceClient client(instance.config->path,
+                                   options_.request_timeout_ms);
+        if (client.ping()) {
+          EMUTILE_WARN("fleet instance '" << instance.config->name
+                                          << "' answered a re-probe — "
+                                          << "rejoining the rotation");
+          MetricsRegistry::global().counter("coordinator.rejoins").add();
+          if (options_.journal)
+            options_.journal->record("rejoin",
+                                     {{"instance", instance.config->name}});
+          instance.healthy = true;
+        }
+      }
+    }
+
     std::size_t done = 0;
     bool any_healthy = false;
     for (const InstanceState& instance : instances)

@@ -23,6 +23,15 @@
 ///                next healthy instance — sessions already computed are
 ///                recovered from that instance's result cache, and the
 ///                deterministic seeds make any re-run byte-identical
+///   rolling upgrades  a draining instance (DRAIN/SIGUSR2, surfacing as a
+///                "draining" busy error on SUBMIT and draining=1 on STATUS)
+///                is taken out of the dispatch rotation but its in-flight
+///                shards are still collected — it finishes what it holds.
+///                Unhealthy socket instances are re-probed with PING every
+///                reprobe_interval, so a replacement daemon on the same
+///                socket (restarted with --attach) rejoins the rotation
+///                mid-run — the fleet rolls through an upgrade one instance
+///                at a time without losing submitted work
 ///   degradation  when no healthy instance remains (or none ever existed),
 ///                remaining shards run in-process via run_campaign — the
 ///                fleet burning down degrades throughput, never correctness
@@ -100,6 +109,11 @@ struct CoordinatorOptions {
   std::chrono::milliseconds stall_deadline{600'000};
   /// Per-exchange receive timeout for socket instances.
   int request_timeout_ms = 30'000;
+  /// PING unhealthy socket instances on this cadence and return answering
+  /// ones to the dispatch rotation — how a daemon restarted on the same
+  /// socket (rolling upgrade with --attach) rejoins a run in progress. Dead
+  /// sockets keep failing the ping and stay out. 0 disables re-probing.
+  std::chrono::milliseconds reprobe_interval{2'000};
   /// Worker threads for shards that fall back to in-process execution.
   std::size_t local_threads = 2;
   /// When false, a fully-failed fleet raises CheckError instead of running

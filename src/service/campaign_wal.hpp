@@ -1,0 +1,104 @@
+#pragma once
+/// \file campaign_wal.hpp
+/// Per-campaign write-ahead journal (`out/<id>/journal.wal`): the scheduling
+/// state a restarted daemon needs to resume a campaign mid-stream. The
+/// result cache already memoizes completed session *results*; the WAL closes
+/// the gap by recording *which* sessions completed, so a re-attach replays
+/// exactly the remaining ones.
+///
+/// Format: line-oriented text, one record per line, each line carrying its
+/// own FNV-1a checksum so torn and corrupted appends are distinguishable:
+///
+///   emutile-wal v1 <campaign-id> spec=<16-hex> priority=<p> #<8-hex>
+///   session <job-index> <cache-key-16-hex|-> #<8-hex>
+///   complete <state> #<8-hex>
+///
+/// `spec=` is spec_content_hash_hex of the accepted spec — re-attach refuses
+/// to resume against a spec.txt whose content hash differs (the journal
+/// would describe a different campaign). A `session` line is appended only
+/// *after* the session's result is durably in the result cache, so a record
+/// without its cache entry merely costs a deterministic re-run, never a
+/// wrong report. `complete` is appended after the final report artifacts are
+/// on disk.
+///
+/// Crash semantics of the parser: a malformed or checksum-failing *last*
+/// line is a torn append (the writer died mid-write) — it is dropped and the
+/// journal is otherwise trusted. The same damage anywhere *before* the last
+/// line cannot be a torn append and marks the whole journal poisoned:
+/// parsing fails and the caller falls back to a clean re-run. Duplicate
+/// session indices are tolerated (a resumed campaign re-appends sessions it
+/// had to re-run); last record wins.
+///
+/// The writer follows the EventJournal discipline: append-open, one flushed
+/// write per record under a mutex, inert on IO failure — journaling trouble
+/// degrades durability, it never takes down the campaign.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace emutile {
+
+/// One replayable completion record.
+struct WalSessionRecord {
+  std::size_t index = 0;     ///< job index within the expanded job list
+  std::uint64_t key = 0;     ///< result-cache key; valid iff has_key
+  bool has_key = false;      ///< false: completed but not memoizable ("-")
+};
+
+/// Parsed journal contents.
+struct CampaignWal {
+  std::string campaign_id;
+  std::string spec_hash;  ///< 16-hex spec_content_hash of the accepted spec
+  int priority = 0;
+  std::vector<WalSessionRecord> sessions;  ///< deduped (last wins), by index
+  bool complete = false;
+  std::string final_state;  ///< finished|cancelled|failed when complete
+};
+
+class CampaignWalWriter {
+ public:
+  /// Append-opens `path`, creating parent directories. A writer that fails
+  /// to open goes inert (ok() false) rather than throwing.
+  explicit CampaignWalWriter(const std::filesystem::path& path);
+
+  CampaignWalWriter(const CampaignWalWriter&) = delete;
+  CampaignWalWriter& operator=(const CampaignWalWriter&) = delete;
+
+  /// Write the header record. Call once, for a freshly created journal only
+  /// (a resumed campaign appends to its surviving journal instead).
+  void begin(const std::string& campaign_id, const std::string& spec_hash,
+             int priority);
+
+  /// Record one completed session. `has_key` false emits "-" (completed but
+  /// not memoizable — replay will re-run it deterministically).
+  void session(std::size_t index, std::uint64_t key, bool has_key);
+
+  /// Record the terminal state, after the report artifacts are on disk.
+  void complete(const char* state);
+
+  [[nodiscard]] bool ok() const { return ok_; }
+
+ private:
+  void append(const std::string& body);
+
+  std::ofstream out_;
+  std::mutex mutex_;
+  bool ok_ = false;
+};
+
+/// Parse journal text. Returns nullopt (with a reason in *error when given)
+/// on a poisoned journal: missing/bad header, or a damaged non-final line.
+/// A damaged final line is dropped as a torn append.
+[[nodiscard]] std::optional<CampaignWal> parse_campaign_wal(
+    const std::string& text, std::string* error = nullptr);
+
+/// Read and parse `path`. Missing or unreadable files report as errors too.
+[[nodiscard]] std::optional<CampaignWal> load_campaign_wal(
+    const std::filesystem::path& path, std::string* error = nullptr);
+
+}  // namespace emutile

@@ -96,12 +96,16 @@ RemoteCampaignStatus ServiceClient::status(const std::string& id) const {
   // the client still parses replies from daemons that predate them.
   std::string token;
   while (in >> token) {
-    if (token.rfind("uptime_s=", 0) == 0)
+    if (token.rfind("replayed=", 0) == 0)
+      s.replayed = keyed_count(token, "replayed");
+    else if (token.rfind("uptime_s=", 0) == 0)
       s.daemon_uptime_s = keyed_count(token, "uptime_s");
     else if (token.rfind("queued=", 0) == 0)
       s.daemon_queued = keyed_count(token, "queued");
     else if (token.rfind("running=", 0) == 0)
       s.daemon_running = keyed_count(token, "running");
+    else if (token.rfind("draining=", 0) == 0)
+      s.daemon_draining = keyed_count(token, "draining") != 0;
   }
   return s;
 }
@@ -114,6 +118,10 @@ std::string ServiceClient::wait(const std::string& id, int timeout_ms) const {
 
 void ServiceClient::cancel(const std::string& id) const {
   static_cast<void>(expect_ok(request("CANCEL " + id + "\n"), "CANCEL " + id));
+}
+
+void ServiceClient::drain() const {
+  static_cast<void>(expect_ok(request("DRAIN\n"), "DRAIN"));
 }
 
 std::string ServiceClient::list() const {

@@ -32,11 +32,17 @@ struct RemoteCampaignStatus {
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
   std::size_t snapshots = 0;
+  /// Sessions a restart's reattach restored from the write-ahead journal +
+  /// result cache instead of re-executing.
+  std::size_t replayed = 0;
   /// Daemon-level fields (STATUS appends them after the per-campaign ones);
   /// zero when talking to a daemon that predates them.
   std::size_t daemon_uptime_s = 0;
   std::size_t daemon_queued = 0;   ///< campaigns waiting for their first unit
   std::size_t daemon_running = 0;  ///< campaigns with sessions in flight
+  /// True once the daemon stopped admitting (DRAIN/SIGUSR2): route new work
+  /// elsewhere and expect this instance to exit after its backlog finishes.
+  bool daemon_draining = false;
 
   [[nodiscard]] bool terminal() const {
     return state == "finished" || state == "cancelled" || state == "failed";
@@ -120,6 +126,11 @@ class ServiceClient {
 
   /// CANCEL a campaign. Throws CheckError on unknown ids.
   void cancel(const std::string& id) const;
+
+  /// DRAIN: tell the daemon to stop admitting and exit 0 once its backlog
+  /// is finished or journaled — the rolling-upgrade handoff. Idempotent on
+  /// the daemon side. Throws CheckError when the exchange fails.
+  void drain() const;
 
   /// LIST: raw response body, one status line per campaign after `OK <n>`.
   [[nodiscard]] std::string list() const;

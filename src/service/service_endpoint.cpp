@@ -96,7 +96,7 @@ bool known_command(const std::string& command) {
          command == "LIST" || command == "CANCEL" || command == "WAIT" ||
          command == "SHARDREPORT" || command == "CACHE" ||
          command == "METRICS" || command == "TRACESPANS" ||
-         command == "SHUTDOWN";
+         command == "DRAIN" || command == "SHUTDOWN";
 }
 
 /// Observability-plane commands are not themselves traced: the console and
@@ -110,7 +110,8 @@ std::string status_line(const CampaignStatus& s) {
   std::ostringstream os;
   os << s.id << " " << to_string(s.state) << " " << s.sessions_done << "/"
      << s.sessions_total << " hits=" << s.cache_hits
-     << " misses=" << s.cache_misses << " snapshots=" << s.snapshots;
+     << " misses=" << s.cache_misses << " snapshots=" << s.snapshots
+     << " replayed=" << s.replayed;
   return os.str();
 }
 
@@ -706,7 +707,8 @@ std::string ServiceEndpoint::handle_request(const std::string& request) {
     std::ostringstream os;
     os << "OK " << status_line(*s) << " uptime_s=" << service_.uptime_seconds()
        << " queued=" << service_.queued_count()
-       << " running=" << service_.running_count() << "\n";
+       << " running=" << service_.running_count()
+       << " draining=" << (service_.draining() ? 1 : 0) << "\n";
     return os.str();
   } else if (command == "LIST") {
     const std::vector<CampaignStatus> all = service_.list();
@@ -784,6 +786,15 @@ std::string ServiceEndpoint::handle_request(const std::string& request) {
     os << "OK now_us=" << journal_now_us() << " spans=" << spans.size()
        << "\n"
        << trace_spans_to_text(spans);
+    return os.str();
+  } else if (command == "DRAIN") {
+    // The rolling-upgrade handoff: stop admitting (submits shed with a
+    // "draining" busy error the coordinator understands), let in-flight
+    // campaigns finish or journal, then the daemon exits 0 once drained.
+    service_.begin_drain();
+    std::ostringstream os;
+    os << "OK draining queued=" << service_.queued_count()
+       << " running=" << service_.running_count() << "\n";
     return os.str();
   } else if (command == "SHUTDOWN") {
     shutdown_requested_.store(true);

@@ -24,6 +24,12 @@
 ///                                   submitter's trace.
 ///   STATUS <id>                  -> OK <id> <state> <done>/<total>
 ///                                   hits=<n> misses=<n> snapshots=<n>
+///                                   replayed=<n> uptime_s=<n> queued=<n>
+///                                   running=<n> draining=<0|1>
+///                                   (replayed counts sessions a reattach
+///                                   restored from the journal + cache;
+///                                   draining=1 once DRAIN/SIGUSR2 stopped
+///                                   admission)
 ///   LIST                         -> OK <count>  (+ one status line per
 ///                                   campaign)
 ///   CANCEL <id>                  -> OK cancelled
@@ -46,6 +52,12 @@
 ///                                   journal clock at reply time, which the
 ///                                   coordinator's clock-offset stitching
 ///                                   reads)
+///   DRAIN                        -> OK draining queued=<n> running=<n>
+///                                   (stop admitting: later SUBMITs answer
+///                                   `ERR busy draining: ...`; in-flight
+///                                   campaigns finish or journal, and the
+///                                   daemon exits 0 once drained — the
+///                                   rolling-upgrade handoff)
 ///   SHUTDOWN                     -> OK bye  (sets shutdown_requested)
 ///
 /// Errors answer `ERR <message>`.

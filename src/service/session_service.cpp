@@ -12,7 +12,9 @@
 #include "campaign/campaign_spec_io.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_io.hpp"
+#include "service/campaign_wal.hpp"
 #include "util/check.hpp"
+#include "util/fault_inject.hpp"
 #include "util/file_io.hpp"
 #include "util/log.hpp"
 
@@ -83,6 +85,18 @@ struct SessionService::Campaign {
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
   std::size_t snapshots = 0;
+  /// Write-ahead journal (out/<id>/journal.wal); null when disabled or the
+  /// spec has no canonical form. Same contract as the audit journal:
+  /// thread-safe, inert on IO failure.
+  std::unique_ptr<CampaignWalWriter> wal;
+  /// Journaled completion records carried from reattach() to prepare_unit,
+  /// which replays them through the result cache. Empty for fresh campaigns.
+  std::vector<WalSessionRecord> wal_replay;
+  bool resumed = false;      ///< re-registered by reattach(), not submit()
+  std::size_t replayed = 0;  ///< sessions restored from journal + cache
+  /// For terminal campaigns re-registered by reattach(): the session count
+  /// recovered from the journal (jobs is never re-expanded for them).
+  std::size_t sessions_total_hint = 0;
   /// Audit journal (out/<id>/events.jsonl); null when disabled. Thread-safe
   /// and inert on IO failure, so units record into it without ceremony.
   std::unique_ptr<EventJournal> journal;
@@ -136,6 +150,13 @@ std::string SessionService::submit(const CampaignSpec& spec, int priority,
                                    TraceContext trace,
                                    std::uint64_t deadline_ms) {
   MetricsRegistry& reg = MetricsRegistry::global();
+  // A draining daemon admits nothing: the coordinator reads "draining" off
+  // the busy error (and off STATUS) and routes the work elsewhere.
+  if (draining_.load()) {
+    reg.counter("service.sheds_draining").add();
+    throw ServiceBusyError("draining: instance is handing off, resubmit to "
+                           "another instance");
+  }
   // QoS admission, cheapest checks first. Quota: a single campaign may not
   // carry more sessions than the configured per-campaign budget.
   const std::size_t sessions = spec.num_sessions();
@@ -265,17 +286,33 @@ void SessionService::dispatch_campaign(Campaign& c) {
   const LogCampaignScope log_scope(c.id);
   try {
     std::filesystem::create_directories(c.out_dir);
-    if (!c.canonical.empty())
+    if (!c.canonical.empty()) {
       write_file_atomic(c.out_dir / "spec.txt", c.canonical);
+      if (config_.enable_wal) {
+        // spec.txt is on disk before the WAL header that content-addresses
+        // it, so a journal never outlives the spec it validates against. A
+        // resumed campaign appends to its surviving journal; re-writing the
+        // header would be a duplicate the parser has no use for.
+        c.wal = std::make_unique<CampaignWalWriter>(c.out_dir / "journal.wal");
+        if (!c.resumed)
+          c.wal->begin(c.id, format_u64_hex(fnv1a64(c.canonical)),
+                       c.priority);
+      }
+    }
     c.canonical.clear();
     c.canonical.shrink_to_fit();
     if (config_.enable_journal) {
       c.journal = std::make_unique<EventJournal>(
           c.out_dir / "events.jsonl", c.id,
           c.trace.valid() ? format_u64_hex(c.trace.trace_id) : "");
-      c.journal->record("submit", {{"priority", c.priority},
-                                   {"designs", c.spec.designs.size()},
-                                   {"tilings", c.spec.tilings.size()}});
+      if (c.resumed)
+        c.journal->record("reattach",
+                          {{"journaled", c.wal_replay.size()},
+                           {"priority", c.priority}});
+      else
+        c.journal->record("submit", {{"priority", c.priority},
+                                     {"designs", c.spec.designs.size()},
+                                     {"tilings", c.spec.tilings.size()}});
     }
     schedule(c);
   } catch (const std::exception& e) {
@@ -320,10 +357,15 @@ std::string SessionService::submit_text(const std::string& text, int priority,
                                         const std::string& name_hint,
                                         TraceContext trace,
                                         std::uint64_t deadline_ms) {
-  // Shed-before-parse: a full campaign queue is an O(1) check, and under a
-  // submit storm most requests die on it — don't spend a spec parse on a
-  // request that was never going to be admitted. The registration path
-  // re-checks under the same lock, so this is purely a fast path.
+  // Shed-before-parse: draining and a full campaign queue are O(1) checks,
+  // and under a submit storm most requests die on them — don't spend a spec
+  // parse on a request that was never going to be admitted. The
+  // registration path re-checks, so these are purely fast paths.
+  if (draining_.load()) {
+    MetricsRegistry::global().counter("service.sheds_draining").add();
+    throw ServiceBusyError("draining: instance is handing off, resubmit to "
+                           "another instance");
+  }
   if (config_.max_pending > 0) {
     std::size_t pending;
     {
@@ -429,8 +471,33 @@ void SessionService::prepare_unit(Campaign& c, bool cancelled) {
       }
     }
 
+    // Journal replay: sessions the write-ahead journal proves finished
+    // before the crash are restored from the result cache instead of
+    // re-executed — this is the whole payoff of the journal. A record whose
+    // recomputed key disagrees (journal from a different spec) or whose
+    // cache entry vanished is simply not replayed; the session re-runs
+    // deterministically. Cache IO happens here, outside the service mutex.
+    std::vector<std::optional<SessionOutcome>> replay(jobs.size());
+    if (!c.wal_replay.empty() && cache_ != nullptr && !cancel_now) {
+      for (const WalSessionRecord& rec : c.wal_replay) {
+        if (rec.index >= jobs.size() || !rec.has_key) continue;
+        if (session_cache_key(c.spec, jobs[rec.index]) != rec.key) continue;
+        try {
+          if (std::optional<CachedSession> hit = cache_->load(rec.key))
+            replay[rec.index] = from_cached(*hit);
+        } catch (const std::exception& e) {
+          EMUTILE_WARN("campaign " << c.id << ": replay load failed for "
+                                   << "session " << rec.index << ": "
+                                   << e.what());
+        }
+      }
+    }
+    c.wal_replay.clear();
+    c.wal_replay.shrink_to_fit();
+
     std::size_t baseline_pairs = 0;
     std::size_t baseline_units = 0;
+    std::size_t replay_count = 0;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       set_state_locked(c, CampaignState::kRunning);
@@ -439,13 +506,22 @@ void SessionService::prepare_unit(Campaign& c, bool cancelled) {
       c.golden_errors = std::move(golden_errors);
       c.outcomes.resize(c.jobs.size());
       c.done.assign(c.jobs.size(), 0);
+      for (std::size_t i = 0; i < c.jobs.size(); ++i) {
+        if (!replay[i].has_value()) continue;
+        c.outcomes[i] = std::move(*replay[i]);
+        c.done[i] = 1;
+        ++c.sessions_done;
+        ++c.cache_hits;
+        ++c.replayed;
+        ++replay_count;
+      }
       if (c.spec.measure_baselines && !cancel_now) {
         baseline_pairs = all_pairs;
         c.per_pair.resize(baseline_pairs);
         for (std::size_t u = 0; u < baseline_pairs; ++u)
           if (pair_assigned(u)) ++baseline_units;
       }
-      c.units_total = 1 + c.jobs.size() + baseline_units;
+      c.units_total = 1 + (c.jobs.size() - replay_count) + baseline_units;
       if (cancel_now) {
         for (std::size_t i = 0; i < c.jobs.size(); ++i) {
           c.outcomes[i].report.cancelled = true;
@@ -458,12 +534,24 @@ void SessionService::prepare_unit(Campaign& c, bool cancelled) {
     }
 
     if (!cancel_now) {
+      if (replay_count > 0) {
+        MetricsRegistry::global()
+            .counter("service.sessions_replayed")
+            .add(replay_count);
+        if (c.journal)
+          c.journal->record("replay", {{"sessions", replay_count}});
+      }
+      // Only the slots the journal could not replay reach the scheduler.
+      std::vector<std::size_t> to_run;
+      to_run.reserve(c.jobs.size() - replay_count);
+      for (std::size_t i = 0; i < c.jobs.size(); ++i)
+        if (!c.done[i]) to_run.push_back(i);
       // If a submit throws partway (allocation failure), account for every
       // unit that never reached the scheduler so the finished/total ledger
       // still balances and finalize() fires exactly once.
       std::size_t submitted = 0;
       try {
-        for (std::size_t i = 0; i < c.jobs.size(); ++i) {
+        for (const std::size_t i : to_run) {
           // Stamped at enqueue so the unit can reconstruct its queue-wait
           // span without the scheduler knowing about tracing.
           const std::uint64_t enqueued_us = journal_now_us();
@@ -483,10 +571,10 @@ void SessionService::prepare_unit(Campaign& c, bool cancelled) {
       } catch (const std::exception& e) {
         std::lock_guard<std::mutex> lock(mutex_);
         c.units_total = 1 + submitted;
-        for (std::size_t i = submitted; i < c.jobs.size(); ++i) {
-          c.outcomes[i].error =
+        for (std::size_t k = submitted; k < to_run.size(); ++k) {
+          c.outcomes[to_run[k]].error =
               std::string("session could not be scheduled: ") + e.what();
-          c.done[i] = 1;
+          c.done[to_run[k]] = 1;
           ++c.sessions_done;
         }
         // Unscheduled baseline pairs simply stay unmeasured.
@@ -569,6 +657,20 @@ void SessionService::session_unit(Campaign& c, std::size_t job_slot,
       }
     }
   }
+  if (c.wal && !outcome.report.cancelled && outcome.error.empty()) {
+    // Journal the completion strictly after run_campaign_session stored the
+    // result (a crash in the gap loses only this session's work, never the
+    // journal's truthfulness). Sessions that only make sense uncached — no
+    // cache, custom builder — journal "-": replay re-runs them. The fault
+    // points let the durability suite SIGKILL on either side of the append
+    // and prove both orders recover.
+    const bool cacheable =
+        cache_ != nullptr && !c.spec.designs[job.design_index].builder;
+    EMUTILE_FAULT_POINT("session.pre-wal");
+    c.wal->session(job_slot,
+                   cacheable ? session_cache_key(c.spec, job) : 0, cacheable);
+    EMUTILE_FAULT_POINT("session.post-wal");
+  }
   if (c.journal) {
     if (lookup == CacheLookup::kHit)
       c.journal->record("cache-hit", {{"session", job_slot}});
@@ -645,6 +747,10 @@ void SessionService::finalize(Campaign& c) {
       report.num_threads = config_.num_threads;
       report.cache_hits = c.cache_hits;
       report.cache_misses = c.cache_misses;
+      // A crash from here until the journal's `complete` record leaves the
+      // campaign resumable: every session is journaled + cached, so a
+      // reattach replays them all and rewrites these same bytes.
+      EMUTILE_FAULT_POINT("finalize.pre-report");
       write_file_atomic(c.out_dir / "report.json", report.to_json());
       write_file_atomic(c.out_dir / "report.csv", report.to_csv());
       // The mergeable form: what a coordinator fetches over SHARDREPORT to
@@ -660,6 +766,12 @@ void SessionService::finalize(Campaign& c) {
   }
   if (state == CampaignState::kFailed)
     write_file_atomic(c.out_dir / "error.txt", error + "\n");
+  if (c.wal) {
+    // Written after every report artifact: a journal bearing `complete` is
+    // a promise that the reports it describes are on disk.
+    EMUTILE_FAULT_POINT("finalize.pre-complete");
+    c.wal->complete(to_string(state));
+  }
   {
     MetricsRegistry& reg = MetricsRegistry::global();
     reg.gauge("service.campaigns_active").sub();
@@ -743,10 +855,11 @@ CampaignStatus SessionService::status_locked(const Campaign& c) const {
   s.state = c.state;
   s.priority = c.priority;
   s.sessions_done = c.sessions_done;
-  s.sessions_total = c.jobs.size();
+  s.sessions_total = c.jobs.empty() ? c.sessions_total_hint : c.jobs.size();
   s.cache_hits = c.cache_hits;
   s.cache_misses = c.cache_misses;
   s.snapshots = c.snapshots;
+  s.replayed = c.replayed;
   s.error = c.error;
   s.out_dir = c.out_dir;
   return s;
@@ -773,7 +886,8 @@ bool SessionService::cancel(const std::string& id) {
   Campaign* c = find_locked(id);
   if (c == nullptr) return false;
   c->cancel_flag.store(true);
-  scheduler_->cancel(c->stream);
+  // Terminal campaigns re-registered by reattach() never opened a stream.
+  if (c->stream != 0) scheduler_->cancel(c->stream);
   return true;
 }
 
@@ -825,6 +939,182 @@ void SessionService::drain() {
       if (!terminal(c->state)) return false;
     return true;
   });
+}
+
+void SessionService::begin_drain() {
+  if (draining_.exchange(true)) return;
+  MetricsRegistry::global().counter("service.drains_begun").add();
+  EMUTILE_INFO("drain begun: no longer admitting campaigns ("
+               << running_count() << " running, " << queued_count()
+               << " queued will finish)");
+}
+
+namespace {
+
+/// The WAL's terminal-state string back to the enum; nullopt for anything
+/// unrecognized (treated as unvalidatable, not as corruption — the line's
+/// checksum already passed).
+std::optional<CampaignState> state_from_string(const std::string& s) {
+  if (s == "finished") return CampaignState::kFinished;
+  if (s == "cancelled") return CampaignState::kCancelled;
+  if (s == "failed") return CampaignState::kFailed;
+  return std::nullopt;
+}
+
+}  // namespace
+
+ReattachStats SessionService::reattach() {
+  ReattachStats stats;
+  std::vector<std::filesystem::path> dirs;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(config_.root / "out", ec)) {
+    if (!entry.is_directory()) continue;
+    // .stale names are previous reattaches' archives — never rescanned.
+    if (entry.path().filename().string().find(".stale") != std::string::npos)
+      continue;
+    dirs.push_back(entry.path());
+  }
+  std::sort(dirs.begin(), dirs.end());  // deterministic registration order
+  for (const std::filesystem::path& dir : dirs) {
+    try {
+      reattach_dir(dir, stats);
+    } catch (const std::exception& e) {
+      EMUTILE_WARN("reattach: " << dir << " skipped: " << e.what());
+    }
+  }
+  if (stats.resumed + stats.completed + stats.archived > 0) {
+    EMUTILE_INFO("reattach: resumed " << stats.resumed << ", re-registered "
+                 << stats.completed << " completed, archived "
+                 << stats.archived << " (resubmitted " << stats.resubmitted
+                 << ")");
+  }
+  return stats;
+}
+
+void SessionService::reattach_dir(const std::filesystem::path& dir,
+                                  ReattachStats& stats) {
+  const std::string id = dir.filename().string();
+  MetricsRegistry& reg = MetricsRegistry::global();
+
+  // Gather the evidence: journal, spec, and their agreement. spec.txt is
+  // the canonical serialization, so its raw bytes hash to the content hash
+  // the WAL header recorded at submit time.
+  std::string wal_error;
+  std::optional<CampaignWal> wal;
+  if (config_.enable_wal)
+    wal = load_campaign_wal(dir / "journal.wal", &wal_error);
+  std::string spec_text;
+  std::optional<CampaignSpec> spec;
+  try {
+    spec_text = read_file(dir / "spec.txt");
+    spec = parse_campaign_spec(spec_text);
+  } catch (const std::exception&) {
+    spec.reset();
+  }
+  const bool consistent = wal.has_value() && spec.has_value() &&
+                          wal->campaign_id == id &&
+                          wal->spec_hash == format_u64_hex(fnv1a64(spec_text));
+
+  if (consistent && wal->complete) {
+    // `complete` promises the report artifacts were on disk when it was
+    // written. Verify anyway: if they vanished, the campaign is resumable
+    // (every session is journaled), so fall through to the resume path and
+    // let it rewrite them from cache instead of trusting a stale promise.
+    const std::optional<CampaignState> state =
+        state_from_string(wal->final_state);
+    const bool reports_present =
+        std::filesystem::exists(dir / "report.json") &&
+        std::filesystem::exists(dir / "report.shard");
+    if (state.has_value() &&
+        (*state == CampaignState::kFailed || reports_present)) {
+      auto owned = std::make_unique<Campaign>();
+      Campaign* c = owned.get();
+      c->id = id;
+      c->out_dir = dir;
+      c->spec = *spec;
+      c->priority = wal->priority;
+      c->resumed = true;
+      c->sessions_done = wal->sessions.size();
+      c->sessions_total_hint = wal->sessions.size();
+      if (*state == CampaignState::kFailed) {
+        try {
+          c->error = read_file(dir / "error.txt");
+          while (!c->error.empty() && c->error.back() == '\n')
+            c->error.pop_back();
+        } catch (const std::exception&) {
+          c->error = "failed (error.txt unreadable)";
+        }
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++queued_campaigns_;  // constructed kQueued; the transition rebalances
+      set_state_locked(*c, *state);
+      by_id_.emplace(c->id, c);
+      campaigns_.push_back(std::move(owned));
+      ++stats.completed;
+      return;
+    }
+  }
+
+  if (consistent) {
+    // Unfinished (or finished with its artifacts missing): re-register under
+    // the same id and output dir and push it through the normal dispatch
+    // path. prepare_unit replays the journaled sessions through the result
+    // cache; only the remainder re-executes. WAIT/STATUS clients asking for
+    // this id reconnect as if the daemon never died.
+    Campaign* c = nullptr;
+    {
+      auto owned = std::make_unique<Campaign>();
+      c = owned.get();
+      c->id = id;
+      c->out_dir = dir;
+      c->spec = *spec;
+      c->canonical = spec_text;
+      c->priority = wal->priority;
+      c->stream = scheduler_->open_stream(wal->priority);
+      c->trace = Tracer::global().child_context({});
+      c->submit_us = journal_now_us();
+      c->resumed = true;
+      c->wal_replay = std::move(wal->sessions);
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++queued_campaigns_;
+      by_id_.emplace(c->id, c);
+      campaigns_.push_back(std::move(owned));
+    }
+    reg.counter("service.campaigns_reattached").add();
+    reg.gauge("service.campaigns_active").add();
+    if (!intake_.push_wait(c, intake_stop_)) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      c->cancel_flag.store(true);
+    }
+    ++stats.resumed;
+    return;
+  }
+
+  // Unvalidatable: no journal, a poisoned one, or journal/spec disagreement.
+  // Archive the directory out of the way (PR 2's daemon silently shadowed
+  // it forever) and, when the spec still parses, re-run it fresh — the
+  // result cache makes any sessions that did complete nearly free.
+  EMUTILE_WARN("reattach: archiving " << dir << " ("
+               << (wal ? "journal/spec mismatch" : wal_error) << ")");
+  std::filesystem::path dest = dir;
+  dest += ".stale";
+  for (int n = 1; std::filesystem::exists(dest); ++n) {
+    dest = dir;
+    dest += ".stale." + std::to_string(n);
+  }
+  std::filesystem::rename(dir, dest);
+  reg.counter("service.reattach_archived").add();
+  ++stats.archived;
+  if (spec.has_value()) {
+    try {
+      submit(*spec, 0, id);
+      ++stats.resubmitted;
+    } catch (const std::exception& e) {
+      EMUTILE_WARN("reattach: resubmit of archived " << id
+                   << " failed: " << e.what());
+    }
+  }
 }
 
 AdaptiveRoundExecutor make_adaptive_executor(SessionService& service,

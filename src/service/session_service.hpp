@@ -13,12 +13,18 @@
 ///   spool/rejected/     malformed spec files + `<name>.error` sidecars
 ///   cache/              the shared session ResultCache
 ///   out/<id>/spec.txt   canonical serialization of the accepted spec
+///   out/<id>/journal.wal  per-campaign write-ahead journal (campaign_wal):
+///                         spec hash + per-session completion records, what
+///                         reattach() replays after a crash
 ///   out/<id>/snapshot-NNN.json   streamed partial reports (every
 ///                                snapshot_every completed sessions)
 ///   out/<id>/report.json|.csv    final deterministic report
 ///   out/<id>/report.shard        mergeable form (campaign_report_io) served
 ///                                over the SHARDREPORT wire command
 ///   out/<id>/error.txt  present iff the campaign failed outright
+///   out/<id>.stale/     a surviving dir reattach() could not validate
+///                       (no/poisoned journal, spec-hash mismatch), archived
+///                       out of the way instead of silently shadowed
 ///
 /// Determinism contract: out/<id>/report.json and report.csv are
 /// byte-identical to to_json()/to_csv() of a direct run_campaign() of the
@@ -80,6 +86,11 @@ struct ServiceConfig {
   /// carries wall-progression timestamps and therefore lives strictly
   /// outside the deterministic report artifacts.
   bool enable_journal = true;
+  /// Write the per-campaign `out/<id>/journal.wal` write-ahead journal
+  /// (campaign_wal.hpp) that reattach() replays after a crash. Campaigns
+  /// without a canonical spec form (custom builders) never get one — they
+  /// cannot be validated against a surviving directory anyway.
+  bool enable_wal = true;
   /// Slow-span watchdog: WARN (with the span path) when a session's wall
   /// time exceeds this multiple of the running `session.wall_us` p99, once
   /// at least 20 sessions have been recorded. Counted as
@@ -138,8 +149,20 @@ struct CampaignStatus {
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
   std::size_t snapshots = 0;  ///< intermediate snapshots streamed so far
+  /// Sessions restored from the journal + result cache by a reattach()
+  /// resume instead of being re-executed. Zero for campaigns born in this
+  /// process.
+  std::size_t replayed = 0;
   std::string error;          ///< nonempty iff state == kFailed
   std::filesystem::path out_dir;
+};
+
+/// What reattach() did with the surviving output directories.
+struct ReattachStats {
+  std::size_t resumed = 0;      ///< unfinished campaigns rescheduled mid-stream
+  std::size_t completed = 0;    ///< terminal campaigns re-registered for STATUS/WAIT
+  std::size_t archived = 0;     ///< unvalidatable dirs moved to out/<id>.stale
+  std::size_t resubmitted = 0;  ///< archived specs re-run as fresh campaigns
 };
 
 class SessionService {
@@ -206,6 +229,25 @@ class SessionService {
   /// Block until every submitted campaign reaches a terminal state.
   void drain();
 
+  /// Re-attach to the output directories a previous daemon left under
+  /// root/out: a dir whose journal validates against its spec.txt is either
+  /// re-registered terminal (journal complete — STATUS/WAIT answer for it
+  /// again) or resumed mid-stream (journaled sessions replay through the
+  /// result cache, only the remainder re-executes); anything unvalidatable
+  /// is archived to out/<id>.stale and, when its spec still parses,
+  /// resubmitted as a fresh campaign. Call once, after construction and
+  /// before serving clients — it assumes an empty registry.
+  ReattachStats reattach();
+
+  /// Stop admitting work: every later submit()/submit_text() is shed with
+  /// ServiceBusyError("draining: ..."). In-flight campaigns keep running —
+  /// pair with drain() for the rolling-upgrade handoff (the daemon's
+  /// SIGUSR2/DRAIN path). Irreversible for this instance.
+  void begin_drain();
+
+  /// True once begin_drain() was called.
+  [[nodiscard]] bool draining() const { return draining_.load(); }
+
   /// The shared session cache (nullptr when disabled).
   [[nodiscard]] ResultCache* cache() { return cache_.get(); }
 
@@ -249,6 +291,9 @@ class SessionService {
   /// by its last unit, outside the service mutex (all workers are done with
   /// the campaign, so its bulk state has no writers left).
   void finalize(Campaign& c);
+  /// One reattach() directory: validate journal ↔ spec.txt ↔ report
+  /// artifacts, then re-register terminal, resume, or archive(+resubmit).
+  void reattach_dir(const std::filesystem::path& dir, ReattachStats& stats);
   [[nodiscard]] SnapshotData capture_snapshot_locked(Campaign& c);
   void write_snapshot(const Campaign& c, const SnapshotData& data);
   [[nodiscard]] CampaignStatus status_locked(const Campaign& c) const;
@@ -279,6 +324,8 @@ class SessionService {
   /// scheduling; drained, never dropped, on shutdown.
   MpmcQueue<Campaign*> intake_;
   std::atomic<bool> intake_stop_{false};
+  /// begin_drain() flips this once; submit paths shed on it lock-free.
+  std::atomic<bool> draining_{false};
   std::thread dispatcher_;
   std::chrono::steady_clock::time_point start_time_ =
       std::chrono::steady_clock::now();

@@ -1,0 +1,81 @@
+#include "util/fault_inject.hpp"
+
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <atomic>
+#include <mutex>
+#include <string>
+
+namespace emutile {
+
+bool fault_points_compiled_in() {
+#ifdef EMUTILE_FAULT_POINTS_ENABLED
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+struct FaultConfig {
+  std::string name;  ///< empty: no fault armed
+  long skip = 0;     ///< hits to let pass before crashing
+};
+
+FaultConfig parse_fault_config() {
+  FaultConfig c;
+  const char* env = std::getenv("EMUTILE_FAULT_POINT");
+  if (env == nullptr || *env == '\0') return c;
+  const char* colon = std::strrchr(env, ':');
+  if (colon != nullptr) {
+    c.name.assign(env, static_cast<std::size_t>(colon - env));
+    c.skip = std::strtol(colon + 1, nullptr, 10);
+  } else {
+    c.name = env;
+  }
+  return c;
+}
+
+// Parsed at the first fault point crossed, then cached — but per *process*:
+// the crash-kill harness forks children that setenv after the parent has
+// already crossed (and cached) its own unarmed config, so a cached result
+// from another pid must be re-read. The hit counter restarts with it.
+struct FaultState {
+  FaultConfig config;
+  std::atomic<long> hits{0};
+  pid_t pid = -1;
+};
+
+FaultState& fault_state() {
+  static FaultState state;
+  static std::mutex mutex;
+  std::lock_guard<std::mutex> lock(mutex);
+  const pid_t self = ::getpid();
+  if (state.pid != self) {
+    state.config = parse_fault_config();
+    state.hits.store(0);
+    state.pid = self;
+  }
+  return state;
+}
+
+}  // namespace
+
+void fault_point_hit(const char* name) {
+  FaultState& state = fault_state();
+  if (state.config.name.empty() || state.config.name != name) return;
+  if (state.hits.fetch_add(1) < state.config.skip) return;
+  // stderr is unbuffered enough to usually survive the kill — a breadcrumb
+  // for whoever reads the dead daemon's log, never a dependency of any test.
+  std::fprintf(stderr, "emutile: fault point '%s' armed — raising SIGKILL\n",
+               name);
+  std::raise(SIGKILL);
+}
+
+}  // namespace emutile

@@ -1,0 +1,42 @@
+#pragma once
+/// \file fault_inject.hpp
+/// Crash-point injection for the durability test suite: EMUTILE_FAULT_POINT
+/// marks the ordering-sensitive instants of the persistence paths (between a
+/// session result reaching the cache and its journal record, between the
+/// final report and the journal's completion record, ...) so a test can
+/// SIGKILL the process at exactly that instant and prove the recovery path
+/// reconstructs the same bytes.
+///
+/// Activation is environment-driven, so the crash fires in a forked child or
+/// a spawned daemon without any API plumbing:
+///
+///   EMUTILE_FAULT_POINT=<name>         die at the first hit of <name>
+///   EMUTILE_FAULT_POINT=<name>:<skip>  let <skip> hits pass first — how the
+///                                      randomized kill-point tests vary the
+///                                      crash position within one campaign
+///
+/// The crash is raise(SIGKILL): no destructors, no atexit, no flush — the
+/// same face a power loss or OOM kill shows the on-disk state. The macro
+/// compiles to nothing unless EMUTILE_FAULT_POINTS_ENABLED is defined
+/// (CMake defines it for every build type except Release), so production
+/// binaries carry no branch on the hot paths; fault_points_compiled_in()
+/// lets tests skip instead of silently passing when the hooks are absent.
+
+namespace emutile {
+
+/// True when this binary was built with the fault-point hooks compiled in.
+[[nodiscard]] bool fault_points_compiled_in();
+
+/// Implementation behind EMUTILE_FAULT_POINT — call the macro, not this.
+/// Reads EMUTILE_FAULT_POINT once per process (a forked child re-reads, so
+/// a test harness can setenv between fork and the first hit); on a name
+/// match past the configured skip count, SIGKILLs the process.
+void fault_point_hit(const char* name);
+
+}  // namespace emutile
+
+#ifdef EMUTILE_FAULT_POINTS_ENABLED
+#define EMUTILE_FAULT_POINT(name) ::emutile::fault_point_hit(name)
+#else
+#define EMUTILE_FAULT_POINT(name) ((void)0)
+#endif

@@ -1,8 +1,13 @@
 #pragma once
 /// Shared fixtures: small hand-built netlists and random-netlist factories
-/// used across the test suite.
+/// used across the test suite, plus the field-by-field campaign-report
+/// differ the durability and orchestrator suites use to explain
+/// byte-inequality failures.
 
+#include <algorithm>
 #include <cstdint>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "designs/blocks.hpp"
@@ -91,6 +96,52 @@ inline Netlist make_random_netlist(int num_luts, std::uint64_t seed,
   nl.add_output("checksum", b_xor_tree(nl, outs, "ck"));
   nl.validate();
   return nl;
+}
+
+/// Field-by-field differential cross-check of two campaign-report CSVs
+/// (differential validation in the Guo et al. style): returns "" when the
+/// reports agree, otherwise one line per differing cell naming the scenario
+/// row and the column header — a byte-inequality assertion tells you *that*
+/// a resumed run diverged from a fresh one, this dump tells you *where*.
+inline std::string diff_campaign_reports_csv(const std::string& expected,
+                                             const std::string& actual) {
+  const auto split = [](const std::string& text, char sep) {
+    std::vector<std::string> parts;
+    std::istringstream in(text);
+    for (std::string part; std::getline(in, part, sep);)
+      parts.push_back(part);
+    return parts;
+  };
+  const std::vector<std::string> a_rows = split(expected, '\n');
+  const std::vector<std::string> b_rows = split(actual, '\n');
+  const std::vector<std::string> header =
+      a_rows.empty() ? std::vector<std::string>() : split(a_rows[0], ',');
+
+  std::ostringstream diff;
+  if (a_rows.size() != b_rows.size())
+    diff << "row count: expected " << a_rows.size() << " rows, got "
+         << b_rows.size() << "\n";
+  const std::size_t rows = std::min(a_rows.size(), b_rows.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (a_rows[r] == b_rows[r]) continue;
+    const std::vector<std::string> a = split(a_rows[r], ',');
+    const std::vector<std::string> b = split(b_rows[r], ',');
+    // Scenario rows lead with design,error_kind,tiles — enough to name them.
+    std::string label = "row " + std::to_string(r);
+    if (r > 0 && a.size() >= 3)
+      label += " (" + a[0] + "/" + a[1] + "/" + a[2] + ")";
+    if (a.size() != b.size()) {
+      diff << label << ": expected " << a.size() << " cells, got " << b.size()
+           << "\n";
+      continue;
+    }
+    for (std::size_t c = 0; c < a.size(); ++c)
+      if (a[c] != b[c])
+        diff << label << " column "
+             << (c < header.size() ? header[c] : std::to_string(c))
+             << ": expected '" << a[c] << "' got '" << b[c] << "'\n";
+  }
+  return diff.str();
 }
 
 /// Response capture: run `patterns` through a netlist, returning all PO

@@ -1,10 +1,12 @@
 // Orchestrator tests: the fleet-config format, the mergeable shard-report
 // wire format (exact round-trip + merge equivalence), and the campaign
 // coordinator end-to-end — sharded orchestration over in-process serviced
-// instances, re-dispatch when an instance is killed mid-campaign, spool-
-// addressed instances, and the all-instances-down in-process fallback. The
-// load-bearing assertion throughout: the merged fleet report is
-// byte-identical to a direct unsharded run_campaign of the same spec.
+// instances, re-dispatch when an instance is killed mid-campaign, a rolling
+// drain-restart upgrade across the whole fleet, spool-addressed instances,
+// and the all-instances-down in-process fallback. The load-bearing
+// assertion throughout: the merged fleet report is byte-identical to a
+// direct unsharded run_campaign of the same spec (with a field-by-field
+// differential cross-check explaining any divergence).
 
 #include <gtest/gtest.h>
 
@@ -25,8 +27,10 @@
 #include "obs/trace.hpp"
 #include "obs/trace_io.hpp"
 #include "orchestrator/campaign_coordinator.hpp"
+#include "service/service_client.hpp"
 #include "service/service_endpoint.hpp"
 #include "service/session_service.hpp"
+#include "test_helpers.hpp"
 #include "util/check.hpp"
 
 namespace emutile {
@@ -189,17 +193,21 @@ TEST(CampaignReportIo, MalformedReportsThrowWithLineNumbers) {
 // -------------------------------------------------------------- coordinator ---
 
 /// One in-process "host": a SessionService plus its socket endpoint, both
-/// destroyable mid-test to simulate an instance dying.
+/// destroyable mid-test to simulate an instance dying. `attach` replays the
+/// restart side of a rolling upgrade: re-attach to the root a previous
+/// incarnation left behind before serving on the same socket path.
 struct InProcessInstance {
   ServiceConfig config;
   std::unique_ptr<SessionService> service;
   std::unique_ptr<ServiceEndpoint> endpoint;
 
-  InProcessInstance(const fs::path& root, std::size_t threads) {
+  InProcessInstance(const fs::path& root, std::size_t threads,
+                    bool attach = false) {
     config.root = root;
     config.num_threads = threads;
     config.snapshot_every = 0;
     service = std::make_unique<SessionService>(config);
+    if (attach) static_cast<void>(service->reattach());
     endpoint = std::make_unique<ServiceEndpoint>(*service,
                                                  root / "serviced.sock");
   }
@@ -275,6 +283,89 @@ TEST(CampaignCoordinator, KilledInstanceMidCampaignStillMergesByteIdentical) {
   const CampaignReport direct = run_campaign(spec);
   EXPECT_EQ(result.report.to_json(), direct.to_json());
   EXPECT_EQ(result.report.to_csv(), direct.to_csv());
+  // The differential cross-check pins divergence to a scenario row and
+  // column if the byte-equality above ever regresses.
+  EXPECT_EQ(test::diff_campaign_reports_csv(direct.to_csv(),
+                                            result.report.to_csv()),
+            "");
+}
+
+TEST(CampaignCoordinator, RollingDrainRestartKeepsMergedReportByteIdentical) {
+  // A rolling upgrade across the whole fleet, one instance at a time, while
+  // a campaign is in flight: drain an instance over the wire (it finishes
+  // its in-flight shard), restart it re-attached to the same root and
+  // socket, and move to the next. The coordinator must keep collecting from
+  // draining instances, re-dispatch anything that slips, re-admit restarted
+  // daemons via the PING re-probe — and the merged report must come out
+  // byte-identical to an unsharded direct run.
+  ScratchDir scratch("coord-rolling");
+  std::vector<std::unique_ptr<InProcessInstance>> hosts;
+  FleetConfig fleet;
+  for (int i = 0; i < 3; ++i) {
+    const std::string name = "rhost" + std::to_string(i);
+    hosts.push_back(std::make_unique<InProcessInstance>(scratch.path / name,
+                                                        /*threads=*/1));
+    fleet.instances.push_back({name, InstanceAddress::kSocket,
+                               hosts.back()->endpoint->socket_path()});
+  }
+
+  const CampaignSpec spec = sharded_test_spec(/*replicas=*/6, 9000);
+  CoordinatorOptions options;
+  options.poll_interval = std::chrono::milliseconds(20);
+  options.reprobe_interval = std::chrono::milliseconds(50);
+  options.request_timeout_ms = 10'000;
+  options.local_threads = 2;
+  CampaignCoordinator coordinator(fleet, options);
+  OrchestrationResult result;
+  std::atomic<bool> run_done{false};
+  std::thread orchestration([&] {
+    result = coordinator.run(spec);
+    run_done.store(true);
+  });
+
+  std::size_t restarted = 0;
+  for (std::size_t i = 0; i < hosts.size() && !run_done.load(); ++i) {
+    // Wait until this instance holds a shard, then drain it over the wire —
+    // exactly what a rolling-upgrade script does.
+    const auto accept_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (!hosts[i]->has_accepted_campaign() && !run_done.load() &&
+           std::chrono::steady_clock::now() < accept_deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    if (run_done.load() || !hosts[i]->has_accepted_campaign()) break;
+
+    const ServiceClient client(hosts[i]->endpoint->socket_path());
+    client.drain();
+    EXPECT_TRUE(hosts[i]->service->draining());
+
+    // The draining instance finishes what it holds; give the coordinator a
+    // beat to collect before the "process" exits.
+    hosts[i]->service->drain();
+    std::this_thread::sleep_for(options.poll_interval * 3);
+
+    // Restart re-attached on the same root and socket: the re-probe returns
+    // it to the rotation while the run is still going.
+    const fs::path root = hosts[i]->config.root;
+    hosts[i]->kill();
+    hosts[i] = std::make_unique<InProcessInstance>(root, /*threads=*/1,
+                                                   /*attach=*/true);
+    EXPECT_FALSE(hosts[i]->service->draining())
+        << "a restarted daemon admits work again";
+    ++restarted;
+  }
+  orchestration.join();
+
+  EXPECT_GE(restarted, 1u) << "the rolling upgrade never touched the fleet";
+  EXPECT_EQ(result.num_shards, 3u);
+  for (const ShardProgress& shard : result.shards)
+    EXPECT_EQ(shard.state, ShardState::kDone);
+
+  const CampaignReport direct = run_campaign(spec);
+  EXPECT_EQ(result.report.to_json(), direct.to_json());
+  EXPECT_EQ(result.report.to_csv(), direct.to_csv());
+  EXPECT_EQ(test::diff_campaign_reports_csv(direct.to_csv(),
+                                            result.report.to_csv()),
+            "");
 }
 
 TEST(CampaignCoordinator, AllInstancesDownFallsBackToInProcessExecution) {

@@ -7,13 +7,21 @@
 /// appears (handy for scripted orchestration); in-flight campaigns are
 /// drained before exit unless --no-drain is given.
 ///
-///   $ emutile_serviced --root DIR [--threads N] [--snapshot-every N]
+/// Durability: `--attach` re-attaches to the root a previous daemon left
+/// behind — unfinished campaigns (valid out/<id>/journal.wal) resume
+/// mid-stream, completed ones answer STATUS/WAIT again, unvalidatable dirs
+/// are archived to out/<id>.stale. SIGUSR2 (or the DRAIN wire command)
+/// begins a drain: no new admissions, in-flight campaigns finish or
+/// journal, then the daemon exits 0 — the rolling-upgrade handoff.
+///
+///   $ emutile_serviced --root DIR [--attach] [--threads N]
+///                      [--snapshot-every N]
 ///                      [--poll-ms N] [--no-cache] [--cache-max-bytes N]
 ///                      [--baseline-cache-entries N] [--no-socket]
 ///                      [--socket PATH] [--max-pending N] [--quota N]
 ///                      [--deadline-default-ms N] [--intake-capacity N]
 ///                      [--endpoint reactor|legacy] [--endpoint-workers N]
-///                      [--once] [--no-drain] [--no-journal]
+///                      [--once] [--no-drain] [--no-journal] [--no-wal]
 ///                      [--slow-request-ms N] [--slow-session-multiple X]
 ///                      [--log-level debug|info|warn|error|off]
 ///
@@ -39,8 +47,13 @@
 ///                        (pre-injection builds shared across campaigns;
 ///                        LRU past the cap, 0 = unbounded, default 8)
 ///
+///   --attach  re-attach to the root's surviving out/ dirs before serving:
+///             resume unfinished campaigns from their write-ahead journals,
+///             re-register completed ones, archive the rest to out/<id>.stale
 ///   --once   drain the spool once, wait for those campaigns, and exit.
 ///   --no-journal   skip the per-campaign out/<id>/events.jsonl audit journal
+///   --no-wal   skip the per-campaign out/<id>/journal.wal write-ahead
+///              journal (disables crash resume for campaigns run this way)
 ///   --slow-request-ms N  WARN + count `endpoint.slow_requests` for endpoint
 ///                        requests slower than N ms (default 1000)
 ///   --slow-session-multiple X  WARN + count `service.slow_sessions` when a
@@ -67,6 +80,11 @@ namespace {
 volatile std::sig_atomic_t g_signalled = 0;
 void on_signal(int) { g_signalled = 1; }
 
+// SIGUSR2 = begin drain (stop admitting, finish in-flight, exit 0): its own
+// flag so the main loop can tell a handoff from a plain shutdown.
+volatile std::sig_atomic_t g_drain_signalled = 0;
+void on_drain_signal(int) { g_drain_signalled = 1; }
+
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --root DIR [--threads N] [--snapshot-every N] [--poll-ms N]"
@@ -74,7 +92,8 @@ int usage(const char* argv0) {
                " [--baseline-cache-entries N] [--no-socket] [--socket PATH]"
                " [--max-pending N] [--quota N] [--deadline-default-ms N]"
                " [--intake-capacity N] [--endpoint reactor|legacy]"
-               " [--endpoint-workers N] [--once] [--no-drain] [--no-journal]"
+               " [--endpoint-workers N] [--attach] [--once] [--no-drain]"
+               " [--no-journal] [--no-wal]"
                " [--slow-request-ms N] [--slow-session-multiple X]"
                " [--log-level debug|info|warn|error|off]\n";
   return 2;
@@ -90,6 +109,7 @@ int main(int argc, char** argv) {
   bool use_socket = true;
   bool once = false;
   bool drain_on_exit = true;
+  bool attach = false;
   long poll_ms = 250;
   double slow_request_ms = 1000.0;
   LogLevel log_level = LogLevel::kInfo;
@@ -127,6 +147,8 @@ int main(int argc, char** argv) {
     else if (arg == "--no-socket") use_socket = false;
     else if (arg == "--socket") socket_path = value();
     else if (arg == "--no-journal") config.enable_journal = false;
+    else if (arg == "--no-wal") config.enable_wal = false;
+    else if (arg == "--attach") attach = true;
     else if (arg == "--slow-request-ms") slow_request_ms = std::strtod(value(), nullptr);
     else if (arg == "--slow-session-multiple") config.slow_session_multiple = std::strtod(value(), nullptr);
     else if (arg == "--log-level") {
@@ -146,10 +168,20 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
+  std::signal(SIGUSR2, on_drain_signal);
   set_log_threshold(log_level);
 
   try {
     SessionService service(config);
+    if (attach) {
+      // Before the endpoint exists: clients reconnecting after the restart
+      // must never observe a half-scanned registry.
+      const ReattachStats stats = service.reattach();
+      std::cout << "reattached: " << stats.resumed << " resumed, "
+                << stats.completed << " completed, " << stats.archived
+                << " archived (" << stats.resubmitted << " resubmitted)"
+                << std::endl;
+    }
     std::unique_ptr<ServiceEndpoint> endpoint;
     if (use_socket) {
       endpoint = std::make_unique<ServiceEndpoint>(service, socket_path,
@@ -176,6 +208,13 @@ int main(int argc, char** argv) {
 
     const std::filesystem::path stop_file = config.root / "stop";
     for (;;) {
+      if (g_drain_signalled && !service.draining()) {
+        std::cout << "SIGUSR2: draining for handoff" << std::endl;
+        service.begin_drain();
+      }
+      // A draining daemon stops polling its spool (spooled specs stay put
+      // for the successor), finishes its backlog, and exits 0.
+      if (service.draining()) break;
       const std::size_t accepted = service.poll_spool();
       if (accepted > 0)
         std::cout << "accepted " << accepted << " campaign(s) from spool"
@@ -187,7 +226,7 @@ int main(int argc, char** argv) {
       std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
     }
 
-    if (drain_on_exit || once) {
+    if (drain_on_exit || once || service.draining()) {
       std::cout << "draining in-flight campaigns..." << std::endl;
       service.drain();
     } else {

@@ -9,12 +9,15 @@
 ///   $ emutile_submit --root DIR [--socket PATH] [--spool] [--priority N]
 ///                    [--deadline-ms N] [--wait]
 ///                    [--status ID | --list | --cancel ID | --cache
-///                    | --metrics [json]] SPEC...
+///                    | --metrics [json] | --drain] SPEC...
 ///
 ///   --deadline-ms N  relative deadline for socket submissions; the daemon
 ///                    sheds the SUBMIT with `ERR overdeadline` when its
 ///                    admission control finds N ms infeasible. Spool
 ///                    submissions ignore it (no admission on the spool path).
+///   --drain          tell the daemon to stop admitting, finish its backlog,
+///                    and exit 0 — the rolling-upgrade handoff (see
+///                    emutile_serviced --attach for the restart side).
 ///
 /// Spec files are validated locally before submission, so malformed specs
 /// fail fast with a parse error instead of landing in spool/rejected/.
@@ -40,7 +43,7 @@ int usage(const char* argv0) {
             << " --root DIR [--socket PATH] [--spool] [--priority N]"
                " [--deadline-ms N] [--wait]"
                " [--status ID | --list | --cancel ID | --cache"
-               " | --metrics [json]] SPEC...\n";
+               " | --metrics [json] | --drain] SPEC...\n";
   return 2;
 }
 
@@ -52,7 +55,7 @@ int main(int argc, char** argv) {
   bool wait = false;
   int priority = 0;
   std::uint64_t deadline_ms = 0;
-  std::string one_shot;  // "LIST", "STATUS <id>", "CANCEL <id>", or "CACHE"
+  std::string one_shot;  // "LIST", "STATUS <id>", "CANCEL <id>", "CACHE", ...
   std::vector<std::filesystem::path> specs;
 
   for (int i = 1; i < argc; ++i) {
@@ -74,6 +77,7 @@ int main(int argc, char** argv) {
     else if (arg == "--status") one_shot = std::string("STATUS ") + value();
     else if (arg == "--cancel") one_shot = std::string("CANCEL ") + value();
     else if (arg == "--cache") one_shot = "CACHE";
+    else if (arg == "--drain") one_shot = "DRAIN";
     else if (arg == "--metrics") {
       // Optional bare "json" operand selects the JSON exposition.
       one_shot = "METRICS";
