@@ -35,9 +35,9 @@ int main() {
 
   FleetConfig fleet;
   fleet.instances.push_back(
-      {"host-a", InstanceAddress::kSocket, endpoint_a.socket_path()});
+      {"host-a", ServiceAddress::unix_socket(endpoint_a.socket_path())});
   fleet.instances.push_back(
-      {"host-b", InstanceAddress::kSocket, endpoint_b.socket_path()});
+      {"host-b", ServiceAddress::unix_socket(endpoint_b.socket_path())});
   std::cout << "fleet config:\n" << serialize_fleet_config(fleet) << "\n";
 
   CampaignSpec spec;

@@ -36,15 +36,22 @@
 #   bench-smoke  build bench/campaign_sweep under the "ci" preset and run a
 #                tiny sweep (2 threads x 1 replica, determinism-checked);
 #                the per-scenario CSV lands in build/bench-smoke/ for the
-#                workflow to upload as an artifact.
-#   perf         the perf-regression lane: run session_profile and
-#                campaign_sweep on the pinned small grid below, then compare
-#                their metrics JSON against the checked-in baselines in
-#                bench/baselines/ with a 25% tolerance band (tools/
-#                perf_compare; guarded keys are machine-portable ratios and
-#                deterministic work units — absolute seconds never gate).
-#                Artifacts land in build/perf/ and are uploaded by CI on
-#                success and failure alike.
+#                workflow to upload as an artifact. Ends with fleet_smoke: a
+#                real 3-daemon fleet on TCP loopback (ephemeral ports read
+#                back from each daemon's serviced.tcp file) driven through
+#                emutile_orchestrate, asserting the merged report and the
+#                stitched fleet trace.
+#   perf         the perf-regression lane: run session_profile,
+#                campaign_sweep, and fleet_scale on the pinned small grids
+#                below, then compare their metrics JSON against the
+#                checked-in baselines in bench/baselines/ with a 25%
+#                tolerance band (tools/perf_compare; guarded keys are
+#                machine-portable ratios and deterministic work units —
+#                absolute seconds never gate). fleet_scale additionally
+#                fails outright if a merged fleet report is not
+#                byte-identical to the direct run. Artifacts land in
+#                build/perf/ and are uploaded by CI on success and failure
+#                alike.
 #   storm        the submit-storm lane: drive the service front end with the
 #                pinned epoll load generator (bench/submit_storm) in both
 #                endpoint modes and compare against bench/baselines/
@@ -79,6 +86,14 @@ PERF_TOLERANCE=0.25
 # shed path is exercised; the baseline was recorded with exactly these
 # arguments — change them and the baseline together (perf-refresh).
 STORM_ARGS=(--clients 512 --requests-per-client 32 --max-pending 8)
+
+# The pinned shape of the fleet-scaling lane: the bench's own defaults
+# spelled out (16 sessions through in-process fleets of 1/2/4/8 instances).
+# The guarded key is fleet_scale_ratio — largest-fleet wall time normalized
+# by the best hardware-allowed speedup, relative to the one-instance fleet —
+# so the gate tracks coordination overhead, not machine speed. The baseline
+# was recorded with exactly these arguments (perf-refresh).
+FLEET_SCALE_ARGS=(--sizes 1,2,4,8 --replicas 8 --patterns 96 --tiles 6)
 
 run_preset() {
   local preset=$1
@@ -135,10 +150,13 @@ bench_smoke() {
   fleet_smoke
 }
 
-# A real 3-instance fleet end to end: three daemons, one orchestrated
-# campaign, then assert the observability artifacts — merged fleet metrics
-# and a stitched fleet trace with spans from every instance — exist and are
-# well-formed. This is the distributed-tracing acceptance check.
+# A real 3-instance fleet end to end, over TCP loopback: three daemons on
+# ephemeral ports, one orchestrated campaign, then assert the observability
+# artifacts — merged fleet metrics and a stitched fleet trace with spans
+# from every instance — exist and are well-formed. This is both the
+# distributed-tracing acceptance check and the cross-host transport smoke:
+# the fleet config is assembled from each daemon's published serviced.tcp
+# address file, exactly the way a multi-machine deployment would do it.
 fleet_smoke() {
   local fleet_dir=build/bench-smoke/fleet
   rm -rf "$fleet_dir"
@@ -153,28 +171,35 @@ fleet_smoke() {
   }
   trap stop_fleet RETURN
 
-  {
-    echo "emutile-fleet v1"
-    local i
-    for i in 1 2 3; do
-      mkdir -p "$fleet_dir/i$i"
-      ./build/emutile_serviced --root "$fleet_dir/i$i" --threads 2 \
-        --snapshot-every 0 --slow-request-ms 30000 \
-        > "$fleet_dir/i$i/daemon.log" 2>&1 &
-      pids+=($!)
-      echo "instance i$i socket $fleet_dir/i$i/serviced.sock"
-    done
-    echo "end"
-  } > "$fleet_dir/fleet.cfg"
+  local i
+  for i in 1 2 3; do
+    mkdir -p "$fleet_dir/i$i"
+    ./build/emutile_serviced --root "$fleet_dir/i$i" --threads 2 \
+      --tcp 127.0.0.1:0 --snapshot-every 0 --slow-request-ms 30000 \
+      > "$fleet_dir/i$i/daemon.log" 2>&1 &
+    pids+=($!)
+  done
 
-  # Wait for every socket to come up before dispatching.
+  # Each daemon resolves its ephemeral port and publishes the bound address
+  # in <root>/serviced.tcp; wait for all three before writing the fleet
+  # config from those published addresses.
   local tries=0
-  until [[ -S $fleet_dir/i1/serviced.sock && -S $fleet_dir/i2/serviced.sock \
-           && -S $fleet_dir/i3/serviced.sock ]]; do
+  until [[ -s $fleet_dir/i1/serviced.tcp && -s $fleet_dir/i2/serviced.tcp \
+           && -s $fleet_dir/i3/serviced.tcp ]]; do
     (( ++tries > 100 )) && { echo "fleet_smoke: daemons never came up" >&2
                              cat "$fleet_dir"/i*/daemon.log >&2; return 1; }
     sleep 0.1
   done
+
+  {
+    echo "emutile-fleet v1"
+    for i in 1 2 3; do
+      # serviced.tcp holds the URI form (tcp:host:port); the fleet config's
+      # tcp kind wants the bare host:port.
+      echo "instance i$i tcp $(sed 's/^tcp://' "$fleet_dir/i$i/serviced.tcp")"
+    done
+    echo "end"
+  } > "$fleet_dir/fleet.cfg"
 
   cat > "$fleet_dir/smoke.spec" <<'EOF'
 emutile-campaign v1
@@ -218,7 +243,8 @@ EOF
 build_perf_binaries() {
   cmake --preset ci
   cmake --build --preset ci \
-    --target bench_session_profile bench_campaign_sweep perf_compare
+    --target bench_session_profile bench_campaign_sweep bench_fleet_scale \
+    perf_compare
 }
 
 run_perf_grid() {
@@ -231,6 +257,12 @@ run_perf_grid() {
   ./build/campaign_sweep "${PERF_SWEEP_ARGS[@]}" \
     build/perf/campaign_sweep.csv "$out_dir/campaign_sweep.json" \
     | tee build/perf/campaign_sweep.log
+  # fleet_scale exits nonzero if any merged fleet report diverges from the
+  # direct run, so the perf lane doubles as a determinism gate.
+  ./build/fleet_scale "${FLEET_SCALE_ARGS[@]}" \
+    --root build/perf/fleet-scale \
+    --json "$out_dir/fleet_scale.json" \
+    | tee build/perf/fleet_scale.log
 }
 
 perf() {
@@ -240,6 +272,8 @@ perf() {
     build/perf/session_profile.json "$PERF_TOLERANCE"
   ./build/perf_compare bench/baselines/campaign_sweep.json \
     build/perf/campaign_sweep.json "$PERF_TOLERANCE"
+  ./build/perf_compare bench/baselines/fleet_scale.json \
+    build/perf/fleet_scale.json "$PERF_TOLERANCE"
 }
 
 build_storm_binaries() {

@@ -14,8 +14,8 @@ namespace {
 void emit_acc(std::ostringstream& os, const char* key, const Accumulator& a) {
   os << key << " " << a.count();
   if (a.count() > 0)
-    os << " " << format_double_exact(a.mean()) << " "
-       << format_double_exact(a.m2()) << " " << format_double_exact(a.min())
+    os << " " << format_double_exact(a.sum()) << " "
+       << format_double_exact(a.sum_sq()) << " " << format_double_exact(a.min())
        << " " << format_double_exact(a.max());
   os << "\n";
 }
@@ -92,11 +92,11 @@ struct ReportReader {
     const std::uint64_t n = u64("sample count");
     Accumulator a;
     if (n > 0) {
-      const double mean = real("mean");
-      const double m2 = real("m2");
+      const double sum = real("sum");
+      const double sum_sq = real("sum_sq");
       const double min = real("min");
       const double max = real("max");
-      a = Accumulator::from_parts(n, mean, m2, min, max);
+      a = Accumulator::from_parts(n, sum, sum_sq, min, max);
     }
     done();
     return a;
@@ -107,7 +107,7 @@ struct ReportReader {
 
 std::string serialize_campaign_report(const CampaignReport& r) {
   std::ostringstream os;
-  os << "emutile-report v1\n"
+  os << "emutile-report v2\n"
      << "campaign " << r.sessions << " " << r.completed << " " << r.cancelled
      << " " << r.failed << " " << r.detected << " " << r.narrowed << " "
      << r.corrected << " " << r.clean << "\n";
@@ -154,7 +154,7 @@ std::string serialize_campaign_report(const CampaignReport& r) {
 CampaignReport parse_campaign_report(const std::string& text) {
   ReportReader p(text);
   p.expect("emutile-report");
-  if (p.word("format version") != "v1") p.fail("unsupported format version");
+  if (p.word("format version") != "v2") p.fail("unsupported format version");
   p.done();
 
   CampaignReport r;

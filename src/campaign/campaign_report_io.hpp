@@ -7,7 +7,7 @@
 /// debug-work samples and the accumulators' internal moments that
 /// CampaignReport::merge needs to recombine shards exactly. This module
 /// serializes the *complete* mergeable state — every counter, each
-/// accumulator's exact Welford moments, the retained work samples, and the
+/// accumulator's exact power sums, the retained work samples, and the
 /// per-scenario baselines — as line-oriented text with round-trip-exact
 /// doubles (format_double_exact), so
 ///

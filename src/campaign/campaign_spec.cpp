@@ -1,5 +1,7 @@
 #include "campaign/campaign_spec.hpp"
 
+#include <algorithm>
+
 #include "designs/catalog.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -106,10 +108,25 @@ CampaignSpec CampaignSpec::shard(std::size_t index, std::size_t count) const {
                 "shard index " << index << " out of range for " << count
                                << " shards");
   EMUTILE_CHECK(shard_count == 1, "cannot re-shard an already sharded spec");
+  EMUTILE_CHECK(!sliced(), "cannot shard an already sliced spec");
   CampaignSpec sharded = *this;
   sharded.shard_index = index;
   sharded.shard_count = count;
   return sharded;
+}
+
+CampaignSpec CampaignSpec::slice(std::size_t begin, std::size_t end) const {
+  EMUTILE_CHECK(begin < end, "slice [" << begin << ", " << end
+                                       << ") is empty or inverted");
+  if (sliced())
+    EMUTILE_CHECK(begin >= slice_begin && end <= slice_end,
+                  "slice [" << begin << ", " << end
+                            << ") must narrow the existing slice ["
+                            << slice_begin << ", " << slice_end << ")");
+  CampaignSpec narrowed = *this;
+  narrowed.slice_begin = begin;
+  narrowed.slice_end = end;
+  return narrowed;
 }
 
 std::vector<CampaignJob> CampaignSpec::expand() const {
@@ -122,8 +139,13 @@ std::vector<CampaignJob> CampaignSpec::expand() const {
   // slicing keeps a scenario's replicas together whenever slice boundaries
   // allow, and the bounds are a pure function of (total, index, count).
   const std::size_t total = num_sessions();  // also validates the budgets
-  const std::size_t begin = total * shard_index / shard_count;
-  const std::size_t end = total * (shard_index + 1) / shard_count;
+  std::size_t begin = total * shard_index / shard_count;
+  std::size_t end = total * (shard_index + 1) / shard_count;
+  // An explicit slice (work stealing) intersects with the shard range.
+  if (sliced()) {
+    begin = std::max(begin, slice_begin);
+    end = std::min(end, slice_end);
+  }
   std::vector<CampaignJob> jobs;
   jobs.reserve(end - begin);
   std::size_t scenario = 0;

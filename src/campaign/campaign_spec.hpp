@@ -80,6 +80,14 @@ struct CampaignSpec {
   /// per-shard reports merge back into the unsharded report exactly.
   std::size_t shard_index = 0;
   std::size_t shard_count = 1;
+  /// Explicit job-range restriction (see slice()): when sliced() this spec
+  /// covers only global job indices [slice_begin, slice_end) — intersected
+  /// with the shard selection above. slice_begin == slice_end == 0 means
+  /// unset. This is the coordinator's work-stealing handle: a stolen half of
+  /// a shard is the same spec narrowed to the unfinished index range, so
+  /// seeds and indices stay those of the unsharded campaign.
+  std::size_t slice_begin = 0;
+  std::size_t slice_end = 0;
 
   /// Append a design resolved from the paper catalog (Table 1 name).
   void add_catalog_design(const std::string& name);
@@ -119,6 +127,16 @@ struct CampaignSpec {
   /// exactly the unsharded expand() and CampaignReport::merge can recombine
   /// the per-shard reports.
   [[nodiscard]] CampaignSpec shard(std::size_t index, std::size_t count) const;
+
+  /// True when an explicit job-range restriction is in effect.
+  [[nodiscard]] bool sliced() const { return slice_end > slice_begin; }
+
+  /// A copy of this spec restricted to global job indices [begin, end) — the
+  /// work-stealing primitive. Unlike shard(), slicing composes with an
+  /// existing shard/slice selection as long as it only narrows: the result
+  /// covers the intersection. Requires begin < end and, when already
+  /// sliced(), [begin, end) ⊆ [slice_begin, slice_end).
+  [[nodiscard]] CampaignSpec slice(std::size_t begin, std::size_t end) const;
 
   /// Flatten the matrix into jobs ordered (design, error kind, tiling,
   /// replica) — the canonical order every aggregate is computed in. When the

@@ -229,6 +229,14 @@ CampaignSpec parse_campaign_spec(const std::string& text) {
         p.fail("bad shard selection " + std::to_string(spec.shard_index) +
                "/" + std::to_string(spec.shard_count));
       p.done();
+    } else if (p.key == "slice") {
+      scalar_once(p.key);
+      spec.slice_begin = p.u64("slice begin");
+      spec.slice_end = p.u64("slice end");
+      if (spec.slice_end <= spec.slice_begin)
+        p.fail("bad slice [" + std::to_string(spec.slice_begin) + ", " +
+               std::to_string(spec.slice_end) + ")");
+      p.done();
     } else {
       p.fail("unknown key '" + p.key + "'");
     }
@@ -298,8 +306,12 @@ std::string serialize_campaign_spec(const CampaignSpec& spec) {
      << "eco " << spec.eco.seed << " " << format_double_exact(spec.eco.placer_effort)
      << " " << spec.eco.max_region_expansions << "\n"
      << "measure_baselines " << (spec.measure_baselines ? 1 : 0) << "\n"
-     << "shard " << spec.shard_index << " " << spec.shard_count << "\n"
-     << "end\n";
+     << "shard " << spec.shard_index << " " << spec.shard_count << "\n";
+  // Omitted when unset so pre-slice specs keep their content hash (the
+  // result cache and warm-start keys depend on it).
+  if (spec.sliced())
+    os << "slice " << spec.slice_begin << " " << spec.slice_end << "\n";
+  os << "end\n";
   return os.str();
 }
 

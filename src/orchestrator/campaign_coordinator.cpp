@@ -1,8 +1,12 @@
 #include "orchestrator/campaign_coordinator.hpp"
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <iterator>
 #include <string_view>
+#include <system_error>
 #include <thread>
 #include <utility>
 
@@ -33,34 +37,120 @@ const char* to_string(ShardState state) {
   return "?";
 }
 
-/// One shard's worth of work and where it currently lives.
+/// One shard's worth of work and where it currently lives. Owned through a
+/// unique_ptr so work stealing can append shards mid-run without moving the
+/// ones already in flight.
 struct CampaignCoordinator::ShardWork {
   CampaignSpec spec;
   std::string text;  ///< canonical wire form of `spec`
   ShardProgress progress;
+  std::size_t job_begin = 0;  ///< absolute job range this shard covers
+  std::size_t job_end = 0;
+  /// One-shot placement preference (the steal target); consumed by the next
+  /// dispatch. -1 means none.
+  int preferred_instance = -1;
   std::size_t instance_index = 0;           ///< valid while kRemote
   Clock::time_point last_progress{};        ///< last observed forward motion
   std::filesystem::path spool_out_dir;      ///< discovered out dir (spool)
   CampaignReport report;                    ///< valid once kDone
 };
 
+/// Live view of one fleet member. The config is held by value: the fleet can
+/// be reconfigured mid-run (apply_fleet), so pointers into fleet_.instances
+/// would dangle.
 struct CampaignCoordinator::InstanceState {
-  const FleetInstance* config = nullptr;
+  FleetInstance config;
   bool healthy = true;
+  /// Retired instances (dropped from a reloaded fleet config) take no new
+  /// dispatches but their in-flight shards are still polled and collected.
+  bool retired = false;
+  /// Lazily-dialed persistent client (wire instances only). Reset whenever
+  /// the instance is presumed dead, so a replacement daemon gets a fresh
+  /// HELLO probe.
+  std::unique_ptr<ServiceClient> client;
+  /// Job ranges this instance has been asked to run — its caches plausibly
+  /// hold these sessions, which is what cache-affinity placement scores.
+  std::vector<std::pair<std::size_t, std::size_t>> history;
 };
+
+namespace {
+
+/// How many of the shard's jobs this instance has plausibly cached.
+/// History ranges may overlap after re-dispatches; the double counting only
+/// sharpens the preference for the instance that saw the work most.
+std::size_t affinity_overlap_impl(
+    const std::vector<std::pair<std::size_t, std::size_t>>& history,
+    std::size_t begin, std::size_t end) {
+  std::size_t total = 0;
+  for (const auto& [b, e] : history) {
+    const std::size_t lo = std::max(b, begin);
+    const std::size_t hi = std::min(e, end);
+    if (hi > lo) total += hi - lo;
+  }
+  return total;
+}
+
+}  // namespace
 
 CampaignCoordinator::CampaignCoordinator(FleetConfig fleet,
                                          CoordinatorOptions options)
     : fleet_(std::move(fleet)), options_(std::move(options)) {}
 
-bool CampaignCoordinator::dispatch(ShardWork& shard,
-                                   std::vector<InstanceState>& instances) {
+CampaignCoordinator::~CampaignCoordinator() = default;
+
+ServiceClient& CampaignCoordinator::client_for(InstanceState& instance) {
+  if (!instance.client) {
+    instance.client = std::make_unique<ServiceClient>(
+        instance.config.address, options_.request_timeout_ms);
+    // One connection per instance across the whole supervision loop (when
+    // the daemon advertises the `persist` cap) — fleet polling should not
+    // pay a dial per tick, least of all on TCP. Falls back to one-shot
+    // exchanges transparently on any persistent-channel error.
+    instance.client->set_persistent(true);
+  }
+  return *instance.client;
+}
+
+bool CampaignCoordinator::dispatch(ShardWork& shard) {
   const std::string name_hint =
       "shard" + std::to_string(shard.progress.shard);
-  for (std::size_t probe = 0; probe < instances.size(); ++probe) {
-    const std::size_t index = (rr_cursor_ + probe) % instances.size();
-    InstanceState& instance = instances[index];
-    if (!instance.healthy) continue;
+  const auto eligible = [&](std::size_t i) {
+    return instances_[i].healthy && !instances_[i].retired;
+  };
+
+  // Candidate order: the steal target first (if any), then the instance
+  // whose caches overlap this shard's job range the most, then round-robin
+  // over everyone else. The first candidate that admits the SUBMIT wins.
+  std::vector<std::size_t> order;
+  order.reserve(instances_.size());
+  const auto push_unique = [&](std::size_t i) {
+    if (std::find(order.begin(), order.end(), i) == order.end())
+      order.push_back(i);
+  };
+  if (shard.preferred_instance >= 0) {
+    const auto preferred = static_cast<std::size_t>(shard.preferred_instance);
+    if (preferred < instances_.size() && eligible(preferred))
+      push_unique(preferred);
+  }
+  std::size_t best_overlap = 0;
+  std::size_t best_index = instances_.size();
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    if (!eligible(i)) continue;
+    const std::size_t overlap = affinity_overlap_impl(
+        instances_[i].history, shard.job_begin, shard.job_end);
+    if (overlap > best_overlap) {
+      best_overlap = overlap;
+      best_index = i;
+    }
+  }
+  if (best_index < instances_.size()) push_unique(best_index);
+  for (std::size_t probe = 0; probe < instances_.size(); ++probe) {
+    const std::size_t index = (rr_cursor_ + probe) % instances_.size();
+    if (eligible(index)) push_unique(index);
+  }
+
+  for (const std::size_t index : order) {
+    InstanceState& instance = instances_[index];
     // Each dispatch attempt gets its own synthesized span under the run
     // root; the context travels as the SUBMIT traceparent so the remote
     // campaign's spans hang off this exact attempt (re-dispatches stay
@@ -72,10 +162,8 @@ bool CampaignCoordinator::dispatch(ShardWork& shard,
         traced ? format_traceparent(dispatch_ctx) : std::string();
     const std::uint64_t dispatch_start_us = traced ? journal_now_us() : 0;
     try {
-      if (instance.config->address == InstanceAddress::kSocket) {
-        const ServiceClient client(instance.config->path,
-                                   options_.request_timeout_ms);
-        shard.progress.campaign_id = client.submit(
+      if (instance.config.address.is_wire()) {
+        shard.progress.campaign_id = client_for(instance).submit(
             shard.text, options_.priority, name_hint, traceparent);
       } else {
         // Spool instances get the spec dropped into <root>/spool; the id is
@@ -86,34 +174,53 @@ bool CampaignCoordinator::dispatch(ShardWork& shard,
         shard.progress.campaign_id.clear();
         shard.spool_out_dir.clear();
         static_cast<void>(spool_submit_spec(
-            instance.config->path, name_hint,
+            instance.config.address.path, name_hint,
             prepend_traceparent(shard.text, traceparent)));
       }
-    } catch (const ServiceClient::BusyError& e) {
-      // A draining instance will never admit again — take it out of the
-      // rotation (the reprobe loop readmits its replacement). A merely
-      // loaded one stays healthy: if the whole fleet is busy the shard
-      // stays pending until a queue frees up — that backpressure is the
-      // point of the bounded SUBMIT queue.
-      if (std::string_view(e.what()).find("draining") !=
-          std::string_view::npos) {
-        EMUTILE_WARN("fleet instance '" << instance.config->name
-                                        << "' is draining — rotating out");
-        instance.healthy = false;
+    } catch (const ServiceError& e) {
+      switch (e.code()) {
+        case ServiceErrorCode::kDraining:
+          // A draining instance will never admit again — take it out of the
+          // rotation (the reprobe loop readmits its replacement); its
+          // in-flight shards are still collected.
+          EMUTILE_WARN("fleet instance '" << instance.config.name
+                                          << "' is draining — rotating out");
+          instance.healthy = false;
+          break;
+        case ServiceErrorCode::kBusy:
+          // A loaded instance stays healthy: if the whole fleet is busy the
+          // shard stays pending until a queue frees up — that backpressure
+          // is the point of the bounded SUBMIT queue.
+          break;
+        default:
+          // io / protocol / overdeadline: presume the instance dead. Drop
+          // the client so a replacement daemon gets a fresh HELLO.
+          EMUTILE_WARN("fleet instance '" << instance.config.name
+                                          << "' failed a dispatch: "
+                                          << e.what());
+          instance.healthy = false;
+          instance.client.reset();
+          break;
       }
       continue;
     } catch (const std::exception& e) {
-      EMUTILE_WARN("fleet instance '" << instance.config->name
+      EMUTILE_WARN("fleet instance '" << instance.config.name
                                       << "' failed a dispatch: " << e.what());
       instance.healthy = false;
+      instance.client.reset();
       continue;
     }
     if (traced)
       Tracer::global().record_span("orchestrate.dispatch", dispatch_ctx,
                                    run_root_.span_id, dispatch_start_us,
                                    journal_now_us() - dispatch_start_us);
+    const bool by_affinity =
+        affinity_overlap_impl(instance.history, shard.job_begin,
+                              shard.job_end) > 0;
+    instance.history.emplace_back(shard.job_begin, shard.job_end);
+    shard.preferred_instance = -1;
     shard.instance_index = index;
-    shard.progress.instance = instance.config->name;
+    shard.progress.instance = instance.config.name;
     shard.progress.state = ShardState::kRemote;
     shard.progress.sessions_done = 0;
     shard.last_progress = Clock::now();
@@ -122,31 +229,39 @@ bool CampaignCoordinator::dispatch(ShardWork& shard,
       ++redispatches_;
       MetricsRegistry::global().counter("coordinator.redispatches").add();
     }
+    if (by_affinity) {
+      ++affinity_dispatches_;
+      MetricsRegistry::global().counter("coordinator.affinity_dispatches")
+          .add();
+    }
     MetricsRegistry::global().counter("coordinator.dispatches").add();
     if (options_.journal)
       options_.journal->record(
           "dispatch", {{"shard", shard.progress.shard},
-                       {"instance", instance.config->name},
-                       {"attempt", shard.progress.dispatches}});
-    rr_cursor_ = (index + 1) % instances.size();
+                       {"instance", instance.config.name},
+                       {"attempt", shard.progress.dispatches},
+                       {"affinity", by_affinity ? 1 : 0}});
+    rr_cursor_ = (index + 1) % instances_.size();
     return true;
   }
   return false;
 }
 
-void CampaignCoordinator::poll_shard(ShardWork& shard,
-                                     std::vector<InstanceState>& instances) {
-  InstanceState& instance = instances[shard.instance_index];
+void CampaignCoordinator::poll_shard(ShardWork& shard) {
+  InstanceState& instance = instances_[shard.instance_index];
   const auto give_back = [&](const std::string& why, bool instance_dead) {
     EMUTILE_WARN("shard " << shard.progress.shard << " on '"
-                          << instance.config->name << "': " << why
+                          << instance.config.name << "': " << why
                           << " — re-dispatching");
-    if (instance_dead) instance.healthy = false;
+    if (instance_dead) {
+      instance.healthy = false;
+      instance.client.reset();
+    }
     shard.progress.state = ShardState::kPending;
     if (options_.journal)
       options_.journal->record("retry",
                                {{"shard", shard.progress.shard},
-                                {"instance", instance.config->name},
+                                {"instance", instance.config.name},
                                 {"why", why}});
   };
   // Evaluated lazily, *after* this poll has had its chance to refresh
@@ -158,9 +273,8 @@ void CampaignCoordinator::poll_shard(ShardWork& shard,
            Clock::now() - shard.last_progress > options_.stall_deadline;
   };
 
-  if (instance.config->address == InstanceAddress::kSocket) {
-    const ServiceClient client(instance.config->path,
-                               options_.request_timeout_ms);
+  if (instance.config.address.is_wire()) {
+    ServiceClient& client = client_for(instance);
     try {
       const RemoteCampaignStatus status =
           client.status(shard.progress.campaign_id);
@@ -169,7 +283,7 @@ void CampaignCoordinator::poll_shard(ShardWork& shard,
         // shards, but keep polling — a draining daemon finishes (or
         // journals) what it already holds, and this shard is collected
         // below like any other.
-        EMUTILE_WARN("fleet instance '" << instance.config->name
+        EMUTILE_WARN("fleet instance '" << instance.config.name
                                         << "' is draining — rotating out");
         instance.healthy = false;
       }
@@ -188,7 +302,7 @@ void CampaignCoordinator::poll_shard(ShardWork& shard,
         if (options_.journal)
           options_.journal->record("collect",
                                    {{"shard", shard.progress.shard},
-                                    {"instance", instance.config->name}});
+                                    {"instance", instance.config.name}});
       } else if (status.terminal()) {
         // failed or cancelled out from under us: the instance answered, so
         // it stays healthy, but this shard needs a new home.
@@ -211,7 +325,7 @@ void CampaignCoordinator::poll_shard(ShardWork& shard,
   // then watch for the shard report (written atomically, so it reads whole
   // or not at all).
   try {
-    const std::filesystem::path out = instance.config->path / "out";
+    const std::filesystem::path out = instance.config.address.path / "out";
     if (shard.spool_out_dir.empty() && std::filesystem::exists(out)) {
       for (const auto& entry : std::filesystem::directory_iterator(out)) {
         if (!entry.is_directory()) continue;
@@ -238,7 +352,7 @@ void CampaignCoordinator::poll_shard(ShardWork& shard,
         if (options_.journal)
           options_.journal->record("collect",
                                    {{"shard", shard.progress.shard},
-                                    {"instance", instance.config->name}});
+                                    {"instance", instance.config.name}});
         return;
       }
       if (std::filesystem::exists(shard.spool_out_dir / "error.txt")) {
@@ -279,19 +393,237 @@ void CampaignCoordinator::run_local(ShardWork& shard) {
   shard.progress.sessions_done = shard.progress.sessions_total;
 }
 
-FleetSnapshot CampaignCoordinator::snapshot(
-    const std::vector<ShardWork>& shards,
-    const std::vector<InstanceState>& instances) const {
+void CampaignCoordinator::maybe_steal() {
+  if (!options_.enable_stealing || !serializable_) return;
+  // Pending shards would soak up an idle instance through the normal
+  // dispatch path — stealing only makes sense once everything is placed.
+  for (const auto& shard : shards_)
+    if (shard->progress.state == ShardState::kPending) return;
+
+  // An idle instance: healthy, accepting work, on the wire (a spool
+  // instance's progress is invisible until completion — never steal for
+  // one), and serving no in-flight shard.
+  std::size_t idle = instances_.size();
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    const InstanceState& instance = instances_[i];
+    if (!instance.healthy || instance.retired ||
+        !instance.config.address.is_wire())
+      continue;
+    bool busy = false;
+    for (const auto& shard : shards_)
+      busy = busy || (shard->progress.state == ShardState::kRemote &&
+                      shard->instance_index == i);
+    if (!busy) {
+      idle = i;
+      break;
+    }
+  }
+  if (idle == instances_.size()) return;
+
+  // The victim: the in-flight wire shard with the most remaining sessions.
+  // measure_baselines shards assign baseline scenarios round-robin by shard
+  // index, which slicing would disturb — leave them whole.
+  ShardWork* victim = nullptr;
+  std::size_t most_remaining = 0;
+  for (const auto& shard : shards_) {
+    if (shard->progress.state != ShardState::kRemote) continue;
+    if (!instances_[shard->instance_index].config.address.is_wire()) continue;
+    if (shard->spec.measure_baselines) continue;
+    const std::size_t done =
+        std::min(shard->progress.sessions_done, shard->progress.sessions_total);
+    const std::size_t remaining = shard->progress.sessions_total - done;
+    if (remaining >= options_.min_steal_sessions &&
+        remaining > most_remaining) {
+      most_remaining = remaining;
+      victim = shard.get();
+    }
+  }
+  if (victim == nullptr) return;
+
+  // Split the victim's *unfinished* range in half: jobs run in expansion
+  // order, so [job_begin + done, job_end) approximates what is left. The
+  // victim keeps the front half (its caches are warm there — completed
+  // sessions in the re-run are cache hits); the back half goes to the idle
+  // instance. Clamped so both halves stay non-empty.
+  const std::size_t done =
+      std::min(victim->progress.sessions_done, victim->progress.sessions_total);
+  std::size_t mid = victim->job_begin + done +
+                    (victim->job_end - victim->job_begin - done) / 2;
+  mid = std::clamp(mid, victim->job_begin + 1, victim->job_end - 1);
+
+  // Best-effort cancel of the victim's in-flight campaign — it is about to
+  // be superseded by the narrowed re-dispatch. A failed cancel just wastes
+  // remote cycles; the result cache makes the overlap free either way.
+  try {
+    client_for(instances_[victim->instance_index])
+        .cancel(victim->progress.campaign_id);
+  } catch (const std::exception&) {
+  }
+
+  auto stolen = std::make_unique<ShardWork>();
+  stolen->spec = victim->spec.slice(mid, victim->job_end);
+  stolen->text = serialize_campaign_spec(stolen->spec);
+  stolen->job_begin = mid;
+  stolen->job_end = victim->job_end;
+  stolen->preferred_instance = static_cast<int>(idle);
+  stolen->progress.shard = shards_.size();
+  stolen->progress.sessions_total = stolen->spec.expand().size();
+
+  const std::size_t victim_index = victim->progress.shard;
+  victim->spec = victim->spec.slice(victim->job_begin, mid);
+  victim->text = serialize_campaign_spec(victim->spec);
+  victim->job_end = mid;
+  victim->progress.state = ShardState::kPending;
+  victim->progress.campaign_id.clear();
+  victim->progress.sessions_done = 0;
+  victim->progress.sessions_total = victim->spec.expand().size();
+  victim->spool_out_dir.clear();
+  victim->last_progress = Clock::now();
+  // No preference: cache affinity routes the narrowed front half straight
+  // back to the instance that was already running it.
+
+  ++steals_;
+  MetricsRegistry::global().counter("coordinator.steals").add();
+  EMUTILE_WARN("stealing jobs [" << mid << ", " << stolen->job_end
+                                 << ") of shard " << victim_index
+                                 << " for idle instance '"
+                                 << instances_[idle].config.name << "'");
+  if (options_.journal)
+    options_.journal->record("steal",
+                             {{"victim", victim_index},
+                              {"shard", stolen->progress.shard},
+                              {"instance", instances_[idle].config.name},
+                              {"at", mid}});
+  shards_.push_back(std::move(stolen));
+}
+
+void CampaignCoordinator::apply_fleet(const FleetConfig& fresh) {
+  const auto find_fresh = [&](const std::string& name) -> const FleetInstance* {
+    for (const FleetInstance& instance : fresh.instances)
+      if (instance.name == name) return &instance;
+    return nullptr;
+  };
+  for (InstanceState& instance : instances_) {
+    const FleetInstance* updated = find_fresh(instance.config.name);
+    if (updated == nullptr) {
+      if (!instance.retired) {
+        EMUTILE_WARN("fleet instance '" << instance.config.name
+                                        << "' left the fleet — retiring");
+        instance.retired = true;
+        if (options_.journal)
+          options_.journal->record("retire",
+                                   {{"instance", instance.config.name}});
+      }
+      continue;
+    }
+    if (instance.retired || !(updated->address == instance.config.address)) {
+      // Back in the fleet, possibly at a new address: reconnect and rejoin.
+      instance.config = *updated;
+      instance.client.reset();
+      instance.healthy = true;
+      instance.retired = false;
+    }
+  }
+  for (const FleetInstance& instance : fresh.instances) {
+    const auto known = std::find_if(
+        instances_.begin(), instances_.end(), [&](const InstanceState& state) {
+          return state.config.name == instance.name;
+        });
+    if (known != instances_.end()) continue;
+    EMUTILE_WARN("fleet instance '" << instance.name
+                                    << "' joined mid-campaign");
+    InstanceState state;
+    state.config = instance;
+    if (!serializable_) state.healthy = false;
+    instances_.push_back(std::move(state));
+    ++joined_instances_;
+    MetricsRegistry::global().counter("coordinator.joins").add();
+    if (options_.journal)
+      options_.journal->record("join", {{"instance", instance.name}});
+  }
+}
+
+void CampaignCoordinator::handle_control_connection(int fd) {
+  std::string request;
+  if (fd_read_all(fd, request, /*timeout_ms=*/2'000)) {
+    std::string response;
+    const std::size_t eol = request.find('\n');
+    const std::string first =
+        eol == std::string::npos ? request : request.substr(0, eol);
+    const std::string body =
+        eol == std::string::npos ? std::string() : request.substr(eol + 1);
+    if (first == "PING") {
+      response = "OK pong\n";
+    } else if (first == "FLEET") {
+      try {
+        if (body.find_first_not_of(" \t\r\n") == std::string::npos) {
+          // Bare FLEET: report the current membership (retired excluded).
+          FleetConfig current;
+          for (const InstanceState& instance : instances_)
+            if (!instance.retired)
+              current.instances.push_back(instance.config);
+          response = "OK fleet " +
+                     std::to_string(current.instances.size()) + "\n" +
+                     serialize_fleet_config(current);
+        } else {
+          apply_fleet(parse_fleet_config(body));
+          std::size_t active = 0;
+          for (const InstanceState& instance : instances_)
+            if (!instance.retired) ++active;
+          response = "OK fleet " + std::to_string(active) + "\n";
+        }
+      } catch (const std::exception& e) {
+        response = std::string("ERR ") + e.what() + "\n";
+      }
+    } else {
+      response = "ERR unknown control command '" + first + "'\n";
+    }
+    static_cast<void>(fd_write_all(fd, response));
+  }
+  ::close(fd);
+}
+
+void CampaignCoordinator::poll_membership() {
+  // Control listener: drain whatever connected since the last tick.
+  while (control_fd_ >= 0) {
+    const int fd = ::accept(control_fd_, nullptr, nullptr);
+    if (fd < 0) break;
+    handle_control_connection(fd);
+  }
+  // Explicit reload (the orchestrate tool's SIGHUP handler flips this).
+  bool reload = options_.reload_flag != nullptr &&
+                options_.reload_flag->exchange(false);
+  // Fleet-file watch: any mtime change triggers a re-read.
+  if (!reload && !options_.fleet_file.empty()) {
+    std::error_code ec;
+    const auto mtime =
+        std::filesystem::last_write_time(options_.fleet_file, ec);
+    if (!ec && mtime != fleet_file_mtime_) {
+      fleet_file_mtime_ = mtime;
+      reload = true;
+    }
+  }
+  if (reload && !options_.fleet_file.empty()) {
+    try {
+      apply_fleet(load_fleet_config_file(options_.fleet_file));
+    } catch (const std::exception& e) {
+      EMUTILE_WARN("fleet reload failed (keeping current membership): "
+                   << e.what());
+    }
+  }
+}
+
+FleetSnapshot CampaignCoordinator::snapshot() const {
   FleetSnapshot snap;
-  snap.total_instances = instances.size();
-  for (const InstanceState& instance : instances)
-    if (instance.healthy) ++snap.healthy_instances;
-  snap.shards.reserve(shards.size());
-  for (const ShardWork& shard : shards) {
-    snap.shards.push_back(shard.progress);
-    snap.sessions_done += shard.progress.sessions_done;
-    snap.sessions_total += shard.progress.sessions_total;
-    if (shard.progress.state == ShardState::kDone) ++snap.shards_done;
+  snap.total_instances = instances_.size();
+  for (const InstanceState& instance : instances_)
+    if (instance.healthy && !instance.retired) ++snap.healthy_instances;
+  snap.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    snap.shards.push_back(shard->progress);
+    snap.sessions_done += shard->progress.sessions_done;
+    snap.sessions_total += shard->progress.sessions_total;
+    if (shard->progress.state == ShardState::kDone) ++snap.shards_done;
   }
   return snap;
 }
@@ -299,10 +631,17 @@ FleetSnapshot CampaignCoordinator::snapshot(
 OrchestrationResult CampaignCoordinator::run(const CampaignSpec& spec) {
   EMUTILE_CHECK(spec.shard_count == 1,
                 "the coordinator shards the spec itself — pass it unsharded");
+  EMUTILE_CHECK(!spec.sliced(),
+                "the coordinator slices the spec itself — pass it unsliced");
   // A coordinator may be reused: each run's counters start from zero.
   rr_cursor_ = 0;
   redispatches_ = 0;
   local_shards_ = 0;
+  steals_ = 0;
+  affinity_dispatches_ = 0;
+  joined_instances_ = 0;
+  shards_.clear();
+  instances_.clear();
 
   // Root the run's trace: adopt the caller's context or mint a fresh trace.
   // orchestrate.run is synthesized at the end (record_span) rather than
@@ -316,88 +655,121 @@ OrchestrationResult CampaignCoordinator::run(const CampaignSpec& spec) {
 
   // A spec that cannot travel the wire (custom netlist builders) can still
   // be orchestrated — entirely in-process.
-  bool serializable = true;
+  serializable_ = true;
   try {
     static_cast<void>(serialize_campaign_spec(spec));
   } catch (const CheckError&) {
-    serializable = false;
+    serializable_ = false;
   }
 
   std::size_t num_shards =
       options_.num_shards > 0 ? options_.num_shards : fleet_.instances.size();
   num_shards = std::max<std::size_t>(1, num_shards);
-  if (!serializable) {
+  if (!serializable_) {
     EMUTILE_CHECK(options_.allow_local_fallback,
                   "spec has custom-builder designs (no wire form) and local "
                   "fallback is disabled");
     num_shards = 1;
   }
 
-  std::vector<ShardWork> shards(num_shards);
+  const std::size_t total_jobs = spec.num_sessions();
+  shards_.reserve(num_shards);
   for (std::size_t i = 0; i < num_shards; ++i) {
-    ShardWork& shard = shards[i];
-    shard.spec = num_shards == 1 ? spec : spec.shard(i, num_shards);
-    if (serializable) shard.text = serialize_campaign_spec(shard.spec);
-    shard.progress.shard = i;
-    shard.progress.sessions_total = shard.spec.expand().size();
+    auto shard = std::make_unique<ShardWork>();
+    shard->spec = num_shards == 1 ? spec : spec.shard(i, num_shards);
+    if (serializable_) shard->text = serialize_campaign_spec(shard->spec);
+    shard->progress.shard = i;
+    shard->progress.sessions_total = shard->spec.expand().size();
+    // Mirror expand()'s contiguous slicing so job ranges line up exactly.
+    shard->job_begin = total_jobs * i / num_shards;
+    shard->job_end = total_jobs * (i + 1) / num_shards;
+    shards_.push_back(std::move(shard));
   }
 
-  std::vector<InstanceState> instances(fleet_.instances.size());
-  for (std::size_t i = 0; i < instances.size(); ++i)
-    instances[i].config = &fleet_.instances[i];
-  if (!serializable)
-    for (InstanceState& instance : instances) instance.healthy = false;
+  instances_.reserve(fleet_.instances.size());
+  for (const FleetInstance& instance : fleet_.instances) {
+    InstanceState state;
+    state.config = instance;
+    if (!serializable_) state.healthy = false;
+    instances_.push_back(std::move(state));
+  }
 
-  // The supervision loop: dispatch pending shards, poll in-flight ones,
-  // stream a snapshot, sleep. A shard bounces kPending -> kRemote -> kDone,
-  // detouring back to kPending on every failure until it exhausts the fleet
-  // (one dispatch per instance plus slack) and runs locally.
-  const std::size_t max_remote_dispatches = instances.size() + 1;
+  // Elasticity plumbing: remember the fleet file's starting mtime (only
+  // *changes* trigger a reload) and open the control listener.
+  if (!options_.fleet_file.empty()) {
+    std::error_code ec;
+    fleet_file_mtime_ =
+        std::filesystem::last_write_time(options_.fleet_file, ec);
+  }
+  struct ControlGuard {
+    int& fd;
+    ~ControlGuard() {
+      if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+      }
+    }
+  } control_guard{control_fd_};
+  if (options_.control_address) {
+    EMUTILE_CHECK(options_.control_address->is_wire(),
+                  "control address must be a unix: or tcp: address");
+    control_fd_ = listen_service_address(*options_.control_address,
+                                         /*backlog=*/16,
+                                         /*nonblocking=*/true);
+  }
+
+  // The supervision loop: reconcile membership, dispatch pending shards,
+  // poll in-flight ones, steal for idle instances, stream a snapshot,
+  // sleep. A shard bounces kPending -> kRemote -> kDone, detouring back to
+  // kPending on every failure until it exhausts the fleet (one dispatch per
+  // instance plus slack) and runs locally.
   Clock::time_point last_reprobe = Clock::now();
   for (;;) {
-    // Re-probe unhealthy socket instances on the reprobe cadence: a PING
-    // answered means a live daemon is back on that socket (typically the
+    poll_membership();
+
+    // Re-probe unhealthy wire instances on the reprobe cadence: a PING
+    // answered means a live daemon is back on that address (typically the
     // upgraded replacement of a drained one, re-attached to the same root)
-    // and it rejoins the rotation. A dead socket fails the connect inside
+    // and it rejoins the rotation. A dead address fails the connect inside
     // ping() and stays out — probing it costs microseconds.
     if (options_.reprobe_interval.count() > 0 &&
         Clock::now() - last_reprobe >= options_.reprobe_interval) {
       last_reprobe = Clock::now();
-      for (InstanceState& instance : instances) {
-        if (instance.healthy ||
-            instance.config->address != InstanceAddress::kSocket)
+      for (InstanceState& instance : instances_) {
+        if (instance.healthy || instance.retired ||
+            !instance.config.address.is_wire())
           continue;
-        const ServiceClient client(instance.config->path,
-                                   options_.request_timeout_ms);
-        if (client.ping()) {
-          EMUTILE_WARN("fleet instance '" << instance.config->name
+        if (client_for(instance).ping()) {
+          EMUTILE_WARN("fleet instance '" << instance.config.name
                                           << "' answered a re-probe — "
                                           << "rejoining the rotation");
           MetricsRegistry::global().counter("coordinator.rejoins").add();
           if (options_.journal)
             options_.journal->record("rejoin",
-                                     {{"instance", instance.config->name}});
+                                     {{"instance", instance.config.name}});
           instance.healthy = true;
         }
       }
     }
 
+    // One dispatch per live instance plus slack; joins raise the budget.
+    const std::size_t max_remote_dispatches = instances_.size() + 1;
     std::size_t done = 0;
     bool any_healthy = false;
-    for (const InstanceState& instance : instances)
-      any_healthy = any_healthy || instance.healthy;
+    for (const InstanceState& instance : instances_)
+      any_healthy =
+          any_healthy || (instance.healthy && !instance.retired);
 
-    for (ShardWork& shard : shards) {
+    // Index loop: maybe_steal() below appends, and a re-dispatched shard
+    // appended this very tick should still be considered next tick.
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      ShardWork& shard = *shards_[i];
       if (shard.progress.state == ShardState::kPending) {
         const bool exhausted =
             shard.progress.dispatches >= max_remote_dispatches;
-        if (any_healthy && !exhausted && dispatch(shard, instances)) {
+        if (any_healthy && !exhausted && dispatch(shard)) {
           // in flight now
-        } else if (!any_healthy || exhausted ||
-                   std::none_of(instances.begin(), instances.end(),
-                                [](const InstanceState& i) {
-                                  return i.healthy;
-                                })) {
+        } else if (!any_healthy || exhausted) {
           EMUTILE_CHECK(options_.allow_local_fallback,
                         "no healthy fleet instance left for shard "
                             << shard.progress.shard
@@ -407,40 +779,54 @@ OrchestrationResult CampaignCoordinator::run(const CampaignSpec& spec) {
         // else: every healthy instance answered busy — stay pending and
         // retry next tick; their bounded queues are draining.
       } else if (shard.progress.state == ShardState::kRemote) {
-        poll_shard(shard, instances);
+        poll_shard(shard);
       }
       if (shard.progress.state == ShardState::kDone) ++done;
     }
 
-    if (options_.on_snapshot) options_.on_snapshot(snapshot(shards, instances));
-    if (done == shards.size()) break;
+    maybe_steal();
+
+    if (options_.on_snapshot) options_.on_snapshot(snapshot());
+    if (done == shards_.size()) break;
     std::this_thread::sleep_for(options_.poll_interval);
   }
 
   OrchestrationResult result;
-  result.num_shards = num_shards;
+  result.num_shards = shards_.size();
   result.redispatches = redispatches_;
   result.local_shards = local_shards_;
-  // Merge in shard-index order — the exact order the byte-identity contract
-  // of CampaignReport::merge is tested against.
-  for (ShardWork& shard : shards) result.report.merge(shard.report);
-  result.shards.reserve(shards.size());
-  for (const ShardWork& shard : shards) result.shards.push_back(shard.progress);
+  result.steals = steals_;
+  result.affinity_dispatches = affinity_dispatches_;
+  result.joined_instances = joined_instances_;
+  // Merge in job order. Stealing may have appended shards out of index
+  // order, but every shard covers a disjoint contiguous job range, so
+  // sorting by job_begin restores the exact order the byte-identity
+  // contract of CampaignReport::merge is tested against.
+  std::vector<ShardWork*> ordered;
+  ordered.reserve(shards_.size());
+  for (const auto& shard : shards_) ordered.push_back(shard.get());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const ShardWork* a, const ShardWork* b) {
+              return a->job_begin < b->job_begin;
+            });
+  for (ShardWork* shard : ordered) result.report.merge(shard->report);
+  result.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) result.shards.push_back(shard->progress);
 
-  // Fleet-wide observability: fold every reachable socket instance's
+  // Fleet-wide observability: fold every reachable wire instance's
   // registry into one snapshot (integral values, so the merged series equal
   // the per-instance sums exactly). Best-effort — a dead instance loses its
-  // metrics, never the run.
+  // metrics, never the run. Retired instances are still asked: they may
+  // have served shards before leaving.
   if (options_.collect_metrics) {
-    for (const InstanceState& instance : instances) {
-      if (instance.config->address != InstanceAddress::kSocket) continue;
+    for (InstanceState& instance : instances_) {
+      if (!instance.config.address.is_wire()) continue;
       try {
-        const ServiceClient client(instance.config->path,
-                                   options_.request_timeout_ms);
-        result.fleet_metrics.merge(parse_metrics_text(client.fetch_metrics()));
+        result.fleet_metrics.merge(
+            parse_metrics_text(client_for(instance).fetch_metrics()));
         ++result.metrics_instances;
       } catch (const std::exception& e) {
-        EMUTILE_WARN("fleet instance '" << instance.config->name
+        EMUTILE_WARN("fleet instance '" << instance.config.name
                                         << "' skipped in the metrics merge: "
                                         << e.what());
       }
@@ -450,7 +836,7 @@ OrchestrationResult CampaignCoordinator::run(const CampaignSpec& spec) {
                                {{"instances", result.metrics_instances}});
   }
 
-  // Fleet trace stitching: close the run root, then pull every socket
+  // Fleet trace stitching: close the run root, then pull every wire
   // instance's span buffer over TRACESPANS and splice it onto the local
   // clock. journal_now_us() is a per-process epoch, so remote stamps mean
   // nothing here as-is; the reply's now_us was taken roughly at the
@@ -466,11 +852,10 @@ OrchestrationResult CampaignCoordinator::run(const CampaignSpec& spec) {
     if (options_.collect_trace) {
       std::vector<TraceSpan> stitched =
           tracer.collect_trace(run_root_.trace_id, /*include_open=*/false);
-      for (const InstanceState& instance : instances) {
-        if (instance.config->address != InstanceAddress::kSocket) continue;
+      for (InstanceState& instance : instances_) {
+        if (!instance.config.address.is_wire()) continue;
         try {
-          const ServiceClient client(instance.config->path,
-                                     options_.request_timeout_ms);
+          ServiceClient& client = client_for(instance);
           const std::uint64_t t0 = journal_now_us();
           RemoteTraceSpans remote = client.fetch_trace_spans();
           const std::uint64_t t1 = journal_now_us();
@@ -493,7 +878,7 @@ OrchestrationResult CampaignCoordinator::run(const CampaignSpec& spec) {
                           std::make_move_iterator(spans.end()));
           ++result.trace_instances;
         } catch (const std::exception& e) {
-          EMUTILE_WARN("fleet instance '" << instance.config->name
+          EMUTILE_WARN("fleet instance '" << instance.config.name
                                           << "' skipped in the trace stitch: "
                                           << e.what());
         }
@@ -514,6 +899,10 @@ OrchestrationResult CampaignCoordinator::run(const CampaignSpec& spec) {
                                   {"spans", result.fleet_trace.size()}});
     }
   }
+  // Drop the per-run clients (and their persistent connections) eagerly —
+  // a reused coordinator re-dials rather than holding fleet sockets open
+  // between runs.
+  for (InstanceState& instance : instances_) instance.client.reset();
   return result;
 }
 

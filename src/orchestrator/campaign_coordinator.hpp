@@ -1,37 +1,59 @@
 #pragma once
 /// \file campaign_coordinator.hpp
-/// Multi-host campaign orchestration: one CampaignSpec fanned out across a
-/// fleet of serviced instances and merged back into a single report.
+/// Multi-host campaign orchestration: one CampaignSpec fanned out across an
+/// elastic fleet of serviced instances and merged back into a single report.
 ///
 /// The coordinator composes the pieces the lower layers already guarantee:
 /// CampaignSpec::shard(i, n) slices the canonical job list without changing
-/// any job's identity or seed; each serviced instance runs its shard to a
-/// deterministic report; CampaignReport::merge recombines shard reports
-/// byte-identically to an unsharded run_campaign. What the coordinator adds
-/// is the traffic engineering in between:
+/// any job's identity or seed (and CampaignSpec::slice(b, e) narrows a shard
+/// to an explicit job range the same way); each serviced instance runs its
+/// shard to a deterministic report; CampaignReport::merge recombines shard
+/// reports byte-identically to an unsharded run_campaign. What the
+/// coordinator adds is the traffic engineering in between:
 ///
-///   dispatch     shards are SUBMITted round-robin over the healthy
-///                instances (socket instances over the wire protocol via
-///                ServiceClient, spool instances by dropping the shard spec
-///                into <root>/spool)
+///   dispatch     shards are SUBMITted over the healthy instances (wire
+///                instances — unix: or tcp: addresses — via ServiceClient,
+///                spool instances by dropping the shard spec into
+///                <root>/spool). Placement prefers the instance whose
+///                result/baseline caches already hold a shard's sessions
+///                (the coordinator remembers which job ranges each instance
+///                has seen); ties fall back to round-robin
 ///   supervision  STATUS is polled every poll_interval; per-instance
-///                progress and merged totals stream out via on_snapshot
+///                progress and merged totals stream out via on_snapshot.
+///                Wire instances are polled over an opt-in persistent
+///                connection, so fleet polling does not pay a dial per tick
+///                on TCP
 ///   re-dispatch  an instance that dies (connection refused), hangs past
 ///                stall_deadline without progress, rejects a SUBMIT
-///                (`ERR busy`), or whose campaign ends failed/cancelled is
-///                marked unhealthy and its shard is re-dispatched to the
-///                next healthy instance — sessions already computed are
-///                recovered from that instance's result cache, and the
+///                (ServiceError code `busy`), or whose campaign ends
+///                failed/cancelled is marked unhealthy and its shard is
+///                re-dispatched — cache-affinity placement routes it to
+///                wherever its sessions are already cached, and the
 ///                deterministic seeds make any re-run byte-identical
-///   rolling upgrades  a draining instance (DRAIN/SIGUSR2, surfacing as a
-///                "draining" busy error on SUBMIT and draining=1 on STATUS)
-///                is taken out of the dispatch rotation but its in-flight
-///                shards are still collected — it finishes what it holds.
-///                Unhealthy socket instances are re-probed with PING every
-///                reprobe_interval, so a replacement daemon on the same
-///                socket (restarted with --attach) rejoins the rotation
-///                mid-run — the fleet rolls through an upgrade one instance
-///                at a time without losing submitted work
+///   work stealing  when an instance drains its shard early and sits idle,
+///                the coordinator splits the slowest in-flight shard's
+///                remaining job range in two (CampaignSpec::slice), keeps
+///                the first half where its cache is warm, and hands the
+///                second half to the idle instance. Merged reports stay
+///                byte-identical because every job's seed is (scenario,
+///                replica)-derived, not placement-derived
+///   elasticity   the fleet is reconcilable mid-campaign: a changed fleet
+///                file (watched by mtime, or forced via reload_flag /
+///                SIGHUP in the orchestrate tool) or a FLEET command on the
+///                control_address listener joins new instances into the
+///                rotation — they pick up re-dispatched and stolen work —
+///                and retires missing ones (no new dispatches; in-flight
+///                shards are still collected). Departures are the existing
+///                drain/death paths
+///   rolling upgrades  a draining instance (DRAIN/SIGUSR2, surfacing as
+///                ServiceError code `draining` on SUBMIT and draining=1 on
+///                STATUS) is taken out of the dispatch rotation but its
+///                in-flight shards are still collected — it finishes what
+///                it holds. Unhealthy wire instances are re-probed with
+///                PING every reprobe_interval, so a replacement daemon on
+///                the same address (restarted with --attach) rejoins the
+///                rotation mid-run — the fleet rolls through an upgrade one
+///                instance at a time without losing submitted work
 ///   degradation  when no healthy instance remains (or none ever existed),
 ///                remaining shards run in-process via run_campaign — the
 ///                fleet burning down degrades throughput, never correctness
@@ -41,13 +63,17 @@
 ///
 /// Determinism contract: run() returns a report whose to_csv()/to_json()
 /// bytes equal a direct run_campaign(spec) of the same unsharded spec, no
-/// matter how shards were placed, how often they were re-dispatched, or how
-/// many fell back to local execution.
+/// matter how shards were placed, stolen, re-dispatched, or how many fell
+/// back to local execution.
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <filesystem>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -58,8 +84,11 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "orchestrator/fleet_config_io.hpp"
+#include "service/address.hpp"
 
 namespace emutile {
+
+class ServiceClient;
 
 /// Where one shard currently stands.
 enum class ShardState : std::uint8_t {
@@ -72,7 +101,7 @@ enum class ShardState : std::uint8_t {
 [[nodiscard]] const char* to_string(ShardState state);
 
 struct ShardProgress {
-  std::size_t shard = 0;         ///< shard index (0-based)
+  std::size_t shard = 0;         ///< shard index (0-based; steals append)
   ShardState state = ShardState::kPending;
   std::string instance;          ///< serving instance name; "local" fallback
   std::string campaign_id;       ///< remote campaign id (empty until known)
@@ -107,34 +136,53 @@ struct CoordinatorOptions {
   /// (an over-eager deadline still converges: after exhausting the fleet
   /// the shard runs in-process, merely wasting remote work).
   std::chrono::milliseconds stall_deadline{600'000};
-  /// Per-exchange receive timeout for socket instances.
+  /// Per-exchange receive timeout for wire instances.
   int request_timeout_ms = 30'000;
-  /// PING unhealthy socket instances on this cadence and return answering
+  /// PING unhealthy wire instances on this cadence and return answering
   /// ones to the dispatch rotation — how a daemon restarted on the same
-  /// socket (rolling upgrade with --attach) rejoins a run in progress. Dead
-  /// sockets keep failing the ping and stay out. 0 disables re-probing.
+  /// address (rolling upgrade with --attach) rejoins a run in progress.
+  /// Dead addresses keep failing the ping and stay out. 0 disables
+  /// re-probing.
   std::chrono::milliseconds reprobe_interval{2'000};
   /// Worker threads for shards that fall back to in-process execution.
   std::size_t local_threads = 2;
   /// When false, a fully-failed fleet raises CheckError instead of running
   /// remaining shards in-process.
   bool allow_local_fallback = true;
+  /// Split the slowest in-flight shard for an idle instance (see the work-
+  /// stealing paragraph above). Off, an early-draining instance just idles.
+  bool enable_stealing = true;
+  /// Never steal fewer remaining sessions than this — splitting a nearly-
+  /// finished shard trades real cache warmth for negligible parallelism.
+  std::size_t min_steal_sessions = 2;
+  /// When set, re-read this fleet file whenever its mtime changes (and when
+  /// `reload_flag` fires) and reconcile membership mid-campaign: new names
+  /// join, missing names retire, changed addresses reconnect.
+  std::filesystem::path fleet_file;
+  /// Optional caller-owned flag (e.g. flipped by a SIGHUP handler): when
+  /// found true it is cleared and `fleet_file` is re-read immediately.
+  std::atomic<bool>* reload_flag = nullptr;
+  /// When set (a wire address), run() listens here for control requests:
+  /// `PING` answers pong, `FLEET` returns the current membership, and
+  /// `FLEET\n<fleet-config>` applies a new membership — the wire-command
+  /// path to mid-campaign joins.
+  std::optional<ServiceAddress> control_address;
   /// Streamed once per poll tick with the current fleet aggregate.
   std::function<void(const FleetSnapshot&)> on_snapshot;
-  /// After every shard is collected, fetch METRICS from each socket instance
+  /// After every shard is collected, fetch METRICS from each wire instance
   /// and merge the registries into OrchestrationResult::fleet_metrics — the
   /// fleet-wide observability view next to the fleet-wide report. Instances
   /// that fail the fetch are skipped (metrics are never worth a re-dispatch).
   bool collect_metrics = true;
   /// Optional caller-owned journal (e.g. the orchestrate tool's
-  /// events.jsonl): dispatch/retry/local-fallback/collect records stream
-  /// into it as the run progresses. May be null; must outlive run().
+  /// events.jsonl): dispatch/retry/steal/join/local-fallback/collect records
+  /// stream into it as the run progresses. May be null; must outlive run().
   EventJournal* journal = nullptr;
   /// Trace context the whole run is parented on. Invalid (the default) mints
   /// a fresh trace per run(); the orchestrate tool passes its own root so a
   /// re-used coordinator keeps one trace per invocation.
   TraceContext trace{};
-  /// After every shard is collected, fetch TRACESPANS from each socket
+  /// After every shard is collected, fetch TRACESPANS from each wire
   /// instance, shift the spans onto the local clock (clock-offset correction
   /// via the request/reply midpoint), and stitch everything reachable under
   /// this run's trace id into OrchestrationResult::fleet_trace. Same
@@ -145,17 +193,22 @@ struct CoordinatorOptions {
 /// What an orchestrated campaign produced, beyond the merged report.
 struct OrchestrationResult {
   CampaignReport report;         ///< merged; byte-identical to unsharded run
-  std::size_t num_shards = 0;
+  std::size_t num_shards = 0;    ///< final count, steals included
   std::size_t redispatches = 0;  ///< dispatches beyond each shard's first
   std::size_t local_shards = 0;  ///< shards that ran in-process
+  std::size_t steals = 0;        ///< shard splits handed to idle instances
+  /// Dispatches routed by cache-affinity (the chosen instance had already
+  /// seen part of the shard's job range).
+  std::size_t affinity_dispatches = 0;
+  std::size_t joined_instances = 0;  ///< instances that joined mid-campaign
   std::vector<ShardProgress> shards;  ///< final per-shard state
-  /// Sum of every reachable socket instance's metrics registry (counters
+  /// Sum of every reachable wire instance's metrics registry (counters
   /// add, histogram buckets add — see MetricsSnapshot::merge). Empty when
   /// collect_metrics is off or no instance answered.
   MetricsSnapshot fleet_metrics;
   std::size_t metrics_instances = 0;  ///< instances that contributed
   /// Closed spans from this run's trace, stitched across the fleet: the
-  /// coordinator's own spans plus every reachable socket instance's, clock-
+  /// coordinator's own spans plus every reachable wire instance's, clock-
   /// offset-corrected, deduplicated by span id, sorted by start. Empty when
   /// collect_trace is off or tracing is compiled out.
   std::vector<TraceSpan> fleet_trace;
@@ -167,36 +220,53 @@ class CampaignCoordinator {
  public:
   explicit CampaignCoordinator(FleetConfig fleet,
                                CoordinatorOptions options = {});
+  ~CampaignCoordinator();  // out-of-line: members of nested incomplete types
 
   /// Orchestrate `spec` across the fleet and block until the merged report
-  /// is complete. The spec must be unsharded (the coordinator owns the
-  /// slicing) and serializable (catalog designs only) to travel the wire;
-  /// a custom-builder spec runs entirely in-process. Throws CheckError when
-  /// a shard cannot be completed anywhere (e.g. fallback disabled and every
-  /// instance down).
+  /// is complete. The spec must be unsharded and unsliced (the coordinator
+  /// owns the slicing) and serializable (catalog designs only) to travel
+  /// the wire; a custom-builder spec runs entirely in-process. Throws
+  /// CheckError when a shard cannot be completed anywhere (e.g. fallback
+  /// disabled and every instance down).
   [[nodiscard]] OrchestrationResult run(const CampaignSpec& spec);
 
  private:
   struct ShardWork;
   struct InstanceState;
 
-  /// Submit `shard` to the next healthy instance; true on success. Marks
-  /// instances it fails against unhealthy.
-  [[nodiscard]] bool dispatch(ShardWork& shard,
-                              std::vector<InstanceState>& instances);
+  /// The instance's (lazily dialed, persistent-enabled) client.
+  [[nodiscard]] ServiceClient& client_for(InstanceState& instance);
+  /// Submit `shard` to the best instance (preference, then cache affinity,
+  /// then round-robin); true on success. Marks instances it fails against
+  /// unhealthy.
+  [[nodiscard]] bool dispatch(ShardWork& shard);
   /// One STATUS/report-collection pass over an in-flight shard. May flip it
   /// to kDone or back to kPending (failure → re-dispatch).
-  void poll_shard(ShardWork& shard, std::vector<InstanceState>& instances);
+  void poll_shard(ShardWork& shard);
   void run_local(ShardWork& shard);
-  [[nodiscard]] FleetSnapshot snapshot(
-      const std::vector<ShardWork>& shards,
-      const std::vector<InstanceState>& instances) const;
+  /// Split the slowest in-flight shard for an idle instance, if any.
+  void maybe_steal();
+  /// Reconcile live membership with a freshly-parsed fleet config.
+  void apply_fleet(const FleetConfig& fresh);
+  /// Control listener + reload flag + fleet-file mtime watch, once per tick.
+  void poll_membership();
+  void handle_control_connection(int fd);
+  [[nodiscard]] FleetSnapshot snapshot() const;
 
   FleetConfig fleet_;
   CoordinatorOptions options_;
+  // Per-run state (run() resets everything; a coordinator may be reused).
+  std::vector<std::unique_ptr<ShardWork>> shards_;  ///< stable addresses
+  std::vector<InstanceState> instances_;
+  bool serializable_ = false;
   std::size_t rr_cursor_ = 0;     ///< round-robin dispatch position
   std::size_t redispatches_ = 0;
   std::size_t local_shards_ = 0;
+  std::size_t steals_ = 0;
+  std::size_t affinity_dispatches_ = 0;
+  std::size_t joined_instances_ = 0;
+  int control_fd_ = -1;           ///< control_address listener (run() only)
+  std::filesystem::file_time_type fleet_file_mtime_{};
   TraceContext run_root_{};       ///< this run's orchestrate.run context
 };
 

@@ -1,20 +1,11 @@
 #include "orchestrator/fleet_config_io.hpp"
 
-#include <cstdlib>
 #include <sstream>
 
 #include "util/check.hpp"
 #include "util/file_io.hpp"
 
 namespace emutile {
-
-const char* to_string(InstanceAddress address) {
-  switch (address) {
-    case InstanceAddress::kSocket: return "socket";
-    case InstanceAddress::kSpool: return "spool";
-  }
-  return "?";
-}
 
 FleetConfig parse_fleet_config(const std::string& text) {
   std::istringstream in(text);
@@ -48,20 +39,26 @@ FleetConfig parse_fleet_config(const std::string& text) {
       break;
     }
     std::istringstream fields(entry);
-    std::string key, name, kind, path, extra;
+    std::string key, name, kind, value, extra;
     fields >> key;
     if (key != "instance") fail("unknown key '" + key + "'");
     if (!(fields >> name)) fail("instance needs a name");
     if (!(fields >> kind)) fail("instance '" + name + "' needs an address kind");
-    if (!(fields >> path))
-      fail("instance '" + name + "' needs a " + kind + " path");
-    if (fields >> extra) fail("trailing token '" + extra + "' after path");
+    if (!(fields >> value))
+      fail("instance '" + name + "' needs a " + kind + " address");
+    if (fields >> extra) fail("trailing token '" + extra + "' after address");
     FleetInstance instance;
     instance.name = name;
-    if (kind == "socket") instance.address = InstanceAddress::kSocket;
-    else if (kind == "spool") instance.address = InstanceAddress::kSpool;
-    else fail("unknown address kind '" + kind + "' (socket|spool)");
-    instance.path = path;
+    std::string scheme;
+    if (kind == "socket" || kind == "unix") scheme = "unix:";
+    else if (kind == "tcp") scheme = "tcp:";
+    else if (kind == "spool") scheme = "spool:";
+    else fail("unknown address kind '" + kind + "' (socket|tcp|spool)");
+    try {
+      instance.address = parse_service_address(scheme + value);
+    } catch (const CheckError& e) {
+      fail("instance '" + name + "': " + e.what());
+    }
     for (const FleetInstance& existing : config.instances)
       if (existing.name == name) fail("duplicate instance name '" + name + "'");
     config.instances.push_back(std::move(instance));
@@ -80,9 +77,21 @@ FleetConfig load_fleet_config_file(const std::filesystem::path& path) {
 std::string serialize_fleet_config(const FleetConfig& config) {
   std::ostringstream os;
   os << "emutile-fleet v1\n";
-  for (const FleetInstance& instance : config.instances)
-    os << "instance " << instance.name << " " << to_string(instance.address)
-       << " " << instance.path.string() << "\n";
+  for (const FleetInstance& instance : config.instances) {
+    os << "instance " << instance.name << " ";
+    switch (instance.address.kind) {
+      case AddressKind::kUnix:
+        os << "socket " << instance.address.path.string();
+        break;
+      case AddressKind::kTcp:
+        os << "tcp " << instance.address.host << ":" << instance.address.port;
+        break;
+      case AddressKind::kSpool:
+        os << "spool " << instance.address.path.string();
+        break;
+    }
+    os << "\n";
+  }
   os << "end\n";
   return os.str();
 }

@@ -8,38 +8,37 @@
 ///
 ///   emutile-fleet v1
 ///   instance alpha socket /var/emutile-a/serviced.sock
-///   instance beta  spool  /var/emutile-b
+///   instance beta  tcp    10.0.0.7:7733
+///   instance gamma spool  /var/emutile-c
 ///   end
 ///
-/// Two address kinds:
-///   socket <path>  the instance's Unix control socket — full protocol
-///                  (SUBMIT/STATUS/WAIT/SHARDREPORT), live progress
-///   spool <root>   the instance's service *root* directory — the
-///                  coordinator drops shard specs into <root>/spool and
-///                  watches <root>/out for the shard report; degraded but
-///                  works with --no-socket daemons and network filesystems
+/// Three address kinds (the ServiceAddress schemes of address.hpp):
+///   socket <path>       the instance's Unix control socket — full protocol
+///                       (SUBMIT/STATUS/WAIT/SHARDREPORT), live progress.
+///                       `unix` is accepted as a synonym on input.
+///   tcp <host:port>     the instance's TCP control endpoint — same protocol,
+///                       cross-host
+///   spool <root>        the instance's service *root* directory — the
+///                       coordinator drops shard specs into <root>/spool and
+///                       watches <root>/out for the shard report; degraded
+///                       but works with --no-socket daemons and network
+///                       filesystems
 ///
-/// Instance names must be unique — they key health tracking and appear in
-/// fleet snapshots and logs.
+/// Instance names must be unique — they key health tracking, cache-affinity
+/// history, and membership reconciliation (a coordinator reloading the fleet
+/// file mid-campaign matches instances by name: new names join, missing
+/// names retire), and appear in fleet snapshots and logs.
 
-#include <cstdint>
-#include <filesystem>
 #include <string>
 #include <vector>
 
+#include "service/address.hpp"
+
 namespace emutile {
-
-enum class InstanceAddress : std::uint8_t {
-  kSocket,  ///< path is the daemon's Unix control socket
-  kSpool    ///< path is the daemon's service root (spool/ + out/ under it)
-};
-
-[[nodiscard]] const char* to_string(InstanceAddress address);
 
 struct FleetInstance {
   std::string name;
-  InstanceAddress address = InstanceAddress::kSocket;
-  std::filesystem::path path;
+  ServiceAddress address;
 };
 
 struct FleetConfig {
@@ -47,15 +46,17 @@ struct FleetConfig {
 };
 
 /// Parse a fleet config. Throws CheckError with a line number on malformed
-/// input (bad header, unknown key or address kind, duplicate or missing
-/// instance name, empty fleet, trailing content).
+/// input (bad header, unknown key or address kind, a tcp address without
+/// host:port, duplicate or missing instance name, empty fleet, trailing
+/// content).
 [[nodiscard]] FleetConfig parse_fleet_config(const std::string& text);
 
 /// Read and parse a fleet-config file. Throws CheckError on IO/parse errors.
 [[nodiscard]] FleetConfig load_fleet_config_file(
     const std::filesystem::path& path);
 
-/// Canonical serialization; parse(serialize(c)) reproduces `c`.
+/// Canonical serialization (`socket`/`tcp`/`spool` kinds);
+/// parse(serialize(c)) reproduces `c`.
 [[nodiscard]] std::string serialize_fleet_config(const FleetConfig& config);
 
 }  // namespace emutile

@@ -1,0 +1,96 @@
+#pragma once
+/// \file address.hpp
+/// Fleet addressing: one URI type naming every way to reach a serviced
+/// instance, shared by ServiceClient, ServiceEndpoint, the fleet config, the
+/// campaign coordinator's control plane, and the tools.
+///
+///   unix:/run/emutile/serviced.sock  Unix-domain stream socket — the full
+///                                    wire protocol, single host
+///   tcp:host:port                    TCP stream socket — the full wire
+///                                    protocol, cross-host. Listening on
+///                                    port 0 takes an ephemeral port; read
+///                                    the real one back with
+///                                    bound_service_address().
+///   spool:/var/emutile-b             a serviced *root* directory: specs are
+///                                    dropped into <dir>/spool and reports
+///                                    read from <dir>/out — no wire protocol
+///
+/// A bare string (no scheme) keeps its legacy meaning at each call site:
+/// parse_service_address's `bare_kind` says whether it names a Unix socket
+/// (ServiceClient, emutile_submit --socket) or a spool root (the fleet
+/// config's `spool` kind). Everything that serializes an address emits the
+/// canonical `to_string()` URI form.
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+namespace emutile {
+
+enum class AddressKind : std::uint8_t {
+  kUnix,   ///< Unix-domain stream socket (wire protocol)
+  kTcp,    ///< TCP stream socket (wire protocol)
+  kSpool,  ///< serviced root directory (spool/ + out/; no wire protocol)
+};
+
+[[nodiscard]] const char* to_string(AddressKind kind);
+
+struct ServiceAddress {
+  AddressKind kind = AddressKind::kUnix;
+  std::filesystem::path path;  ///< kUnix: socket file; kSpool: root dir
+  std::string host;            ///< kTcp only
+  std::uint16_t port = 0;      ///< kTcp only (0 = ephemeral when listening)
+
+  [[nodiscard]] static ServiceAddress unix_socket(std::filesystem::path p);
+  [[nodiscard]] static ServiceAddress tcp(std::string host,
+                                          std::uint16_t port);
+  [[nodiscard]] static ServiceAddress spool(std::filesystem::path root);
+
+  /// True when the instance speaks the wire protocol (SUBMIT/STATUS/...).
+  [[nodiscard]] bool is_wire() const { return kind != AddressKind::kSpool; }
+
+  /// Canonical URI form: `unix:/path`, `tcp:host:port`, `spool:/dir`.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const ServiceAddress&,
+                         const ServiceAddress&) = default;
+};
+
+/// Parse an address URI. A bare string with no scheme is read as `bare_kind`
+/// (kUnix or kSpool — the two legacy meanings; kTcp never had a bare form).
+/// Throws CheckError on malformed input (unknown scheme, empty path, a tcp
+/// address without `host:port`, a port outside [0, 65535]).
+[[nodiscard]] ServiceAddress parse_service_address(
+    const std::string& text, AddressKind bare_kind = AddressKind::kUnix);
+
+/// Connect a blocking stream socket to a wire address (kUnix or kTcp; a
+/// spool address throws — it has no wire protocol). TCP connections get
+/// TCP_NODELAY. Returns the connected fd; throws CheckError on failure.
+[[nodiscard]] int dial_service_address(const ServiceAddress& address);
+
+/// Bind and listen on a wire address. A stale Unix socket file is replaced;
+/// TCP listeners get SO_REUSEADDR, and port 0 binds an ephemeral port (read
+/// it back with bound_service_address). `nonblocking` makes the listen fd —
+/// and, via accept4 at the call sites, its accepted fds — non-blocking for
+/// reactor use. Returns the listening fd; throws CheckError on failure.
+[[nodiscard]] int listen_service_address(const ServiceAddress& address,
+                                         int backlog, bool nonblocking);
+
+/// The address a listening fd actually bound — `requested` with the real
+/// port filled in for tcp:...:0 listeners, `requested` unchanged otherwise.
+[[nodiscard]] ServiceAddress bound_service_address(
+    const ServiceAddress& requested, int listen_fd);
+
+/// Read from `fd` until EOF. Returns false on read errors, or — when
+/// `timeout_ms` is non-negative — if EOF has not arrived by the deadline or
+/// `*stop` became true (polled in short slices). Negative timeout blocks
+/// indefinitely.
+bool fd_read_all(int fd, std::string& out, int timeout_ms = -1,
+                 const std::atomic<bool>* stop = nullptr);
+
+/// Write all of `data` (MSG_NOSIGNAL: a closed peer yields false, never a
+/// process-killing SIGPIPE). Returns false on write errors.
+bool fd_write_all(int fd, const std::string& data);
+
+}  // namespace emutile

@@ -1,8 +1,13 @@
 #include "service/service_client.hpp"
 
+#include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 #include <utility>
 
@@ -24,21 +29,225 @@ std::size_t keyed_count(const std::string& token, const char* key) {
       std::strtoull(token.c_str() + prefix.size(), nullptr, 10));
 }
 
+/// First line of a (possibly multi-line) response, for error messages.
+std::string first_line(const std::string& response) {
+  const std::size_t eol = response.find('\n');
+  return eol == std::string::npos ? response : response.substr(0, eol);
+}
+
 }  // namespace
 
+const char* to_string(ServiceErrorCode code) {
+  switch (code) {
+    case ServiceErrorCode::kBusy: return "busy";
+    case ServiceErrorCode::kOverdeadline: return "overdeadline";
+    case ServiceErrorCode::kDraining: return "draining";
+    case ServiceErrorCode::kProtocol: return "protocol";
+    case ServiceErrorCode::kIo: return "io";
+  }
+  return "?";
+}
+
+bool ServiceHello::has_cap(const std::string& cap) const {
+  return std::find(caps.begin(), caps.end(), cap) != caps.end();
+}
+
+ServiceClient::ServiceClient(ServiceAddress address, int timeout_ms)
+    : address_(std::move(address)), timeout_ms_(timeout_ms) {
+  EMUTILE_CHECK(address_.is_wire(),
+                "ServiceClient cannot dial spool address "
+                    << address_.to_string()
+                    << " — spool instances have no wire protocol");
+}
+
 ServiceClient::ServiceClient(std::filesystem::path socket_path, int timeout_ms)
-    : socket_path_(std::move(socket_path)), timeout_ms_(timeout_ms) {}
+    : ServiceClient(ServiceAddress::unix_socket(std::move(socket_path)),
+                    timeout_ms) {}
+
+ServiceClient::~ServiceClient() { close_persistent(); }
+
+const ServiceHello& ServiceClient::hello() const {
+  if (hello_) return *hello_;
+  ServiceHello h;
+  std::string response;
+  try {
+    response = endpoint_request(address_, "HELLO\n", timeout_ms_);
+  } catch (const std::exception&) {
+    hello_ = h;  // unreachable instance: not supported, retry via new client
+    return *hello_;
+  }
+  // `OK proto=<n> id=<id> mode=<mode> caps=<c1,c2,...>`. Anything else —
+  // notably a pre-v2 daemon's `ERR unknown command 'HELLO'` — reads as the
+  // v1 one-shot-only subset.
+  if (response.rfind("OK ", 0) == 0) {
+    h.supported = true;
+    std::istringstream in(first_line(response).substr(3));
+    std::string token;
+    while (in >> token) {
+      if (token.rfind("proto=", 0) == 0)
+        h.proto = static_cast<int>(keyed_count(token, "proto"));
+      else if (token.rfind("id=", 0) == 0)
+        h.id = token.substr(3);
+      else if (token.rfind("mode=", 0) == 0)
+        h.mode = token.substr(5);
+      else if (token.rfind("caps=", 0) == 0) {
+        std::istringstream caps(token.substr(5));
+        std::string cap;
+        while (std::getline(caps, cap, ','))
+          if (!cap.empty()) h.caps.push_back(cap);
+      }
+    }
+  }
+  hello_ = std::move(h);
+  return *hello_;
+}
+
+// ---- persistent channel ----------------------------------------------------
+
+bool ServiceClient::use_persistent(const std::string& request_text) const {
+  if (!persistent_enabled_) return false;
+  // Single-line commands only: SUBMIT bodies need the one-shot half-close.
+  if (request_text.size() < 2 || request_text.back() != '\n' ||
+      request_text.find('\n') != request_text.size() - 1)
+    return false;
+  const ServiceHello& h = hello();
+  return h.supported && h.has_cap("persist");
+}
+
+void ServiceClient::close_persistent() const {
+  if (persist_fd_ >= 0) {
+    ::close(persist_fd_);
+    persist_fd_ = -1;
+  }
+  persist_buf_.clear();
+}
+
+void ServiceClient::persistent_fill(
+    std::chrono::steady_clock::time_point deadline) const {
+  for (;;) {
+    if (timeout_ms_ >= 0) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now())
+              .count();
+      EMUTILE_CHECK(remaining > 0, "persistent channel to "
+                                       << address_.to_string()
+                                       << " timed out");
+      pollfd pfd{persist_fd_, POLLIN, 0};
+      const int ready = ::poll(
+          &pfd, 1, static_cast<int>(std::min<long long>(remaining, 100)));
+      EMUTILE_CHECK(ready >= 0 || errno == EINTR,
+                    "persistent channel to " << address_.to_string()
+                                             << " poll failed: "
+                                             << std::strerror(errno));
+      if (ready <= 0) continue;
+    }
+    char buf[4096];
+    const ssize_t n = ::read(persist_fd_, buf, sizeof buf);
+    if (n < 0 && errno == EINTR) continue;
+    EMUTILE_CHECK(n > 0, "persistent channel to " << address_.to_string()
+                                                  << (n == 0
+                                                          ? " closed by peer"
+                                                          : " read failed"));
+    persist_buf_.append(buf, static_cast<std::size_t>(n));
+    return;
+  }
+}
+
+std::string ServiceClient::persistent_read_line(
+    std::chrono::steady_clock::time_point deadline) const {
+  for (;;) {
+    const std::size_t eol = persist_buf_.find('\n');
+    if (eol != std::string::npos) {
+      std::string line = persist_buf_.substr(0, eol);
+      persist_buf_.erase(0, eol + 1);
+      return line;
+    }
+    persistent_fill(deadline);
+  }
+}
+
+std::string ServiceClient::persistent_read_exact(
+    std::size_t n, std::chrono::steady_clock::time_point deadline) const {
+  while (persist_buf_.size() < n) persistent_fill(deadline);
+  std::string payload = persist_buf_.substr(0, n);
+  persist_buf_.erase(0, n);
+  return payload;
+}
+
+std::string ServiceClient::persistent_request(
+    const std::string& request_text) const {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(
+                            timeout_ms_ >= 0 ? timeout_ms_ : 0);
+  if (persist_fd_ < 0) {
+    persist_fd_ = dial_service_address(address_);
+    persist_buf_.clear();
+    EMUTILE_CHECK(fd_write_all(persist_fd_, "PERSIST\n"),
+                  "persistent handshake write to " << address_.to_string()
+                                                   << " failed");
+    const std::string ack = persistent_read_line(deadline);
+    EMUTILE_CHECK(ack == "OK persist", "persistent handshake with "
+                                           << address_.to_string()
+                                           << " refused: " << ack);
+  }
+  EMUTILE_CHECK(fd_write_all(persist_fd_, request_text),
+                "persistent write to " << address_.to_string() << " failed");
+  // Responses are length-framed: `#<bytes>\n<payload>`.
+  const std::string header = persistent_read_line(deadline);
+  EMUTILE_CHECK(!header.empty() && header[0] == '#',
+                "persistent channel to " << address_.to_string()
+                                         << " sent a malformed frame header: "
+                                         << header);
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(header.c_str() + 1, &end, 10);
+  EMUTILE_CHECK(end != header.c_str() + 1 && *end == '\0',
+                "persistent channel to " << address_.to_string()
+                                         << " sent a malformed frame header: "
+                                         << header);
+  return persistent_read_exact(static_cast<std::size_t>(n), deadline);
+}
+
+// ---- request plumbing ------------------------------------------------------
 
 std::string ServiceClient::request(const std::string& request_text) const {
-  return endpoint_request(socket_path_, request_text, timeout_ms_);
+  if (use_persistent(request_text)) {
+    try {
+      return persistent_request(request_text);
+    } catch (const std::exception&) {
+      // Any channel hiccup: drop it and fall back to one-shot for this
+      // request. The next request re-dials the channel.
+      close_persistent();
+    }
+  }
+  try {
+    return endpoint_request(address_, request_text, timeout_ms_);
+  } catch (const ServiceError&) {
+    throw;
+  } catch (const CheckError& e) {
+    throw ServiceError(ServiceErrorCode::kIo, e.what());
+  }
 }
 
 std::string ServiceClient::expect_ok(const std::string& response,
                                      const std::string& what) const {
-  EMUTILE_CHECK(response.rfind("OK ", 0) == 0,
-                what << " via " << socket_path_ << " refused: "
-                     << (response.empty() ? std::string("<empty response>")
-                                          : response));
+  if (response.rfind("OK ", 0) != 0) {
+    ServiceErrorCode code = ServiceErrorCode::kProtocol;
+    const std::string line = first_line(response);
+    if (response.rfind("ERR draining", 0) == 0) {
+      code = ServiceErrorCode::kDraining;
+    } else if (response.rfind("ERR busy", 0) == 0) {
+      // Pre-v2 daemons fold the drain shed into `ERR busy ... draining ...`.
+      code = line.find("draining") != std::string::npos
+                 ? ServiceErrorCode::kDraining
+                 : ServiceErrorCode::kBusy;
+    } else if (response.rfind("ERR overdeadline", 0) == 0) {
+      code = ServiceErrorCode::kOverdeadline;
+    }
+    throw ServiceError(
+        code, what + " via " + address_.to_string() + " refused: " +
+                  (response.empty() ? std::string("<empty response>") : line));
+  }
   const std::size_t eol = response.find('\n');
   return response.substr(3, eol == std::string::npos ? std::string::npos
                                                      : eol - 3);
@@ -62,14 +271,7 @@ std::string ServiceClient::submit(const std::string& spec_text, int priority,
   if (!traceparent.empty()) os << " traceparent=" << traceparent;
   if (deadline_ms > 0) os << " deadline_ms=" << deadline_ms;
   os << "\n" << spec_text;
-  const std::string response = request(os.str());
-  if (response.rfind("ERR busy", 0) == 0)
-    throw BusyError("instance at " + socket_path_.string() +
-                    " is busy: " + response.substr(4));
-  if (response.rfind("ERR overdeadline", 0) == 0)
-    throw OverdeadlineError("instance at " + socket_path_.string() +
-                            " shed the deadline: " + response.substr(4));
-  return expect_ok(response, "SUBMIT");
+  return expect_ok(request(os.str()), "SUBMIT");
 }
 
 RemoteCampaignStatus ServiceClient::status(const std::string& id) const {
@@ -81,7 +283,8 @@ RemoteCampaignStatus ServiceClient::status(const std::string& id) const {
   std::string progress, hits, misses, snapshots;
   EMUTILE_CHECK(in >> s.id >> s.state >> progress >> hits >> misses >>
                     snapshots,
-                "malformed STATUS line from " << socket_path_ << ": " << line);
+                "malformed STATUS line from " << address_.to_string() << ": "
+                                              << line);
   const std::size_t slash = progress.find('/');
   EMUTILE_CHECK(slash != std::string::npos,
                 "malformed progress '" << progress << "' in STATUS line");
@@ -111,9 +314,15 @@ RemoteCampaignStatus ServiceClient::status(const std::string& id) const {
 }
 
 std::string ServiceClient::wait(const std::string& id, int timeout_ms) const {
-  return expect_ok(
-      endpoint_request(socket_path_, "WAIT " + id + "\n", timeout_ms),
-      "WAIT " + id);
+  // WAIT takes its own (usually unbounded) timeout, so it bypasses the
+  // persistent channel — a parked wait would wedge every other exchange.
+  std::string response;
+  try {
+    response = endpoint_request(address_, "WAIT " + id + "\n", timeout_ms);
+  } catch (const CheckError& e) {
+    throw ServiceError(ServiceErrorCode::kIo, e.what());
+  }
+  return expect_ok(response, "WAIT " + id);
 }
 
 void ServiceClient::cancel(const std::string& id) const {
@@ -135,7 +344,7 @@ std::string ServiceClient::fetch_shard_report(const std::string& id) const {
   static_cast<void>(expect_ok(response, "SHARDREPORT " + id));
   const std::size_t eol = response.find('\n');
   EMUTILE_CHECK(eol != std::string::npos && eol + 1 < response.size(),
-                "SHARDREPORT " << id << " from " << socket_path_
+                "SHARDREPORT " << id << " from " << address_.to_string()
                                << " carried no report body");
   return response.substr(eol + 1);
 }
@@ -145,7 +354,8 @@ RemoteCacheStats ServiceClient::cache_stats() const {
   std::istringstream in(line);
   std::string entries, bytes, hits, misses, stores;
   EMUTILE_CHECK(in >> entries >> bytes >> hits >> misses >> stores,
-                "malformed CACHE line from " << socket_path_ << ": " << line);
+                "malformed CACHE line from " << address_.to_string() << ": "
+                                             << line);
   RemoteCacheStats s;
   s.entries = keyed_count(entries, "entries");
   s.bytes = keyed_count(bytes, "bytes");
@@ -170,8 +380,8 @@ RemoteTraceSpans ServiceClient::fetch_trace_spans() const {
   std::istringstream in(line);
   std::string now_tok, count_tok;
   EMUTILE_CHECK(in >> now_tok >> count_tok,
-                "malformed TRACESPANS line from " << socket_path_ << ": "
-                                                  << line);
+                "malformed TRACESPANS line from " << address_.to_string()
+                                                  << ": " << line);
   RemoteTraceSpans result;
   result.now_us = keyed_count(now_tok, "now_us");
   const std::size_t declared = keyed_count(count_tok, "spans");
@@ -180,8 +390,8 @@ RemoteTraceSpans ServiceClient::fetch_trace_spans() const {
       eol == std::string::npos ? std::string() : response.substr(eol + 1);
   result.spans = parse_trace_spans_text(body);
   EMUTILE_CHECK(result.spans.size() == declared,
-                "TRACESPANS from " << socket_path_ << " declared " << declared
-                                   << " spans, body carried "
+                "TRACESPANS from " << address_.to_string() << " declared "
+                                   << declared << " spans, body carried "
                                    << result.spans.size());
   return result;
 }

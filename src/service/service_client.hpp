@@ -1,27 +1,85 @@
 #pragma once
 /// \file service_client.hpp
-/// Client side of a serviced instance: typed wrappers over the one-shot
-/// line protocol of service_endpoint.hpp, shared by emutile_submit, the
-/// campaign coordinator, and anything else that talks to a daemon.
+/// Client side of a serviced instance: typed wrappers over the line protocol
+/// of service_endpoint.hpp, shared by emutile_submit, the campaign
+/// coordinator, the fleet console, and anything else that talks to a daemon.
 ///
-/// One class, one connection codepath: every method opens a fresh one-shot
-/// connection through endpoint_request() with this client's receive timeout,
-/// so a hung or dead daemon surfaces as a CheckError within the timeout
-/// instead of blocking the caller forever. Methods that parse an `OK ...`
-/// response throw CheckError on `ERR ...` replies too — except where a
-/// distinguished result is part of the contract (ping(), submit()'s
-/// BusyError).
+/// Addressing: a client dials a ServiceAddress (unix:/path or tcp:host:port;
+/// a bare path keeps its legacy Unix-socket meaning). Every exchange is
+/// bounded by this client's receive timeout, so a hung or dead daemon
+/// surfaces as an error within the timeout instead of blocking the caller
+/// forever.
+///
+/// Errors: every failure throws ServiceError, which carries a stable
+/// ServiceErrorCode — transport failures are kIo, `ERR busy` is kBusy,
+/// `ERR draining` (or a pre-v2 daemon's busy-while-draining) is kDraining,
+/// `ERR overdeadline` is kOverdeadline, anything else the daemon refused is
+/// kProtocol. Callers switch retry policy on codes, never on substrings.
+/// ServiceError derives from CheckError so legacy catch sites keep working.
+///
+/// Transport: by default every method opens a fresh one-shot connection
+/// through endpoint_request(). Opt into set_persistent(true) and the client
+/// keeps one connection per instance open for single-line commands (STATUS
+/// polling over TCP stops paying a dial per tick), transparently falling
+/// back to one-shot — and re-dialing later — whenever the channel breaks.
+/// The persistent channel is only used against daemons whose HELLO
+/// advertises the `persist` capability; hello() probes once per client and
+/// degrades gracefully against pre-HELLO daemons.
+///
+/// A ServiceClient is not thread-safe: it caches the HELLO reply and may own
+/// a persistent connection. Give each thread its own client.
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <filesystem>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "obs/trace.hpp"
+#include "service/address.hpp"
 #include "util/check.hpp"
 
 namespace emutile {
+
+/// Stable machine-readable failure codes — the wire protocol's distinguished
+/// `ERR <code>` tokens plus the two client-side conditions.
+enum class ServiceErrorCode : std::uint8_t {
+  kBusy,          ///< bounded queue full / over quota — retry later/elsewhere
+  kOverdeadline,  ///< admission control shed the deadline — relax or drop it
+  kDraining,      ///< instance stopped admitting for good — route elsewhere
+  kProtocol,      ///< daemon refused or replied out of grammar
+  kIo,            ///< dial/read/write failure or timeout — instance may be gone
+};
+
+[[nodiscard]] const char* to_string(ServiceErrorCode code);
+
+/// Any failure talking to a serviced instance. `code()` is the retry-policy
+/// switch; what() carries the human-readable detail.
+class ServiceError : public CheckError {
+ public:
+  ServiceError(ServiceErrorCode code, const std::string& detail)
+      : CheckError(detail), code_(code) {}
+
+  [[nodiscard]] ServiceErrorCode code() const { return code_; }
+
+ private:
+  ServiceErrorCode code_;
+};
+
+/// Parsed HELLO reply. `supported == false` means the daemon predates HELLO
+/// (it answered `ERR unknown command`) — treat it as protocol v1, one-shot
+/// transport only.
+struct ServiceHello {
+  bool supported = false;
+  int proto = 1;
+  std::string id;    ///< stable instance id (hostname-pid)
+  std::string mode;  ///< "reactor" | "legacy"
+  std::vector<std::string> caps;
+
+  [[nodiscard]] bool has_cap(const std::string& cap) const;
+};
 
 /// Parsed form of one STATUS line.
 struct RemoteCampaignStatus {
@@ -68,34 +126,34 @@ struct RemoteTraceSpans {
 
 class ServiceClient {
  public:
-  /// Thrown by submit() when the daemon answered `ERR busy` (bounded queue
-  /// full or over the per-campaign session quota): the spec is fine, the
-  /// instance is loaded — try later/elsewhere.
-  class BusyError : public CheckError {
-   public:
-    using CheckError::CheckError;
-  };
-
-  /// Thrown by submit() when the daemon answered `ERR overdeadline`:
-  /// admission control concluded the requested relative deadline cannot be
-  /// met given its observed latency and backlog. Relax or drop the deadline,
-  /// or submit elsewhere.
-  class OverdeadlineError : public CheckError {
-   public:
-    using CheckError::CheckError;
-  };
-
   /// `timeout_ms` bounds every exchange except wait() (which has its own);
-  /// negative blocks indefinitely.
+  /// negative blocks indefinitely. `address` must be a wire address (kUnix
+  /// or kTcp) — spool instances have no protocol to speak.
+  explicit ServiceClient(ServiceAddress address, int timeout_ms = 30'000);
+
+  /// Legacy form: a bare path is a Unix socket.
   explicit ServiceClient(std::filesystem::path socket_path,
                          int timeout_ms = 30'000);
 
-  [[nodiscard]] const std::filesystem::path& socket_path() const {
-    return socket_path_;
-  }
+  ~ServiceClient();
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
 
-  /// Raw one-shot exchange (request must be newline-terminated; SUBMIT
-  /// carries the spec as the body). Returns the raw response.
+  [[nodiscard]] const ServiceAddress& address() const { return address_; }
+
+  /// Opt into one persistent connection for single-line commands. A no-op
+  /// against daemons without the `persist` capability; any channel error
+  /// falls back to one-shot for that request and re-dials on the next.
+  void set_persistent(bool enabled) { persistent_enabled_ = enabled; }
+
+  /// The daemon's HELLO reply, probed once per client and cached. Never
+  /// throws out of the probe itself: a dead instance or a pre-HELLO daemon
+  /// both read as `supported == false`.
+  [[nodiscard]] const ServiceHello& hello() const;
+
+  /// Raw exchange (request must be newline-terminated; SUBMIT carries the
+  /// spec as the body). Returns the raw response. Throws ServiceError{kIo}
+  /// when the exchange itself fails.
   [[nodiscard]] std::string request(const std::string& request_text) const;
 
   /// True iff a live daemon answered the PING. Never throws: a dead socket,
@@ -107,15 +165,15 @@ class ServiceClient {
   /// `traceparent=` token so the daemon parents its spans on the caller's.
   /// A non-zero `deadline_ms` rides as the `deadline_ms=` token: the daemon
   /// sheds the submit up front if it cannot plausibly finish within that
-  /// relative deadline. Throws BusyError on `ERR busy`, OverdeadlineError on
-  /// `ERR overdeadline`, CheckError on any other failure.
+  /// relative deadline. Throws ServiceError — kBusy, kDraining, and
+  /// kOverdeadline are the retryable-by-policy refusals.
   [[nodiscard]] std::string submit(const std::string& spec_text,
                                    int priority = 0,
                                    const std::string& name_hint = "",
                                    const std::string& traceparent = "",
                                    std::uint64_t deadline_ms = 0) const;
 
-  /// STATUS of one campaign. Throws CheckError (e.g. unknown id).
+  /// STATUS of one campaign. Throws ServiceError (e.g. unknown id).
   [[nodiscard]] RemoteCampaignStatus status(const std::string& id) const;
 
   /// WAIT for a terminal state; returns it ("finished", ...). `timeout_ms`
@@ -124,12 +182,12 @@ class ServiceClient {
   [[nodiscard]] std::string wait(const std::string& id,
                                  int timeout_ms = -1) const;
 
-  /// CANCEL a campaign. Throws CheckError on unknown ids.
+  /// CANCEL a campaign. Throws ServiceError on unknown ids.
   void cancel(const std::string& id) const;
 
   /// DRAIN: tell the daemon to stop admitting and exit 0 once its backlog
   /// is finished or journaled — the rolling-upgrade handoff. Idempotent on
-  /// the daemon side. Throws CheckError when the exchange fails.
+  /// the daemon side. Throws ServiceError when the exchange fails.
   void drain() const;
 
   /// LIST: raw response body, one status line per campaign after `OK <n>`.
@@ -137,10 +195,10 @@ class ServiceClient {
 
   /// SHARDREPORT: the campaign's mergeable report (campaign_report_io
   /// format, ready for parse_campaign_report). The campaign must be
-  /// terminal. Throws CheckError otherwise.
+  /// terminal. Throws ServiceError otherwise.
   [[nodiscard]] std::string fetch_shard_report(const std::string& id) const;
 
-  /// CACHE: result-cache statistics. Throws CheckError (e.g. disabled).
+  /// CACHE: result-cache statistics. Throws ServiceError (e.g. disabled).
   [[nodiscard]] RemoteCacheStats cache_stats() const;
 
   /// METRICS: the instance's process-wide metrics. Text exposition (the
@@ -150,18 +208,40 @@ class ServiceClient {
   [[nodiscard]] std::string fetch_metrics(bool json = false) const;
 
   /// TRACESPANS: the instance's buffered trace spans (open ones included)
-  /// plus its reply-time clock. Throws CheckError on refusal or a reply
+  /// plus its reply-time clock. Throws ServiceError on refusal or a reply
   /// that does not parse.
   [[nodiscard]] RemoteTraceSpans fetch_trace_spans() const;
 
  private:
   /// Strip "OK " and the trailing newline off a single-line response; throw
-  /// CheckError describing `what` on an ERR or malformed reply.
+  /// ServiceError describing `what` on an ERR or malformed reply, with the
+  /// code mapped from the distinguished `ERR <code>` tokens.
   [[nodiscard]] std::string expect_ok(const std::string& response,
                                       const std::string& what) const;
 
-  std::filesystem::path socket_path_;
+  /// True when `request_text` should ride the persistent channel (enabled,
+  /// wire address, single line, daemon advertises `persist`).
+  [[nodiscard]] bool use_persistent(const std::string& request_text) const;
+  /// One exchange over the persistent channel (dialing + PERSIST handshake
+  /// on first use). Throws CheckError on any channel failure — the caller
+  /// closes the channel and falls back to one-shot.
+  [[nodiscard]] std::string persistent_request(
+      const std::string& request_text) const;
+  void close_persistent() const;
+  /// Buffered reads from the persistent channel, bounded by `deadline`.
+  [[nodiscard]] std::string persistent_read_line(
+      std::chrono::steady_clock::time_point deadline) const;
+  [[nodiscard]] std::string persistent_read_exact(
+      std::size_t n, std::chrono::steady_clock::time_point deadline) const;
+  void persistent_fill(std::chrono::steady_clock::time_point deadline) const;
+
+  ServiceAddress address_;
   int timeout_ms_;
+  bool persistent_enabled_ = false;
+  // Transport caches — logically const (no observable protocol state).
+  mutable std::optional<ServiceHello> hello_;
+  mutable int persist_fd_ = -1;
+  mutable std::string persist_buf_;  ///< bytes read but not yet consumed
 };
 
 /// Socketless submission: atomically drop `text` into `root`/spool as

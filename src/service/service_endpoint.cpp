@@ -1,10 +1,11 @@
 #include "service/service_endpoint.hpp"
 
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -33,77 +34,34 @@ namespace {
 /// in-flight connections.
 constexpr int kRequestReadTimeoutMs = 30'000;
 
+/// An idle persistent connection is allowed to sit longer than a one-shot
+/// request read (a coordinator's poll tick may be lazy), but not forever:
+/// past this it is silently closed and the client re-dials transparently.
+constexpr int kPersistentIdleTimeoutMs = 4 * kRequestReadTimeoutMs;
+
 /// Parked-WAIT re-poll cadence in the reactor (matches the legacy WAIT
 /// handler's 100 ms wait_for slices).
 constexpr auto kWaitRetryInterval = std::chrono::milliseconds(100);
-
-/// Read until EOF (the peer half-closed). Returns false on read errors, or —
-/// when `timeout_ms` is non-negative — if EOF has not arrived by the
-/// deadline or `*stop` became true (polled in short slices, so shutdown is
-/// not held up by the full deadline). Negative timeout means block
-/// indefinitely (clients waiting on WAIT).
-bool read_all(int fd, std::string& out, int timeout_ms = -1,
-              const std::atomic<bool>* stop = nullptr) {
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(timeout_ms);
-  char buf[4096];
-  for (;;) {
-    if (timeout_ms >= 0) {
-      if (stop && stop->load()) return false;
-      const auto remaining =
-          std::chrono::duration_cast<std::chrono::milliseconds>(
-              deadline - std::chrono::steady_clock::now())
-              .count();
-      if (remaining <= 0) return false;
-      pollfd pfd{fd, POLLIN, 0};
-      const int ready =
-          ::poll(&pfd, 1, static_cast<int>(std::min<long long>(remaining, 100)));
-      if (ready < 0 && errno != EINTR) return false;
-      if (ready <= 0) continue;  // re-check stop + deadline, poll again
-    }
-    const ssize_t n = ::read(fd, buf, sizeof buf);
-    if (n == 0) return true;
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    out.append(buf, static_cast<std::size_t>(n));
-  }
-}
-
-bool write_all(int fd, const std::string& data) {
-  std::size_t off = 0;
-  while (off < data.size()) {
-    // MSG_NOSIGNAL: a peer that closed before reading the reply must yield
-    // EPIPE here, not a process-killing SIGPIPE (the daemon installs no
-    // handler for it).
-    const ssize_t n =
-        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<std::size_t>(n);
-  }
-  return true;
-}
 
 /// Commands get their own endpoint.requests.<CMD>/endpoint.request_us.<CMD>
 /// series; anything unrecognized (including garbage) is folded into one
 /// "OTHER" pair so a misbehaving client cannot mint unbounded metric names.
 bool known_command(const std::string& command) {
-  return command == "PING" || command == "SUBMIT" || command == "STATUS" ||
-         command == "LIST" || command == "CANCEL" || command == "WAIT" ||
-         command == "SHARDREPORT" || command == "CACHE" ||
-         command == "METRICS" || command == "TRACESPANS" ||
-         command == "DRAIN" || command == "SHUTDOWN";
+  return command == "HELLO" || command == "PING" || command == "SUBMIT" ||
+         command == "STATUS" || command == "LIST" || command == "CANCEL" ||
+         command == "WAIT" || command == "SHARDREPORT" ||
+         command == "CACHE" || command == "METRICS" ||
+         command == "TRACESPANS" || command == "DRAIN" ||
+         command == "SHUTDOWN";
 }
 
 /// Observability-plane commands are not themselves traced: the console and
 /// the coordinator poll them continuously, and a tracer tracing its own
-/// export only buries the spans operators care about.
+/// export only buries the spans operators care about. HELLO is a transport
+/// probe, not work.
 bool traced_command(const std::string& series) {
-  return series != "PING" && series != "METRICS" && series != "TRACESPANS";
+  return series != "PING" && series != "HELLO" && series != "METRICS" &&
+         series != "TRACESPANS";
 }
 
 std::string status_line(const CampaignStatus& s) {
@@ -115,14 +73,17 @@ std::string status_line(const CampaignStatus& s) {
   return os.str();
 }
 
-sockaddr_un make_address(const std::filesystem::path& path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  const std::string p = path.string();
-  EMUTILE_CHECK(p.size() < sizeof addr.sun_path,
-                "socket path too long (" << p.size() << " bytes): " << p);
-  std::memcpy(addr.sun_path, p.c_str(), p.size() + 1);
-  return addr;
+void set_nodelay(int fd) {
+  const int one = 1;
+  // Best-effort; fails harmlessly on Unix-domain sockets.
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+std::string local_instance_id() {
+  char host[256] = {};
+  if (::gethostname(host, sizeof host - 1) != 0 || host[0] == '\0')
+    std::strcpy(host, "localhost");
+  return std::string(host) + "-" + std::to_string(::getpid());
 }
 
 }  // namespace
@@ -134,7 +95,8 @@ sockaddr_un make_address(const std::filesystem::path& path) {
 /// publication orders those accesses).
 struct ServiceEndpoint::Conn {
   enum class St : std::uint8_t {
-    kReading,    ///< buffering the request until the client half-closes
+    kReading,    ///< buffering the request (one-shot: until the client
+                 ///< half-closes; persistent: until a full line arrives)
     kExecuting,  ///< queued for / running on a worker / in the done ring
     kParked,     ///< a WAIT whose campaign is not yet terminal
     kWriting,    ///< flushing the response
@@ -150,6 +112,15 @@ struct ServiceEndpoint::Conn {
   /// Set by the worker before the done-ring hand-back: true when a WAIT
   /// must park instead of completing.
   bool parked = false;
+  // Persistent-connection state (the PERSIST handshake): the connection
+  // outlives each exchange, requests are single lines, and responses are
+  // length-framed so the client can delimit them without a half-close.
+  bool persistent = false;
+  /// Frame the next response as `#<bytes>\n<payload>` (every persistent
+  /// exchange after the handshake ack).
+  bool frame_response = false;
+  /// Bytes received beyond the line being executed (a pipelining client).
+  std::string pending;
   // First-execution bookkeeping, so a WAIT that parks N times still counts
   // one request and one latency sample spanning the whole wait.
   bool counted = false;
@@ -164,24 +135,26 @@ ServiceEndpoint::ServiceEndpoint(SessionService& service,
                                  EndpointOptions options)
     : service_(service),
       socket_path_(std::move(socket_path)),
-      options_(options) {
-  const sockaddr_un addr = make_address(socket_path_);
-  std::filesystem::remove(socket_path_);  // replace a stale socket file
+      options_(options),
+      instance_id_(local_instance_id()) {
   const bool reactor = options_.mode == EndpointMode::kReactor;
   // The reactor never blocks in accept/read/write, so its sockets are
-  // non-blocking from birth (accepted fds inherit via accept4).
-  listen_fd_ = ::socket(
-      AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC | (reactor ? SOCK_NONBLOCK : 0), 0);
-  EMUTILE_CHECK(listen_fd_ >= 0,
-                "cannot create socket: " << std::strerror(errno));
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof addr) != 0 ||
-      ::listen(listen_fd_, reactor ? 512 : 16) != 0) {
-    const int err = errno;
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    EMUTILE_CHECK(false, "cannot listen on " << socket_path_ << ": "
-                                             << std::strerror(err));
+  // non-blocking from birth (accepted fds get the flag via accept4).
+  const int backlog = reactor ? 512 : 16;
+  listen_fd_ = listen_service_address(
+      ServiceAddress::unix_socket(socket_path_), backlog, reactor);
+  if (options_.tcp) {
+    EMUTILE_CHECK(options_.tcp->kind == AddressKind::kTcp,
+                  "EndpointOptions::tcp must be a tcp address, got "
+                      << options_.tcp->to_string());
+    try {
+      tcp_listen_fd_ = listen_service_address(*options_.tcp, backlog, reactor);
+    } catch (...) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw;
+    }
+    tcp_address_ = bound_service_address(*options_.tcp, tcp_listen_fd_);
   }
   if (!reactor) {
     accept_thread_ = std::thread([this] { accept_loop(); });
@@ -194,12 +167,17 @@ ServiceEndpoint::ServiceEndpoint(SessionService& service,
     if (epoll_fd_ >= 0) ::close(epoll_fd_);
     if (wake_fd_ >= 0) ::close(wake_fd_);
     ::close(listen_fd_);
+    if (tcp_listen_fd_ >= 0) ::close(tcp_listen_fd_);
     EMUTILE_CHECK(false, "cannot set up reactor: " << std::strerror(err));
   }
   epoll_event ev{};
   ev.events = EPOLLIN;
   ev.data.fd = listen_fd_;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  if (tcp_listen_fd_ >= 0) {
+    ev.data.fd = tcp_listen_fd_;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, tcp_listen_fd_, &ev);
+  }
   ev.data.fd = wake_fd_;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
   exec_queue_ = std::make_unique<MpmcQueue<Conn*>>(options_.queue_capacity);
@@ -229,9 +207,11 @@ ServiceEndpoint::~ServiceEndpoint() {
     if (epoll_fd_ >= 0) ::close(epoll_fd_);
     if (wake_fd_ >= 0) ::close(wake_fd_);
     if (listen_fd_ >= 0) ::close(listen_fd_);  // normally closed by the drain
+    if (tcp_listen_fd_ >= 0) ::close(tcp_listen_fd_);
   } else {
     if (accept_thread_.joinable()) accept_thread_.join();
     if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (tcp_listen_fd_ >= 0) ::close(tcp_listen_fd_);
     // Connection threads are detached; wait for the in-flight ones to finish
     // (they hold `this` only until they decrement the counter).
     std::unique_lock<std::mutex> lock(active_mutex_);
@@ -245,28 +225,33 @@ ServiceEndpoint::~ServiceEndpoint() {
 
 void ServiceEndpoint::accept_loop() {
   while (!stopping_.load()) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, 100);  // 100 ms stop-flag cadence
+    pollfd pfds[2] = {{listen_fd_, POLLIN, 0}, {tcp_listen_fd_, POLLIN, 0}};
+    const nfds_t nfds = tcp_listen_fd_ >= 0 ? 2 : 1;
+    const int ready = ::poll(pfds, nfds, 100);  // 100 ms stop-flag cadence
     if (ready <= 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
-    MetricsRegistry::global().counter("endpoint.connections").add();
-    {
-      // Registered before the thread exists so the destructor can never
-      // observe zero while a connection is starting up.
-      std::lock_guard<std::mutex> lock(active_mutex_);
-      ++active_connections_;
-    }
-    MetricsRegistry::global().gauge("endpoint.connections_active").add();
-    try {
-      std::thread([this, fd] { serve_connection(fd); }).detach();
-    } catch (const std::system_error&) {
+    for (nfds_t i = 0; i < nfds; ++i) {
+      if (!(pfds[i].revents & POLLIN)) continue;
+      const int fd = ::accept(pfds[i].fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      set_nodelay(fd);
+      MetricsRegistry::global().counter("endpoint.connections").add();
       {
+        // Registered before the thread exists so the destructor can never
+        // observe zero while a connection is starting up.
         std::lock_guard<std::mutex> lock(active_mutex_);
-        --active_connections_;
+        ++active_connections_;
       }
-      MetricsRegistry::global().gauge("endpoint.connections_active").sub();
-      ::close(fd);
+      MetricsRegistry::global().gauge("endpoint.connections_active").add();
+      try {
+        std::thread([this, fd] { serve_connection(fd); }).detach();
+      } catch (const std::system_error&) {
+        {
+          std::lock_guard<std::mutex> lock(active_mutex_);
+          --active_connections_;
+        }
+        MetricsRegistry::global().gauge("endpoint.connections_active").sub();
+        ::close(fd);
+      }
     }
   }
 }
@@ -274,7 +259,7 @@ void ServiceEndpoint::accept_loop() {
 void ServiceEndpoint::serve_connection(int fd) {
   std::string request;
   std::string response = "ERR request read failed\n";
-  if (read_all(fd, request, kRequestReadTimeoutMs, &stopping_)) {
+  if (fd_read_all(fd, request, kRequestReadTimeoutMs, &stopping_)) {
     const auto start = std::chrono::steady_clock::now();
     try {
       response = handle_request(request);
@@ -299,7 +284,7 @@ void ServiceEndpoint::serve_connection(int fd) {
   } else {
     MetricsRegistry::global().counter("endpoint.read_timeouts").add();
   }
-  write_all(fd, response);
+  fd_write_all(fd, response);
   ::close(fd);
   MetricsRegistry::global().gauge("endpoint.connections_active").sub();
   std::lock_guard<std::mutex> lock(active_mutex_);
@@ -328,8 +313,8 @@ void ServiceEndpoint::reactor_loop() {
     }
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
-      if (fd == listen_fd_) {
-        reactor_accept();
+      if (fd == listen_fd_ || (tcp_listen_fd_ >= 0 && fd == tcp_listen_fd_)) {
+        reactor_accept(fd);
       } else if (fd == wake_fd_) {
         std::uint64_t v = 0;
         [[maybe_unused]] const ssize_t r = ::read(wake_fd_, &v, sizeof v);
@@ -349,14 +334,15 @@ void ServiceEndpoint::reactor_loop() {
   }
 }
 
-void ServiceEndpoint::reactor_accept() {
+void ServiceEndpoint::reactor_accept(int listen_fd) {
   for (;;) {
     const int fd =
-        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+        ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
       return;  // EAGAIN: drained the backlog
     }
+    set_nodelay(fd);
     auto conn = std::make_unique<Conn>();
     conn->fd = fd;
     conn->read_deadline = std::chrono::steady_clock::now() +
@@ -380,9 +366,31 @@ void ServiceEndpoint::reactor_readable(Conn& conn) {
     const ssize_t n = ::read(conn.fd, buf, sizeof buf);
     if (n > 0) {
       conn.request.append(buf, static_cast<std::size_t>(n));
+      if (!conn.persistent && conn.request.size() >= 8 &&
+          conn.request.compare(0, 8, "PERSIST\n") == 0) {
+        // The persistent handshake: ack it, then serve one single-line
+        // request per exchange with length-framed responses.
+        conn.persistent = true;
+        conn.pending = conn.request.substr(8);
+        conn.request.clear();
+        conn.response = "OK persist\n";
+        conn.frame_response = false;
+        MetricsRegistry::global().counter("endpoint.persistent").add();
+        reactor_finish(conn);
+        return;
+      }
+      if (conn.persistent) {
+        reactor_persistent_dispatch(conn);
+        if (conn.state != Conn::St::kReading) return;
+      }
       continue;
     }
     if (n == 0) {
+      if (conn.persistent) {
+        // The client hung up between exchanges: a normal persistent close.
+        reactor_close(conn);
+        return;
+      }
       // EOF: the client half-closed, the request is complete. The fd goes
       // quiet in epoll until the response is ready.
       ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
@@ -395,6 +403,41 @@ void ServiceEndpoint::reactor_readable(Conn& conn) {
     reactor_close(conn);
     return;
   }
+}
+
+void ServiceEndpoint::reactor_persistent_dispatch(Conn& conn) {
+  const std::size_t eol = conn.request.find('\n');
+  if (eol == std::string::npos) return;  // line still incomplete
+  conn.pending = conn.request.substr(eol + 1);
+  conn.request.resize(eol + 1);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+  conn.state = Conn::St::kExecuting;
+  conn.frame_response = true;
+  reactor_queue_exec(conn);
+}
+
+void ServiceEndpoint::reactor_persistent_reset(Conn& conn) {
+  conn.state = Conn::St::kReading;
+  conn.response.clear();
+  conn.write_off = 0;
+  conn.parked = false;
+  conn.counted = false;
+  conn.series.clear();
+  conn.wait_id.clear();
+  conn.request = std::move(conn.pending);
+  conn.pending.clear();
+  conn.read_deadline = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(kPersistentIdleTimeoutMs);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = conn.fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev) != 0 &&
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn.fd, &ev) != 0) {
+    reactor_close(conn);
+    return;
+  }
+  // A pipelining client may have delivered the next line already.
+  reactor_persistent_dispatch(conn);
 }
 
 void ServiceEndpoint::reactor_queue_exec(Conn& conn) {
@@ -427,6 +470,13 @@ void ServiceEndpoint::reactor_drain_done() {
 }
 
 void ServiceEndpoint::reactor_finish(Conn& conn) {
+  if (conn.persistent && conn.frame_response) {
+    // Length-frame so the client can delimit the response without the
+    // one-shot protocol's close-on-done.
+    conn.response = "#" + std::to_string(conn.response.size()) + "\n" +
+                    conn.response;
+    conn.frame_response = false;
+  }
   conn.state = Conn::St::kWriting;
   conn.write_off = 0;
   epoll_event ev{};
@@ -454,6 +504,10 @@ void ServiceEndpoint::reactor_writable(Conn& conn) {
       return;
     }
     conn.write_off += static_cast<std::size_t>(n);
+  }
+  if (conn.persistent && !stopping_.load()) {
+    reactor_persistent_reset(conn);  // next exchange on the same fd
+    return;
   }
   reactor_close(conn);  // one-shot protocol: reply flushed, done
 }
@@ -486,6 +540,11 @@ void ServiceEndpoint::reactor_expire_and_retry() {
     if (conn->state == Conn::St::kReading && conn->read_deadline <= now)
       expired.push_back(conn.get());
   for (Conn* conn : expired) {
+    if (conn->persistent) {
+      // Idle persistent connection: close silently, the client re-dials.
+      reactor_close(*conn);
+      continue;
+    }
     MetricsRegistry::global().counter("endpoint.read_timeouts").add();
     conn->response = "ERR request read failed\n";
     reactor_finish(*conn);
@@ -499,11 +558,22 @@ void ServiceEndpoint::reactor_shutdown_drain() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+  if (tcp_listen_fd_ >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, tcp_listen_fd_, nullptr);
+    ::close(tcp_listen_fd_);
+    tcp_listen_fd_ = -1;
+  }
   // Readers cannot complete anymore; answer like the legacy stop path.
+  // Persistent connections between exchanges just close — their client
+  // treats a dropped channel as "re-dial later" anyway.
   std::vector<Conn*> readers;
   for (const auto& [fd, conn] : conns_)
     if (conn->state == Conn::St::kReading) readers.push_back(conn.get());
   for (Conn* conn : readers) {
+    if (conn->persistent) {
+      reactor_close(*conn);
+      continue;
+    }
     conn->response = "ERR request read failed\n";
     reactor_finish(*conn);
   }
@@ -685,6 +755,20 @@ std::string ServiceEndpoint::handle_request(const std::string& request) {
 
   if (command == "PING") {
     return "OK pong\n";
+  } else if (command == "HELLO") {
+    // The transport probe: protocol version, a stable instance id, and the
+    // capability list a client keys transport decisions on. Pre-HELLO
+    // daemons answer `ERR unknown command 'HELLO'` and clients fall back to
+    // the v1 subset — rolling upgrades degrade explicitly, not accidentally.
+    std::ostringstream os;
+    os << "OK proto=" << kWireProtocolVersion << " id=" << instance_id_
+       << " mode="
+       << (options_.mode == EndpointMode::kReactor ? "reactor" : "legacy")
+       << " caps=oneshot";
+    if (options_.mode == EndpointMode::kReactor) os << ",persist";
+    if (tcp_address_) os << ",tcp";
+    os << "\n";
+    return os.str();
   } else if (command == "SUBMIT") {
     try {
       const std::string id = service_.submit_text(
@@ -692,11 +776,14 @@ std::string ServiceEndpoint::handle_request(const std::string& request) {
           span ? span->context() : TraceContext{}, deadline_ms);
       return "OK " + id + "\n";
     } catch (const ServiceOverdeadlineError& e) {
-      // Distinguished first tokens: clients branch on `ERR busy` to back
-      // off or re-dispatch, and on `ERR overdeadline` to relax or drop the
-      // deadline, instead of treating the spec as malformed.
+      // Distinguished first tokens: clients branch on these stable codes to
+      // back off (`busy`), route elsewhere permanently (`draining` — this
+      // instance will never admit again), or relax the deadline
+      // (`overdeadline`), instead of treating the spec as malformed.
       return std::string("ERR overdeadline ") + e.what() + "\n";
     } catch (const ServiceBusyError& e) {
+      if (service_.draining())
+        return std::string("ERR draining ") + e.what() + "\n";
       return std::string("ERR busy ") + e.what() + "\n";
     }
   } else if (command == "STATUS") {
@@ -789,7 +876,7 @@ std::string ServiceEndpoint::handle_request(const std::string& request) {
     return os.str();
   } else if (command == "DRAIN") {
     // The rolling-upgrade handoff: stop admitting (submits shed with a
-    // "draining" busy error the coordinator understands), let in-flight
+    // "draining" error the coordinator understands), let in-flight
     // campaigns finish or journal, then the daemon exits 0 once drained.
     service_.begin_drain();
     std::ostringstream os;
@@ -804,29 +891,26 @@ std::string ServiceEndpoint::handle_request(const std::string& request) {
   return "ERR unknown command '" + command + "'\n";
 }
 
-std::string endpoint_request(const std::filesystem::path& socket_path,
+std::string endpoint_request(const ServiceAddress& address,
                              const std::string& request, int timeout_ms) {
-  const sockaddr_un addr = make_address(socket_path);
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  EMUTILE_CHECK(fd >= 0, "cannot create socket: " << std::strerror(errno));
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
-      0) {
-    const int err = errno;
-    ::close(fd);
-    EMUTILE_CHECK(false, "cannot connect to " << socket_path << ": "
-                                              << std::strerror(err));
-  }
+  const int fd = dial_service_address(address);
   std::string response;
-  const bool sent = write_all(fd, request);
+  const bool sent = fd_write_all(fd, request);
   if (sent) ::shutdown(fd, SHUT_WR);  // half-close delimits the request
-  const bool received = sent && read_all(fd, response, timeout_ms);
+  const bool received = sent && fd_read_all(fd, response, timeout_ms);
   ::close(fd);
-  EMUTILE_CHECK(sent && received, "request to " << socket_path
+  EMUTILE_CHECK(sent && received, "request to " << address.to_string()
                                                 << " failed mid-flight"
                                                 << (timeout_ms >= 0
                                                         ? " or timed out"
                                                         : ""));
   return response;
+}
+
+std::string endpoint_request(const std::filesystem::path& socket_path,
+                             const std::string& request, int timeout_ms) {
+  return endpoint_request(ServiceAddress::unix_socket(socket_path), request,
+                          timeout_ms);
 }
 
 }  // namespace emutile

@@ -1,12 +1,24 @@
 #pragma once
 /// \file service_endpoint.hpp
-/// Local control endpoint for the session service: a Unix-domain stream
-/// socket speaking a one-shot, line-oriented text protocol (one request per
+/// Control endpoint for the session service: a Unix-domain stream socket —
+/// and, optionally, a TCP listener alongside it for cross-host fleets — both
+/// speaking the same one-shot, line-oriented text protocol (one request per
 /// connection; the client half-closes after writing, the server replies and
 /// closes — so the connection itself delimits both sides).
 ///
 /// Requests (first line; SUBMIT carries the spec text as the body):
 ///
+///   HELLO                        -> OK proto=2 id=<instance-id>
+///                                   mode=<reactor|legacy> caps=<c1,c2,...>
+///                                   (protocol version, stable instance id,
+///                                   transport capabilities: `oneshot`
+///                                   always, `persist` in reactor mode,
+///                                   `tcp` when a TCP listener is active.
+///                                   Clients probe once per address and
+///                                   degrade gracefully when a pre-HELLO
+///                                   daemon answers `ERR unknown command` —
+///                                   version skew during rolling upgrades is
+///                                   explicit, not accidental)
 ///   PING                         -> OK pong
 ///   SUBMIT <priority> [<name>] [traceparent=<t>-<s>] [deadline_ms=<n>]
 ///                                -> OK <campaign-id>      (body = spec text)
@@ -14,7 +26,10 @@
 ///                                   queue (ServiceConfig::max_pending) is
 ///                                   full or the spec exceeds the per-campaign
 ///                                   session quota — resubmit later, smaller,
-///                                   or elsewhere. `ERR overdeadline ...` when
+///                                   or elsewhere. `ERR draining ...` once
+///                                   DRAIN/SIGUSR2 stopped admission — this
+///                                   instance will never admit again; route
+///                                   elsewhere. `ERR overdeadline ...` when
 ///                                   admission control concludes the requested
 ///                                   relative deadline cannot be met given the
 ///                                   observed session-latency p99 and the work
@@ -54,13 +69,23 @@
 ///                                   reads)
 ///   DRAIN                        -> OK draining queued=<n> running=<n>
 ///                                   (stop admitting: later SUBMITs answer
-///                                   `ERR busy draining: ...`; in-flight
-///                                   campaigns finish or journal, and the
-///                                   daemon exits 0 once drained — the
-///                                   rolling-upgrade handoff)
+///                                   `ERR draining ...`; in-flight campaigns
+///                                   finish or journal, and the daemon exits
+///                                   0 once drained — the rolling-upgrade
+///                                   handoff)
 ///   SHUTDOWN                     -> OK bye  (sets shutdown_requested)
 ///
-/// Errors answer `ERR <message>`.
+/// Errors answer `ERR <message>`. The first token after ERR is a stable
+/// machine code for the distinguished sheds (`busy`, `draining`,
+/// `overdeadline`) — ServiceClient maps them onto ServiceErrorCode.
+///
+/// Persistent connections (reactor mode only, advertised as the `persist`
+/// HELLO capability): a client that opens with the line `PERSIST\n` gets
+/// `OK persist\n` back and the connection then stays open, carrying one
+/// single-line request per exchange (no SUBMIT bodies). Each response is
+/// length-framed as `#<bytes>\n<payload>` so the client can delimit it
+/// without a half-close. This is what spares a coordinator's STATUS polling
+/// loop a dial per tick on TCP.
 ///
 /// Two connection-handling modes, byte-identical on the wire:
 ///
@@ -81,14 +106,16 @@
 ///   kThreadPerConnection  The original accept-thread + thread-per-connection
 ///                       server. Kept as the A/B baseline for the
 ///                       submit-storm bench and the cross-mode byte-identity
-///                       test.
+///                       test. One-shot only (no PERSIST — the capability is
+///                       absent from its HELLO).
 ///
 /// The server applies a receive deadline to each request, so a client that
 /// connects and never writes (or never half-closes) gets dropped (counted in
 /// `endpoint.read_timeouts`) instead of pinning a connection and blocking
-/// daemon shutdown. Requests slower than the slow-request threshold
-/// (set_slow_request_ms, default 1000) log a WARN with the command and
-/// duration and count into `endpoint.slow_requests`.
+/// daemon shutdown; an idle persistent connection is silently closed after a
+/// longer deadline (the client re-dials transparently). Requests slower than
+/// the slow-request threshold (set_slow_request_ms, default 1000) log a WARN
+/// with the command and duration and count into `endpoint.slow_requests`.
 
 #include <atomic>
 #include <chrono>
@@ -98,16 +125,23 @@
 #include <filesystem>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "service/address.hpp"
 #include "util/mpmc_queue.hpp"
 
 namespace emutile {
 
 class SessionService;
+
+/// Version advertised by HELLO. v2 added HELLO itself, the distinguished
+/// `ERR draining` token, and PERSIST framing; v1 daemons answer HELLO with
+/// `ERR unknown command` and clients fall back to the v1 subset.
+inline constexpr int kWireProtocolVersion = 2;
 
 enum class EndpointMode : std::uint8_t {
   kReactor,              ///< epoll reactor + worker pool (default)
@@ -124,12 +158,17 @@ struct EndpointOptions {
   /// two). A full execution ring briefly queues inside the reactor; a full
   /// completion ring briefly blocks a worker — neither drops a request.
   std::size_t queue_capacity = 4096;
+  /// When set (must be kTcp), listen on this TCP address alongside the Unix
+  /// socket — same protocol, byte-identical. Port 0 takes an ephemeral port;
+  /// read the bound one back with ServiceEndpoint::tcp_address().
+  std::optional<ServiceAddress> tcp;
 };
 
 class ServiceEndpoint {
  public:
   /// Bind and listen on `socket_path` (an existing stale socket file is
-  /// replaced) and start serving. Throws CheckError on bind failures.
+  /// replaced) — plus `options.tcp` when set — and start serving. Throws
+  /// CheckError on bind failures.
   ServiceEndpoint(SessionService& service, std::filesystem::path socket_path,
                   EndpointOptions options = {});
 
@@ -142,6 +181,17 @@ class ServiceEndpoint {
 
   [[nodiscard]] const std::filesystem::path& socket_path() const {
     return socket_path_;
+  }
+
+  /// The TCP address actually bound (real port filled in for :0 requests);
+  /// nullopt when the endpoint is Unix-only.
+  [[nodiscard]] const std::optional<ServiceAddress>& tcp_address() const {
+    return tcp_address_;
+  }
+
+  /// Stable id this instance announces in HELLO (hostname-pid).
+  [[nodiscard]] const std::string& instance_id() const {
+    return instance_id_;
   }
 
   [[nodiscard]] EndpointMode mode() const { return options_.mode; }
@@ -178,11 +228,16 @@ class ServiceEndpoint {
   /// connection produced a response (kWriting next), false when a WAIT
   /// parked (the reactor re-queues it on a ~100 ms cadence).
   [[nodiscard]] bool execute(Conn& conn);
-  void reactor_accept();
+  void reactor_accept(int listen_fd);
   void reactor_readable(Conn& conn);
   void reactor_writable(Conn& conn);
   void reactor_close(Conn& conn);
   void reactor_finish(Conn& conn);  ///< response ready -> start writing
+  /// A persistent connection flushed its response: reset for the next
+  /// single-line request (and dispatch one if it is already buffered).
+  void reactor_persistent_reset(Conn& conn);
+  /// Queue the next buffered line of a persistent connection, if complete.
+  void reactor_persistent_dispatch(Conn& conn);
   void reactor_drain_done();
   void reactor_queue_exec(Conn& conn);
   void reactor_flush_exec_overflow();
@@ -192,7 +247,10 @@ class ServiceEndpoint {
   SessionService& service_;
   std::filesystem::path socket_path_;
   EndpointOptions options_;
+  std::optional<ServiceAddress> tcp_address_;
+  std::string instance_id_;
   int listen_fd_ = -1;
+  int tcp_listen_fd_ = -1;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> shutdown_requested_{false};
   std::atomic<std::uint64_t> slow_request_us_{1'000'000};
@@ -205,8 +263,8 @@ class ServiceEndpoint {
   std::condition_variable active_drained_;
   std::size_t active_connections_ = 0;
 
-  // Reactor mode. The reactor thread owns epoll_fd_, wake_fd_, listen_fd_
-  // and every connection fd; workers never see an fd.
+  // Reactor mode. The reactor thread owns epoll_fd_, wake_fd_, the listen
+  // fds, and every connection fd; workers never see an fd.
   int epoll_fd_ = -1;
   int wake_fd_ = -1;  ///< eventfd: workers nudge the reactor
   std::thread reactor_thread_;
@@ -219,12 +277,18 @@ class ServiceEndpoint {
   std::vector<Conn*> parked_;        ///< WAITs awaiting their next poll
 };
 
-/// Client side of the protocol: connect to `socket_path`, send `request`
-/// (first line + optional body), half-close, and return the full response.
-/// Throws CheckError on connection errors, or when the response has not
-/// arrived in full within `timeout_ms` (negative blocks indefinitely — only
-/// appropriate for WAIT against a trusted daemon; a coordinator polling many
-/// instances must bound every exchange so one hung daemon cannot wedge it).
+/// Client side of the protocol: dial `address` (kUnix or kTcp), send
+/// `request` (first line + optional body), half-close, and return the full
+/// response. Throws CheckError on connection errors, or when the response
+/// has not arrived in full within `timeout_ms` (negative blocks indefinitely
+/// — only appropriate for WAIT against a trusted daemon; a coordinator
+/// polling many instances must bound every exchange so one hung daemon
+/// cannot wedge it).
+[[nodiscard]] std::string endpoint_request(const ServiceAddress& address,
+                                           const std::string& request,
+                                           int timeout_ms = -1);
+
+/// Legacy form: a bare path is a Unix socket.
 [[nodiscard]] std::string endpoint_request(
     const std::filesystem::path& socket_path, const std::string& request,
     int timeout_ms = -1);

@@ -12,34 +12,37 @@
 
 namespace emutile {
 
-/// Streaming accumulator: count / mean / min / max / stddev (Welford).
+/// Streaming accumulator: count / mean / min / max / stddev.
+///
+/// The internal state is the raw power sums (n, Σx, Σx²), so add() and
+/// merge() are plain double additions. Floating-point addition of exactly
+/// representable values is exact, so for integral-valued samples below 2^26
+/// or so (work-unit counts, suspect counts, iteration counts — everything
+/// the deterministic campaign report aggregates) every partial sum is exact
+/// and ANY add/merge order yields bit-identical state. That associativity is
+/// what lets merged shard reports reproduce the unsharded run byte for byte
+/// even when work stealing splits a shard at an arbitrary session boundary.
+/// (A Welford/Chan formulation is stabler for wide-spread float samples but
+/// rounds differently under sequential add vs pairwise merge, which breaks
+/// the byte contract at some split points.)
 class Accumulator {
  public:
   void add(double x) {
     ++n_;
-    const double delta = x - mean_;
-    mean_ += delta / static_cast<double>(n_);
-    m2_ += delta * (x - mean_);
+    sum_ += x;
+    sum_sq_ += x * x;
     min_ = std::min(min_, x);
     max_ = std::max(max_, x);
   }
 
-  /// Fold another accumulator into this one (Chan et al. parallel
-  /// combination), as if both sample streams had been added here. Used to
-  /// merge per-shard campaign reports.
+  /// Fold another accumulator into this one, as if both sample streams had
+  /// been added here. Used to merge per-shard campaign reports; exactly
+  /// associative and commutative whenever the sums are exact (see above).
   void merge(const Accumulator& other) {
     if (other.n_ == 0) return;
-    if (n_ == 0) {
-      *this = other;
-      return;
-    }
-    const double delta = other.mean_ - mean_;
-    const auto na = static_cast<double>(n_);
-    const auto nb = static_cast<double>(other.n_);
     n_ += other.n_;
-    const auto n = static_cast<double>(n_);
-    mean_ += delta * nb / n;
-    m2_ += other.m2_ + delta * delta * na * nb / n;
+    sum_ += other.sum_;
+    sum_sq_ += other.sum_sq_;
     min_ = std::min(min_, other.min_);
     max_ = std::max(max_, other.max_);
   }
@@ -48,33 +51,40 @@ class Accumulator {
   /// the accessors report). With round-trip-exact doubles this restores the
   /// accumulator bit-for-bit, so a merge of restored accumulators equals a
   /// merge of the originals — the basis of the shard-report wire format.
-  [[nodiscard]] static Accumulator from_parts(std::size_t n, double mean,
-                                              double m2, double min,
+  [[nodiscard]] static Accumulator from_parts(std::size_t n, double sum,
+                                              double sum_sq, double min,
                                               double max) {
     Accumulator a;
     if (n == 0) return a;
     a.n_ = n;
-    a.mean_ = mean;
-    a.m2_ = m2;
+    a.sum_ = sum;
+    a.sum_sq_ = sum_sq;
     a.min_ = min;
     a.max_ = max;
     return a;
   }
 
   [[nodiscard]] std::size_t count() const { return n_; }
-  [[nodiscard]] double mean() const { return mean_; }
-  [[nodiscard]] double m2() const { return m2_; }  ///< raw Welford moment
+  [[nodiscard]] double sum() const { return sum_; }       ///< raw Σx
+  [[nodiscard]] double sum_sq() const { return sum_sq_; }  ///< raw Σx²
+  [[nodiscard]] double mean() const {
+    return n_ > 0 ? sum_ / static_cast<double>(n_) : 0.0;
+  }
   [[nodiscard]] double min() const { return min_; }
   [[nodiscard]] double max() const { return max_; }
   [[nodiscard]] double variance() const {
-    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    if (n_ < 2) return 0.0;
+    const double n = static_cast<double>(n_);
+    // Σ(x-x̄)² = Σx² - (Σx)²/n; clamp the cancellation residue at zero.
+    const double m2 = std::max(0.0, sum_sq_ - sum_ * sum_ / n);
+    return m2 / static_cast<double>(n_ - 1);
   }
   [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
 
  private:
   std::size_t n_ = 0;
-  double mean_ = 0.0;
-  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
 };

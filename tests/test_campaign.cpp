@@ -12,6 +12,7 @@
 #include "campaign/campaign_engine.hpp"
 #include "campaign/campaign_report.hpp"
 #include "campaign/campaign_spec.hpp"
+#include "campaign/campaign_spec_io.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -320,6 +321,74 @@ TEST(CampaignShard, SlicesAreDisjointAndCoverAllJobs) {
   EXPECT_THROW(static_cast<void>(spec.shard(3, 3)), CheckError);
   EXPECT_THROW(static_cast<void>(spec.shard(0, 0)), CheckError);
   EXPECT_THROW(static_cast<void>(spec.shard(0, 2).shard(0, 2)), CheckError);
+}
+
+TEST(CampaignSlice, NarrowsTheJobRangeWithoutChangingJobIdentity) {
+  // slice(b, e) is what work stealing runs on: the global job range
+  // [b, e) of the canonical expansion, each job keeping its unsharded
+  // index, scenario, replica, and seed.
+  const CampaignSpec spec = small_spec(91);
+  const std::vector<CampaignJob> all = spec.expand();
+  ASSERT_GE(all.size(), 4u);
+
+  const std::size_t mid = all.size() / 2;
+  const CampaignSpec left = spec.slice(0, mid);
+  const CampaignSpec right = spec.slice(mid, all.size());
+  EXPECT_TRUE(left.sliced());
+  std::size_t next = 0;
+  for (const CampaignSpec* half : {&left, &right})
+    for (const CampaignJob& job : half->expand()) {
+      EXPECT_EQ(job.index, next++) << "halves must tile the job list";
+      EXPECT_EQ(job.options.seed, all[job.index].options.seed);
+      EXPECT_EQ(job.scenario, all[job.index].scenario);
+      EXPECT_EQ(job.replica, all[job.index].replica);
+    }
+  EXPECT_EQ(next, all.size());
+
+  // Slices compose with shards (how a stolen shard's range is expressed)
+  // and re-slicing may only narrow.
+  const CampaignSpec shard = spec.shard(0, 2);
+  const std::size_t shard_jobs = shard.expand().size();
+  ASSERT_GE(shard_jobs, 2u);
+  EXPECT_EQ(shard.slice(1, shard_jobs).expand().size(), shard_jobs - 1);
+  EXPECT_EQ(left.slice(1, mid).expand().size(), mid - 1);
+  EXPECT_THROW(static_cast<void>(spec.slice(2, 2)), CheckError);
+  EXPECT_THROW(static_cast<void>(left.slice(0, all.size())), CheckError);
+
+  // The merged halves reproduce the unsliced run byte for byte — the
+  // determinism contract stealing depends on.
+  CampaignReport merged = run_campaign(left);
+  merged.merge(run_campaign(right));
+  const CampaignReport full = run_campaign(spec);
+  EXPECT_EQ(merged.to_csv(), full.to_csv());
+  EXPECT_EQ(merged.to_json(), full.to_json());
+}
+
+TEST(CampaignSlice, RoundTripsThroughTheWireFormatOnlyWhenSet) {
+  // A catalog-design spec — only those travel the wire format.
+  CampaignSpec spec;
+  spec.add_catalog_design("9sym");
+  spec.error_kinds = {ErrorKind::kWrongPolarity, ErrorKind::kWrongConnection};
+  spec.sessions_per_scenario = 2;
+  spec.master_seed = 7;
+  spec.num_patterns = 96;
+  // Unsliced specs must serialize without a `slice` key at all: adding the
+  // field may not perturb existing content hashes or cached results.
+  const std::string plain = serialize_campaign_spec(spec);
+  EXPECT_EQ(plain.find("slice"), std::string::npos);
+
+  const CampaignSpec sliced = spec.slice(1, 3);
+  const std::string wire = serialize_campaign_spec(sliced);
+  EXPECT_NE(wire.find("slice 1 3"), std::string::npos) << wire;
+  const CampaignSpec parsed = parse_campaign_spec(wire);
+  EXPECT_EQ(parsed.slice_begin, 1u);
+  EXPECT_EQ(parsed.slice_end, 3u);
+  EXPECT_EQ(serialize_campaign_spec(parsed), wire);
+
+  // The slice is semantic: it must move the content hash (two different
+  // job ranges may never collide in the result cache).
+  EXPECT_NE(spec_content_hash(spec), spec_content_hash(sliced));
+  EXPECT_NE(spec_content_hash(sliced), spec_content_hash(spec.slice(1, 4)));
 }
 
 TEST(CampaignShard, MergedShardReportsMatchUnshardedRun) {

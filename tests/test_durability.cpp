@@ -496,16 +496,16 @@ TEST(Durability, DrainStopsAdmissionAndFinishesInFlightWork) {
                 .rfind("OK draining", 0),
             0u);
 
-  // New work is shed with the distinguished "draining" busy error on every
-  // admission path; the coordinator string-matches it to route elsewhere.
+  // New work is shed with the distinguished `ERR draining` token on every
+  // admission path; the coordinator switches on the ServiceError code to
+  // route elsewhere.
   EXPECT_THROW(static_cast<void>(service.submit_text(small_spec_text(507))),
                ServiceBusyError);
   std::ostringstream submit;
   submit << "SUBMIT 0 late\n" << small_spec_text(507);
   const std::string shed =
       endpoint_request(endpoint.socket_path(), submit.str());
-  EXPECT_EQ(shed.rfind("ERR busy", 0), 0u) << shed;
-  EXPECT_NE(shed.find("draining"), std::string::npos) << shed;
+  EXPECT_EQ(shed.rfind("ERR draining", 0), 0u) << shed;
 
   // Spooled specs stay put for the successor daemon — busy means "later",
   // never "rejected".

@@ -78,14 +78,18 @@ TEST(FleetConfigIo, RoundTripsAndToleratesCommentsAndBlanks) {
       "\n"
       "instance alpha socket /var/emutile-a/serviced.sock\n"
       "instance beta spool /var/emutile-b\n"
+      "instance gamma tcp build-host:7733\n"
       "end\n";
   const FleetConfig fleet = parse_fleet_config(text);
-  ASSERT_EQ(fleet.instances.size(), 2u);
+  ASSERT_EQ(fleet.instances.size(), 3u);
   EXPECT_EQ(fleet.instances[0].name, "alpha");
-  EXPECT_EQ(fleet.instances[0].address, InstanceAddress::kSocket);
-  EXPECT_EQ(fleet.instances[0].path, "/var/emutile-a/serviced.sock");
+  EXPECT_EQ(fleet.instances[0].address.kind, AddressKind::kUnix);
+  EXPECT_EQ(fleet.instances[0].address.path, "/var/emutile-a/serviced.sock");
   EXPECT_EQ(fleet.instances[1].name, "beta");
-  EXPECT_EQ(fleet.instances[1].address, InstanceAddress::kSpool);
+  EXPECT_EQ(fleet.instances[1].address.kind, AddressKind::kSpool);
+  EXPECT_EQ(fleet.instances[2].address.kind, AddressKind::kTcp);
+  EXPECT_EQ(fleet.instances[2].address.host, "build-host");
+  EXPECT_EQ(fleet.instances[2].address.port, 7733);
 
   // serialize -> parse is the identity on the canonical form.
   const std::string canonical = serialize_fleet_config(fleet);
@@ -105,7 +109,8 @@ TEST(FleetConfigIo, MalformedInputsThrowWithContext) {
   reject("emutile-fleet v1\ninstance\nend\n");          // missing name
   reject("emutile-fleet v1\ninstance a\nend\n");        // missing kind
   reject("emutile-fleet v1\ninstance a socket\nend\n");  // missing path
-  reject("emutile-fleet v1\ninstance a tcp 1.2.3.4\nend\n");  // bad kind
+  reject("emutile-fleet v1\ninstance a tcp 1.2.3.4\nend\n");   // no port
+  reject("emutile-fleet v1\ninstance a pigeon /coop\nend\n");  // bad kind
   reject("emutile-fleet v1\ninstance a socket /s extra\nend\n");
   reject(
       "emutile-fleet v1\ninstance a socket /s\ninstance a socket /t\nend\n");
@@ -169,20 +174,20 @@ TEST(CampaignReportIo, MalformedReportsThrowWithLineNumbers) {
         << text;
   };
   reject("");
-  reject("emutile-report v2\n");
-  reject("emutile-report v1\n");  // truncated
-  reject("emutile-report v1\ncampaign 1 1 0 0 1 1 1 1\n");  // truncated
+  reject("emutile-report v1\n");  // old version
+  reject("emutile-report v2\n");  // truncated
+  reject("emutile-report v2\ncampaign 1 1 0 0 1 1 1 1\n");  // truncated
   reject(
-      "emutile-report v1\ncampaign banana 1 0 0 1 1 1 1\n");  // bad number
+      "emutile-report v2\ncampaign banana 1 0 0 1 1 1 1\n");  // bad number
   const CampaignReport empty_report =
       run_campaign(sharded_test_spec(0, 1).shard(0, 2));
   std::string wire = serialize_campaign_report(empty_report);
   reject(wire.substr(0, wire.size() / 2));  // cut mid-stream
   // Field-order violations are rejected, not silently misread.
-  reject("emutile-report v1\nbuild_work 0\n");
+  reject("emutile-report v2\nbuild_work 0\n");
   try {
     static_cast<void>(
-        parse_campaign_report("emutile-report v1\nwrong 1\n"));
+        parse_campaign_report("emutile-report v2\nwrong 1\n"));
     FAIL() << "expected CheckError";
   } catch (const CheckError& e) {
     EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
@@ -202,14 +207,15 @@ struct InProcessInstance {
   std::unique_ptr<ServiceEndpoint> endpoint;
 
   InProcessInstance(const fs::path& root, std::size_t threads,
-                    bool attach = false) {
+                    bool attach = false,
+                    EndpointOptions endpoint_options = {}) {
     config.root = root;
     config.num_threads = threads;
     config.snapshot_every = 0;
     service = std::make_unique<SessionService>(config);
     if (attach) static_cast<void>(service->reattach());
-    endpoint = std::make_unique<ServiceEndpoint>(*service,
-                                                 root / "serviced.sock");
+    endpoint = std::make_unique<ServiceEndpoint>(
+        *service, root / "serviced.sock", endpoint_options);
   }
 
   void kill() {
@@ -233,8 +239,9 @@ TEST(CampaignCoordinator, KilledInstanceMidCampaignStillMergesByteIdentical) {
     const std::string name = "host" + std::to_string(i);
     hosts.push_back(std::make_unique<InProcessInstance>(scratch.path / name,
                                                         /*threads=*/1));
-    fleet.instances.push_back({name, InstanceAddress::kSocket,
-                               hosts.back()->endpoint->socket_path()});
+    fleet.instances.push_back(
+        {name,
+         ServiceAddress::unix_socket(hosts.back()->endpoint->socket_path())});
   }
 
   // Enough sessions per shard (4 each) that the doomed instance cannot
@@ -305,8 +312,9 @@ TEST(CampaignCoordinator, RollingDrainRestartKeepsMergedReportByteIdentical) {
     const std::string name = "rhost" + std::to_string(i);
     hosts.push_back(std::make_unique<InProcessInstance>(scratch.path / name,
                                                         /*threads=*/1));
-    fleet.instances.push_back({name, InstanceAddress::kSocket,
-                               hosts.back()->endpoint->socket_path()});
+    fleet.instances.push_back(
+        {name,
+         ServiceAddress::unix_socket(hosts.back()->endpoint->socket_path())});
   }
 
   const CampaignSpec spec = sharded_test_spec(/*replicas=*/6, 9000);
@@ -356,7 +364,9 @@ TEST(CampaignCoordinator, RollingDrainRestartKeepsMergedReportByteIdentical) {
   orchestration.join();
 
   EXPECT_GE(restarted, 1u) << "the rolling upgrade never touched the fleet";
-  EXPECT_EQ(result.num_shards, 3u);
+  // A restarted instance comes back idle, so work stealing may have split
+  // in-flight shards for it — at least the original three exist.
+  EXPECT_GE(result.num_shards, 3u);
   for (const ShardProgress& shard : result.shards)
     EXPECT_EQ(shard.state, ShardState::kDone);
 
@@ -368,13 +378,220 @@ TEST(CampaignCoordinator, RollingDrainRestartKeepsMergedReportByteIdentical) {
             "");
 }
 
+TEST(CampaignCoordinator, WorkStealingSplitsASlowShardDeterministically) {
+  // One shard, two instances: instance B starts idle, so the coordinator
+  // must split A's in-flight shard and hand the second half to B — and the
+  // merged report must still be byte-identical to the unsharded run (seeds
+  // are (scenario, replica)-derived, never placement-derived).
+  ScratchDir scratch("coord-steal");
+  InProcessInstance host_a(scratch.path / "shost0", /*threads=*/1);
+  InProcessInstance host_b(scratch.path / "shost1", /*threads=*/1);
+  FleetConfig fleet;
+  fleet.instances.push_back(
+      {"shost0", ServiceAddress::unix_socket(host_a.endpoint->socket_path())});
+  fleet.instances.push_back(
+      {"shost1", ServiceAddress::unix_socket(host_b.endpoint->socket_path())});
+
+  const CampaignSpec spec = sharded_test_spec(/*replicas=*/6, 3100);
+  CoordinatorOptions options;
+  options.num_shards = 1;  // the whole campaign lands on one instance...
+  options.poll_interval = std::chrono::milliseconds(20);
+  options.request_timeout_ms = 10'000;
+  CampaignCoordinator coordinator(fleet, options);
+  const OrchestrationResult result = coordinator.run(spec);
+
+  // ...so the idle second instance can only get work by stealing.
+  EXPECT_GE(result.steals, 1u) << "idle shost1 never stole from shost0";
+  EXPECT_GE(result.num_shards, 2u) << "a steal must append a shard";
+  // The victim's narrowed half re-dispatches where its cache is warm.
+  EXPECT_GE(result.affinity_dispatches, 1u)
+      << "the narrowed victim shard should re-dispatch by cache affinity";
+  std::set<std::string> serving;
+  for (const ShardProgress& shard : result.shards) {
+    EXPECT_EQ(shard.state, ShardState::kDone);
+    serving.insert(shard.instance);
+  }
+  EXPECT_TRUE(serving.count("shost1")) << "the stolen half must run on B";
+
+  const CampaignReport direct = run_campaign(spec);
+  EXPECT_EQ(result.report.to_json(), direct.to_json());
+  EXPECT_EQ(result.report.to_csv(), direct.to_csv());
+  EXPECT_EQ(test::diff_campaign_reports_csv(direct.to_csv(),
+                                            result.report.to_csv()),
+            "");
+}
+
+TEST(CampaignCoordinator, DisabledStealingLeavesTheSingleShardAlone) {
+  ScratchDir scratch("coord-nosteal");
+  InProcessInstance host_a(scratch.path / "nhost0", /*threads=*/1);
+  InProcessInstance host_b(scratch.path / "nhost1", /*threads=*/1);
+  FleetConfig fleet;
+  fleet.instances.push_back(
+      {"nhost0", ServiceAddress::unix_socket(host_a.endpoint->socket_path())});
+  fleet.instances.push_back(
+      {"nhost1", ServiceAddress::unix_socket(host_b.endpoint->socket_path())});
+
+  const CampaignSpec spec = sharded_test_spec(/*replicas=*/3, 3200);
+  CoordinatorOptions options;
+  options.num_shards = 1;
+  options.enable_stealing = false;
+  options.poll_interval = std::chrono::milliseconds(20);
+  CampaignCoordinator coordinator(fleet, options);
+  const OrchestrationResult result = coordinator.run(spec);
+
+  EXPECT_EQ(result.steals, 0u);
+  EXPECT_EQ(result.num_shards, 1u);
+  const CampaignReport direct = run_campaign(spec);
+  EXPECT_EQ(result.report.to_json(), direct.to_json());
+}
+
+TEST(CampaignCoordinator, TcpFleetSurvivesKillPlusJoinMidCampaign) {
+  // The elasticity acceptance test, over real TCP loopback: a fleet of two
+  // TCP instances loses one mid-campaign while a third joins through a
+  // fleet-file rewrite (the SIGHUP/mtime reload path). The dead instance's
+  // shard re-dispatches, the joiner enters the rotation — and the merged
+  // report still matches the unsharded direct run byte for byte.
+  ScratchDir scratch("coord-tcp-elastic");
+  const auto tcp_instance = [&](const std::string& name) {
+    EndpointOptions endpoint_options;
+    endpoint_options.mode = EndpointMode::kReactor;
+    endpoint_options.tcp = ServiceAddress::tcp("127.0.0.1", 0);
+    auto host = std::make_unique<InProcessInstance>(
+        scratch.path / name, /*threads=*/1, /*attach=*/false,
+        endpoint_options);
+    EXPECT_TRUE(host->endpoint->tcp_address().has_value());
+    return host;
+  };
+  auto host_a = tcp_instance("ehost-a");
+  auto host_b = tcp_instance("ehost-b");
+
+  FleetConfig fleet;
+  fleet.instances.push_back({"ehost-a", *host_a->endpoint->tcp_address()});
+  fleet.instances.push_back({"ehost-b", *host_b->endpoint->tcp_address()});
+  const fs::path fleet_file = scratch.path / "fleet.cfg";
+  const auto write_fleet = [&](const FleetConfig& membership) {
+    std::ofstream out(fleet_file, std::ios::trunc);
+    out << serialize_fleet_config(membership);
+  };
+  write_fleet(fleet);
+
+  const CampaignSpec spec = sharded_test_spec(/*replicas=*/6, 5150);
+  CoordinatorOptions options;
+  options.poll_interval = std::chrono::milliseconds(20);
+  options.reprobe_interval = std::chrono::milliseconds(50);
+  options.request_timeout_ms = 10'000;
+  options.local_threads = 2;
+  options.fleet_file = fleet_file;
+  CampaignCoordinator coordinator(fleet, options);
+  OrchestrationResult result;
+  std::thread orchestration([&] { result = coordinator.run(spec); });
+
+  // The kill waits for ehost-a to hold a shard; the join rides the same
+  // fleet-file rewrite that retires it.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (!host_a->has_accepted_campaign() &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_TRUE(host_a->has_accepted_campaign())
+      << "ehost-a never received a shard over TCP";
+  host_a->kill();
+  auto host_c = tcp_instance("ehost-c");
+  FleetConfig rewritten;
+  rewritten.instances.push_back({"ehost-b", *host_b->endpoint->tcp_address()});
+  rewritten.instances.push_back({"ehost-c", *host_c->endpoint->tcp_address()});
+  write_fleet(rewritten);
+  orchestration.join();
+
+  EXPECT_GE(result.redispatches, 1u)
+      << "the killed instance's shard must have been re-dispatched";
+  EXPECT_GE(result.joined_instances, 1u)
+      << "the fleet-file rewrite must have joined ehost-c mid-campaign";
+  EXPECT_EQ(result.local_shards, 0u)
+      << "healthy TCP instances remained — no local fallback expected";
+  std::set<std::string> serving;
+  for (const ShardProgress& shard : result.shards) {
+    EXPECT_EQ(shard.state, ShardState::kDone);
+    EXPECT_NE(shard.instance, "ehost-a")
+        << "no shard may end on the killed instance";
+    serving.insert(shard.instance);
+  }
+
+  const CampaignReport direct = run_campaign(spec);
+  EXPECT_EQ(result.report.to_json(), direct.to_json());
+  EXPECT_EQ(result.report.to_csv(), direct.to_csv());
+  EXPECT_EQ(test::diff_campaign_reports_csv(direct.to_csv(),
+                                            result.report.to_csv()),
+            "");
+}
+
+TEST(CampaignCoordinator, ControlListenerAnswersPingAndAppliesFleetUpdates) {
+  // The wire-command membership path: while a campaign runs, the control
+  // listener must answer PING, report the current membership on FLEET, and
+  // apply a pushed `FLEET\n<config>` — joining an instance that then serves.
+  ScratchDir scratch("coord-control");
+  InProcessInstance host_a(scratch.path / "chost0", /*threads=*/1);
+  FleetConfig fleet;
+  fleet.instances.push_back(
+      {"chost0", ServiceAddress::unix_socket(host_a.endpoint->socket_path())});
+
+  const CampaignSpec spec = sharded_test_spec(/*replicas=*/6, 6001);
+  CoordinatorOptions options;
+  options.poll_interval = std::chrono::milliseconds(20);
+  options.request_timeout_ms = 10'000;
+  options.control_address =
+      ServiceAddress::unix_socket(scratch.path / "control.sock");
+  CampaignCoordinator coordinator(fleet, options);
+  OrchestrationResult result;
+  std::thread orchestration([&] { result = coordinator.run(spec); });
+
+  // Wait for the control socket to come up, then exercise all three verbs.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  std::string pong;
+  while (pong != "OK pong\n" &&
+         std::chrono::steady_clock::now() < deadline) {
+    try {
+      pong = endpoint_request(*options.control_address, "PING\n", 2'000);
+    } catch (const CheckError&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  ASSERT_EQ(pong, "OK pong\n") << "control listener never came up";
+
+  const std::string membership =
+      endpoint_request(*options.control_address, "FLEET\n", 2'000);
+  EXPECT_EQ(membership.rfind("OK fleet 1\n", 0), 0u) << membership;
+  EXPECT_NE(membership.find("instance chost0 socket "), std::string::npos)
+      << membership;
+
+  InProcessInstance host_b(scratch.path / "chost1", /*threads=*/1);
+  FleetConfig pushed = fleet;
+  pushed.instances.push_back(
+      {"chost1", ServiceAddress::unix_socket(host_b.endpoint->socket_path())});
+  EXPECT_EQ(endpoint_request(*options.control_address,
+                             "FLEET\n" + serialize_fleet_config(pushed),
+                             2'000),
+            "OK fleet 2\n");
+  EXPECT_EQ(endpoint_request(*options.control_address, "BOGUS\n", 2'000)
+                .rfind("ERR ", 0),
+            0u);
+  orchestration.join();
+
+  EXPECT_GE(result.joined_instances, 1u)
+      << "the pushed FLEET config must have joined chost1";
+  const CampaignReport direct = run_campaign(spec);
+  EXPECT_EQ(result.report.to_json(), direct.to_json());
+  EXPECT_EQ(result.report.to_csv(), direct.to_csv());
+}
+
 TEST(CampaignCoordinator, AllInstancesDownFallsBackToInProcessExecution) {
   ScratchDir scratch("coord-down");
   FleetConfig fleet;
-  fleet.instances.push_back({"ghost-a", InstanceAddress::kSocket,
-                             scratch.path / "no-such-a.sock"});
-  fleet.instances.push_back({"ghost-b", InstanceAddress::kSocket,
-                             scratch.path / "no-such-b.sock"});
+  fleet.instances.push_back(
+      {"ghost-a", ServiceAddress::unix_socket(scratch.path / "no-such-a.sock")});
+  fleet.instances.push_back(
+      {"ghost-b", ServiceAddress::unix_socket(scratch.path / "no-such-b.sock")});
 
   const CampaignSpec spec = sharded_test_spec(2, 34);
   CoordinatorOptions options;
@@ -407,8 +624,9 @@ TEST(CampaignCoordinator, CollectsFleetMetricsAndJournalsTheRun) {
     const std::string name = "mhost" + std::to_string(i);
     hosts.push_back(std::make_unique<InProcessInstance>(scratch.path / name,
                                                         /*threads=*/1));
-    fleet.instances.push_back({name, InstanceAddress::kSocket,
-                               hosts.back()->endpoint->socket_path()});
+    fleet.instances.push_back(
+        {name,
+         ServiceAddress::unix_socket(hosts.back()->endpoint->socket_path())});
   }
 
   const CampaignSpec spec = sharded_test_spec(/*replicas=*/2, 4242);
@@ -464,8 +682,9 @@ TEST(CampaignCoordinator, StitchedFleetTraceIsParentCleanAcrossInstances) {
     const std::string name = "thost" + std::to_string(i);
     hosts.push_back(std::make_unique<InProcessInstance>(scratch.path / name,
                                                         /*threads=*/1));
-    fleet.instances.push_back({name, InstanceAddress::kSocket,
-                               hosts.back()->endpoint->socket_path()});
+    fleet.instances.push_back(
+        {name,
+         ServiceAddress::unix_socket(hosts.back()->endpoint->socket_path())});
   }
 
   const CampaignSpec spec = sharded_test_spec(/*replicas=*/3, 777);
@@ -515,8 +734,8 @@ TEST(CampaignCoordinator, StitchedFleetTraceIsParentCleanAcrossInstances) {
 TEST(CampaignCoordinator, FallbackDisabledThrowsWhenFleetIsDown) {
   ScratchDir scratch("coord-nofallback");
   FleetConfig fleet;
-  fleet.instances.push_back({"ghost", InstanceAddress::kSocket,
-                             scratch.path / "no-such.sock"});
+  fleet.instances.push_back(
+      {"ghost", ServiceAddress::unix_socket(scratch.path / "no-such.sock")});
   CoordinatorOptions options;
   options.allow_local_fallback = false;
   CampaignCoordinator coordinator(fleet, options);
@@ -540,7 +759,7 @@ TEST(CampaignCoordinator, SpoolAddressedInstanceCompletesTheCampaign) {
 
   FleetConfig fleet;
   fleet.instances.push_back(
-      {"spooled", InstanceAddress::kSpool, host.config.root});
+      {"spooled", ServiceAddress::spool(host.config.root)});
   CoordinatorOptions options;
   options.num_shards = 2;  // both shards through the one spool instance
   options.poll_interval = std::chrono::milliseconds(20);
@@ -559,7 +778,8 @@ TEST(CampaignCoordinator, SpoolAddressedInstanceCompletesTheCampaign) {
 
 TEST(CampaignCoordinator, RejectsAlreadyShardedSpecs) {
   FleetConfig fleet;
-  fleet.instances.push_back({"a", InstanceAddress::kSocket, "/nowhere.sock"});
+  fleet.instances.push_back(
+      {"a", ServiceAddress::unix_socket("/nowhere.sock")});
   CampaignCoordinator coordinator(fleet, {});
   const CampaignSpec spec = sharded_test_spec(1, 3).shard(0, 2);
   EXPECT_THROW(static_cast<void>(coordinator.run(spec)), CheckError);

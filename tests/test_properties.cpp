@@ -560,11 +560,11 @@ TEST(WireFormatRobustness, MalformedReportsThrowWithContext) {
         << text;
   };
   reject("");                                    // no header
-  reject("emutile-report v2\n");                 // wrong version
-  reject("emutile-report v1\n");                 // truncated after header
-  reject("emutile-report v1\ncampaign 1 1 0 0 1 1 1 1\n");  // truncated
+  reject("emutile-report v1\n");                 // wrong (older) version
+  reject("emutile-report v2\n");                 // truncated after header
+  reject("emutile-report v2\ncampaign 1 1 0 0 1 1 1 1\n");  // truncated
   reject(
-      "emutile-report v1\ncampaign 1 1 0 0 1 1 1 x\n");  // non-numeric count
+      "emutile-report v2\ncampaign 1 1 0 0 1 1 1 x\n");  // non-numeric count
   // A structurally complete report with a scenario-count lie.
   CampaignReport r;
   r.scenarios.resize(1);

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <array>
 #include <atomic>
@@ -15,6 +18,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <sstream>
@@ -28,6 +32,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_io.hpp"
+#include "service/address.hpp"
 #include "service/job_scheduler.hpp"
 #include "service/service_client.hpp"
 #include "service/service_endpoint.hpp"
@@ -867,8 +872,8 @@ TEST(SessionService, QosAdmissionShedsOverQuotaAndPastDeadlineSubmits) {
   const ServiceClient client(endpoint.socket_path());
 
   // Over-quota specs are shed up front: ServiceBusyError on the direct API,
-  // a distinguished `ERR busy` first token on the wire, BusyError from the
-  // typed client — and no campaign slot consumed.
+  // a distinguished `ERR busy` first token on the wire, ServiceError{kBusy}
+  // from the typed client — and no campaign slot consumed.
   EXPECT_THROW(
       static_cast<void>(service.submit_text(small_spec_text("9sym", 1))),
       ServiceBusyError);
@@ -877,8 +882,12 @@ TEST(SessionService, QosAdmissionShedsOverQuotaAndPastDeadlineSubmits) {
   const std::string response =
       endpoint_request(endpoint.socket_path(), over_quota.str());
   EXPECT_EQ(response.rfind("ERR busy", 0), 0u) << response;
-  EXPECT_THROW(static_cast<void>(client.submit(small_spec_text("9sym", 2))),
-               ServiceClient::BusyError);
+  try {
+    static_cast<void>(client.submit(small_spec_text("9sym", 2)));
+    FAIL() << "expected ServiceError{kBusy}";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ServiceErrorCode::kBusy) << e.what();
+  }
   EXPECT_EQ(service.list().size(), 0u);
 
   // A within-quota spec sails through and its report stays byte-identical
@@ -904,9 +913,12 @@ TEST(SessionService, QosAdmissionShedsOverQuotaAndPastDeadlineSubmits) {
   const std::string shed =
       endpoint_request(endpoint.socket_path(), hopeless.str());
   EXPECT_EQ(shed.rfind("ERR overdeadline", 0), 0u) << shed;
-  EXPECT_THROW(static_cast<void>(
-                   client.submit(small.str(), 0, "hopeless", "", 1)),
-               ServiceClient::OverdeadlineError);
+  try {
+    static_cast<void>(client.submit(small.str(), 0, "hopeless", "", 1));
+    FAIL() << "expected ServiceError{kOverdeadline}";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ServiceErrorCode::kOverdeadline) << e.what();
+  }
   // A generous deadline is feasible even with the slow history.
   const std::string in_time =
       client.submit(small.str(), 0, "in-time", "", 3'600'000);
@@ -1364,6 +1376,153 @@ TEST(SessionService, TracingOnOffNeverPerturbsDeterministicArtifacts) {
   // brings none), so the sidecar exists exactly when tracing is compiled in.
   EXPECT_EQ(fs::exists(traced->out_dir / "trace.json"), Tracer::enabled());
   EXPECT_EQ(fs::exists(plain->out_dir / "trace.json"), Tracer::enabled());
+}
+
+// ------------------------------------------------------ HELLO + transport ---
+
+TEST(SessionService, HelloAdvertisesProtocolAndTransportCaps) {
+  ScratchDir scratch("service-hello");
+  ServiceConfig config;
+  config.root = scratch.path;
+  config.num_threads = 1;
+  SessionService service(config);
+
+  EndpointOptions options;
+  options.mode = EndpointMode::kReactor;
+  options.tcp = ServiceAddress::tcp("127.0.0.1", 0);
+  ServiceEndpoint endpoint(service, scratch.path / "serviced.sock", options);
+
+  // Raw grammar on the Unix socket: proto, stable id, mode, caps in order.
+  const std::string reply =
+      endpoint_request(endpoint.socket_path(), "HELLO\n");
+  EXPECT_EQ(reply, "OK proto=2 id=" + endpoint.instance_id() +
+                       " mode=reactor caps=oneshot,persist,tcp\n");
+
+  // The same daemon answers identically over its TCP listener.
+  ASSERT_TRUE(endpoint.tcp_address().has_value());
+  EXPECT_NE(endpoint.tcp_address()->port, 0);
+  EXPECT_EQ(endpoint_request(*endpoint.tcp_address(), "HELLO\n"), reply);
+
+  // ServiceClient parses the reply into the typed ServiceHello.
+  ServiceClient client(*endpoint.tcp_address());
+  const ServiceHello& hello = client.hello();
+  EXPECT_TRUE(hello.supported);
+  EXPECT_EQ(hello.proto, 2);
+  EXPECT_EQ(hello.id, endpoint.instance_id());
+  EXPECT_EQ(hello.mode, "reactor");
+  EXPECT_TRUE(hello.has_cap("oneshot"));
+  EXPECT_TRUE(hello.has_cap("persist"));
+  EXPECT_TRUE(hello.has_cap("tcp"));
+  EXPECT_FALSE(hello.has_cap("warp-drive"));
+
+  // Legacy mode: no reactor, no TCP — caps shrink to the one-shot baseline.
+  ServiceConfig legacy_config;
+  legacy_config.root = scratch.path / "legacy";
+  legacy_config.num_threads = 1;
+  SessionService legacy_service(legacy_config);
+  EndpointOptions legacy_options;
+  legacy_options.mode = EndpointMode::kThreadPerConnection;
+  ServiceEndpoint legacy(legacy_service, legacy_config.root / "serviced.sock",
+                         legacy_options);
+  EXPECT_EQ(endpoint_request(legacy.socket_path(), "HELLO\n"),
+            "OK proto=2 id=" + legacy.instance_id() +
+                " mode=legacy caps=oneshot\n");
+}
+
+TEST(SessionService, HelloDegradesGracefullyAgainstPreV2Daemons) {
+  ScratchDir scratch("service-hello-fallback");
+  const fs::path sock = scratch.path / "old-daemon.sock";
+
+  // A minimal pre-HELLO daemon: answers PING, rejects HELLO the way the
+  // v1 line protocol did — `ERR unknown command` — and nothing else.
+  const ServiceAddress addr = ServiceAddress::unix_socket(sock);
+  const int listen_fd =
+      listen_service_address(addr, /*backlog=*/4, /*nonblocking=*/true);
+  std::atomic<bool> stop{false};
+  std::thread old_daemon([listen_fd, &stop] {
+    while (!stop.load()) {
+      const int conn = ::accept(listen_fd, nullptr, nullptr);
+      if (conn < 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      std::string request;
+      fd_read_all(conn, request, /*timeout_ms=*/5'000);
+      if (request.rfind("PING", 0) == 0)
+        fd_write_all(conn, "OK pong\n");
+      else
+        fd_write_all(conn, "ERR unknown command 'HELLO'\n");
+      ::close(conn);
+    }
+  });
+
+  ServiceClient client(addr, /*timeout_ms=*/5'000);
+  client.set_persistent(true);  // must silently stay one-shot on a v1 daemon
+  EXPECT_FALSE(client.hello().supported);
+  EXPECT_EQ(client.hello().proto, 1);
+  // The probe must not poison the client: v1 commands still work.
+  EXPECT_TRUE(client.ping());
+
+  stop.store(true);
+  old_daemon.join();
+  ::close(listen_fd);
+
+  // A dead address also reads as "not supported", never a throw.
+  ServiceClient dead(ServiceAddress::unix_socket(scratch.path / "no.sock"),
+                     /*timeout_ms=*/500);
+  EXPECT_FALSE(dead.hello().supported);
+  EXPECT_FALSE(dead.ping());
+}
+
+TEST(SessionService, PersistentClientReusesOneConnection) {
+  ScratchDir scratch("service-persistent");
+  ServiceConfig config;
+  config.root = scratch.path;
+  config.num_threads = 2;
+  config.snapshot_every = 0;
+  SessionService service(config);
+
+  EndpointOptions options;
+  options.mode = EndpointMode::kReactor;
+  auto endpoint = std::make_unique<ServiceEndpoint>(
+      service, scratch.path / "serviced.sock", options);
+
+#ifndef EMUTILE_METRICS_DISABLED
+  const std::uint64_t handshakes_before =
+      MetricsRegistry::global().counter("endpoint.persistent").value();
+#endif
+
+  ServiceClient client(ServiceAddress::unix_socket(endpoint->socket_path()));
+  client.set_persistent(true);
+  const std::string id = client.submit(small_spec_text("9sym", 412));
+  EXPECT_EQ(client.wait(id), "finished");
+
+  // Many single-line exchanges: all should ride one persistent channel and
+  // return exactly what one-shot connections return.
+  for (int i = 0; i < 5; ++i) {
+    const RemoteCampaignStatus status = client.status(id);
+    EXPECT_EQ(status.state, "finished");
+    EXPECT_EQ(status.sessions_done, status.sessions_total);
+  }
+  ServiceClient oneshot(ServiceAddress::unix_socket(endpoint->socket_path()));
+  EXPECT_EQ(client.list(), oneshot.list());
+
+#ifndef EMUTILE_METRICS_DISABLED
+  EXPECT_EQ(
+      MetricsRegistry::global().counter("endpoint.persistent").value(),
+      handshakes_before + 1)
+      << "five STATUS + one LIST should share a single PERSIST handshake";
+#endif
+
+  // Kill the daemon out from under the channel: the client must surface a
+  // kIo ServiceError (the coordinator's instance-death signal), not hang.
+  endpoint.reset();
+  try {
+    static_cast<void>(client.status(id));
+    FAIL() << "expected ServiceError against a dead daemon";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ServiceErrorCode::kIo) << e.what();
+  }
 }
 
 }  // namespace

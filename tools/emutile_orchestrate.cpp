@@ -11,10 +11,20 @@
 ///                         [--shards N] [--priority N] [--poll-ms N]
 ///                         [--stall-ms N] [--timeout-ms N]
 ///                         [--local-threads N] [--no-local-fallback]
+///                         [--no-steal] [--control ADDR]
 ///                         [--adaptive] [--target-halfwidth X]
 ///                         [--initial-sessions N] [--max-sessions N]
 ///                         [--metric detection|correction|debug-work]
 ///                         [--quiet]
+///
+/// The fleet is elastic mid-campaign: editing FLEET.cfg (or sending the
+/// process SIGHUP to force a re-read) joins newly-listed instances into the
+/// running campaign and retires missing ones; `--control ADDR` additionally
+/// listens on a unix:/tcp: address for `FLEET` requests (send a new fleet
+/// config after the FLEET line to apply it; bare FLEET reads the current
+/// membership back). Idle instances pick up work stolen from the slowest
+/// in-flight shard unless --no-steal is given; every placement prefers the
+/// instance whose caches already hold the shard's sessions.
 ///
 /// --adaptive runs the campaign in confidence-driven rounds (see
 /// adaptive_driver.hpp): a uniform exploratory round of --initial-sessions
@@ -33,6 +43,8 @@
 /// report artifacts stay deterministic; metrics, trace, and journal are
 /// observability sidecars.
 
+#include <atomic>
+#include <csignal>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -50,11 +62,17 @@ using namespace emutile;
 
 namespace {
 
+// SIGHUP = re-read the fleet file now (the coordinator also watches its
+// mtime, but a signal beats waiting out a coarse filesystem timestamp).
+std::atomic<bool> g_reload{false};
+void on_sighup(int) { g_reload.store(true); }
+
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --fleet FLEET.cfg --spec SPEC [--out DIR] [--shards N]"
                " [--priority N] [--poll-ms N] [--stall-ms N] [--timeout-ms N]"
-               " [--local-threads N] [--no-local-fallback] [--adaptive]"
+               " [--local-threads N] [--no-local-fallback] [--no-steal]"
+               " [--control ADDR] [--adaptive]"
                " [--target-halfwidth X] [--initial-sessions N]"
                " [--max-sessions N]"
                " [--metric detection|correction|debug-work] [--quiet]\n";
@@ -101,6 +119,8 @@ int main(int argc, char** argv) {
     else if (arg == "--timeout-ms") options.request_timeout_ms = static_cast<int>(std::strtol(value(), nullptr, 10));
     else if (arg == "--local-threads") options.local_threads = std::strtoull(value(), nullptr, 10);
     else if (arg == "--no-local-fallback") options.allow_local_fallback = false;
+    else if (arg == "--no-steal") options.enable_stealing = false;
+    else if (arg == "--control") options.control_address = parse_service_address(value());
     else if (arg == "--adaptive") use_adaptive = true;
     else if (arg == "--target-halfwidth") adaptive.target_halfwidth = std::strtod(value(), nullptr);
     else if (arg == "--initial-sessions") adaptive.initial_sessions = std::atoi(value());
@@ -117,16 +137,19 @@ int main(int argc, char** argv) {
   }
   if (fleet_path.empty() || spec_path.empty()) return usage(argv[0]);
   set_log_threshold(LogLevel::kWarn);
+  std::signal(SIGHUP, on_sighup);
 
   try {
     const FleetConfig fleet = load_fleet_config_file(fleet_path);
     const CampaignSpec spec = load_campaign_spec_file(spec_path);
+    // Elasticity: watch the fleet file for membership changes mid-campaign.
+    options.fleet_file = fleet_path;
+    options.reload_flag = &g_reload;
     if (!quiet) {
       std::cout << "fleet (" << fleet.instances.size() << " instances):\n";
       for (const FleetInstance& instance : fleet.instances)
         std::cout << "  " << instance.name << " "
-                  << to_string(instance.address) << " "
-                  << instance.path.string() << "\n";
+                  << instance.address.to_string() << "\n";
       options.on_snapshot = print_snapshot;
     }
 
@@ -183,6 +206,9 @@ int main(int argc, char** argv) {
       std::cout << "orchestrated " << result.num_shards << " shard"
                 << (result.num_shards == 1 ? "" : "s") << " ("
                 << result.redispatches << " re-dispatched, "
+                << result.steals << " stolen, "
+                << result.affinity_dispatches << " affinity-placed, "
+                << result.joined_instances << " joined, "
                 << result.local_shards << " ran locally)\n";
     }
 

@@ -18,7 +18,8 @@
 ///                      [--snapshot-every N]
 ///                      [--poll-ms N] [--no-cache] [--cache-max-bytes N]
 ///                      [--baseline-cache-entries N] [--no-socket]
-///                      [--socket PATH] [--max-pending N] [--quota N]
+///                      [--socket PATH] [--tcp HOST:PORT]
+///                      [--max-pending N] [--quota N]
 ///                      [--deadline-default-ms N] [--intake-capacity N]
 ///                      [--endpoint reactor|legacy] [--endpoint-workers N]
 ///                      [--once] [--no-drain] [--no-journal] [--no-wal]
@@ -37,6 +38,11 @@
 ///                        (0 = no default deadline)
 ///   --intake-capacity N  bound of the lock-free submit intake ring between
 ///                        admission and the scheduler (default 1024)
+///   --tcp HOST:PORT      additionally listen on a TCP address (same wire
+///                        protocol as the Unix socket — cross-host fleets).
+///                        Port 0 picks a free port; the bound address is
+///                        written to <root>/serviced.tcp either way, so
+///                        scripts can discover it
 ///   --endpoint M         connection handling: `reactor` (default; epoll +
 ///                        worker pool) or `legacy` (thread per connection)
 ///   --endpoint-workers N reactor request-execution workers (default 4)
@@ -69,8 +75,10 @@
 #include <memory>
 #include <thread>
 
+#include "service/address.hpp"
 #include "service/service_endpoint.hpp"
 #include "service/session_service.hpp"
+#include "util/file_io.hpp"
 #include "util/log.hpp"
 
 using namespace emutile;
@@ -90,6 +98,7 @@ int usage(const char* argv0) {
             << " --root DIR [--threads N] [--snapshot-every N] [--poll-ms N]"
                " [--no-cache] [--cache-max-bytes N]"
                " [--baseline-cache-entries N] [--no-socket] [--socket PATH]"
+               " [--tcp HOST:PORT]"
                " [--max-pending N] [--quota N] [--deadline-default-ms N]"
                " [--intake-capacity N] [--endpoint reactor|legacy]"
                " [--endpoint-workers N] [--attach] [--once] [--no-drain]"
@@ -105,6 +114,7 @@ int main(int argc, char** argv) {
   ServiceConfig config;
   config.num_threads = std::max(2u, std::thread::hardware_concurrency());
   std::filesystem::path socket_path;
+  std::string tcp_spec;
   EndpointOptions endpoint_options;
   bool use_socket = true;
   bool once = false;
@@ -146,6 +156,7 @@ int main(int argc, char** argv) {
     else if (arg == "--no-cache") config.enable_cache = false;
     else if (arg == "--no-socket") use_socket = false;
     else if (arg == "--socket") socket_path = value();
+    else if (arg == "--tcp") tcp_spec = value();
     else if (arg == "--no-journal") config.enable_journal = false;
     else if (arg == "--no-wal") config.enable_wal = false;
     else if (arg == "--attach") attach = true;
@@ -183,10 +194,18 @@ int main(int argc, char** argv) {
                 << std::endl;
     }
     std::unique_ptr<ServiceEndpoint> endpoint;
+    const std::filesystem::path tcp_file = config.root / "serviced.tcp";
     if (use_socket) {
+      if (!tcp_spec.empty())
+        endpoint_options.tcp = parse_service_address("tcp:" + tcp_spec);
       endpoint = std::make_unique<ServiceEndpoint>(service, socket_path,
                                                    endpoint_options);
       endpoint->set_slow_request_ms(slow_request_ms);
+      // Advertise the *bound* TCP address (port 0 resolves to a real port)
+      // so scripts can discover it without parsing our stdout.
+      if (endpoint->tcp_address())
+        write_file_atomic(tcp_file,
+                          endpoint->tcp_address()->to_string() + "\n");
     }
 
     std::cout << "emutile_serviced: root=" << config.root.string()
@@ -195,11 +214,14 @@ int main(int argc, char** argv) {
               << (config.enable_cache ? "on" : "off");
     if (config.enable_cache && config.cache_max_bytes > 0)
       std::cout << " cache_max_bytes=" << config.cache_max_bytes;
-    if (endpoint)
+    if (endpoint) {
       std::cout << " socket=" << endpoint->socket_path().string()
                 << " endpoint="
                 << (endpoint->mode() == EndpointMode::kReactor ? "reactor"
                                                                : "legacy");
+      if (endpoint->tcp_address())
+        std::cout << " tcp=" << endpoint->tcp_address()->to_string();
+    }
     if (config.session_quota > 0)
       std::cout << " quota=" << config.session_quota;
     if (config.deadline_default_ms > 0)
@@ -241,6 +263,8 @@ int main(int argc, char** argv) {
                 << s.cache_hits << " cache hits)" << std::endl;
     std::error_code ec;
     std::filesystem::remove(stop_file, ec);
+    if (endpoint && endpoint->tcp_address())
+      std::filesystem::remove(tcp_file, ec);
   } catch (const std::exception& e) {
     std::cerr << "emutile_serviced: " << e.what() << "\n";
     return 1;

@@ -6,10 +6,14 @@
 /// All socket traffic goes through the shared ServiceClient — the same
 /// codepath the campaign coordinator uses.
 ///
-///   $ emutile_submit --root DIR [--socket PATH] [--spool] [--priority N]
+///   $ emutile_submit --root DIR [--socket ADDR] [--spool] [--priority N]
 ///                    [--deadline-ms N] [--wait]
 ///                    [--status ID | --list | --cancel ID | --cache
 ///                    | --metrics [json] | --drain] SPEC...
+///
+///   --socket ADDR    daemon endpoint: a bare path (Unix socket, the legacy
+///                    form), `unix:/path`, or `tcp:host:port` — see
+///                    address.hpp. Default <root>/serviced.sock.
 ///
 ///   --deadline-ms N  relative deadline for socket submissions; the daemon
 ///                    sheds the SUBMIT with `ERR overdeadline` when its
@@ -30,6 +34,7 @@
 
 #include "campaign/campaign_spec_io.hpp"
 #include "obs/trace.hpp"
+#include "service/address.hpp"
 #include "service/service_client.hpp"
 #include "util/check.hpp"
 #include "util/file_io.hpp"
@@ -40,7 +45,7 @@ namespace {
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " --root DIR [--socket PATH] [--spool] [--priority N]"
+            << " --root DIR [--socket ADDR] [--spool] [--priority N]"
                " [--deadline-ms N] [--wait]"
                " [--status ID | --list | --cancel ID | --cache"
                " | --metrics [json] | --drain] SPEC...\n";
@@ -50,7 +55,8 @@ int usage(const char* argv0) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::filesystem::path root, socket_path;
+  std::filesystem::path root;
+  std::string socket_arg;
   bool force_spool = false;
   bool wait = false;
   int priority = 0;
@@ -68,7 +74,7 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--root") root = value();
-    else if (arg == "--socket") socket_path = value();
+    else if (arg == "--socket") socket_arg = value();
     else if (arg == "--spool") force_spool = true;
     else if (arg == "--priority") priority = std::atoi(value());
     else if (arg == "--deadline-ms") deadline_ms = std::strtoull(value(), nullptr, 10);
@@ -90,11 +96,16 @@ int main(int argc, char** argv) {
     else specs.emplace_back(arg);
   }
   if (root.empty()) return usage(argv[0]);
-  if (socket_path.empty()) socket_path = root / "serviced.sock";
   if (specs.empty() && one_shot.empty()) return usage(argv[0]);
 
-  const ServiceClient client(socket_path);
   try {
+    // Bare --socket values keep their legacy Unix-socket meaning; unix: and
+    // tcp: URIs reach daemons anywhere.
+    const ServiceAddress address =
+        socket_arg.empty()
+            ? ServiceAddress::unix_socket(root / "serviced.sock")
+            : parse_service_address(socket_arg);
+    ServiceClient client(address);
     if (!one_shot.empty()) {
       std::cout << client.request(one_shot + "\n");
       return 0;

@@ -75,8 +75,8 @@ void count_campaigns(const std::string& list_reply, InstanceView& view) {
 InstanceView poll_instance(const FleetInstance& instance, int timeout_ms) {
   InstanceView view;
   view.config = &instance;
-  if (instance.address != InstanceAddress::kSocket) return view;
-  const ServiceClient client(instance.path, timeout_ms);
+  if (!instance.address.is_wire()) return view;
+  const ServiceClient client(instance.address, timeout_ms);
   try {
     count_campaigns(client.list(), view);
     view.metrics = parse_metrics_text(client.fetch_metrics());
@@ -136,7 +136,7 @@ void render(const std::vector<InstanceView>& views, std::size_t tick) {
          "  cache  req p50/p99 ms  slow\n";
   for (const InstanceView& view : views) {
     char line[160];
-    if (view.config->address != InstanceAddress::kSocket) {
+    if (!view.config->address.is_wire()) {
       std::snprintf(line, sizeof line, "  %-16s %-6s spool (no live stats)",
                     view.config->name.c_str(), "spool");
       out << line << "\n";
